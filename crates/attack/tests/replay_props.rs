@@ -1,0 +1,94 @@
+//! Property-based invariants for the attack-replay engine.
+
+use bf_attack::replay::replay_counting_loop;
+use bf_attack::LoopCountingAttacker;
+use bf_sim::{CoreTimeline, Gap, GapCause, InterruptKind, Machine, MachineConfig, Workload};
+use bf_stats::StepSeries;
+use bf_timer::{BrowserKind, JitteredTimer, Nanos, PreciseTimer, QuantizedTimer, Timer};
+use proptest::prelude::*;
+
+fn gaps_strategy() -> impl Strategy<Value = Vec<Gap>> {
+    proptest::collection::vec((0u64..190_000_000, 1_500u64..60_000), 0..60).prop_map(|mut raw| {
+        raw.sort_unstable();
+        let mut gaps: Vec<Gap> = Vec::new();
+        let mut cursor = 0u64;
+        for (start, len) in raw {
+            let s = start.max(cursor);
+            let e = s + len;
+            if e > 200_000_000 {
+                break;
+            }
+            gaps.push(Gap {
+                start: Nanos(s),
+                end: Nanos(e),
+                cause: GapCause::Interrupt(InterruptKind::TimerTick),
+            });
+            cursor = e + 1;
+        }
+        gaps
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Trace mass conservation: the deposited trace total equals the sum
+    /// of per-period counts, for every timer model and gap placement.
+    #[test]
+    fn trace_mass_equals_counted_iterations(gaps in gaps_strategy(), seed in 0u64..500) {
+        let tl = CoreTimeline::new(Nanos(200_000_000), gaps, StepSeries::new(1.0));
+        let timers: Vec<Box<dyn Timer>> = vec![
+            Box::new(PreciseTimer::new()),
+            Box::new(QuantizedTimer::new(Nanos::from_millis(1))),
+            Box::new(JitteredTimer::new(Nanos::from_micros(100), seed)),
+        ];
+        for mut timer in timers {
+            let (trace, records) = replay_counting_loop(
+                &tl,
+                &mut *timer,
+                Nanos::from_millis(5),
+                Nanos(200),
+            );
+            let counted: f64 = records.iter().map(|r| r.count).sum();
+            // Counts deposited beyond the trace window are dropped, so the
+            // trace total is at most the counted total, and equal when no
+            // period's observed span crosses the end.
+            prop_assert!(trace.total() <= counted + 1e-6);
+            if let Some(last) = records.last() {
+                if last.start_observed + Nanos::from_millis(10) < Nanos(200_000_000) {
+                    prop_assert!(
+                        (trace.total() - counted).abs() < counted.max(1.0) * 0.02 + 1.0,
+                        "trace {} counted {}", trace.total(), counted
+                    );
+                }
+            }
+        }
+    }
+
+    /// More gaps can never increase the attacker's total count.
+    #[test]
+    fn gaps_never_increase_counts(gaps in gaps_strategy()) {
+        let duration = Nanos(200_000_000);
+        let busy = CoreTimeline::idle(duration);
+        let gappy = CoreTimeline::new(duration, gaps, StepSeries::new(1.0));
+        let run = |tl: &CoreTimeline| {
+            let mut timer = PreciseTimer::new();
+            let (_, records) =
+                replay_counting_loop(tl, &mut timer, Nanos::from_millis(5), Nanos(200));
+            records.iter().map(|r| r.count).sum::<f64>()
+        };
+        prop_assert!(run(&gappy) <= run(&busy) + 1.0);
+    }
+
+    /// End-to-end determinism through the public attacker API for
+    /// arbitrary run seeds.
+    #[test]
+    fn attacker_collect_is_deterministic(seed in 0u64..200) {
+        let sim = Machine::new(MachineConfig::default())
+            .run(&Workload::new(Nanos::from_millis(300)), seed);
+        let atk = LoopCountingAttacker::for_browser(BrowserKind::Chrome, Nanos::from_millis(5));
+        let mut t1 = BrowserKind::Chrome.timer(seed);
+        let mut t2 = BrowserKind::Chrome.timer(seed);
+        prop_assert_eq!(atk.collect(&sim, &mut t1), atk.collect(&sim, &mut t2));
+    }
+}

@@ -1,0 +1,93 @@
+//! Cross-crate calibration checks: a synthetic website load must produce a
+//! loop-counting trace with visible, site-characteristic structure —
+//! the premise of Fig. 3.
+
+use bf_attack::{LoopCountingAttacker, SweepCountingAttacker};
+use bf_sim::{CacheConfig, Machine, MachineConfig};
+use bf_timer::{BrowserKind, Nanos, PreciseTimer};
+use bf_victim::WebsiteProfile;
+
+const DURATION: Nanos = Nanos(15_000_000_000);
+const PERIOD: Nanos = Nanos(5_000_000);
+
+fn loop_trace(host: &str, run: u64) -> Vec<f64> {
+    let site = WebsiteProfile::for_hostname(host);
+    let workload = site.generate(DURATION, run);
+    let sim = Machine::new(MachineConfig::default()).run(&workload, run ^ 0xABCD);
+    let attacker = LoopCountingAttacker::for_browser(BrowserKind::Chrome, PERIOD);
+    let mut timer = BrowserKind::Chrome.timer(run);
+    attacker.collect(&sim, &mut timer).into_values()
+}
+
+/// Mean of a slice.
+fn mean(xs: &[f64]) -> f64 {
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+#[test]
+fn page_load_produces_visible_dips() {
+    let trace = loop_trace("nytimes.com", 1);
+    assert_eq!(trace.len(), 3_000);
+    // Busy window: first 3 s. Quiet window: last 3 s.
+    let busy = mean(&trace[40..600]);
+    let quiet = mean(&trace[2_400..3_000]);
+    let dip = 1.0 - busy / quiet;
+    assert!(
+        dip > 0.01,
+        "load activity must depress counts by >1% (busy={busy:.0} quiet={quiet:.0} dip={dip:.4})"
+    );
+    assert!(dip < 0.6, "dips should not saturate (dip={dip:.4})");
+}
+
+#[test]
+fn different_sites_have_different_average_traces() {
+    // Average 6 runs per site, downsample, compare shapes.
+    let avg = |host: &str| {
+        let mut acc = vec![0.0; 300];
+        for run in 0..6 {
+            let t = loop_trace(host, run);
+            for (i, chunk) in t.chunks(10).enumerate() {
+                acc[i] += mean(chunk);
+            }
+        }
+        for v in &mut acc {
+            *v /= 6.0;
+        }
+        acc
+    };
+    let a = avg("nytimes.com");
+    let b = avg("weather.com");
+    let self_a = avg("nytimes.com");
+    let d_cross: f64 =
+        a.iter().zip(&b).map(|(x, y)| (x - y) * (x - y)).sum::<f64>().sqrt();
+    let d_self: f64 =
+        a.iter().zip(&self_a).map(|(x, y)| (x - y) * (x - y)).sum::<f64>().sqrt();
+    assert!(
+        d_cross > d_self * 3.0,
+        "cross-site distance {d_cross:.1} must dominate within-site distance {d_self:.1}"
+    );
+}
+
+#[test]
+fn loop_and_sweep_traces_are_correlated() {
+    // Fig. 4: the two attackers observe the same system events.
+    let site = WebsiteProfile::for_hostname("amazon.com");
+    let mut loop_avg = vec![0.0; 300];
+    let mut sweep_avg = vec![0.0; 300];
+    for run in 0..8 {
+        let workload = site.generate(DURATION, run);
+        let sim = Machine::new(MachineConfig::default()).run(&workload, run ^ 0x77);
+        let la = LoopCountingAttacker::for_browser(BrowserKind::Chrome, PERIOD);
+        let mut t1 = PreciseTimer::new();
+        let lt = la.collect(&sim, &mut t1).into_values();
+        let sa = SweepCountingAttacker::new(PERIOD, CacheConfig::default());
+        let mut t2 = PreciseTimer::new();
+        let st = sa.collect(&sim, &mut t2, run).into_values();
+        for i in 0..300 {
+            loop_avg[i] += mean(&lt[i * 10..(i + 1) * 10]);
+            sweep_avg[i] += mean(&st[i * 10..(i + 1) * 10]);
+        }
+    }
+    let r = bf_stats::pearson(&loop_avg, &sweep_avg).unwrap();
+    assert!(r > 0.5, "averaged loop/sweep traces should correlate strongly, got r={r:.3}");
+}

@@ -1,0 +1,41 @@
+//! CNN+LSTM training/inference benchmarks (the classifier of §4.1).
+
+use bf_nn::{CnnLstm, CnnLstmConfig, Tensor};
+use bf_stats::SeedRng;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn toy_batch(n: usize, len: usize, seed: u64) -> (Tensor, Vec<usize>) {
+    let mut rng = SeedRng::new(seed);
+    let data: Vec<f32> = (0..n * len).map(|_| rng.standard_normal() as f32).collect();
+    let labels: Vec<usize> = (0..n).map(|i| i % 4).collect();
+    (Tensor::new(&[n, 1, len], data), labels)
+}
+
+fn bench_nn(c: &mut Criterion) {
+    let mut g = c.benchmark_group("nn");
+    g.sample_size(10);
+
+    let (x, labels) = toy_batch(8, 300, 1);
+
+    g.bench_function("train_batch_8x300_16f", |b| {
+        let mut net = CnnLstm::new(CnnLstmConfig::scaled(300, 4, 16), 7);
+        b.iter(|| black_box(net.train_batch(black_box(&x), &labels)))
+    });
+
+    g.bench_function("predict_8x300_16f", |b| {
+        let mut net = CnnLstm::new(CnnLstmConfig::scaled(300, 4, 16), 7);
+        b.iter(|| black_box(net.predict_proba(black_box(&x))))
+    });
+
+    g.bench_function("forward_paper_arch_1x3000", |b| {
+        let mut net = CnnLstm::new(CnnLstmConfig::paper(3_000, 100), 7);
+        let x = Tensor::zeros(&[1, 1, 3_000]);
+        b.iter(|| black_box(net.forward(black_box(&x), false)))
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_nn);
+criterion_main!(benches);

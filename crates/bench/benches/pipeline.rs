@@ -1,0 +1,61 @@
+//! End-to-end pipeline benchmarks: workload synthesis, machine
+//! simulation, attack replay, and gap attribution.
+
+use bf_attack::{GapWatcher, LoopCountingAttacker, SweepCountingAttacker};
+use bf_ebpf::{ProbeSet, TraceSession};
+use bf_sim::{CacheConfig, Machine, MachineConfig};
+use bf_timer::{BrowserKind, Nanos, PreciseTimer};
+use bf_victim::WebsiteProfile;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+const TRACE_SECS: u64 = 2;
+
+fn bench_pipeline(c: &mut Criterion) {
+    let site = WebsiteProfile::for_hostname("nytimes.com");
+    let duration = Nanos::from_secs(TRACE_SECS);
+    let machine = Machine::new(MachineConfig::default());
+    let workload = site.generate(duration, 1);
+    let sim = machine.run(&workload, 1);
+
+    let mut g = c.benchmark_group("pipeline");
+    g.sample_size(10);
+
+    g.bench_function("victim_workload_synthesis_2s", |b| {
+        b.iter(|| black_box(site.generate(duration, black_box(2))))
+    });
+
+    g.bench_function("machine_simulation_2s", |b| {
+        b.iter(|| black_box(machine.run(black_box(&workload), 3)))
+    });
+
+    g.bench_function("loop_replay_2s", |b| {
+        let atk = LoopCountingAttacker::for_browser(BrowserKind::Chrome, Nanos::from_millis(5));
+        b.iter(|| {
+            let mut timer = BrowserKind::Chrome.timer(4);
+            black_box(atk.collect(black_box(&sim), &mut timer))
+        })
+    });
+
+    g.bench_function("sweep_replay_2s", |b| {
+        let atk = SweepCountingAttacker::new(Nanos::from_millis(5), CacheConfig::default());
+        b.iter(|| {
+            let mut timer = PreciseTimer::new();
+            black_box(atk.collect(black_box(&sim), &mut timer, 5))
+        })
+    });
+
+    g.bench_function("gap_watch_and_attribute_2s", |b| {
+        let watcher = GapWatcher::default();
+        let session = TraceSession::new(ProbeSet::all());
+        b.iter(|| {
+            let gaps = watcher.watch(black_box(&sim));
+            black_box(session.attribute(&sim, &gaps))
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Statistics-substrate benchmarks.
+
+use bf_stats::{pearson, welch_t_test, Histogram, SeedRng, StepSeries};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_stats(c: &mut Criterion) {
+    let mut rng = SeedRng::new(1);
+    let xs: Vec<f64> = (0..3_000).map(|_| rng.standard_normal()).collect();
+    let ys: Vec<f64> = xs.iter().map(|x| x + 0.3 * rng.standard_normal()).collect();
+
+    let mut g = c.benchmark_group("stats");
+
+    g.bench_function("pearson_3000", |b| {
+        b.iter(|| black_box(pearson(black_box(&xs), black_box(&ys)).unwrap()))
+    });
+
+    g.bench_function("welch_t_test_3000", |b| {
+        b.iter(|| black_box(welch_t_test(black_box(&xs), black_box(&ys)).unwrap()))
+    });
+
+    g.bench_function("histogram_record_3000", |b| {
+        b.iter(|| {
+            let mut h = Histogram::new(-4.0, 4.0, 64).unwrap();
+            h.record_all(xs.iter().copied());
+            black_box(h)
+        })
+    });
+
+    g.bench_function("step_series_integrate", |b| {
+        let mut s = StepSeries::new(1.0);
+        for i in 1..10_000u64 {
+            s.push(i * 1_000, 1.0 + (i % 7) as f64 * 0.01);
+        }
+        b.iter(|| black_box(s.integrate(black_box(123), black_box(9_500_000))))
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_stats);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Timer-model benchmarks: observation and inverse queries drive every
+//! attack replay.
+
+use bf_timer::{JitteredTimer, Nanos, PreciseTimer, QuantizedTimer, RandomizedTimer, Timer};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_timers(c: &mut Criterion) {
+    let mut g = c.benchmark_group("timers");
+
+    g.bench_function("precise_observe", |b| {
+        let mut t = PreciseTimer::new();
+        let mut now = 0u64;
+        b.iter(|| {
+            now += 5_000;
+            black_box(t.observe(Nanos(now)))
+        })
+    });
+
+    g.bench_function("jittered_observe", |b| {
+        let mut t = JitteredTimer::new(Nanos::from_micros(100), 1);
+        let mut now = 0u64;
+        b.iter(|| {
+            now += 5_000;
+            black_box(t.observe(Nanos(now)))
+        })
+    });
+
+    g.bench_function("randomized_observe", |b| {
+        let mut t = RandomizedTimer::with_defaults(1);
+        let mut now = 0u64;
+        b.iter(|| {
+            now += 5_000;
+            black_box(t.observe(Nanos(now)))
+        })
+    });
+
+    g.bench_function("jittered_earliest_at_or_above_5ms", |b| {
+        let mut t = JitteredTimer::new(Nanos::from_micros(100), 1);
+        let mut now = 0u64;
+        b.iter(|| {
+            now += 5_000_000;
+            black_box(t.earliest_at_or_above(Nanos(now), Nanos(now + 5_000_000)))
+        })
+    });
+
+    g.bench_function("quantized_earliest_at_or_above", |b| {
+        let mut t = QuantizedTimer::new(Nanos::from_millis(100));
+        let mut now = 0u64;
+        b.iter(|| {
+            now += 5_000_000;
+            black_box(t.earliest_at_or_above(Nanos(now), Nanos(now + 5_000_000)))
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_timers);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Regenerate every table and figure in sequence (EXPERIMENTS.md source).
+use bf_bench::{banner, scale_and_seed};
+use bf_core::experiments::{
+    figure3, figure4, figure5, figure6, figure7, figure8, leakage, table1, table2, table3,
+    table4,
+};
+
+fn main() {
+    let (scale, seed) = scale_and_seed();
+    banner("all tables and figures", scale);
+    let t0 = std::time::Instant::now();
+    println!("{}\n", figure3::run(scale, seed));
+    println!("{}\n", figure4::run(scale, seed));
+    println!("{}\n", table1::run(scale, seed));
+    println!("{}\n", table2::run(scale, seed, true));
+    println!("{}\n", table3::run(scale, seed));
+    println!("{}\n", leakage::run(scale, seed));
+    println!("{}\n", figure5::run(scale, seed));
+    println!("{}\n", figure6::run(scale, seed));
+    println!("{}\n", figure7::run(scale, seed));
+    println!("{}\n", figure8::run(scale, seed));
+    println!("{}\n", table4::run(scale, seed));
+    println!("total elapsed: {:.1?}", t0.elapsed());
+}

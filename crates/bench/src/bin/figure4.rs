@@ -1,0 +1,9 @@
+//! Regenerate Fig. 4 (loop vs sweep trace correlation).
+use bf_bench::{banner, scale_and_seed};
+use bf_core::experiments::figure4;
+
+fn main() {
+    let (scale, seed) = scale_and_seed();
+    banner("Figure 4", scale);
+    println!("{}", figure4::run(scale, seed));
+}

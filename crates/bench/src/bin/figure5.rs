@@ -1,0 +1,9 @@
+//! Regenerate Fig. 5 (interrupt-time share during page loads).
+use bf_bench::{banner, scale_and_seed};
+use bf_core::experiments::figure5;
+
+fn main() {
+    let (scale, seed) = scale_and_seed();
+    banner("Figure 5", scale);
+    println!("{}", figure5::run(scale, seed));
+}

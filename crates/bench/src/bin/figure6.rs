@@ -1,0 +1,14 @@
+//! Regenerate Fig. 6 (interrupt gap-length distributions).
+use bf_bench::{banner, scale_and_seed};
+use bf_core::experiments::figure6;
+
+fn main() {
+    let (scale, seed) = scale_and_seed();
+    banner("Figure 6", scale);
+    let fig = figure6::run(scale, seed);
+    println!("{fig}");
+    for k in &fig.kinds {
+        println!("\n{} gap-length histogram (µs):", k.kind);
+        print!("{}", k.histogram.render(40));
+    }
+}

@@ -1,0 +1,9 @@
+//! Regenerate Fig. 7 (timer staircases).
+use bf_bench::{banner, scale_and_seed};
+use bf_core::experiments::figure7;
+
+fn main() {
+    let (scale, seed) = scale_and_seed();
+    banner("Figure 7", scale);
+    println!("{}", figure7::run(scale, seed));
+}

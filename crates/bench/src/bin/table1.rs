@@ -1,0 +1,12 @@
+//! Regenerate Table 1 (closed/open-world accuracy grid).
+use bf_bench::{banner, scale_and_seed};
+use bf_core::experiments::table1;
+
+fn main() {
+    let (scale, seed) = scale_and_seed();
+    banner("Table 1", scale);
+    let start = std::time::Instant::now();
+    let result = table1::run(scale, seed);
+    println!("{result}");
+    println!("elapsed: {:.1?}", start.elapsed());
+}

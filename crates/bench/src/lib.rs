@@ -1,0 +1,48 @@
+//! `bf-bench` — the benchmark and regeneration harness.
+//!
+//! # Regenerating the paper's tables and figures
+//!
+//! Each binary prints one table/figure with the paper's reference values
+//! inline. `BF_SCALE` selects `smoke` (seconds), `default` (minutes,
+//! the committed EXPERIMENTS.md numbers), or `paper` (the full protocol).
+//!
+//! ```sh
+//! BF_SCALE=default cargo run --release -p bf-bench --bin table1
+//! BF_SCALE=default cargo run --release -p bf-bench --bin figure6
+//! cargo run --release -p bf-bench --bin all   # everything in sequence
+//! ```
+//!
+//! # Criterion micro-benchmarks
+//!
+//! `cargo bench -p bf-bench` measures the pipeline's building blocks:
+//! machine simulation, attack replay, timer queries, NN training steps,
+//! and end-to-end trace collection.
+
+use bf_core::ExperimentScale;
+
+/// Shared binary entry glue: scale from env, seed fixed for
+/// reproducibility.
+pub fn scale_and_seed() -> (ExperimentScale, u64) {
+    (ExperimentScale::from_env(), 42)
+}
+
+/// Print a standard header for a regeneration binary.
+pub fn banner(what: &str, scale: ExperimentScale) {
+    println!("=== bigger-fish reproduction: {what} (scale: {scale}) ===\n");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_comes_from_env_with_fixed_seed() {
+        let (_, seed) = scale_and_seed();
+        assert_eq!(seed, 42);
+    }
+
+    #[test]
+    fn banner_prints_without_panicking() {
+        banner("unit test", ExperimentScale::Smoke);
+    }
+}

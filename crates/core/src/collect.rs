@@ -1,0 +1,343 @@
+//! Trace-collection pipeline: victim → (defense) → machine → attacker →
+//! dataset.
+
+use crate::scale::ExperimentScale;
+use bf_attack::{LoopCountingAttacker, SweepCountingAttacker, Trace};
+use bf_defense::Countermeasure;
+use bf_ml::{
+    cross_validate, CentroidClassifier, Classifier, CnnLstmClassifier, CrossValResult, Dataset,
+    TrainConfig,
+};
+use bf_nn::CnnLstmConfig;
+use bf_sim::{Machine, MachineConfig};
+use bf_stats::rng::combine_seeds;
+use bf_timer::{BrowserKind, Nanos, Timer};
+use bf_victim::{Catalog, LoadEnv, NoiseApp, ProfileTuning, WebsiteProfile};
+use serde::{Deserialize, Serialize};
+
+/// Which attacker program collects the traces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AttackKind {
+    /// The paper's loop-counting attack (Fig. 2b).
+    LoopCounting,
+    /// The sweep-counting / cache-occupancy baseline (Fig. 2a, \[64\]/\[65\]).
+    SweepCounting,
+}
+
+impl AttackKind {
+    /// Label used in tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            AttackKind::LoopCounting => "Loop-Counting",
+            AttackKind::SweepCounting => "Sweep-Counting",
+        }
+    }
+}
+
+impl std::fmt::Display for AttackKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Everything needed to collect one dataset of traces.
+#[derive(Debug, Clone)]
+pub struct CollectionConfig {
+    /// Browser environment (timer model + loop speed + trace duration).
+    pub browser: BrowserKind,
+    /// Attacker program.
+    pub attack: AttackKind,
+    /// Machine model (OS, isolation, cores).
+    pub machine: MachineConfig,
+    /// Active countermeasure.
+    pub defense: Countermeasure,
+    /// Attacker period `P` (paper default: 5 ms).
+    pub period: Nanos,
+    /// Background noise applications running alongside (§4.2).
+    pub background: Vec<NoiseApp>,
+    /// Replace the browser's native timer with a quantized timer of this
+    /// resolution (Table 4's "Quantized" row: a Tor-style 100 ms clock in
+    /// an otherwise Chrome-like environment).
+    pub quantize_timer: Option<Nanos>,
+    /// Victim workload tuning (event volumes, run-to-run variation).
+    pub tuning: ProfileTuning,
+    /// Experiment sizing.
+    pub scale: ExperimentScale,
+}
+
+impl CollectionConfig {
+    /// A default-machine configuration for the given browser and attack.
+    pub fn new(browser: BrowserKind, attack: AttackKind) -> Self {
+        CollectionConfig {
+            browser,
+            attack,
+            machine: MachineConfig::default(),
+            defense: Countermeasure::None,
+            period: Nanos::from_millis(5),
+            background: Vec::new(),
+            quantize_timer: None,
+            tuning: ProfileTuning::default(),
+            scale: ExperimentScale::Default,
+        }
+    }
+
+    /// Replace the machine model.
+    #[must_use]
+    pub fn with_machine(mut self, machine: MachineConfig) -> Self {
+        self.machine = machine;
+        self
+    }
+
+    /// Activate a countermeasure.
+    #[must_use]
+    pub fn with_defense(mut self, defense: Countermeasure) -> Self {
+        self.defense = defense;
+        self
+    }
+
+    /// Set the experiment scale.
+    #[must_use]
+    pub fn with_scale(mut self, scale: ExperimentScale) -> Self {
+        self.scale = scale;
+        self
+    }
+
+    /// Add background noise applications.
+    #[must_use]
+    pub fn with_background(mut self, apps: &[NoiseApp]) -> Self {
+        self.background.extend_from_slice(apps);
+        self
+    }
+
+    /// Collect a single trace of `site` for run `run_seed`.
+    pub fn collect_trace(&self, site: &WebsiteProfile, run_seed: u64) -> Trace {
+        let duration = self.browser.trace_duration();
+        let env = if self.browser == BrowserKind::TorBrowser {
+            LoadEnv::tor()
+        } else {
+            LoadEnv::direct()
+        };
+        let mut workload = site.generate_in_env(duration, run_seed, &env);
+        for (i, app) in self.background.iter().enumerate() {
+            workload.merge(&app.generate(duration, combine_seeds(run_seed, 0xA0 + i as u64)));
+        }
+        self.defense.apply_to_workload(&mut workload, combine_seeds(run_seed, 0xDEF));
+        let machine = Machine::new(self.machine.clone());
+        let sim = machine.run(&workload, combine_seeds(run_seed, 0x51));
+        let base_timer: Box<dyn Timer> = match self.quantize_timer {
+            Some(res) => Box::new(bf_timer::QuantizedTimer::new(res)),
+            None => self.browser.timer(combine_seeds(run_seed, 0x71)),
+        };
+        let mut timer = self.defense.wrap_timer(base_timer, run_seed);
+        match self.attack {
+            AttackKind::LoopCounting => {
+                let attacker = LoopCountingAttacker::for_browser(self.browser, self.period);
+                attacker.collect(&sim, &mut timer)
+            }
+            AttackKind::SweepCounting => {
+                let attacker = SweepCountingAttacker::new(self.period, self.machine.cache);
+                attacker.collect(&sim, &mut timer, combine_seeds(run_seed, 0xCC))
+            }
+        }
+    }
+
+    /// The downsampling factor applied before classification: the scale's
+    /// base factor, widened when the browser timer is so coarse that
+    /// several attacker periods share one observable clock edge (Tor's
+    /// 100 ms timer makes 5 ms periods individually meaningless).
+    pub fn effective_downsample(&self) -> usize {
+        let res = self
+            .quantize_timer
+            .unwrap_or_else(|| self.browser.timer_resolution())
+            .as_nanos();
+        let per_edge = (res / self.period.as_nanos().max(1)).max(1) as usize;
+        self.scale.downsample().max(per_edge)
+    }
+
+    /// Trace → standardized classifier feature vector.
+    pub fn featurize(&self, trace: &Trace) -> Vec<f32> {
+        let down = trace.downsampled(self.effective_downsample());
+        let n = down.len() as f64;
+        let mean: f64 = down.iter().sum::<f64>() / n;
+        let var: f64 = down.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n;
+        let sd = var.sqrt();
+        if sd > 0.0 {
+            down.iter().map(|v| ((v - mean) / sd) as f32).collect()
+        } else {
+            vec![0.0; down.len()]
+        }
+    }
+
+    /// Collect the closed-world dataset: `n_sites` sites ×
+    /// `traces_per_site` runs, labels = catalog order.
+    pub fn collect_closed_world(
+        &self,
+        n_sites: usize,
+        traces_per_site: usize,
+        seed: u64,
+    ) -> Dataset {
+        let catalog = Catalog::closed_world_subset_with_tuning(n_sites, self.tuning);
+        let mut dataset = Dataset::new(n_sites);
+        for (label, site) in catalog.sites().iter().enumerate() {
+            for run in 0..traces_per_site {
+                let run_seed = combine_seeds(seed, (label * 100_000 + run) as u64);
+                let trace = self.collect_trace(site, run_seed);
+                dataset.push(self.featurize(&trace), label);
+            }
+        }
+        dataset
+    }
+
+    /// Collect the open-world dataset: the closed world plus
+    /// `open_traces` one-shot non-sensitive sites labeled as one extra
+    /// class (class id `n_sites`).
+    pub fn collect_open_world(
+        &self,
+        n_sites: usize,
+        traces_per_site: usize,
+        open_traces: usize,
+        seed: u64,
+    ) -> Dataset {
+        let closed = self.collect_closed_world(n_sites, traces_per_site, seed);
+        let mut dataset = Dataset::new(n_sites + 1);
+        for (x, &y) in closed.features().iter().zip(closed.labels()) {
+            dataset.push(x.clone(), y);
+        }
+        for i in 0..open_traces {
+            // Open-world sites span a wider intensity manifold than the
+            // curated closed world (the real Alexa tail is far more
+            // heterogeneous than the top 100).
+            let mut tuning = self.tuning;
+            tuning.intensity *= 0.5 + 1.5 * ((i % 17) as f64 / 16.0);
+            let site = Catalog::open_world_site_with_tuning(i as u32, tuning);
+            let run_seed = combine_seeds(seed ^ 0x0BE, i as u64);
+            let trace = self.collect_trace(&site, run_seed);
+            dataset.push(self.featurize(&trace), n_sites);
+        }
+        dataset
+    }
+
+    /// Build the scale-appropriate classifier for a dataset. Falls back
+    /// to the centroid baseline when the traces are too short for the
+    /// CNN's conv/pool stack (coarse attacker periods produce very short
+    /// traces, e.g. Table 4's P = 500 ms rows).
+    pub fn classifier_for(&self, dataset: &Dataset, seed: u64) -> Box<dyn Classifier> {
+        let cnn_feasible = CnnLstmConfig::scaled(
+            dataset.feature_len().max(1),
+            dataset.n_classes(),
+            self.scale.conv_filters(),
+        )
+        .try_lstm_steps()
+        .is_some();
+        if self.scale.use_cnn() && cnn_feasible {
+            let arch = CnnLstmConfig {
+                learning_rate: 0.01,
+                dropout: 0.5,
+                ..CnnLstmConfig::scaled(
+                    dataset.feature_len(),
+                    dataset.n_classes(),
+                    self.scale.conv_filters(),
+                )
+            };
+            let arch = if self.scale == ExperimentScale::Paper {
+                CnnLstmConfig::paper(dataset.feature_len(), dataset.n_classes())
+            } else {
+                arch
+            };
+            Box::new(CnnLstmClassifier::new(
+                arch,
+                TrainConfig { max_epochs: 120, batch_size: 32, patience: 15, min_epochs: 30, seed },
+            ))
+        } else {
+            Box::new(CentroidClassifier::new(dataset.n_classes()))
+        }
+    }
+
+    /// Run the full closed-world evaluation: collect + k-fold CV.
+    pub fn evaluate_closed_world(&self, seed: u64) -> CrossValResult {
+        let dataset = self.collect_closed_world(
+            self.scale.n_sites(),
+            self.scale.traces_per_site(),
+            seed,
+        );
+        self.cross_validate(&dataset, seed)
+    }
+
+    /// k-fold cross-validate an already-collected dataset.
+    pub fn cross_validate(&self, dataset: &Dataset, seed: u64) -> CrossValResult {
+        cross_validate(dataset, self.scale.folds(), seed, || {
+            self.classifier_for(dataset, seed)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn smoke(browser: BrowserKind, attack: AttackKind) -> CollectionConfig {
+        CollectionConfig::new(browser, attack).with_scale(ExperimentScale::Smoke)
+    }
+
+    #[test]
+    fn collect_trace_has_expected_length() {
+        let cfg = smoke(BrowserKind::Chrome, AttackKind::LoopCounting);
+        let site = WebsiteProfile::for_hostname("github.com");
+        let trace = cfg.collect_trace(&site, 1);
+        assert_eq!(trace.len(), 3_000); // 15 s / 5 ms
+    }
+
+    #[test]
+    fn featurize_standardizes_and_downsamples() {
+        let cfg = smoke(BrowserKind::Chrome, AttackKind::LoopCounting);
+        let site = WebsiteProfile::for_hostname("github.com");
+        let f = cfg.featurize(&cfg.collect_trace(&site, 2));
+        assert_eq!(f.len(), 300);
+        let mean: f32 = f.iter().sum::<f32>() / 300.0;
+        assert!(mean.abs() < 1e-4, "mean = {mean}");
+    }
+
+    #[test]
+    fn closed_world_dataset_shape() {
+        let cfg = smoke(BrowserKind::Chrome, AttackKind::LoopCounting);
+        let d = cfg.collect_closed_world(3, 2, 7);
+        assert_eq!(d.len(), 6);
+        assert_eq!(d.n_classes(), 3);
+        assert_eq!(d.labels().iter().filter(|&&l| l == 2).count(), 2);
+    }
+
+    #[test]
+    fn open_world_adds_nonsensitive_class() {
+        let cfg = smoke(BrowserKind::Chrome, AttackKind::LoopCounting);
+        let d = cfg.collect_open_world(3, 2, 4, 7);
+        assert_eq!(d.len(), 10);
+        assert_eq!(d.n_classes(), 4);
+        assert_eq!(d.labels().iter().filter(|&&l| l == 3).count(), 4);
+    }
+
+    #[test]
+    fn collection_is_deterministic() {
+        let cfg = smoke(BrowserKind::Chrome, AttackKind::LoopCounting);
+        let a = cfg.collect_closed_world(2, 2, 3);
+        let b = cfg.collect_closed_world(2, 2, 3);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn sweep_attack_produces_small_counts() {
+        let cfg = smoke(BrowserKind::Chrome, AttackKind::SweepCounting);
+        let site = WebsiteProfile::for_hostname("github.com");
+        let trace = cfg.collect_trace(&site, 4);
+        // ~32 sweeps per period vs ~27 000 loop iterations.
+        assert!(trace.max() < 100.0, "max = {}", trace.max());
+    }
+
+    #[test]
+    fn smoke_end_to_end_classification_beats_chance() {
+        let cfg = smoke(BrowserKind::Chrome, AttackKind::LoopCounting);
+        let result = cfg.evaluate_closed_world(11);
+        // 6 classes: chance = 16.7 %. The centroid classifier on clean
+        // traces should be far above it.
+        assert!(result.mean_accuracy() > 0.5, "acc = {}", result.mean_accuracy());
+    }
+}

@@ -1,0 +1,85 @@
+//! Fig. 3 — example loop-counting traces for three victim websites.
+//!
+//! Paper: 15-second Chrome traces at P = 5 ms, counter values ranging
+//! roughly 21 000–27 000, with site-characteristic activity dips
+//! (nytimes: first seconds; amazon: extra spikes near 5 s and 10 s).
+
+use crate::collect::{AttackKind, CollectionConfig};
+use crate::experiments::EXAMPLE_SITES;
+use crate::report::FigureSeries;
+use crate::scale::ExperimentScale;
+use bf_timer::BrowserKind;
+use bf_victim::WebsiteProfile;
+
+/// The regenerated figure: one trace per example site.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Figure3 {
+    /// Per-site loop-counting traces (raw counter values).
+    pub traces: Vec<FigureSeries>,
+}
+
+impl Figure3 {
+    /// The trace for one site, if present.
+    pub fn site(&self, host: &str) -> Option<&FigureSeries> {
+        self.traces.iter().find(|s| s.name() == host)
+    }
+}
+
+impl std::fmt::Display for Figure3 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "Figure 3: example loop-counting traces (Chrome, P=5ms, 15s)")?;
+        for t in &self.traces {
+            writeln!(f, "{t}")?;
+        }
+        writeln!(
+            f,
+            "paper: counter values ~21k-27k; darker (lower) = more interrupt handling"
+        )
+    }
+}
+
+/// Collect one loop-counting trace per example site.
+pub fn run(scale: ExperimentScale, seed: u64) -> Figure3 {
+    let cfg = CollectionConfig::new(BrowserKind::Chrome, AttackKind::LoopCounting)
+        .with_scale(scale);
+    let traces = EXAMPLE_SITES
+        .iter()
+        .map(|host| {
+            let site = WebsiteProfile::for_hostname(host);
+            let trace = cfg.collect_trace(&site, seed);
+            FigureSeries::new(*host, trace.into_values())
+        })
+        .collect();
+    Figure3 { traces }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn traces_cover_all_example_sites() {
+        let fig = run(ExperimentScale::Smoke, 3);
+        assert_eq!(fig.traces.len(), 3);
+        for host in EXAMPLE_SITES {
+            assert!(fig.site(host).is_some(), "{host}");
+        }
+    }
+
+    #[test]
+    fn counter_values_match_paper_range() {
+        let fig = run(ExperimentScale::Smoke, 4);
+        let t = fig.site("nytimes.com").unwrap();
+        let max = t.values().iter().copied().fold(0.0, f64::max);
+        // §3.3: "about 27 000 loop iterations".
+        assert!((24_000.0..30_000.0).contains(&max), "max = {max}");
+    }
+
+    #[test]
+    fn display_renders_sparklines() {
+        let fig = run(ExperimentScale::Smoke, 5);
+        let s = fig.to_string();
+        assert!(s.contains("nytimes.com"));
+        assert!(s.contains("Figure 3"));
+    }
+}

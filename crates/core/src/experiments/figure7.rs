@@ -1,0 +1,113 @@
+//! Fig. 7 — example outputs of the three secure timers (§6.1).
+//!
+//! The figure shows observed-vs-real staircases for a 100 ms quantized
+//! timer (Tor), a 0.1 ms jittered timer (Chrome), and the paper's
+//! randomized timer; the dashed diagonal is a perfect clock.
+
+use crate::report::FigureSeries;
+use crate::scale::ExperimentScale;
+use bf_timer::{JitteredTimer, Nanos, QuantizedTimer, RandomizedTimer, Timer};
+
+/// One timer's sampled staircase.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimerStaircase {
+    /// Timer model name.
+    pub name: &'static str,
+    /// Sampled real times (ms).
+    pub real_ms: Vec<f64>,
+    /// Observed values at those times (ms).
+    pub observed_ms: Vec<f64>,
+    /// Maximum |observed − real| over the window (ms).
+    pub max_error_ms: f64,
+}
+
+/// The regenerated figure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Figure7 {
+    /// Quantized (Tor), jittered (Chrome), randomized (ours) staircases.
+    pub timers: Vec<TimerStaircase>,
+}
+
+impl Figure7 {
+    /// Staircase by timer name.
+    pub fn timer(&self, name: &str) -> Option<&TimerStaircase> {
+        self.timers.iter().find(|t| t.name == name)
+    }
+}
+
+impl std::fmt::Display for Figure7 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "Figure 7: example outputs of different timers (200ms window)")?;
+        for t in &self.timers {
+            let s = FigureSeries::new(t.name, t.observed_ms.clone());
+            writeln!(f, "{s}  max|err|={:.2}ms", t.max_error_ms)?;
+        }
+        writeln!(
+            f,
+            "paper: quantized/jittered stay near the diagonal; randomized wanders tens of ms"
+        )
+    }
+}
+
+/// Sample all three timers over a 200 ms window.
+pub fn run(_scale: ExperimentScale, seed: u64) -> Figure7 {
+    let window = Nanos::from_millis(200);
+    let samples = 400usize;
+    let step = window / samples as u64;
+    let sample = |mut timer: Box<dyn Timer>| -> TimerStaircase {
+        let name = timer.name();
+        let mut real_ms = Vec::with_capacity(samples);
+        let mut observed_ms = Vec::with_capacity(samples);
+        let mut max_err = 0.0f64;
+        for i in 0..samples {
+            let t = step * i as u64;
+            let obs = timer.observe(t);
+            real_ms.push(t.as_millis_f64());
+            observed_ms.push(obs.as_millis_f64());
+            max_err = max_err.max((obs.as_millis_f64() - t.as_millis_f64()).abs());
+        }
+        TimerStaircase { name, real_ms, observed_ms, max_error_ms: max_err }
+    };
+    Figure7 {
+        timers: vec![
+            sample(Box::new(QuantizedTimer::new(Nanos::from_millis(100)))),
+            sample(Box::new(JitteredTimer::new(Nanos::from_millis_f64(0.1), seed))),
+            sample(Box::new(RandomizedTimer::with_defaults(seed))),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn includes_all_three_timers() {
+        let fig = run(ExperimentScale::Smoke, 4);
+        for name in ["quantized", "jittered", "randomized"] {
+            assert!(fig.timer(name).is_some(), "{name}");
+        }
+    }
+
+    #[test]
+    fn error_envelopes_match_paper() {
+        let fig = run(ExperimentScale::Smoke, 5);
+        // Chrome jitter: |err| < 2Δ = 0.2 ms.
+        assert!(fig.timer("jittered").unwrap().max_error_ms < 0.2);
+        // Tor quantization: |err| < 100 ms.
+        let q = fig.timer("quantized").unwrap().max_error_ms;
+        assert!((50.0..100.0).contains(&q), "q = {q}");
+        // Randomized: error far beyond the jittered envelope.
+        assert!(fig.timer("randomized").unwrap().max_error_ms > 2.0);
+    }
+
+    #[test]
+    fn observed_values_are_monotonic() {
+        let fig = run(ExperimentScale::Smoke, 6);
+        for t in &fig.timers {
+            for w in t.observed_ms.windows(2) {
+                assert!(w[1] >= w[0], "{} not monotonic", t.name);
+            }
+        }
+    }
+}

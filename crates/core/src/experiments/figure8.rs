@@ -1,0 +1,130 @@
+//! Fig. 8 — distribution of the real duration of one "5 ms" attacker
+//! loop under each secure timer (§6.1).
+//!
+//! Paper: with Tor's 100 ms quantized timer the loop actually spans
+//! ~100 ms (the attacker can still measure 100 ms throughput precisely);
+//! with Chrome's jitter the durations spread narrowly around 4.8–5.2 ms;
+//! with the randomized timer they range anywhere from ~0 to 100 ms,
+//! destroying the measurement.
+
+use crate::scale::ExperimentScale;
+use bf_attack::replay::replay_counting_loop;
+use bf_sim::{Machine, MachineConfig};
+use bf_stats::{Histogram, Summary};
+use bf_timer::{BrowserKind, JitteredTimer, Nanos, QuantizedTimer, RandomizedTimer, Timer};
+use bf_victim::WebsiteProfile;
+
+/// One timer's period-duration distribution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PeriodDistribution {
+    /// Timer model name.
+    pub timer: &'static str,
+    /// Real durations of individual attacker loops (ms).
+    pub durations_ms: Vec<f64>,
+    /// Histogram over 0–120 ms.
+    pub histogram: Histogram,
+}
+
+impl PeriodDistribution {
+    /// Summary statistics of the durations.
+    pub fn summary(&self) -> Summary {
+        Summary::of(&self.durations_ms)
+    }
+}
+
+/// The regenerated figure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Figure8 {
+    /// Quantized / jittered / randomized distributions.
+    pub timers: Vec<PeriodDistribution>,
+}
+
+impl Figure8 {
+    /// Distribution by timer name.
+    pub fn timer(&self, name: &str) -> Option<&PeriodDistribution> {
+        self.timers.iter().find(|t| t.timer == name)
+    }
+}
+
+impl std::fmt::Display for Figure8 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "Figure 8: real duration of one 5ms attacker loop, per timer")?;
+        for t in &self.timers {
+            writeln!(f, "{:<12} {}", t.timer, t.summary())?;
+        }
+        writeln!(
+            f,
+            "paper: quantized ~100ms; jittered 4.8-5.2ms; randomized anywhere in 0-100ms"
+        )
+    }
+}
+
+/// Replay the loop attacker over an idle-ish machine under each timer and
+/// record per-period real durations.
+pub fn run(scale: ExperimentScale, seed: u64) -> Figure8 {
+    let duration = match scale {
+        ExperimentScale::Smoke => Nanos::from_secs(5),
+        _ => Nanos::from_secs(30),
+    };
+    let site = WebsiteProfile::for_hostname("nytimes.com");
+    let workload = site.generate(duration, seed);
+    let sim = Machine::new(MachineConfig::default()).run(&workload, seed ^ 0xF188);
+    let period = Nanos::from_millis(5);
+    let cost = BrowserKind::Chrome.loop_iteration_cost();
+
+    let collect = |mut timer: Box<dyn Timer>| -> PeriodDistribution {
+        let name = timer.name();
+        let (_, records) =
+            replay_counting_loop(sim.attacker_timeline(), &mut *timer, period, cost);
+        let durations_ms: Vec<f64> =
+            records.iter().map(|r| r.real_duration().as_millis_f64()).collect();
+        let mut histogram = Histogram::new(0.0, 120.0, 60).expect("valid bins");
+        histogram.record_all(durations_ms.iter().copied());
+        PeriodDistribution { timer: name, durations_ms, histogram }
+    };
+
+    Figure8 {
+        timers: vec![
+            collect(Box::new(QuantizedTimer::new(Nanos::from_millis(100)))),
+            collect(Box::new(JitteredTimer::new(Nanos::from_millis_f64(0.1), seed))),
+            collect(Box::new(RandomizedTimer::with_defaults(seed))),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantized_loops_last_about_100ms() {
+        let fig = run(ExperimentScale::Smoke, 1);
+        let s = fig.timer("quantized").unwrap().summary();
+        assert!((95.0..110.0).contains(&s.median), "median = {}", s.median);
+    }
+
+    #[test]
+    fn jittered_loops_stay_near_5ms() {
+        let fig = run(ExperimentScale::Smoke, 2);
+        let s = fig.timer("jittered").unwrap().summary();
+        assert!((4.5..5.5).contains(&s.median), "median = {}", s.median);
+        assert!(s.max - s.min < 1.0, "spread = {}", s.max - s.min);
+    }
+
+    #[test]
+    fn randomized_loops_spread_widely() {
+        let fig = run(ExperimentScale::Smoke, 3);
+        let s = fig.timer("randomized").unwrap().summary();
+        assert!(s.max > 15.0, "max = {}", s.max);
+        assert!(s.max / s.min.max(0.1) > 5.0, "min {} max {}", s.min, s.max);
+    }
+
+    #[test]
+    fn display_mentions_all_timers() {
+        let fig = run(ExperimentScale::Smoke, 4);
+        let text = fig.to_string();
+        assert!(text.contains("quantized"));
+        assert!(text.contains("jittered"));
+        assert!(text.contains("randomized"));
+    }
+}

@@ -1,0 +1,31 @@
+//! One runner per table/figure of the paper's evaluation.
+//!
+//! | Module      | Reproduces |
+//! |-------------|------------|
+//! | [`figure3`] | Fig. 3 — example loop-counting traces |
+//! | [`figure4`] | Fig. 4 — loop vs sweep trace correlation |
+//! | [`table1`]  | Table 1 — closed/open-world accuracy grid |
+//! | [`table2`]  | Table 2 — noise-injection study (+ §4.2 background noise) |
+//! | [`table3`]  | Table 3 — isolation-mechanism ladder |
+//! | [`leakage`] | §5.2 — eBPF gap attribution (>99 % claim) |
+//! | [`figure5`] | Fig. 5 — interrupt-time share over page loads |
+//! | [`figure6`] | Fig. 6 — per-type interrupt gap distributions |
+//! | [`figure7`] | Fig. 7 — timer staircase examples |
+//! | [`figure8`] | Fig. 8 — attacker-period duration distributions |
+//! | [`table4`]  | Table 4 — timer-defense accuracy |
+
+pub mod figure3;
+pub mod figure4;
+pub mod figure5;
+pub mod figure6;
+pub mod figure7;
+pub mod figure8;
+pub mod leakage;
+pub mod table1;
+pub mod table2;
+pub mod table3;
+pub mod table4;
+
+/// The three example sites of Fig. 3/4/5. `weather.com` is not in the
+/// Appendix-A closed world but is modeled the same way.
+pub const EXAMPLE_SITES: [&str; 3] = ["nytimes.com", "amazon.com", "weather.com"];

@@ -1,0 +1,39 @@
+//! `bf-core` — experiment orchestration for the full reproduction.
+//!
+//! Every table and figure in the paper's evaluation has a runner here
+//! (see `experiments`), built on the pipeline:
+//!
+//! ```text
+//! bf-victim (website workload)
+//!   └─ bf-defense (optional noise injection)
+//!        └─ bf-sim (machine simulation → timelines + kernel log)
+//!             ├─ bf-attack (loop/sweep counting → traces)
+//!             │    └─ bf-ml / bf-nn (CNN+LSTM, k-fold CV → accuracy)
+//!             └─ bf-ebpf (gap attribution, Fig. 5/6)
+//! ```
+//!
+//! Runners accept an [`ExperimentScale`] so the same code serves smoke
+//! tests (seconds), default benchmarking (minutes), and full paper scale
+//! (hours). Results carry the paper's reference numbers alongside the
+//! measured ones and render as aligned text tables.
+//!
+//! # Example
+//!
+//! ```
+//! use bf_core::{CollectionConfig, AttackKind, ExperimentScale};
+//! use bf_timer::BrowserKind;
+//!
+//! let cfg = CollectionConfig::new(BrowserKind::Chrome, AttackKind::LoopCounting)
+//!     .with_scale(ExperimentScale::Smoke);
+//! let dataset = cfg.collect_closed_world(4, 3, 42);
+//! assert_eq!(dataset.len(), 12);
+//! ```
+
+pub mod collect;
+pub mod experiments;
+pub mod report;
+pub mod scale;
+
+pub use collect::{AttackKind, CollectionConfig};
+pub use report::{FigureSeries, ReportTable};
+pub use scale::ExperimentScale;

@@ -1,0 +1,59 @@
+//! CNN training calibration at default scale (run with --ignored).
+use bf_core::{AttackKind, CollectionConfig, ExperimentScale};
+use bf_ml::{Classifier, CnnLstmClassifier, TrainConfig};
+use bf_nn::CnnLstmConfig;
+use bf_timer::BrowserKind;
+use bf_victim::ProfileTuning;
+use bf_ml::CentroidClassifier;
+
+#[test]
+#[ignore]
+fn cal() {
+    cal_with_jitter(1.0);
+}
+
+fn cal_with_jitter(run_jitter: f64) {
+    let mut cfg = CollectionConfig::new(BrowserKind::Chrome, AttackKind::LoopCounting)
+        .with_scale(ExperimentScale::Default);
+    cfg.tuning = ProfileTuning { intensity: 1.0, run_jitter };
+    eprintln!("collecting 20x16 dataset (run_jitter {run_jitter})...");
+    let t0 = std::time::Instant::now();
+    let data = cfg.collect_closed_world(20, 48, 4242);
+    eprintln!("collected in {:.1?}, feature len {}", t0.elapsed(), data.feature_len());
+    let folds = data.stratified_folds(4, 1);
+    let (tr, va, te) = data.split_for_fold(&folds, 0, 1);
+    let train = data.subset(&tr);
+    let val = data.subset(&va);
+    let test = data.subset(&te);
+
+    {
+        let mut cc = CentroidClassifier::new(20);
+        cc.fit(&train, &val);
+        let va = cc.predict(val.features()).iter().zip(val.labels()).filter(|(a, b)| a == b).count() as f64 / val.len() as f64;
+        let ta = cc.predict(test.features()).iter().zip(test.labels()).filter(|(a, b)| a == b).count() as f64 / test.len() as f64;
+        eprintln!("centroid: val {:.1}% test {:.1}%", va * 100.0, ta * 100.0);
+    }
+    for (lr, epochs, filters, dropout, batch, stride, pool) in [
+        (0.01f32, 120usize, 16usize, 0.5f64, 32usize, 3usize, 4usize),
+        (0.01, 120, 32, 0.5, 32, 3, 4),
+    ] {
+        let mut arch = CnnLstmConfig::scaled(data.feature_len(), 20, filters);
+        arch.learning_rate = lr;
+        arch.dropout = dropout;
+        arch.conv_stride = stride;
+        arch.pool_size = pool;
+        eprintln!("lstm steps: {}", arch.lstm_steps());
+        let mut clf = CnnLstmClassifier::new(
+            arch,
+            TrainConfig { max_epochs: epochs, batch_size: batch, patience: 1_000, min_epochs: 0, seed: 5 },
+        );
+        let t0 = std::time::Instant::now();
+        clf.fit(&train, &val);
+        let val_acc = clf.evaluate(&val);
+        let test_acc = clf.evaluate(&test);
+        eprintln!(
+            "lr={lr} e={epochs} f={filters} d={dropout} b={batch} s={stride} p={pool}: val {:.1}% test {:.1}% in {:.1?}",
+            val_acc * 100.0, test_acc * 100.0, t0.elapsed()
+        );
+    }
+}

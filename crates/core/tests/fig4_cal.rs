@@ -1,0 +1,11 @@
+use bf_core::experiments::figure4;
+use bf_core::ExperimentScale;
+
+#[test]
+#[ignore]
+fn cal() {
+    let fig = figure4::run(ExperimentScale::Default, 1);
+    for s in &fig.sites {
+        println!("{}: r = {:.3} (paper {:.2})", s.site, s.r, s.paper_r);
+    }
+}

@@ -1,0 +1,23 @@
+use bf_core::{AttackKind, CollectionConfig, ExperimentScale};
+use bf_defense::Countermeasure;
+use bf_ml::{cross_validate, CentroidClassifier};
+use bf_timer::BrowserKind;
+
+fn acc(defense: Countermeasure, rate_label: &str) {
+    let cfg = CollectionConfig::new(BrowserKind::Chrome, AttackKind::LoopCounting)
+        .with_defense(defense)
+        .with_scale(ExperimentScale::Smoke);
+    let d = cfg.collect_closed_world(12, 10, 777);
+    let r = cross_validate(&d, 3, 1, || Box::new(CentroidClassifier::new(12)));
+    println!("{rate_label}: {:.1}%", r.mean_accuracy() * 100.0);
+}
+
+#[test]
+#[ignore]
+fn cal() {
+    acc(Countermeasure::None, "clean");
+    acc(Countermeasure::cache_sweep_default(), "cache-sweep");
+    for rate in [2_000.0, 6_000.0, 12_000.0] {
+        acc(Countermeasure::SpuriousInterrupts { rate }, &format!("spurious {rate}"));
+    }
+}

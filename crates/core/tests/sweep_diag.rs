@@ -1,0 +1,36 @@
+use bf_core::{AttackKind, CollectionConfig, ExperimentScale};
+use bf_ml::{cross_validate, CentroidClassifier};
+use bf_sim::{MachineConfig, OsKind};
+use bf_timer::{BrowserKind, Nanos};
+
+fn acc2(label: &str, attack: AttackKind, browser: BrowserKind, os: OsKind, quantize: Option<Nanos>) {
+    acc3(label, attack, browser, os, quantize, None)
+}
+
+fn acc3(label: &str, attack: AttackKind, browser: BrowserKind, os: OsKind, quantize: Option<Nanos>, visibility: Option<f64>) {
+    let mut machine = MachineConfig::for_os(os);
+    if let Some(v) = visibility {
+        machine.cache.victim_visibility = v;
+    }
+    let mut cfg = CollectionConfig::new(browser, attack)
+        .with_machine(machine)
+        .with_scale(ExperimentScale::Default);
+    cfg.quantize_timer = quantize;
+    let d = cfg.collect_closed_world(12, 12, 31);
+    let r = cross_validate(&d, 3, 1, || Box::new(CentroidClassifier::new(12)));
+    eprintln!("{label}: {:.1}%", r.mean_accuracy() * 100.0);
+}
+
+#[test]
+#[ignore]
+fn diag() {
+    use AttackKind::*;
+    acc2("loop  chrome linux", LoopCounting, BrowserKind::Chrome, OsKind::Linux, None);
+    acc2("sweep chrome linux", SweepCounting, BrowserKind::Chrome, OsKind::Linux, None);
+    acc2("loop  firefox linux", LoopCounting, BrowserKind::Firefox, OsKind::Linux, None);
+    acc2("sweep firefox linux", SweepCounting, BrowserKind::Firefox, OsKind::Linux, None);
+    acc2("loop  safari macos", LoopCounting, BrowserKind::Safari, OsKind::MacOs, None);
+    acc2("sweep safari macos", SweepCounting, BrowserKind::Safari, OsKind::MacOs, None);
+    acc3("sweep chrome vis=0", SweepCounting, BrowserKind::Chrome, OsKind::Linux, None, Some(0.0));
+    acc3("sweep firefox vis=0", SweepCounting, BrowserKind::Firefox, OsKind::Linux, None, Some(0.0));
+}

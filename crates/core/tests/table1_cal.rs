@@ -1,0 +1,24 @@
+//! Fast Table-1-shape calibration (run with --ignored).
+use bf_core::experiments::table1::{run_cell, PAPER_ROWS};
+use bf_core::ExperimentScale;
+
+#[test]
+#[ignore]
+fn cal() {
+    // Chrome/Linux, Firefox/Linux, Safari, Tor — the shape-critical cells.
+    for idx in [0usize, 3, 6, 7] {
+        let row = PAPER_ROWS[idx];
+        let t0 = std::time::Instant::now();
+        let cell = run_cell(row, ExperimentScale::Default, 42);
+        eprintln!(
+            "{:?}/{:?}: loop {:.1}% (paper {:.1}) sweep {:.1}% (paper {:?}) ow {:.1}/{:.1}/{:.1} in {:.0?}",
+            row.browser, row.os,
+            cell.closed_loop.mean_accuracy() * 100.0, row.closed_loop,
+            cell.closed_sweep.mean_accuracy() * 100.0, row.closed_cache,
+            cell.open_world.sensitive_accuracy * 100.0,
+            cell.open_world.non_sensitive_accuracy * 100.0,
+            cell.open_world.combined_accuracy * 100.0,
+            t0.elapsed(),
+        );
+    }
+}

@@ -1,0 +1,122 @@
+//! Probe coverage: which interrupt kinds the instrumentation can hook.
+
+use bf_sim::{InterruptKind, SoftirqKind};
+
+/// All kinds the tool knows how to probe.
+pub const ALL_KINDS: [InterruptKind; 12] = [
+    InterruptKind::NetworkRx,
+    InterruptKind::Disk,
+    InterruptKind::Graphics,
+    InterruptKind::Usb,
+    InterruptKind::TimerTick,
+    InterruptKind::RescheduleIpi,
+    InterruptKind::TlbShootdown,
+    InterruptKind::Softirq(SoftirqKind::NetRx),
+    InterruptKind::Softirq(SoftirqKind::Timer),
+    InterruptKind::Softirq(SoftirqKind::Tasklet),
+    InterruptKind::Softirq(SoftirqKind::Rcu),
+    InterruptKind::IrqWork,
+];
+
+/// The set of interrupt kinds with probes attached.
+///
+/// The paper: "One limitation we face is that Linux restricts which kernel
+/// functions can be traced... we are unable to monitor all entry points
+/// into the operating system." [`ProbeSet::without`] models that
+/// restriction; kinds without probes produce no kernel records and their
+/// gaps show up as unattributed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProbeSet {
+    enabled: Vec<InterruptKind>,
+}
+
+impl ProbeSet {
+    /// Probes on every interrupt kind (a ≥5.11 kernel).
+    pub fn all() -> Self {
+        ProbeSet { enabled: ALL_KINDS.to_vec() }
+    }
+
+    /// An empty probe set (attach with [`ProbeSet::with`]).
+    pub fn none() -> Self {
+        ProbeSet { enabled: Vec::new() }
+    }
+
+    /// Add a probe for `kind`.
+    #[must_use]
+    pub fn with(mut self, kind: InterruptKind) -> Self {
+        if !self.enabled.contains(&kind) {
+            self.enabled.push(kind);
+        }
+        self
+    }
+
+    /// Remove the probe for `kind` (modeling an untraceable kernel
+    /// function).
+    #[must_use]
+    pub fn without(mut self, kind: InterruptKind) -> Self {
+        self.enabled.retain(|k| *k != kind);
+        self
+    }
+
+    /// Whether `kind` is probed.
+    pub fn covers(&self, kind: InterruptKind) -> bool {
+        self.enabled.contains(&kind)
+    }
+
+    /// The probed kinds.
+    pub fn kinds(&self) -> &[InterruptKind] {
+        &self.enabled
+    }
+
+    /// Number of probed kinds.
+    pub fn len(&self) -> usize {
+        self.enabled.len()
+    }
+
+    /// True when no probes are attached.
+    pub fn is_empty(&self) -> bool {
+        self.enabled.is_empty()
+    }
+}
+
+impl Default for ProbeSet {
+    fn default() -> Self {
+        ProbeSet::all()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_covers_everything() {
+        let p = ProbeSet::all();
+        for k in ALL_KINDS {
+            assert!(p.covers(k), "{k}");
+        }
+        assert_eq!(p.len(), 12);
+    }
+
+    #[test]
+    fn without_removes_coverage() {
+        let p = ProbeSet::all().without(InterruptKind::TimerTick);
+        assert!(!p.covers(InterruptKind::TimerTick));
+        assert!(p.covers(InterruptKind::NetworkRx));
+        assert_eq!(p.len(), 11);
+    }
+
+    #[test]
+    fn with_is_idempotent() {
+        let p = ProbeSet::none()
+            .with(InterruptKind::TimerTick)
+            .with(InterruptKind::TimerTick);
+        assert_eq!(p.len(), 1);
+    }
+
+    #[test]
+    fn none_is_empty() {
+        assert!(ProbeSet::none().is_empty());
+        assert!(!ProbeSet::all().is_empty());
+    }
+}

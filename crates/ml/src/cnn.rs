@@ -1,0 +1,238 @@
+//! The paper's CNN+LSTM classifier with its training protocol.
+
+use crate::{Classifier, Dataset};
+use bf_nn::{CnnLstm, CnnLstmConfig, Tensor};
+use bf_stats::SeedRng;
+use serde::{Deserialize, Serialize};
+
+/// Training-loop hyperparameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrainConfig {
+    /// Maximum epochs (early stopping usually ends sooner).
+    pub max_epochs: usize,
+    /// Minibatch size.
+    pub batch_size: usize,
+    /// Early-stopping patience: stop after this many epochs without a new
+    /// best validation accuracy ("stop training when the validation
+    /// accuracy starts decreasing", §4.1).
+    pub patience: usize,
+    /// No early stopping before this epoch. The sigmoid-activation LSTM
+    /// has a long warm-up plateau; stopping inside it would freeze the
+    /// network at its untrained constant prediction.
+    pub min_epochs: usize,
+    /// Seed for weight init, batch shuffling, and dropout.
+    pub seed: u64,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        TrainConfig { max_epochs: 60, batch_size: 32, patience: 8, min_epochs: 15, seed: 0 }
+    }
+}
+
+/// The paper's classifier: [`bf_nn::CnnLstm`] plus standardization,
+/// minibatch Adam training, and validation-based early stopping.
+#[derive(Debug)]
+pub struct CnnLstmClassifier {
+    arch: CnnLstmConfig,
+    train_cfg: TrainConfig,
+    net: Option<CnnLstm>,
+}
+
+impl CnnLstmClassifier {
+    /// A classifier with explicit architecture and training config.
+    pub fn new(arch: CnnLstmConfig, train_cfg: TrainConfig) -> Self {
+        CnnLstmClassifier { arch, train_cfg, net: None }
+    }
+
+    /// The architecture configuration.
+    pub fn arch(&self) -> &CnnLstmConfig {
+        &self.arch
+    }
+
+    /// Accuracy on a dataset (helper for training and tests).
+    pub fn evaluate(&mut self, data: &Dataset) -> f64 {
+        if data.is_empty() {
+            return 0.0;
+        }
+        let preds = self.predict(data.features());
+        crate::metrics::accuracy(&preds, data.labels())
+    }
+
+    fn batch_tensor(features: &[Vec<f32>], indices: &[usize], len: usize) -> Tensor {
+        let mut data = Vec::with_capacity(indices.len() * len);
+        for &i in indices {
+            data.extend_from_slice(&features[i]);
+        }
+        Tensor::new(&[indices.len(), 1, len], data)
+    }
+}
+
+impl Classifier for CnnLstmClassifier {
+    fn fit(&mut self, train: &Dataset, val: &Dataset) {
+        assert!(!train.is_empty(), "cannot fit on an empty dataset");
+        assert_eq!(
+            train.feature_len(),
+            self.arch.input_len,
+            "dataset trace length must match architecture input_len"
+        );
+        let mut net = CnnLstm::new(self.arch, self.train_cfg.seed);
+        let mut rng = SeedRng::new(self.train_cfg.seed ^ 0x7A1);
+        let n = train.len();
+        let mut order: Vec<usize> = (0..n).collect();
+        let mut best_acc = -1.0f64;
+        let mut best_params: Option<Vec<Vec<f32>>> = None;
+        let mut since_best = 0usize;
+        for _epoch in 0..self.train_cfg.max_epochs {
+            rng.shuffle(&mut order);
+            for chunk in order.chunks(self.train_cfg.batch_size.max(1)) {
+                let x = Self::batch_tensor(train.features(), chunk, self.arch.input_len);
+                let labels: Vec<usize> = chunk.iter().map(|&i| train.labels()[i]).collect();
+                net.train_batch(&x, &labels);
+            }
+            // Early stopping on validation accuracy (when provided).
+            if val.is_empty() {
+                continue;
+            }
+            self.net = Some(net);
+            let acc = self.evaluate(val);
+            net = self.net.take().expect("net stored above");
+            if acc > best_acc {
+                best_acc = acc;
+                best_params = Some(net.save_params());
+                since_best = 0;
+            } else {
+                since_best += 1;
+                if _epoch + 1 >= self.train_cfg.min_epochs
+                    && since_best >= self.train_cfg.patience
+                {
+                    break;
+                }
+            }
+        }
+        if let Some(params) = best_params {
+            net.restore_params(&params);
+        }
+        self.net = Some(net);
+    }
+
+    fn predict_proba(&mut self, traces: &[Vec<f32>]) -> Vec<Vec<f32>> {
+        let net = self.net.as_mut().expect("classifier not fitted");
+        let len = self.arch.input_len;
+        let k = self.arch.n_classes;
+        let mut out = Vec::with_capacity(traces.len());
+        // Bounded batches keep activation memory flat.
+        for chunk in traces.chunks(64) {
+            let mut data = Vec::with_capacity(chunk.len() * len);
+            for t in chunk {
+                assert_eq!(t.len(), len, "trace length mismatch");
+                data.extend_from_slice(t);
+            }
+            let x = Tensor::new(&[chunk.len(), 1, len], data);
+            let p = net.predict_proba(&x);
+            for i in 0..chunk.len() {
+                out.push(p.data()[i * k..(i + 1) * k].to_vec());
+            }
+        }
+        out
+    }
+
+    fn n_classes(&self) -> usize {
+        self.arch.n_classes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Synthetic dataset: class = position of a dip in a standardized
+    /// trace.
+    fn toy_dataset(per_class: usize, seed: u64) -> Dataset {
+        let mut rng = SeedRng::new(seed);
+        let mut d = Dataset::new(3);
+        for c in 0..3usize {
+            for _ in 0..per_class {
+                let mut t = vec![0.0f32; 300];
+                for v in t.iter_mut() {
+                    *v = 0.15 * rng.standard_normal() as f32;
+                }
+                let dip = 40 + c * 80;
+                for v in &mut t[dip..dip + 30] {
+                    *v -= 3.0;
+                }
+                d.push(t, c);
+            }
+        }
+        d
+    }
+
+    fn fast_arch() -> CnnLstmConfig {
+        let mut a = CnnLstmConfig::scaled(300, 3, 8);
+        a.dropout = 0.2;
+        a.learning_rate = 0.01;
+        a
+    }
+
+    #[test]
+    fn learns_separable_toy_data() {
+        let train = toy_dataset(8, 1);
+        let val = toy_dataset(2, 2);
+        let test = toy_dataset(4, 3);
+        let mut clf = CnnLstmClassifier::new(
+            fast_arch(),
+            TrainConfig { max_epochs: 40, batch_size: 8, patience: 6, min_epochs: 10, seed: 5 },
+        );
+        clf.fit(&train, &val);
+        let acc = clf.evaluate(&test);
+        assert!(acc >= 0.8, "accuracy = {acc}");
+    }
+
+    #[test]
+    fn early_stopping_restores_best() {
+        let train = toy_dataset(6, 4);
+        let val = toy_dataset(2, 5);
+        let mut clf = CnnLstmClassifier::new(
+            fast_arch(),
+            TrainConfig { max_epochs: 30, batch_size: 8, patience: 2, min_epochs: 5, seed: 6 },
+        );
+        clf.fit(&train, &val);
+        // Whatever was restored must predict at least as well on val as a
+        // freshly trained single epoch would by chance.
+        let acc = clf.evaluate(&val);
+        assert!(acc > 0.34, "val accuracy = {acc}");
+    }
+
+    #[test]
+    fn predict_proba_shape_and_normalization() {
+        let train = toy_dataset(4, 7);
+        let mut clf = CnnLstmClassifier::new(
+            fast_arch(),
+            TrainConfig { max_epochs: 2, batch_size: 8, patience: 2, min_epochs: 0, seed: 8 },
+        );
+        clf.fit(&train, &Dataset::new(3));
+        let p = clf.predict_proba(&train.features()[..5]);
+        assert_eq!(p.len(), 5);
+        for row in &p {
+            assert_eq!(row.len(), 3);
+            let s: f32 = row.iter().sum();
+            assert!((s - 1.0).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not fitted")]
+    fn predict_before_fit_panics() {
+        let mut clf = CnnLstmClassifier::new(fast_arch(), TrainConfig::default());
+        clf.predict_proba(&[vec![0.0; 300]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "must match architecture")]
+    fn wrong_trace_length_rejected() {
+        let mut d = Dataset::new(3);
+        d.push(vec![0.0; 100], 0);
+        let mut clf = CnnLstmClassifier::new(fast_arch(), TrainConfig::default());
+        clf.fit(&d, &Dataset::new(3));
+    }
+}

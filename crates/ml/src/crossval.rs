@@ -1,0 +1,323 @@
+//! The paper's k-fold cross-validation protocol (§4.1), with folds
+//! evaluated on parallel threads.
+
+use crate::metrics::{accuracy, top_k_accuracy};
+use crate::{Classifier, Dataset};
+use serde::{Deserialize, Serialize};
+
+/// One fold's held-out test metrics.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FoldResult {
+    /// Top-1 accuracy on the held-out fold.
+    pub accuracy: f64,
+    /// Top-5 accuracy on the held-out fold.
+    pub top5: f64,
+}
+
+/// Aggregated cross-validation metrics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CrossValResult {
+    /// Per-fold results, in fold order.
+    pub folds: Vec<FoldResult>,
+}
+
+impl CrossValResult {
+    /// Mean top-1 accuracy across folds.
+    pub fn mean_accuracy(&self) -> f64 {
+        self.folds.iter().map(|f| f.accuracy).sum::<f64>() / self.folds.len() as f64
+    }
+
+    /// Sample standard deviation of fold accuracies (0 for one fold).
+    pub fn std_accuracy(&self) -> f64 {
+        if self.folds.len() < 2 {
+            return 0.0;
+        }
+        let m = self.mean_accuracy();
+        let ss: f64 = self.folds.iter().map(|f| (f.accuracy - m).powi(2)).sum();
+        (ss / (self.folds.len() - 1) as f64).sqrt()
+    }
+
+    /// Mean top-5 accuracy across folds.
+    pub fn mean_top5(&self) -> f64 {
+        self.folds.iter().map(|f| f.top5).sum::<f64>() / self.folds.len() as f64
+    }
+
+    /// Per-fold accuracies as percentages (for t-tests against a
+    /// competing attack, §4.2).
+    pub fn accuracies_pct(&self) -> Vec<f64> {
+        self.folds.iter().map(|f| f.accuracy * 100.0).collect()
+    }
+}
+
+/// Run stratified k-fold cross-validation: for each fold, hold it out as
+/// the test set, split the remainder 90/10 into train/validation, train a
+/// fresh classifier from `builder`, and measure held-out top-1/top-5
+/// accuracy. Folds run on parallel threads.
+///
+/// # Panics
+///
+/// Panics when `k < 2` or the dataset is too small to stratify.
+pub fn cross_validate<F>(dataset: &Dataset, k: usize, seed: u64, builder: F) -> CrossValResult
+where
+    F: Fn() -> Box<dyn Classifier> + Sync,
+{
+    let folds = dataset.stratified_folds(k, seed);
+    let results: Vec<FoldResult> = crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = (0..k)
+            .map(|fold| {
+                let folds = &folds;
+                let builder = &builder;
+                scope.spawn(move |_| {
+                    let (train_idx, val_idx, test_idx) =
+                        dataset.split_for_fold(folds, fold, seed);
+                    let train = dataset.subset(&train_idx);
+                    let val = dataset.subset(&val_idx);
+                    let test = dataset.subset(&test_idx);
+                    let mut clf = builder();
+                    clf.fit(&train, &val);
+                    let probas = clf.predict_proba(test.features());
+                    let preds: Vec<usize> = probas
+                        .iter()
+                        .map(|row| {
+                            row.iter()
+                                .enumerate()
+                                .max_by(|a, b| {
+                                    a.1.partial_cmp(b.1).expect("NaN probability")
+                                })
+                                .map(|(i, _)| i)
+                                .expect("non-empty row")
+                        })
+                        .collect();
+                    FoldResult {
+                        accuracy: accuracy(&preds, test.labels()),
+                        top5: top_k_accuracy(&probas, test.labels(), 5),
+                    }
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("fold thread panicked")).collect()
+    })
+    .expect("cross-validation scope panicked");
+    CrossValResult { folds: results }
+}
+
+/// Out-of-fold predictions: every sample's class probabilities, produced
+/// by the fold model that held it out. Enables open-world and top-k
+/// metrics over the full dataset (Table 1's open-world columns).
+#[derive(Debug, Clone, PartialEq)]
+pub struct OofPredictions {
+    /// Per-sample probabilities, in dataset order.
+    pub probas: Vec<Vec<f32>>,
+    /// Fold index that held each sample out.
+    pub fold_of: Vec<usize>,
+}
+
+impl OofPredictions {
+    /// Argmax predictions, in dataset order.
+    pub fn predictions(&self) -> Vec<usize> {
+        self.probas
+            .iter()
+            .map(|row| {
+                row.iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.partial_cmp(b.1).expect("NaN probability"))
+                    .map(|(i, _)| i)
+                    .expect("non-empty row")
+            })
+            .collect()
+    }
+
+    /// Confusion matrix of the out-of-fold predictions.
+    pub fn confusion(&self, labels: &[usize], n_classes: usize) -> crate::ConfusionMatrix {
+        crate::ConfusionMatrix::from_predictions(&self.predictions(), labels, n_classes)
+    }
+
+    /// Per-fold [`FoldResult`]s against the given labels.
+    pub fn fold_results(&self, labels: &[usize], k_folds: usize) -> CrossValResult {
+        let folds = (0..k_folds)
+            .map(|f| {
+                let idx: Vec<usize> =
+                    (0..labels.len()).filter(|&i| self.fold_of[i] == f).collect();
+                let probas: Vec<Vec<f32>> =
+                    idx.iter().map(|&i| self.probas[i].clone()).collect();
+                let labs: Vec<usize> = idx.iter().map(|&i| labels[i]).collect();
+                let preds: Vec<usize> = probas
+                    .iter()
+                    .map(|row| {
+                        row.iter()
+                            .enumerate()
+                            .max_by(|a, b| a.1.partial_cmp(b.1).expect("NaN probability"))
+                            .map(|(i, _)| i)
+                            .expect("non-empty row")
+                    })
+                    .collect();
+                FoldResult {
+                    accuracy: accuracy(&preds, &labs),
+                    top5: top_k_accuracy(&probas, &labs, 5),
+                }
+            })
+            .collect();
+        CrossValResult { folds }
+    }
+}
+
+/// Like [`cross_validate`], but returns every sample's out-of-fold
+/// probability vector instead of only per-fold accuracies.
+///
+/// # Panics
+///
+/// Panics when `k < 2`.
+pub fn cross_validate_oof<F>(
+    dataset: &Dataset,
+    k: usize,
+    seed: u64,
+    builder: F,
+) -> OofPredictions
+where
+    F: Fn() -> Box<dyn Classifier> + Sync,
+{
+    let folds = dataset.stratified_folds(k, seed);
+    let per_fold: Vec<(Vec<usize>, Vec<Vec<f32>>)> = crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = (0..k)
+            .map(|fold| {
+                let folds = &folds;
+                let builder = &builder;
+                scope.spawn(move |_| {
+                    let (train_idx, val_idx, test_idx) =
+                        dataset.split_for_fold(folds, fold, seed);
+                    let train = dataset.subset(&train_idx);
+                    let val = dataset.subset(&val_idx);
+                    let test = dataset.subset(&test_idx);
+                    let mut clf = builder();
+                    clf.fit(&train, &val);
+                    (test_idx, clf.predict_proba(test.features()))
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("fold thread panicked")).collect()
+    })
+    .expect("cross-validation scope panicked");
+    let n = dataset.len();
+    let mut probas = vec![Vec::new(); n];
+    let mut fold_of = vec![0usize; n];
+    for (fold, (idx, p)) in per_fold.into_iter().enumerate() {
+        for (i, row) in idx.into_iter().zip(p) {
+            probas[i] = row;
+            fold_of[i] = fold;
+        }
+    }
+    OofPredictions { probas, fold_of }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CentroidClassifier;
+    use bf_stats::SeedRng;
+
+    fn separable_dataset(per_class: usize, classes: usize, noise: f32, seed: u64) -> Dataset {
+        let mut rng = SeedRng::new(seed);
+        let mut d = Dataset::new(classes);
+        for c in 0..classes {
+            for _ in 0..per_class {
+                let t: Vec<f32> = (0..20)
+                    .map(|i| {
+                        let base = if i == c * 2 { 5.0 } else { 0.0 };
+                        base + noise * rng.standard_normal() as f32
+                    })
+                    .collect();
+                d.push(t, c);
+            }
+        }
+        d
+    }
+
+    #[test]
+    fn separable_data_scores_high() {
+        let d = separable_dataset(20, 5, 0.3, 1);
+        let r = cross_validate(&d, 5, 7, || Box::new(CentroidClassifier::new(5)));
+        assert_eq!(r.folds.len(), 5);
+        assert!(r.mean_accuracy() > 0.95, "acc = {}", r.mean_accuracy());
+        assert!(r.mean_top5() >= r.mean_accuracy());
+    }
+
+    #[test]
+    fn noisy_data_scores_lower() {
+        let clean = separable_dataset(20, 5, 0.3, 2);
+        let noisy = separable_dataset(20, 5, 6.0, 2);
+        let rc = cross_validate(&clean, 4, 3, || Box::new(CentroidClassifier::new(5)));
+        let rn = cross_validate(&noisy, 4, 3, || Box::new(CentroidClassifier::new(5)));
+        assert!(rn.mean_accuracy() < rc.mean_accuracy());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let d = separable_dataset(10, 4, 1.0, 4);
+        let a = cross_validate(&d, 3, 11, || Box::new(CentroidClassifier::new(4)));
+        let b = cross_validate(&d, 3, 11, || Box::new(CentroidClassifier::new(4)));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn std_zero_for_identical_folds() {
+        let r = CrossValResult {
+            folds: vec![FoldResult { accuracy: 0.9, top5: 1.0 }; 4],
+        };
+        assert_eq!(r.std_accuracy(), 0.0);
+        assert_eq!(r.mean_accuracy(), 0.9);
+    }
+
+    #[test]
+    fn oof_covers_every_sample() {
+        let d = separable_dataset(10, 4, 0.5, 6);
+        let oof = cross_validate_oof(&d, 4, 13, || Box::new(CentroidClassifier::new(4)));
+        assert_eq!(oof.probas.len(), d.len());
+        assert!(oof.probas.iter().all(|p| p.len() == 4));
+        // Every fold id used.
+        let mut folds: Vec<usize> = oof.fold_of.clone();
+        folds.sort_unstable();
+        folds.dedup();
+        assert_eq!(folds, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn oof_fold_results_match_direct_cv() {
+        let d = separable_dataset(12, 3, 0.5, 8);
+        let oof = cross_validate_oof(&d, 3, 21, || Box::new(CentroidClassifier::new(3)));
+        let via_oof = oof.fold_results(d.labels(), 3);
+        let direct = cross_validate(&d, 3, 21, || Box::new(CentroidClassifier::new(3)));
+        assert!((via_oof.mean_accuracy() - direct.mean_accuracy()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn oof_confusion_diagonal_dominates_on_separable_data() {
+        let d = separable_dataset(10, 3, 0.3, 14);
+        let oof = cross_validate_oof(&d, 2, 3, || Box::new(CentroidClassifier::new(3)));
+        let cm = oof.confusion(d.labels(), 3);
+        assert!(cm.accuracy() > 0.9, "accuracy = {}", cm.accuracy());
+        for c in 0..3 {
+            assert!(cm.recall(c).unwrap() > 0.8);
+        }
+    }
+
+    #[test]
+    fn oof_predictions_are_argmax() {
+        let d = separable_dataset(8, 3, 0.3, 9);
+        let oof = cross_validate_oof(&d, 2, 5, || Box::new(CentroidClassifier::new(3)));
+        let preds = oof.predictions();
+        let acc = accuracy(&preds, d.labels());
+        assert!(acc > 0.9, "acc = {acc}");
+    }
+
+    #[test]
+    fn accuracies_pct_scaling() {
+        let r = CrossValResult {
+            folds: vec![
+                FoldResult { accuracy: 0.5, top5: 0.9 },
+                FoldResult { accuracy: 0.7, top5: 1.0 },
+            ],
+        };
+        assert_eq!(r.accuracies_pct(), vec![50.0, 70.0]);
+        assert!((r.mean_top5() - 0.95).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,75 @@
+//! `bf-ml` — the classification pipeline of §4.1.
+//!
+//! The paper's attack is two-phase: offline, the attacker collects labeled
+//! traces and trains a classifier; online, the trained classifier predicts
+//! which website produced a fresh trace. This crate provides:
+//!
+//! * [`Dataset`] — labeled trace collections with per-trace
+//!   standardization and stratified splitting;
+//! * [`Classifier`] — the common interface over the paper's
+//!   [`CnnLstmClassifier`] and the fast [`CentroidClassifier`] baseline
+//!   used for smoke-scale runs;
+//! * [`metrics`] — top-1/top-k accuracy, confusion matrices, and the
+//!   open-world sensitive/non-sensitive/combined report of Table 1;
+//! * [`crossval`] — the paper's 10-fold cross-validation protocol
+//!   (per fold: one held-out test fold, with the remainder split 90/10
+//!   into train/validation and early stopping on validation accuracy),
+//!   with folds evaluated on parallel threads.
+//!
+//! # Example
+//!
+//! ```
+//! use bf_ml::{CentroidClassifier, Classifier, Dataset};
+//!
+//! // Two classes with an obvious mean difference.
+//! let mut d = Dataset::new(2);
+//! for i in 0..20 {
+//!     let v = if i % 2 == 0 { 1.0 } else { -1.0 };
+//!     d.push(vec![v; 8], (i % 2) as usize);
+//! }
+//! let mut c = CentroidClassifier::new(2);
+//! c.fit(&d, &Dataset::new(2));
+//! let p = c.predict_proba(&[vec![0.9; 8]]);
+//! assert!(p[0][0] > p[0][1]);
+//! ```
+
+pub mod centroid;
+pub mod cnn;
+pub mod crossval;
+pub mod dataset;
+pub mod metrics;
+pub mod openworld;
+
+pub use centroid::CentroidClassifier;
+pub use cnn::{CnnLstmClassifier, TrainConfig};
+pub use crossval::{cross_validate, cross_validate_oof, CrossValResult, FoldResult, OofPredictions};
+pub use dataset::Dataset;
+pub use metrics::{accuracy, top_k_accuracy, ConfusionMatrix, OpenWorldReport};
+pub use openworld::{OperatingPoint, ThresholdCurve};
+
+/// A trainable trace classifier.
+pub trait Classifier: Send {
+    /// Train on `train`, using `val` for early stopping (may be empty for
+    /// models that do not need validation).
+    fn fit(&mut self, train: &Dataset, val: &Dataset);
+
+    /// Per-class probabilities for each input trace.
+    fn predict_proba(&mut self, traces: &[Vec<f32>]) -> Vec<Vec<f32>>;
+
+    /// Argmax class predictions.
+    fn predict(&mut self, traces: &[Vec<f32>]) -> Vec<usize> {
+        self.predict_proba(traces)
+            .into_iter()
+            .map(|row| {
+                row.iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.partial_cmp(b.1).expect("NaN probability"))
+                    .map(|(i, _)| i)
+                    .expect("non-empty probability row")
+            })
+            .collect()
+    }
+
+    /// Number of classes this model distinguishes.
+    fn n_classes(&self) -> usize;
+}

@@ -1,0 +1,235 @@
+//! 1-D convolution.
+
+use crate::param::Param;
+use crate::tensor::Tensor;
+use crate::Layer;
+use bf_stats::SeedRng;
+
+/// Strided valid 1-D convolution mapping `(N, C_in, L)` to
+/// `(N, C_out, L_out)` with `L_out = (L - kernel) / stride + 1`.
+#[derive(Debug, Clone)]
+pub struct Conv1d {
+    in_channels: usize,
+    out_channels: usize,
+    kernel: usize,
+    stride: usize,
+    /// Weights laid out `(C_out, C_in, K)` row-major.
+    weight: Param,
+    bias: Param,
+    cached_input: Option<Tensor>,
+}
+
+impl Conv1d {
+    /// A Glorot-initialized convolution.
+    ///
+    /// # Panics
+    ///
+    /// Panics when kernel or stride is zero.
+    pub fn new(
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+        stride: usize,
+        rng: &mut SeedRng,
+    ) -> Self {
+        assert!(kernel > 0 && stride > 0, "kernel and stride must be positive");
+        let fan_in = in_channels * kernel;
+        Conv1d {
+            in_channels,
+            out_channels,
+            kernel,
+            stride,
+            weight: Param::glorot(out_channels * fan_in, fan_in, out_channels, rng),
+            bias: Param::zeros(out_channels),
+            cached_input: None,
+        }
+    }
+
+    /// Output length for an input of length `l`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `l < kernel` (no valid window).
+    pub fn out_len(&self, l: usize) -> usize {
+        assert!(l >= self.kernel, "input length {l} shorter than kernel {}", self.kernel);
+        (l - self.kernel) / self.stride + 1
+    }
+
+    #[inline]
+    fn w(&self, co: usize, ci: usize, k: usize) -> usize {
+        (co * self.in_channels + ci) * self.kernel + k
+    }
+}
+
+impl Layer for Conv1d {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        assert_eq!(x.shape().len(), 3, "conv1d expects (N, C, L)");
+        assert_eq!(x.shape()[1], self.in_channels, "channel mismatch");
+        let n = x.shape()[0];
+        let l = x.shape()[2];
+        let lo = self.out_len(l);
+        let mut out = Tensor::zeros(&[n, self.out_channels, lo]);
+        for i in 0..n {
+            for co in 0..self.out_channels {
+                for p in 0..lo {
+                    let start = p * self.stride;
+                    let mut acc = self.bias.value[co];
+                    for ci in 0..self.in_channels {
+                        let xbase = x.idx3(i, ci, start);
+                        let wbase = self.w(co, ci, 0);
+                        let xs = &x.data()[xbase..xbase + self.kernel];
+                        let ws = &self.weight.value[wbase..wbase + self.kernel];
+                        for (xv, wv) in xs.iter().zip(ws) {
+                            acc += xv * wv;
+                        }
+                    }
+                    let oi = out.idx3(i, co, p);
+                    out.data_mut()[oi] = acc;
+                }
+            }
+        }
+        if train {
+            self.cached_input = Some(x.clone());
+        }
+        out
+    }
+
+    fn backward(&mut self, grad: &Tensor) -> Tensor {
+        let x = self.cached_input.as_ref().expect("backward without forward");
+        let n = x.shape()[0];
+        let l = x.shape()[2];
+        let lo = self.out_len(l);
+        assert_eq!(grad.shape(), &[n, self.out_channels, lo]);
+        let mut dx = Tensor::zeros(&[n, self.in_channels, l]);
+        for i in 0..n {
+            for co in 0..self.out_channels {
+                for p in 0..lo {
+                    let g = grad.data()[grad.idx3(i, co, p)];
+                    if g == 0.0 {
+                        continue;
+                    }
+                    self.bias.grad[co] += g;
+                    let start = p * self.stride;
+                    for ci in 0..self.in_channels {
+                        let xbase = x.idx3(i, ci, start);
+                        let wbase = self.w(co, ci, 0);
+                        let dxbase = dx.idx3(i, ci, start);
+                        for k in 0..self.kernel {
+                            self.weight.grad[wbase + k] += g * x.data()[xbase + k];
+                            dx.data_mut()[dxbase + k] += g * self.weight.value[wbase + k];
+                        }
+                    }
+                }
+            }
+        }
+        dx
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.weight, &mut self.bias]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loss::softmax_cross_entropy;
+
+    #[test]
+    fn out_len_formula() {
+        let mut rng = SeedRng::new(1);
+        let c = Conv1d::new(1, 4, 8, 3, &mut rng);
+        assert_eq!(c.out_len(300), 98);
+        assert_eq!(c.out_len(8), 1);
+    }
+
+    #[test]
+    fn identity_kernel_passes_signal() {
+        let mut rng = SeedRng::new(2);
+        let mut c = Conv1d::new(1, 1, 1, 1, &mut rng);
+        c.weight.value = vec![2.0];
+        c.bias.value = vec![1.0];
+        let x = Tensor::new(&[1, 1, 3], vec![1.0, 2.0, 3.0]);
+        let y = c.forward(&x, false);
+        assert_eq!(y.data(), &[3.0, 5.0, 7.0]);
+    }
+
+    #[test]
+    fn stride_downsamples() {
+        let mut rng = SeedRng::new(3);
+        let mut c = Conv1d::new(1, 1, 2, 2, &mut rng);
+        c.weight.value = vec![1.0, 1.0];
+        c.bias.value = vec![0.0];
+        let x = Tensor::new(&[1, 1, 6], vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let y = c.forward(&x, false);
+        assert_eq!(y.data(), &[3.0, 7.0, 11.0]);
+    }
+
+    #[test]
+    fn multi_channel_sums_contributions() {
+        let mut rng = SeedRng::new(4);
+        let mut c = Conv1d::new(2, 1, 1, 1, &mut rng);
+        c.weight.value = vec![1.0, 10.0];
+        c.bias.value = vec![0.0];
+        let x = Tensor::new(&[1, 2, 2], vec![1.0, 2.0, 3.0, 4.0]);
+        let y = c.forward(&x, false);
+        assert_eq!(y.data(), &[31.0, 42.0]);
+    }
+
+    #[test]
+    fn gradient_check() {
+        let mut rng = SeedRng::new(5);
+        let mut c = Conv1d::new(2, 3, 3, 2, &mut rng);
+        let x = Tensor::new(&[1, 2, 9], (0..18).map(|i| (i as f32 * 0.13).sin()).collect());
+        // Loss: flatten conv output through softmax CE with a fake label.
+        let lo = c.out_len(9);
+        let flat = |t: Tensor| t.reshaped(&[1, 3 * lo]);
+        let y = c.forward(&x, true);
+        let (_, g) = softmax_cross_entropy(&flat(y), &[2]);
+        let g3 = g.reshaped(&[1, 3, lo]);
+        let dx = c.backward(&g3);
+
+        let eps = 1e-2;
+        let loss_at = |c: &mut Conv1d, x: &Tensor| {
+            let y = c.forward(x, false);
+            let (l, _) = softmax_cross_entropy(&y.reshaped(&[1, 3 * lo]), &[2]);
+            l
+        };
+        for &wi in &[0usize, 7, 17] {
+            let orig = c.weight.value[wi];
+            c.weight.value[wi] = orig + eps;
+            let lp = loss_at(&mut c, &x);
+            c.weight.value[wi] = orig - eps;
+            let lm = loss_at(&mut c, &x);
+            c.weight.value[wi] = orig;
+            let numeric = (lp - lm) / (2.0 * eps);
+            let analytic = c.weight.grad[wi];
+            assert!(
+                (numeric - analytic).abs() < 2e-2 * (1.0 + numeric.abs()),
+                "w[{wi}]: numeric {numeric} analytic {analytic}"
+            );
+        }
+        for &xi in &[0usize, 8, 17] {
+            let mut xp = x.clone();
+            xp.data_mut()[xi] += eps;
+            let lp = loss_at(&mut c, &xp);
+            let mut xm = x.clone();
+            xm.data_mut()[xi] -= eps;
+            let lm = loss_at(&mut c, &xm);
+            let numeric = (lp - lm) / (2.0 * eps);
+            let analytic = dx.data()[xi];
+            assert!(
+                (numeric - analytic).abs() < 2e-2 * (1.0 + numeric.abs()),
+                "x[{xi}]: numeric {numeric} analytic {analytic}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "shorter than kernel")]
+    fn too_short_input_panics() {
+        let mut rng = SeedRng::new(6);
+        let mut c = Conv1d::new(1, 1, 8, 3, &mut rng);
+        c.forward(&Tensor::zeros(&[1, 1, 4]), false);
+    }
+}

@@ -1,0 +1,175 @@
+//! Fully connected layer.
+
+use crate::param::Param;
+use crate::tensor::Tensor;
+use crate::Layer;
+use bf_stats::SeedRng;
+
+/// `y = x·Wᵀ + b`, mapping `(N, in)` to `(N, out)`.
+#[derive(Debug, Clone)]
+pub struct Dense {
+    in_features: usize,
+    out_features: usize,
+    /// Weights, laid out `(out, in)` row-major.
+    weight: Param,
+    bias: Param,
+    cached_input: Option<Tensor>,
+}
+
+impl Dense {
+    /// A Glorot-initialized dense layer.
+    pub fn new(in_features: usize, out_features: usize, rng: &mut SeedRng) -> Self {
+        Dense {
+            in_features,
+            out_features,
+            weight: Param::glorot(in_features * out_features, in_features, out_features, rng),
+            bias: Param::zeros(out_features),
+            cached_input: None,
+        }
+    }
+
+    /// Input feature count.
+    pub fn in_features(&self) -> usize {
+        self.in_features
+    }
+
+    /// Output feature count.
+    pub fn out_features(&self) -> usize {
+        self.out_features
+    }
+}
+
+impl Layer for Dense {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        assert_eq!(x.shape().len(), 2, "dense expects (N, features)");
+        assert_eq!(x.shape()[1], self.in_features, "dense input width mismatch");
+        let n = x.batch();
+        let mut out = Tensor::zeros(&[n, self.out_features]);
+        let w = &self.weight.value;
+        let b = &self.bias.value;
+        for i in 0..n {
+            let xi = &x.data()[i * self.in_features..(i + 1) * self.in_features];
+            let oi = &mut out.data_mut()[i * self.out_features..(i + 1) * self.out_features];
+            for (o, ov) in oi.iter_mut().enumerate() {
+                let row = &w[o * self.in_features..(o + 1) * self.in_features];
+                let mut acc = b[o];
+                for (xv, wv) in xi.iter().zip(row) {
+                    acc += xv * wv;
+                }
+                *ov = acc;
+            }
+        }
+        if train {
+            self.cached_input = Some(x.clone());
+        }
+        out
+    }
+
+    fn backward(&mut self, grad: &Tensor) -> Tensor {
+        let x = self.cached_input.as_ref().expect("backward without forward");
+        let n = x.batch();
+        assert_eq!(grad.shape(), &[n, self.out_features]);
+        let mut dx = Tensor::zeros(&[n, self.in_features]);
+        for i in 0..n {
+            let xi = &x.data()[i * self.in_features..(i + 1) * self.in_features];
+            let gi = &grad.data()[i * self.out_features..(i + 1) * self.out_features];
+            for (o, &g) in gi.iter().enumerate() {
+                self.bias.grad[o] += g;
+                let wrow = &self.weight.value[o * self.in_features..(o + 1) * self.in_features];
+                let grow = &mut self.weight.grad[o * self.in_features..(o + 1) * self.in_features];
+                let dxi = &mut dx.data_mut()[i * self.in_features..(i + 1) * self.in_features];
+                for k in 0..self.in_features {
+                    grow[k] += g * xi[k];
+                    dxi[k] += g * wrow[k];
+                }
+            }
+        }
+        dx
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.weight, &mut self.bias]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loss::softmax_cross_entropy;
+
+    #[test]
+    fn forward_shape_and_bias() {
+        let mut rng = SeedRng::new(1);
+        let mut d = Dense::new(3, 2, &mut rng);
+        d.bias.value = vec![1.0, -1.0];
+        let x = Tensor::zeros(&[4, 3]);
+        let y = d.forward(&x, false);
+        assert_eq!(y.shape(), &[4, 2]);
+        assert_eq!(y.data()[0], 1.0);
+        assert_eq!(y.data()[1], -1.0);
+    }
+
+    #[test]
+    fn forward_matches_hand_computation() {
+        let mut rng = SeedRng::new(2);
+        let mut d = Dense::new(2, 2, &mut rng);
+        d.weight.value = vec![1.0, 2.0, 3.0, 4.0]; // rows: out0=[1,2], out1=[3,4]
+        d.bias.value = vec![0.5, -0.5];
+        let x = Tensor::new(&[1, 2], vec![10.0, 20.0]);
+        let y = d.forward(&x, false);
+        assert_eq!(y.data(), &[10.0 + 40.0 + 0.5, 30.0 + 80.0 - 0.5]);
+    }
+
+    /// Finite-difference gradient check through a real loss.
+    #[test]
+    fn gradient_check() {
+        let mut rng = SeedRng::new(3);
+        let mut d = Dense::new(4, 3, &mut rng);
+        let x = Tensor::new(&[2, 4], (0..8).map(|i| 0.1 * i as f32).collect());
+        let labels = [0usize, 2];
+
+        let y = d.forward(&x, true);
+        let (_, grad) = softmax_cross_entropy(&y, &labels);
+        let dx = d.backward(&grad);
+
+        let eps = 1e-3;
+        // Check weight gradients at a few indices.
+        for &wi in &[0usize, 5, 11] {
+            let orig = d.weight.value[wi];
+            d.weight.value[wi] = orig + eps;
+            let (lp, _) = softmax_cross_entropy(&d.forward(&x, false), &labels);
+            d.weight.value[wi] = orig - eps;
+            let (lm, _) = softmax_cross_entropy(&d.forward(&x, false), &labels);
+            d.weight.value[wi] = orig;
+            let numeric = (lp - lm) / (2.0 * eps);
+            let analytic = d.weight.grad[wi];
+            assert!(
+                (numeric - analytic).abs() < 1e-2 * (1.0 + numeric.abs()),
+                "w[{wi}]: numeric {numeric} analytic {analytic}"
+            );
+        }
+        // Check input gradients.
+        for &xi in &[0usize, 3, 7] {
+            let mut xp = x.clone();
+            xp.data_mut()[xi] += eps;
+            let (lp, _) = softmax_cross_entropy(&d.forward(&xp, false), &labels);
+            let mut xm = x.clone();
+            xm.data_mut()[xi] -= eps;
+            let (lm, _) = softmax_cross_entropy(&d.forward(&xm, false), &labels);
+            let numeric = (lp - lm) / (2.0 * eps);
+            let analytic = dx.data()[xi];
+            assert!(
+                (numeric - analytic).abs() < 1e-2 * (1.0 + numeric.abs()),
+                "x[{xi}]: numeric {numeric} analytic {analytic}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "backward without forward")]
+    fn backward_requires_forward() {
+        let mut rng = SeedRng::new(4);
+        let mut d = Dense::new(2, 2, &mut rng);
+        d.backward(&Tensor::zeros(&[1, 2]));
+    }
+}

@@ -1,0 +1,81 @@
+//! `bf-nn` — a from-scratch neural-network library implementing the
+//! paper's classifier.
+//!
+//! §4.1, footnote 2: *"LSTM (32 units, sigmoid activation) with 2 pairs of
+//! convolutional layers (256 filters, stride = 3, ReLU activation) and max
+//! pooling layers (pool size = 4), a dropout layer (rate = 0.7), and a
+//! fully connected classification layer (output size = 100, softmax
+//! activation). We use the Adam optimizer with learning rate = 0.001."*
+//!
+//! The sanctioned offline crate set has no deep-learning framework, so
+//! this crate implements the pieces directly: a contiguous f32 [`Tensor`],
+//! the [`Layer`] abstraction with hand-derived backward passes
+//! ([`Conv1d`], [`MaxPool1d`], [`Dropout`], [`Lstm`], [`Dense`], ReLU),
+//! softmax cross-entropy, the [`Adam`] optimizer, and the assembled
+//! [`CnnLstm`] architecture. Every layer's gradient is validated against
+//! finite differences in the test suite.
+//!
+//! # Example
+//!
+//! ```
+//! use bf_nn::{CnnLstm, CnnLstmConfig, Tensor};
+//!
+//! let cfg = CnnLstmConfig::scaled(300, 5, 8); // trace len 300, 5 classes, 8 filters
+//! let mut net = CnnLstm::new(cfg, 42);
+//! let x = Tensor::zeros(&[2, 1, 300]); // batch of 2 traces
+//! let logits = net.forward(&x, false);
+//! assert_eq!(logits.shape(), &[2, 5]);
+//! ```
+
+pub mod conv;
+pub mod dense;
+pub mod dropout;
+pub mod loss;
+pub mod lstm;
+pub mod network;
+pub mod optim;
+pub mod param;
+pub mod pool;
+pub mod relu;
+pub mod serialize;
+pub mod tensor;
+
+pub use conv::Conv1d;
+pub use dense::Dense;
+pub use dropout::Dropout;
+pub use loss::softmax_cross_entropy;
+pub use lstm::{Lstm, LstmActivation};
+pub use network::{CnnLstm, CnnLstmConfig, PoolKind};
+pub use optim::Adam;
+pub use param::Param;
+pub use pool::{AvgPool1d, MaxPool1d};
+pub use relu::Relu;
+pub use serialize::{load_network, read_params, save_network, write_params};
+pub use tensor::Tensor;
+
+/// A differentiable network layer.
+///
+/// Layers cache whatever they need during [`Layer::forward`] and consume
+/// it in [`Layer::backward`]; training drives them strictly in
+/// forward-then-backward pairs on a single thread (fold-level parallelism
+/// happens above this crate).
+pub trait Layer: std::fmt::Debug + Send {
+    /// Compute the layer output. `train` enables stochastic behavior
+    /// (dropout).
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor;
+
+    /// Given ∂loss/∂output, accumulate parameter gradients and return
+    /// ∂loss/∂input.
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic if called without a preceding
+    /// [`Layer::forward`] in training mode.
+    fn backward(&mut self, grad: &Tensor) -> Tensor;
+
+    /// Mutable access to the layer's parameters (empty for stateless
+    /// layers).
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        Vec::new()
+    }
+}

@@ -1,0 +1,119 @@
+//! Softmax cross-entropy loss.
+
+use crate::tensor::Tensor;
+
+/// Mean softmax cross-entropy over a batch of logits `(N, K)` with integer
+/// labels. Returns `(loss, ∂loss/∂logits)`.
+///
+/// # Panics
+///
+/// Panics when shapes disagree or a label is out of range.
+pub fn softmax_cross_entropy(logits: &Tensor, labels: &[usize]) -> (f32, Tensor) {
+    assert_eq!(logits.shape().len(), 2, "logits must be (N, K)");
+    let n = logits.shape()[0];
+    let k = logits.shape()[1];
+    assert_eq!(labels.len(), n, "one label per row");
+    let mut grad = Tensor::zeros(&[n, k]);
+    let mut loss = 0.0f64;
+    for (i, &label) in labels.iter().enumerate() {
+        let row = &logits.data()[i * k..(i + 1) * k];
+        assert!(label < k, "label {label} out of range for {k} classes");
+        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let exps: Vec<f32> = row.iter().map(|&v| (v - max).exp()).collect();
+        let sum: f32 = exps.iter().sum();
+        let g = &mut grad.data_mut()[i * k..(i + 1) * k];
+        for j in 0..k {
+            let p = exps[j] / sum;
+            g[j] = (p - if j == label { 1.0 } else { 0.0 }) / n as f32;
+        }
+        loss += -((exps[label] / sum).max(1e-30).ln() as f64);
+    }
+    ((loss / n as f64) as f32, grad)
+}
+
+/// Softmax probabilities of a logits batch `(N, K)`.
+pub fn softmax(logits: &Tensor) -> Tensor {
+    assert_eq!(logits.shape().len(), 2, "logits must be (N, K)");
+    let n = logits.shape()[0];
+    let k = logits.shape()[1];
+    let mut out = Tensor::zeros(&[n, k]);
+    for i in 0..n {
+        let row = &logits.data()[i * k..(i + 1) * k];
+        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let exps: Vec<f32> = row.iter().map(|&v| (v - max).exp()).collect();
+        let sum: f32 = exps.iter().sum();
+        let o = &mut out.data_mut()[i * k..(i + 1) * k];
+        for j in 0..k {
+            o[j] = exps[j] / sum;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_logits_give_log_k() {
+        let logits = Tensor::zeros(&[2, 4]);
+        let (loss, _) = softmax_cross_entropy(&logits, &[0, 3]);
+        assert!((loss - (4.0f32).ln()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn confident_correct_prediction_has_low_loss() {
+        let logits = Tensor::new(&[1, 3], vec![10.0, 0.0, 0.0]);
+        let (loss, _) = softmax_cross_entropy(&logits, &[0]);
+        assert!(loss < 1e-3, "loss = {loss}");
+    }
+
+    #[test]
+    fn gradient_sums_to_zero_per_row() {
+        let logits = Tensor::new(&[2, 3], vec![1.0, 2.0, 3.0, -1.0, 0.0, 1.0]);
+        let (_, grad) = softmax_cross_entropy(&logits, &[1, 2]);
+        for i in 0..2 {
+            let s: f32 = grad.data()[i * 3..(i + 1) * 3].iter().sum();
+            assert!(s.abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn gradient_check_against_finite_differences() {
+        let logits = Tensor::new(&[2, 3], vec![0.3, -0.2, 0.5, 1.0, 0.1, -0.4]);
+        let labels = [2usize, 0];
+        let (_, grad) = softmax_cross_entropy(&logits, &labels);
+        let eps = 1e-3;
+        for i in 0..6 {
+            let mut lp = logits.clone();
+            lp.data_mut()[i] += eps;
+            let (loss_p, _) = softmax_cross_entropy(&lp, &labels);
+            let mut lm = logits.clone();
+            lm.data_mut()[i] -= eps;
+            let (loss_m, _) = softmax_cross_entropy(&lm, &labels);
+            let numeric = (loss_p - loss_m) / (2.0 * eps);
+            assert!(
+                (numeric - grad.data()[i]).abs() < 1e-3,
+                "i={i}: numeric {numeric} analytic {}",
+                grad.data()[i]
+            );
+        }
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let logits = Tensor::new(&[2, 3], vec![5.0, 1.0, -2.0, 0.0, 0.0, 0.0]);
+        let p = softmax(&logits);
+        for i in 0..2 {
+            let s: f32 = p.data()[i * 3..(i + 1) * 3].iter().sum();
+            assert!((s - 1.0).abs() < 1e-6);
+        }
+        assert!(p.data()[0] > 0.9);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_label_panics() {
+        softmax_cross_entropy(&Tensor::zeros(&[1, 2]), &[5]);
+    }
+}

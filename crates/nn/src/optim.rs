@@ -1,0 +1,119 @@
+//! The Adam optimizer (Kingma & Ba), as used by the paper with
+//! learning rate 0.001.
+
+use crate::param::Param;
+
+/// Adam with bias-corrected first and second moments.
+#[derive(Debug, Clone)]
+pub struct Adam {
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    t: u64,
+    /// Per-parameter moment buffers, keyed by position in the `step`
+    /// parameter list (the caller must pass parameters in a stable
+    /// order).
+    m: Vec<Vec<f32>>,
+    v: Vec<Vec<f32>>,
+}
+
+impl Adam {
+    /// Adam with the paper's learning rate and standard betas.
+    pub fn new(lr: f32) -> Self {
+        assert!(lr > 0.0, "learning rate must be positive");
+        Adam { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, t: 0, m: Vec::new(), v: Vec::new() }
+    }
+
+    /// Number of updates performed.
+    pub fn steps(&self) -> u64 {
+        self.t
+    }
+
+    /// Apply one update to `params` from their accumulated gradients,
+    /// then zero the gradients.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the parameter list's shape changes between calls.
+    pub fn step(&mut self, mut params: Vec<&mut Param>) {
+        if self.m.is_empty() {
+            self.m = params.iter().map(|p| vec![0.0; p.len()]).collect();
+            self.v = params.iter().map(|p| vec![0.0; p.len()]).collect();
+        }
+        assert_eq!(self.m.len(), params.len(), "parameter list changed shape");
+        self.t += 1;
+        let b1t = 1.0 - self.beta1.powi(self.t as i32);
+        let b2t = 1.0 - self.beta2.powi(self.t as i32);
+        for (pi, p) in params.iter_mut().enumerate() {
+            assert_eq!(self.m[pi].len(), p.len(), "parameter {pi} changed size");
+            let m = &mut self.m[pi];
+            let v = &mut self.v[pi];
+            for j in 0..p.len() {
+                let g = p.grad[j];
+                m[j] = self.beta1 * m[j] + (1.0 - self.beta1) * g;
+                v[j] = self.beta2 * v[j] + (1.0 - self.beta2) * g * g;
+                let m_hat = m[j] / b1t;
+                let v_hat = v[j] / b2t;
+                p.value[j] -= self.lr * m_hat / (v_hat.sqrt() + self.eps);
+            }
+            p.zero_grad();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Minimize f(x) = (x - 3)² with Adam; must converge to 3.
+    #[test]
+    fn converges_on_quadratic() {
+        let mut p = Param::zeros(1);
+        let mut adam = Adam::new(0.1);
+        for _ in 0..500 {
+            p.grad[0] = 2.0 * (p.value[0] - 3.0);
+            adam.step(vec![&mut p]);
+        }
+        assert!((p.value[0] - 3.0).abs() < 1e-2, "x = {}", p.value[0]);
+    }
+
+    #[test]
+    fn step_zeroes_gradients() {
+        let mut p = Param::zeros(2);
+        p.grad = vec![1.0, -1.0];
+        let mut adam = Adam::new(0.01);
+        adam.step(vec![&mut p]);
+        assert!(p.grad.iter().all(|&g| g == 0.0));
+        assert_eq!(adam.steps(), 1);
+    }
+
+    #[test]
+    fn first_step_moves_by_about_lr() {
+        // With bias correction, the first Adam step is ≈ lr · sign(g).
+        let mut p = Param::zeros(1);
+        p.grad[0] = 0.5;
+        let mut adam = Adam::new(0.001);
+        adam.step(vec![&mut p]);
+        assert!((p.value[0] + 0.001).abs() < 1e-5, "x = {}", p.value[0]);
+    }
+
+    #[test]
+    fn zero_gradient_keeps_values() {
+        let mut p = Param::zeros(3);
+        let before = p.value.clone();
+        let mut adam = Adam::new(0.01);
+        adam.step(vec![&mut p]);
+        assert_eq!(p.value, before);
+    }
+
+    #[test]
+    #[should_panic(expected = "changed shape")]
+    fn changing_param_list_panics() {
+        let mut a = Param::zeros(1);
+        let mut b = Param::zeros(1);
+        let mut adam = Adam::new(0.01);
+        adam.step(vec![&mut a]);
+        adam.step(vec![&mut a, &mut b]);
+    }
+}

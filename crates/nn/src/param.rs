@@ -1,0 +1,77 @@
+//! Trainable parameter storage.
+
+use bf_stats::SeedRng;
+
+/// One parameter tensor (flattened) and its gradient accumulator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Param {
+    /// Current values.
+    pub value: Vec<f32>,
+    /// Accumulated gradient (same length as `value`).
+    pub grad: Vec<f32>,
+}
+
+impl Param {
+    /// A parameter initialized to zeros (biases).
+    pub fn zeros(len: usize) -> Self {
+        Param { value: vec![0.0; len], grad: vec![0.0; len] }
+    }
+
+    /// Glorot/Xavier-uniform initialization for a weight connecting
+    /// `fan_in` inputs to `fan_out` outputs.
+    pub fn glorot(len: usize, fan_in: usize, fan_out: usize, rng: &mut SeedRng) -> Self {
+        let limit = (6.0 / (fan_in + fan_out).max(1) as f64).sqrt();
+        let value =
+            (0..len).map(|_| rng.uniform_range(-limit, limit) as f32).collect();
+        Param { value, grad: vec![0.0; len] }
+    }
+
+    /// Number of scalar parameters.
+    pub fn len(&self) -> usize {
+        self.value.len()
+    }
+
+    /// True for empty parameters (never produced by the constructors with
+    /// nonzero length).
+    pub fn is_empty(&self) -> bool {
+        self.value.is_empty()
+    }
+
+    /// Reset the gradient accumulator to zero.
+    pub fn zero_grad(&mut self) {
+        for g in &mut self.grad {
+            *g = 0.0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_param() {
+        let p = Param::zeros(4);
+        assert_eq!(p.len(), 4);
+        assert!(p.value.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn glorot_within_limit() {
+        let mut rng = SeedRng::new(1);
+        let p = Param::glorot(1_000, 64, 32, &mut rng);
+        let limit = (6.0f64 / 96.0).sqrt() as f32;
+        assert!(p.value.iter().all(|&v| v.abs() <= limit));
+        // Spread out, not degenerate.
+        let distinct = p.value.iter().filter(|&&v| v != p.value[0]).count();
+        assert!(distinct > 900);
+    }
+
+    #[test]
+    fn zero_grad_clears() {
+        let mut p = Param::zeros(3);
+        p.grad = vec![1.0, 2.0, 3.0];
+        p.zero_grad();
+        assert!(p.grad.iter().all(|&g| g == 0.0));
+    }
+}

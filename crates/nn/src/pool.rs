@@ -1,0 +1,230 @@
+//! 1-D pooling: max (the paper's choice) and average (ablation).
+
+use crate::tensor::Tensor;
+use crate::Layer;
+
+/// Non-overlapping max pooling over the length axis: `(N, C, L)` →
+/// `(N, C, L / size)` (trailing remainder dropped, as in Keras).
+#[derive(Debug, Clone)]
+pub struct MaxPool1d {
+    size: usize,
+    /// Argmax indices from the last training forward, for routing
+    /// gradients.
+    cached_argmax: Option<(Vec<usize>, Vec<usize>)>,
+}
+
+impl MaxPool1d {
+    /// A pooling layer with the given window size.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `size` is zero.
+    pub fn new(size: usize) -> Self {
+        assert!(size > 0, "pool size must be positive");
+        MaxPool1d { size, cached_argmax: None }
+    }
+
+    /// Output length for input length `l`.
+    pub fn out_len(&self, l: usize) -> usize {
+        l / self.size
+    }
+}
+
+impl Layer for MaxPool1d {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        assert_eq!(x.shape().len(), 3, "maxpool expects (N, C, L)");
+        let (n, c, l) = (x.shape()[0], x.shape()[1], x.shape()[2]);
+        let lo = self.out_len(l);
+        assert!(lo > 0, "input length {l} shorter than pool window {}", self.size);
+        let mut out = Tensor::zeros(&[n, c, lo]);
+        let mut argmax = vec![0usize; n * c * lo];
+        for i in 0..n {
+            for ch in 0..c {
+                for p in 0..lo {
+                    let start = x.idx3(i, ch, p * self.size);
+                    let window = &x.data()[start..start + self.size];
+                    let (best_k, best_v) = window
+                        .iter()
+                        .enumerate()
+                        .fold((0usize, f32::NEG_INFINITY), |(bk, bv), (k, &v)| {
+                            if v > bv {
+                                (k, v)
+                            } else {
+                                (bk, bv)
+                            }
+                        });
+                    let oi = out.idx3(i, ch, p);
+                    out.data_mut()[oi] = best_v;
+                    argmax[oi] = start + best_k;
+                }
+            }
+        }
+        if train {
+            self.cached_argmax = Some((argmax, x.shape().to_vec()));
+        }
+        out
+    }
+
+    fn backward(&mut self, grad: &Tensor) -> Tensor {
+        let (argmax, in_shape) =
+            self.cached_argmax.as_ref().expect("backward without forward");
+        let mut dx = Tensor::zeros(in_shape);
+        for (gi, &src) in argmax.iter().enumerate() {
+            dx.data_mut()[src] += grad.data()[gi];
+        }
+        dx
+    }
+}
+
+/// Non-overlapping average pooling over the length axis — the ablation
+/// counterpart to [`MaxPool1d`] (the paper's model uses max pooling).
+#[derive(Debug, Clone)]
+pub struct AvgPool1d {
+    size: usize,
+    cached_in_shape: Option<Vec<usize>>,
+}
+
+impl AvgPool1d {
+    /// An average-pooling layer with the given window size.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `size` is zero.
+    pub fn new(size: usize) -> Self {
+        assert!(size > 0, "pool size must be positive");
+        AvgPool1d { size, cached_in_shape: None }
+    }
+
+    /// Output length for input length `l`.
+    pub fn out_len(&self, l: usize) -> usize {
+        l / self.size
+    }
+}
+
+impl Layer for AvgPool1d {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        assert_eq!(x.shape().len(), 3, "avgpool expects (N, C, L)");
+        let (n, c, l) = (x.shape()[0], x.shape()[1], x.shape()[2]);
+        let lo = self.out_len(l);
+        assert!(lo > 0, "input length {l} shorter than pool window {}", self.size);
+        let mut out = Tensor::zeros(&[n, c, lo]);
+        let inv = 1.0 / self.size as f32;
+        for i in 0..n {
+            for ch in 0..c {
+                for p in 0..lo {
+                    let start = x.idx3(i, ch, p * self.size);
+                    let sum: f32 = x.data()[start..start + self.size].iter().sum();
+                    let oi = out.idx3(i, ch, p);
+                    out.data_mut()[oi] = sum * inv;
+                }
+            }
+        }
+        if train {
+            self.cached_in_shape = Some(x.shape().to_vec());
+        }
+        out
+    }
+
+    fn backward(&mut self, grad: &Tensor) -> Tensor {
+        let in_shape = self.cached_in_shape.as_ref().expect("backward without forward");
+        let mut dx = Tensor::zeros(in_shape);
+        let (n, c) = (in_shape[0], in_shape[1]);
+        let lo = grad.shape()[2];
+        let inv = 1.0 / self.size as f32;
+        for i in 0..n {
+            for ch in 0..c {
+                for p in 0..lo {
+                    let g = grad.data()[grad.idx3(i, ch, p)] * inv;
+                    let start = dx.idx3(i, ch, p * self.size);
+                    for k in 0..self.size {
+                        dx.data_mut()[start + k] += g;
+                    }
+                }
+            }
+        }
+        dx
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_takes_window_max() {
+        let mut p = MaxPool1d::new(2);
+        let x = Tensor::new(&[1, 1, 6], vec![1.0, 5.0, 2.0, 2.0, 9.0, 0.0]);
+        let y = p.forward(&x, false);
+        assert_eq!(y.data(), &[5.0, 2.0, 9.0]);
+    }
+
+    #[test]
+    fn remainder_dropped() {
+        let mut p = MaxPool1d::new(4);
+        let x = Tensor::new(&[1, 1, 7], vec![1.0; 7]);
+        let y = p.forward(&x, false);
+        assert_eq!(y.shape(), &[1, 1, 1]);
+    }
+
+    #[test]
+    fn backward_routes_to_argmax() {
+        let mut p = MaxPool1d::new(3);
+        let x = Tensor::new(&[1, 1, 6], vec![1.0, 7.0, 2.0, 4.0, 4.5, 3.0]);
+        let _ = p.forward(&x, true);
+        let g = Tensor::new(&[1, 1, 2], vec![10.0, 20.0]);
+        let dx = p.backward(&g);
+        assert_eq!(dx.data(), &[0.0, 10.0, 0.0, 0.0, 20.0, 0.0]);
+    }
+
+    #[test]
+    fn ties_go_to_first() {
+        let mut p = MaxPool1d::new(2);
+        let x = Tensor::new(&[1, 1, 2], vec![3.0, 3.0]);
+        let _ = p.forward(&x, true);
+        let dx = p.backward(&Tensor::new(&[1, 1, 1], vec![1.0]));
+        assert_eq!(dx.data(), &[1.0, 0.0]);
+    }
+
+    #[test]
+    fn multichannel_independent() {
+        let mut p = MaxPool1d::new(2);
+        let x = Tensor::new(&[1, 2, 2], vec![1.0, 2.0, 30.0, 4.0]);
+        let y = p.forward(&x, false);
+        assert_eq!(y.data(), &[2.0, 30.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "shorter than pool window")]
+    fn too_short_panics() {
+        MaxPool1d::new(4).forward(&Tensor::zeros(&[1, 1, 3]), false);
+    }
+
+    #[test]
+    fn avg_forward_takes_window_mean() {
+        let mut p = AvgPool1d::new(2);
+        let x = Tensor::new(&[1, 1, 6], vec![1.0, 5.0, 2.0, 2.0, 9.0, 1.0]);
+        let y = p.forward(&x, false);
+        assert_eq!(y.data(), &[3.0, 2.0, 5.0]);
+    }
+
+    #[test]
+    fn avg_backward_spreads_gradient_uniformly() {
+        let mut p = AvgPool1d::new(3);
+        let x = Tensor::new(&[1, 1, 6], vec![1.0; 6]);
+        let _ = p.forward(&x, true);
+        let dx = p.backward(&Tensor::new(&[1, 1, 2], vec![3.0, 6.0]));
+        assert_eq!(dx.data(), &[1.0, 1.0, 1.0, 2.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn avg_gradient_mass_conserved() {
+        let mut p = AvgPool1d::new(4);
+        let x = Tensor::new(&[2, 3, 8], vec![0.5; 48]);
+        let _ = p.forward(&x, true);
+        let g = Tensor::new(&[2, 3, 2], (0..12).map(|i| i as f32).collect());
+        let dx = p.backward(&g);
+        let g_sum: f32 = g.data().iter().sum();
+        let dx_sum: f32 = dx.data().iter().sum();
+        assert!((g_sum - dx_sum).abs() < 1e-4);
+    }
+}

@@ -1,0 +1,83 @@
+//! ReLU activation.
+
+use crate::tensor::Tensor;
+use crate::Layer;
+
+/// Elementwise `max(0, x)` of any shape.
+#[derive(Debug, Clone, Default)]
+pub struct Relu {
+    cached_mask: Option<Vec<bool>>,
+}
+
+impl Relu {
+    /// A ReLU layer.
+    pub fn new() -> Self {
+        Relu { cached_mask: None }
+    }
+}
+
+impl Layer for Relu {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        let mut out = x.clone();
+        let mut mask = Vec::new();
+        if train {
+            mask.reserve(x.len());
+        }
+        for v in out.data_mut() {
+            let pass = *v > 0.0;
+            if !pass {
+                *v = 0.0;
+            }
+            if train {
+                mask.push(pass);
+            }
+        }
+        if train {
+            self.cached_mask = Some(mask);
+        }
+        out
+    }
+
+    fn backward(&mut self, grad: &Tensor) -> Tensor {
+        let mask = self.cached_mask.as_ref().expect("backward without forward");
+        assert_eq!(mask.len(), grad.len(), "gradient shape mismatch");
+        let mut dx = grad.clone();
+        for (v, &pass) in dx.data_mut().iter_mut().zip(mask) {
+            if !pass {
+                *v = 0.0;
+            }
+        }
+        dx
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_clamps_negatives() {
+        let mut r = Relu::new();
+        let x = Tensor::new(&[1, 4], vec![-1.0, 0.0, 2.0, -3.0]);
+        let y = r.forward(&x, false);
+        assert_eq!(y.data(), &[0.0, 0.0, 2.0, 0.0]);
+    }
+
+    #[test]
+    fn backward_masks_gradient() {
+        let mut r = Relu::new();
+        let x = Tensor::new(&[1, 4], vec![-1.0, 0.5, 2.0, -3.0]);
+        let _ = r.forward(&x, true);
+        let dx = r.backward(&Tensor::new(&[1, 4], vec![1.0, 1.0, 1.0, 1.0]));
+        assert_eq!(dx.data(), &[0.0, 1.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn zero_input_blocks_gradient() {
+        let mut r = Relu::new();
+        let x = Tensor::new(&[1, 1], vec![0.0]);
+        let _ = r.forward(&x, true);
+        let dx = r.backward(&Tensor::new(&[1, 1], vec![5.0]));
+        assert_eq!(dx.data(), &[0.0]);
+    }
+}

@@ -1,0 +1,174 @@
+//! Model checkpointing: save and load network parameters.
+//!
+//! The attack's offline phase trains a classifier once; the online phase
+//! reuses it on fresh traces (§4.1). This module persists parameters in a
+//! small self-describing binary format (magic, version, per-tensor
+//! lengths, little-endian f32 data) with no dependencies beyond `std`.
+
+use crate::network::CnnLstm;
+use std::io::{self, Read, Write};
+
+const MAGIC: &[u8; 8] = b"BFNNCKPT";
+const VERSION: u32 = 1;
+
+/// Write a parameter snapshot (as produced by [`CnnLstm::save_params`])
+/// to a writer.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn write_params<W: Write>(mut w: W, params: &[Vec<f32>]) -> io::Result<()> {
+    w.write_all(MAGIC)?;
+    w.write_all(&VERSION.to_le_bytes())?;
+    w.write_all(&(params.len() as u32).to_le_bytes())?;
+    for p in params {
+        w.write_all(&(p.len() as u64).to_le_bytes())?;
+    }
+    for p in params {
+        for v in p {
+            w.write_all(&v.to_le_bytes())?;
+        }
+    }
+    Ok(())
+}
+
+/// Read a parameter snapshot previously written by [`write_params`].
+///
+/// # Errors
+///
+/// Returns `InvalidData` for wrong magic/version or truncated payloads,
+/// and propagates reader I/O errors.
+pub fn read_params<R: Read>(mut r: R) -> io::Result<Vec<Vec<f32>>> {
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "not a bf-nn checkpoint"));
+    }
+    let mut buf4 = [0u8; 4];
+    r.read_exact(&mut buf4)?;
+    let version = u32::from_le_bytes(buf4);
+    if version != VERSION {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("unsupported checkpoint version {version}"),
+        ));
+    }
+    r.read_exact(&mut buf4)?;
+    let n_tensors = u32::from_le_bytes(buf4) as usize;
+    if n_tensors > 1_000_000 {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "implausible tensor count"));
+    }
+    let mut lens = Vec::with_capacity(n_tensors);
+    let mut buf8 = [0u8; 8];
+    for _ in 0..n_tensors {
+        r.read_exact(&mut buf8)?;
+        let len = u64::from_le_bytes(buf8);
+        if len > u64::from(u32::MAX) {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "implausible tensor size"));
+        }
+        lens.push(len as usize);
+    }
+    let mut params = Vec::with_capacity(n_tensors);
+    for len in lens {
+        let mut data = vec![0f32; len];
+        for v in &mut data {
+            r.read_exact(&mut buf4)?;
+            *v = f32::from_le_bytes(buf4);
+        }
+        params.push(data);
+    }
+    Ok(params)
+}
+
+/// Save a trained network's parameters to a file.
+///
+/// # Errors
+///
+/// Propagates file-creation and write errors.
+pub fn save_network(net: &mut CnnLstm, path: &std::path::Path) -> io::Result<()> {
+    let file = std::fs::File::create(path)?;
+    write_params(io::BufWriter::new(file), &net.save_params())
+}
+
+/// Load parameters from a file into a compatible network.
+///
+/// # Errors
+///
+/// Propagates I/O and format errors.
+///
+/// # Panics
+///
+/// Panics when the checkpoint's shape does not match the network (see
+/// [`CnnLstm::restore_params`]).
+pub fn load_network(net: &mut CnnLstm, path: &std::path::Path) -> io::Result<()> {
+    let file = std::fs::File::open(path)?;
+    let params = read_params(io::BufReader::new(file))?;
+    net.restore_params(&params);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::CnnLstmConfig;
+    use crate::tensor::Tensor;
+
+    #[test]
+    fn roundtrip_in_memory() {
+        let params = vec![vec![1.0f32, -2.5, 3.25], vec![], vec![0.0; 7]];
+        let mut buf = Vec::new();
+        write_params(&mut buf, &params).unwrap();
+        let back = read_params(&buf[..]).unwrap();
+        assert_eq!(back, params);
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let err = read_params(&b"NOTACKPT........."[..]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn rejects_truncated_payload() {
+        let params = vec![vec![1.0f32; 10]];
+        let mut buf = Vec::new();
+        write_params(&mut buf, &params).unwrap();
+        buf.truncate(buf.len() - 5);
+        assert!(read_params(&buf[..]).is_err());
+    }
+
+    #[test]
+    fn rejects_wrong_version() {
+        let mut buf = Vec::new();
+        write_params(&mut buf, &[vec![1.0]]).unwrap();
+        buf[8] = 99; // clobber version
+        assert!(read_params(&buf[..]).is_err());
+    }
+
+    #[test]
+    fn network_checkpoint_roundtrip() {
+        let cfg = CnnLstmConfig::scaled(300, 4, 6);
+        let mut a = CnnLstm::new(cfg, 1);
+        let mut b = CnnLstm::new(cfg, 2); // different init
+        let dir = std::env::temp_dir().join("bf_nn_ckpt_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("net.ckpt");
+        save_network(&mut a, &path).unwrap();
+        load_network(&mut b, &path).unwrap();
+        let x = Tensor::zeros(&[1, 1, 300]);
+        assert_eq!(a.forward(&x, false).data(), b.forward(&x, false).data());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    #[should_panic(expected = "snapshot")]
+    fn mismatched_architecture_panics() {
+        let mut small = CnnLstm::new(CnnLstmConfig::scaled(300, 4, 6), 1);
+        let mut big = CnnLstm::new(CnnLstmConfig::scaled(300, 4, 12), 1);
+        let dir = std::env::temp_dir().join("bf_nn_ckpt_test2");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("net.ckpt");
+        save_network(&mut small, &path).unwrap();
+        let _ = load_network(&mut big, &path);
+    }
+}

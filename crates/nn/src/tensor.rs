@@ -1,0 +1,151 @@
+//! A minimal contiguous f32 tensor.
+
+/// A dense, row-major f32 tensor with a dynamic shape.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tensor {
+    shape: Vec<usize>,
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    /// Create a tensor from a shape and matching data.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `data.len()` does not equal the product of `shape`.
+    pub fn new(shape: &[usize], data: Vec<f32>) -> Self {
+        let expected: usize = shape.iter().product();
+        assert_eq!(data.len(), expected, "shape {shape:?} wants {expected} elements");
+        Tensor { shape: shape.to_vec(), data }
+    }
+
+    /// All-zeros tensor.
+    pub fn zeros(shape: &[usize]) -> Self {
+        Tensor { shape: shape.to_vec(), data: vec![0.0; shape.iter().product()] }
+    }
+
+    /// The shape.
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Total element count.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the tensor has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Immutable element storage.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable element storage.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consume into the raw storage.
+    pub fn into_data(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Reinterpret with a new shape of equal element count.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the element counts differ.
+    pub fn reshaped(mut self, shape: &[usize]) -> Self {
+        let expected: usize = shape.iter().product();
+        assert_eq!(self.data.len(), expected, "reshape to {shape:?} mismatches");
+        self.shape = shape.to_vec();
+        self
+    }
+
+    /// Flat index for a 3-D coordinate `(a, b, c)` in shape `[A, B, C]`.
+    ///
+    /// # Panics
+    ///
+    /// Debug-panics on rank or bounds violations.
+    #[inline]
+    pub fn idx3(&self, a: usize, b: usize, c: usize) -> usize {
+        debug_assert_eq!(self.shape.len(), 3);
+        debug_assert!(a < self.shape[0] && b < self.shape[1] && c < self.shape[2]);
+        (a * self.shape[1] + b) * self.shape[2] + c
+    }
+
+    /// Flat index for a 2-D coordinate.
+    #[inline]
+    pub fn idx2(&self, a: usize, b: usize) -> usize {
+        debug_assert_eq!(self.shape.len(), 2);
+        debug_assert!(a < self.shape[0] && b < self.shape[1]);
+        a * self.shape[1] + b
+    }
+
+    /// Batch size (first dimension).
+    ///
+    /// # Panics
+    ///
+    /// Panics on rank-0 tensors.
+    pub fn batch(&self) -> usize {
+        self.shape[0]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_validates_length() {
+        let t = Tensor::new(&[2, 3], vec![0.0; 6]);
+        assert_eq!(t.shape(), &[2, 3]);
+        assert_eq!(t.len(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "elements")]
+    fn new_rejects_bad_length() {
+        Tensor::new(&[2, 3], vec![0.0; 5]);
+    }
+
+    #[test]
+    fn zeros_is_zero() {
+        let t = Tensor::zeros(&[4]);
+        assert!(t.data().iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn idx3_row_major() {
+        let t = Tensor::zeros(&[2, 3, 4]);
+        assert_eq!(t.idx3(0, 0, 0), 0);
+        assert_eq!(t.idx3(0, 0, 3), 3);
+        assert_eq!(t.idx3(0, 1, 0), 4);
+        assert_eq!(t.idx3(1, 0, 0), 12);
+        assert_eq!(t.idx3(1, 2, 3), 23);
+    }
+
+    #[test]
+    fn idx2_row_major() {
+        let t = Tensor::zeros(&[3, 5]);
+        assert_eq!(t.idx2(2, 4), 14);
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let t = Tensor::new(&[2, 3], (0..6).map(|x| x as f32).collect());
+        let r = t.clone().reshaped(&[3, 2]);
+        assert_eq!(r.data(), t.data());
+        assert_eq!(r.shape(), &[3, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatches")]
+    fn reshape_rejects_bad_count() {
+        Tensor::zeros(&[2, 3]).reshaped(&[7]);
+    }
+}

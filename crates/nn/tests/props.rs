@@ -1,0 +1,100 @@
+//! Property-based invariants for the neural-network layers.
+
+use bf_nn::{Conv1d, Dense, Layer, MaxPool1d, Relu, Tensor};
+use bf_stats::SeedRng;
+use proptest::prelude::*;
+
+fn tensor3(n: usize, c: usize, l: usize, seed: u64) -> Tensor {
+    let mut rng = SeedRng::new(seed);
+    Tensor::new(
+        &[n, c, l],
+        (0..n * c * l).map(|_| rng.standard_normal() as f32).collect(),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Conv output geometry always matches the closed-form out_len.
+    #[test]
+    fn conv_output_geometry(
+        n in 1usize..3,
+        cin in 1usize..3,
+        cout in 1usize..4,
+        k in 1usize..6,
+        stride in 1usize..4,
+        extra in 0usize..20,
+        seed in 0u64..1_000,
+    ) {
+        let l = k + extra;
+        let mut rng = SeedRng::new(seed);
+        let mut conv = Conv1d::new(cin, cout, k, stride, &mut rng);
+        let x = tensor3(n, cin, l, seed);
+        let y = conv.forward(&x, false);
+        prop_assert_eq!(y.shape(), &[n, cout, conv.out_len(l)]);
+    }
+
+    /// Max pooling: every output equals the max of its window, and the
+    /// backward pass routes exactly the incoming gradient mass.
+    #[test]
+    fn maxpool_routes_gradient_mass(
+        n in 1usize..3,
+        c in 1usize..3,
+        windows in 1usize..6,
+        size in 1usize..5,
+        seed in 0u64..1_000,
+    ) {
+        let l = windows * size;
+        let mut pool = MaxPool1d::new(size);
+        let x = tensor3(n, c, l, seed);
+        let y = pool.forward(&x, true);
+        // Output values present in input.
+        for &v in y.data() {
+            prop_assert!(x.data().contains(&v));
+        }
+        let g = tensor3(n, c, windows, seed ^ 1);
+        let dx = pool.backward(&g);
+        let g_sum: f32 = g.data().iter().sum();
+        let dx_sum: f32 = dx.data().iter().sum();
+        prop_assert!((g_sum - dx_sum).abs() < 1e-4 * (1.0 + g_sum.abs()));
+    }
+
+    /// ReLU backward zeroes exactly the positions forward zeroed.
+    #[test]
+    fn relu_mask_consistency(n in 1usize..4, f in 1usize..20, seed in 0u64..1_000) {
+        let mut relu = Relu::new();
+        let x = {
+            let mut rng = SeedRng::new(seed);
+            Tensor::new(&[n, f], (0..n * f).map(|_| rng.standard_normal() as f32).collect())
+        };
+        let y = relu.forward(&x, true);
+        let ones = Tensor::new(&[n, f], vec![1.0; n * f]);
+        let dx = relu.backward(&ones);
+        for i in 0..n * f {
+            prop_assert_eq!(dx.data()[i] != 0.0, y.data()[i] > 0.0);
+        }
+    }
+
+    /// Dense layers are affine: f(a+b) - f(b) = f(a) - f(0).
+    #[test]
+    fn dense_is_affine(fin in 1usize..8, fout in 1usize..6, seed in 0u64..1_000) {
+        let mut rng = SeedRng::new(seed);
+        let mut d = Dense::new(fin, fout, &mut rng);
+        let mut gen = SeedRng::new(seed ^ 77);
+        let a: Vec<f32> = (0..fin).map(|_| gen.standard_normal() as f32).collect();
+        let b: Vec<f32> = (0..fin).map(|_| gen.standard_normal() as f32).collect();
+        let ab: Vec<f32> = a.iter().zip(&b).map(|(x, y)| x + y).collect();
+        let run = |d: &mut Dense, v: &[f32]| {
+            d.forward(&Tensor::new(&[1, v.len()], v.to_vec()), false).into_data()
+        };
+        let f_ab = run(&mut d, &ab);
+        let f_a = run(&mut d, &a);
+        let f_b = run(&mut d, &b);
+        let f_0 = run(&mut d, &vec![0.0; fin]);
+        for i in 0..fout {
+            let lhs = f_ab[i] - f_b[i];
+            let rhs = f_a[i] - f_0[i];
+            prop_assert!((lhs - rhs).abs() < 1e-3 * (1.0 + lhs.abs()), "{lhs} vs {rhs}");
+        }
+    }
+}

@@ -1,0 +1,356 @@
+//! Interrupt taxonomy and handler-time model (§2.2, §5.3).
+
+use bf_stats::SeedRng;
+use bf_timer::Nanos;
+use serde::{Deserialize, Serialize};
+
+/// Linux softirq classes relevant to the attack.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SoftirqKind {
+    /// `NET_RX`: deferred network-packet processing. Long-running — this is
+    /// where the decryption/protocol work for a burst of packets happens.
+    NetRx,
+    /// `TIMER`/`HRTIMER`: expired timer callbacks (browser `setTimeout`,
+    /// rAF scheduling).
+    Timer,
+    /// `TASKLET`: deferred device work (GPU completion bottom halves).
+    Tasklet,
+    /// `RCU`: read-copy-update callbacks, part of the idle housekeeping
+    /// noise floor.
+    Rcu,
+}
+
+/// Every interrupt type the simulator delivers.
+///
+/// The *movable/non-movable* split is central to the paper: Linux can
+/// re-route device IRQs away from a core (`irqbalance`), but timer ticks,
+/// IPIs, softirqs, and IRQ work execute on whatever core the kernel chose
+/// and offer no user-facing affinity control (§5.1, Takeaway 5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum InterruptKind {
+    /// NIC receive interrupt (movable device IRQ).
+    NetworkRx,
+    /// Disk/NVMe completion (movable device IRQ).
+    Disk,
+    /// GPU/display interrupt (movable device IRQ).
+    Graphics,
+    /// USB/HID interrupt (movable device IRQ).
+    Usb,
+    /// Local APIC timer tick (non-movable).
+    TimerTick,
+    /// Rescheduling IPI (non-movable).
+    RescheduleIpi,
+    /// TLB-shootdown IPI (non-movable).
+    TlbShootdown,
+    /// Softirq execution (non-movable).
+    Softirq(SoftirqKind),
+    /// IRQ-work execution, typically piggybacked on a timer tick
+    /// (non-movable).
+    IrqWork,
+}
+
+impl InterruptKind {
+    /// Whether `irqbalance` can bind this interrupt to a chosen core.
+    pub fn is_movable(self) -> bool {
+        matches!(
+            self,
+            InterruptKind::NetworkRx
+                | InterruptKind::Disk
+                | InterruptKind::Graphics
+                | InterruptKind::Usb
+        )
+    }
+
+    /// Short label used in figures and the kernel log.
+    pub fn label(self) -> &'static str {
+        match self {
+            InterruptKind::NetworkRx => "net_rx_irq",
+            InterruptKind::Disk => "disk_irq",
+            InterruptKind::Graphics => "graphics_irq",
+            InterruptKind::Usb => "usb_irq",
+            InterruptKind::TimerTick => "timer",
+            InterruptKind::RescheduleIpi => "resched_ipi",
+            InterruptKind::TlbShootdown => "tlb_shootdown",
+            InterruptKind::Softirq(SoftirqKind::NetRx) => "softirq_net_rx",
+            InterruptKind::Softirq(SoftirqKind::Timer) => "softirq_timer",
+            InterruptKind::Softirq(SoftirqKind::Tasklet) => "softirq_tasklet",
+            InterruptKind::Softirq(SoftirqKind::Rcu) => "softirq_rcu",
+            InterruptKind::IrqWork => "irq_work",
+        }
+    }
+
+    /// The broad class used in Fig. 5 / Fig. 6 legends.
+    pub fn class(self) -> InterruptClass {
+        match self {
+            InterruptKind::Softirq(_) => InterruptClass::Softirq,
+            InterruptKind::TimerTick => InterruptClass::Timer,
+            InterruptKind::IrqWork => InterruptClass::IrqWork,
+            InterruptKind::RescheduleIpi => InterruptClass::Reschedule,
+            InterruptKind::TlbShootdown => InterruptClass::TlbShootdown,
+            _ => InterruptClass::DeviceIrq,
+        }
+    }
+}
+
+impl std::fmt::Display for InterruptKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Coarse interrupt classes used by the figures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum InterruptClass {
+    /// Hardware device IRQs (movable).
+    DeviceIrq,
+    /// Local timer ticks.
+    Timer,
+    /// Softirqs of all kinds.
+    Softirq,
+    /// Rescheduling IPIs.
+    Reschedule,
+    /// TLB-shootdown IPIs.
+    TlbShootdown,
+    /// IRQ work.
+    IrqWork,
+}
+
+impl InterruptClass {
+    /// All classes, in figure-legend order.
+    pub const ALL: [InterruptClass; 6] = [
+        InterruptClass::Softirq,
+        InterruptClass::Timer,
+        InterruptClass::IrqWork,
+        InterruptClass::DeviceIrq,
+        InterruptClass::Reschedule,
+        InterruptClass::TlbShootdown,
+    ];
+
+    /// Legend label.
+    pub fn label(self) -> &'static str {
+        match self {
+            InterruptClass::DeviceIrq => "Device IRQ",
+            InterruptClass::Timer => "Timer Interrupt",
+            InterruptClass::Softirq => "Softirq",
+            InterruptClass::Reschedule => "Rescheduling Interrupt",
+            InterruptClass::TlbShootdown => "TLB Shootdown",
+            InterruptClass::IrqWork => "IRQ Work",
+        }
+    }
+}
+
+impl std::fmt::Display for InterruptClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Samples interrupt-handler service times.
+///
+/// Each kind has a log-normal *body* (Fig. 6's characteristic per-type
+/// distributions) on top of the fixed Meltdown-mitigation entry/exit
+/// overhead supplied by the machine config. `NET_RX` softirqs additionally
+/// scale with the number of packets drained from the backlog, which is what
+/// produces the long gaps during page-load bursts.
+#[derive(Debug, Clone)]
+pub struct HandlerTimeModel {
+    /// Fixed kernel entry/exit cost added to every handler.
+    pub base_overhead: Nanos,
+    /// Multiplier for VM mode (1.0 outside VMs).
+    pub amplification: f64,
+    /// Fixed extra cost per interrupt in VM mode.
+    pub vm_exit_cost: Nanos,
+}
+
+impl HandlerTimeModel {
+    /// Handler body parameters: (median_ns, sigma of underlying normal).
+    fn body_params(kind: InterruptKind) -> (f64, f64) {
+        match kind {
+            InterruptKind::NetworkRx => (900.0, 0.35),
+            InterruptKind::Disk => (1_100.0, 0.40),
+            InterruptKind::Graphics => (1_300.0, 0.45),
+            InterruptKind::Usb => (800.0, 0.35),
+            // Timer ticks are bimodal in Fig. 6 (plain tick vs tick that
+            // also runs the scheduler); modeled as a wide log-normal.
+            InterruptKind::TimerTick => (1_400.0, 0.55),
+            InterruptKind::RescheduleIpi => (1_200.0, 0.40),
+            InterruptKind::TlbShootdown => (1_300.0, 0.40),
+            InterruptKind::Softirq(SoftirqKind::NetRx) => (1_600.0, 0.60),
+            InterruptKind::Softirq(SoftirqKind::Timer) => (1_200.0, 0.50),
+            InterruptKind::Softirq(SoftirqKind::Tasklet) => (1_000.0, 0.45),
+            InterruptKind::Softirq(SoftirqKind::Rcu) => (800.0, 0.45),
+            // Fig. 6: IRQ work gaps spike at ~5.5 µs (on top of the timer
+            // tick they ride).
+            InterruptKind::IrqWork => (2_600.0, 0.30),
+        }
+    }
+
+    /// Incremental cost per unit of batched work (e.g. per packet drained
+    /// by a `NET_RX` softirq).
+    fn per_unit_cost(kind: InterruptKind) -> Nanos {
+        match kind {
+            InterruptKind::Softirq(SoftirqKind::NetRx) => Nanos::from_nanos(1_800),
+            InterruptKind::Softirq(SoftirqKind::Timer) => Nanos::from_nanos(600),
+            InterruptKind::Softirq(SoftirqKind::Tasklet) => Nanos::from_nanos(400),
+            _ => Nanos::from_nanos(0),
+        }
+    }
+
+    /// Softirq budget: the kernel caps one softirq invocation; remaining
+    /// work is re-queued (we simply cap the handler).
+    const SOFTIRQ_BUDGET: Nanos = Nanos(2_000_000); // 2 ms
+
+    /// Sample the service time for one interrupt handling `units` of
+    /// batched work (0 for plain interrupts).
+    pub fn sample(&self, kind: InterruptKind, units: u32, rng: &mut SeedRng) -> Nanos {
+        let (median, sigma) = Self::body_params(kind);
+        let body = rng.log_normal(median.ln(), sigma);
+        let mut t = Nanos::from_nanos(body.round() as u64) + Self::per_unit_cost(kind) * units as u64;
+        if matches!(kind, InterruptKind::Softirq(_)) && t > Self::SOFTIRQ_BUDGET {
+            t = Self::SOFTIRQ_BUDGET;
+        }
+        t += self.base_overhead;
+        if self.amplification > 1.0 {
+            t = t.mul_f64(self.amplification) + self.vm_exit_cost;
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> HandlerTimeModel {
+        HandlerTimeModel {
+            base_overhead: Nanos::from_nanos(1_500),
+            amplification: 1.0,
+            vm_exit_cost: Nanos::ZERO,
+        }
+    }
+
+    #[test]
+    fn movable_split_matches_paper() {
+        assert!(InterruptKind::NetworkRx.is_movable());
+        assert!(InterruptKind::Graphics.is_movable());
+        assert!(!InterruptKind::TimerTick.is_movable());
+        assert!(!InterruptKind::RescheduleIpi.is_movable());
+        assert!(!InterruptKind::TlbShootdown.is_movable());
+        assert!(!InterruptKind::Softirq(SoftirqKind::NetRx).is_movable());
+        assert!(!InterruptKind::IrqWork.is_movable());
+    }
+
+    #[test]
+    fn all_handler_times_exceed_mitigation_floor() {
+        // §5.3: every observed gap exceeds 1.5 µs.
+        let m = model();
+        let mut rng = SeedRng::new(1);
+        for kind in [
+            InterruptKind::NetworkRx,
+            InterruptKind::TimerTick,
+            InterruptKind::RescheduleIpi,
+            InterruptKind::Softirq(SoftirqKind::NetRx),
+            InterruptKind::IrqWork,
+        ] {
+            for _ in 0..200 {
+                let t = m.sample(kind, 0, &mut rng);
+                assert!(t >= Nanos::from_nanos(1_500), "{kind}: {t}");
+            }
+        }
+    }
+
+    #[test]
+    fn handler_times_are_microsecond_scale() {
+        let m = model();
+        let mut rng = SeedRng::new(2);
+        let mean: f64 = (0..2_000)
+            .map(|_| m.sample(InterruptKind::TimerTick, 0, &mut rng).as_micros_f64())
+            .sum::<f64>()
+            / 2_000.0;
+        assert!((2.0..8.0).contains(&mean), "mean = {mean} µs");
+    }
+
+    #[test]
+    fn net_rx_softirq_scales_with_packets() {
+        let m = model();
+        let mut rng = SeedRng::new(3);
+        let small: f64 = (0..500)
+            .map(|_| m.sample(InterruptKind::Softirq(SoftirqKind::NetRx), 1, &mut rng).as_micros_f64())
+            .sum::<f64>()
+            / 500.0;
+        let mut rng = SeedRng::new(3);
+        let big: f64 = (0..500)
+            .map(|_| m.sample(InterruptKind::Softirq(SoftirqKind::NetRx), 40, &mut rng).as_micros_f64())
+            .sum::<f64>()
+            / 500.0;
+        assert!(big > small + 15.0, "big={big} small={small}");
+    }
+
+    #[test]
+    fn softirq_budget_caps_runtime() {
+        let m = model();
+        let mut rng = SeedRng::new(4);
+        let t = m.sample(InterruptKind::Softirq(SoftirqKind::NetRx), 100_000, &mut rng);
+        assert!(t <= Nanos::from_millis(2) + Nanos::from_micros(2));
+    }
+
+    #[test]
+    fn vm_amplification_increases_times() {
+        let plain = model();
+        let vm = HandlerTimeModel {
+            base_overhead: Nanos::from_nanos(1_500),
+            amplification: 1.9,
+            vm_exit_cost: Nanos::from_nanos(2_500),
+        };
+        let mut r1 = SeedRng::new(5);
+        let mut r2 = SeedRng::new(5);
+        for _ in 0..200 {
+            let a = plain.sample(InterruptKind::TimerTick, 0, &mut r1);
+            let b = vm.sample(InterruptKind::TimerTick, 0, &mut r2);
+            assert!(b > a, "vm {b} <= plain {a}");
+        }
+    }
+
+    #[test]
+    fn irq_work_sits_near_55_microseconds_total() {
+        // Fig. 6: IRQ-work gaps spike around 5.5 µs including the ~1.5 µs
+        // floor and the timer tick they ride on. Here we check the
+        // standalone handler sits at 3.5–5 µs so tick+irq_work lands ~5.5.
+        let m = model();
+        let mut rng = SeedRng::new(6);
+        let mean: f64 = (0..2_000)
+            .map(|_| m.sample(InterruptKind::IrqWork, 0, &mut rng).as_micros_f64())
+            .sum::<f64>()
+            / 2_000.0;
+        assert!((3.5..5.5).contains(&mean), "mean = {mean} µs");
+    }
+
+    #[test]
+    fn labels_unique() {
+        let kinds = [
+            InterruptKind::NetworkRx,
+            InterruptKind::Disk,
+            InterruptKind::Graphics,
+            InterruptKind::Usb,
+            InterruptKind::TimerTick,
+            InterruptKind::RescheduleIpi,
+            InterruptKind::TlbShootdown,
+            InterruptKind::Softirq(SoftirqKind::NetRx),
+            InterruptKind::Softirq(SoftirqKind::Timer),
+            InterruptKind::Softirq(SoftirqKind::Tasklet),
+            InterruptKind::Softirq(SoftirqKind::Rcu),
+            InterruptKind::IrqWork,
+        ];
+        let mut labels: Vec<_> = kinds.iter().map(|k| k.label()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), kinds.len());
+    }
+
+    #[test]
+    fn classes_cover_all_kinds() {
+        assert_eq!(InterruptKind::Softirq(SoftirqKind::Rcu).class(), InterruptClass::Softirq);
+        assert_eq!(InterruptKind::NetworkRx.class(), InterruptClass::DeviceIrq);
+        assert_eq!(InterruptKind::TimerTick.class(), InterruptClass::Timer);
+    }
+}

@@ -1,0 +1,412 @@
+//! Per-core execution timelines: when user code ran, and when it was
+//! paused by the kernel.
+//!
+//! A [`CoreTimeline`] is the attacker-facing product of a simulation: a
+//! sorted set of non-overlapping [`Gap`]s (intervals where the core was
+//! executing kernel handlers or another task) plus the core's effective
+//! frequency curve. The attack replays execute user work over the busy-free
+//! intervals; the eBPF tooling cross-references gaps against the kernel
+//! log.
+
+use crate::interrupt::InterruptKind;
+use bf_stats::StepSeries;
+use bf_timer::Nanos;
+use serde::{Deserialize, Serialize};
+
+/// Why user code was not running during a gap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum GapCause {
+    /// An interrupt handler (possibly with further handlers queued
+    /// back-to-back; the kernel log holds the full decomposition).
+    Interrupt(InterruptKind),
+    /// The scheduler ran another task on this core.
+    Preemption,
+    /// A hardware-level stall with no kernel-side record: Turbo Boost
+    /// frequency transitions / SMM. The paper's footnote 4 observes
+    /// exactly these — "a significant number of execution gaps that
+    /// don't seem to correspond with time spent in the OS" — when Turbo
+    /// Boost is enabled, and disables it for the §5.2 analysis.
+    Hardware,
+}
+
+impl GapCause {
+    /// True when the gap was caused by interrupt handling of any kind.
+    pub fn is_interrupt(self) -> bool {
+        matches!(self, GapCause::Interrupt(_))
+    }
+}
+
+/// One interval during which user code on a core did not execute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Gap {
+    /// Gap start (user code pauses).
+    pub start: Nanos,
+    /// Gap end (user code resumes), exclusive.
+    pub end: Nanos,
+    /// Cause of the *first* pause in this gap.
+    pub cause: GapCause,
+}
+
+impl Gap {
+    /// Gap length.
+    pub fn len(&self) -> Nanos {
+        self.end - self.start
+    }
+
+    /// True for zero-length gaps (filtered out during construction).
+    pub fn is_empty(&self) -> bool {
+        self.end <= self.start
+    }
+
+    /// Overlap between this gap and `[a, b)`, in nanoseconds.
+    pub fn overlap(&self, a: Nanos, b: Nanos) -> Nanos {
+        let lo = self.start.max(a);
+        let hi = self.end.min(b);
+        hi.saturating_sub(lo)
+    }
+}
+
+/// The execution timeline of one core over a simulation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CoreTimeline {
+    duration: Nanos,
+    /// Sorted, non-overlapping, non-empty.
+    gaps: Vec<Gap>,
+    /// Effective speed multiplier over time (1.0 = nominal frequency).
+    freq: StepSeries,
+}
+
+impl CoreTimeline {
+    /// Build a timeline. Gaps must be sorted by start and non-overlapping;
+    /// zero-length gaps are dropped, and adjacent gaps that touch exactly
+    /// are merged (the attacker cannot observe a zero-length resumption).
+    ///
+    /// # Panics
+    ///
+    /// Panics when gaps are unsorted or overlap.
+    pub fn new(duration: Nanos, gaps: Vec<Gap>, freq: StepSeries) -> Self {
+        let mut merged: Vec<Gap> = Vec::with_capacity(gaps.len());
+        for g in gaps {
+            if g.is_empty() {
+                continue;
+            }
+            if let Some(last) = merged.last_mut() {
+                assert!(
+                    g.start >= last.end,
+                    "gaps must be sorted and non-overlapping: {:?} then {:?}",
+                    last,
+                    g
+                );
+                if g.start == last.end {
+                    last.end = g.end;
+                    continue;
+                }
+            }
+            merged.push(g);
+        }
+        CoreTimeline { duration, gaps: merged, freq }
+    }
+
+    /// An always-runnable timeline at nominal frequency (unit tests,
+    /// idle-machine baselines).
+    pub fn idle(duration: Nanos) -> Self {
+        CoreTimeline { duration, gaps: Vec::new(), freq: StepSeries::new(1.0) }
+    }
+
+    /// Simulated duration.
+    pub fn duration(&self) -> Nanos {
+        self.duration
+    }
+
+    /// All gaps, sorted by start.
+    pub fn gaps(&self) -> &[Gap] {
+        &self.gaps
+    }
+
+    /// The core's frequency multiplier curve.
+    pub fn freq(&self) -> &StepSeries {
+        &self.freq
+    }
+
+    /// Index of the first gap whose end is after `t`.
+    fn first_gap_after(&self, t: Nanos) -> usize {
+        self.gaps.partition_point(|g| g.end <= t)
+    }
+
+    /// Total gap time inside `[a, b)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `a > b`.
+    pub fn gap_time_between(&self, a: Nanos, b: Nanos) -> Nanos {
+        assert!(a <= b, "gap_time_between needs a <= b");
+        let mut total = Nanos::ZERO;
+        for g in &self.gaps[self.first_gap_after(a)..] {
+            if g.start >= b {
+                break;
+            }
+            total += g.overlap(a, b);
+        }
+        total
+    }
+
+    /// User execution time inside `[a, b)` (interval length minus gaps).
+    pub fn busy_time_between(&self, a: Nanos, b: Nanos) -> Nanos {
+        (b - a) - self.gap_time_between(a, b)
+    }
+
+    /// User *work* accomplished in `[a, b)`: the integral of the frequency
+    /// multiplier over non-gap time, in reference-nanoseconds. An attacker
+    /// iteration costing `c` reference-ns completes every `c` units of
+    /// work.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `a > b`.
+    pub fn work_between(&self, a: Nanos, b: Nanos) -> f64 {
+        assert!(a <= b, "work_between needs a <= b");
+        let mut work = self.freq.integrate(a.as_nanos(), b.as_nanos());
+        for g in &self.gaps[self.first_gap_after(a)..] {
+            if g.start >= b {
+                break;
+            }
+            let lo = g.start.max(a);
+            let hi = g.end.min(b);
+            if hi > lo {
+                work -= self.freq.integrate(lo.as_nanos(), hi.as_nanos());
+            }
+        }
+        work.max(0.0)
+    }
+
+    /// The gap containing `t`, if any.
+    pub fn gap_containing(&self, t: Nanos) -> Option<&Gap> {
+        let i = self.first_gap_after(t);
+        self.gaps.get(i).filter(|g| g.start <= t && t < g.end)
+    }
+
+    /// The earliest instant at or after `t` when user code runs (skips
+    /// over a containing gap).
+    pub fn next_runnable(&self, t: Nanos) -> Nanos {
+        match self.gap_containing(t) {
+            Some(g) => g.end,
+            None => t,
+        }
+    }
+
+    /// The earliest real time ≥ `t` by which `work` reference-ns of user
+    /// work has been accomplished. Inverse of [`CoreTimeline::work_between`];
+    /// used by attack replays to find when an iteration batch finishes.
+    pub fn real_time_after_work(&self, t: Nanos, work: f64) -> Nanos {
+        debug_assert!(work >= 0.0);
+        let mut now = self.next_runnable(t);
+        let mut remaining = work;
+        let mut idx = self.first_gap_after(now);
+        loop {
+            // Busy segment: [now, seg_end)
+            let seg_end = self.gaps.get(idx).map_or(Nanos::MAX, |g| g.start);
+            if seg_end > now {
+                // Work available in this segment; frequency may step inside
+                // it, so walk the frequency change points too.
+                let (t_done, left) = advance_through_freq(&self.freq, now, seg_end, remaining);
+                if left <= 0.0 {
+                    return t_done;
+                }
+                remaining = left;
+            }
+            match self.gaps.get(idx) {
+                Some(g) => {
+                    now = g.end;
+                    idx += 1;
+                }
+                None => {
+                    // No more gaps and still work left: should have been
+                    // consumed by the unbounded segment above.
+                    unreachable!("work not consumed on open-ended busy segment");
+                }
+            }
+        }
+    }
+
+    /// Fraction of `[a, b)` spent in interrupt-caused gaps (Fig. 5 helper).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `a >= b`.
+    pub fn interrupt_share(&self, a: Nanos, b: Nanos) -> f64 {
+        assert!(a < b, "interrupt_share needs a < b");
+        let mut total = Nanos::ZERO;
+        for g in &self.gaps[self.first_gap_after(a)..] {
+            if g.start >= b {
+                break;
+            }
+            if g.cause.is_interrupt() {
+                total += g.overlap(a, b);
+            }
+        }
+        total.as_nanos() as f64 / (b - a).as_nanos() as f64
+    }
+}
+
+/// Advance through `[from, to)` consuming `work` at the stepwise frequency;
+/// returns (finish time, remaining work). Remaining is 0 when the work fit.
+fn advance_through_freq(freq: &StepSeries, from: Nanos, to: Nanos, work: f64) -> (Nanos, f64) {
+    let mut now = from.as_nanos();
+    let end = to.as_nanos();
+    let mut remaining = work;
+    while now < end {
+        let m = freq.value_at(now).max(1e-9);
+        // Next frequency change point after `now`, clamped to `end`.
+        let next = freq
+            .points()
+            .get(freq.points().partition_point(|&(t, _)| t <= now))
+            .map_or(end, |&(t, _)| t.min(end));
+        let span = (next - now) as f64;
+        let capacity = span * m;
+        if capacity >= remaining {
+            let dt = (remaining / m).ceil() as u64;
+            return (Nanos(now + dt), 0.0);
+        }
+        remaining -= capacity;
+        now = next;
+    }
+    (Nanos(now), remaining)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gap(start: u64, end: u64) -> Gap {
+        Gap {
+            start: Nanos(start),
+            end: Nanos(end),
+            cause: GapCause::Interrupt(InterruptKind::TimerTick),
+        }
+    }
+
+    fn tl(gaps: Vec<Gap>) -> CoreTimeline {
+        CoreTimeline::new(Nanos(1_000), gaps, StepSeries::new(1.0))
+    }
+
+    #[test]
+    fn empty_gaps_dropped_and_touching_merged() {
+        let t = tl(vec![gap(10, 10), gap(20, 30), gap(30, 40), gap(50, 60)]);
+        assert_eq!(t.gaps().len(), 2);
+        assert_eq!(t.gaps()[0], gap(20, 40));
+        assert_eq!(t.gaps()[1], gap(50, 60));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-overlapping")]
+    fn overlapping_gaps_panic() {
+        tl(vec![gap(10, 30), gap(20, 40)]);
+    }
+
+    #[test]
+    fn gap_time_between_sums_overlaps() {
+        let t = tl(vec![gap(10, 20), gap(50, 70)]);
+        assert_eq!(t.gap_time_between(Nanos(0), Nanos(100)), Nanos(30));
+        assert_eq!(t.gap_time_between(Nanos(15), Nanos(60)), Nanos(15));
+        assert_eq!(t.gap_time_between(Nanos(20), Nanos(50)), Nanos::ZERO);
+        assert_eq!(t.gap_time_between(Nanos(55), Nanos(55)), Nanos::ZERO);
+    }
+
+    #[test]
+    fn busy_time_complements_gap_time() {
+        let t = tl(vec![gap(10, 20), gap(50, 70)]);
+        assert_eq!(t.busy_time_between(Nanos(0), Nanos(100)), Nanos(70));
+    }
+
+    #[test]
+    fn work_equals_busy_time_at_unit_frequency() {
+        let t = tl(vec![gap(10, 20)]);
+        assert_eq!(t.work_between(Nanos(0), Nanos(100)), 90.0);
+    }
+
+    #[test]
+    fn work_scales_with_frequency() {
+        let mut freq = StepSeries::new(1.0);
+        freq.push(50, 0.5);
+        let t = CoreTimeline::new(Nanos(1_000), vec![gap(10, 20)], freq);
+        // [0,100): busy 0-10 (10 @1.0) + 20-50 (30 @1.0) + 50-100 (50 @0.5)
+        assert_eq!(t.work_between(Nanos(0), Nanos(100)), 10.0 + 30.0 + 25.0);
+    }
+
+    #[test]
+    fn next_runnable_skips_gap() {
+        let t = tl(vec![gap(10, 20)]);
+        assert_eq!(t.next_runnable(Nanos(5)), Nanos(5));
+        assert_eq!(t.next_runnable(Nanos(10)), Nanos(20));
+        assert_eq!(t.next_runnable(Nanos(15)), Nanos(20));
+        assert_eq!(t.next_runnable(Nanos(20)), Nanos(20));
+    }
+
+    #[test]
+    fn gap_containing_boundaries() {
+        let t = tl(vec![gap(10, 20)]);
+        assert!(t.gap_containing(Nanos(9)).is_none());
+        assert!(t.gap_containing(Nanos(10)).is_some());
+        assert!(t.gap_containing(Nanos(19)).is_some());
+        assert!(t.gap_containing(Nanos(20)).is_none());
+    }
+
+    #[test]
+    fn real_time_after_work_without_gaps() {
+        let t = tl(vec![]);
+        assert_eq!(t.real_time_after_work(Nanos(0), 100.0), Nanos(100));
+    }
+
+    #[test]
+    fn real_time_after_work_skips_gaps() {
+        let t = tl(vec![gap(10, 30)]);
+        // 15 units of work: 10 before the gap, 5 after -> finish at 35.
+        assert_eq!(t.real_time_after_work(Nanos(0), 15.0), Nanos(35));
+    }
+
+    #[test]
+    fn real_time_after_work_starting_inside_gap() {
+        let t = tl(vec![gap(10, 30)]);
+        assert_eq!(t.real_time_after_work(Nanos(15), 5.0), Nanos(35));
+    }
+
+    #[test]
+    fn real_time_after_work_roundtrips_with_work_between() {
+        let t = tl(vec![gap(10, 30), gap(100, 120), gap(300, 305)]);
+        for &w in &[1.0, 25.0, 73.0, 400.0] {
+            let fin = t.real_time_after_work(Nanos(0), w);
+            let back = t.work_between(Nanos(0), fin);
+            assert!((back - w).abs() <= 1.0, "w={w} fin={fin} back={back}");
+        }
+    }
+
+    #[test]
+    fn real_time_after_work_with_frequency_steps() {
+        let mut freq = StepSeries::new(1.0);
+        freq.push(10, 2.0);
+        let t = CoreTimeline::new(Nanos(1_000), vec![], freq);
+        // 30 work: 10 at 1.0 (10 ns), then 20 at 2.0 (10 ns) -> t=20.
+        assert_eq!(t.real_time_after_work(Nanos(0), 30.0), Nanos(20));
+    }
+
+    #[test]
+    fn interrupt_share_ignores_preemption() {
+        let gaps = vec![
+            Gap { start: Nanos(0), end: Nanos(10), cause: GapCause::Preemption },
+            Gap {
+                start: Nanos(50),
+                end: Nanos(60),
+                cause: GapCause::Interrupt(InterruptKind::TimerTick),
+            },
+        ];
+        let t = CoreTimeline::new(Nanos(100), gaps, StepSeries::new(1.0));
+        assert!((t.interrupt_share(Nanos(0), Nanos(100)) - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn idle_timeline_is_all_busy() {
+        let t = CoreTimeline::idle(Nanos(500));
+        assert!(t.gaps().is_empty());
+        assert_eq!(t.busy_time_between(Nanos(0), Nanos(500)), Nanos(500));
+    }
+}

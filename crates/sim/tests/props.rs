@@ -1,0 +1,122 @@
+//! Property-based invariants for the machine simulator.
+
+use bf_sim::{
+    GapCause, KernelEventKind, Machine, MachineConfig, TimedEvent, Workload, WorkloadEvent,
+};
+use bf_timer::Nanos;
+use proptest::prelude::*;
+
+/// Random small workloads over a 200 ms window.
+fn workload_strategy() -> impl Strategy<Value = Workload> {
+    proptest::collection::vec(
+        (0u64..200_000_000, 0u8..6, 1u32..2_000),
+        0..60,
+    )
+    .prop_map(|evs| {
+        let mut w = Workload::new(Nanos::from_millis(200));
+        for (t, kind, magnitude) in evs {
+            let event = match kind {
+                0 => WorkloadEvent::NetworkPacket { bytes: magnitude },
+                1 => WorkloadEvent::VictimWake,
+                2 => WorkloadEvent::TlbShootdown { pages: magnitude.min(512) },
+                3 => WorkloadEvent::GraphicsFrame,
+                4 => WorkloadEvent::CacheLoad { lines: magnitude },
+                _ => WorkloadEvent::CpuBurst {
+                    duration: Nanos::from_micros(u64::from(magnitude.min(5_000))),
+                },
+            };
+            w.push(TimedEvent { t: Nanos(t), event });
+        }
+        w
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Simulation is a pure function of (workload, seed).
+    #[test]
+    fn simulation_is_deterministic(w in workload_strategy(), seed in 0u64..1_000) {
+        let m = Machine::new(MachineConfig::default());
+        let a = m.run(&w, seed);
+        let b = m.run(&w, seed);
+        prop_assert_eq!(a.attacker_timeline().gaps(), b.attacker_timeline().gaps());
+        prop_assert_eq!(a.kernel_log.events(), b.kernel_log.events());
+    }
+
+    /// Gaps on every core are sorted, disjoint, and non-empty.
+    #[test]
+    fn gaps_well_formed(w in workload_strategy(), seed in 0u64..1_000) {
+        let m = Machine::new(MachineConfig::default());
+        let out = m.run(&w, seed);
+        for tl in &out.cores {
+            for g in tl.gaps() {
+                prop_assert!(g.end > g.start);
+            }
+            for pair in tl.gaps().windows(2) {
+                prop_assert!(pair[1].start > pair[0].end);
+            }
+        }
+    }
+
+    /// Kernel interrupt time on a core is fully contained in that core's
+    /// gap set (every handler interval pauses user code).
+    #[test]
+    fn kernel_time_is_inside_gaps(w in workload_strategy(), seed in 0u64..1_000) {
+        let mut cfg = MachineConfig::default();
+        cfg.isolation.pin_cores = true;
+        let m = Machine::new(cfg);
+        let out = m.run(&w, seed);
+        let core = out.attacker_core;
+        let tl = out.attacker_timeline();
+        for ev in out.kernel_log.events_on_core(core) {
+            if ev.kind == KernelEventKind::ContextSwitch {
+                continue;
+            }
+            // The handler interval must lie within the gap set.
+            let covered = tl.gap_time_between(ev.start, ev.end);
+            prop_assert_eq!(covered, ev.len(), "event {:?} not covered", ev);
+        }
+    }
+
+    /// The LLC load series is non-decreasing.
+    #[test]
+    fn llc_series_monotone(w in workload_strategy(), seed in 0u64..1_000) {
+        let m = Machine::new(MachineConfig::default());
+        let out = m.run(&w, seed);
+        let mut last = 0.0;
+        for &(_, v) in out.llc_loads.points() {
+            prop_assert!(v >= last);
+            last = v;
+        }
+    }
+
+    /// irqbalance guarantees: no movable IRQ ever lands on a non-target
+    /// core.
+    #[test]
+    fn irqbalance_confines_movable(w in workload_strategy(), seed in 0u64..1_000) {
+        let mut cfg = MachineConfig::default();
+        cfg.isolation.confine_movable_irqs = true;
+        let m = Machine::new(cfg);
+        let out = m.run(&w, seed);
+        for ev in out.kernel_log.events() {
+            if let Some(kind) = ev.kind.interrupt() {
+                if kind.is_movable() {
+                    prop_assert_eq!(ev.core, 0, "{} on core {}", kind, ev.core);
+                }
+            }
+        }
+    }
+
+    /// Pinned cores mean no preemption gaps on the attacker core.
+    #[test]
+    fn pinning_removes_preemption(w in workload_strategy(), seed in 0u64..1_000) {
+        let mut cfg = MachineConfig::default();
+        cfg.isolation.pin_cores = true;
+        let m = Machine::new(cfg);
+        let out = m.run(&w, seed);
+        for g in out.attacker_timeline().gaps() {
+            prop_assert!(g.cause != GapCause::Preemption);
+        }
+    }
+}

@@ -1,0 +1,246 @@
+//! Descriptive statistics: mean, variance, quantiles, and the [`Summary`]
+//! aggregate used throughout the experiment reports.
+
+use crate::{Result, StatsError};
+
+/// Arithmetic mean of `xs`.
+///
+/// Returns [`StatsError::Empty`] for an empty slice.
+///
+/// ```
+/// assert_eq!(bf_stats::describe::mean(&[1.0, 2.0, 3.0]).unwrap(), 2.0);
+/// ```
+pub fn mean(xs: &[f64]) -> Result<f64> {
+    if xs.is_empty() {
+        return Err(StatsError::Empty);
+    }
+    Ok(xs.iter().sum::<f64>() / xs.len() as f64)
+}
+
+/// Unbiased (n − 1) sample variance.
+///
+/// # Errors
+///
+/// Returns [`StatsError::Undefined`] when fewer than two samples are given.
+pub fn sample_variance(xs: &[f64]) -> Result<f64> {
+    if xs.len() < 2 {
+        return Err(StatsError::Undefined("sample variance needs >= 2 samples"));
+    }
+    let m = mean(xs)?;
+    let ss: f64 = xs.iter().map(|x| (x - m) * (x - m)).sum();
+    Ok(ss / (xs.len() - 1) as f64)
+}
+
+/// Unbiased sample standard deviation.
+///
+/// # Errors
+///
+/// Returns [`StatsError::Undefined`] when fewer than two samples are given.
+pub fn sample_std(xs: &[f64]) -> Result<f64> {
+    sample_variance(xs).map(f64::sqrt)
+}
+
+/// Population (n) variance.
+///
+/// # Errors
+///
+/// Returns [`StatsError::Empty`] for an empty slice.
+pub fn population_variance(xs: &[f64]) -> Result<f64> {
+    let m = mean(xs)?;
+    let ss: f64 = xs.iter().map(|x| (x - m) * (x - m)).sum();
+    Ok(ss / xs.len() as f64)
+}
+
+/// Linear-interpolated quantile (`q` in `[0, 1]`), matching numpy's default
+/// "linear" method. The input does not need to be sorted.
+///
+/// # Errors
+///
+/// [`StatsError::Empty`] for empty input, [`StatsError::InvalidParameter`]
+/// when `q` is outside `[0, 1]` or NaN.
+pub fn quantile(xs: &[f64], q: f64) -> Result<f64> {
+    if xs.is_empty() {
+        return Err(StatsError::Empty);
+    }
+    if !(0.0..=1.0).contains(&q) {
+        return Err(StatsError::InvalidParameter("quantile q must be in [0, 1]"));
+    }
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in quantile input"));
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    Ok(sorted[lo] * (1.0 - frac) + sorted[hi] * frac)
+}
+
+/// Median (the 0.5 quantile).
+///
+/// # Errors
+///
+/// [`StatsError::Empty`] for empty input.
+pub fn median(xs: &[f64]) -> Result<f64> {
+    quantile(xs, 0.5)
+}
+
+/// A compact five-plus-two-number summary of a sample.
+///
+/// Produced for every reported accuracy and every gap-length distribution in
+/// the experiment harness.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Number of samples.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Unbiased sample standard deviation (0 when `n < 2`).
+    pub std: f64,
+    /// Smallest sample.
+    pub min: f64,
+    /// 25th percentile.
+    pub p25: f64,
+    /// Median.
+    pub median: f64,
+    /// 75th percentile.
+    pub p75: f64,
+    /// Largest sample.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Summarize a non-empty sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `xs` is empty; use [`Summary::try_of`] for fallible input.
+    pub fn of(xs: &[f64]) -> Self {
+        Self::try_of(xs).expect("Summary::of requires a non-empty sample")
+    }
+
+    /// Summarize a sample, returning an error when it is empty.
+    ///
+    /// # Errors
+    ///
+    /// [`StatsError::Empty`] for empty input.
+    pub fn try_of(xs: &[f64]) -> Result<Self> {
+        if xs.is_empty() {
+            return Err(StatsError::Empty);
+        }
+        let mean = mean(xs)?;
+        let std = if xs.len() >= 2 { sample_std(xs)? } else { 0.0 };
+        let min = xs.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        Ok(Summary {
+            n: xs.len(),
+            mean,
+            std,
+            min,
+            p25: quantile(xs, 0.25)?,
+            median: quantile(xs, 0.5)?,
+            p75: quantile(xs, 0.75)?,
+            max,
+        })
+    }
+}
+
+impl std::fmt::Display for Summary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.4} std={:.4} min={:.4} p25={:.4} med={:.4} p75={:.4} max={:.4}",
+            self.n, self.mean, self.std, self.min, self.p25, self.median, self.p75, self.max
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_basic() {
+        assert_eq!(mean(&[2.0, 4.0]).unwrap(), 3.0);
+    }
+
+    #[test]
+    fn mean_empty_errors() {
+        assert_eq!(mean(&[]), Err(StatsError::Empty));
+    }
+
+    #[test]
+    fn variance_matches_hand_computation() {
+        // var([1,2,3,4]) with n-1 = ((1.5^2 + .5^2)*2)/3 = 5/3
+        let v = sample_variance(&[1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert!((v - 5.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn variance_needs_two_samples() {
+        assert!(sample_variance(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn population_variance_divides_by_n() {
+        let v = population_variance(&[1.0, 3.0]).unwrap();
+        assert_eq!(v, 1.0);
+    }
+
+    #[test]
+    fn quantile_interpolates() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(quantile(&xs, 0.0).unwrap(), 1.0);
+        assert_eq!(quantile(&xs, 1.0).unwrap(), 4.0);
+        assert_eq!(quantile(&xs, 0.5).unwrap(), 2.5);
+        assert!((quantile(&xs, 0.25).unwrap() - 1.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantile_rejects_bad_q() {
+        assert!(quantile(&[1.0], 1.5).is_err());
+        assert!(quantile(&[1.0], -0.1).is_err());
+    }
+
+    #[test]
+    fn quantile_unsorted_input() {
+        let xs = [4.0, 1.0, 3.0, 2.0];
+        assert_eq!(quantile(&xs, 0.5).unwrap(), 2.5);
+    }
+
+    #[test]
+    fn median_odd_length() {
+        assert_eq!(median(&[9.0, 1.0, 5.0]).unwrap(), 5.0);
+    }
+
+    #[test]
+    fn summary_fields_consistent() {
+        let s = Summary::of(&[1.0, 2.0, 3.0, 4.0, 100.0]);
+        assert_eq!(s.n, 5);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 100.0);
+        assert_eq!(s.median, 3.0);
+        assert_eq!(s.mean, 22.0);
+        assert!(s.std > 0.0);
+        assert!(s.p25 <= s.median && s.median <= s.p75);
+    }
+
+    #[test]
+    fn summary_single_sample_has_zero_std() {
+        let s = Summary::of(&[7.0]);
+        assert_eq!(s.std, 0.0);
+        assert_eq!(s.mean, 7.0);
+        assert_eq!(s.min, s.max);
+    }
+
+    #[test]
+    fn summary_empty_errors() {
+        assert!(Summary::try_of(&[]).is_err());
+    }
+
+    #[test]
+    fn summary_display_nonempty() {
+        let s = Summary::of(&[1.0, 2.0]);
+        let text = s.to_string();
+        assert!(text.contains("n=2"));
+        assert!(text.contains("mean=1.5"));
+    }
+}

@@ -1,0 +1,224 @@
+//! Fixed-bin histograms, used for the interrupt handling-time distributions
+//! of Fig. 6 and the attacker-loop duration distributions of Fig. 8.
+
+use crate::{Result, StatsError};
+
+/// A histogram over `[lo, hi)` with equally sized bins plus overflow and
+/// underflow counters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+    total: u64,
+}
+
+impl Histogram {
+    /// Create a histogram over `[lo, hi)` with `bins` equal-width bins.
+    ///
+    /// # Errors
+    ///
+    /// [`StatsError::InvalidParameter`] when `bins == 0`, `lo >= hi`, or
+    /// either bound is not finite.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Result<Self> {
+        if bins == 0 {
+            return Err(StatsError::InvalidParameter("histogram needs at least one bin"));
+        }
+        if !(lo.is_finite() && hi.is_finite()) || lo >= hi {
+            return Err(StatsError::InvalidParameter("histogram needs finite lo < hi"));
+        }
+        Ok(Histogram { lo, hi, counts: vec![0; bins], underflow: 0, overflow: 0, total: 0 })
+    }
+
+    /// Record one observation.
+    pub fn record(&mut self, x: f64) {
+        self.total += 1;
+        if x < self.lo {
+            self.underflow += 1;
+        } else if x >= self.hi {
+            self.overflow += 1;
+        } else {
+            let w = (self.hi - self.lo) / self.counts.len() as f64;
+            let mut idx = ((x - self.lo) / w) as usize;
+            // Guard against floating-point edge landing exactly on len.
+            if idx >= self.counts.len() {
+                idx = self.counts.len() - 1;
+            }
+            self.counts[idx] += 1;
+        }
+    }
+
+    /// Record every observation in `xs`.
+    pub fn record_all<I: IntoIterator<Item = f64>>(&mut self, xs: I) {
+        for x in xs {
+            self.record(x);
+        }
+    }
+
+    /// Total number of recorded observations (including under/overflow).
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Observations below the histogram range.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Observations at or above the upper bound.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Number of bins.
+    pub fn bins(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Raw per-bin counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Width of each bin.
+    pub fn bin_width(&self) -> f64 {
+        (self.hi - self.lo) / self.counts.len() as f64
+    }
+
+    /// Center of bin `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i >= self.bins()`.
+    pub fn bin_center(&self, i: usize) -> f64 {
+        assert!(i < self.counts.len(), "bin index out of range");
+        self.lo + (i as f64 + 0.5) * self.bin_width()
+    }
+
+    /// Per-bin densities normalized so in-range mass sums to 1
+    /// (empty histogram yields all zeros).
+    pub fn densities(&self) -> Vec<f64> {
+        let in_range: u64 = self.counts.iter().sum();
+        if in_range == 0 {
+            return vec![0.0; self.counts.len()];
+        }
+        self.counts.iter().map(|&c| c as f64 / in_range as f64).collect()
+    }
+
+    /// Index of the fullest bin, or `None` when no in-range samples exist.
+    pub fn mode_bin(&self) -> Option<usize> {
+        let max = *self.counts.iter().max()?;
+        if max == 0 {
+            return None;
+        }
+        self.counts.iter().position(|&c| c == max)
+    }
+
+    /// Render a terminal sparkline-style bar chart, one row per bin.
+    /// Used by the `figure6`/`figure8` regeneration binaries.
+    pub fn render(&self, width: usize) -> String {
+        let max = self.counts.iter().copied().max().unwrap_or(0).max(1);
+        let mut out = String::new();
+        for (i, &c) in self.counts.iter().enumerate() {
+            let bar_len = (c as f64 / max as f64 * width as f64).round() as usize;
+            out.push_str(&format!(
+                "{:>10.3} | {:<width$} {}\n",
+                self.bin_center(i),
+                "#".repeat(bar_len),
+                c,
+                width = width
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bins_partition_range() {
+        let mut h = Histogram::new(0.0, 10.0, 10).unwrap();
+        for i in 0..10 {
+            h.record(i as f64 + 0.5);
+        }
+        assert_eq!(h.counts(), &[1; 10]);
+        assert_eq!(h.total(), 10);
+        assert_eq!(h.underflow(), 0);
+        assert_eq!(h.overflow(), 0);
+    }
+
+    #[test]
+    fn under_and_overflow_tracked() {
+        let mut h = Histogram::new(0.0, 1.0, 4).unwrap();
+        h.record(-0.1);
+        h.record(1.0); // hi is exclusive
+        h.record(5.0);
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 2);
+        assert_eq!(h.total(), 3);
+    }
+
+    #[test]
+    fn lower_edge_inclusive() {
+        let mut h = Histogram::new(0.0, 1.0, 2);
+        let h = h.as_mut().unwrap();
+        h.record(0.0);
+        assert_eq!(h.counts()[0], 1);
+    }
+
+    #[test]
+    fn densities_sum_to_one() {
+        let mut h = Histogram::new(0.0, 10.0, 5).unwrap();
+        h.record_all([1.0, 2.0, 3.0, 7.0, 9.0]);
+        let sum: f64 = h.densities().iter().sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn densities_empty_all_zero() {
+        let h = Histogram::new(0.0, 1.0, 3).unwrap();
+        assert_eq!(h.densities(), vec![0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn mode_bin_finds_peak() {
+        let mut h = Histogram::new(0.0, 3.0, 3).unwrap();
+        h.record_all([0.5, 1.5, 1.6, 1.7, 2.5]);
+        assert_eq!(h.mode_bin(), Some(1));
+    }
+
+    #[test]
+    fn mode_bin_none_when_empty() {
+        let h = Histogram::new(0.0, 3.0, 3).unwrap();
+        assert_eq!(h.mode_bin(), None);
+    }
+
+    #[test]
+    fn invalid_parameters_rejected() {
+        assert!(Histogram::new(0.0, 1.0, 0).is_err());
+        assert!(Histogram::new(1.0, 1.0, 4).is_err());
+        assert!(Histogram::new(2.0, 1.0, 4).is_err());
+        assert!(Histogram::new(f64::NAN, 1.0, 4).is_err());
+    }
+
+    #[test]
+    fn bin_centers_are_midpoints() {
+        let h = Histogram::new(0.0, 10.0, 5).unwrap();
+        assert_eq!(h.bin_center(0), 1.0);
+        assert_eq!(h.bin_center(4), 9.0);
+        assert_eq!(h.bin_width(), 2.0);
+    }
+
+    #[test]
+    fn render_contains_counts() {
+        let mut h = Histogram::new(0.0, 2.0, 2).unwrap();
+        h.record_all([0.5, 0.6, 1.5]);
+        let out = h.render(10);
+        assert!(out.contains('#'));
+        assert!(out.lines().count() == 2);
+    }
+}

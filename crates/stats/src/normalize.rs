@@ -1,0 +1,182 @@
+//! Trace normalization helpers.
+//!
+//! Fig. 4 of the paper normalizes averaged traces "by dividing each value by
+//! the maximum iteration count observed by that attacker", which is
+//! [`max_normalize`]. The classifier pipeline additionally standardizes
+//! features ([`zscore`]) before training.
+
+use crate::{Result, StatsError};
+
+/// Divide every element by the sample maximum so the result peaks at 1.
+///
+/// # Errors
+///
+/// [`StatsError::Empty`] on empty input; [`StatsError::Undefined`] when the
+/// maximum is zero or negative (the traces measured by the attackers are
+/// iteration counts, which are non-negative).
+pub fn max_normalize(xs: &[f64]) -> Result<Vec<f64>> {
+    if xs.is_empty() {
+        return Err(StatsError::Empty);
+    }
+    let max = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    if max <= 0.0 {
+        return Err(StatsError::Undefined("max-normalize needs a positive maximum"));
+    }
+    Ok(xs.iter().map(|x| x / max).collect())
+}
+
+/// Map to `[0, 1]` via `(x - min) / (max - min)`.
+///
+/// # Errors
+///
+/// [`StatsError::Empty`] on empty input; [`StatsError::Undefined`] when all
+/// samples are identical.
+pub fn min_max_normalize(xs: &[f64]) -> Result<Vec<f64>> {
+    if xs.is_empty() {
+        return Err(StatsError::Empty);
+    }
+    let min = xs.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    if max == min {
+        return Err(StatsError::Undefined("min-max normalize needs spread"));
+    }
+    Ok(xs.iter().map(|x| (x - min) / (max - min)).collect())
+}
+
+/// Standardize to zero mean and unit (population) standard deviation.
+/// Constant input maps to all zeros rather than erroring, because constant
+/// traces legitimately occur in smoke-scale experiments.
+///
+/// # Errors
+///
+/// [`StatsError::Empty`] on empty input.
+pub fn zscore(xs: &[f64]) -> Result<Vec<f64>> {
+    if xs.is_empty() {
+        return Err(StatsError::Empty);
+    }
+    let n = xs.len() as f64;
+    let mean = xs.iter().sum::<f64>() / n;
+    let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
+    if var == 0.0 {
+        return Ok(vec![0.0; xs.len()]);
+    }
+    let sd = var.sqrt();
+    Ok(xs.iter().map(|x| (x - mean) / sd).collect())
+}
+
+/// Element-wise mean of several equal-length traces, used for the
+/// 100-run averaged traces of Fig. 4 and Fig. 5.
+///
+/// # Errors
+///
+/// [`StatsError::Empty`] when no traces are given;
+/// [`StatsError::LengthMismatch`] when trace lengths differ.
+pub fn mean_trace(traces: &[Vec<f64>]) -> Result<Vec<f64>> {
+    let first = traces.first().ok_or(StatsError::Empty)?;
+    let len = first.len();
+    for t in traces {
+        if t.len() != len {
+            return Err(StatsError::LengthMismatch { left: len, right: t.len() });
+        }
+    }
+    let mut out = vec![0.0; len];
+    for t in traces {
+        for (o, x) in out.iter_mut().zip(t) {
+            *o += x;
+        }
+    }
+    let n = traces.len() as f64;
+    for o in &mut out {
+        *o /= n;
+    }
+    Ok(out)
+}
+
+/// Downsample by averaging consecutive blocks of `factor` samples; a
+/// trailing partial block is averaged over its actual length. Used to bring
+/// paper-scale 3 000-sample traces down to classifier-friendly lengths.
+///
+/// # Errors
+///
+/// [`StatsError::InvalidParameter`] when `factor == 0`.
+pub fn downsample_mean(xs: &[f64], factor: usize) -> Result<Vec<f64>> {
+    if factor == 0 {
+        return Err(StatsError::InvalidParameter("downsample factor must be positive"));
+    }
+    Ok(xs
+        .chunks(factor)
+        .map(|c| c.iter().sum::<f64>() / c.len() as f64)
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn max_normalize_peaks_at_one() {
+        let v = max_normalize(&[1.0, 4.0, 2.0]).unwrap();
+        assert_eq!(v, vec![0.25, 1.0, 0.5]);
+    }
+
+    #[test]
+    fn max_normalize_rejects_nonpositive() {
+        assert!(max_normalize(&[0.0, 0.0]).is_err());
+        assert!(max_normalize(&[-1.0, -3.0]).is_err());
+        assert!(max_normalize(&[]).is_err());
+    }
+
+    #[test]
+    fn min_max_maps_to_unit_interval() {
+        let v = min_max_normalize(&[10.0, 20.0, 15.0]).unwrap();
+        assert_eq!(v, vec![0.0, 1.0, 0.5]);
+    }
+
+    #[test]
+    fn min_max_rejects_constant() {
+        assert!(min_max_normalize(&[3.0, 3.0]).is_err());
+    }
+
+    #[test]
+    fn zscore_zero_mean_unit_var() {
+        let v = zscore(&[1.0, 2.0, 3.0, 4.0]).unwrap();
+        let mean: f64 = v.iter().sum::<f64>() / 4.0;
+        let var: f64 = v.iter().map(|x| x * x).sum::<f64>() / 4.0;
+        assert!(mean.abs() < 1e-12);
+        assert!((var - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zscore_constant_is_zeros() {
+        assert_eq!(zscore(&[5.0, 5.0]).unwrap(), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn mean_trace_averages_elementwise() {
+        let m = mean_trace(&[vec![1.0, 3.0], vec![3.0, 5.0]]).unwrap();
+        assert_eq!(m, vec![2.0, 4.0]);
+    }
+
+    #[test]
+    fn mean_trace_checks_lengths() {
+        assert!(mean_trace(&[vec![1.0], vec![1.0, 2.0]]).is_err());
+        assert!(mean_trace(&[]).is_err());
+    }
+
+    #[test]
+    fn downsample_blocks() {
+        let d = downsample_mean(&[1.0, 3.0, 5.0, 7.0, 10.0], 2).unwrap();
+        assert_eq!(d, vec![2.0, 6.0, 10.0]);
+    }
+
+    #[test]
+    fn downsample_factor_one_is_identity() {
+        let xs = [1.0, 2.0];
+        assert_eq!(downsample_mean(&xs, 1).unwrap(), xs.to_vec());
+    }
+
+    #[test]
+    fn downsample_zero_factor_rejected() {
+        assert!(downsample_mean(&[1.0], 0).is_err());
+    }
+}

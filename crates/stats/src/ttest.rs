@@ -1,0 +1,132 @@
+//! Welch's two-sample *t*-test.
+//!
+//! §4.2: "we use a standard 2-sample t-test to compute the statistical
+//! significance of our classifier compared to the classifier from \[65\]. Our
+//! results are always significant with p < 0.0001, except for the Tor
+//! Browser top-1 result, which is significant with p < 0.05."
+
+use crate::describe::{mean, sample_variance};
+use crate::special::student_t_cdf;
+use crate::{Result, StatsError};
+
+/// Outcome of a Welch two-sample *t*-test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TTestResult {
+    /// The t statistic (positive when the first sample's mean is larger).
+    pub t: f64,
+    /// Welch–Satterthwaite degrees of freedom.
+    pub df: f64,
+    /// Two-sided p-value.
+    pub p_two_sided: f64,
+    /// One-sided p-value for the alternative "mean(a) > mean(b)".
+    pub p_greater: f64,
+}
+
+impl TTestResult {
+    /// True when the two-sided p-value is below `alpha`.
+    pub fn significant_at(&self, alpha: f64) -> bool {
+        self.p_two_sided < alpha
+    }
+}
+
+/// Welch's unequal-variance two-sample *t*-test comparing the means of
+/// independent samples `a` and `b`.
+///
+/// # Errors
+///
+/// * [`StatsError::Undefined`] when either sample has fewer than two
+///   elements or both variances are zero.
+///
+/// ```
+/// let a = [10.0, 11.0, 9.5, 10.5];
+/// let b = [5.0, 5.5, 4.5, 5.2];
+/// let r = bf_stats::welch_t_test(&a, &b).unwrap();
+/// assert!(r.p_two_sided < 0.01);
+/// assert!(r.t > 0.0);
+/// ```
+pub fn welch_t_test(a: &[f64], b: &[f64]) -> Result<TTestResult> {
+    if a.len() < 2 || b.len() < 2 {
+        return Err(StatsError::Undefined("welch t-test needs >= 2 samples per group"));
+    }
+    let ma = mean(a)?;
+    let mb = mean(b)?;
+    let va = sample_variance(a)?;
+    let vb = sample_variance(b)?;
+    let na = a.len() as f64;
+    let nb = b.len() as f64;
+    let sea = va / na;
+    let seb = vb / nb;
+    let se = sea + seb;
+    if se == 0.0 {
+        return Err(StatsError::Undefined("welch t-test undefined for zero variance"));
+    }
+    let t = (ma - mb) / se.sqrt();
+    let df = se * se / (sea * sea / (na - 1.0) + seb * seb / (nb - 1.0));
+    let p_greater = 1.0 - student_t_cdf(t, df);
+    let p_two_sided = 2.0 * p_greater.min(1.0 - p_greater);
+    Ok(TTestResult { t, df, p_two_sided, p_greater })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clearly_different_means_are_significant() {
+        let a = [96.0, 97.0, 96.5, 95.8, 96.2, 96.9, 96.4, 96.1, 96.7, 96.3];
+        let b = [91.0, 91.5, 91.2, 90.8, 91.9, 91.3, 91.1, 90.9, 91.6, 91.4];
+        let r = welch_t_test(&a, &b).unwrap();
+        assert!(r.p_two_sided < 1e-4, "p = {}", r.p_two_sided);
+        assert!(r.significant_at(0.0001));
+        assert!(r.t > 0.0);
+    }
+
+    #[test]
+    fn identical_distributions_are_not_significant() {
+        let a = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let b = [1.1, 1.9, 3.1, 3.9, 5.0];
+        let r = welch_t_test(&a, &b).unwrap();
+        assert!(r.p_two_sided > 0.5);
+        assert!(!r.significant_at(0.05));
+    }
+
+    #[test]
+    fn symmetric_under_swap() {
+        let a = [1.0, 2.0, 3.0];
+        let b = [4.0, 5.0, 6.5];
+        let r1 = welch_t_test(&a, &b).unwrap();
+        let r2 = welch_t_test(&b, &a).unwrap();
+        assert!((r1.t + r2.t).abs() < 1e-12);
+        assert!((r1.p_two_sided - r2.p_two_sided).abs() < 1e-10);
+        assert!((r1.p_greater + r2.p_greater - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn welch_df_between_min_and_sum() {
+        let a = [1.0, 2.0, 3.0, 4.0, 100.0];
+        let b = [1.0, 1.1, 0.9, 1.05];
+        let r = welch_t_test(&a, &b).unwrap();
+        assert!(r.df >= 1.0);
+        assert!(r.df <= (a.len() + b.len() - 2) as f64);
+    }
+
+    #[test]
+    fn rejects_tiny_samples() {
+        assert!(welch_t_test(&[1.0], &[1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn rejects_zero_variance() {
+        assert!(welch_t_test(&[1.0, 1.0], &[2.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn scipy_reference_value() {
+        // scipy.stats.ttest_ind([1,2,3,4,5],[2,3,4,5,6], equal_var=False)
+        // -> t = -1.0, df = 8, p = 0.3466
+        let r = welch_t_test(&[1.0, 2.0, 3.0, 4.0, 5.0], &[2.0, 3.0, 4.0, 5.0, 6.0]).unwrap();
+        assert!((r.t + 1.0).abs() < 1e-9, "t = {}", r.t);
+        assert!((r.df - 8.0).abs() < 1e-9);
+        assert!((r.p_two_sided - 0.346_594).abs() < 1e-3, "p = {}", r.p_two_sided);
+    }
+}

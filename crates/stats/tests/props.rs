@@ -1,0 +1,122 @@
+//! Property-based invariants for the statistics substrate.
+
+use bf_stats::describe::{mean, quantile};
+use bf_stats::normalize::{downsample_mean, max_normalize, zscore};
+use bf_stats::rng::{combine_seeds, hash64};
+use bf_stats::{pearson, Histogram, SeedRng, StepSeries};
+use proptest::prelude::*;
+
+fn finite_vec(len: std::ops::Range<usize>) -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(-1e6f64..1e6, len)
+}
+
+proptest! {
+    #[test]
+    fn quantile_stays_within_range(xs in finite_vec(1..100), q in 0.0f64..=1.0) {
+        let v = quantile(&xs, q).unwrap();
+        let min = xs.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(v >= min - 1e-9 && v <= max + 1e-9);
+    }
+
+    #[test]
+    fn quantile_is_monotone_in_q(xs in finite_vec(1..60), a in 0.0f64..=1.0, b in 0.0f64..=1.0) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(quantile(&xs, lo).unwrap() <= quantile(&xs, hi).unwrap() + 1e-9);
+    }
+
+    #[test]
+    fn pearson_bounded(xs in finite_vec(2..80), ys in finite_vec(2..80)) {
+        let n = xs.len().min(ys.len());
+        if let Ok(r) = pearson(&xs[..n], &ys[..n]) {
+            prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&r), "r = {r}");
+        }
+    }
+
+    #[test]
+    fn pearson_self_correlation_is_one(xs in finite_vec(2..80)) {
+        if let Ok(r) = pearson(&xs, &xs) {
+            prop_assert!((r - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn histogram_conserves_count(xs in finite_vec(0..300), bins in 1usize..40) {
+        let mut h = Histogram::new(-10.0, 10.0, bins).unwrap();
+        h.record_all(xs.iter().copied());
+        let in_range: u64 = h.counts().iter().sum();
+        prop_assert_eq!(h.total(), xs.len() as u64);
+        prop_assert_eq!(in_range + h.underflow() + h.overflow(), h.total());
+    }
+
+    #[test]
+    fn zscore_empirical_moments(xs in finite_vec(2..100)) {
+        let z = zscore(&xs).unwrap();
+        let m = mean(&z).unwrap();
+        prop_assert!(m.abs() < 1e-6, "mean = {m}");
+    }
+
+    #[test]
+    fn max_normalize_peak_is_one(xs in proptest::collection::vec(1e-3f64..1e6, 1..100)) {
+        let v = max_normalize(&xs).unwrap();
+        let max = v.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!((max - 1.0).abs() < 1e-12);
+        prop_assert!(v.iter().all(|&x| x > 0.0));
+    }
+
+    #[test]
+    fn downsample_conserves_mass(xs in finite_vec(1..200), factor in 1usize..20) {
+        let d = downsample_mean(&xs, factor).unwrap();
+        // Each chunk mean times its chunk length sums to the total.
+        let mut mass = 0.0;
+        for (i, chunk) in xs.chunks(factor).enumerate() {
+            mass += d[i] * chunk.len() as f64;
+        }
+        let total: f64 = xs.iter().sum();
+        prop_assert!((mass - total).abs() < 1e-6 * (1.0 + total.abs()));
+    }
+
+    #[test]
+    fn step_series_integral_is_additive(
+        points in proptest::collection::vec((1u64..1_000_000, -5.0f64..5.0), 0..50),
+        a in 0u64..1_000_000,
+        b in 0u64..1_000_000,
+        c in 0u64..1_000_000,
+    ) {
+        let mut sorted = points;
+        sorted.sort_by_key(|&(t, _)| t);
+        sorted.dedup_by_key(|&mut (t, _)| t);
+        let s = StepSeries::from_points(1.0, sorted).unwrap();
+        let mut ts = [a, b, c];
+        ts.sort_unstable();
+        let [a, b, c] = ts;
+        let whole = s.integrate(a, c);
+        let split = s.integrate(a, b) + s.integrate(b, c);
+        prop_assert!((whole - split).abs() < 1e-6 * (1.0 + whole.abs()));
+    }
+
+    #[test]
+    fn rng_uniform_range_respects_bounds(seed in 0u64.., lo in -100.0f64..100.0, span in 0.0f64..50.0) {
+        let mut r = SeedRng::new(seed);
+        for _ in 0..50 {
+            let v = r.uniform_range(lo, lo + span);
+            prop_assert!(v >= lo && v <= lo + span);
+        }
+    }
+
+    #[test]
+    fn hash_and_combine_are_deterministic(data in proptest::collection::vec(any::<u8>(), 0..64), a in 0u64.., b in 0u64..) {
+        prop_assert_eq!(hash64(&data), hash64(&data));
+        prop_assert_eq!(combine_seeds(a, b), combine_seeds(a, b));
+    }
+
+    #[test]
+    fn fork_streams_are_reproducible(seed in 0u64.., stream in 0u64..) {
+        let parent = SeedRng::new(seed);
+        let mut a = parent.fork(stream);
+        let mut b = parent.fork(stream);
+        for _ in 0..10 {
+            prop_assert_eq!(a.next_raw(), b.next_raw());
+        }
+    }
+}

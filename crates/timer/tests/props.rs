@@ -1,0 +1,81 @@
+//! Property-based invariants for the timer models.
+
+use bf_timer::{JitteredTimer, Nanos, QuantizedTimer, RandomizedTimer, Timer};
+use proptest::prelude::*;
+
+proptest! {
+    /// Quantized observation is always the floor multiple at or below
+    /// real time, within one resolution.
+    #[test]
+    fn quantized_floor_properties(real in 0u64..10_000_000_000, res_us in 1u64..200_000) {
+        let res = Nanos::from_micros(res_us);
+        let mut t = QuantizedTimer::new(res);
+        let obs = t.observe(Nanos(real));
+        prop_assert!(obs <= Nanos(real));
+        prop_assert!(Nanos(real) - obs < res);
+        prop_assert_eq!(obs % res, Nanos::ZERO);
+    }
+
+    /// Jittered observation stays within 2Δ of real time (the paper's
+    /// bound for Chrome's jitter) and is always a multiple of Δ.
+    #[test]
+    fn jittered_error_bound(real in 0u64..10_000_000_000, seed in 0u64.., res_us in 1u64..10_000) {
+        let res = Nanos::from_micros(res_us);
+        let mut t = JitteredTimer::new(res, seed);
+        let obs = t.observe(Nanos(real));
+        let err = if obs >= Nanos(real) { obs - Nanos(real) } else { Nanos(real) - obs };
+        prop_assert!(err < res * 2, "err {err} >= 2x{res}");
+        prop_assert_eq!(obs % res, Nanos::ZERO);
+    }
+
+    /// The inverse query matches a brute-force scan for the quantized
+    /// model (exact check at coarse granularity).
+    #[test]
+    fn quantized_earliest_matches_bruteforce(
+        from in 0u64..1_000_000,
+        ahead in 0u64..500_000,
+        res_us in 1u64..300,
+    ) {
+        let res = Nanos::from_micros(res_us);
+        let target = Nanos(from + ahead);
+        let mut t = QuantizedTimer::new(res);
+        let fast = t.earliest_at_or_above(Nanos(from), target);
+        // Brute force in 100ns steps up to fast; observe must stay below
+        // target before `fast`.
+        let step = 100u64;
+        let mut probe = from;
+        while probe < fast.as_nanos() {
+            prop_assert!(QuantizedTimer::new(res).observe(Nanos(probe)) < target);
+            probe += step;
+        }
+        prop_assert!(QuantizedTimer::new(res).observe(fast) >= target);
+    }
+
+    /// Randomized timer: monotone, and every returned value is a multiple
+    /// of Δ (it only moves in β·Δ jumps).
+    #[test]
+    fn randomized_moves_in_delta_multiples(seed in 0u64.., steps in 1usize..200) {
+        let mut t = RandomizedTimer::with_defaults(seed);
+        let delta = t.resolution();
+        let mut last = Nanos::ZERO;
+        for i in 0..steps {
+            let obs = t.observe(Nanos((i as u64 + 1) * 777_777));
+            prop_assert!(obs >= last);
+            prop_assert_eq!(obs % delta, Nanos::ZERO);
+            last = obs;
+        }
+    }
+
+    /// Nanos arithmetic helpers round-trip.
+    #[test]
+    fn nanos_floor_ceil_consistency(x in 0u64..1_000_000_000, step in 1u64..1_000_000) {
+        let n = Nanos(x);
+        let s = Nanos(step);
+        let f = n.floor_to(s);
+        let c = n.ceil_to(s);
+        prop_assert!(f <= n && n <= c);
+        prop_assert!(c - f == Nanos::ZERO || c - f == s);
+        prop_assert_eq!(f % s, Nanos::ZERO);
+        prop_assert_eq!(c % s, Nanos::ZERO);
+    }
+}

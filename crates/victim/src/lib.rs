@@ -1,0 +1,51 @@
+//! `bf-victim` — synthetic website workloads and background noise.
+//!
+//! The paper's victim is a browser loading one of the Alexa top-100
+//! websites (Appendix A). A website's identity is leaked through the
+//! *temporal pattern* of interrupt-generating activity its load produces:
+//! network packet bursts (NIC IRQs + `NET_RX` softirqs), JavaScript and
+//! layout work (wakes → rescheduling IPIs, GC → TLB shootdowns), and
+//! rendering (graphics IRQs + IRQ work). §3.2: "traces for the same website
+//! are similar to each other, while traces for different websites are quite
+//! different".
+//!
+//! This crate substitutes parametric workload models for the real sites:
+//!
+//! * [`WebsiteProfile`] — a per-site activity program whose parameters are
+//!   derived deterministically from the site's hostname, so
+//!   `nytimes.com` always produces the same characteristic fingerprint;
+//! * [`Catalog`] — the full Appendix-A closed-world list of 100 hostnames,
+//!   plus open-world one-shot site generation;
+//! * [`noise`] — the Slack/Spotify background applications of §4.2 and
+//!   generic noise processes.
+//!
+//! Per-run variation (network jitter, scheduling, content rotation) is
+//! injected from an independent run seed, giving realistic within-class
+//! variance for the classifier.
+//!
+//! # Example
+//!
+//! ```
+//! use bf_victim::{Catalog, WebsiteProfile};
+//! use bf_timer::Nanos;
+//!
+//! let site = WebsiteProfile::for_hostname("nytimes.com");
+//! let run0 = site.generate(Nanos::from_secs(15), 0);
+//! let run1 = site.generate(Nanos::from_secs(15), 1);
+//! assert!(!run0.is_empty());
+//! // Same site, different runs: similar scale, different details.
+//! assert_ne!(run0.events(), run1.events());
+//!
+//! let catalog = Catalog::closed_world();
+//! assert_eq!(catalog.len(), 100);
+//! ```
+
+pub mod catalog;
+pub mod keystroke;
+pub mod noise;
+pub mod profile;
+
+pub use catalog::Catalog;
+pub use keystroke::KeystrokeSession;
+pub use noise::{NoiseApp, NoiseProcess};
+pub use profile::{LoadEnv, ProfileTuning, WebsiteProfile};

@@ -1,0 +1,47 @@
+//! End-to-end website fingerprinting: collect labeled traces for a set of
+//! sites, train the classifier with k-fold cross-validation, and report
+//! accuracy — the closed-world protocol of §4.1.
+//!
+//! ```sh
+//! BF_SCALE=smoke cargo run --release --example fingerprint
+//! BF_SCALE=default cargo run --release --example fingerprint   # slower
+//! ```
+
+use bigger_fish::core::{AttackKind, CollectionConfig, ExperimentScale};
+use bigger_fish::timer::BrowserKind;
+use bigger_fish::victim::Catalog;
+
+fn main() {
+    let scale = ExperimentScale::from_env();
+    let n_sites = scale.n_sites();
+    let per_site = scale.traces_per_site();
+    println!(
+        "closed-world fingerprinting: {n_sites} sites x {per_site} traces (scale: {scale})\n"
+    );
+    let catalog = Catalog::closed_world_subset(n_sites);
+    for (i, site) in catalog.sites().iter().enumerate().take(10) {
+        println!("  class {i:>3}: {}", site.hostname());
+    }
+    if n_sites > 10 {
+        println!("  ... and {} more", n_sites - 10);
+    }
+
+    for attack in [AttackKind::LoopCounting, AttackKind::SweepCounting] {
+        let cfg = CollectionConfig::new(BrowserKind::Chrome, attack).with_scale(scale);
+        println!("\n[{attack}] collecting {} traces...", n_sites * per_site);
+        let start = std::time::Instant::now();
+        let result = cfg.evaluate_closed_world(42);
+        println!(
+            "[{attack}] top-1 accuracy {:.1}% ± {:.1} (top-5 {:.1}%) over {} folds in {:.1?}",
+            result.mean_accuracy() * 100.0,
+            result.std_accuracy() * 100.0,
+            result.mean_top5() * 100.0,
+            result.folds.len(),
+            start.elapsed()
+        );
+    }
+    println!(
+        "\npaper (100 sites, Chrome/Linux): loop-counting 96.6%, cache-occupancy 91.4% —"
+    );
+    println!("the memory-free attack wins, because the channel is interrupts, not the cache.");
+}

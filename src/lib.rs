@@ -1,0 +1,48 @@
+//! `bigger-fish` — a full reproduction of *"There's Always a Bigger Fish:
+//! A Clarifying Analysis of a Machine-Learning-Assisted Side-Channel
+//! Attack"* (Cook, Drean, Behrens, Yan — ISCA 2022).
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! * [`stats`] — statistics substrate (correlation, t-tests, histograms);
+//! * [`timer`] — virtual time and browser timer models (incl. the §6.1
+//!   randomized timer defense);
+//! * [`sim`] — the discrete-event machine simulator (cores, interrupts,
+//!   softirqs, IPIs, DVFS, VMs, LLC);
+//! * [`victim`] — synthetic website workloads (Appendix A catalog) and
+//!   background noise;
+//! * [`attack`] — the loop-counting / sweep-counting attackers and the
+//!   native gap watcher;
+//! * [`ebpf`] — kernel instrumentation and execution-gap attribution;
+//! * [`defense`] — the countermeasures of §6;
+//! * [`nn`] / [`ml`] — the from-scratch CNN+LSTM classifier and the
+//!   cross-validation pipeline;
+//! * [`core`] — experiment runners regenerating every table and figure.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use bigger_fish::attack::LoopCountingAttacker;
+//! use bigger_fish::sim::{Machine, MachineConfig};
+//! use bigger_fish::timer::{BrowserKind, Nanos};
+//! use bigger_fish::victim::WebsiteProfile;
+//!
+//! let site = WebsiteProfile::for_hostname("nytimes.com");
+//! let workload = site.generate(Nanos::from_secs(1), 0);
+//! let sim = Machine::new(MachineConfig::default()).run(&workload, 0);
+//! let attacker = LoopCountingAttacker::for_browser(BrowserKind::Chrome, Nanos::from_millis(5));
+//! let mut timer = BrowserKind::Chrome.timer(0);
+//! let trace = attacker.collect(&sim, &mut timer);
+//! assert_eq!(trace.len(), 200);
+//! ```
+
+pub use bf_attack as attack;
+pub use bf_core as core;
+pub use bf_defense as defense;
+pub use bf_ebpf as ebpf;
+pub use bf_ml as ml;
+pub use bf_nn as nn;
+pub use bf_sim as sim;
+pub use bf_stats as stats;
+pub use bf_timer as timer;
+pub use bf_victim as victim;

@@ -1,0 +1,265 @@
+//! `bigger-fish` — command-line interface to the reproduction.
+//!
+//! ```text
+//! bigger-fish trace nytimes.com --browser chrome --attack loop
+//! bigger-fish fingerprint --sites 10 --traces 8
+//! bigger-fish attribute weather.com
+//! bigger-fish defend --defense randomized
+//! bigger-fish keystrokes
+//! ```
+
+use bigger_fish::attack::{GapWatcher, KeystrokeDetector};
+use bigger_fish::core::{AttackKind, CollectionConfig, ExperimentScale, FigureSeries};
+use bigger_fish::defense::Countermeasure;
+use bigger_fish::ebpf::{ProbeSet, TraceSession};
+use bigger_fish::sim::{Machine, MachineConfig};
+use bigger_fish::timer::{BrowserKind, Nanos};
+use bigger_fish::victim::{KeystrokeSession, WebsiteProfile};
+
+/// Minimal argument cursor: positionals plus `--key value` options.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Args {
+    positionals: Vec<String>,
+    options: Vec<(String, String)>,
+}
+
+impl Args {
+    fn parse(raw: &[String]) -> Result<Args, String> {
+        let mut positionals = Vec::new();
+        let mut options = Vec::new();
+        let mut it = raw.iter();
+        while let Some(a) = it.next() {
+            if let Some(key) = a.strip_prefix("--") {
+                let value = it
+                    .next()
+                    .ok_or_else(|| format!("option --{key} needs a value"))?
+                    .clone();
+                options.push((key.to_owned(), value));
+            } else {
+                positionals.push(a.clone());
+            }
+        }
+        Ok(Args { positionals, options })
+    }
+
+    fn get(&self, key: &str) -> Option<&str> {
+        self.options.iter().rev().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
+    }
+
+    fn positional(&self, i: usize) -> Option<&str> {
+        self.positionals.get(i).map(String::as_str)
+    }
+}
+
+fn parse_browser(s: &str) -> Result<BrowserKind, String> {
+    match s {
+        "chrome" => Ok(BrowserKind::Chrome),
+        "firefox" => Ok(BrowserKind::Firefox),
+        "safari" => Ok(BrowserKind::Safari),
+        "tor" => Ok(BrowserKind::TorBrowser),
+        "native" => Ok(BrowserKind::Native),
+        other => Err(format!("unknown browser '{other}' (chrome|firefox|safari|tor|native)")),
+    }
+}
+
+fn parse_attack(s: &str) -> Result<AttackKind, String> {
+    match s {
+        "loop" => Ok(AttackKind::LoopCounting),
+        "sweep" => Ok(AttackKind::SweepCounting),
+        other => Err(format!("unknown attack '{other}' (loop|sweep)")),
+    }
+}
+
+fn parse_defense(s: &str) -> Result<Countermeasure, String> {
+    match s {
+        "none" => Ok(Countermeasure::None),
+        "randomized" => Ok(Countermeasure::randomized_timer_default()),
+        "spurious" => Ok(Countermeasure::spurious_interrupts_default()),
+        "cache-sweep" => Ok(Countermeasure::cache_sweep_default()),
+        other => {
+            Err(format!("unknown defense '{other}' (none|randomized|spurious|cache-sweep)"))
+        }
+    }
+}
+
+fn usage() -> &'static str {
+    "usage: bigger-fish <command> [options]\n\
+     commands:\n\
+       trace <hostname> [--browser B] [--attack loop|sweep] [--seed N]\n\
+       fingerprint [--sites N] [--traces N] [--browser B] [--attack A] [--seed N]\n\
+       attribute [hostname] [--seed N]\n\
+       defend [--defense none|randomized|spurious|cache-sweep] [--seed N]\n\
+       keystrokes [--wpm N] [--seed N]\n\
+     BF_SCALE=smoke|default|paper sizes the ML experiments."
+}
+
+fn run(args: &Args) -> Result<(), String> {
+    let seed: u64 = args.get("seed").map_or(Ok(42), |s| {
+        s.parse().map_err(|_| format!("bad --seed '{s}'"))
+    })?;
+    match args.positional(0) {
+        Some("trace") => {
+            let host = args.positional(1).unwrap_or("nytimes.com");
+            let browser = parse_browser(args.get("browser").unwrap_or("chrome"))?;
+            let attack = parse_attack(args.get("attack").unwrap_or("loop"))?;
+            let cfg = CollectionConfig::new(browser, attack);
+            let trace = cfg.collect_trace(&WebsiteProfile::for_hostname(host), seed);
+            let series = FigureSeries::new(host, trace.values().to_vec());
+            println!("{series}");
+            println!(
+                "{} periods of {}, max count {:.0}",
+                trace.len(),
+                trace.period(),
+                trace.max()
+            );
+            Ok(())
+        }
+        Some("fingerprint") => {
+            let scale = ExperimentScale::from_env();
+            let sites = args.get("sites").map_or(Ok(scale.n_sites()), |s| {
+                s.parse().map_err(|_| format!("bad --sites '{s}'"))
+            })?;
+            let traces = args.get("traces").map_or(Ok(scale.traces_per_site()), |s| {
+                s.parse().map_err(|_| format!("bad --traces '{s}'"))
+            })?;
+            let browser = parse_browser(args.get("browser").unwrap_or("chrome"))?;
+            let attack = parse_attack(args.get("attack").unwrap_or("loop"))?;
+            let cfg = CollectionConfig::new(browser, attack).with_scale(scale);
+            println!("collecting {sites} sites x {traces} traces on {browser}...");
+            let dataset = cfg.collect_closed_world(sites, traces, seed);
+            let result = cfg.cross_validate(&dataset, seed);
+            println!(
+                "top-1 {:.1}% ± {:.1}, top-5 {:.1}% over {} folds (chance {:.1}%)",
+                result.mean_accuracy() * 100.0,
+                result.std_accuracy() * 100.0,
+                result.mean_top5() * 100.0,
+                result.folds.len(),
+                100.0 / sites as f64
+            );
+            Ok(())
+        }
+        Some("attribute") => {
+            let host = args.positional(1).unwrap_or("weather.com");
+            let mut mc = MachineConfig::default();
+            mc.isolation.pin_cores = true;
+            let site = WebsiteProfile::for_hostname(host);
+            let sim = Machine::new(mc).run(&site.generate(Nanos::from_secs(15), seed), seed);
+            let gaps = GapWatcher::default().watch(&sim);
+            let report = TraceSession::new(ProbeSet::all()).attribute(&sim, &gaps);
+            println!(
+                "{host}: {} gaps >100ns, {:.2}% attributed to interrupts (paper: >99%)",
+                report.total_gaps(),
+                report.attributed_fraction() * 100.0
+            );
+            for (kind, count) in report.kind_counts() {
+                println!("  {kind:<18} {count:>7}");
+            }
+            Ok(())
+        }
+        Some("defend") => {
+            let defense = parse_defense(args.get("defense").unwrap_or("randomized"))?;
+            let scale = ExperimentScale::from_env();
+            let baseline = CollectionConfig::new(BrowserKind::Chrome, AttackKind::LoopCounting)
+                .with_scale(scale)
+                .evaluate_closed_world(seed);
+            let defended = CollectionConfig::new(BrowserKind::Chrome, AttackKind::LoopCounting)
+                .with_defense(defense)
+                .with_scale(scale)
+                .evaluate_closed_world(seed);
+            println!(
+                "undefended {:.1}% -> {} {:.1}% (page-load cost {:.1}%)",
+                baseline.mean_accuracy() * 100.0,
+                defense.label(),
+                defended.mean_accuracy() * 100.0,
+                defense.load_time_overhead() * 100.0
+            );
+            Ok(())
+        }
+        Some("keystrokes") => {
+            let wpm: f64 = args.get("wpm").map_or(Ok(60.0), |s| {
+                s.parse().map_err(|_| format!("bad --wpm '{s}'"))
+            })?;
+            let (workload, truth) = KeystrokeSession::new(wpm).generate(Nanos::from_secs(15), seed);
+            let mut mc = MachineConfig::default();
+            mc.isolation.pin_cores = true;
+            mc.routing =
+                Some(bigger_fish::sim::RoutingPolicy::PinnedTo(mc.attacker_core()));
+            let sim = Machine::new(mc).run(&workload, seed);
+            let gaps = GapWatcher::default().watch(&sim);
+            let detections = KeystrokeDetector::default().detect(&gaps);
+            let report =
+                KeystrokeDetector::score(&detections, &truth, Nanos::from_millis(2));
+            println!(
+                "{} keystrokes, {} detections: precision {:.0}% recall {:.0}%",
+                truth.len(),
+                detections.len(),
+                report.precision() * 100.0,
+                report.recall() * 100.0
+            );
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command '{other}'\n{}", usage())),
+        None => Err(usage().to_owned()),
+    }
+}
+
+fn main() {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let result = Args::parse(&raw).and_then(|args| run(&args));
+    if let Err(e) = result {
+        eprintln!("{e}");
+        std::process::exit(2);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(raw: &[&str]) -> Args {
+        Args::parse(&raw.iter().map(|s| (*s).to_owned()).collect::<Vec<_>>()).unwrap()
+    }
+
+    #[test]
+    fn parse_positionals_and_options() {
+        let a = args(&["trace", "nytimes.com", "--browser", "firefox", "--seed", "7"]);
+        assert_eq!(a.positional(0), Some("trace"));
+        assert_eq!(a.positional(1), Some("nytimes.com"));
+        assert_eq!(a.get("browser"), Some("firefox"));
+        assert_eq!(a.get("seed"), Some("7"));
+        assert_eq!(a.get("missing"), None);
+    }
+
+    #[test]
+    fn later_options_win() {
+        let a = args(&["x", "--seed", "1", "--seed", "2"]);
+        assert_eq!(a.get("seed"), Some("2"));
+    }
+
+    #[test]
+    fn dangling_option_is_an_error() {
+        let raw = vec!["trace".to_owned(), "--seed".to_owned()];
+        assert!(Args::parse(&raw).is_err());
+    }
+
+    #[test]
+    fn browser_and_attack_parsers() {
+        assert_eq!(parse_browser("tor").unwrap(), BrowserKind::TorBrowser);
+        assert!(parse_browser("netscape").is_err());
+        assert_eq!(parse_attack("sweep").unwrap(), AttackKind::SweepCounting);
+        assert!(parse_attack("rowhammer").is_err());
+    }
+
+    #[test]
+    fn defense_parser() {
+        assert_eq!(parse_defense("none").unwrap().label(), "No Noise");
+        assert_eq!(parse_defense("spurious").unwrap().label(), "Interrupt Noise");
+        assert!(parse_defense("prayer").is_err());
+    }
+
+    #[test]
+    fn unknown_command_errors() {
+        let a = args(&["frobnicate"]);
+        assert!(run(&a).is_err());
+    }
+}

@@ -1,0 +1,90 @@
+//! Cross-crate integration: the full attack pipeline through the public
+//! facade API.
+
+use bigger_fish::attack::{GapWatcher, LoopCountingAttacker, SweepCountingAttacker};
+use bigger_fish::core::{AttackKind, CollectionConfig, ExperimentScale};
+use bigger_fish::sim::{CacheConfig, Machine, MachineConfig};
+use bigger_fish::timer::{BrowserKind, Nanos, PreciseTimer};
+use bigger_fish::victim::{Catalog, WebsiteProfile};
+
+#[test]
+fn full_pipeline_is_deterministic() {
+    let cfg = CollectionConfig::new(BrowserKind::Chrome, AttackKind::LoopCounting)
+        .with_scale(ExperimentScale::Smoke);
+    let site = WebsiteProfile::for_hostname("github.com");
+    let a = cfg.collect_trace(&site, 99);
+    let b = cfg.collect_trace(&site, 99);
+    assert_eq!(a, b);
+    let c = cfg.collect_trace(&site, 100);
+    assert_ne!(a, c);
+}
+
+#[test]
+fn loop_and_sweep_attackers_see_the_same_events() {
+    // One simulation, two attackers: dips must co-occur.
+    let site = WebsiteProfile::for_hostname("nytimes.com");
+    let workload = site.generate(Nanos::from_secs(15), 5);
+    let sim = Machine::new(MachineConfig::default()).run(&workload, 5);
+
+    let la = LoopCountingAttacker::for_browser(BrowserKind::Chrome, Nanos::from_millis(5));
+    let mut t1 = PreciseTimer::new();
+    let lt = la.collect(&sim, &mut t1).downsampled(50);
+
+    let sa = SweepCountingAttacker::new(Nanos::from_millis(5), CacheConfig::default());
+    let mut t2 = PreciseTimer::new();
+    let st = sa.collect(&sim, &mut t2, 5).downsampled(50);
+
+    let r = bigger_fish::stats::pearson(&lt, &st).unwrap();
+    assert!(r > 0.3, "same-run loop/sweep correlation r = {r}");
+}
+
+#[test]
+fn closed_world_attack_beats_chance_through_public_api() {
+    let cfg = CollectionConfig::new(BrowserKind::Chrome, AttackKind::LoopCounting)
+        .with_scale(ExperimentScale::Smoke);
+    let dataset = cfg.collect_closed_world(4, 4, 7);
+    let result = cfg.cross_validate(&dataset, 7);
+    // Chance = 25 %.
+    assert!(result.mean_accuracy() > 0.5, "acc = {}", result.mean_accuracy());
+}
+
+#[test]
+fn catalog_sites_produce_distinct_fingerprints() {
+    let cfg = CollectionConfig::new(BrowserKind::Chrome, AttackKind::LoopCounting)
+        .with_scale(ExperimentScale::Smoke);
+    let catalog = Catalog::closed_world_subset(3);
+    let features: Vec<Vec<f32>> = catalog
+        .sites()
+        .iter()
+        .map(|s| cfg.featurize(&cfg.collect_trace(s, 1)))
+        .collect();
+    for i in 0..3 {
+        for j in (i + 1)..3 {
+            let d: f32 = features[i]
+                .iter()
+                .zip(&features[j])
+                .map(|(a, b)| (a - b) * (a - b))
+                .sum();
+            assert!(d > 1.0, "sites {i} and {j} too similar: {d}");
+        }
+    }
+}
+
+#[test]
+fn gap_watcher_agrees_with_kernel_ground_truth() {
+    let site = WebsiteProfile::for_hostname("weather.com");
+    let workload = site.generate(Nanos::from_secs(5), 3);
+    let mut mc = MachineConfig::default();
+    mc.isolation.pin_cores = true;
+    let sim = Machine::new(mc).run(&workload, 3);
+    let observed = GapWatcher::default().watch(&sim);
+    // All handler gaps are > 1.5 µs, so the watcher must see every one.
+    assert_eq!(observed.len(), sim.attacker_timeline().gaps().len());
+    // Total observed gap time within 1 % of ground truth (polling slack).
+    let truth: u64 =
+        sim.attacker_timeline().gaps().iter().map(|g| g.len().as_nanos()).sum();
+    let seen: u64 = observed.iter().map(|g| g.len().as_nanos()).sum();
+    assert!(seen >= truth);
+    let slack = (seen - truth) as f64 / truth as f64;
+    assert!(slack < 0.01, "slack too large: {slack}");
+}

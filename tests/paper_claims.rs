@@ -1,0 +1,119 @@
+//! The paper's qualitative claims, each tested end-to-end at smoke scale.
+//! (The quantitative versions are produced by `bf-bench`'s regeneration
+//! binaries at default/paper scale and recorded in EXPERIMENTS.md.)
+
+use bigger_fish::attack::GapWatcher;
+use bigger_fish::core::{AttackKind, CollectionConfig, ExperimentScale};
+use bigger_fish::defense::Countermeasure;
+use bigger_fish::ebpf::{ProbeSet, TraceSession};
+use bigger_fish::sim::{Machine, MachineConfig, VmMode};
+use bigger_fish::timer::{BrowserKind, Nanos};
+use bigger_fish::victim::WebsiteProfile;
+
+/// Takeaway 1: a memory-free attacker extracts enough signal to
+/// fingerprint websites.
+#[test]
+fn takeaway1_loop_attack_works_without_memory_accesses() {
+    let cfg = CollectionConfig::new(BrowserKind::Chrome, AttackKind::LoopCounting)
+        .with_scale(ExperimentScale::Smoke);
+    let r = cfg.evaluate_closed_world(1);
+    let chance = 1.0 / ExperimentScale::Smoke.n_sites() as f64;
+    assert!(r.mean_accuracy() > chance * 3.0, "acc = {}", r.mean_accuracy());
+}
+
+/// Takeaway 4: over 99 % of execution gaps >100 ns are interrupts.
+#[test]
+fn takeaway4_gaps_are_interrupts() {
+    let site = WebsiteProfile::for_hostname("amazon.com");
+    let workload = site.generate(Nanos::from_secs(15), 2);
+    let mut mc = MachineConfig::default();
+    mc.isolation.pin_cores = true;
+    let sim = Machine::new(mc).run(&workload, 2);
+    let gaps = GapWatcher::default().watch(&sim);
+    let report = TraceSession::new(ProbeSet::all()).attribute(&sim, &gaps);
+    assert!(report.total_gaps() > 500);
+    assert!(report.attributed_fraction() > 0.99, "{}", report.attributed_fraction());
+}
+
+/// Takeaway 5: with movable IRQs confined to core 0, the attacker core
+/// still receives non-movable interrupt work carrying victim signal.
+#[test]
+fn takeaway5_nonmovable_interrupts_leak_after_irqbalance() {
+    let site = WebsiteProfile::for_hostname("nytimes.com");
+    let workload = site.generate(Nanos::from_secs(15), 3);
+    let mut mc = MachineConfig::default();
+    mc.isolation.confine_movable_irqs = true;
+    mc.isolation.pin_cores = true;
+    let sim = Machine::new(mc).run(&workload, 3);
+    let tl = sim.attacker_timeline();
+    // Signal: interrupt share during the load must exceed idle share.
+    let busy = tl.interrupt_share(Nanos::from_millis(200), Nanos::from_secs(4));
+    let idle = tl.interrupt_share(Nanos::from_secs(12), Nanos::from_secs(15));
+    assert!(busy > idle, "busy {busy} <= idle {idle}");
+}
+
+/// §5.1: VM isolation amplifies rather than blocks the channel.
+#[test]
+fn vm_isolation_amplifies_the_signal() {
+    let site = WebsiteProfile::for_hostname("weather.com");
+    let workload = site.generate(Nanos::from_secs(10), 4);
+    let base = Machine::new(MachineConfig::default()).run(&workload, 4);
+    let mut vm_cfg = MachineConfig::default();
+    vm_cfg.isolation.vm = VmMode::SeparateVms;
+    let vm = Machine::new(vm_cfg).run(&workload, 4);
+    let share = |sim: &bigger_fish::sim::SimOutput| {
+        sim.attacker_timeline().interrupt_share(Nanos::ZERO, Nanos::from_secs(10))
+    };
+    assert!(share(&vm) > share(&base) * 1.3, "vm {} base {}", share(&vm), share(&base));
+}
+
+/// §6.1: the randomized timer collapses the attack toward chance.
+#[test]
+fn randomized_timer_defense_works() {
+    let chance = 1.0 / ExperimentScale::Smoke.n_sites() as f64;
+    let undefended = CollectionConfig::new(BrowserKind::Chrome, AttackKind::LoopCounting)
+        .with_scale(ExperimentScale::Smoke)
+        .evaluate_closed_world(5);
+    let defended = CollectionConfig::new(BrowserKind::Chrome, AttackKind::LoopCounting)
+        .with_defense(Countermeasure::randomized_timer_default())
+        .with_scale(ExperimentScale::Smoke)
+        .evaluate_closed_world(5);
+    assert!(
+        defended.mean_accuracy() < undefended.mean_accuracy() - 0.2,
+        "defended {} undefended {}",
+        defended.mean_accuracy(),
+        undefended.mean_accuracy()
+    );
+    assert!(defended.mean_accuracy() < chance + 0.3);
+}
+
+/// §6.2: spurious interrupts degrade the attack far more than
+/// cache-sweeping noise does — at a bounded page-load cost.
+#[test]
+fn interrupt_noise_beats_cache_noise_as_a_defense() {
+    // Slightly larger than smoke (10 sites × 8 traces) so fold variance
+    // does not mask the effect; centroid classifier for speed.
+    let eval = |d: Countermeasure| {
+        let cfg = CollectionConfig::new(BrowserKind::Chrome, AttackKind::LoopCounting)
+            .with_defense(d)
+            .with_scale(ExperimentScale::Smoke);
+        let dataset = cfg.collect_closed_world(10, 8, 606);
+        cfg.cross_validate(&dataset, 1).mean_accuracy()
+    };
+    let clean = eval(Countermeasure::None);
+    let cache = eval(Countermeasure::cache_sweep_default());
+    let spurious = eval(Countermeasure::spurious_interrupts_default());
+    // Cache noise barely moves the loop attack; interrupt noise must cost
+    // clearly more (paper: −3.1 vs −33.7 points).
+    assert!(
+        spurious + 0.05 < clean,
+        "spurious {spurious} should be well below clean {clean}"
+    );
+    assert!(
+        spurious + 0.03 < cache,
+        "spurious {spurious} should be well below cache {cache}"
+    );
+    // Cost model: §6.2's +15.7 %.
+    let cost = Countermeasure::spurious_interrupts_default().load_time_overhead();
+    assert!((0.1..0.25).contains(&cost));
+}

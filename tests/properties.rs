@@ -1,0 +1,139 @@
+//! Property-based cross-crate invariants (proptest).
+
+use bigger_fish::attack::replay::replay_counting_loop;
+use bigger_fish::sim::{CoreTimeline, Gap, GapCause, InterruptKind};
+use bigger_fish::stats::StepSeries;
+use bigger_fish::timer::{
+    JitteredTimer, Nanos, PreciseTimer, QuantizedTimer, RandomizedTimer, Timer,
+};
+use proptest::prelude::*;
+
+/// Random sorted, disjoint gap lists within a 100 ms window.
+fn gaps_strategy() -> impl Strategy<Value = Vec<Gap>> {
+    proptest::collection::vec((0u64..99_000_000, 1u64..200_000), 0..40).prop_map(|mut raw| {
+        raw.sort_unstable();
+        let mut gaps: Vec<Gap> = Vec::new();
+        let mut cursor = 0u64;
+        for (start, len) in raw {
+            let s = start.max(cursor);
+            let e = s + len;
+            if e > 100_000_000 {
+                break;
+            }
+            gaps.push(Gap {
+                start: Nanos(s),
+                end: Nanos(e),
+                cause: GapCause::Interrupt(InterruptKind::TimerTick),
+            });
+            cursor = e + 1;
+        }
+        gaps
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Work accounting: busy time + gap time = wall time, for any gaps.
+    #[test]
+    fn timeline_time_accounting(gaps in gaps_strategy()) {
+        let tl = CoreTimeline::new(Nanos(100_000_000), gaps, StepSeries::new(1.0));
+        let total = Nanos(100_000_000);
+        let busy = tl.busy_time_between(Nanos::ZERO, total);
+        let gap = tl.gap_time_between(Nanos::ZERO, total);
+        prop_assert_eq!(busy + gap, total);
+        // At unit frequency, work == busy time.
+        let work = tl.work_between(Nanos::ZERO, total);
+        prop_assert!((work - busy.as_nanos() as f64).abs() < 1.0);
+    }
+
+    /// The replay engine conserves iterations: total counted iterations
+    /// across a trace ~= available user work / iteration cost, for any
+    /// gap placement.
+    #[test]
+    fn replay_conserves_iterations(gaps in gaps_strategy()) {
+        let tl = CoreTimeline::new(Nanos(100_000_000), gaps, StepSeries::new(1.0));
+        let mut timer = PreciseTimer::new();
+        let (trace, records) =
+            replay_counting_loop(&tl, &mut timer, Nanos::from_millis(5), Nanos(200));
+        // Total work available up to the final completed period.
+        if let Some(last) = records.last() {
+            let work = tl.work_between(Nanos::ZERO, last.end_real);
+            let expected = work / 200.0;
+            let counted: f64 = records.iter().map(|r| r.count).sum();
+            prop_assert!((counted - expected).abs() <= records.len() as f64 + 1.0,
+                "counted {} expected {}", counted, expected);
+            let _ = trace;
+        }
+    }
+
+    /// Timer monotonicity holds for every model under arbitrary
+    /// non-decreasing query sequences.
+    #[test]
+    fn all_timers_monotonic(
+        mut steps in proptest::collection::vec(0u64..2_000_000, 1..200),
+        seed in 0u64..1_000,
+    ) {
+        steps.sort_unstable();
+        let mut timers: Vec<Box<dyn Timer>> = vec![
+            Box::new(PreciseTimer::new()),
+            Box::new(QuantizedTimer::new(Nanos::from_micros(100))),
+            Box::new(JitteredTimer::new(Nanos::from_micros(100), seed)),
+            Box::new(RandomizedTimer::with_defaults(seed)),
+        ];
+        for timer in &mut timers {
+            let mut last = Nanos::ZERO;
+            let mut acc = 0u64;
+            for &s in &steps {
+                acc += s;
+                let obs = timer.observe(Nanos(acc));
+                prop_assert!(obs >= last, "{} regressed", timer.name());
+                last = obs;
+            }
+        }
+    }
+
+    /// The inverse query contract: observe(earliest_at_or_above(from, t))
+    /// >= t for every model and every (from, t) pair.
+    #[test]
+    fn earliest_at_or_above_contract(
+        from in 0u64..50_000_000,
+        ahead in 0u64..20_000_000,
+        seed in 0u64..1_000,
+    ) {
+        let target = Nanos(from + ahead);
+        let from = Nanos(from);
+        let mk: Vec<Box<dyn Timer>> = vec![
+            Box::new(PreciseTimer::new()),
+            Box::new(QuantizedTimer::new(Nanos::from_micros(100))),
+            Box::new(JitteredTimer::new(Nanos::from_micros(100), seed)),
+        ];
+        for mut timer in mk {
+            let result = timer.earliest_at_or_above(from, target);
+            prop_assert!(result >= from);
+            prop_assert!(timer.observe(result) >= target, "{}", timer.name());
+        }
+        // RandomizedTimer is stateful: use fresh clones per query.
+        let base = RandomizedTimer::with_defaults(seed);
+        let result = base.clone().earliest_at_or_above(from, target);
+        prop_assert!(result >= from);
+        prop_assert!(base.clone().observe(result) >= target);
+    }
+
+    /// Workload generation is deterministic and time-sorted for any site
+    /// name and seed.
+    #[test]
+    fn workload_generation_sane(host in "[a-z]{1,12}\\.com", run in 0u64..50) {
+        use bigger_fish::victim::WebsiteProfile;
+        let p = WebsiteProfile::for_hostname(&host);
+        let dur = Nanos::from_secs(2);
+        let a = p.generate(dur, run);
+        let b = p.generate(dur, run);
+        prop_assert_eq!(a.events(), b.events());
+        let mut last = Nanos::ZERO;
+        for ev in a.events() {
+            prop_assert!(ev.t >= last);
+            last = ev.t;
+        }
+    }
+}
