@@ -1,24 +1,25 @@
 //! Regenerate every table and figure in sequence (EXPERIMENTS.md source).
-use bf_bench::{banner, scale_and_seed};
+use bf_bench::{banner, scale_and_seed, with_manifest};
 use bf_core::experiments::{
-    figure3, figure4, figure5, figure6, figure7, figure8, leakage, table1, table2, table3,
-    table4,
+    figure3, figure4, figure5, figure6, figure7, figure8, leakage, table1, table2, table3, table4,
 };
 
 fn main() {
     let (scale, seed) = scale_and_seed();
     banner("all tables and figures", scale);
     let t0 = std::time::Instant::now();
-    println!("{}\n", figure3::run(scale, seed));
-    println!("{}\n", figure4::run(scale, seed));
-    println!("{}\n", table1::run(scale, seed));
-    println!("{}\n", table2::run(scale, seed, true));
-    println!("{}\n", table3::run(scale, seed));
-    println!("{}\n", leakage::run(scale, seed));
-    println!("{}\n", figure5::run(scale, seed));
-    println!("{}\n", figure6::run(scale, seed));
-    println!("{}\n", figure7::run(scale, seed));
-    println!("{}\n", figure8::run(scale, seed));
-    println!("{}\n", table4::run(scale, seed));
+    with_manifest("all", scale, seed, |m| {
+        println!("{}\n", m.phase("figure3", || figure3::run(scale, seed)));
+        println!("{}\n", m.phase("figure4", || figure4::run(scale, seed)));
+        println!("{}\n", m.phase("table1", || table1::run(scale, seed)));
+        println!("{}\n", m.phase("table2", || table2::run(scale, seed, true)));
+        println!("{}\n", m.phase("table3", || table3::run(scale, seed)));
+        println!("{}\n", m.phase("leakage", || leakage::run(scale, seed)));
+        println!("{}\n", m.phase("figure5", || figure5::run(scale, seed)));
+        println!("{}\n", m.phase("figure6", || figure6::run(scale, seed)));
+        println!("{}\n", m.phase("figure7", || figure7::run(scale, seed)));
+        println!("{}\n", m.phase("figure8", || figure8::run(scale, seed)));
+        println!("{}\n", m.phase("table4", || table4::run(scale, seed)));
+    });
     println!("total elapsed: {:.1?}", t0.elapsed());
 }

@@ -4,56 +4,86 @@
 //! BF_SCALE=smoke cargo run --release -p bf-bench --bin export -- out_dir
 //! ```
 
-use bf_bench::{banner, scale_and_seed};
+use bf_bench::{banner, scale_and_seed, with_manifest};
 use bf_core::experiments::{figure3, figure4, figure5, figure7, figure8};
 use std::fs;
 use std::path::Path;
 
 fn main() -> std::io::Result<()> {
     let (scale, seed) = scale_and_seed();
-    let dir = std::env::args().nth(1).unwrap_or_else(|| "figure_data".to_owned());
+    let dir = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "figure_data".to_owned());
     banner("CSV export", scale);
     fs::create_dir_all(&dir)?;
     let dir = Path::new(&dir);
 
-    let fig3 = figure3::run(scale, seed);
-    for t in &fig3.traces {
-        fs::write(dir.join(format!("figure3_{}.csv", t.name())), t.to_csv())?;
-    }
+    with_manifest("export", scale, seed, |m| {
+        m.config("out_dir", dir.display());
 
-    let fig4 = figure4::run(scale, seed);
-    for s in &fig4.sites {
-        fs::write(dir.join(format!("figure4_{}_loop.csv", s.site)), s.loop_avg.to_csv())?;
-        fs::write(dir.join(format!("figure4_{}_sweep.csv", s.site)), s.sweep_avg.to_csv())?;
-    }
+        m.phase("figure3", || -> std::io::Result<()> {
+            let fig3 = figure3::run(scale, seed);
+            for t in &fig3.traces {
+                fs::write(dir.join(format!("figure3_{}.csv", t.name())), t.to_csv())?;
+            }
+            Ok(())
+        })?;
 
-    let fig5 = figure5::run(scale, seed);
-    for s in &fig5.sites {
-        fs::write(dir.join(format!("figure5_{}_softirq.csv", s.site)), s.softirq.to_csv())?;
-        fs::write(
-            dir.join(format!("figure5_{}_resched.csv", s.site)),
-            s.reschedule.to_csv(),
-        )?;
-    }
+        m.phase("figure4", || -> std::io::Result<()> {
+            let fig4 = figure4::run(scale, seed);
+            for s in &fig4.sites {
+                fs::write(
+                    dir.join(format!("figure4_{}_loop.csv", s.site)),
+                    s.loop_avg.to_csv(),
+                )?;
+                fs::write(
+                    dir.join(format!("figure4_{}_sweep.csv", s.site)),
+                    s.sweep_avg.to_csv(),
+                )?;
+            }
+            Ok(())
+        })?;
 
-    let fig7 = figure7::run(scale, seed);
-    for t in &fig7.timers {
-        let mut csv = String::from("real_ms,observed_ms\n");
-        for (r, o) in t.real_ms.iter().zip(&t.observed_ms) {
-            csv.push_str(&format!("{r},{o}\n"));
-        }
-        fs::write(dir.join(format!("figure7_{}.csv", t.name)), csv)?;
-    }
+        m.phase("figure5", || -> std::io::Result<()> {
+            let fig5 = figure5::run(scale, seed);
+            for s in &fig5.sites {
+                fs::write(
+                    dir.join(format!("figure5_{}_softirq.csv", s.site)),
+                    s.softirq.to_csv(),
+                )?;
+                fs::write(
+                    dir.join(format!("figure5_{}_resched.csv", s.site)),
+                    s.reschedule.to_csv(),
+                )?;
+            }
+            Ok(())
+        })?;
 
-    let fig8 = figure8::run(scale, seed);
-    for t in &fig8.timers {
-        let mut csv = String::from("duration_ms\n");
-        for d in &t.durations_ms {
-            csv.push_str(&format!("{d}\n"));
-        }
-        fs::write(dir.join(format!("figure8_{}.csv", t.timer)), csv)?;
-    }
+        m.phase("figure7", || -> std::io::Result<()> {
+            let fig7 = figure7::run(scale, seed);
+            for t in &fig7.timers {
+                let mut csv = String::from("real_ms,observed_ms\n");
+                for (r, o) in t.real_ms.iter().zip(&t.observed_ms) {
+                    csv.push_str(&format!("{r},{o}\n"));
+                }
+                fs::write(dir.join(format!("figure7_{}.csv", t.name)), csv)?;
+            }
+            Ok(())
+        })?;
 
-    println!("wrote CSVs to {}", dir.display());
-    Ok(())
+        m.phase("figure8", || -> std::io::Result<()> {
+            let fig8 = figure8::run(scale, seed);
+            for t in &fig8.timers {
+                let mut csv = String::from("duration_ms\n");
+                for d in &t.durations_ms {
+                    csv.push_str(&format!("{d}\n"));
+                }
+                fs::write(dir.join(format!("figure8_{}.csv", t.timer)), csv)?;
+            }
+            Ok(())
+        })?;
+
+        println!("wrote CSVs to {}", dir.display());
+        Ok(())
+    })
 }

@@ -1,9 +1,12 @@
 //! Regenerate Fig. 3 (example loop-counting traces).
-use bf_bench::{banner, scale_and_seed};
+use bf_bench::{banner, scale_and_seed, with_manifest};
 use bf_core::experiments::figure3;
 
 fn main() {
     let (scale, seed) = scale_and_seed();
     banner("Figure 3", scale);
-    println!("{}", figure3::run(scale, seed));
+    let fig = with_manifest("figure3", scale, seed, |m| {
+        m.phase("traces", || figure3::run(scale, seed))
+    });
+    println!("{fig}");
 }

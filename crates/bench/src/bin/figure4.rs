@@ -1,9 +1,12 @@
 //! Regenerate Fig. 4 (loop vs sweep trace correlation).
-use bf_bench::{banner, scale_and_seed};
+use bf_bench::{banner, scale_and_seed, with_manifest};
 use bf_core::experiments::figure4;
 
 fn main() {
     let (scale, seed) = scale_and_seed();
     banner("Figure 4", scale);
-    println!("{}", figure4::run(scale, seed));
+    let fig = with_manifest("figure4", scale, seed, |m| {
+        m.phase("correlation", || figure4::run(scale, seed))
+    });
+    println!("{fig}");
 }

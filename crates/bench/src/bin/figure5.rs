@@ -1,9 +1,12 @@
 //! Regenerate Fig. 5 (interrupt-time share during page loads).
-use bf_bench::{banner, scale_and_seed};
+use bf_bench::{banner, scale_and_seed, with_manifest};
 use bf_core::experiments::figure5;
 
 fn main() {
     let (scale, seed) = scale_and_seed();
     banner("Figure 5", scale);
-    println!("{}", figure5::run(scale, seed));
+    let fig = with_manifest("figure5", scale, seed, |m| {
+        m.phase("interrupt_share", || figure5::run(scale, seed))
+    });
+    println!("{fig}");
 }

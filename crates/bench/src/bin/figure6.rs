@@ -1,11 +1,13 @@
 //! Regenerate Fig. 6 (interrupt gap-length distributions).
-use bf_bench::{banner, scale_and_seed};
+use bf_bench::{banner, scale_and_seed, with_manifest};
 use bf_core::experiments::figure6;
 
 fn main() {
     let (scale, seed) = scale_and_seed();
     banner("Figure 6", scale);
-    let fig = figure6::run(scale, seed);
+    let fig = with_manifest("figure6", scale, seed, |m| {
+        m.phase("gap_distributions", || figure6::run(scale, seed))
+    });
     println!("{fig}");
     for k in &fig.kinds {
         println!("\n{} gap-length histogram (µs):", k.kind);

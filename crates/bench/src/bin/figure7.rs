@@ -1,9 +1,12 @@
 //! Regenerate Fig. 7 (timer staircases).
-use bf_bench::{banner, scale_and_seed};
+use bf_bench::{banner, scale_and_seed, with_manifest};
 use bf_core::experiments::figure7;
 
 fn main() {
     let (scale, seed) = scale_and_seed();
     banner("Figure 7", scale);
-    println!("{}", figure7::run(scale, seed));
+    let fig = with_manifest("figure7", scale, seed, |m| {
+        m.phase("staircases", || figure7::run(scale, seed))
+    });
+    println!("{fig}");
 }

@@ -1,10 +1,12 @@
 //! Regenerate Fig. 8 (attacker-period duration distributions).
-use bf_bench::{banner, scale_and_seed};
+use bf_bench::{banner, scale_and_seed, with_manifest};
 use bf_core::experiments::figure8;
 
 fn main() {
     let (scale, seed) = scale_and_seed();
     banner("Figure 8", scale);
-    let fig = figure8::run(scale, seed);
+    let fig = with_manifest("figure8", scale, seed, |m| {
+        m.phase("durations", || figure8::run(scale, seed))
+    });
     println!("{fig}");
 }

@@ -1,12 +1,16 @@
 //! Regenerate the §5.2 gap-attribution analysis (the >99% claim).
-use bf_bench::{banner, scale_and_seed};
+use bf_bench::{banner, scale_and_seed, with_manifest};
 use bf_core::experiments::leakage;
 
 fn main() {
     let (scale, seed) = scale_and_seed();
     banner("§5.2 leakage attribution", scale);
-    println!("{}", leakage::run(scale, seed));
-    let (off, on) = leakage::run_turbo_comparison(seed);
+    let (analysis, off, on) = with_manifest("leakage", scale, seed, |m| {
+        let analysis = m.phase("attribution", || leakage::run(scale, seed));
+        let (off, on) = m.phase("turbo_comparison", || leakage::run_turbo_comparison(seed));
+        (analysis, off, on)
+    });
+    println!("{analysis}");
     println!(
         "footnote 4 check - attribution with Turbo Boost disabled: {:.2}%, enabled: {:.2}%",
         off * 100.0,

@@ -1,12 +1,12 @@
 //! Regenerate Table 1 (closed/open-world accuracy grid).
-use bf_bench::{banner, scale_and_seed};
+use bf_bench::{banner, scale_and_seed, with_manifest};
 use bf_core::experiments::table1;
 
 fn main() {
     let (scale, seed) = scale_and_seed();
     banner("Table 1", scale);
-    let start = std::time::Instant::now();
-    let result = table1::run(scale, seed);
+    let result = with_manifest("table1", scale, seed, |m| {
+        m.phase("accuracy_grid", || table1::run(scale, seed))
+    });
     println!("{result}");
-    println!("elapsed: {:.1?}", start.elapsed());
 }

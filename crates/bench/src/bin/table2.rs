@@ -1,13 +1,15 @@
 //! Regenerate Table 2 (noise study) plus the §4.2 background-noise check.
-use bf_bench::{banner, scale_and_seed};
+use bf_bench::{banner, scale_and_seed, with_manifest};
 use bf_core::experiments::table2;
 
 fn main() {
     let (scale, seed) = scale_and_seed();
     let with_background = std::env::args().any(|a| a == "--background");
     banner("Table 2", scale);
-    let start = std::time::Instant::now();
-    let result = table2::run(scale, seed, with_background);
+    let result = with_manifest("table2", scale, seed, |m| {
+        m.config("background", with_background);
+        m.phase("noise_study", || table2::run(scale, seed, with_background))
+    });
     println!("{result}");
-    println!("elapsed: {:.1?} (pass --background for the §4.2 Slack+Spotify rows)", start.elapsed());
+    println!("(pass --background for the §4.2 Slack+Spotify rows)");
 }

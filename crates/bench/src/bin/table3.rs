@@ -1,12 +1,12 @@
 //! Regenerate Table 3 (isolation-mechanism ladder).
-use bf_bench::{banner, scale_and_seed};
+use bf_bench::{banner, scale_and_seed, with_manifest};
 use bf_core::experiments::table3;
 
 fn main() {
     let (scale, seed) = scale_and_seed();
     banner("Table 3", scale);
-    let start = std::time::Instant::now();
-    let result = table3::run(scale, seed);
+    let result = with_manifest("table3", scale, seed, |m| {
+        m.phase("isolation_ladder", || table3::run(scale, seed))
+    });
     println!("{result}");
-    println!("elapsed: {:.1?}", start.elapsed());
 }

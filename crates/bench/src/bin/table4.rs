@@ -1,12 +1,12 @@
 //! Regenerate Table 4 (timer-defense sweep).
-use bf_bench::{banner, scale_and_seed};
+use bf_bench::{banner, scale_and_seed, with_manifest};
 use bf_core::experiments::table4;
 
 fn main() {
     let (scale, seed) = scale_and_seed();
     banner("Table 4", scale);
-    let start = std::time::Instant::now();
-    let result = table4::run(scale, seed);
+    let result = with_manifest("table4", scale, seed, |m| {
+        m.phase("timer_sweep", || table4::run(scale, seed))
+    });
     println!("{result}");
-    println!("elapsed: {:.1?}", start.elapsed());
 }

@@ -20,15 +20,47 @@
 
 use bf_core::ExperimentScale;
 
-/// Shared binary entry glue: scale from env, seed fixed for
-/// reproducibility.
+/// Shared binary entry glue: scale from `BF_SCALE`, seed from `BF_SEED`
+/// (default 42, the seed behind the committed EXPERIMENTS.md numbers).
 pub fn scale_and_seed() -> (ExperimentScale, u64) {
-    (ExperimentScale::from_env(), 42)
+    let seed = std::env::var("BF_SEED")
+        .ok()
+        .and_then(|s| s.trim().parse().ok())
+        .unwrap_or(42);
+    (ExperimentScale::from_env(), seed)
 }
 
 /// Print a standard header for a regeneration binary.
 pub fn banner(what: &str, scale: ExperimentScale) {
     println!("=== bigger-fish reproduction: {what} (scale: {scale}) ===\n");
+}
+
+/// Run an experiment under a [`bf_obs::ManifestBuilder`]: phases recorded
+/// by `f` are timed, and on completion the run manifest (config, seed,
+/// scale, per-phase timings, metric deltas, span stats) is written to
+/// `$BF_MANIFEST_DIR` (default `manifests/`).
+pub fn with_manifest<R>(
+    name: &str,
+    scale: ExperimentScale,
+    seed: u64,
+    f: impl FnOnce(&mut bf_obs::ManifestBuilder) -> R,
+) -> R {
+    let mut builder = bf_obs::ManifestBuilder::new(name, &scale.to_string(), seed);
+    builder.config("scale", scale);
+    builder.config("seed", seed);
+    let out = f(&mut builder);
+    let manifest = builder.finish();
+    let dest = match manifest.write() {
+        Ok(path) => format!(" -> {}", path.display()),
+        Err(e) => format!(" (write failed: {e})"),
+    };
+    println!(
+        "\nrun manifest: {} phase(s), {} metric(s), {:.1} s total{dest}",
+        manifest.phases.len(),
+        manifest.metrics.len(),
+        manifest.total_seconds,
+    );
+    out
 }
 
 #[cfg(test)]

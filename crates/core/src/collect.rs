@@ -111,6 +111,8 @@ impl CollectionConfig {
 
     /// Collect a single trace of `site` for run `run_seed`.
     pub fn collect_trace(&self, site: &WebsiteProfile, run_seed: u64) -> Trace {
+        let _span = bf_obs::span!("trace");
+        bf_obs::counter("collect.traces").inc();
         let duration = self.browser.trace_duration();
         let env = if self.browser == BrowserKind::TorBrowser {
             LoadEnv::tor()
@@ -121,7 +123,8 @@ impl CollectionConfig {
         for (i, app) in self.background.iter().enumerate() {
             workload.merge(&app.generate(duration, combine_seeds(run_seed, 0xA0 + i as u64)));
         }
-        self.defense.apply_to_workload(&mut workload, combine_seeds(run_seed, 0xDEF));
+        self.defense
+            .apply_to_workload(&mut workload, combine_seeds(run_seed, 0xDEF));
         let machine = Machine::new(self.machine.clone());
         let sim = machine.run(&workload, combine_seeds(run_seed, 0x51));
         let base_timer: Box<dyn Timer> = match self.quantize_timer {
@@ -176,15 +179,26 @@ impl CollectionConfig {
         traces_per_site: usize,
         seed: u64,
     ) -> Dataset {
+        let _span = bf_obs::span!("collect");
+        bf_obs::info!(
+            "collecting closed world: {n_sites} sites x {traces_per_site} traces \
+             ({} / {})",
+            self.browser,
+            self.attack
+        );
         let catalog = Catalog::closed_world_subset_with_tuning(n_sites, self.tuning);
         let mut dataset = Dataset::new(n_sites);
         for (label, site) in catalog.sites().iter().enumerate() {
+            let _site_span = bf_obs::span!("site");
+            bf_obs::info!("site {}/{n_sites}: {}", label + 1, site.hostname());
             for run in 0..traces_per_site {
                 let run_seed = combine_seeds(seed, (label * 100_000 + run) as u64);
                 let trace = self.collect_trace(site, run_seed);
+                bf_obs::debug!("trace {}/{traces_per_site} len {}", run + 1, trace.len());
                 dataset.push(self.featurize(&trace), label);
             }
         }
+        bf_obs::counter("collect.datasets").inc();
         dataset
     }
 
@@ -203,6 +217,8 @@ impl CollectionConfig {
         for (x, &y) in closed.features().iter().zip(closed.labels()) {
             dataset.push(x.clone(), y);
         }
+        let _span = bf_obs::span!("collect_open");
+        bf_obs::info!("collecting open world: {open_traces} extra traces");
         for i in 0..open_traces {
             // Open-world sites span a wider intensity manifold than the
             // curated closed world (the real Alexa tail is far more
@@ -246,7 +262,13 @@ impl CollectionConfig {
             };
             Box::new(CnnLstmClassifier::new(
                 arch,
-                TrainConfig { max_epochs: 120, batch_size: 32, patience: 15, min_epochs: 30, seed },
+                TrainConfig {
+                    max_epochs: 120,
+                    batch_size: 32,
+                    patience: 15,
+                    min_epochs: 30,
+                    seed,
+                },
             ))
         } else {
             Box::new(CentroidClassifier::new(dataset.n_classes()))
@@ -255,16 +277,14 @@ impl CollectionConfig {
 
     /// Run the full closed-world evaluation: collect + k-fold CV.
     pub fn evaluate_closed_world(&self, seed: u64) -> CrossValResult {
-        let dataset = self.collect_closed_world(
-            self.scale.n_sites(),
-            self.scale.traces_per_site(),
-            seed,
-        );
+        let dataset =
+            self.collect_closed_world(self.scale.n_sites(), self.scale.traces_per_site(), seed);
         self.cross_validate(&dataset, seed)
     }
 
     /// k-fold cross-validate an already-collected dataset.
     pub fn cross_validate(&self, dataset: &Dataset, seed: u64) -> CrossValResult {
+        let _span = bf_obs::span!("cross_validate");
         cross_validate(dataset, self.scale.folds(), seed, || {
             self.classifier_for(dataset, seed)
         })
@@ -338,6 +358,10 @@ mod tests {
         let result = cfg.evaluate_closed_world(11);
         // 6 classes: chance = 16.7 %. The centroid classifier on clean
         // traces should be far above it.
-        assert!(result.mean_accuracy() > 0.5, "acc = {}", result.mean_accuracy());
+        assert!(
+            result.mean_accuracy() > 0.5,
+            "acc = {}",
+            result.mean_accuracy()
+        );
     }
 }

@@ -57,19 +57,23 @@ impl Figure6 {
 
 impl std::fmt::Display for Figure6 {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        writeln!(f, "Figure 6: interrupt gap-length distributions ({} loads)", self.loads)?;
+        writeln!(
+            f,
+            "Figure 6: interrupt gap-length distributions ({} loads)",
+            self.loads
+        )?;
         for k in &self.kinds {
-            let series = FigureSeries::new(
-                k.kind.label(),
-                k.histogram.densities(),
-            );
+            let series = FigureSeries::new(k.kind.label(), k.histogram.densities());
             writeln!(
                 f,
                 "{series}  n={} min={} mode={:.1}us",
                 k.samples, k.min_gap, k.mode_us
             )?;
         }
-        writeln!(f, "paper: all gaps > 1.5us; IRQ-work spike matches timer spike (~5.5us)")
+        writeln!(
+            f,
+            "paper: all gaps > 1.5us; IRQ-work spike matches timer spike (~5.5us)"
+        )
     }
 }
 
@@ -88,10 +92,19 @@ pub fn run(scale: ExperimentScale, seed: u64) -> Figure6 {
 
     let mut hists: Vec<(InterruptKind, Histogram, Vec<Nanos>)> = FIGURE_KINDS
         .iter()
-        .map(|&k| (k, Histogram::new(0.0, 10.0, 50).expect("valid bins"), Vec::new()))
+        .map(|&k| {
+            (
+                k,
+                Histogram::new(0.0, 10.0, 50).expect("valid bins"),
+                Vec::new(),
+            )
+        })
         .collect();
 
+    let _span = bf_obs::span!("figure6");
+    bf_obs::info!("figure 6: {n_sites} sites x {loads_per_site} loads");
     for (si, site) in catalog.sites().iter().enumerate() {
+        bf_obs::debug!("site {}/{n_sites}: {}", si + 1, site.hostname());
         for l in 0..loads_per_site {
             let run_seed = seed ^ ((si * 1_000 + l) as u64) << 4;
             let workload = site.generate(duration, run_seed);
@@ -117,10 +130,19 @@ pub fn run(scale: ExperimentScale, seed: u64) -> Figure6 {
                 .mode_bin()
                 .map(|b| histogram.bin_center(b))
                 .unwrap_or(f64::NAN);
-            KindDistribution { kind, samples: lens.len(), histogram, min_gap, mode_us }
+            KindDistribution {
+                kind,
+                samples: lens.len(),
+                histogram,
+                min_gap,
+                mode_us,
+            }
         })
         .collect();
-    Figure6 { kinds, loads: n_sites * loads_per_site }
+    Figure6 {
+        kinds,
+        loads: n_sites * loads_per_site,
+    }
 }
 
 #[cfg(test)]
@@ -145,7 +167,9 @@ mod tests {
     fn timer_and_softirq_present() {
         let fig = run(ExperimentScale::Smoke, 2);
         assert!(fig.kind(InterruptKind::TimerTick).is_some());
-        assert!(fig.kind(InterruptKind::Softirq(SoftirqKind::NetRx)).is_some());
+        assert!(fig
+            .kind(InterruptKind::Softirq(SoftirqKind::NetRx))
+            .is_some());
     }
 
     #[test]

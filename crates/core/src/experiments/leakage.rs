@@ -78,7 +78,10 @@ pub fn run(scale: ExperimentScale, seed: u64) -> LeakageAnalysis {
     let mut attributed = 0usize;
     let mut preemption_only = 0usize;
     let mut kind_counts: BTreeMap<String, usize> = BTreeMap::new();
+    let _span = bf_obs::span!("leakage");
+    bf_obs::info!("leakage attribution: {n_sites} sites x {loads_per_site} loads");
     for (si, site) in catalog.sites().iter().enumerate() {
+        bf_obs::debug!("site {}/{n_sites}: {}", si + 1, site.hostname());
         for l in 0..loads_per_site {
             let run_seed = seed ^ ((si * 97 + l) as u64) << 5;
             let workload = site.generate(duration, run_seed);
@@ -93,6 +96,10 @@ pub fn run(scale: ExperimentScale, seed: u64) -> LeakageAnalysis {
             }
         }
     }
+    bf_obs::info!(
+        "attribution: {attributed}/{total} gaps interrupt-attributed \
+         ({preemption_only} preemption-only)"
+    );
     LeakageAnalysis {
         total_gaps: total,
         attributed,

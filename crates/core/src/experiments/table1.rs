@@ -94,7 +94,10 @@ impl Table1 {
     /// Render with paper references.
     pub fn to_table(&self) -> ReportTable {
         let mut t = ReportTable::new(
-            format!("Table 1: closed/open-world accuracy (scale: {})", self.scale),
+            format!(
+                "Table 1: closed/open-world accuracy (scale: {})",
+                self.scale
+            ),
             &[
                 "Browser",
                 "OS",
@@ -118,13 +121,18 @@ impl Table1 {
                 cell_fmt(c.closed_loop.mean_accuracy(), Some(p.closed_loop)),
                 cell_fmt(c.closed_sweep.mean_accuracy(), p.closed_cache),
                 cell_fmt(c.open_world.sensitive_accuracy, Some(p.ow_sensitive)),
-                cell_fmt(c.open_world.non_sensitive_accuracy, Some(p.ow_non_sensitive)),
+                cell_fmt(
+                    c.open_world.non_sensitive_accuracy,
+                    Some(p.ow_non_sensitive),
+                ),
                 cell_fmt(c.open_world.combined_accuracy, Some(p.ow_combined)),
                 c.p_value.map_or("-".to_owned(), |p| format!("{p:.4}")),
             ]);
         }
-        if let Some(tor) =
-            self.cells.iter().find(|c| c.paper.browser == BrowserKind::TorBrowser)
+        if let Some(tor) = self
+            .cells
+            .iter()
+            .find(|c| c.paper.browser == BrowserKind::TorBrowser)
         {
             let (l5, c5, s5, n5, comb5, _) = PAPER_TOR_TOP5;
             t.push_row(vec![
@@ -172,19 +180,28 @@ pub fn run_cell(paper: PaperRow, scale: ExperimentScale, seed: u64) -> Table1Cel
         scale.open_world_traces(),
         seed ^ 0x09EA,
     );
-    let oof =
-        cross_validate_oof(&ow, scale.folds(), seed, || loop_cfg.classifier_for(&ow, seed));
+    let oof = cross_validate_oof(&ow, scale.folds(), seed, || {
+        loop_cfg.classifier_for(&ow, seed)
+    });
     let ns_class = scale.n_sites();
-    let open_world =
-        OpenWorldReport::from_predictions(&oof.predictions(), ow.labels(), ns_class);
-    let open_world_top5 =
-        OpenWorldReport::from_probas_top_k(&oof.probas, ow.labels(), ns_class, 5);
+    let open_world = OpenWorldReport::from_predictions(&oof.predictions(), ow.labels(), ns_class);
+    let open_world_top5 = OpenWorldReport::from_probas_top_k(&oof.probas, ow.labels(), ns_class, 5);
 
-    let p_value = welch_t_test(&closed_loop.accuracies_pct(), &closed_sweep.accuracies_pct())
-        .ok()
-        .map(|t| t.p_two_sided);
+    let p_value = welch_t_test(
+        &closed_loop.accuracies_pct(),
+        &closed_sweep.accuracies_pct(),
+    )
+    .ok()
+    .map(|t| t.p_two_sided);
 
-    Table1Cell { paper, closed_loop, closed_sweep, open_world, open_world_top5, p_value }
+    Table1Cell {
+        paper,
+        closed_loop,
+        closed_sweep,
+        open_world,
+        open_world_top5,
+        p_value,
+    }
 }
 
 /// Run the grid. At [`ExperimentScale::Smoke`] only the first
@@ -204,6 +221,9 @@ mod tests {
     use super::*;
 
     #[test]
+    // Runs a full smoke-scale experiment (tens of seconds); exercised
+    // end-to-end by `cargo run -p bf-bench --bin table1`.
+    #[ignore = "slow: full experiment run; use `cargo run -p bf-bench --bin table1`"]
     fn smoke_grid_reproduces_orderings() {
         let t = run(ExperimentScale::Smoke, 2);
         assert_eq!(t.cells.len(), 2);
@@ -226,6 +246,9 @@ mod tests {
     }
 
     #[test]
+    // Runs a full smoke-scale experiment (tens of seconds); exercised
+    // end-to-end by `cargo run -p bf-bench --bin table1`.
+    #[ignore = "slow: full experiment run; use `cargo run -p bf-bench --bin table1`"]
     fn table_renders_with_paper_refs() {
         let t = run(ExperimentScale::Smoke, 3);
         let text = t.to_table().to_string();

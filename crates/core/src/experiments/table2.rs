@@ -70,15 +70,30 @@ impl Table2 {
     /// Render with paper references.
     pub fn to_table(&self) -> ReportTable {
         let mut t = ReportTable::new(
-            format!("Table 2: accuracy under injected noise (scale: {})", self.scale),
+            format!(
+                "Table 2: accuracy under injected noise (scale: {})",
+                self.scale
+            ),
             &["Attack", "No Noise", "Cache-Sweep Noise", "Interrupt Noise"],
         );
         for row in &self.rows {
             t.push_row(vec![
                 row.attack.label().to_owned(),
-                format!("{:.1}% (paper {:.1}%)", row.results[0].mean_accuracy() * 100.0, row.paper[0]),
-                format!("{:.1}% (paper {:.1}%)", row.results[1].mean_accuracy() * 100.0, row.paper[1]),
-                format!("{:.1}% (paper {:.1}%)", row.results[2].mean_accuracy() * 100.0, row.paper[2]),
+                format!(
+                    "{:.1}% (paper {:.1}%)",
+                    row.results[0].mean_accuracy() * 100.0,
+                    row.paper[0]
+                ),
+                format!(
+                    "{:.1}% (paper {:.1}%)",
+                    row.results[1].mean_accuracy() * 100.0,
+                    row.paper[1]
+                ),
+                format!(
+                    "{:.1}% (paper {:.1}%)",
+                    row.results[2].mean_accuracy() * 100.0,
+                    row.paper[2]
+                ),
             ]);
         }
         if let Some((base, noisy)) = &self.background {
@@ -149,14 +164,23 @@ pub fn run(scale: ExperimentScale, seed: u64, with_background: bool) -> Table2 {
         })
         .collect();
     let background = with_background.then(|| {
-        let base = cell(AttackKind::LoopCounting, Countermeasure::None, scale, seed ^ 0xB0);
+        let base = cell(
+            AttackKind::LoopCounting,
+            Countermeasure::None,
+            scale,
+            seed ^ 0xB0,
+        );
         let noisy = CollectionConfig::new(BrowserKind::Chrome, AttackKind::LoopCounting)
             .with_background(&NoiseApp::ALL)
             .with_scale(scale)
             .evaluate_closed_world(seed ^ 0xB1);
         (base, noisy)
     });
-    Table2 { rows, background, scale }
+    Table2 {
+        rows,
+        background,
+        scale,
+    }
 }
 
 #[cfg(test)]
@@ -164,6 +188,9 @@ mod tests {
     use super::*;
 
     #[test]
+    // Runs a full smoke-scale experiment (tens of seconds); exercised
+    // end-to-end by `cargo run -p bf-bench --bin table2`.
+    #[ignore = "slow: full experiment run; use `cargo run -p bf-bench --bin table2`"]
     fn interrupt_noise_hurts_more_than_cache_noise() {
         let t = run(ExperimentScale::Smoke, 5, false);
         for row in &t.rows {
@@ -182,8 +209,7 @@ mod tests {
         // ordering is asserted by the default-scale run; smoke-scale fold
         // noise at 6 classes is ±10+ points).
         assert!(
-            t.rows[0].results[0].mean_accuracy() + 0.15
-                >= t.rows[1].results[0].mean_accuracy(),
+            t.rows[0].results[0].mean_accuracy() + 0.15 >= t.rows[1].results[0].mean_accuracy(),
             "loop {} vs sweep {}",
             t.rows[0].results[0].mean_accuracy(),
             t.rows[1].results[0].mean_accuracy()
@@ -191,6 +217,9 @@ mod tests {
     }
 
     #[test]
+    // Runs a full smoke-scale experiment (tens of seconds); exercised
+    // end-to-end by `cargo run -p bf-bench --bin table2`.
+    #[ignore = "slow: full experiment run; use `cargo run -p bf-bench --bin table2`"]
     fn renders_with_notes() {
         let t = run(ExperimentScale::Smoke, 6, false);
         let text = t.to_table().to_string();

@@ -24,8 +24,13 @@ use bf_sim::{IsolationConfig, MachineConfig};
 use bf_timer::BrowserKind;
 
 /// Paper-reference (top-1, top-5) percentages, ladder order.
-pub const PAPER: [(f64, f64); 5] =
-    [(95.2, 99.1), (94.2, 98.6), (94.0, 98.3), (88.2, 97.3), (91.6, 97.3)];
+pub const PAPER: [(f64, f64); 5] = [
+    (95.2, 99.1),
+    (94.2, 98.6),
+    (94.0, 98.3),
+    (88.2, 97.3),
+    (91.6, 97.3),
+];
 
 /// One ladder rung's result.
 #[derive(Debug, Clone, PartialEq)]
@@ -63,7 +68,10 @@ impl Table3 {
     /// Render with paper references.
     pub fn to_table(&self) -> ReportTable {
         let mut t = ReportTable::new(
-            format!("Table 3: accuracy under isolation mechanisms (scale: {})", self.scale),
+            format!(
+                "Table 3: accuracy under isolation mechanisms (scale: {})",
+                self.scale
+            ),
             &["Isolation Mechanism", "Top-1 Accuracy", "Top-5 Accuracy"],
         );
         for row in &self.rows {
@@ -74,12 +82,20 @@ impl Table3 {
                     row.result.mean_accuracy() * 100.0,
                     row.paper.0
                 ),
-                format!("{:.1}% (paper {:.1}%)", row.result.mean_top5() * 100.0, row.paper.1),
+                format!(
+                    "{:.1}% (paper {:.1}%)",
+                    row.result.mean_top5() * 100.0,
+                    row.paper.1
+                ),
             ]);
         }
         t.push_note(format!(
             "VM isolation {} accuracy (paper: increases, via VM-exit amplification)",
-            if self.vm_amplifies() { "increases" } else { "does not increase" }
+            if self.vm_amplifies() {
+                "increases"
+            } else {
+                "does not increase"
+            }
         ));
         t
     }
@@ -102,7 +118,11 @@ pub fn run(scale: ExperimentScale, seed: u64) -> Table3 {
                 .with_machine(machine)
                 .with_scale(scale);
             let result = cfg.evaluate_closed_world(seed);
-            Table3Row { mechanism: name.to_owned(), result, paper }
+            Table3Row {
+                mechanism: name.to_owned(),
+                result,
+                paper,
+            }
         })
         .collect();
     Table3 { rows, scale }
@@ -113,6 +133,9 @@ mod tests {
     use super::*;
 
     #[test]
+    // Runs a full smoke-scale experiment (tens of seconds); exercised
+    // end-to-end by `cargo run -p bf-bench --bin table3`.
+    #[ignore = "slow: full experiment run; use `cargo run -p bf-bench --bin table3`"]
     fn ladder_reproduces_paper_shape() {
         let t = run(ExperimentScale::Smoke, 7);
         assert_eq!(t.rows.len(), 5);
@@ -133,6 +156,9 @@ mod tests {
     }
 
     #[test]
+    // Runs a full smoke-scale experiment (tens of seconds); exercised
+    // end-to-end by `cargo run -p bf-bench --bin table3`.
+    #[ignore = "slow: full experiment run; use `cargo run -p bf-bench --bin table3`"]
     fn renders_all_mechanisms() {
         let t = run(ExperimentScale::Smoke, 8);
         let text = t.to_table().to_string();

@@ -69,9 +69,24 @@ pub fn paper_rows() -> Vec<(TimerSetting, (f64, f64))> {
     vec![
         (TimerSetting::Jittered, (96.6, 99.4)),
         (TimerSetting::Quantized, (86.0, 96.9)),
-        (TimerSetting::Randomized { period: Nanos::from_millis(5) }, (1.0, 5.1)),
-        (TimerSetting::Randomized { period: Nanos::from_millis(100) }, (1.9, 6.9)),
-        (TimerSetting::Randomized { period: Nanos::from_millis(500) }, (5.2, 13.7)),
+        (
+            TimerSetting::Randomized {
+                period: Nanos::from_millis(5),
+            },
+            (1.0, 5.1),
+        ),
+        (
+            TimerSetting::Randomized {
+                period: Nanos::from_millis(100),
+            },
+            (1.9, 6.9),
+        ),
+        (
+            TimerSetting::Randomized {
+                period: Nanos::from_millis(500),
+            },
+            (5.2, 13.7),
+        ),
     ]
 }
 
@@ -113,8 +128,17 @@ impl Table4 {
     /// Render with paper references.
     pub fn to_table(&self) -> ReportTable {
         let mut t = ReportTable::new(
-            format!("Table 4: accuracy under timer defenses (scale: {})", self.scale),
-            &["Timer", "Δ (ms)", "P (ms)", "Top-1 Accuracy", "Top-5 Accuracy"],
+            format!(
+                "Table 4: accuracy under timer defenses (scale: {})",
+                self.scale
+            ),
+            &[
+                "Timer",
+                "Δ (ms)",
+                "P (ms)",
+                "Top-1 Accuracy",
+                "Top-5 Accuracy",
+            ],
         );
         for row in &self.rows {
             t.push_row(vec![
@@ -126,7 +150,11 @@ impl Table4 {
                     row.result.mean_accuracy() * 100.0,
                     row.paper.0
                 ),
-                format!("{:.1}% (paper {:.1}%)", row.result.mean_top5() * 100.0, row.paper.1),
+                format!(
+                    "{:.1}% (paper {:.1}%)",
+                    row.result.mean_top5() * 100.0,
+                    row.paper.1
+                ),
             ]);
         }
         t.push_note(format!(
@@ -160,7 +188,11 @@ pub fn run(scale: ExperimentScale, seed: u64) -> Table4 {
                 cfg.quantize_timer = Some(Nanos::from_millis(100));
             }
             let result = cfg.evaluate_closed_world(seed ^ (i as u64));
-            Table4Row { setting, result, paper }
+            Table4Row {
+                setting,
+                result,
+                paper,
+            }
         })
         .collect();
     Table4 { rows, scale }
@@ -171,6 +203,9 @@ mod tests {
     use super::*;
 
     #[test]
+    // Runs a full smoke-scale experiment (tens of seconds); exercised
+    // end-to-end by `cargo run -p bf-bench --bin table4`.
+    #[ignore = "slow: full experiment run; use `cargo run -p bf-bench --bin table4`"]
     fn randomized_timer_collapses_accuracy() {
         let t = run(ExperimentScale::Smoke, 9);
         assert_eq!(t.rows.len(), 5);
@@ -185,6 +220,9 @@ mod tests {
     }
 
     #[test]
+    // Runs a full smoke-scale experiment (tens of seconds); exercised
+    // end-to-end by `cargo run -p bf-bench --bin table4`.
+    #[ignore = "slow: full experiment run; use `cargo run -p bf-bench --bin table4`"]
     fn quantized_sits_between() {
         let t = run(ExperimentScale::Smoke, 10);
         let jittered = t.rows[0].result.mean_accuracy();
@@ -194,10 +232,16 @@ mod tests {
             quantized <= jittered + 0.1,
             "quantized {quantized} vs jittered {jittered}"
         );
-        assert!(quantized > randomized, "quantized {quantized} vs randomized {randomized}");
+        assert!(
+            quantized > randomized,
+            "quantized {quantized} vs randomized {randomized}"
+        );
     }
 
     #[test]
+    // Runs a full smoke-scale experiment (tens of seconds); exercised
+    // end-to-end by `cargo run -p bf-bench --bin table4`.
+    #[ignore = "slow: full experiment run; use `cargo run -p bf-bench --bin table4`"]
     fn renders_all_rows() {
         let t = run(ExperimentScale::Smoke, 11);
         let text = t.to_table().to_string();

@@ -26,7 +26,13 @@ pub struct TrainConfig {
 
 impl Default for TrainConfig {
     fn default() -> Self {
-        TrainConfig { max_epochs: 60, batch_size: 32, patience: 8, min_epochs: 15, seed: 0 }
+        TrainConfig {
+            max_epochs: 60,
+            batch_size: 32,
+            patience: 8,
+            min_epochs: 15,
+            seed: 0,
+        }
     }
 }
 
@@ -42,7 +48,11 @@ pub struct CnnLstmClassifier {
 impl CnnLstmClassifier {
     /// A classifier with explicit architecture and training config.
     pub fn new(arch: CnnLstmConfig, train_cfg: TrainConfig) -> Self {
-        CnnLstmClassifier { arch, train_cfg, net: None }
+        CnnLstmClassifier {
+            arch,
+            train_cfg,
+            net: None,
+        }
     }
 
     /// The architecture configuration.
@@ -83,33 +93,54 @@ impl Classifier for CnnLstmClassifier {
         let mut best_acc = -1.0f64;
         let mut best_params: Option<Vec<Vec<f32>>> = None;
         let mut since_best = 0usize;
-        for _epoch in 0..self.train_cfg.max_epochs {
+        let _span = bf_obs::span!("fit");
+        let mut stop_reason = "max_epochs";
+        for epoch in 0..self.train_cfg.max_epochs {
+            let epoch_start = std::time::Instant::now();
             rng.shuffle(&mut order);
+            let mut loss_sum = 0.0f64;
+            let mut batches = 0u32;
             for chunk in order.chunks(self.train_cfg.batch_size.max(1)) {
                 let x = Self::batch_tensor(train.features(), chunk, self.arch.input_len);
                 let labels: Vec<usize> = chunk.iter().map(|&i| train.labels()[i]).collect();
-                net.train_batch(&x, &labels);
+                loss_sum += net.train_batch(&x, &labels) as f64;
+                batches += 1;
             }
+            let mean_loss = loss_sum / batches.max(1) as f64;
+            bf_obs::counter("nn.epochs").inc();
+            bf_obs::gauge("nn.loss").set(mean_loss);
+            bf_obs::histogram("nn.epoch_seconds").record(epoch_start.elapsed().as_secs_f64());
             // Early stopping on validation accuracy (when provided).
             if val.is_empty() {
+                bf_obs::debug!("epoch {}: loss {mean_loss:.4} (no validation)", epoch + 1);
                 continue;
             }
             self.net = Some(net);
             let acc = self.evaluate(val);
             net = self.net.take().expect("net stored above");
+            bf_obs::debug!(
+                "epoch {}: loss {mean_loss:.4} val acc {acc:.3} best {best_acc:.3} \
+                 ({:.2} s)",
+                epoch + 1,
+                epoch_start.elapsed().as_secs_f64()
+            );
             if acc > best_acc {
                 best_acc = acc;
                 best_params = Some(net.save_params());
                 since_best = 0;
             } else {
                 since_best += 1;
-                if _epoch + 1 >= self.train_cfg.min_epochs
-                    && since_best >= self.train_cfg.patience
-                {
+                if epoch + 1 >= self.train_cfg.min_epochs && since_best >= self.train_cfg.patience {
+                    stop_reason = "patience_exhausted";
                     break;
                 }
             }
         }
+        bf_obs::gauge("nn.val_accuracy").set(best_acc.max(0.0));
+        bf_obs::info!(
+            "training stopped ({stop_reason}) after best val acc {:.3}",
+            best_acc.max(0.0)
+        );
         if let Some(params) = best_params {
             net.restore_params(&params);
         }
@@ -181,7 +212,13 @@ mod tests {
         let test = toy_dataset(4, 3);
         let mut clf = CnnLstmClassifier::new(
             fast_arch(),
-            TrainConfig { max_epochs: 40, batch_size: 8, patience: 6, min_epochs: 10, seed: 5 },
+            TrainConfig {
+                max_epochs: 40,
+                batch_size: 8,
+                patience: 6,
+                min_epochs: 10,
+                seed: 5,
+            },
         );
         clf.fit(&train, &val);
         let acc = clf.evaluate(&test);
@@ -194,7 +231,13 @@ mod tests {
         let val = toy_dataset(2, 5);
         let mut clf = CnnLstmClassifier::new(
             fast_arch(),
-            TrainConfig { max_epochs: 30, batch_size: 8, patience: 2, min_epochs: 5, seed: 6 },
+            TrainConfig {
+                max_epochs: 30,
+                batch_size: 8,
+                patience: 2,
+                min_epochs: 5,
+                seed: 6,
+            },
         );
         clf.fit(&train, &val);
         // Whatever was restored must predict at least as well on val as a
@@ -208,7 +251,13 @@ mod tests {
         let train = toy_dataset(4, 7);
         let mut clf = CnnLstmClassifier::new(
             fast_arch(),
-            TrainConfig { max_epochs: 2, batch_size: 8, patience: 2, min_epochs: 0, seed: 8 },
+            TrainConfig {
+                max_epochs: 2,
+                batch_size: 8,
+                patience: 2,
+                min_epochs: 0,
+                seed: 8,
+            },
         );
         clf.fit(&train, &Dataset::new(3));
         let p = clf.predict_proba(&train.features()[..5]);

@@ -61,6 +61,7 @@ pub fn cross_validate<F>(dataset: &Dataset, k: usize, seed: u64, builder: F) -> 
 where
     F: Fn() -> Box<dyn Classifier> + Sync,
 {
+    bf_obs::info!("cross-validating: {k} folds over {} samples", dataset.len());
     let folds = dataset.stratified_folds(k, seed);
     let results: Vec<FoldResult> = crossbeam::thread::scope(|scope| {
         let handles: Vec<_> = (0..k)
@@ -68,34 +69,44 @@ where
                 let folds = &folds;
                 let builder = &builder;
                 scope.spawn(move |_| {
-                    let (train_idx, val_idx, test_idx) =
-                        dataset.split_for_fold(folds, fold, seed);
+                    let fold_start = std::time::Instant::now();
+                    let (train_idx, val_idx, test_idx) = dataset.split_for_fold(folds, fold, seed);
                     let train = dataset.subset(&train_idx);
                     let val = dataset.subset(&val_idx);
                     let test = dataset.subset(&test_idx);
                     let mut clf = builder();
                     clf.fit(&train, &val);
                     let probas = clf.predict_proba(test.features());
+                    bf_obs::histogram("ml.fold_seconds").record(fold_start.elapsed().as_secs_f64());
                     let preds: Vec<usize> = probas
                         .iter()
                         .map(|row| {
                             row.iter()
                                 .enumerate()
-                                .max_by(|a, b| {
-                                    a.1.partial_cmp(b.1).expect("NaN probability")
-                                })
+                                .max_by(|a, b| a.1.partial_cmp(b.1).expect("NaN probability"))
                                 .map(|(i, _)| i)
                                 .expect("non-empty row")
                         })
                         .collect();
-                    FoldResult {
+                    let result = FoldResult {
                         accuracy: accuracy(&preds, test.labels()),
                         top5: top_k_accuracy(&probas, test.labels(), 5),
-                    }
+                    };
+                    bf_obs::info!(
+                        "fold {}/{k}: acc {:.3} top5 {:.3} ({:.2} s)",
+                        fold + 1,
+                        result.accuracy,
+                        result.top5,
+                        fold_start.elapsed().as_secs_f64()
+                    );
+                    result
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("fold thread panicked")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("fold thread panicked"))
+            .collect()
     })
     .expect("cross-validation scope panicked");
     CrossValResult { folds: results }
@@ -136,10 +147,10 @@ impl OofPredictions {
     pub fn fold_results(&self, labels: &[usize], k_folds: usize) -> CrossValResult {
         let folds = (0..k_folds)
             .map(|f| {
-                let idx: Vec<usize> =
-                    (0..labels.len()).filter(|&i| self.fold_of[i] == f).collect();
-                let probas: Vec<Vec<f32>> =
-                    idx.iter().map(|&i| self.probas[i].clone()).collect();
+                let idx: Vec<usize> = (0..labels.len())
+                    .filter(|&i| self.fold_of[i] == f)
+                    .collect();
+                let probas: Vec<Vec<f32>> = idx.iter().map(|&i| self.probas[i].clone()).collect();
                 let labs: Vec<usize> = idx.iter().map(|&i| labels[i]).collect();
                 let preds: Vec<usize> = probas
                     .iter()
@@ -167,15 +178,14 @@ impl OofPredictions {
 /// # Panics
 ///
 /// Panics when `k < 2`.
-pub fn cross_validate_oof<F>(
-    dataset: &Dataset,
-    k: usize,
-    seed: u64,
-    builder: F,
-) -> OofPredictions
+pub fn cross_validate_oof<F>(dataset: &Dataset, k: usize, seed: u64, builder: F) -> OofPredictions
 where
     F: Fn() -> Box<dyn Classifier> + Sync,
 {
+    bf_obs::info!(
+        "cross-validating (OOF): {k} folds over {} samples",
+        dataset.len()
+    );
     let folds = dataset.stratified_folds(k, seed);
     let per_fold: Vec<(Vec<usize>, Vec<Vec<f32>>)> = crossbeam::thread::scope(|scope| {
         let handles: Vec<_> = (0..k)
@@ -183,18 +193,28 @@ where
                 let folds = &folds;
                 let builder = &builder;
                 scope.spawn(move |_| {
-                    let (train_idx, val_idx, test_idx) =
-                        dataset.split_for_fold(folds, fold, seed);
+                    let fold_start = std::time::Instant::now();
+                    let (train_idx, val_idx, test_idx) = dataset.split_for_fold(folds, fold, seed);
                     let train = dataset.subset(&train_idx);
                     let val = dataset.subset(&val_idx);
                     let test = dataset.subset(&test_idx);
                     let mut clf = builder();
                     clf.fit(&train, &val);
-                    (test_idx, clf.predict_proba(test.features()))
+                    let probas = clf.predict_proba(test.features());
+                    bf_obs::histogram("ml.fold_seconds").record(fold_start.elapsed().as_secs_f64());
+                    bf_obs::debug!(
+                        "oof fold {}/{k} done ({:.2} s)",
+                        fold + 1,
+                        fold_start.elapsed().as_secs_f64()
+                    );
+                    (test_idx, probas)
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("fold thread panicked")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("fold thread panicked"))
+            .collect()
     })
     .expect("cross-validation scope panicked");
     let n = dataset.len();
@@ -261,7 +281,13 @@ mod tests {
     #[test]
     fn std_zero_for_identical_folds() {
         let r = CrossValResult {
-            folds: vec![FoldResult { accuracy: 0.9, top5: 1.0 }; 4],
+            folds: vec![
+                FoldResult {
+                    accuracy: 0.9,
+                    top5: 1.0
+                };
+                4
+            ],
         };
         assert_eq!(r.std_accuracy(), 0.0);
         assert_eq!(r.mean_accuracy(), 0.9);
@@ -313,8 +339,14 @@ mod tests {
     fn accuracies_pct_scaling() {
         let r = CrossValResult {
             folds: vec![
-                FoldResult { accuracy: 0.5, top5: 0.9 },
-                FoldResult { accuracy: 0.7, top5: 1.0 },
+                FoldResult {
+                    accuracy: 0.5,
+                    top5: 0.9,
+                },
+                FoldResult {
+                    accuracy: 0.7,
+                    top5: 1.0,
+                },
             ],
         };
         assert_eq!(r.accuracies_pct(), vec![50.0, 70.0]);

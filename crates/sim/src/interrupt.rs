@@ -61,6 +61,44 @@ impl InterruptKind {
         )
     }
 
+    /// Every distinct kind, in `index()` order. Lets hot loops tally
+    /// into a fixed `[u64; InterruptKind::COUNT]` instead of a map.
+    pub const ALL: [InterruptKind; Self::COUNT] = [
+        InterruptKind::NetworkRx,
+        InterruptKind::Disk,
+        InterruptKind::Graphics,
+        InterruptKind::Usb,
+        InterruptKind::TimerTick,
+        InterruptKind::RescheduleIpi,
+        InterruptKind::TlbShootdown,
+        InterruptKind::Softirq(SoftirqKind::NetRx),
+        InterruptKind::Softirq(SoftirqKind::Timer),
+        InterruptKind::Softirq(SoftirqKind::Tasklet),
+        InterruptKind::Softirq(SoftirqKind::Rcu),
+        InterruptKind::IrqWork,
+    ];
+
+    /// Number of distinct interrupt kinds (including softirq subtypes).
+    pub const COUNT: usize = 12;
+
+    /// Dense index into [`InterruptKind::ALL`].
+    pub const fn index(self) -> usize {
+        match self {
+            InterruptKind::NetworkRx => 0,
+            InterruptKind::Disk => 1,
+            InterruptKind::Graphics => 2,
+            InterruptKind::Usb => 3,
+            InterruptKind::TimerTick => 4,
+            InterruptKind::RescheduleIpi => 5,
+            InterruptKind::TlbShootdown => 6,
+            InterruptKind::Softirq(SoftirqKind::NetRx) => 7,
+            InterruptKind::Softirq(SoftirqKind::Timer) => 8,
+            InterruptKind::Softirq(SoftirqKind::Tasklet) => 9,
+            InterruptKind::Softirq(SoftirqKind::Rcu) => 10,
+            InterruptKind::IrqWork => 11,
+        }
+    }
+
     /// Short label used in figures and the kernel log.
     pub fn label(self) -> &'static str {
         match self {
@@ -205,7 +243,8 @@ impl HandlerTimeModel {
     pub fn sample(&self, kind: InterruptKind, units: u32, rng: &mut SeedRng) -> Nanos {
         let (median, sigma) = Self::body_params(kind);
         let body = rng.log_normal(median.ln(), sigma);
-        let mut t = Nanos::from_nanos(body.round() as u64) + Self::per_unit_cost(kind) * units as u64;
+        let mut t =
+            Nanos::from_nanos(body.round() as u64) + Self::per_unit_cost(kind) * units as u64;
         if matches!(kind, InterruptKind::Softirq(_)) && t > Self::SOFTIRQ_BUDGET {
             t = Self::SOFTIRQ_BUDGET;
         }
@@ -264,7 +303,10 @@ mod tests {
         let m = model();
         let mut rng = SeedRng::new(2);
         let mean: f64 = (0..2_000)
-            .map(|_| m.sample(InterruptKind::TimerTick, 0, &mut rng).as_micros_f64())
+            .map(|_| {
+                m.sample(InterruptKind::TimerTick, 0, &mut rng)
+                    .as_micros_f64()
+            })
             .sum::<f64>()
             / 2_000.0;
         assert!((2.0..8.0).contains(&mean), "mean = {mean} µs");
@@ -275,12 +317,18 @@ mod tests {
         let m = model();
         let mut rng = SeedRng::new(3);
         let small: f64 = (0..500)
-            .map(|_| m.sample(InterruptKind::Softirq(SoftirqKind::NetRx), 1, &mut rng).as_micros_f64())
+            .map(|_| {
+                m.sample(InterruptKind::Softirq(SoftirqKind::NetRx), 1, &mut rng)
+                    .as_micros_f64()
+            })
             .sum::<f64>()
             / 500.0;
         let mut rng = SeedRng::new(3);
         let big: f64 = (0..500)
-            .map(|_| m.sample(InterruptKind::Softirq(SoftirqKind::NetRx), 40, &mut rng).as_micros_f64())
+            .map(|_| {
+                m.sample(InterruptKind::Softirq(SoftirqKind::NetRx), 40, &mut rng)
+                    .as_micros_f64()
+            })
             .sum::<f64>()
             / 500.0;
         assert!(big > small + 15.0, "big={big} small={small}");
@@ -290,7 +338,11 @@ mod tests {
     fn softirq_budget_caps_runtime() {
         let m = model();
         let mut rng = SeedRng::new(4);
-        let t = m.sample(InterruptKind::Softirq(SoftirqKind::NetRx), 100_000, &mut rng);
+        let t = m.sample(
+            InterruptKind::Softirq(SoftirqKind::NetRx),
+            100_000,
+            &mut rng,
+        );
         assert!(t <= Nanos::from_millis(2) + Nanos::from_micros(2));
     }
 
@@ -319,7 +371,10 @@ mod tests {
         let m = model();
         let mut rng = SeedRng::new(6);
         let mean: f64 = (0..2_000)
-            .map(|_| m.sample(InterruptKind::IrqWork, 0, &mut rng).as_micros_f64())
+            .map(|_| {
+                m.sample(InterruptKind::IrqWork, 0, &mut rng)
+                    .as_micros_f64()
+            })
             .sum::<f64>()
             / 2_000.0;
         assert!((3.5..5.5).contains(&mean), "mean = {mean} µs");
@@ -349,7 +404,10 @@ mod tests {
 
     #[test]
     fn classes_cover_all_kinds() {
-        assert_eq!(InterruptKind::Softirq(SoftirqKind::Rcu).class(), InterruptClass::Softirq);
+        assert_eq!(
+            InterruptKind::Softirq(SoftirqKind::Rcu).class(),
+            InterruptClass::Softirq
+        );
         assert_eq!(InterruptKind::NetworkRx.class(), InterruptClass::DeviceIrq);
         assert_eq!(InterruptKind::TimerTick.class(), InterruptClass::Timer);
     }

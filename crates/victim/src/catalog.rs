@@ -121,6 +121,11 @@ impl Catalog {
 
     /// Closed world with explicit workload tuning.
     pub fn closed_world_with_tuning(tuning: ProfileTuning) -> Self {
+        bf_obs::debug!(
+            "building full {}-site closed world",
+            CLOSED_WORLD_HOSTS.len()
+        );
+        bf_obs::counter("victim.catalogs_built").inc();
         Catalog {
             sites: CLOSED_WORLD_HOSTS
                 .iter()
@@ -144,7 +149,12 @@ impl Catalog {
     ///
     /// Panics when `n` is zero or exceeds 100.
     pub fn closed_world_subset_with_tuning(n: usize, tuning: ProfileTuning) -> Self {
-        assert!(n >= 1 && n <= CLOSED_WORLD_HOSTS.len(), "subset size out of range");
+        assert!(
+            n >= 1 && n <= CLOSED_WORLD_HOSTS.len(),
+            "subset size out of range"
+        );
+        bf_obs::debug!("building {n}-site closed-world subset");
+        bf_obs::counter("victim.catalogs_built").inc();
         Catalog {
             sites: CLOSED_WORLD_HOSTS[..n]
                 .iter()

@@ -1,0 +1,146 @@
+//! Offline shim for `criterion`: a miniature wall-clock benchmark
+//! harness with criterion's API shape. Each benchmark is warmed up, then
+//! timed over `sample_size` samples; mean / median / min are printed and
+//! (when `BF_BENCH_OUT` names a file) appended as JSON lines so runs can
+//! be diffed mechanically.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level harness state.
+pub struct Criterion {
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { default_sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        let sample_size = self.default_sample_size;
+        println!("group: {name}");
+        BenchmarkGroup { _parent: self, name, sample_size }
+    }
+
+    /// Benchmark a single function outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        run_benchmark("", id, self.default_sample_size, f);
+        self
+    }
+}
+
+/// A group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Run one benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        run_benchmark(&self.name, id, self.sample_size, f);
+        self
+    }
+
+    /// Finish the group (criterion API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Passed to benchmark closures; `iter` times the routine.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `routine`, running it `self.iters` times back to back.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(group: &str, id: &str, samples: usize, mut f: F) {
+    // Calibrate: one iteration to size the per-sample iteration count so a
+    // sample takes ~50 ms (capped to keep total runtime bounded).
+    let mut b = Bencher { iters: 1, elapsed: Duration::ZERO };
+    f(&mut b);
+    let once = b.elapsed.max(Duration::from_nanos(1));
+    let per_sample = (Duration::from_millis(50).as_nanos() / once.as_nanos()).clamp(1, 10_000);
+
+    let mut times: Vec<f64> = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let mut b = Bencher { iters: per_sample as u64, elapsed: Duration::ZERO };
+        f(&mut b);
+        times.push(b.elapsed.as_secs_f64() * 1e9 / per_sample as f64);
+    }
+    times.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
+    let min = times[0];
+    let median = times[times.len() / 2];
+    let mean = times.iter().sum::<f64>() / times.len() as f64;
+    let full = if group.is_empty() { id.to_string() } else { format!("{group}/{id}") };
+    println!(
+        "  {full:<40} mean {:>12} ns  median {:>12} ns  min {:>12} ns  ({} samples x {} iters)",
+        format_ns(mean),
+        format_ns(median),
+        format_ns(min),
+        samples,
+        per_sample
+    );
+    if let Ok(path) = std::env::var("BF_BENCH_OUT") {
+        use std::io::Write;
+        let line = format!(
+            "{{\"bench\":\"{full}\",\"mean_ns\":{mean:.1},\"median_ns\":{median:.1},\
+             \"min_ns\":{min:.1},\"samples\":{samples},\"iters_per_sample\":{per_sample}}}\n"
+        );
+        let r = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+            .and_then(|mut fh| fh.write_all(line.as_bytes()));
+        if let Err(e) = r {
+            eprintln!("criterion shim: cannot write {path}: {e}");
+        }
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    format!("{ns:.1}")
+}
+
+/// Define a benchmark group function (criterion API shape).
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Define `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

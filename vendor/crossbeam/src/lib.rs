@@ -1,0 +1,72 @@
+//! Offline shim for `crossbeam`: scoped threads implemented on
+//! `std::thread::scope`. Only the `thread::scope` API the workspace uses
+//! is provided; spawned closures receive a `&Scope` like crossbeam's.
+
+pub mod thread {
+    /// Result of joining a scoped thread.
+    pub use std::thread::Result;
+
+    /// A scope for spawning borrowing threads.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Handle to a thread spawned within a [`Scope`].
+    pub struct ScopedJoinHandle<'scope, T>(std::thread::ScopedJoinHandle<'scope, T>);
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        /// Wait for the thread to finish, returning `Err` if it panicked.
+        pub fn join(self) -> Result<T> {
+            self.0.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a scoped thread; the closure receives the scope so it can
+        /// spawn siblings (crossbeam's signature).
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle(inner.spawn(move || f(&Scope { inner })))
+        }
+    }
+
+    /// Create a scope for spawning threads that may borrow from the
+    /// enclosing stack frame. Unlike crossbeam, a panic inside `f` itself
+    /// propagates instead of being captured in the `Result`; the workspace
+    /// only matches on panics from joined child threads.
+    pub fn scope<'env, F, R>(f: F) -> Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scope_joins_and_borrows() {
+        let data = vec![1u64, 2, 3];
+        let total = super::thread::scope(|s| {
+            let handles: Vec<_> =
+                (0..3).map(|i| s.spawn(move |_| data[i] * 10)).collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum::<u64>()
+        })
+        .unwrap();
+        assert_eq!(total, 60);
+    }
+
+    #[test]
+    fn child_panic_is_captured_by_join() {
+        let r = super::thread::scope(|s| {
+            let h = s.spawn(|_| -> u32 { panic!("child") });
+            h.join()
+        })
+        .unwrap();
+        assert!(r.is_err());
+    }
+}

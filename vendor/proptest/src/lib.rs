@@ -1,0 +1,452 @@
+//! Offline shim for `proptest`: a miniature property-testing runner.
+//!
+//! Supports the subset this workspace uses: range / tuple / vec / regex
+//! strategies, `prop_map`, `any::<T>()`, the `proptest!` macro with an
+//! optional `#![proptest_config(...)]`, and `prop_assert*`. Cases are
+//! generated from a deterministic per-test seed (override with
+//! `PROPTEST_SEED`); there is no shrinking — the failing case index and
+//! seed are printed instead so a failure replays exactly.
+
+use std::ops::{Range, RangeFrom, RangeInclusive};
+
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, ProptestConfig, Strategy,
+    };
+}
+
+/// Runner configuration (subset: case count only).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per property.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// Deterministic SplitMix64 generator driving case generation.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seed directly.
+    pub fn new(seed: u64) -> Self {
+        TestRng { state: seed ^ 0x9E37_79B9_7F4A_7C15 }
+    }
+
+    /// Derive the seed from the test name (stable across runs), unless
+    /// `PROPTEST_SEED` overrides it.
+    pub fn from_name(name: &str) -> Self {
+        if let Ok(s) = std::env::var("PROPTEST_SEED") {
+            if let Ok(seed) = s.parse::<u64>() {
+                return TestRng::new(seed);
+            }
+        }
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng::new(h)
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform integer in `[lo, hi)` (`hi > lo`).
+    pub fn u64_range(&mut self, lo: u64, hi: u64) -> u64 {
+        lo + self.next_u64() % (hi - lo)
+    }
+}
+
+/// A source of random values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Generate one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values with `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        (**self).generate(rng)
+    }
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {
+        $(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    rng.u64_range(self.start as u64, self.end as u64) as $t
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start() as u64, *self.end() as u64);
+                    if hi == u64::MAX {
+                        return rng.next_u64() as $t;
+                    }
+                    rng.u64_range(lo, hi + 1) as $t
+                }
+            }
+            impl Strategy for RangeFrom<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let lo = self.start as u64;
+                    let hi = <$t>::MAX as u64;
+                    if lo == 0 && hi == u64::MAX {
+                        return rng.next_u64() as $t;
+                    }
+                    rng.u64_range(lo, hi) as $t
+                }
+            }
+        )*
+    };
+}
+
+impl_int_range!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_float_range {
+    ($($t:ty),*) => {
+        $(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (self.start as f64, self.end as f64);
+                    (lo + rng.unit_f64() * (hi - lo)) as $t
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start() as f64, *self.end() as f64);
+                    // Map [0,1) onto [lo,hi]; hitting hi exactly is fine
+                    // for the tolerance-based properties this backs.
+                    let u = (rng.next_u64() >> 11) as f64 / ((1u64 << 53) - 1) as f64;
+                    (lo + u * (hi - lo)) as $t
+                }
+            }
+        )*
+    };
+}
+
+impl_float_range!(f32, f64);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident $idx:tt),+)),* $(,)?) => {
+        $(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )*
+    };
+}
+
+impl_tuple_strategy!(
+    (A 0),
+    (A 0, B 1),
+    (A 0, B 1, C 2),
+    (A 0, B 1, C 2, D 3),
+    (A 0, B 1, C 2, D 3, E 4),
+    (A 0, B 1, C 2, D 3, E 4, F 5),
+    (A 0, B 1, C 2, D 3, E 4, F 5, G 6),
+);
+
+/// Always produces a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Types with a canonical whole-domain strategy ([`any`]).
+pub trait Arbitrary {
+    /// Generate an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {
+        $(impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t { rng.next_u64() as $t }
+        })*
+    };
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Strategy returned by [`any`].
+#[derive(Debug, Clone, Copy)]
+pub struct AnyStrategy<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The whole-domain strategy for `T`.
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy(std::marker::PhantomData)
+}
+
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::{Range, RangeInclusive};
+
+    /// Length bounds for collection strategies (`[lo, hi]`).
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty vec length range");
+            SizeRange { lo: r.start, hi: r.end - 1 }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            SizeRange { lo: *r.start(), hi: *r.end() }
+        }
+    }
+
+    /// Strategy producing `Vec`s of values from an element strategy.
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.u64_range(self.size.lo as u64, self.size.hi as u64 + 1) as usize;
+            (0..len).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+
+    /// `Vec` strategy with lengths drawn from `size`.
+    pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { elem, size: size.into() }
+    }
+}
+
+mod regex_gen;
+
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        regex_gen::generate(self, rng)
+    }
+}
+
+/// Run one property: generate `cases` inputs, run `body`, and report the
+/// failing case index + seed before propagating the panic (no shrinking).
+pub fn run_property<F: FnMut(&mut TestRng)>(name: &str, config: &ProptestConfig, mut body: F) {
+    let mut rng = TestRng::from_name(name);
+    for case in 0..config.cases {
+        let mut case_rng = TestRng::new(rng.next_u64());
+        let replay = case_rng.clone();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            body(&mut case_rng);
+        }));
+        if let Err(payload) = result {
+            eprintln!(
+                "proptest shim: property `{name}` failed at case {case}/{} \
+                 (replay state {:#x}; set PROPTEST_SEED to replay the whole run)",
+                config.cases, replay.state
+            );
+            std::panic::resume_unwind(payload);
+        }
+    }
+}
+
+/// Property-test entry point: see the real proptest's docs. Supported
+/// grammar: an optional `#![proptest_config(expr)]` followed by
+/// `#[attr...] fn name(pat in strategy, ...) { body }` items.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr); ) => {};
+    (($cfg:expr);
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat_param in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            $crate::run_property(stringify!($name), &config, |__rng| {
+                $(let $pat = $crate::Strategy::generate(&($strat), __rng);)+
+                $body
+            });
+        }
+        $crate::__proptest_items! { ($cfg); $($rest)* }
+    };
+}
+
+/// Boolean property assertion (maps to `assert!` in the shim).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($arg:tt)*) => { assert!($($arg)*) };
+}
+
+/// Equality property assertion (maps to `assert_eq!` in the shim).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($arg:tt)*) => { assert_eq!($($arg)*) };
+}
+
+/// Inequality property assertion (maps to `assert_ne!` in the shim).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($arg:tt)*) => { assert_ne!($($arg)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = TestRng::new(1);
+        for _ in 0..200 {
+            let v = (10u64..20).generate(&mut rng);
+            assert!((10..20).contains(&v));
+            let f = (0.0f64..=1.0).generate(&mut rng);
+            assert!((0.0..=1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn vec_and_map_compose() {
+        let mut rng = TestRng::new(2);
+        let s = collection::vec(0u32..5, 3..7).prop_map(|v| v.len());
+        for _ in 0..50 {
+            let n = s.generate(&mut rng);
+            assert!((3..7).contains(&n));
+        }
+    }
+
+    #[test]
+    fn regex_strategy_produces_matching_strings() {
+        let mut rng = TestRng::new(3);
+        for _ in 0..50 {
+            let s = "[a-z]{1,12}\\.com".generate(&mut rng);
+            assert!(s.ends_with(".com"), "{s}");
+            let stem = &s[..s.len() - 4];
+            assert!((1..=12).contains(&stem.len()), "{s}");
+            assert!(stem.bytes().all(|b| b.is_ascii_lowercase()), "{s}");
+        }
+    }
+
+    #[test]
+    fn deterministic_per_name() {
+        let mut a = TestRng::from_name("x");
+        let mut b = TestRng::from_name("x");
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// The macro itself works end to end.
+        #[test]
+        fn macro_roundtrip(a in 0u64..100, (b, c) in (0u8..4, 0.0f64..1.0)) {
+            prop_assert!(a < 100);
+            prop_assert!(b < 4);
+            prop_assert!((0.0..1.0).contains(&c));
+        }
+    }
+}

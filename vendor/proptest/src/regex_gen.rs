@@ -1,0 +1,133 @@
+//! Tiny regex-driven string generator backing the `&str` strategy.
+//!
+//! Supports the constructs the workspace's patterns use: literal
+//! characters, `\`-escapes, positive character classes with ranges
+//! (`[a-z0-9_]`), and the quantifiers `{n}`, `{m,n}`, `?`, `*`, `+`
+//! (unbounded ones capped at 8 repetitions). Anything fancier panics
+//! with a clear message rather than generating wrong data.
+
+use crate::TestRng;
+
+#[derive(Debug, Clone)]
+enum Atom {
+    Literal(char),
+    Class(Vec<(char, char)>),
+}
+
+#[derive(Debug, Clone)]
+struct Piece {
+    atom: Atom,
+    min: u32,
+    max: u32,
+}
+
+fn parse(pattern: &str) -> Vec<Piece> {
+    let mut chars = pattern.chars().peekable();
+    let mut pieces = Vec::new();
+    while let Some(c) = chars.next() {
+        let atom = match c {
+            '\\' => {
+                let esc = chars.next().expect("regex shim: dangling escape");
+                Atom::Literal(match esc {
+                    'n' => '\n',
+                    't' => '\t',
+                    other => other,
+                })
+            }
+            '[' => {
+                let mut ranges = Vec::new();
+                loop {
+                    let lo = match chars.next() {
+                        Some(']') => break,
+                        Some('\\') => chars.next().expect("regex shim: dangling escape"),
+                        Some(ch) => ch,
+                        None => panic!("regex shim: unterminated character class"),
+                    };
+                    if chars.peek() == Some(&'-') {
+                        chars.next();
+                        match chars.peek() {
+                            Some(']') | None => {
+                                ranges.push((lo, lo));
+                                ranges.push(('-', '-'));
+                            }
+                            Some(_) => {
+                                let hi = chars.next().unwrap();
+                                assert!(lo <= hi, "regex shim: inverted range {lo}-{hi}");
+                                ranges.push((lo, hi));
+                            }
+                        }
+                    } else {
+                        ranges.push((lo, lo));
+                    }
+                }
+                assert!(!ranges.is_empty(), "regex shim: empty character class");
+                Atom::Class(ranges)
+            }
+            '(' | ')' | '|' | '^' | '$' | '.' => {
+                panic!("regex shim: unsupported construct {c:?} in {pattern:?}")
+            }
+            other => Atom::Literal(other),
+        };
+        let (min, max) = match chars.peek() {
+            Some('{') => {
+                chars.next();
+                let mut spec = String::new();
+                for ch in chars.by_ref() {
+                    if ch == '}' {
+                        break;
+                    }
+                    spec.push(ch);
+                }
+                match spec.split_once(',') {
+                    Some((m, n)) => (
+                        m.trim().parse().expect("regex shim: bad {m,n}"),
+                        n.trim().parse().expect("regex shim: bad {m,n}"),
+                    ),
+                    None => {
+                        let n: u32 = spec.trim().parse().expect("regex shim: bad {n}");
+                        (n, n)
+                    }
+                }
+            }
+            Some('?') => {
+                chars.next();
+                (0, 1)
+            }
+            Some('*') => {
+                chars.next();
+                (0, 8)
+            }
+            Some('+') => {
+                chars.next();
+                (1, 8)
+            }
+            _ => (1, 1),
+        };
+        pieces.push(Piece { atom, min, max });
+    }
+    pieces
+}
+
+/// Generate one string matching `pattern`.
+pub fn generate(pattern: &str, rng: &mut TestRng) -> String {
+    let mut out = String::new();
+    for piece in parse(pattern) {
+        let n = if piece.min == piece.max {
+            piece.min
+        } else {
+            rng.u64_range(piece.min as u64, piece.max as u64 + 1) as u32
+        };
+        for _ in 0..n {
+            match &piece.atom {
+                Atom::Literal(c) => out.push(*c),
+                Atom::Class(ranges) => {
+                    let (lo, hi) = ranges[rng.u64_range(0, ranges.len() as u64) as usize];
+                    let span = hi as u32 - lo as u32 + 1;
+                    let code = lo as u32 + rng.u64_range(0, span as u64) as u32;
+                    out.push(char::from_u32(code).expect("regex shim: invalid char"));
+                }
+            }
+        }
+    }
+    out
+}

@@ -1,0 +1,13 @@
+//! Offline shim for `rand` 0.9: just the [`RngCore`] trait, which
+//! `bf-stats`' deterministic `SeedRng` implements for ecosystem
+//! compatibility.
+
+/// The core of a random number generator (rand 0.9 signature set).
+pub trait RngCore {
+    /// Return the next random `u32`.
+    fn next_u32(&mut self) -> u32;
+    /// Return the next random `u64`.
+    fn next_u64(&mut self) -> u64;
+    /// Fill `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+}

@@ -1,0 +1,56 @@
+//! Offline shim for `serde`: the workspace only *derives*
+//! `Serialize`/`Deserialize` (it never drives a serializer at runtime —
+//! JSON output is hand-rolled in `bf-obs`), so marker traits suffice.
+
+/// Marker for types that are serde-serializable.
+pub trait Serialize {}
+
+/// Marker for types that are serde-deserializable.
+pub trait Deserialize<'de>: Sized {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+macro_rules! impl_markers {
+    ($($t:ty),* $(,)?) => {
+        $(
+            impl Serialize for $t {}
+            impl<'de> Deserialize<'de> for $t {}
+        )*
+    };
+}
+
+impl_markers!(
+    bool, char, u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize, f32, f64, String
+);
+
+impl Serialize for str {}
+impl<T: Serialize + ?Sized> Serialize for &T {}
+impl<T: Serialize> Serialize for Vec<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {}
+impl<T: Serialize> Serialize for Option<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {}
+impl<T: Serialize, const N: usize> Serialize for [T; N] {}
+impl<'de, T: Deserialize<'de>, const N: usize> Deserialize<'de> for [T; N] {}
+impl<T: Serialize> Serialize for [T] {}
+impl<K: Serialize, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {}
+impl<'de, K: Deserialize<'de>, V: Deserialize<'de>> Deserialize<'de>
+    for std::collections::BTreeMap<K, V>
+{
+}
+impl<K: Serialize, V: Serialize> Serialize for std::collections::HashMap<K, V> {}
+impl<'de, K: Deserialize<'de>, V: Deserialize<'de>> Deserialize<'de>
+    for std::collections::HashMap<K, V>
+{
+}
+
+macro_rules! impl_tuple_markers {
+    ($(($($n:ident),+)),* $(,)?) => {
+        $(
+            impl<$($n: Serialize),+> Serialize for ($($n,)+) {}
+            impl<'de, $($n: Deserialize<'de>),+> Deserialize<'de> for ($($n,)+) {}
+        )*
+    };
+}
+
+impl_tuple_markers!((A), (A, B), (A, B, C), (A, B, C, D), (A, B, C, D, E));

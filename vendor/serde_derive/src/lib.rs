@@ -1,0 +1,109 @@
+//! Offline shim for `serde_derive`: emits marker-trait impls for the
+//! shimmed `serde` crate. Parses just enough of the item to recover the
+//! type name and its generic parameters (no `syn`/`quote` available
+//! offline). `#[serde(...)]` helper attributes are accepted and ignored.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extract `(name, impl_generics, ty_generics)` from a struct/enum item.
+fn parse_item(input: TokenStream) -> (String, String, String) {
+    let mut tokens = input.into_iter().peekable();
+    // Skip attributes, doc comments, visibility, and modifiers until the
+    // `struct` / `enum` / `union` keyword.
+    while let Some(tt) = tokens.next() {
+        match &tt {
+            TokenTree::Ident(id) => {
+                let s = id.to_string();
+                if s == "struct" || s == "enum" || s == "union" {
+                    break;
+                }
+            }
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                // Consume the following [...] group.
+                tokens.next();
+            }
+            _ => {}
+        }
+    }
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde shim derive: expected type name, found {other:?}"),
+    };
+    // Optional generics: collect the top-level `<...>` parameter list.
+    let mut raw_generics = String::new();
+    if let Some(TokenTree::Punct(p)) = tokens.peek() {
+        if p.as_char() == '<' {
+            tokens.next();
+            let mut depth = 1usize;
+            for tt in tokens.by_ref() {
+                if let TokenTree::Punct(p) = &tt {
+                    match p.as_char() {
+                        '<' => depth += 1,
+                        '>' => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+                raw_generics.push_str(&tt.to_string());
+                raw_generics.push(' ');
+            }
+        }
+    }
+    if raw_generics.trim().is_empty() {
+        return (name, String::new(), String::new());
+    }
+    // Split top-level commas; strip bounds (`: ...`) and defaults (`= ...`)
+    // to produce the bare parameter names for the ty-generics position.
+    let mut params = Vec::new();
+    let mut depth = 0i32;
+    let mut current = String::new();
+    for ch in raw_generics.chars() {
+        match ch {
+            '<' | '(' | '[' => depth += 1,
+            '>' | ')' | ']' => depth -= 1,
+            ',' if depth == 0 => {
+                params.push(std::mem::take(&mut current));
+                continue;
+            }
+            _ => {}
+        }
+        current.push(ch);
+    }
+    if !current.trim().is_empty() {
+        params.push(current);
+    }
+    let bare: Vec<String> = params
+        .iter()
+        .map(|p| {
+            let head = p.split([':', '=']).next().unwrap_or(p).trim();
+            head.trim_start_matches("const ").split_whitespace().last().unwrap_or("").to_string()
+        })
+        .collect();
+    (name, format!("{}", raw_generics.trim()), bare.join(", "))
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let (name, impl_generics, ty_generics) = parse_item(input);
+    let code = if impl_generics.is_empty() {
+        format!("impl serde::Serialize for {name} {{}}")
+    } else {
+        format!("impl<{impl_generics}> serde::Serialize for {name}<{ty_generics}> {{}}")
+    };
+    code.parse().expect("serde shim derive: generated impl must parse")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let (name, impl_generics, ty_generics) = parse_item(input);
+    let code = if impl_generics.is_empty() {
+        format!("impl<'de> serde::Deserialize<'de> for {name} {{}}")
+    } else {
+        format!("impl<'de, {impl_generics}> serde::Deserialize<'de> for {name}<{ty_generics}> {{}}")
+    };
+    code.parse().expect("serde shim derive: generated impl must parse")
+}
