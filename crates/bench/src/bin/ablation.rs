@@ -1,6 +1,6 @@
 //! Ablation studies over the design choices DESIGN.md calls out:
 //! softirq deferral probability, NIC coalescing, and VM amplification.
-use bf_bench::{banner, scale_and_seed, with_manifest};
+use bf_bench::run_bin;
 use bf_core::{AttackKind, CollectionConfig};
 use bf_ml::{Classifier, CnnLstmClassifier, TrainConfig};
 use bf_nn::{CnnLstmConfig, LstmActivation, PoolKind};
@@ -9,10 +9,11 @@ use bf_sim::{Machine, MachineConfig};
 use bf_timer::{BrowserKind, Nanos};
 use bf_victim::WebsiteProfile;
 
-fn main() {
-    let (scale, seed) = scale_and_seed();
-    banner("ablations", scale);
-    with_manifest("ablation", scale, seed, |m| run_ablations(m, scale, seed));
+fn main() -> std::process::ExitCode {
+    run_bin("ablations", "ablation", |m, scale, seed| {
+        run_ablations(m, scale, seed);
+        Ok(())
+    })
 }
 
 fn run_ablations(m: &mut bf_obs::ManifestBuilder, scale: bf_core::ExperimentScale, seed: u64) {

@@ -1,25 +1,53 @@
 //! Regenerate every table and figure in sequence (EXPERIMENTS.md source).
-use bf_bench::{banner, scale_and_seed, with_manifest};
+//!
+//! Each experiment runs inside its own panic guard, so a crash in one
+//! table still lets the remaining tables regenerate; the bin exits
+//! non-zero listing the failed phases.
+use bf_bench::run_bin;
 use bf_core::experiments::{
     figure3, figure4, figure5, figure6, figure7, figure8, leakage, table1, table2, table3, table4,
 };
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::process::ExitCode;
 
-fn main() {
-    let (scale, seed) = scale_and_seed();
-    banner("all tables and figures", scale);
+/// Run one experiment as a manifest phase, containing any panic so the
+/// remaining experiments still run.
+fn guarded<R: std::fmt::Display>(
+    m: &mut bf_obs::ManifestBuilder,
+    name: &str,
+    failed: &mut Vec<String>,
+    f: impl FnOnce() -> R,
+) {
+    match catch_unwind(AssertUnwindSafe(|| m.phase(name, f))) {
+        Ok(out) => println!("{out}\n"),
+        Err(_) => {
+            eprintln!("phase {name} panicked; continuing with the rest\n");
+            failed.push(name.to_owned());
+        }
+    }
+}
+
+fn main() -> ExitCode {
     let t0 = std::time::Instant::now();
-    with_manifest("all", scale, seed, |m| {
-        println!("{}\n", m.phase("figure3", || figure3::run(scale, seed)));
-        println!("{}\n", m.phase("figure4", || figure4::run(scale, seed)));
-        println!("{}\n", m.phase("table1", || table1::run(scale, seed)));
-        println!("{}\n", m.phase("table2", || table2::run(scale, seed, true)));
-        println!("{}\n", m.phase("table3", || table3::run(scale, seed)));
-        println!("{}\n", m.phase("leakage", || leakage::run(scale, seed)));
-        println!("{}\n", m.phase("figure5", || figure5::run(scale, seed)));
-        println!("{}\n", m.phase("figure6", || figure6::run(scale, seed)));
-        println!("{}\n", m.phase("figure7", || figure7::run(scale, seed)));
-        println!("{}\n", m.phase("figure8", || figure8::run(scale, seed)));
-        println!("{}\n", m.phase("table4", || table4::run(scale, seed)));
+    let code = run_bin("all tables and figures", "all", |m, scale, seed| {
+        let mut failed = Vec::new();
+        guarded(m, "figure3", &mut failed, || figure3::run(scale, seed));
+        guarded(m, "figure4", &mut failed, || figure4::run(scale, seed));
+        guarded(m, "table1", &mut failed, || table1::run(scale, seed));
+        guarded(m, "table2", &mut failed, || table2::run(scale, seed, true));
+        guarded(m, "table3", &mut failed, || table3::run(scale, seed));
+        guarded(m, "leakage", &mut failed, || leakage::run(scale, seed));
+        guarded(m, "figure5", &mut failed, || figure5::run(scale, seed));
+        guarded(m, "figure6", &mut failed, || figure6::run(scale, seed));
+        guarded(m, "figure7", &mut failed, || figure7::run(scale, seed));
+        guarded(m, "figure8", &mut failed, || figure8::run(scale, seed));
+        guarded(m, "table4", &mut failed, || table4::run(scale, seed));
+        if failed.is_empty() {
+            Ok(())
+        } else {
+            Err(format!("{} phase(s) failed: {}", failed.len(), failed.join(", ")).into())
+        }
     });
     println!("total elapsed: {:.1?}", t0.elapsed());
+    code
 }

@@ -4,21 +4,19 @@
 //! BF_SCALE=smoke cargo run --release -p bf-bench --bin export -- out_dir
 //! ```
 
-use bf_bench::{banner, scale_and_seed, with_manifest};
+use bf_bench::run_bin;
 use bf_core::experiments::{figure3, figure4, figure5, figure7, figure8};
 use std::fs;
 use std::path::Path;
+use std::process::ExitCode;
 
-fn main() -> std::io::Result<()> {
-    let (scale, seed) = scale_and_seed();
+fn main() -> ExitCode {
     let dir = std::env::args()
         .nth(1)
         .unwrap_or_else(|| "figure_data".to_owned());
-    banner("CSV export", scale);
-    fs::create_dir_all(&dir)?;
-    let dir = Path::new(&dir);
-
-    with_manifest("export", scale, seed, |m| {
+    run_bin("CSV export", "export", |m, scale, seed| {
+        fs::create_dir_all(&dir)?;
+        let dir = Path::new(&dir);
         m.config("out_dir", dir.display());
 
         m.phase("figure3", || -> std::io::Result<()> {

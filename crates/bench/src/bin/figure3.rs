@@ -1,12 +1,12 @@
 //! Regenerate Fig. 3 (example loop-counting traces).
-use bf_bench::{banner, scale_and_seed, with_manifest};
+use bf_bench::run_bin;
 use bf_core::experiments::figure3;
+use std::process::ExitCode;
 
-fn main() {
-    let (scale, seed) = scale_and_seed();
-    banner("Figure 3", scale);
-    let fig = with_manifest("figure3", scale, seed, |m| {
-        m.phase("traces", || figure3::run(scale, seed))
-    });
-    println!("{fig}");
+fn main() -> ExitCode {
+    run_bin("Figure 3", "figure3", |m, scale, seed| {
+        let fig = m.phase("traces", || figure3::run(scale, seed));
+        println!("{fig}");
+        Ok(())
+    })
 }

@@ -1,12 +1,12 @@
 //! Regenerate Fig. 4 (loop vs sweep trace correlation).
-use bf_bench::{banner, scale_and_seed, with_manifest};
+use bf_bench::run_bin;
 use bf_core::experiments::figure4;
+use std::process::ExitCode;
 
-fn main() {
-    let (scale, seed) = scale_and_seed();
-    banner("Figure 4", scale);
-    let fig = with_manifest("figure4", scale, seed, |m| {
-        m.phase("correlation", || figure4::run(scale, seed))
-    });
-    println!("{fig}");
+fn main() -> ExitCode {
+    run_bin("Figure 4", "figure4", |m, scale, seed| {
+        let fig = m.phase("correlation", || figure4::run(scale, seed));
+        println!("{fig}");
+        Ok(())
+    })
 }

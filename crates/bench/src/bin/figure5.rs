@@ -1,12 +1,12 @@
 //! Regenerate Fig. 5 (interrupt-time share during page loads).
-use bf_bench::{banner, scale_and_seed, with_manifest};
+use bf_bench::run_bin;
 use bf_core::experiments::figure5;
+use std::process::ExitCode;
 
-fn main() {
-    let (scale, seed) = scale_and_seed();
-    banner("Figure 5", scale);
-    let fig = with_manifest("figure5", scale, seed, |m| {
-        m.phase("interrupt_share", || figure5::run(scale, seed))
-    });
-    println!("{fig}");
+fn main() -> ExitCode {
+    run_bin("Figure 5", "figure5", |m, scale, seed| {
+        let fig = m.phase("interrupt_share", || figure5::run(scale, seed));
+        println!("{fig}");
+        Ok(())
+    })
 }

@@ -1,16 +1,16 @@
 //! Regenerate Fig. 6 (interrupt gap-length distributions).
-use bf_bench::{banner, scale_and_seed, with_manifest};
+use bf_bench::run_bin;
 use bf_core::experiments::figure6;
+use std::process::ExitCode;
 
-fn main() {
-    let (scale, seed) = scale_and_seed();
-    banner("Figure 6", scale);
-    let fig = with_manifest("figure6", scale, seed, |m| {
-        m.phase("gap_distributions", || figure6::run(scale, seed))
-    });
-    println!("{fig}");
-    for k in &fig.kinds {
-        println!("\n{} gap-length histogram (µs):", k.kind);
-        print!("{}", k.histogram.render(40));
-    }
+fn main() -> ExitCode {
+    run_bin("Figure 6", "figure6", |m, scale, seed| {
+        let fig = m.phase("gap_distributions", || figure6::run(scale, seed));
+        println!("{fig}");
+        for k in &fig.kinds {
+            println!("\n{} gap-length histogram (µs):", k.kind);
+            print!("{}", k.histogram.render(40));
+        }
+        Ok(())
+    })
 }

@@ -1,12 +1,12 @@
 //! Regenerate Fig. 7 (timer staircases).
-use bf_bench::{banner, scale_and_seed, with_manifest};
+use bf_bench::run_bin;
 use bf_core::experiments::figure7;
+use std::process::ExitCode;
 
-fn main() {
-    let (scale, seed) = scale_and_seed();
-    banner("Figure 7", scale);
-    let fig = with_manifest("figure7", scale, seed, |m| {
-        m.phase("staircases", || figure7::run(scale, seed))
-    });
-    println!("{fig}");
+fn main() -> ExitCode {
+    run_bin("Figure 7", "figure7", |m, scale, seed| {
+        let fig = m.phase("staircases", || figure7::run(scale, seed));
+        println!("{fig}");
+        Ok(())
+    })
 }

@@ -1,12 +1,12 @@
 //! Regenerate Fig. 8 (attacker-period duration distributions).
-use bf_bench::{banner, scale_and_seed, with_manifest};
+use bf_bench::run_bin;
 use bf_core::experiments::figure8;
+use std::process::ExitCode;
 
-fn main() {
-    let (scale, seed) = scale_and_seed();
-    banner("Figure 8", scale);
-    let fig = with_manifest("figure8", scale, seed, |m| {
-        m.phase("durations", || figure8::run(scale, seed))
-    });
-    println!("{fig}");
+fn main() -> ExitCode {
+    run_bin("Figure 8", "figure8", |m, scale, seed| {
+        let fig = m.phase("durations", || figure8::run(scale, seed));
+        println!("{fig}");
+        Ok(())
+    })
 }

@@ -1,20 +1,19 @@
 //! Regenerate the §5.2 gap-attribution analysis (the >99% claim).
-use bf_bench::{banner, scale_and_seed, with_manifest};
+use bf_bench::run_bin;
 use bf_core::experiments::leakage;
+use std::process::ExitCode;
 
-fn main() {
-    let (scale, seed) = scale_and_seed();
-    banner("§5.2 leakage attribution", scale);
-    let (analysis, off, on) = with_manifest("leakage", scale, seed, |m| {
+fn main() -> ExitCode {
+    run_bin("§5.2 leakage attribution", "leakage", |m, scale, seed| {
         let analysis = m.phase("attribution", || leakage::run(scale, seed));
         let (off, on) = m.phase("turbo_comparison", || leakage::run_turbo_comparison(seed));
-        (analysis, off, on)
-    });
-    println!("{analysis}");
-    println!(
-        "footnote 4 check - attribution with Turbo Boost disabled: {:.2}%, enabled: {:.2}%",
-        off * 100.0,
-        on * 100.0
-    );
-    println!("(the paper disables Turbo Boost for exactly this reason)");
+        println!("{analysis}");
+        println!(
+            "footnote 4 check - attribution with Turbo Boost disabled: {:.2}%, enabled: {:.2}%",
+            off * 100.0,
+            on * 100.0
+        );
+        println!("(the paper disables Turbo Boost for exactly this reason)");
+        Ok(())
+    })
 }

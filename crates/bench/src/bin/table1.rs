@@ -1,12 +1,12 @@
 //! Regenerate Table 1 (closed/open-world accuracy grid).
-use bf_bench::{banner, scale_and_seed, with_manifest};
+use bf_bench::run_bin;
 use bf_core::experiments::table1;
+use std::process::ExitCode;
 
-fn main() {
-    let (scale, seed) = scale_and_seed();
-    banner("Table 1", scale);
-    let result = with_manifest("table1", scale, seed, |m| {
-        m.phase("accuracy_grid", || table1::run(scale, seed))
-    });
-    println!("{result}");
+fn main() -> ExitCode {
+    run_bin("Table 1", "table1", |m, scale, seed| {
+        let result = m.phase("accuracy_grid", || table1::run(scale, seed));
+        println!("{result}");
+        Ok(())
+    })
 }

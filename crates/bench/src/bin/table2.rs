@@ -1,15 +1,15 @@
 //! Regenerate Table 2 (noise study) plus the §4.2 background-noise check.
-use bf_bench::{banner, scale_and_seed, with_manifest};
+use bf_bench::run_bin;
 use bf_core::experiments::table2;
+use std::process::ExitCode;
 
-fn main() {
-    let (scale, seed) = scale_and_seed();
+fn main() -> ExitCode {
     let with_background = std::env::args().any(|a| a == "--background");
-    banner("Table 2", scale);
-    let result = with_manifest("table2", scale, seed, |m| {
+    run_bin("Table 2", "table2", |m, scale, seed| {
         m.config("background", with_background);
-        m.phase("noise_study", || table2::run(scale, seed, with_background))
-    });
-    println!("{result}");
-    println!("(pass --background for the §4.2 Slack+Spotify rows)");
+        let result = m.phase("noise_study", || table2::run(scale, seed, with_background));
+        println!("{result}");
+        println!("(pass --background for the §4.2 Slack+Spotify rows)");
+        Ok(())
+    })
 }

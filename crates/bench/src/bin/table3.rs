@@ -1,12 +1,12 @@
 //! Regenerate Table 3 (isolation-mechanism ladder).
-use bf_bench::{banner, scale_and_seed, with_manifest};
+use bf_bench::run_bin;
 use bf_core::experiments::table3;
+use std::process::ExitCode;
 
-fn main() {
-    let (scale, seed) = scale_and_seed();
-    banner("Table 3", scale);
-    let result = with_manifest("table3", scale, seed, |m| {
-        m.phase("isolation_ladder", || table3::run(scale, seed))
-    });
-    println!("{result}");
+fn main() -> ExitCode {
+    run_bin("Table 3", "table3", |m, scale, seed| {
+        let result = m.phase("isolation_ladder", || table3::run(scale, seed));
+        println!("{result}");
+        Ok(())
+    })
 }

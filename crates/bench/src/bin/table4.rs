@@ -1,12 +1,12 @@
 //! Regenerate Table 4 (timer-defense sweep).
-use bf_bench::{banner, scale_and_seed, with_manifest};
+use bf_bench::run_bin;
 use bf_core::experiments::table4;
+use std::process::ExitCode;
 
-fn main() {
-    let (scale, seed) = scale_and_seed();
-    banner("Table 4", scale);
-    let result = with_manifest("table4", scale, seed, |m| {
-        m.phase("timer_sweep", || table4::run(scale, seed))
-    });
-    println!("{result}");
+fn main() -> ExitCode {
+    run_bin("Table 4", "table4", |m, scale, seed| {
+        let result = m.phase("timer_sweep", || table4::run(scale, seed));
+        println!("{result}");
+        Ok(())
+    })
 }

@@ -19,6 +19,13 @@
 //! and end-to-end trace collection.
 
 use bf_core::ExperimentScale;
+use bf_fault::{FaultPlan, ResumeConfig};
+use bf_obs::metrics::MetricValue;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::process::ExitCode;
+
+/// Error type regeneration binaries may bubble up through [`run_bin`].
+pub type BinError = Box<dyn std::error::Error + Send + Sync>;
 
 /// Shared binary entry glue: scale from `BF_SCALE`, seed from `BF_SEED`
 /// (default 42, the seed behind the committed EXPERIMENTS.md numbers).
@@ -63,6 +70,113 @@ pub fn with_manifest<R>(
     out
 }
 
+/// Full entry point for a regeneration binary: reads scale/seed from the
+/// environment, prints the banner, records the active fault plan
+/// (`BF_FAULT_PLAN`) and resume knobs (`BF_RESUME`, `BF_CHECKPOINT_DIR`)
+/// in the run manifest, contains any panic from the experiment body, and
+/// always finishes and writes the manifest — so even a crashed run leaves
+/// its fault/repair counters on disk.
+///
+/// The returned [`ExitCode`] is non-zero when the body panicked or
+/// returned an error, making the bins honest CI citizens.
+pub fn run_bin(
+    title: &str,
+    name: &str,
+    f: impl FnOnce(&mut bf_obs::ManifestBuilder, ExperimentScale, u64) -> Result<(), BinError>,
+) -> ExitCode {
+    if run_bin_inner(title, name, f) {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// [`run_bin`] body returning plain success/failure (testable — `ExitCode`
+/// has no `PartialEq`).
+fn run_bin_inner(
+    title: &str,
+    name: &str,
+    f: impl FnOnce(&mut bf_obs::ManifestBuilder, ExperimentScale, u64) -> Result<(), BinError>,
+) -> bool {
+    let (scale, seed) = scale_and_seed();
+    banner(title, scale);
+
+    let faults = FaultPlan::from_env();
+    let resume = ResumeConfig::from_env();
+    let mut builder = bf_obs::ManifestBuilder::new(name, &scale.to_string(), seed);
+    builder.config("scale", scale);
+    builder.config("seed", seed);
+    builder.config("fault_plan", faults.summary());
+    builder.config("resume", if resume.enabled { "on" } else { "off" });
+    if resume.enabled {
+        builder.config("checkpoint_dir", resume.dir.display());
+        println!(
+            "resume enabled: checkpoints under {}\n",
+            resume.dir.display()
+        );
+    }
+    if faults.is_active() {
+        println!("fault plan active: {}\n", faults.summary());
+    }
+
+    let outcome = catch_unwind(AssertUnwindSafe(|| f(&mut builder, scale, seed)));
+
+    let manifest = builder.finish();
+    let dest = match manifest.write() {
+        Ok(path) => format!(" -> {}", path.display()),
+        Err(e) => format!(" (write failed: {e})"),
+    };
+    println!(
+        "\nrun manifest: {} phase(s), {} metric(s), {:.1} s total{dest}",
+        manifest.phases.len(),
+        manifest.metrics.len(),
+        manifest.total_seconds,
+    );
+    print_resilience_summary(&manifest.metrics);
+
+    match outcome {
+        Ok(Ok(())) => true,
+        Ok(Err(e)) => {
+            eprintln!("error: {e}");
+            false
+        }
+        Err(payload) => {
+            eprintln!("panic contained: {}", panic_message(&payload));
+            false
+        }
+    }
+}
+
+/// Print every fault/resilience counter the run touched, so operators
+/// see injections, repairs and quarantines without opening the manifest.
+fn print_resilience_summary(metrics: &bf_obs::metrics::MetricsSnapshot) {
+    let interesting = metrics.iter().filter_map(|(name, value)| match value {
+        MetricValue::Counter(n)
+            if *n > 0 && (name.starts_with("fault.") || name.starts_with("ml.fold_failures")) =>
+        {
+            Some((name, *n))
+        }
+        _ => None,
+    });
+    let mut any = false;
+    for (name, n) in interesting {
+        if !any {
+            println!("resilience counters:");
+            any = true;
+        }
+        println!("  {name} = {n}");
+    }
+}
+
+/// Best-effort human-readable panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
+    payload
+        .downcast_ref::<&str>()
+        .copied()
+        .or_else(|| payload.downcast_ref::<String>().map(String::as_str))
+        .unwrap_or("<non-string panic payload>")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -76,5 +190,40 @@ mod tests {
     #[test]
     fn banner_prints_without_panicking() {
         banner("unit test", ExperimentScale::Smoke);
+    }
+
+    #[test]
+    fn run_bin_contains_panics_and_reports_failure() {
+        let ok = run_bin_inner("panic containment test", "bench-panic-test", |_, _, _| {
+            panic!("simulated crash")
+        });
+        assert!(!ok);
+    }
+
+    #[test]
+    fn run_bin_propagates_errors_as_failure() {
+        let ok = run_bin_inner("error path test", "bench-error-test", |_, _, _| {
+            Err("deliberate".into())
+        });
+        assert!(!ok);
+    }
+
+    #[test]
+    fn run_bin_success_is_zero_exit() {
+        let ok = run_bin_inner("success path test", "bench-ok-test", |m, _, _| {
+            m.phase("noop", || {});
+            Ok(())
+        });
+        assert!(ok);
+    }
+
+    #[test]
+    fn panic_messages_are_extracted() {
+        let payload: Box<dyn std::any::Any + Send> = Box::new("static str");
+        assert_eq!(panic_message(payload.as_ref()), "static str");
+        let payload: Box<dyn std::any::Any + Send> = Box::new(String::from("owned"));
+        assert_eq!(panic_message(payload.as_ref()), "owned");
+        let payload: Box<dyn std::any::Any + Send> = Box::new(17u32);
+        assert_eq!(panic_message(payload.as_ref()), "<non-string panic payload>");
     }
 }

@@ -4,8 +4,11 @@
 use crate::scale::ExperimentScale;
 use bf_attack::{LoopCountingAttacker, SweepCountingAttacker, Trace};
 use bf_defense::Countermeasure;
+use bf_fault::validate::clamp_values;
+use bf_fault::{FaultPlan, RepairAction, RepairPolicy, ResumeConfig, TraceValidator};
 use bf_ml::{
-    cross_validate, CentroidClassifier, Classifier, CnnLstmClassifier, CrossValResult, Dataset,
+    cross_validate_oof_resumable, cross_validate_resumable, CentroidClassifier, Classifier,
+    CnnLstmClassifier, CrossValResult, Dataset, OofPredictions, Resumable, ResumeOptions,
     TrainConfig,
 };
 use bf_nn::CnnLstmConfig;
@@ -63,6 +66,10 @@ pub struct CollectionConfig {
     pub tuning: ProfileTuning,
     /// Experiment sizing.
     pub scale: ExperimentScale,
+    /// Fault-injection plan applied at the collection boundary
+    /// (read from `BF_FAULT_PLAN` by [`CollectionConfig::new`]; inert by
+    /// default).
+    pub faults: FaultPlan,
 }
 
 impl CollectionConfig {
@@ -78,7 +85,16 @@ impl CollectionConfig {
             quantize_timer: None,
             tuning: ProfileTuning::default(),
             scale: ExperimentScale::Default,
+            faults: FaultPlan::from_env(),
         }
+    }
+
+    /// Replace the fault-injection plan (tests pass explicit plans here
+    /// instead of mutating the environment).
+    #[must_use]
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
     }
 
     /// Replace the machine model.
@@ -144,6 +160,81 @@ impl CollectionConfig {
         }
     }
 
+    /// Trace length the collection geometry implies (periods per trace).
+    pub fn expected_trace_len(&self) -> usize {
+        (self.browser.trace_duration().as_nanos() / self.period.as_nanos().max(1)) as usize
+    }
+
+    /// Collect one trace with fault injection, validation, and bounded
+    /// repair. Every trace — faulted or not — passes the
+    /// [`TraceValidator`] before entering a dataset; numeric damage is
+    /// clamped in place, structural damage triggers bounded re-collection
+    /// (fresh attempt seed each time), and a trace that exhausts its
+    /// retry budget is quarantined (`None`). All outcomes land in the
+    /// `fault.*` counters so run manifests record them.
+    pub fn collect_trace_resilient(&self, site: &WebsiteProfile, run_seed: u64) -> Option<Trace> {
+        let validator = TraceValidator::with_expected_len(self.expected_trace_len());
+        let policy = RepairPolicy::default();
+        for _ in 0..self.faults.transient_failures(run_seed) {
+            bf_obs::counter("fault.transient_failures").inc();
+            bf_obs::debug!("transient collection failure for trace {run_seed:016x}; retrying");
+        }
+        let mut recollects = 0u32;
+        loop {
+            // Re-collections perturb the attempt seed so a faulted draw is
+            // not simply replayed; attempt 0 uses `run_seed` itself, which
+            // keeps the clean path byte-identical to pre-fault collection.
+            let attempt_seed = if recollects == 0 {
+                run_seed
+            } else {
+                combine_seeds(run_seed, 0xF000 + u64::from(recollects))
+            };
+            let mut values = self.collect_trace(site, attempt_seed).into_values();
+            let attempt_id = combine_seeds(run_seed, u64::from(recollects));
+            if let Some(kind) = self.faults.fault_for(attempt_id) {
+                self.faults.apply(kind, &mut values, attempt_id);
+            }
+            let violation = match validator.validate(&values) {
+                Ok(()) => return Some(Trace::new(self.period, values)),
+                Err(v) => v,
+            };
+            bf_obs::counter(match violation {
+                bf_fault::Violation::NonFinite { .. } => "fault.violations.non_finite",
+                bf_fault::Violation::WrongLength { .. } => "fault.violations.wrong_length",
+                bf_fault::Violation::OutOfRange { .. } => "fault.violations.out_of_range",
+                bf_fault::Violation::Empty => "fault.violations.empty",
+            })
+            .inc();
+            match policy.action_for(&violation, recollects) {
+                RepairAction::Clamp => {
+                    let repaired = clamp_values(&mut values, validator.max_abs);
+                    bf_obs::counter("fault.clamped").inc();
+                    bf_obs::info!(
+                        "trace {run_seed:016x}: {violation}; clamped {repaired} value(s)"
+                    );
+                    return Some(Trace::new(self.period, values));
+                }
+                RepairAction::Recollect => {
+                    recollects += 1;
+                    bf_obs::counter("fault.retries").inc();
+                    bf_obs::info!(
+                        "trace {run_seed:016x}: {violation}; re-collecting \
+                         (attempt {recollects}/{})",
+                        policy.max_recollects
+                    );
+                }
+                RepairAction::Quarantine => {
+                    bf_obs::counter("fault.quarantined").inc();
+                    bf_obs::error!(
+                        "trace {run_seed:016x}: {violation}; quarantined after \
+                         {recollects} re-collection(s)"
+                    );
+                    return None;
+                }
+            }
+        }
+    }
+
     /// The downsampling factor applied before classification: the scale's
     /// base factor, widened when the browser timer is so coarse that
     /// several attacker periods share one observable clock edge (Tor's
@@ -193,7 +284,9 @@ impl CollectionConfig {
             bf_obs::info!("site {}/{n_sites}: {}", label + 1, site.hostname());
             for run in 0..traces_per_site {
                 let run_seed = combine_seeds(seed, (label * 100_000 + run) as u64);
-                let trace = self.collect_trace(site, run_seed);
+                let Some(trace) = self.collect_trace_resilient(site, run_seed) else {
+                    continue; // quarantined; the dataset proceeds without it
+                };
                 bf_obs::debug!("trace {}/{traces_per_site} len {}", run + 1, trace.len());
                 dataset.push(self.featurize(&trace), label);
             }
@@ -227,7 +320,9 @@ impl CollectionConfig {
             tuning.intensity *= 0.5 + 1.5 * ((i % 17) as f64 / 16.0);
             let site = Catalog::open_world_site_with_tuning(i as u32, tuning);
             let run_seed = combine_seeds(seed ^ 0x0BE, i as u64);
-            let trace = self.collect_trace(&site, run_seed);
+            let Some(trace) = self.collect_trace_resilient(&site, run_seed) else {
+                continue;
+            };
             dataset.push(self.featurize(&trace), n_sites);
         }
         dataset
@@ -282,12 +377,88 @@ impl CollectionConfig {
         self.cross_validate(&dataset, seed)
     }
 
+    /// Checkpoint/resume options for cross-validating `dataset`:
+    /// honours `BF_RESUME` / `BF_CHECKPOINT_DIR` (checkpoint files are
+    /// named after the dataset fingerprint, so a changed dataset never
+    /// reuses stale folds) and the fault plan's simulated interruption.
+    pub fn resume_options(&self, dataset: &Dataset, seed: u64, tag: &str) -> ResumeOptions {
+        let resume = ResumeConfig::from_env();
+        let mut opts = ResumeOptions {
+            max_new_folds: self.faults.interrupt_folds,
+            ..ResumeOptions::default()
+        };
+        if resume.enabled {
+            let stem = format!(
+                "{tag}-{:016x}",
+                combine_seeds(dataset.fingerprint(), seed)
+            );
+            opts.checkpoint = Some(resume.checkpoint_path(&stem));
+            opts.snapshot_dir = Some(resume.dir.join(format!("{stem}-nets")));
+        }
+        opts
+    }
+
     /// k-fold cross-validate an already-collected dataset.
     pub fn cross_validate(&self, dataset: &Dataset, seed: u64) -> CrossValResult {
+        self.cross_validate_resumable(dataset, seed).value
+    }
+
+    /// [`CollectionConfig::cross_validate`] with checkpoint/resume
+    /// (enabled via `BF_RESUME=1`) and simulated-interruption support.
+    pub fn cross_validate_resumable(
+        &self,
+        dataset: &Dataset,
+        seed: u64,
+    ) -> Resumable<CrossValResult> {
         let _span = bf_obs::span!("cross_validate");
-        cross_validate(dataset, self.scale.folds(), seed, || {
-            self.classifier_for(dataset, seed)
-        })
+        let opts = self.resume_options(dataset, seed, "cv");
+        let r = cross_validate_resumable(
+            dataset,
+            self.scale.folds(),
+            seed,
+            || self.classifier_for(dataset, seed),
+            &opts,
+        );
+        if r.interrupted {
+            bf_obs::info!(
+                "cross-validation interrupted after {} new fold(s); \
+                 re-run with BF_RESUME=1 to continue",
+                r.computed_folds
+            );
+        }
+        r
+    }
+
+    /// Out-of-fold cross-validation of an already-collected dataset
+    /// (resume-aware like [`CollectionConfig::cross_validate`]).
+    pub fn cross_validate_oof(&self, dataset: &Dataset, seed: u64) -> OofPredictions {
+        self.cross_validate_oof_resumable(dataset, seed).value
+    }
+
+    /// [`CollectionConfig::cross_validate_oof`] with checkpoint/resume
+    /// and simulated-interruption support.
+    pub fn cross_validate_oof_resumable(
+        &self,
+        dataset: &Dataset,
+        seed: u64,
+    ) -> Resumable<OofPredictions> {
+        let _span = bf_obs::span!("cross_validate_oof");
+        let opts = self.resume_options(dataset, seed, "oof");
+        let r = cross_validate_oof_resumable(
+            dataset,
+            self.scale.folds(),
+            seed,
+            || self.classifier_for(dataset, seed),
+            &opts,
+        );
+        if r.interrupted {
+            bf_obs::info!(
+                "OOF cross-validation interrupted after {} new fold(s); \
+                 re-run with BF_RESUME=1 to continue",
+                r.computed_folds
+            );
+        }
+        r
     }
 }
 
@@ -350,6 +521,50 @@ mod tests {
         let trace = cfg.collect_trace(&site, 4);
         // ~32 sweeps per period vs ~27 000 loop iterations.
         assert!(trace.max() < 100.0, "max = {}", trace.max());
+    }
+
+    #[test]
+    fn resilient_path_with_faults_off_matches_plain_collection() {
+        let cfg = smoke(BrowserKind::Chrome, AttackKind::LoopCounting).with_faults(FaultPlan::off());
+        let site = WebsiteProfile::for_hostname("github.com");
+        let plain = cfg.collect_trace(&site, 9);
+        let resilient = cfg.collect_trace_resilient(&site, 9).expect("clean trace kept");
+        assert_eq!(plain.values(), resilient.values());
+    }
+
+    #[test]
+    fn nan_spikes_are_clamped_not_fatal() {
+        let plan = FaultPlan {
+            nan: 1.0,
+            ..FaultPlan::off()
+        };
+        let cfg = smoke(BrowserKind::Chrome, AttackKind::LoopCounting).with_faults(plan);
+        let site = WebsiteProfile::for_hostname("github.com");
+        let trace = cfg.collect_trace_resilient(&site, 10).expect("clamped, not dropped");
+        assert_eq!(trace.len(), cfg.expected_trace_len());
+        assert!(trace.values().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn always_dropped_trace_is_quarantined_after_bounded_retries() {
+        let plan = FaultPlan {
+            drop: 1.0,
+            ..FaultPlan::off()
+        };
+        let cfg = smoke(BrowserKind::Chrome, AttackKind::LoopCounting).with_faults(plan);
+        let site = WebsiteProfile::for_hostname("github.com");
+        assert_eq!(cfg.collect_trace_resilient(&site, 11), None);
+    }
+
+    #[test]
+    fn quarantined_traces_shrink_dataset_without_panicking() {
+        let plan = FaultPlan {
+            drop: 1.0,
+            ..FaultPlan::off()
+        };
+        let cfg = smoke(BrowserKind::Chrome, AttackKind::LoopCounting).with_faults(plan);
+        let d = cfg.collect_closed_world(2, 2, 3);
+        assert!(d.is_empty(), "every trace dropped, every retry dropped");
     }
 
     #[test]

@@ -9,7 +9,7 @@
 use crate::collect::{AttackKind, CollectionConfig};
 use crate::report::ReportTable;
 use crate::scale::ExperimentScale;
-use bf_ml::{cross_validate_oof, CrossValResult, OpenWorldReport};
+use bf_ml::{CrossValResult, OpenWorldReport};
 use bf_sim::{MachineConfig, OsKind};
 use bf_stats::welch_t_test;
 use bf_timer::BrowserKind;
@@ -180,9 +180,7 @@ pub fn run_cell(paper: PaperRow, scale: ExperimentScale, seed: u64) -> Table1Cel
         scale.open_world_traces(),
         seed ^ 0x09EA,
     );
-    let oof = cross_validate_oof(&ow, scale.folds(), seed, || {
-        loop_cfg.classifier_for(&ow, seed)
-    });
+    let oof = loop_cfg.cross_validate_oof(&ow, seed);
     let ns_class = scale.n_sites();
     let open_world = OpenWorldReport::from_predictions(&oof.predictions(), ow.labels(), ns_class);
     let open_world_top5 = OpenWorldReport::from_probas_top_k(&oof.probas, ow.labels(), ns_class, 5);

@@ -1,0 +1,143 @@
+//! Chaos suite: the smoke closed-world pipeline must survive every fault
+//! class without a panic, degrade accuracy only within bounds under the
+//! default chaos plan, and surface fault/repair counters in run
+//! manifests.
+//!
+//! Run with the rest of the suite, or alone via
+//! `cargo test -p bf-core --test chaos`.
+
+use bf_core::collect::{AttackKind, CollectionConfig};
+use bf_core::scale::ExperimentScale;
+use bf_fault::FaultPlan;
+use bf_obs::manifest::ManifestBuilder;
+use bf_timer::BrowserKind;
+
+fn chaos_cfg(plan: FaultPlan) -> CollectionConfig {
+    CollectionConfig::new(BrowserKind::Chrome, AttackKind::LoopCounting)
+        .with_scale(ExperimentScale::Smoke)
+        .with_faults(plan)
+}
+
+/// Collect a small closed world and cross-validate it; returns the mean
+/// accuracy. Any panic anywhere in the pipeline fails the test.
+fn run_pipeline(plan: FaultPlan, seed: u64) -> f64 {
+    let cfg = chaos_cfg(plan);
+    let dataset = cfg.collect_closed_world(4, 6, seed);
+    assert!(!dataset.is_empty(), "pipeline must keep usable traces");
+    cfg.cross_validate(&dataset, seed).mean_accuracy()
+}
+
+#[test]
+fn corrupt_faults_do_not_panic() {
+    let plan = FaultPlan {
+        seed: 1,
+        corrupt: 0.3,
+        ..FaultPlan::off()
+    };
+    let acc = run_pipeline(plan, 101);
+    assert!(acc.is_finite());
+}
+
+#[test]
+fn truncate_faults_do_not_panic() {
+    let plan = FaultPlan {
+        seed: 2,
+        truncate: 0.3,
+        ..FaultPlan::off()
+    };
+    let acc = run_pipeline(plan, 102);
+    assert!(acc.is_finite());
+}
+
+#[test]
+fn nan_spike_faults_do_not_panic() {
+    let plan = FaultPlan {
+        seed: 3,
+        nan: 0.3,
+        ..FaultPlan::off()
+    };
+    let acc = run_pipeline(plan, 103);
+    assert!(acc.is_finite());
+}
+
+#[test]
+fn drop_faults_do_not_panic() {
+    let plan = FaultPlan {
+        seed: 4,
+        drop: 0.3,
+        ..FaultPlan::off()
+    };
+    let acc = run_pipeline(plan, 104);
+    assert!(acc.is_finite());
+}
+
+#[test]
+fn transient_failures_do_not_panic() {
+    let plan = FaultPlan {
+        seed: 5,
+        transient: 0.5,
+        max_transient: 2,
+        ..FaultPlan::off()
+    };
+    let acc = run_pipeline(plan, 105);
+    assert!(acc.is_finite());
+}
+
+#[test]
+fn default_plan_keeps_degradation_bounded() {
+    let clean = run_pipeline(FaultPlan::off(), 42);
+    let faulted = run_pipeline(FaultPlan::default_plan(), 42);
+    // The default plan injects into ~12 % of traces, most of which are
+    // repaired; the classifier should stay well above chance and within
+    // a bounded distance of the clean run.
+    assert!(clean > 0.5, "clean accuracy = {clean}");
+    assert!(faulted > 0.35, "faulted accuracy = {faulted}");
+    assert!(
+        clean - faulted < 0.35,
+        "degradation too large: clean {clean} vs faulted {faulted}"
+    );
+}
+
+#[test]
+fn chaos_run_is_deterministic() {
+    let plan = FaultPlan::default_plan();
+    let cfg = chaos_cfg(plan.clone());
+    let a = cfg.collect_closed_world(3, 4, 77);
+    let b = chaos_cfg(plan).collect_closed_world(3, 4, 77);
+    assert_eq!(a, b, "fault injection must be a pure function of seeds");
+}
+
+#[test]
+fn fault_counters_surface_in_manifest() {
+    let mut mb = ManifestBuilder::new("chaos-test", "smoke", 7);
+    // Rates chosen so every repair path fires: NaN → clamp, drop →
+    // retries and (with drop=1 on every attempt) quarantine.
+    let nan_cfg = chaos_cfg(FaultPlan {
+        seed: 6,
+        nan: 1.0,
+        transient: 0.5,
+        ..FaultPlan::off()
+    });
+    let drop_cfg = chaos_cfg(FaultPlan {
+        seed: 6,
+        drop: 1.0,
+        ..FaultPlan::off()
+    });
+    mb.config("fault_plan", nan_cfg.faults.summary());
+    mb.phase("collect", || {
+        nan_cfg.collect_closed_world(2, 2, 8);
+        drop_cfg.collect_closed_world(2, 2, 9);
+    });
+    let manifest = mb.finish();
+    let json = manifest.to_json_string();
+    for key in [
+        "fault.injected.nan",
+        "fault.injected.drop",
+        "fault.clamped",
+        "fault.retries",
+        "fault.quarantined",
+        "fault.transient_failures",
+    ] {
+        assert!(json.contains(key), "manifest missing `{key}`:\n{json}");
+    }
+}

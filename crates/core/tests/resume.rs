@@ -1,0 +1,59 @@
+//! Checkpoint-resume integration: a run interrupted after k folds must,
+//! when re-run with `BF_RESUME=1`, reuse the completed folds and produce
+//! results bit-identical to a run that was never interrupted.
+//!
+//! This lives in its own integration-test binary (its own process)
+//! because it drives the real environment knobs (`BF_RESUME`,
+//! `BF_CHECKPOINT_DIR`) that `CollectionConfig` reads.
+
+use bf_core::collect::{AttackKind, CollectionConfig};
+use bf_core::scale::ExperimentScale;
+use bf_fault::FaultPlan;
+use bf_timer::BrowserKind;
+
+#[test]
+fn interrupted_run_resumes_bit_identical() {
+    let dir = std::env::temp_dir().join(format!("bf_core_resume_{}", std::process::id()));
+    std::env::set_var("BF_CHECKPOINT_DIR", &dir);
+
+    let cfg = CollectionConfig::new(BrowserKind::Chrome, AttackKind::LoopCounting)
+        .with_scale(ExperimentScale::Smoke)
+        .with_faults(FaultPlan::off());
+    let dataset = cfg.collect_closed_world(4, 6, 21);
+
+    // Reference: uninterrupted, no checkpointing at all.
+    std::env::remove_var("BF_RESUME");
+    let reference = cfg.cross_validate_oof_resumable(&dataset, 21);
+    assert!(!reference.interrupted);
+    assert_eq!(reference.reused_folds, 0);
+
+    // Interrupted run: checkpointing on, stop after 1 of 2 folds.
+    std::env::set_var("BF_RESUME", "1");
+    let interrupt = FaultPlan {
+        interrupt_folds: Some(1),
+        ..FaultPlan::off()
+    };
+    let partial = cfg
+        .clone()
+        .with_faults(interrupt)
+        .cross_validate_oof_resumable(&dataset, 21);
+    assert!(partial.interrupted);
+    assert_eq!(partial.computed_folds, 1);
+
+    // Resumed run: same knobs, no interruption — picks up fold 2.
+    let resumed = cfg.cross_validate_oof_resumable(&dataset, 21);
+    std::env::remove_var("BF_RESUME");
+    std::env::remove_var("BF_CHECKPOINT_DIR");
+    assert!(!resumed.interrupted);
+    assert_eq!(resumed.reused_folds, 1);
+    assert_eq!(resumed.computed_folds, 1);
+
+    // Bit-identical reassembly.
+    assert_eq!(resumed.value.fold_of, reference.value.fold_of);
+    for (a, b) in resumed.value.probas.iter().zip(&reference.value.probas) {
+        let ba: Vec<u32> = a.iter().map(|v| v.to_bits()).collect();
+        let bb: Vec<u32> = b.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(ba, bb);
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -112,7 +112,7 @@ mod tests {
         cohabitation(&sim, &gaps)
     }
 
-    fn find<'a>(stats: &'a [Cohabitation], kind: InterruptKind) -> Option<&'a Cohabitation> {
+    fn find(stats: &[Cohabitation], kind: InterruptKind) -> Option<&Cohabitation> {
         stats.iter().find(|c| c.kind == kind)
     }
 

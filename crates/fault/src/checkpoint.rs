@@ -1,0 +1,477 @@
+//! Resumable cross-validation checkpoints.
+//!
+//! A [`CvCheckpoint`] records, per completed fold, the held-out metrics
+//! and (optionally) every test sample's probability row. The file format
+//! is a line-oriented text format with **hex-encoded IEEE-754 bits** for
+//! all floats, so a resumed run reassembles results *bit-identical* to an
+//! uninterrupted one — decimal round-tripping would not guarantee that.
+//!
+//! Saves are atomic (write to `<path>.tmp`, then rename), so a run killed
+//! mid-write never leaves a truncated checkpoint behind; a truncated or
+//! corrupt file yields a typed [`CheckpointError`] that callers degrade
+//! on (start fresh) instead of panicking.
+
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// Why a checkpoint could not be read or written.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// Underlying filesystem error.
+    Io(std::io::Error),
+    /// The file is not a valid checkpoint (wrong header, truncated block,
+    /// malformed number).
+    Parse {
+        /// 1-based line of the offending input.
+        line: usize,
+        /// What went wrong.
+        msg: String,
+    },
+    /// The checkpoint is valid but belongs to a different run
+    /// (fingerprint or fold-count mismatch).
+    Mismatch(String),
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "checkpoint I/O error: {e}"),
+            CheckpointError::Parse { line, msg } => {
+                write!(f, "checkpoint parse error at line {line}: {msg}")
+            }
+            CheckpointError::Mismatch(msg) => write!(f, "checkpoint mismatch: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CheckpointError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for CheckpointError {
+    fn from(e: std::io::Error) -> Self {
+        CheckpointError::Io(e)
+    }
+}
+
+/// One completed fold's checkpointed state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FoldRecord {
+    /// Fold index in `0..k`.
+    pub fold: usize,
+    /// Held-out top-1 accuracy.
+    pub accuracy: f64,
+    /// Held-out top-5 accuracy.
+    pub top5: f64,
+    /// Dataset indices of the held-out samples, in prediction order.
+    pub test_idx: Vec<usize>,
+    /// Per-sample class probabilities (one row per `test_idx` entry);
+    /// empty when the caller only needs fold metrics.
+    pub probas: Vec<Vec<f32>>,
+    /// Path of this fold's network snapshot, when one was saved.
+    pub net_path: Option<String>,
+}
+
+/// A cross-validation run's resumable state: which folds are done and
+/// what they produced.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CvCheckpoint {
+    /// Fingerprint binding the checkpoint to one `(dataset, k, seed,
+    /// mode)` combination.
+    pub fingerprint: u64,
+    /// Total folds in the run.
+    pub k: usize,
+    records: Vec<Option<FoldRecord>>,
+}
+
+const HEADER: &str = "bf-cv-checkpoint v1";
+
+impl CvCheckpoint {
+    /// An empty checkpoint for a `k`-fold run with the given fingerprint.
+    pub fn new(fingerprint: u64, k: usize) -> Self {
+        CvCheckpoint {
+            fingerprint,
+            k,
+            records: vec![None; k],
+        }
+    }
+
+    /// Record a completed fold (replacing any previous record).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `record.fold >= k`.
+    pub fn record(&mut self, record: FoldRecord) {
+        let fold = record.fold;
+        assert!(fold < self.k, "fold {fold} out of 0..{}", self.k);
+        self.records[fold] = Some(record);
+    }
+
+    /// The record for `fold`, if completed.
+    pub fn get(&self, fold: usize) -> Option<&FoldRecord> {
+        self.records.get(fold).and_then(Option::as_ref)
+    }
+
+    /// Folds not yet completed, in order.
+    pub fn pending(&self) -> Vec<usize> {
+        (0..self.k).filter(|&f| self.records[f].is_none()).collect()
+    }
+
+    /// Number of completed folds.
+    pub fn completed(&self) -> usize {
+        self.records.iter().filter(|r| r.is_some()).count()
+    }
+
+    /// True when every fold is recorded.
+    pub fn is_complete(&self) -> bool {
+        self.completed() == self.k
+    }
+
+    /// Serialize to the checkpoint text format.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(HEADER);
+        out.push('\n');
+        out.push_str(&format!("fingerprint {:016x}\n", self.fingerprint));
+        out.push_str(&format!("k {}\n", self.k));
+        for rec in self.records.iter().flatten() {
+            out.push_str(&format!("fold {}\n", rec.fold));
+            out.push_str(&format!("acc {:016x}\n", rec.accuracy.to_bits()));
+            out.push_str(&format!("top5 {:016x}\n", rec.top5.to_bits()));
+            if let Some(p) = &rec.net_path {
+                out.push_str(&format!("net {p}\n"));
+            }
+            out.push_str("idx");
+            for i in &rec.test_idx {
+                out.push_str(&format!(" {i}"));
+            }
+            out.push('\n');
+            for row in &rec.probas {
+                out.push_str("row");
+                for v in row {
+                    out.push_str(&format!(" {:08x}", v.to_bits()));
+                }
+                out.push('\n');
+            }
+            out.push_str("endfold\n");
+        }
+        out
+    }
+
+    /// Parse the checkpoint text format.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CheckpointError::Parse`] for any structural or numeric
+    /// damage, with the offending line number.
+    pub fn from_text(text: &str) -> Result<Self, CheckpointError> {
+        fn expect_line<'a>(
+            item: Option<(usize, &'a str)>,
+            what: &str,
+        ) -> Result<(usize, &'a str), CheckpointError> {
+            item.ok_or_else(|| CheckpointError::Parse {
+                line: 0,
+                msg: format!("truncated: missing {what}"),
+            })
+        }
+        let err = |line: usize, msg: String| CheckpointError::Parse { line, msg };
+        let mut lines = text.lines().enumerate();
+
+        let (n, header) = expect_line(lines.next(), "header")?;
+        if header.trim() != HEADER {
+            return Err(err(n + 1, format!("bad header `{header}`")));
+        }
+        let parse_field = |item: Option<(usize, &str)>, key: &str| -> Result<(usize, String), CheckpointError> {
+            let (n, line) = expect_line(item, key)?;
+            match line.split_once(' ') {
+                Some((k, v)) if k == key => Ok((n, v.trim().to_owned())),
+                _ => Err(err(n + 1, format!("expected `{key} ...`, got `{line}`"))),
+            }
+        };
+        let (n, fp) = parse_field(lines.next(), "fingerprint")?;
+        let fingerprint = u64::from_str_radix(&fp, 16)
+            .map_err(|e| err(n + 1, format!("bad fingerprint `{fp}`: {e}")))?;
+        let (n, kv) = parse_field(lines.next(), "k")?;
+        let k: usize = kv
+            .parse()
+            .map_err(|e| err(n + 1, format!("bad fold count `{kv}`: {e}")))?;
+        if k == 0 || k > 10_000 {
+            return Err(err(n + 1, format!("implausible fold count {k}")));
+        }
+
+        let mut ckpt = CvCheckpoint::new(fingerprint, k);
+        while let Some((n, line)) = lines.next() {
+            let line = line.trim_end();
+            if line.is_empty() {
+                continue;
+            }
+            let fold_v = line
+                .strip_prefix("fold ")
+                .ok_or_else(|| err(n + 1, format!("expected `fold ...`, got `{line}`")))?;
+            let fold: usize = fold_v
+                .trim()
+                .parse()
+                .map_err(|e| err(n + 1, format!("bad fold index `{fold_v}`: {e}")))?;
+            if fold >= k {
+                return Err(err(n + 1, format!("fold {fold} out of 0..{k}")));
+            }
+            let (n, acc_v) = parse_field(lines.next(), "acc")?;
+            let accuracy = f64::from_bits(
+                u64::from_str_radix(&acc_v, 16)
+                    .map_err(|e| err(n + 1, format!("bad acc bits `{acc_v}`: {e}")))?,
+            );
+            let (n, top5_v) = parse_field(lines.next(), "top5")?;
+            let top5 = f64::from_bits(
+                u64::from_str_radix(&top5_v, 16)
+                    .map_err(|e| err(n + 1, format!("bad top5 bits `{top5_v}`: {e}")))?,
+            );
+            // Optional `net`, then mandatory `idx`.
+            let (mut n, mut line) = expect_line(lines.next(), "idx")?;
+            let mut net_path = None;
+            if let Some(p) = line.strip_prefix("net ") {
+                net_path = Some(p.trim().to_owned());
+                (n, line) = expect_line(lines.next(), "idx")?;
+            }
+            let idx_body = line
+                .strip_prefix("idx")
+                .ok_or_else(|| err(n + 1, format!("expected `idx ...`, got `{line}`")))?;
+            let test_idx: Vec<usize> = idx_body
+                .split_whitespace()
+                .map(|t| {
+                    t.parse()
+                        .map_err(|e| err(n + 1, format!("bad index `{t}`: {e}")))
+                })
+                .collect::<Result<_, _>>()?;
+            let mut probas = Vec::new();
+            loop {
+                let (n, line) = expect_line(lines.next(), "endfold")?;
+                if line.trim_end() == "endfold" {
+                    break;
+                }
+                let body = line
+                    .strip_prefix("row")
+                    .ok_or_else(|| err(n + 1, format!("expected `row`/`endfold`, got `{line}`")))?;
+                let row: Vec<f32> = body
+                    .split_whitespace()
+                    .map(|t| {
+                        u32::from_str_radix(t, 16)
+                            .map(f32::from_bits)
+                            .map_err(|e| err(n + 1, format!("bad proba bits `{t}`: {e}")))
+                    })
+                    .collect::<Result<_, _>>()?;
+                probas.push(row);
+            }
+            if !probas.is_empty() && probas.len() != test_idx.len() {
+                return Err(err(
+                    n + 1,
+                    format!(
+                        "fold {fold}: {} probability rows for {} test indices",
+                        probas.len(),
+                        test_idx.len()
+                    ),
+                ));
+            }
+            ckpt.record(FoldRecord {
+                fold,
+                accuracy,
+                top5,
+                test_idx,
+                probas,
+                net_path,
+            });
+        }
+        Ok(ckpt)
+    }
+
+    /// Load a checkpoint, verifying it matches `fingerprint` and `k`.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors, parse errors, and [`CheckpointError::Mismatch`] when
+    /// the file belongs to a different run.
+    pub fn load(path: &Path, fingerprint: u64, k: usize) -> Result<Self, CheckpointError> {
+        let text = std::fs::read_to_string(path)?;
+        let ckpt = Self::from_text(&text)?;
+        if ckpt.fingerprint != fingerprint {
+            return Err(CheckpointError::Mismatch(format!(
+                "fingerprint {:016x} != expected {:016x} (different dataset/seed?)",
+                ckpt.fingerprint, fingerprint
+            )));
+        }
+        if ckpt.k != k {
+            return Err(CheckpointError::Mismatch(format!(
+                "checkpoint has {} folds, run wants {k}",
+                ckpt.k
+            )));
+        }
+        Ok(ckpt)
+    }
+
+    /// Atomically write the checkpoint to `path` (tmp file + rename),
+    /// creating parent directories as needed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn save(&self, path: &Path) -> Result<(), CheckpointError> {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        let tmp = path.with_extension("tmp");
+        {
+            let mut f = std::fs::File::create(&tmp)?;
+            f.write_all(self.to_text().as_bytes())?;
+            f.sync_all()?;
+        }
+        std::fs::rename(&tmp, path)?;
+        Ok(())
+    }
+}
+
+/// Resume knobs read from the environment: `BF_RESUME=1` turns
+/// checkpointing on, `BF_CHECKPOINT_DIR` picks where checkpoint and
+/// network-snapshot files live (default `checkpoints/`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResumeConfig {
+    /// Whether cross-validation should checkpoint and resume.
+    pub enabled: bool,
+    /// Directory for checkpoint files.
+    pub dir: PathBuf,
+}
+
+impl ResumeConfig {
+    /// Read `BF_RESUME` / `BF_CHECKPOINT_DIR`.
+    pub fn from_env() -> Self {
+        let enabled = matches!(
+            std::env::var("BF_RESUME").as_deref(),
+            Ok("1") | Ok("true") | Ok("yes")
+        );
+        let dir = std::env::var("BF_CHECKPOINT_DIR").unwrap_or_else(|_| "checkpoints".to_owned());
+        ResumeConfig {
+            enabled,
+            dir: PathBuf::from(dir),
+        }
+    }
+
+    /// Checkpoint file path for a run identified by `stem`.
+    pub fn checkpoint_path(&self, stem: &str) -> PathBuf {
+        self.dir.join(format!("{stem}.bfck"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CvCheckpoint {
+        let mut c = CvCheckpoint::new(0xDEAD_BEEF_0123_4567, 3);
+        c.record(FoldRecord {
+            fold: 0,
+            accuracy: 0.912345678901234,
+            top5: 1.0,
+            test_idx: vec![0, 4, 7],
+            probas: vec![vec![0.25f32, 0.75], vec![1.0, 0.0], vec![0.5, 0.5]],
+            net_path: Some("ckpt/fold0.net".to_owned()),
+        });
+        c.record(FoldRecord {
+            fold: 2,
+            accuracy: f64::from_bits(0x3FEC_CCCC_CCCC_CCCD),
+            top5: 0.875,
+            test_idx: vec![1, 2],
+            probas: vec![],
+            net_path: None,
+        });
+        c
+    }
+
+    #[test]
+    fn text_roundtrip_is_bit_exact() {
+        let c = sample();
+        let back = CvCheckpoint::from_text(&c.to_text()).expect("parse own output");
+        assert_eq!(back, c);
+        // Bit-exactness, explicitly.
+        assert_eq!(
+            back.get(2).unwrap().accuracy.to_bits(),
+            0x3FEC_CCCC_CCCC_CCCD
+        );
+    }
+
+    #[test]
+    fn pending_and_completion_accounting() {
+        let c = sample();
+        assert_eq!(c.pending(), vec![1]);
+        assert_eq!(c.completed(), 2);
+        assert!(!c.is_complete());
+    }
+
+    #[test]
+    fn file_roundtrip_and_mismatch_detection() {
+        let dir = std::env::temp_dir().join("bf_fault_ckpt_test");
+        let path = dir.join("run.bfck");
+        let c = sample();
+        c.save(&path).expect("save");
+        let back = CvCheckpoint::load(&path, c.fingerprint, 3).expect("load");
+        assert_eq!(back, c);
+        assert!(matches!(
+            CvCheckpoint::load(&path, 0x1234, 3),
+            Err(CheckpointError::Mismatch(_))
+        ));
+        assert!(matches!(
+            CvCheckpoint::load(&path, c.fingerprint, 5),
+            Err(CheckpointError::Mismatch(_))
+        ));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn truncated_file_yields_parse_error() {
+        let text = sample().to_text();
+        for cut in [10, 40, text.len() - 5] {
+            let damaged = &text[..cut];
+            assert!(
+                matches!(
+                    CvCheckpoint::from_text(damaged),
+                    Err(CheckpointError::Parse { .. })
+                ),
+                "cut at {cut} should fail to parse"
+            );
+        }
+    }
+
+    #[test]
+    fn corrupt_bits_yield_parse_error() {
+        let text = sample().to_text().replace("acc ", "acc zz");
+        assert!(matches!(
+            CvCheckpoint::from_text(&text),
+            Err(CheckpointError::Parse { .. })
+        ));
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        let p = std::env::temp_dir().join("bf_fault_no_such_file.bfck");
+        assert!(matches!(
+            CvCheckpoint::load(&p, 0, 2),
+            Err(CheckpointError::Io(_))
+        ));
+    }
+
+    #[test]
+    fn resume_config_paths() {
+        let cfg = ResumeConfig {
+            enabled: true,
+            dir: PathBuf::from("ckpts"),
+        };
+        assert_eq!(
+            cfg.checkpoint_path("cv-abc"),
+            PathBuf::from("ckpts/cv-abc.bfck")
+        );
+    }
+}

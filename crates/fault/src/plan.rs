@@ -1,0 +1,357 @@
+//! Seeded, deterministic fault-injection plans.
+//!
+//! A [`FaultPlan`] holds per-class injection rates plus its own seed.
+//! Decisions are pure functions of `(plan seed, trace id)`, so the same
+//! plan injects the same faults into the same traces on every run —
+//! chaos experiments stay replayable and checkpoint-resumable.
+
+use bf_stats::rng::{combine_seeds, SeedRng};
+
+/// One class of injected fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum FaultKind {
+    /// A slice of periods is overwritten with implausibly large spikes
+    /// (an interrupt storm swamping the counter).
+    Corrupt,
+    /// The tail of the trace is cut off (an aborted page load).
+    Truncate,
+    /// Scattered periods become NaN (a poisoned measurement).
+    NanSpike,
+    /// The whole trace is lost (collection returned nothing usable).
+    Drop,
+}
+
+impl FaultKind {
+    /// Metric-name suffix (`fault.injected.<label>`).
+    pub fn label(self) -> &'static str {
+        match self {
+            FaultKind::Corrupt => "corrupt",
+            FaultKind::Truncate => "truncate",
+            FaultKind::NanSpike => "nan",
+            FaultKind::Drop => "drop",
+        }
+    }
+}
+
+/// A deterministic fault-injection plan applied at the collection
+/// boundary.
+///
+/// Rates are per-trace probabilities in `[0, 1]`; they are evaluated in
+/// the fixed order corrupt → truncate → NaN → drop against one uniform
+/// draw, so their sum should stay ≤ 1. `transient` is the per-attempt
+/// probability that a collection attempt fails before producing a trace
+/// (bounded by `max_transient` consecutive failures).
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct FaultPlan {
+    /// Seed of the plan's own RNG stream (independent of experiment
+    /// seeds, so enabling faults never perturbs clean-path collection).
+    pub seed: u64,
+    /// Per-trace probability of value corruption.
+    pub corrupt: f64,
+    /// Per-trace probability of truncation.
+    pub truncate: f64,
+    /// Per-trace probability of NaN spikes.
+    pub nan: f64,
+    /// Per-trace probability the trace is dropped outright.
+    pub drop: f64,
+    /// Per-attempt probability of a transient collection failure.
+    pub transient: f64,
+    /// Cap on consecutive transient failures per trace.
+    pub max_transient: u32,
+    /// Simulated run interruption: stop cross-validation after this many
+    /// newly computed folds (checkpoint-resume picks up the rest).
+    pub interrupt_folds: Option<usize>,
+}
+
+impl FaultPlan {
+    /// The inert plan: no faults, no interruption.
+    pub fn off() -> Self {
+        FaultPlan {
+            seed: 0,
+            corrupt: 0.0,
+            truncate: 0.0,
+            nan: 0.0,
+            drop: 0.0,
+            transient: 0.0,
+            max_transient: 2,
+            interrupt_folds: None,
+        }
+    }
+
+    /// The documented default chaos plan (`BF_FAULT_PLAN=default`):
+    /// 5 % corrupt, 3 % truncate, 2 % NaN, 2 % drop, 5 % transient.
+    pub fn default_plan() -> Self {
+        FaultPlan {
+            seed: 0xFA_17,
+            corrupt: 0.05,
+            truncate: 0.03,
+            nan: 0.02,
+            drop: 0.02,
+            transient: 0.05,
+            max_transient: 2,
+            interrupt_folds: None,
+        }
+    }
+
+    /// Parse from the `BF_FAULT_PLAN` environment variable.
+    ///
+    /// Unset, empty, or `off` → [`FaultPlan::off`]; `default` →
+    /// [`FaultPlan::default_plan`]; otherwise a comma-separated
+    /// `key=value` list over `corrupt`, `truncate`, `nan`, `drop`,
+    /// `transient`, `seed`, `max_transient`, and `interrupt_folds`
+    /// (e.g. `corrupt=0.1,nan=0.05,seed=7`). Unknown keys or unparsable
+    /// values are reported and ignored rather than aborting the run.
+    pub fn from_env() -> Self {
+        match std::env::var("BF_FAULT_PLAN") {
+            Ok(spec) => Self::parse(&spec),
+            Err(_) => Self::off(),
+        }
+    }
+
+    /// Parse a plan spec (see [`FaultPlan::from_env`] for the grammar).
+    pub fn parse(spec: &str) -> Self {
+        let spec = spec.trim();
+        if spec.is_empty() || spec.eq_ignore_ascii_case("off") {
+            return Self::off();
+        }
+        if spec.eq_ignore_ascii_case("default") {
+            return Self::default_plan();
+        }
+        let mut plan = Self::off();
+        for part in spec.split(',') {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            let Some((key, value)) = part.split_once('=') else {
+                bf_obs::error!("BF_FAULT_PLAN: ignoring malformed entry `{part}`");
+                continue;
+            };
+            let (key, value) = (key.trim(), value.trim());
+            let rate = |slot: &mut f64| match value.parse::<f64>() {
+                Ok(v) if (0.0..=1.0).contains(&v) => *slot = v,
+                _ => bf_obs::error!("BF_FAULT_PLAN: invalid rate `{part}` (want 0..=1)"),
+            };
+            match key {
+                "corrupt" => rate(&mut plan.corrupt),
+                "truncate" => rate(&mut plan.truncate),
+                "nan" => rate(&mut plan.nan),
+                "drop" => rate(&mut plan.drop),
+                "transient" => rate(&mut plan.transient),
+                "seed" => match value.parse() {
+                    Ok(v) => plan.seed = v,
+                    Err(_) => bf_obs::error!("BF_FAULT_PLAN: invalid seed `{part}`"),
+                },
+                "max_transient" => match value.parse() {
+                    Ok(v) => plan.max_transient = v,
+                    Err(_) => bf_obs::error!("BF_FAULT_PLAN: invalid max_transient `{part}`"),
+                },
+                "interrupt_folds" => match value.parse() {
+                    Ok(v) => plan.interrupt_folds = Some(v),
+                    Err(_) => bf_obs::error!("BF_FAULT_PLAN: invalid interrupt_folds `{part}`"),
+                },
+                _ => bf_obs::error!("BF_FAULT_PLAN: ignoring unknown key `{key}`"),
+            }
+        }
+        plan
+    }
+
+    /// True when any fault class (or simulated interruption) is enabled.
+    pub fn is_active(&self) -> bool {
+        self.corrupt > 0.0
+            || self.truncate > 0.0
+            || self.nan > 0.0
+            || self.drop > 0.0
+            || self.transient > 0.0
+            || self.interrupt_folds.is_some()
+    }
+
+    /// One-line human summary for banners and manifests.
+    pub fn summary(&self) -> String {
+        if !self.is_active() {
+            return "off".to_owned();
+        }
+        let mut s = format!(
+            "corrupt={} truncate={} nan={} drop={} transient={} seed={}",
+            self.corrupt, self.truncate, self.nan, self.drop, self.transient, self.seed
+        );
+        if let Some(k) = self.interrupt_folds {
+            s.push_str(&format!(" interrupt_folds={k}"));
+        }
+        s
+    }
+
+    /// The fault (if any) this plan injects into trace `trace_id`.
+    /// Deterministic: depends only on `(self.seed, trace_id)`.
+    pub fn fault_for(&self, trace_id: u64) -> Option<FaultKind> {
+        if !self.is_active() {
+            return None;
+        }
+        let mut rng = SeedRng::new(combine_seeds(self.seed, combine_seeds(0xFA_07, trace_id)));
+        let u = rng.uniform();
+        let mut edge = self.corrupt;
+        if u < edge {
+            return Some(FaultKind::Corrupt);
+        }
+        edge += self.truncate;
+        if u < edge {
+            return Some(FaultKind::Truncate);
+        }
+        edge += self.nan;
+        if u < edge {
+            return Some(FaultKind::NanSpike);
+        }
+        edge += self.drop;
+        if u < edge {
+            return Some(FaultKind::Drop);
+        }
+        None
+    }
+
+    /// Number of transient collection failures preceding trace
+    /// `trace_id`'s first successful attempt (0 almost always; capped at
+    /// `max_transient`). Deterministic in `(self.seed, trace_id)`.
+    pub fn transient_failures(&self, trace_id: u64) -> u32 {
+        if self.transient <= 0.0 {
+            return 0;
+        }
+        let mut rng = SeedRng::new(combine_seeds(self.seed, combine_seeds(0x7A_45, trace_id)));
+        let mut failures = 0;
+        while failures < self.max_transient && rng.chance(self.transient) {
+            failures += 1;
+        }
+        failures
+    }
+
+    /// Mutate `values` according to `kind`, reporting the injection to
+    /// the metrics registry. [`FaultKind::Drop`] clears the trace; the
+    /// caller decides whether to re-collect or quarantine.
+    pub fn apply(&self, kind: FaultKind, values: &mut Vec<f64>, trace_id: u64) {
+        bf_obs::counter(match kind {
+            FaultKind::Corrupt => "fault.injected.corrupt",
+            FaultKind::Truncate => "fault.injected.truncate",
+            FaultKind::NanSpike => "fault.injected.nan",
+            FaultKind::Drop => "fault.injected.drop",
+        })
+        .inc();
+        let mut rng = SeedRng::new(combine_seeds(self.seed, combine_seeds(0xA9_91, trace_id)));
+        match kind {
+            FaultKind::Corrupt => {
+                // ~5 % of periods become storm-sized spikes, far outside
+                // any plausible per-period count.
+                let n = values.len();
+                for _ in 0..(n / 20).max(1) {
+                    let i = rng.int_range(0, n.max(1) as u64) as usize;
+                    values[i] = rng.uniform_range(1e12, 1e15);
+                }
+            }
+            FaultKind::Truncate => {
+                let keep = rng.uniform_range(0.25, 0.75);
+                let len = (values.len() as f64 * keep) as usize;
+                values.truncate(len);
+            }
+            FaultKind::NanSpike => {
+                let n = values.len();
+                for _ in 0..(n / 100).max(1) {
+                    let i = rng.int_range(0, n.max(1) as u64) as usize;
+                    values[i] = f64::NAN;
+                }
+            }
+            FaultKind::Drop => values.clear(),
+        }
+    }
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        Self::off()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn off_plan_injects_nothing() {
+        let p = FaultPlan::off();
+        assert!(!p.is_active());
+        for id in 0..200 {
+            assert_eq!(p.fault_for(id), None);
+            assert_eq!(p.transient_failures(id), 0);
+        }
+        assert_eq!(p.summary(), "off");
+    }
+
+    #[test]
+    fn decisions_are_deterministic() {
+        let p = FaultPlan::default_plan();
+        for id in 0..500 {
+            assert_eq!(p.fault_for(id), p.fault_for(id));
+            assert_eq!(p.transient_failures(id), p.transient_failures(id));
+        }
+    }
+
+    #[test]
+    fn rates_roughly_respected() {
+        let p = FaultPlan {
+            corrupt: 0.5,
+            ..FaultPlan::off()
+        };
+        let hits = (0..2_000).filter(|&id| p.fault_for(id).is_some()).count();
+        assert!((800..1200).contains(&hits), "hits = {hits}");
+    }
+
+    #[test]
+    fn parse_grammar() {
+        let p = FaultPlan::parse("corrupt=0.1, nan=0.05,seed=7,interrupt_folds=1");
+        assert_eq!(p.corrupt, 0.1);
+        assert_eq!(p.nan, 0.05);
+        assert_eq!(p.seed, 7);
+        assert_eq!(p.interrupt_folds, Some(1));
+        assert_eq!(p.truncate, 0.0);
+        assert_eq!(FaultPlan::parse("off"), FaultPlan::off());
+        assert_eq!(FaultPlan::parse(""), FaultPlan::off());
+        assert_eq!(FaultPlan::parse("default"), FaultPlan::default_plan());
+    }
+
+    #[test]
+    fn parse_tolerates_garbage() {
+        let p = FaultPlan::parse("corrupt=2.5,bogus=1,whatever,nan=0.5");
+        assert_eq!(p.corrupt, 0.0); // out-of-range rate ignored
+        assert_eq!(p.nan, 0.5);
+    }
+
+    #[test]
+    fn apply_produces_detectable_damage() {
+        let clean: Vec<f64> = (0..1000).map(|i| i as f64).collect();
+
+        let mut v = clean.clone();
+        FaultPlan::off().apply(FaultKind::Corrupt, &mut v, 1);
+        assert!(v.iter().any(|x| *x >= 1e12));
+
+        let mut v = clean.clone();
+        FaultPlan::off().apply(FaultKind::Truncate, &mut v, 1);
+        assert!(v.len() < clean.len());
+
+        let mut v = clean.clone();
+        FaultPlan::off().apply(FaultKind::NanSpike, &mut v, 1);
+        assert!(v.iter().any(|x| x.is_nan()));
+
+        let mut v = clean;
+        FaultPlan::off().apply(FaultKind::Drop, &mut v, 1);
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn transient_failures_bounded() {
+        let p = FaultPlan {
+            transient: 1.0,
+            max_transient: 3,
+            ..FaultPlan::off()
+        };
+        for id in 0..50 {
+            assert_eq!(p.transient_failures(id), 3);
+        }
+    }
+}

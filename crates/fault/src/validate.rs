@@ -1,0 +1,269 @@
+//! Trace validation and bounded repair at the collection boundary.
+//!
+//! Every collected trace passes through a [`TraceValidator`] before it
+//! enters a dataset. Violations are repaired according to a
+//! [`RepairPolicy`]: clamping for localized numeric damage, bounded
+//! re-collection for structural damage, quarantine when the retry budget
+//! is exhausted. All outcomes are counted via `bf-obs` so run manifests
+//! record `fault.clamped` / `fault.retries` / `fault.quarantined`.
+
+/// Why a trace failed validation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Violation {
+    /// The trace contains NaN or infinite values.
+    NonFinite {
+        /// Number of offending periods.
+        count: usize,
+    },
+    /// The trace length disagrees with the collection geometry by more
+    /// than the validator's tolerance.
+    WrongLength {
+        /// Length the geometry implies.
+        expected: usize,
+        /// Length observed.
+        actual: usize,
+    },
+    /// Counter values exceed any physically plausible magnitude.
+    OutOfRange {
+        /// Largest absolute value observed.
+        max_abs: f64,
+        /// The validator's magnitude limit.
+        limit: f64,
+    },
+    /// The trace has no periods at all.
+    Empty,
+}
+
+impl Violation {
+    /// Metric-name suffix (`fault.violations.<label>`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            Violation::NonFinite { .. } => "non_finite",
+            Violation::WrongLength { .. } => "wrong_length",
+            Violation::OutOfRange { .. } => "out_of_range",
+            Violation::Empty => "empty",
+        }
+    }
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Violation::NonFinite { count } => write!(f, "{count} non-finite value(s)"),
+            Violation::WrongLength { expected, actual } => {
+                write!(f, "length {actual}, expected ~{expected}")
+            }
+            Violation::OutOfRange { max_abs, limit } => {
+                write!(f, "max |value| {max_abs:.3e} exceeds limit {limit:.3e}")
+            }
+            Violation::Empty => write!(f, "empty trace"),
+        }
+    }
+}
+
+/// Sanity checks applied to raw trace values.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceValidator {
+    /// Length the collection geometry implies (duration / period), when
+    /// known. Lengths within ±10 % pass, so benign off-by-a-few edge
+    /// effects never trigger re-collection.
+    pub expected_len: Option<usize>,
+    /// Largest plausible absolute counter value. Loop counters reach
+    /// ~30 k iterations per 5 ms period; 1e9 leaves orders of magnitude
+    /// of headroom while still catching storm spikes.
+    pub max_abs: f64,
+}
+
+impl Default for TraceValidator {
+    fn default() -> Self {
+        TraceValidator {
+            expected_len: None,
+            max_abs: 1e9,
+        }
+    }
+}
+
+impl TraceValidator {
+    /// A validator expecting traces of roughly `len` periods.
+    pub fn with_expected_len(len: usize) -> Self {
+        TraceValidator {
+            expected_len: Some(len),
+            ..Self::default()
+        }
+    }
+
+    /// Check `values`, returning the first (most severe) violation.
+    /// Severity order: empty > wrong length > non-finite > out-of-range,
+    /// so structural damage is reported before numeric damage.
+    pub fn validate(&self, values: &[f64]) -> Result<(), Violation> {
+        if values.is_empty() {
+            return Err(Violation::Empty);
+        }
+        if let Some(expected) = self.expected_len {
+            let lo = expected - expected / 10;
+            let hi = expected + expected / 10;
+            if values.len() < lo || values.len() > hi {
+                return Err(Violation::WrongLength {
+                    expected,
+                    actual: values.len(),
+                });
+            }
+        }
+        let non_finite = values.iter().filter(|v| !v.is_finite()).count();
+        if non_finite > 0 {
+            return Err(Violation::NonFinite { count: non_finite });
+        }
+        let max_abs = values.iter().fold(0.0f64, |m, v| m.max(v.abs()));
+        if max_abs > self.max_abs {
+            return Err(Violation::OutOfRange {
+                max_abs,
+                limit: self.max_abs,
+            });
+        }
+        Ok(())
+    }
+}
+
+/// What to do about a violation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RepairAction {
+    /// Replace non-finite values with 0 and clip magnitudes to the
+    /// validator limit; keep the trace.
+    Clamp,
+    /// Discard and collect the trace again (bounded by
+    /// [`RepairPolicy::max_recollects`]).
+    Recollect,
+    /// Give up on this trace; the dataset proceeds without it.
+    Quarantine,
+}
+
+/// Maps violations to repairs, with a bounded retry budget.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RepairPolicy {
+    /// How many re-collections a single trace may consume before it is
+    /// quarantined.
+    pub max_recollects: u32,
+    /// Whether localized numeric damage (NaN / out-of-range) is clamped
+    /// in place instead of re-collected.
+    pub clamp_numeric: bool,
+}
+
+impl Default for RepairPolicy {
+    fn default() -> Self {
+        RepairPolicy {
+            max_recollects: 2,
+            clamp_numeric: true,
+        }
+    }
+}
+
+impl RepairPolicy {
+    /// The repair this policy prescribes for `violation`, given how many
+    /// re-collections the trace has already consumed.
+    pub fn action_for(&self, violation: &Violation, recollects_used: u32) -> RepairAction {
+        match violation {
+            Violation::NonFinite { .. } | Violation::OutOfRange { .. } if self.clamp_numeric => {
+                RepairAction::Clamp
+            }
+            _ if recollects_used < self.max_recollects => RepairAction::Recollect,
+            _ => RepairAction::Quarantine,
+        }
+    }
+}
+
+/// Clamp repair: non-finite values become 0, magnitudes clip to
+/// `±limit`. Returns the number of values rewritten.
+pub fn clamp_values(values: &mut [f64], limit: f64) -> usize {
+    let mut repaired = 0;
+    for v in values.iter_mut() {
+        if !v.is_finite() {
+            *v = 0.0;
+            repaired += 1;
+        } else if v.abs() > limit {
+            *v = v.signum() * limit;
+            repaired += 1;
+        }
+    }
+    repaired
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_trace_passes() {
+        let v = TraceValidator::with_expected_len(100);
+        assert_eq!(v.validate(&vec![1.0; 100]), Ok(()));
+        // Within the ±10 % tolerance.
+        assert_eq!(v.validate(&vec![1.0; 95]), Ok(()));
+    }
+
+    #[test]
+    fn violations_detected_in_severity_order() {
+        let v = TraceValidator::with_expected_len(100);
+        assert_eq!(v.validate(&[]), Err(Violation::Empty));
+        assert!(matches!(
+            v.validate(&vec![1.0; 40]),
+            Err(Violation::WrongLength {
+                expected: 100,
+                actual: 40
+            })
+        ));
+        let mut vals = vec![1.0; 100];
+        vals[3] = f64::NAN;
+        vals[7] = f64::INFINITY;
+        vals[9] = 1e30; // masked by the non-finite check
+        assert_eq!(
+            v.validate(&vals),
+            Err(Violation::NonFinite { count: 2 })
+        );
+        let mut vals = vec![1.0; 100];
+        vals[0] = -1e12;
+        assert!(matches!(
+            v.validate(&vals),
+            Err(Violation::OutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn policy_clamps_numeric_and_recollects_structural() {
+        let p = RepairPolicy::default();
+        assert_eq!(
+            p.action_for(&Violation::NonFinite { count: 1 }, 0),
+            RepairAction::Clamp
+        );
+        assert_eq!(
+            p.action_for(
+                &Violation::OutOfRange {
+                    max_abs: 1e12,
+                    limit: 1e9
+                },
+                99
+            ),
+            RepairAction::Clamp
+        );
+        assert_eq!(
+            p.action_for(
+                &Violation::WrongLength {
+                    expected: 100,
+                    actual: 10
+                },
+                0
+            ),
+            RepairAction::Recollect
+        );
+        assert_eq!(
+            p.action_for(&Violation::Empty, 2),
+            RepairAction::Quarantine
+        );
+    }
+
+    #[test]
+    fn clamp_repairs_in_place() {
+        let mut v = vec![1.0, f64::NAN, -2e12, f64::NEG_INFINITY, 3.0];
+        let repaired = clamp_values(&mut v, 1e9);
+        assert_eq!(repaired, 3);
+        assert_eq!(v, vec![1.0, 0.0, -1e9, 0.0, 3.0]);
+    }
+}

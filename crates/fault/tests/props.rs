@@ -1,0 +1,88 @@
+//! Property-based invariants for fault plans, validation, and
+//! checkpoint round-tripping.
+
+use bf_fault::checkpoint::{CvCheckpoint, FoldRecord};
+use bf_fault::validate::{clamp_values, TraceValidator};
+use bf_fault::FaultPlan;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Fault decisions are pure functions of (plan seed, trace id).
+    #[test]
+    fn plan_decisions_deterministic(seed in 0u64..1_000_000, id in 0u64..1_000_000) {
+        let plan = FaultPlan { seed, ..FaultPlan::default_plan() };
+        prop_assert_eq!(plan.fault_for(id), plan.fault_for(id));
+        prop_assert_eq!(plan.transient_failures(id), plan.transient_failures(id));
+    }
+
+    /// Whatever fault is injected, clamping afterwards always yields a
+    /// finite, in-range trace (possibly empty).
+    #[test]
+    fn clamp_always_restores_finiteness(seed in 0u64..100_000, id in 0u64..10_000) {
+        let plan = FaultPlan {
+            seed,
+            corrupt: 0.4,
+            truncate: 0.3,
+            nan: 0.2,
+            drop: 0.1,
+            ..FaultPlan::off()
+        };
+        let mut values: Vec<f64> = (0..500).map(|i| (i % 37) as f64).collect();
+        if let Some(kind) = plan.fault_for(id) {
+            plan.apply(kind, &mut values, id);
+        }
+        clamp_values(&mut values, 1e9);
+        prop_assert!(values.iter().all(|v| v.is_finite() && v.abs() <= 1e9));
+    }
+
+    /// A validated-clean trace is exactly what went in: validation never
+    /// mutates, and clean traces never trip any check.
+    #[test]
+    fn clean_traces_always_pass(len in 50usize..400, scale in 1.0f64..10_000.0) {
+        let values: Vec<f64> = (0..len).map(|i| (i as f64).sin().abs() * scale).collect();
+        let v = TraceValidator::with_expected_len(len);
+        prop_assert_eq!(v.validate(&values), Ok(()));
+    }
+
+    /// Checkpoint text serialization round-trips bit-exactly for
+    /// arbitrary float payloads, including worst-case decimals.
+    #[test]
+    fn checkpoint_roundtrip_bit_exact(
+        acc_bits in proptest::collection::vec(0u64..u64::MAX, 1..5),
+        proba_bits in proptest::collection::vec(0u32..u32::MAX, 0..40),
+    ) {
+        let k = acc_bits.len();
+        let mut ckpt = CvCheckpoint::new(0xABCD, k);
+        for (fold, &bits) in acc_bits.iter().enumerate() {
+            let probas: Vec<Vec<f32>> = proba_bits
+                .chunks(4)
+                .map(|c| c.iter().map(|&b| f32::from_bits(b)).collect())
+                .collect();
+            let test_idx: Vec<usize> = (0..probas.len()).collect();
+            ckpt.record(FoldRecord {
+                fold,
+                accuracy: f64::from_bits(bits),
+                top5: f64::from_bits(bits.rotate_left(17)),
+                test_idx,
+                probas,
+                net_path: if fold % 2 == 0 { Some(format!("n{fold}.net")) } else { None },
+            });
+        }
+        let back = CvCheckpoint::from_text(&ckpt.to_text()).expect("roundtrip");
+        for fold in 0..k {
+            let (a, b) = (ckpt.get(fold).unwrap(), back.get(fold).unwrap());
+            prop_assert_eq!(a.accuracy.to_bits(), b.accuracy.to_bits());
+            prop_assert_eq!(a.top5.to_bits(), b.top5.to_bits());
+            prop_assert_eq!(&a.test_idx, &b.test_idx);
+            prop_assert_eq!(a.probas.len(), b.probas.len());
+            for (ra, rb) in a.probas.iter().zip(&b.probas) {
+                let ba: Vec<u32> = ra.iter().map(|v| v.to_bits()).collect();
+                let bb: Vec<u32> = rb.iter().map(|v| v.to_bits()).collect();
+                prop_assert_eq!(ba, bb);
+            }
+            prop_assert_eq!(&a.net_path, &b.net_path);
+        }
+    }
+}

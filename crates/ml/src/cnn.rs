@@ -171,6 +171,15 @@ impl Classifier for CnnLstmClassifier {
     fn n_classes(&self) -> usize {
         self.arch.n_classes
     }
+
+    fn save_network(&mut self, path: &std::path::Path) -> Result<bool, String> {
+        match self.net.as_mut() {
+            Some(net) => bf_nn::save_network(net, path)
+                .map(|()| true)
+                .map_err(|e| e.to_string()),
+            None => Ok(false),
+        }
+    }
 }
 
 #[cfg(test)]

@@ -1,9 +1,25 @@
 //! The paper's k-fold cross-validation protocol (§4.1), with folds
 //! evaluated on parallel threads.
+//!
+//! Every public entry point runs on one **resumable fold engine**: each
+//! fold is a pure function of `(dataset, k, seed, fold index)`, so folds
+//! can be computed in any order, across any number of process restarts,
+//! and reassemble into results bit-identical to an uninterrupted run.
+//! When [`ResumeOptions::checkpoint`] is set, completed folds are
+//! persisted through [`bf_fault::CvCheckpoint`] after each fold finishes;
+//! an interrupted run reloads them and computes only the pending folds.
+//!
+//! Fold failures do not abort the run: a panicking fold thread is
+//! recorded (`ml.fold_failures`) and skipped, and the aggregate result
+//! simply carries fewer folds.
 
-use crate::metrics::{accuracy, top_k_accuracy};
+use crate::metrics::{accuracy, argmax, top_k_accuracy};
 use crate::{Classifier, Dataset};
+use bf_fault::checkpoint::{CvCheckpoint, FoldRecord};
+use bf_stats::rng::combine_seeds;
 use serde::{Deserialize, Serialize};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
 
 /// One fold's held-out test metrics.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -17,7 +33,7 @@ pub struct FoldResult {
 /// Aggregated cross-validation metrics.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct CrossValResult {
-    /// Per-fold results, in fold order.
+    /// Per-fold results, in fold order (failed folds are absent).
     pub folds: Vec<FoldResult>,
 }
 
@@ -49,10 +65,215 @@ impl CrossValResult {
     }
 }
 
+/// Checkpoint-and-resume knobs for the fold engine. The default (no
+/// checkpoint, no snapshots, no fold cap) reproduces plain in-memory
+/// cross-validation.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ResumeOptions {
+    /// Persist completed folds to this checkpoint file after each fold,
+    /// and reload them on the next run. Unusable checkpoints (corrupt,
+    /// truncated, or from a different dataset/seed) are discarded with a
+    /// `fault.checkpoint_errors` count, never panicked on.
+    pub checkpoint: Option<PathBuf>,
+    /// Save each fold's trained network into this directory (via
+    /// [`Classifier::save_network`]); the snapshot path is recorded in
+    /// the fold's checkpoint record.
+    pub snapshot_dir: Option<PathBuf>,
+    /// Compute at most this many *new* folds this run, then stop with
+    /// `interrupted = true` (simulates a run interruption for
+    /// chaos/resume testing).
+    pub max_new_folds: Option<usize>,
+}
+
+/// A cross-validation outcome plus how it was obtained: how many folds
+/// were computed fresh, reused from a checkpoint, or lost to failures,
+/// and whether the run stopped early.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Resumable<T> {
+    /// The (possibly partial) result.
+    pub value: T,
+    /// True when [`ResumeOptions::max_new_folds`] stopped the run before
+    /// every fold was complete.
+    pub interrupted: bool,
+    /// Folds computed by this run.
+    pub computed_folds: usize,
+    /// Folds reloaded from the checkpoint.
+    pub reused_folds: usize,
+    /// Folds whose worker thread panicked (skipped and recorded).
+    pub failed_folds: usize,
+}
+
+/// Fingerprint binding a checkpoint to one `(dataset, k, seed, mode)`
+/// combination, so a stale file from a different run is always rejected.
+fn run_fingerprint(dataset: &Dataset, k: usize, seed: u64, mode: u64) -> u64 {
+    combine_seeds(
+        dataset.fingerprint(),
+        combine_seeds(seed, combine_seeds(k as u64, mode)),
+    )
+}
+
+/// Immutable per-run inputs shared by every fold worker.
+struct FoldSpec<'a> {
+    folds: &'a [Vec<usize>],
+    k: usize,
+    seed: u64,
+    snapshot_dir: Option<&'a Path>,
+    keep_probas: bool,
+}
+
+/// Train and evaluate one fold. Pure in `(dataset, spec.k, spec.seed,
+/// fold)` — never depends on which other folds run in the same process.
+fn compute_fold<F>(dataset: &Dataset, spec: &FoldSpec<'_>, fold: usize, builder: &F) -> FoldRecord
+where
+    F: Fn() -> Box<dyn Classifier> + Sync,
+{
+    let FoldSpec {
+        folds,
+        k,
+        seed,
+        snapshot_dir,
+        keep_probas,
+    } = *spec;
+    let fold_start = std::time::Instant::now();
+    let (train_idx, val_idx, test_idx) = dataset.split_for_fold(folds, fold, seed);
+    let train = dataset.subset(&train_idx);
+    let val = dataset.subset(&val_idx);
+    let test = dataset.subset(&test_idx);
+    let mut clf = builder();
+    clf.fit(&train, &val);
+    let probas = clf.predict_proba(test.features());
+    bf_obs::histogram("ml.fold_seconds").record(fold_start.elapsed().as_secs_f64());
+    let preds: Vec<usize> = probas.iter().map(|row| argmax(row)).collect();
+    let acc = accuracy(&preds, test.labels());
+    let top5 = top_k_accuracy(&probas, test.labels(), 5);
+    let net_path = snapshot_dir.and_then(|dir| {
+        let path = dir.join(format!("fold{fold}.net"));
+        std::fs::create_dir_all(dir).ok();
+        match clf.save_network(&path) {
+            Ok(true) => Some(path.display().to_string()),
+            Ok(false) => None,
+            Err(e) => {
+                bf_obs::counter("fault.checkpoint_errors").inc();
+                bf_obs::error!("fold {fold}: network snapshot failed: {e}");
+                None
+            }
+        }
+    });
+    bf_obs::info!(
+        "fold {}/{k}: acc {acc:.3} top5 {top5:.3} ({:.2} s)",
+        fold + 1,
+        fold_start.elapsed().as_secs_f64()
+    );
+    FoldRecord {
+        fold,
+        accuracy: acc,
+        top5,
+        test_idx,
+        probas: if keep_probas { probas } else { Vec::new() },
+        net_path,
+    }
+}
+
+/// The shared fold engine: load any usable checkpoint, compute pending
+/// folds on parallel threads (each persisting its record as it
+/// completes), and return the merged checkpoint plus run statistics.
+fn run_folds<F>(
+    dataset: &Dataset,
+    k: usize,
+    seed: u64,
+    builder: F,
+    opts: &ResumeOptions,
+    keep_probas: bool,
+    mode: u64,
+) -> (CvCheckpoint, bool, usize, usize, usize)
+where
+    F: Fn() -> Box<dyn Classifier> + Sync,
+{
+    let fingerprint = run_fingerprint(dataset, k, seed, mode);
+    let ckpt = match &opts.checkpoint {
+        Some(path) if path.exists() => match CvCheckpoint::load(path, fingerprint, k) {
+            Ok(c) => {
+                bf_obs::info!(
+                    "resuming from {}: {}/{k} folds already done",
+                    path.display(),
+                    c.completed()
+                );
+                c
+            }
+            Err(e) => {
+                bf_obs::counter("fault.checkpoint_errors").inc();
+                bf_obs::error!(
+                    "ignoring unusable checkpoint {}: {e}; starting fresh",
+                    path.display()
+                );
+                CvCheckpoint::new(fingerprint, k)
+            }
+        },
+        _ => CvCheckpoint::new(fingerprint, k),
+    };
+    let reused = ckpt.completed();
+    let mut pending = ckpt.pending();
+    let mut interrupted = false;
+    if let Some(max) = opts.max_new_folds {
+        if pending.len() > max {
+            pending.truncate(max);
+            interrupted = true;
+            bf_obs::info!("simulated interruption: computing only {max} of the pending folds");
+        }
+    }
+    let n_new = pending.len();
+    let folds = dataset.stratified_folds(k, seed);
+    let shared = Mutex::new(ckpt);
+    let mut failed = 0usize;
+    crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = pending
+            .iter()
+            .map(|&fold| {
+                let spec = FoldSpec {
+                    folds: &folds,
+                    k,
+                    seed,
+                    snapshot_dir: opts.snapshot_dir.as_deref(),
+                    keep_probas,
+                };
+                let builder = &builder;
+                let shared = &shared;
+                let checkpoint = opts.checkpoint.as_deref();
+                scope.spawn(move |_| {
+                    let rec = compute_fold(dataset, &spec, fold, builder);
+                    let mut guard = shared
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
+                    guard.record(rec);
+                    if let Some(path) = checkpoint {
+                        if let Err(e) = guard.save(path) {
+                            bf_obs::counter("fault.checkpoint_errors").inc();
+                            bf_obs::error!("checkpoint save failed: {e}");
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            if h.join().is_err() {
+                failed += 1;
+                bf_obs::counter("ml.fold_failures").inc();
+                bf_obs::error!("fold thread panicked; skipping that fold");
+            }
+        }
+    })
+    .unwrap_or_else(|_| bf_obs::error!("cross-validation scope reported a panic"));
+    let ckpt = shared
+        .into_inner()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    (ckpt, interrupted, n_new - failed, reused, failed)
+}
+
 /// Run stratified k-fold cross-validation: for each fold, hold it out as
 /// the test set, split the remainder 90/10 into train/validation, train a
 /// fresh classifier from `builder`, and measure held-out top-1/top-5
-/// accuracy. Folds run on parallel threads.
+/// accuracy. Folds run on parallel threads; a fold whose thread panics is
+/// skipped and recorded rather than aborting the run.
 ///
 /// # Panics
 ///
@@ -61,55 +282,42 @@ pub fn cross_validate<F>(dataset: &Dataset, k: usize, seed: u64, builder: F) -> 
 where
     F: Fn() -> Box<dyn Classifier> + Sync,
 {
+    cross_validate_resumable(dataset, k, seed, builder, &ResumeOptions::default()).value
+}
+
+/// [`cross_validate`] with checkpoint/resume support: completed folds are
+/// persisted as they finish and reloaded (bit-identical) on the next run.
+///
+/// # Panics
+///
+/// Panics when `k < 2` or the dataset is too small to stratify.
+pub fn cross_validate_resumable<F>(
+    dataset: &Dataset,
+    k: usize,
+    seed: u64,
+    builder: F,
+    opts: &ResumeOptions,
+) -> Resumable<CrossValResult>
+where
+    F: Fn() -> Box<dyn Classifier> + Sync,
+{
     bf_obs::info!("cross-validating: {k} folds over {} samples", dataset.len());
-    let folds = dataset.stratified_folds(k, seed);
-    let results: Vec<FoldResult> = crossbeam::thread::scope(|scope| {
-        let handles: Vec<_> = (0..k)
-            .map(|fold| {
-                let folds = &folds;
-                let builder = &builder;
-                scope.spawn(move |_| {
-                    let fold_start = std::time::Instant::now();
-                    let (train_idx, val_idx, test_idx) = dataset.split_for_fold(folds, fold, seed);
-                    let train = dataset.subset(&train_idx);
-                    let val = dataset.subset(&val_idx);
-                    let test = dataset.subset(&test_idx);
-                    let mut clf = builder();
-                    clf.fit(&train, &val);
-                    let probas = clf.predict_proba(test.features());
-                    bf_obs::histogram("ml.fold_seconds").record(fold_start.elapsed().as_secs_f64());
-                    let preds: Vec<usize> = probas
-                        .iter()
-                        .map(|row| {
-                            row.iter()
-                                .enumerate()
-                                .max_by(|a, b| a.1.partial_cmp(b.1).expect("NaN probability"))
-                                .map(|(i, _)| i)
-                                .expect("non-empty row")
-                        })
-                        .collect();
-                    let result = FoldResult {
-                        accuracy: accuracy(&preds, test.labels()),
-                        top5: top_k_accuracy(&probas, test.labels(), 5),
-                    };
-                    bf_obs::info!(
-                        "fold {}/{k}: acc {:.3} top5 {:.3} ({:.2} s)",
-                        fold + 1,
-                        result.accuracy,
-                        result.top5,
-                        fold_start.elapsed().as_secs_f64()
-                    );
-                    result
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("fold thread panicked"))
-            .collect()
-    })
-    .expect("cross-validation scope panicked");
-    CrossValResult { folds: results }
+    let (ckpt, interrupted, computed, reused, failed) =
+        run_folds(dataset, k, seed, builder, opts, false, 1);
+    let folds = (0..k)
+        .filter_map(|f| ckpt.get(f))
+        .map(|r| FoldResult {
+            accuracy: r.accuracy,
+            top5: r.top5,
+        })
+        .collect();
+    Resumable {
+        value: CrossValResult { folds },
+        interrupted,
+        computed_folds: computed,
+        reused_folds: reused,
+        failed_folds: failed,
+    }
 }
 
 /// Out-of-fold predictions: every sample's class probabilities, produced
@@ -117,7 +325,8 @@ where
 /// metrics over the full dataset (Table 1's open-world columns).
 #[derive(Debug, Clone, PartialEq)]
 pub struct OofPredictions {
-    /// Per-sample probabilities, in dataset order.
+    /// Per-sample probabilities, in dataset order (empty rows for samples
+    /// whose fold failed or has not run yet).
     pub probas: Vec<Vec<f32>>,
     /// Fold index that held each sample out.
     pub fold_of: Vec<usize>,
@@ -126,16 +335,7 @@ pub struct OofPredictions {
 impl OofPredictions {
     /// Argmax predictions, in dataset order.
     pub fn predictions(&self) -> Vec<usize> {
-        self.probas
-            .iter()
-            .map(|row| {
-                row.iter()
-                    .enumerate()
-                    .max_by(|a, b| a.1.partial_cmp(b.1).expect("NaN probability"))
-                    .map(|(i, _)| i)
-                    .expect("non-empty row")
-            })
-            .collect()
+        self.probas.iter().map(|row| argmax(row)).collect()
     }
 
     /// Confusion matrix of the out-of-fold predictions.
@@ -152,16 +352,7 @@ impl OofPredictions {
                     .collect();
                 let probas: Vec<Vec<f32>> = idx.iter().map(|&i| self.probas[i].clone()).collect();
                 let labs: Vec<usize> = idx.iter().map(|&i| labels[i]).collect();
-                let preds: Vec<usize> = probas
-                    .iter()
-                    .map(|row| {
-                        row.iter()
-                            .enumerate()
-                            .max_by(|a, b| a.1.partial_cmp(b.1).expect("NaN probability"))
-                            .map(|(i, _)| i)
-                            .expect("non-empty row")
-                    })
-                    .collect();
+                let preds: Vec<usize> = probas.iter().map(|row| argmax(row)).collect();
                 FoldResult {
                     accuracy: accuracy(&preds, &labs),
                     top5: top_k_accuracy(&probas, &labs, 5),
@@ -182,51 +373,51 @@ pub fn cross_validate_oof<F>(dataset: &Dataset, k: usize, seed: u64, builder: F)
 where
     F: Fn() -> Box<dyn Classifier> + Sync,
 {
+    cross_validate_oof_resumable(dataset, k, seed, builder, &ResumeOptions::default()).value
+}
+
+/// [`cross_validate_oof`] with checkpoint/resume support. Resumed runs
+/// reassemble probability rows bit-identical to an uninterrupted run
+/// (checkpoints store raw IEEE-754 bits). When `interrupted` is set, the
+/// samples of pending folds have empty probability rows.
+///
+/// # Panics
+///
+/// Panics when `k < 2`.
+pub fn cross_validate_oof_resumable<F>(
+    dataset: &Dataset,
+    k: usize,
+    seed: u64,
+    builder: F,
+    opts: &ResumeOptions,
+) -> Resumable<OofPredictions>
+where
+    F: Fn() -> Box<dyn Classifier> + Sync,
+{
     bf_obs::info!(
         "cross-validating (OOF): {k} folds over {} samples",
         dataset.len()
     );
-    let folds = dataset.stratified_folds(k, seed);
-    let per_fold: Vec<(Vec<usize>, Vec<Vec<f32>>)> = crossbeam::thread::scope(|scope| {
-        let handles: Vec<_> = (0..k)
-            .map(|fold| {
-                let folds = &folds;
-                let builder = &builder;
-                scope.spawn(move |_| {
-                    let fold_start = std::time::Instant::now();
-                    let (train_idx, val_idx, test_idx) = dataset.split_for_fold(folds, fold, seed);
-                    let train = dataset.subset(&train_idx);
-                    let val = dataset.subset(&val_idx);
-                    let test = dataset.subset(&test_idx);
-                    let mut clf = builder();
-                    clf.fit(&train, &val);
-                    let probas = clf.predict_proba(test.features());
-                    bf_obs::histogram("ml.fold_seconds").record(fold_start.elapsed().as_secs_f64());
-                    bf_obs::debug!(
-                        "oof fold {}/{k} done ({:.2} s)",
-                        fold + 1,
-                        fold_start.elapsed().as_secs_f64()
-                    );
-                    (test_idx, probas)
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("fold thread panicked"))
-            .collect()
-    })
-    .expect("cross-validation scope panicked");
+    let (ckpt, interrupted, computed, reused, failed) =
+        run_folds(dataset, k, seed, builder, opts, true, 2);
     let n = dataset.len();
     let mut probas = vec![Vec::new(); n];
     let mut fold_of = vec![0usize; n];
-    for (fold, (idx, p)) in per_fold.into_iter().enumerate() {
-        for (i, row) in idx.into_iter().zip(p) {
-            probas[i] = row;
-            fold_of[i] = fold;
+    for fold in 0..k {
+        if let Some(rec) = ckpt.get(fold) {
+            for (&i, row) in rec.test_idx.iter().zip(&rec.probas) {
+                probas[i] = row.clone();
+                fold_of[i] = fold;
+            }
         }
     }
-    OofPredictions { probas, fold_of }
+    Resumable {
+        value: OofPredictions { probas, fold_of },
+        interrupted,
+        computed_folds: computed,
+        reused_folds: reused,
+        failed_folds: failed,
+    }
 }
 
 #[cfg(test)]
@@ -250,6 +441,12 @@ mod tests {
             }
         }
         d
+    }
+
+    fn temp_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("bf_ml_cv_{tag}_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
     }
 
     #[test]
@@ -351,5 +548,99 @@ mod tests {
         };
         assert_eq!(r.accuracies_pct(), vec![50.0, 70.0]);
         assert!((r.mean_top5() - 0.95).abs() < 1e-12);
+    }
+
+    #[test]
+    fn interrupted_run_resumes_bit_identical() {
+        let d = separable_dataset(10, 4, 1.0, 30);
+        let builder = || Box::new(CentroidClassifier::new(4)) as Box<dyn Classifier>;
+        let uninterrupted = cross_validate_oof(&d, 4, 17, builder);
+
+        let dir = temp_dir("resume");
+        let opts = ResumeOptions {
+            checkpoint: Some(dir.join("cv.bfck")),
+            snapshot_dir: None,
+            max_new_folds: Some(2),
+        };
+        let first = cross_validate_oof_resumable(&d, 4, 17, builder, &opts);
+        assert!(first.interrupted);
+        assert_eq!(first.computed_folds, 2);
+        assert_eq!(first.reused_folds, 0);
+
+        let opts = ResumeOptions {
+            max_new_folds: None,
+            ..opts
+        };
+        let second = cross_validate_oof_resumable(&d, 4, 17, builder, &opts);
+        assert!(!second.interrupted);
+        assert_eq!(second.reused_folds, 2);
+        assert_eq!(second.computed_folds, 2);
+
+        // Bit-identical to the run that was never interrupted.
+        assert_eq!(second.value.fold_of, uninterrupted.fold_of);
+        for (a, b) in second.value.probas.iter().zip(&uninterrupted.probas) {
+            let ba: Vec<u32> = a.iter().map(|v| v.to_bits()).collect();
+            let bb: Vec<u32> = b.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(ba, bb);
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_checkpoint_degrades_to_fresh_run() {
+        let d = separable_dataset(8, 3, 0.5, 31);
+        let builder = || Box::new(CentroidClassifier::new(3)) as Box<dyn Classifier>;
+        let dir = temp_dir("corrupt_ckpt");
+        let path = dir.join("cv.bfck");
+        std::fs::write(&path, "this is not a checkpoint").unwrap();
+        let opts = ResumeOptions {
+            checkpoint: Some(path.clone()),
+            ..ResumeOptions::default()
+        };
+        let r = cross_validate_resumable(&d, 3, 5, builder, &opts);
+        assert!(!r.interrupted);
+        assert_eq!(r.reused_folds, 0);
+        assert_eq!(r.value.folds.len(), 3);
+        // The damaged file has been replaced by a valid, complete one.
+        let reloaded = cross_validate_resumable(&d, 3, 5, builder, &opts);
+        assert_eq!(reloaded.reused_folds, 3);
+        assert_eq!(reloaded.computed_folds, 0);
+        assert_eq!(reloaded.value, r.value);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn stale_checkpoint_from_other_dataset_rejected() {
+        let d1 = separable_dataset(8, 3, 0.5, 32);
+        let d2 = separable_dataset(8, 3, 0.5, 33);
+        let builder = || Box::new(CentroidClassifier::new(3)) as Box<dyn Classifier>;
+        let dir = temp_dir("stale_ckpt");
+        let opts = ResumeOptions {
+            checkpoint: Some(dir.join("cv.bfck")),
+            ..ResumeOptions::default()
+        };
+        cross_validate_resumable(&d1, 3, 5, builder, &opts);
+        // Same path, different dataset: nothing may be reused.
+        let r = cross_validate_resumable(&d2, 3, 5, builder, &opts);
+        assert_eq!(r.reused_folds, 0);
+        assert_eq!(r.computed_folds, 3);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn panicking_fold_is_skipped_not_fatal() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let d = separable_dataset(10, 3, 0.5, 34);
+        let calls = AtomicUsize::new(0);
+        // Every third classifier build panics (fold threads call the
+        // builder once each).
+        let r = cross_validate(&d, 3, 5, || {
+            if calls.fetch_add(1, Ordering::SeqCst) == 1 {
+                panic!("injected fold failure");
+            }
+            Box::new(CentroidClassifier::new(3))
+        });
+        assert_eq!(r.folds.len(), 2, "one fold skipped, two kept");
+        assert!(r.mean_accuracy() > 0.5);
     }
 }

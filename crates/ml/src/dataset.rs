@@ -91,6 +91,31 @@ impl Dataset {
         }
     }
 
+    /// Content fingerprint: FNV-1a over every feature's IEEE-754 bits,
+    /// every label, and the class count. Binds resumable cross-validation
+    /// checkpoints to the exact dataset that produced them — any change
+    /// to a single bit of any trace yields a different fingerprint.
+    pub fn fingerprint(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = OFFSET;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(PRIME);
+            }
+        };
+        eat(&(self.n_classes as u64).to_le_bytes());
+        eat(&(self.features.len() as u64).to_le_bytes());
+        for (trace, &label) in self.features.iter().zip(&self.labels) {
+            eat(&(label as u64).to_le_bytes());
+            for v in trace {
+                eat(&v.to_bits().to_le_bytes());
+            }
+        }
+        h
+    }
+
     /// The subset at the given indices (cloned).
     ///
     /// # Panics
@@ -254,6 +279,27 @@ mod tests {
         let d = dataset(6, 3);
         assert_eq!(d.stratified_folds(3, 9), d.stratified_folds(3, 9));
         assert_ne!(d.stratified_folds(3, 9), d.stratified_folds(3, 10));
+    }
+
+    #[test]
+    fn fingerprint_sensitive_to_any_change() {
+        let d = dataset(3, 2);
+        assert_eq!(d.fingerprint(), d.fingerprint());
+        let mut d2 = d.clone();
+        d2.push(vec![9.0, 9.0], 0);
+        assert_ne!(d.fingerprint(), d2.fingerprint());
+        // A single-bit flip in one value changes the fingerprint.
+        let mut d3 = d.clone();
+        d3.features[0][0] = f32::from_bits(d3.features[0][0].to_bits() ^ 1);
+        assert_ne!(d.fingerprint(), d3.fingerprint());
+        // Same samples, different label layout.
+        let mut a = Dataset::new(2);
+        a.push(vec![1.0], 0);
+        a.push(vec![1.0], 1);
+        let mut b = Dataset::new(2);
+        b.push(vec![1.0], 1);
+        b.push(vec![1.0], 0);
+        assert_ne!(a.fingerprint(), b.fingerprint());
     }
 
     #[test]

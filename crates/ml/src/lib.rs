@@ -42,9 +42,12 @@ pub mod openworld;
 
 pub use centroid::CentroidClassifier;
 pub use cnn::{CnnLstmClassifier, TrainConfig};
-pub use crossval::{cross_validate, cross_validate_oof, CrossValResult, FoldResult, OofPredictions};
+pub use crossval::{
+    cross_validate, cross_validate_oof, cross_validate_oof_resumable, cross_validate_resumable,
+    CrossValResult, FoldResult, OofPredictions, Resumable, ResumeOptions,
+};
 pub use dataset::Dataset;
-pub use metrics::{accuracy, top_k_accuracy, ConfusionMatrix, OpenWorldReport};
+pub use metrics::{accuracy, argmax, top_k_accuracy, ConfusionMatrix, OpenWorldReport};
 pub use openworld::{OperatingPoint, ThresholdCurve};
 
 /// A trainable trace classifier.
@@ -56,18 +59,20 @@ pub trait Classifier: Send {
     /// Per-class probabilities for each input trace.
     fn predict_proba(&mut self, traces: &[Vec<f32>]) -> Vec<Vec<f32>>;
 
-    /// Argmax class predictions.
+    /// Argmax class predictions (NaN-tolerant, see [`metrics::argmax`]).
     fn predict(&mut self, traces: &[Vec<f32>]) -> Vec<usize> {
         self.predict_proba(traces)
             .into_iter()
-            .map(|row| {
-                row.iter()
-                    .enumerate()
-                    .max_by(|a, b| a.1.partial_cmp(b.1).expect("NaN probability"))
-                    .map(|(i, _)| i)
-                    .expect("non-empty probability row")
-            })
+            .map(|row| metrics::argmax(&row))
             .collect()
+    }
+
+    /// Snapshot the trained model to `path`, when the model supports it.
+    /// Returns `Ok(true)` if a snapshot was written, `Ok(false)` if this
+    /// classifier has nothing to snapshot (the default), and `Err` with a
+    /// human-readable message on I/O failure.
+    fn save_network(&mut self, _path: &std::path::Path) -> Result<bool, String> {
+        Ok(false)
     }
 
     /// Number of classes this model distinguishes.

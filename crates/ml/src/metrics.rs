@@ -2,6 +2,24 @@
 
 use serde::{Deserialize, Serialize};
 
+/// NaN-tolerant argmax over a probability row.
+///
+/// Uses [`f32::total_cmp`], so a NaN probability can never panic; under
+/// total order NaN sorts above every number, so a poisoned row yields a
+/// degenerate (but deterministic) prediction. Each such row is recorded
+/// under the `ml.nan_probas` counter so run manifests surface how many
+/// predictions were degenerate. Empty rows predict class 0.
+pub fn argmax(row: &[f32]) -> usize {
+    if row.iter().any(|v| v.is_nan()) {
+        bf_obs::counter("ml.nan_probas").inc();
+    }
+    row.iter()
+        .enumerate()
+        .max_by(|a, b| a.1.total_cmp(b.1))
+        .map(|(i, _)| i)
+        .unwrap_or(0)
+}
+
 /// Fraction of predictions equal to their label.
 ///
 /// # Panics
@@ -27,7 +45,7 @@ pub fn top_k_accuracy(probas: &[Vec<f32>], labels: &[usize], k: usize) -> f64 {
     let mut hits = 0usize;
     for (row, &label) in probas.iter().zip(labels) {
         let mut order: Vec<usize> = (0..row.len()).collect();
-        order.sort_by(|&a, &b| row[b].partial_cmp(&row[a]).expect("NaN probability"));
+        order.sort_by(|&a, &b| row[b].total_cmp(&row[a]));
         if order.iter().take(k).any(|&c| c == label) {
             hits += 1;
         }
@@ -162,7 +180,7 @@ impl OpenWorldReport {
         let mut n_hit = 0usize;
         for (row, &l) in probas.iter().zip(labels) {
             let mut order: Vec<usize> = (0..row.len()).collect();
-            order.sort_by(|&a, &b| row[b].partial_cmp(&row[a]).expect("NaN probability"));
+            order.sort_by(|&a, &b| row[b].total_cmp(&row[a]));
             let hit = order.iter().take(k).any(|&c| c == l);
             if l == non_sensitive_class {
                 n_total += 1;
@@ -185,6 +203,24 @@ impl OpenWorldReport {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn argmax_picks_largest_and_survives_nan() {
+        assert_eq!(argmax(&[0.1, 0.7, 0.2]), 1);
+        assert_eq!(argmax(&[]), 0);
+        // NaN sorts above every number under total order: degenerate but
+        // deterministic, and crucially no panic.
+        assert_eq!(argmax(&[0.3, f32::NAN, 0.4]), 1);
+        assert_eq!(argmax(&[f32::NEG_INFINITY, -0.0, 0.0]), 2);
+    }
+
+    #[test]
+    fn top_k_tolerates_nan_rows() {
+        let probas = vec![vec![f32::NAN, 0.5, 0.2], vec![0.1, 0.2, 0.7]];
+        let labels = [1, 2];
+        // No panic; the NaN row ranks NaN first, label 1 second.
+        assert_eq!(top_k_accuracy(&probas, &labels, 2), 1.0);
+    }
 
     #[test]
     fn accuracy_basic() {

@@ -50,7 +50,7 @@ pub use optim::Adam;
 pub use param::Param;
 pub use pool::{AvgPool1d, MaxPool1d};
 pub use relu::Relu;
-pub use serialize::{load_network, read_params, save_network, write_params};
+pub use serialize::{load_network, read_params, save_network, write_params, CheckpointError};
 pub use tensor::Tensor;
 
 /// A differentiable network layer.

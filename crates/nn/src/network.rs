@@ -208,9 +208,9 @@ impl CnnLstm {
                 let row = &p.data()[i * k..(i + 1) * k];
                 row.iter()
                     .enumerate()
-                    .max_by(|a, b| a.1.partial_cmp(b.1).expect("NaN probability"))
+                    .max_by(|a, b| a.1.total_cmp(b.1))
                     .map(|(j, _)| j)
-                    .expect("non-empty row")
+                    .unwrap_or(0)
             })
             .collect()
     }
@@ -228,15 +228,46 @@ impl CnnLstm {
     ///
     /// # Panics
     ///
-    /// Panics when the snapshot does not match this network's shape.
+    /// Panics when the snapshot does not match this network's shape;
+    /// callers restoring untrusted snapshots (e.g. checkpoint files)
+    /// should use [`CnnLstm::try_restore_params`] instead.
     pub fn restore_params(&mut self, snapshot: &[Vec<f32>]) {
+        self.try_restore_params(snapshot)
+            .unwrap_or_else(|e| panic!("snapshot mismatch: {e}"));
+    }
+
+    /// Restore parameters from a snapshot, rejecting shape mismatches
+    /// without touching the network.
+    ///
+    /// # Errors
+    ///
+    /// Describes the first tensor-count or tensor-size disagreement.
+    pub fn try_restore_params(&mut self, snapshot: &[Vec<f32>]) -> Result<(), String> {
         let mut params: Vec<&mut crate::Param> =
             self.layers.iter_mut().flat_map(|l| l.params_mut()).collect();
-        assert_eq!(params.len(), snapshot.len(), "snapshot layer count mismatch");
+        if params.len() != snapshot.len() {
+            return Err(format!(
+                "snapshot has {} tensors, network has {}",
+                snapshot.len(),
+                params.len()
+            ));
+        }
+        if let Some((i, (p, s))) = params
+            .iter()
+            .zip(snapshot)
+            .enumerate()
+            .find(|(_, (p, s))| p.len() != s.len())
+        {
+            return Err(format!(
+                "snapshot tensor {i} has {} values, network expects {}",
+                s.len(),
+                p.len()
+            ));
+        }
         for (p, s) in params.iter_mut().zip(snapshot) {
-            assert_eq!(p.len(), s.len(), "snapshot parameter size mismatch");
             p.value.copy_from_slice(s);
         }
+        Ok(())
     }
 
     /// Total scalar parameter count.

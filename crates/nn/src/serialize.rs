@@ -4,6 +4,10 @@
 //! reuses it on fresh traces (§4.1). This module persists parameters in a
 //! small self-describing binary format (magic, version, per-tensor
 //! lengths, little-endian f32 data) with no dependencies beyond `std`.
+//!
+//! All fallible paths return a typed [`CheckpointError`] — truncated,
+//! corrupt, or shape-mismatched checkpoint files are reported, never
+//! panicked on, so a damaged file degrades a run instead of aborting it.
 
 use crate::network::CnnLstm;
 use std::io::{self, Read, Write};
@@ -11,13 +15,54 @@ use std::io::{self, Read, Write};
 const MAGIC: &[u8; 8] = b"BFNNCKPT";
 const VERSION: u32 = 1;
 
+/// Why a parameter checkpoint could not be written or read.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// Underlying reader/writer error (including truncation, surfaced as
+    /// `UnexpectedEof`).
+    Io(io::Error),
+    /// The payload is not a bf-nn checkpoint or is internally
+    /// inconsistent.
+    Format(String),
+    /// The checkpoint is well-formed but does not fit the target
+    /// network's architecture.
+    ShapeMismatch(String),
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "checkpoint I/O error: {e}"),
+            CheckpointError::Format(msg) => write!(f, "malformed checkpoint: {msg}"),
+            CheckpointError::ShapeMismatch(msg) => {
+                write!(f, "checkpoint does not fit network: {msg}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CheckpointError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for CheckpointError {
+    fn from(e: io::Error) -> Self {
+        CheckpointError::Io(e)
+    }
+}
+
 /// Write a parameter snapshot (as produced by [`CnnLstm::save_params`])
 /// to a writer.
 ///
 /// # Errors
 ///
 /// Propagates I/O errors from the writer.
-pub fn write_params<W: Write>(mut w: W, params: &[Vec<f32>]) -> io::Result<()> {
+pub fn write_params<W: Write>(mut w: W, params: &[Vec<f32>]) -> Result<(), CheckpointError> {
     w.write_all(MAGIC)?;
     w.write_all(&VERSION.to_le_bytes())?;
     w.write_all(&(params.len() as u32).to_le_bytes())?;
@@ -36,27 +81,27 @@ pub fn write_params<W: Write>(mut w: W, params: &[Vec<f32>]) -> io::Result<()> {
 ///
 /// # Errors
 ///
-/// Returns `InvalidData` for wrong magic/version or truncated payloads,
-/// and propagates reader I/O errors.
-pub fn read_params<R: Read>(mut r: R) -> io::Result<Vec<Vec<f32>>> {
+/// [`CheckpointError::Format`] for wrong magic/version or implausible
+/// headers, [`CheckpointError::Io`] for truncated payloads and reader
+/// errors.
+pub fn read_params<R: Read>(mut r: R) -> Result<Vec<Vec<f32>>, CheckpointError> {
     let mut magic = [0u8; 8];
     r.read_exact(&mut magic)?;
     if &magic != MAGIC {
-        return Err(io::Error::new(io::ErrorKind::InvalidData, "not a bf-nn checkpoint"));
+        return Err(CheckpointError::Format("not a bf-nn checkpoint".to_owned()));
     }
     let mut buf4 = [0u8; 4];
     r.read_exact(&mut buf4)?;
     let version = u32::from_le_bytes(buf4);
     if version != VERSION {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            format!("unsupported checkpoint version {version}"),
-        ));
+        return Err(CheckpointError::Format(format!(
+            "unsupported checkpoint version {version}"
+        )));
     }
     r.read_exact(&mut buf4)?;
     let n_tensors = u32::from_le_bytes(buf4) as usize;
     if n_tensors > 1_000_000 {
-        return Err(io::Error::new(io::ErrorKind::InvalidData, "implausible tensor count"));
+        return Err(CheckpointError::Format("implausible tensor count".to_owned()));
     }
     let mut lens = Vec::with_capacity(n_tensors);
     let mut buf8 = [0u8; 8];
@@ -64,7 +109,7 @@ pub fn read_params<R: Read>(mut r: R) -> io::Result<Vec<Vec<f32>>> {
         r.read_exact(&mut buf8)?;
         let len = u64::from_le_bytes(buf8);
         if len > u64::from(u32::MAX) {
-            return Err(io::Error::new(io::ErrorKind::InvalidData, "implausible tensor size"));
+            return Err(CheckpointError::Format("implausible tensor size".to_owned()));
         }
         lens.push(len as usize);
     }
@@ -85,26 +130,24 @@ pub fn read_params<R: Read>(mut r: R) -> io::Result<Vec<Vec<f32>>> {
 /// # Errors
 ///
 /// Propagates file-creation and write errors.
-pub fn save_network(net: &mut CnnLstm, path: &std::path::Path) -> io::Result<()> {
+pub fn save_network(net: &mut CnnLstm, path: &std::path::Path) -> Result<(), CheckpointError> {
     let file = std::fs::File::create(path)?;
     write_params(io::BufWriter::new(file), &net.save_params())
 }
 
-/// Load parameters from a file into a compatible network.
+/// Load parameters from a file into a compatible network. The network is
+/// untouched unless the whole load succeeds.
 ///
 /// # Errors
 ///
-/// Propagates I/O and format errors.
-///
-/// # Panics
-///
-/// Panics when the checkpoint's shape does not match the network (see
-/// [`CnnLstm::restore_params`]).
-pub fn load_network(net: &mut CnnLstm, path: &std::path::Path) -> io::Result<()> {
+/// I/O and format errors from [`read_params`], and
+/// [`CheckpointError::ShapeMismatch`] when the checkpoint does not fit
+/// the network's architecture.
+pub fn load_network(net: &mut CnnLstm, path: &std::path::Path) -> Result<(), CheckpointError> {
     let file = std::fs::File::open(path)?;
     let params = read_params(io::BufReader::new(file))?;
-    net.restore_params(&params);
-    Ok(())
+    net.try_restore_params(&params)
+        .map_err(CheckpointError::ShapeMismatch)
 }
 
 #[cfg(test)]
@@ -125,7 +168,7 @@ mod tests {
     #[test]
     fn rejects_bad_magic() {
         let err = read_params(&b"NOTACKPT........."[..]).unwrap_err();
-        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(matches!(err, CheckpointError::Format(_)), "{err}");
     }
 
     #[test]
@@ -134,7 +177,8 @@ mod tests {
         let mut buf = Vec::new();
         write_params(&mut buf, &params).unwrap();
         buf.truncate(buf.len() - 5);
-        assert!(read_params(&buf[..]).is_err());
+        let err = read_params(&buf[..]).unwrap_err();
+        assert!(matches!(err, CheckpointError::Io(_)), "{err}");
     }
 
     #[test]
@@ -142,7 +186,10 @@ mod tests {
         let mut buf = Vec::new();
         write_params(&mut buf, &[vec![1.0]]).unwrap();
         buf[8] = 99; // clobber version
-        assert!(read_params(&buf[..]).is_err());
+        assert!(matches!(
+            read_params(&buf[..]),
+            Err(CheckpointError::Format(_))
+        ));
     }
 
     #[test]
@@ -161,14 +208,26 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "snapshot")]
-    fn mismatched_architecture_panics() {
+    fn mismatched_architecture_is_typed_error_and_preserves_network() {
         let mut small = CnnLstm::new(CnnLstmConfig::scaled(300, 4, 6), 1);
         let mut big = CnnLstm::new(CnnLstmConfig::scaled(300, 4, 12), 1);
         let dir = std::env::temp_dir().join("bf_nn_ckpt_test2");
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("net.ckpt");
         save_network(&mut small, &path).unwrap();
-        let _ = load_network(&mut big, &path);
+        let before = big.save_params();
+        let err = load_network(&mut big, &path).unwrap_err();
+        assert!(matches!(err, CheckpointError::ShapeMismatch(_)), "{err}");
+        // Failed loads must not partially overwrite the target network.
+        assert_eq!(big.save_params(), before);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn errors_render_for_operators() {
+        let e = CheckpointError::Format("nope".to_owned());
+        assert!(e.to_string().contains("nope"));
+        let e = CheckpointError::from(io::Error::new(io::ErrorKind::UnexpectedEof, "cut"));
+        assert!(e.to_string().contains("cut"));
     }
 }

@@ -17,6 +17,8 @@
 //! * [`defense`] — the countermeasures of §6;
 //! * [`nn`] / [`ml`] — the from-scratch CNN+LSTM classifier and the
 //!   cross-validation pipeline;
+//! * [`fault`] — deterministic fault injection, trace validation, and
+//!   checkpoint/resume for chaos-testing the pipeline;
 //! * [`core`] — experiment runners regenerating every table and figure.
 //!
 //! # Quickstart
@@ -40,6 +42,7 @@ pub use bf_attack as attack;
 pub use bf_core as core;
 pub use bf_defense as defense;
 pub use bf_ebpf as ebpf;
+pub use bf_fault as fault;
 pub use bf_ml as ml;
 pub use bf_nn as nn;
 pub use bf_sim as sim;
