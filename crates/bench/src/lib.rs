@@ -55,6 +55,7 @@ pub fn with_manifest<R>(
     let mut builder = bf_obs::ManifestBuilder::new(name, &scale.to_string(), seed);
     builder.config("scale", scale);
     builder.config("seed", seed);
+    record_thread_pool(&mut builder);
     let out = f(&mut builder);
     let manifest = builder.finish();
     let dest = match manifest.write() {
@@ -106,6 +107,7 @@ fn run_bin_inner(
     let mut builder = bf_obs::ManifestBuilder::new(name, &scale.to_string(), seed);
     builder.config("scale", scale);
     builder.config("seed", seed);
+    record_thread_pool(&mut builder);
     builder.config("fault_plan", faults.summary());
     builder.config("resume", if resume.enabled { "on" } else { "off" });
     if resume.enabled {
@@ -145,6 +147,15 @@ fn run_bin_inner(
             false
         }
     }
+}
+
+/// Record the resolved `bf-par` pool size in the manifest (config entry
+/// and `par.threads` gauge), so every run documents the parallelism it
+/// ran at — results are thread-count-invariant, wall times are not.
+fn record_thread_pool(builder: &mut bf_obs::ManifestBuilder) {
+    let threads = bf_par::threads();
+    builder.config("threads", threads);
+    bf_obs::gauge("par.threads").set(threads as f64);
 }
 
 /// Print every fault/resilience counter the run touched, so operators

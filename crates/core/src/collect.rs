@@ -278,17 +278,29 @@ impl CollectionConfig {
             self.attack
         );
         let catalog = Catalog::closed_world_subset_with_tuning(n_sites, self.tuning);
-        let mut dataset = Dataset::new(n_sites);
-        for (label, site) in catalog.sites().iter().enumerate() {
-            let _site_span = bf_obs::span!("site");
+        let sites = catalog.sites();
+        for (label, site) in sites.iter().enumerate() {
             bf_obs::info!("site {}/{n_sites}: {}", label + 1, site.hostname());
-            for run in 0..traces_per_site {
-                let run_seed = combine_seeds(seed, (label * 100_000 + run) as u64);
-                let Some(trace) = self.collect_trace_resilient(site, run_seed) else {
-                    continue; // quarantined; the dataset proceeds without it
-                };
-                bf_obs::debug!("trace {}/{traces_per_site} len {}", run + 1, trace.len());
-                dataset.push(self.featurize(&trace), label);
+        }
+        // Each trace is a pure function of its per-run seed, so traces can
+        // be simulated on any worker. Results are pushed in job order
+        // below (quarantined traces skipped in place), which keeps the
+        // dataset byte-identical to sequential collection at any thread
+        // count.
+        let jobs: Vec<(usize, u64)> = (0..sites.len())
+            .flat_map(|label| {
+                (0..traces_per_site)
+                    .map(move |run| (label, combine_seeds(seed, (label * 100_000 + run) as u64)))
+            })
+            .collect();
+        let features = bf_par::par_map_indexed(&jobs, |_, &(label, run_seed)| {
+            self.collect_trace_resilient(&sites[label], run_seed)
+                .map(|trace| self.featurize(&trace))
+        });
+        let mut dataset = Dataset::new(n_sites);
+        for ((label, _), feat) in jobs.into_iter().zip(features) {
+            if let Some(f) = feat {
+                dataset.push(f, label);
             }
         }
         bf_obs::counter("collect.datasets").inc();
@@ -312,7 +324,11 @@ impl CollectionConfig {
         }
         let _span = bf_obs::span!("collect_open");
         bf_obs::info!("collecting open world: {open_traces} extra traces");
-        for i in 0..open_traces {
+        // One-shot sites are generated per index inside the closure, so
+        // every job stays a pure function of `(seed, i)` — same
+        // determinism argument as the closed world.
+        let ids: Vec<usize> = (0..open_traces).collect();
+        let extra = bf_par::par_map_indexed(&ids, |_, &i| {
             // Open-world sites span a wider intensity manifold than the
             // curated closed world (the real Alexa tail is far more
             // heterogeneous than the top 100).
@@ -320,10 +336,11 @@ impl CollectionConfig {
             tuning.intensity *= 0.5 + 1.5 * ((i % 17) as f64 / 16.0);
             let site = Catalog::open_world_site_with_tuning(i as u32, tuning);
             let run_seed = combine_seeds(seed ^ 0x0BE, i as u64);
-            let Some(trace) = self.collect_trace_resilient(&site, run_seed) else {
-                continue;
-            };
-            dataset.push(self.featurize(&trace), n_sites);
+            self.collect_trace_resilient(&site, run_seed)
+                .map(|trace| self.featurize(&trace))
+        });
+        for f in extra.into_iter().flatten() {
+            dataset.push(f, n_sites);
         }
         dataset
     }

@@ -190,7 +190,7 @@ mod tests {
     #[test]
     // Runs a full smoke-scale experiment (tens of seconds); exercised
     // end-to-end by `cargo run -p bf-bench --bin table2`.
-    #[ignore = "slow: full experiment run; use `cargo run -p bf-bench --bin table2`"]
+    #[ignore = "slow in debug (~30-120 s); CI runs it in release via the experiments step, or use `cargo run -p bf-bench --bin table2`"]
     fn interrupt_noise_hurts_more_than_cache_noise() {
         let t = run(ExperimentScale::Smoke, 5, false);
         for row in &t.rows {
@@ -219,7 +219,7 @@ mod tests {
     #[test]
     // Runs a full smoke-scale experiment (tens of seconds); exercised
     // end-to-end by `cargo run -p bf-bench --bin table2`.
-    #[ignore = "slow: full experiment run; use `cargo run -p bf-bench --bin table2`"]
+    #[ignore = "slow in debug (~30-120 s); CI runs it in release via the experiments step, or use `cargo run -p bf-bench --bin table2`"]
     fn renders_with_notes() {
         let t = run(ExperimentScale::Smoke, 6, false);
         let text = t.to_table().to_string();

@@ -135,7 +135,7 @@ mod tests {
     #[test]
     // Runs a full smoke-scale experiment (tens of seconds); exercised
     // end-to-end by `cargo run -p bf-bench --bin table3`.
-    #[ignore = "slow: full experiment run; use `cargo run -p bf-bench --bin table3`"]
+    #[ignore = "slow in debug (~30-120 s); CI runs it in release via the experiments step, or use `cargo run -p bf-bench --bin table3`"]
     fn ladder_reproduces_paper_shape() {
         let t = run(ExperimentScale::Smoke, 7);
         assert_eq!(t.rows.len(), 5);
@@ -158,7 +158,7 @@ mod tests {
     #[test]
     // Runs a full smoke-scale experiment (tens of seconds); exercised
     // end-to-end by `cargo run -p bf-bench --bin table3`.
-    #[ignore = "slow: full experiment run; use `cargo run -p bf-bench --bin table3`"]
+    #[ignore = "slow in debug (~30-120 s); CI runs it in release via the experiments step, or use `cargo run -p bf-bench --bin table3`"]
     fn renders_all_mechanisms() {
         let t = run(ExperimentScale::Smoke, 8);
         let text = t.to_table().to_string();

@@ -205,7 +205,7 @@ mod tests {
     #[test]
     // Runs a full smoke-scale experiment (tens of seconds); exercised
     // end-to-end by `cargo run -p bf-bench --bin table4`.
-    #[ignore = "slow: full experiment run; use `cargo run -p bf-bench --bin table4`"]
+    #[ignore = "slow in debug (~30-120 s); CI runs it in release via the experiments step, or use `cargo run -p bf-bench --bin table4`"]
     fn randomized_timer_collapses_accuracy() {
         let t = run(ExperimentScale::Smoke, 9);
         assert_eq!(t.rows.len(), 5);
@@ -222,7 +222,7 @@ mod tests {
     #[test]
     // Runs a full smoke-scale experiment (tens of seconds); exercised
     // end-to-end by `cargo run -p bf-bench --bin table4`.
-    #[ignore = "slow: full experiment run; use `cargo run -p bf-bench --bin table4`"]
+    #[ignore = "slow in debug (~30-120 s); CI runs it in release via the experiments step, or use `cargo run -p bf-bench --bin table4`"]
     fn quantized_sits_between() {
         let t = run(ExperimentScale::Smoke, 10);
         let jittered = t.rows[0].result.mean_accuracy();
@@ -241,7 +241,7 @@ mod tests {
     #[test]
     // Runs a full smoke-scale experiment (tens of seconds); exercised
     // end-to-end by `cargo run -p bf-bench --bin table4`.
-    #[ignore = "slow: full experiment run; use `cargo run -p bf-bench --bin table4`"]
+    #[ignore = "slow in debug (~30-120 s); CI runs it in release via the experiments step, or use `cargo run -p bf-bench --bin table4`"]
     fn renders_all_rows() {
         let t = run(ExperimentScale::Smoke, 11);
         let text = t.to_table().to_string();

@@ -1,0 +1,142 @@
+//! Thread-count determinism suite: every result the pipeline produces —
+//! collected datasets, cross-validation fold metrics, trained CNN
+//! weights — must be bit-identical (`f32::to_bits`/`f64::to_bits`) at
+//! `BF_THREADS=1` and `BF_THREADS=4`, including while a fault-injection
+//! plan is active. This is the contract the `bf-par` execution layer
+//! exists to uphold.
+//!
+//! Run alone via `cargo test -p bf-core --test par_determinism`.
+
+use bf_core::collect::{AttackKind, CollectionConfig};
+use bf_core::scale::ExperimentScale;
+use bf_fault::FaultPlan;
+use bf_ml::{CnnLstmClassifier, Classifier, CrossValResult, Dataset, TrainConfig};
+use bf_nn::CnnLstmConfig;
+use bf_timer::BrowserKind;
+use std::sync::Mutex;
+
+/// `bf_par::set_threads` is process-global; tests take turns.
+static SERIAL: Mutex<()> = Mutex::new(());
+
+/// Run `f` once at 1 thread and once at 4, restoring the default after.
+fn at_thread_counts<R>(f: impl Fn() -> R) -> (R, R) {
+    let _lock = SERIAL
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    bf_par::set_threads(Some(1));
+    let seq = f();
+    bf_par::set_threads(Some(4));
+    let par = f();
+    bf_par::set_threads(None);
+    (seq, par)
+}
+
+fn smoke_cfg(plan: FaultPlan) -> CollectionConfig {
+    CollectionConfig::new(BrowserKind::Chrome, AttackKind::LoopCounting)
+        .with_scale(ExperimentScale::Smoke)
+        .with_faults(plan)
+}
+
+fn dataset_bits(d: &Dataset) -> (Vec<Vec<u32>>, Vec<usize>) {
+    let features = d
+        .features()
+        .iter()
+        .map(|row| row.iter().map(|v| v.to_bits()).collect())
+        .collect();
+    (features, d.labels().to_vec())
+}
+
+fn fold_bits(r: &CrossValResult) -> Vec<(u64, u64)> {
+    r.folds
+        .iter()
+        .map(|f| (f.accuracy.to_bits(), f.top5.to_bits()))
+        .collect()
+}
+
+#[test]
+fn collection_bits_identical_across_thread_counts() {
+    let (seq, par) = at_thread_counts(|| {
+        let d = smoke_cfg(FaultPlan::off()).collect_closed_world(3, 4, 41);
+        dataset_bits(&d)
+    });
+    assert!(!seq.1.is_empty());
+    assert_eq!(seq, par);
+}
+
+#[test]
+fn open_world_collection_bits_identical_across_thread_counts() {
+    let (seq, par) = at_thread_counts(|| {
+        let d = smoke_cfg(FaultPlan::off()).collect_open_world(2, 3, 5, 43);
+        dataset_bits(&d)
+    });
+    assert_eq!(seq.1.iter().filter(|&&l| l == 2).count(), 5);
+    assert_eq!(seq, par);
+}
+
+#[test]
+fn collection_under_fault_plan_bits_identical_across_thread_counts() {
+    // Active chaos: corruption, NaN spikes, drops — repairs, retries and
+    // quarantines must all land on the same traces at any thread count.
+    let plan = FaultPlan {
+        seed: 9,
+        corrupt: 0.3,
+        nan: 0.2,
+        drop: 0.15,
+        ..FaultPlan::off()
+    };
+    let (seq, par) = at_thread_counts(|| {
+        let d = smoke_cfg(plan.clone()).collect_closed_world(3, 4, 47);
+        dataset_bits(&d)
+    });
+    assert_eq!(seq, par);
+}
+
+#[test]
+fn fold_metrics_bits_identical_across_thread_counts() {
+    let cfg = smoke_cfg(FaultPlan::off());
+    let dataset = cfg.collect_closed_world(4, 6, 53);
+    let (seq, par) = at_thread_counts(|| fold_bits(&cfg.cross_validate(&dataset, 53)));
+    assert!(!seq.is_empty());
+    assert_eq!(seq, par);
+}
+
+#[test]
+fn trained_cnn_weights_bits_identical_across_thread_counts() {
+    // A small CNN+LSTM fit: every parallelized kernel (conv, dense,
+    // lstm, forward and backward) runs many times over the training
+    // loop; a single non-deterministic accumulation anywhere would
+    // diverge the weights.
+    let cfg = smoke_cfg(FaultPlan::off());
+    let dataset = cfg.collect_closed_world(3, 6, 59);
+    let dir = std::env::temp_dir().join(format!("bf_par_det_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let (seq, par) = at_thread_counts(|| {
+        let arch = CnnLstmConfig::scaled(dataset.feature_len(), dataset.n_classes(), 4);
+        let mut clf = CnnLstmClassifier::new(
+            arch,
+            TrainConfig {
+                max_epochs: 3,
+                batch_size: 8,
+                patience: 3,
+                min_epochs: 1,
+                seed: 61,
+            },
+        );
+        clf.fit(&dataset, &dataset);
+        // The network snapshot serializes every weight's raw bits, so
+        // byte-equal files mean bit-equal trained parameters.
+        let path = dir.join(format!("net_{}.net", bf_par::threads()));
+        assert!(clf.save_network(&path).expect("snapshot written"));
+        let weight_bytes = std::fs::read(&path).unwrap();
+        let proba_bits: Vec<Vec<u32>> = clf
+            .predict_proba(dataset.features())
+            .iter()
+            .map(|row| row.iter().map(|v| v.to_bits()).collect())
+            .collect();
+        (weight_bytes, proba_bits)
+    });
+    std::fs::remove_dir_all(&dir).ok();
+    assert!(!seq.0.is_empty());
+    assert_eq!(seq.0, par.0, "trained weights diverged across thread counts");
+    assert_eq!(seq.1, par.1, "predictions diverged across thread counts");
+}

@@ -1,5 +1,5 @@
 //! The paper's k-fold cross-validation protocol (§4.1), with folds
-//! evaluated on parallel threads.
+//! distributed over the deterministic `bf-par` pool (`BF_THREADS`).
 //!
 //! Every public entry point runs on one **resumable fold engine**: each
 //! fold is a pure function of `(dataset, k, seed, fold index)`, so folds
@@ -38,8 +38,12 @@ pub struct CrossValResult {
 }
 
 impl CrossValResult {
-    /// Mean top-1 accuracy across folds.
+    /// Mean top-1 accuracy across folds; 0 when no fold completed (an
+    /// all-folds-failed run must aggregate to a number, not NaN).
     pub fn mean_accuracy(&self) -> f64 {
+        if self.folds.is_empty() {
+            return 0.0;
+        }
         self.folds.iter().map(|f| f.accuracy).sum::<f64>() / self.folds.len() as f64
     }
 
@@ -53,8 +57,11 @@ impl CrossValResult {
         (ss / (self.folds.len() - 1) as f64).sqrt()
     }
 
-    /// Mean top-5 accuracy across folds.
+    /// Mean top-5 accuracy across folds; 0 when no fold completed.
     pub fn mean_top5(&self) -> f64 {
+        if self.folds.is_empty() {
+            return 0.0;
+        }
         self.folds.iter().map(|f| f.top5).sum::<f64>() / self.folds.len() as f64
     }
 
@@ -224,45 +231,39 @@ where
     let n_new = pending.len();
     let folds = dataset.stratified_folds(k, seed);
     let shared = Mutex::new(ckpt);
-    let mut failed = 0usize;
-    crossbeam::thread::scope(|scope| {
-        let handles: Vec<_> = pending
-            .iter()
-            .map(|&fold| {
-                let spec = FoldSpec {
-                    folds: &folds,
-                    k,
-                    seed,
-                    snapshot_dir: opts.snapshot_dir.as_deref(),
-                    keep_probas,
-                };
-                let builder = &builder;
-                let shared = &shared;
-                let checkpoint = opts.checkpoint.as_deref();
-                scope.spawn(move |_| {
-                    let rec = compute_fold(dataset, &spec, fold, builder);
-                    let mut guard = shared
-                        .lock()
-                        .unwrap_or_else(std::sync::PoisonError::into_inner);
-                    guard.record(rec);
-                    if let Some(path) = checkpoint {
-                        if let Err(e) = guard.save(path) {
-                            bf_obs::counter("fault.checkpoint_errors").inc();
-                            bf_obs::error!("checkpoint save failed: {e}");
-                        }
-                    }
-                })
-            })
-            .collect();
-        for h in handles {
-            if h.join().is_err() {
-                failed += 1;
-                bf_obs::counter("ml.fold_failures").inc();
-                bf_obs::error!("fold thread panicked; skipping that fold");
+    let spec = FoldSpec {
+        folds: &folds,
+        k,
+        seed,
+        snapshot_dir: opts.snapshot_dir.as_deref(),
+        keep_probas,
+    };
+    // Pending folds are distributed over the bf-par pool (BF_THREADS).
+    // Each fold is pure in (dataset, k, seed, fold), so scheduling cannot
+    // change its record; the checkpoint mutex only serializes recording
+    // and saving. A panicking fold surfaces as an `Err` slot and is
+    // skipped rather than aborting the run.
+    let outcomes = bf_par::try_par_map_indexed(&pending, |_, &fold| {
+        let rec = compute_fold(dataset, &spec, fold, &builder);
+        let mut guard = shared
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        guard.record(rec);
+        if let Some(path) = opts.checkpoint.as_deref() {
+            if let Err(e) = guard.save(path) {
+                bf_obs::counter("fault.checkpoint_errors").inc();
+                bf_obs::error!("checkpoint save failed: {e}");
             }
         }
-    })
-    .unwrap_or_else(|_| bf_obs::error!("cross-validation scope reported a panic"));
+    });
+    let mut failed = 0usize;
+    for outcome in &outcomes {
+        if outcome.is_err() {
+            failed += 1;
+            bf_obs::counter("ml.fold_failures").inc();
+            bf_obs::error!("fold worker panicked; skipping that fold");
+        }
+    }
     let ckpt = shared
         .into_inner()
         .unwrap_or_else(std::sync::PoisonError::into_inner);
@@ -473,6 +474,15 @@ mod tests {
         let a = cross_validate(&d, 3, 11, || Box::new(CentroidClassifier::new(4)));
         let b = cross_validate(&d, 3, 11, || Box::new(CentroidClassifier::new(4)));
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn zero_folds_aggregate_to_zero_not_nan() {
+        let r = CrossValResult { folds: Vec::new() };
+        assert_eq!(r.mean_accuracy(), 0.0);
+        assert_eq!(r.mean_top5(), 0.0);
+        assert_eq!(r.std_accuracy(), 0.0);
+        assert!(r.accuracies_pct().is_empty());
     }
 
     #[test]

@@ -1,9 +1,22 @@
 //! 1-D convolution.
+//!
+//! The forward and backward passes are built on the shared
+//! [`im2col`]/[`matmul_abt`] primitives with per-sample (intra-batch)
+//! parallelism from `bf-par`. Every output element accumulates its terms
+//! in the same order as the original quadruple loop — bias first, then
+//! `(ci, k)`-major — so results are bit-identical to the scalar path and
+//! independent of `BF_THREADS`. Tiny shapes skip the im2col detour and
+//! take a hoisted scalar path instead.
 
 use crate::param::Param;
-use crate::tensor::Tensor;
+use crate::tensor::{im2col, matmul_abt, Tensor};
 use crate::Layer;
 use bf_stats::SeedRng;
+
+/// Below this many multiply-adds per sample the im2col buffer costs more
+/// than it saves; take the scalar path. Both paths produce identical
+/// bits, so the threshold only affects speed.
+const IM2COL_MIN_FLOPS: usize = 8 * 1024;
 
 /// Strided valid 1-D convolution mapping `(N, C_in, L)` to
 /// `(N, C_out, L_out)` with `L_out = (L - kernel) / stride + 1`.
@@ -59,6 +72,53 @@ impl Conv1d {
     fn w(&self, co: usize, ci: usize, k: usize) -> usize {
         (co * self.in_channels + ci) * self.kernel + k
     }
+
+    /// Per-sample multiply-add count, the im2col-vs-scalar gate.
+    fn sample_flops(&self, lo: usize) -> usize {
+        self.out_channels * lo * self.in_channels * self.kernel
+    }
+
+    /// Scalar fallback for one sample: bias hoisted out of the position
+    /// loop, weight/input rows sliced once per `(co, ci)`. Accumulation
+    /// per output element is bias-first then `(ci, k)`-major — identical
+    /// to the im2col path.
+    fn forward_sample_scalar(&self, sample: &[f32], l: usize, lo: usize, out: &mut [f32]) {
+        for co in 0..self.out_channels {
+            let bias = self.bias.value[co];
+            let orow = &mut out[co * lo..(co + 1) * lo];
+            orow.fill(bias);
+            for ci in 0..self.in_channels {
+                let wbase = self.w(co, ci, 0);
+                let ws = &self.weight.value[wbase..wbase + self.kernel];
+                let xrow = &sample[ci * l..(ci + 1) * l];
+                for (p, ov) in orow.iter_mut().enumerate() {
+                    let start = p * self.stride;
+                    let mut acc = *ov;
+                    for (xv, wv) in xrow[start..start + self.kernel].iter().zip(ws) {
+                        acc += xv * wv;
+                    }
+                    *ov = acc;
+                }
+            }
+        }
+    }
+
+    /// im2col + blocked-matmul path for one sample.
+    fn forward_sample_im2col(&self, sample: &[f32], l: usize, lo: usize, out: &mut [f32]) {
+        let ck = self.in_channels * self.kernel;
+        let mut col = Vec::new();
+        im2col(sample, self.in_channels, l, self.kernel, self.stride, &mut col);
+        matmul_abt(
+            &self.weight.value,
+            &col,
+            self.out_channels,
+            lo,
+            ck,
+            Some(&self.bias.value),
+            None,
+            out,
+        );
+    }
 }
 
 impl Layer for Conv1d {
@@ -69,24 +129,20 @@ impl Layer for Conv1d {
         let l = x.shape()[2];
         let lo = self.out_len(l);
         let mut out = Tensor::zeros(&[n, self.out_channels, lo]);
-        for i in 0..n {
-            for co in 0..self.out_channels {
-                for p in 0..lo {
-                    let start = p * self.stride;
-                    let mut acc = self.bias.value[co];
-                    for ci in 0..self.in_channels {
-                        let xbase = x.idx3(i, ci, start);
-                        let wbase = self.w(co, ci, 0);
-                        let xs = &x.data()[xbase..xbase + self.kernel];
-                        let ws = &self.weight.value[wbase..wbase + self.kernel];
-                        for (xv, wv) in xs.iter().zip(ws) {
-                            acc += xv * wv;
-                        }
-                    }
-                    let oi = out.idx3(i, co, p);
-                    out.data_mut()[oi] = acc;
-                }
+        let use_im2col = self.sample_flops(lo) >= IM2COL_MIN_FLOPS;
+        let samples: Vec<&[f32]> = x.data().chunks(self.in_channels * l).collect();
+        let chunks = bf_par::par_map_indexed(&samples, |_, sample| {
+            let mut chunk = vec![0.0f32; self.out_channels * lo];
+            if use_im2col {
+                self.forward_sample_im2col(sample, l, lo, &mut chunk);
+            } else {
+                self.forward_sample_scalar(sample, l, lo, &mut chunk);
             }
+            chunk
+        });
+        for (i, chunk) in chunks.iter().enumerate() {
+            let base = i * self.out_channels * lo;
+            out.data_mut()[base..base + chunk.len()].copy_from_slice(chunk);
         }
         if train {
             self.cached_input = Some(x.clone());
@@ -100,27 +156,99 @@ impl Layer for Conv1d {
         let l = x.shape()[2];
         let lo = self.out_len(l);
         assert_eq!(grad.shape(), &[n, self.out_channels, lo]);
-        let mut dx = Tensor::zeros(&[n, self.in_channels, l]);
-        for i in 0..n {
-            for co in 0..self.out_channels {
+        let (cin, k, stride) = (self.in_channels, self.kernel, self.stride);
+        let ck = cin * k;
+        let sample_len = cin * l;
+
+        // Pass A — parameter gradients, parallel over output channels:
+        // each worker owns `weight.grad` rows and `bias.grad[co]` of its
+        // channels, accumulating over `(i, p)` in index order (the same
+        // per-element order as the sequential quadruple loop). The im2col
+        // matrices are shared read-only across channels.
+        let cols: Option<Vec<Vec<f32>>> = if self.sample_flops(lo) >= IM2COL_MIN_FLOPS {
+            Some(
+                x.data()
+                    .chunks(sample_len)
+                    .map(|sample| {
+                        let mut col = Vec::new();
+                        im2col(sample, cin, l, k, stride, &mut col);
+                        col
+                    })
+                    .collect(),
+            )
+        } else {
+            None
+        };
+        let channels: Vec<usize> = (0..self.out_channels).collect();
+        let partials = bf_par::par_map_indexed_grained(&channels, 8, |_, &co| {
+            let mut wg = vec![0.0f32; ck];
+            let mut bg = 0.0f32;
+            for i in 0..n {
                 for p in 0..lo {
-                    let g = grad.data()[grad.idx3(i, co, p)];
+                    let g = grad.data()[(i * self.out_channels + co) * lo + p];
                     if g == 0.0 {
                         continue;
                     }
-                    self.bias.grad[co] += g;
-                    let start = p * self.stride;
-                    for ci in 0..self.in_channels {
-                        let xbase = x.idx3(i, ci, start);
-                        let wbase = self.w(co, ci, 0);
-                        let dxbase = dx.idx3(i, ci, start);
-                        for k in 0..self.kernel {
-                            self.weight.grad[wbase + k] += g * x.data()[xbase + k];
-                            dx.data_mut()[dxbase + k] += g * self.weight.value[wbase + k];
+                    bg += g;
+                    match &cols {
+                        Some(cols) => {
+                            let colrow = &cols[i][p * ck..(p + 1) * ck];
+                            for (wv, cv) in wg.iter_mut().zip(colrow) {
+                                *wv += g * cv;
+                            }
+                        }
+                        None => {
+                            let start = p * stride;
+                            let sample = &x.data()[i * sample_len..(i + 1) * sample_len];
+                            for ci in 0..cin {
+                                let xs = &sample[ci * l + start..ci * l + start + k];
+                                let wrow = &mut wg[ci * k..(ci + 1) * k];
+                                for (wv, xv) in wrow.iter_mut().zip(xs) {
+                                    *wv += g * xv;
+                                }
+                            }
                         }
                     }
                 }
             }
+            (wg, bg)
+        });
+        for (co, (wg, bg)) in partials.into_iter().enumerate() {
+            self.bias.grad[co] += bg;
+            let wrow = &mut self.weight.grad[co * ck..(co + 1) * ck];
+            for (dst, src) in wrow.iter_mut().zip(&wg) {
+                *dst += src;
+            }
+        }
+
+        // Pass B — input gradients, parallel over samples: each sample's
+        // dx slab is disjoint, accumulated in `(co, p, ci, k)` order as
+        // the sequential loop did.
+        let mut dx = Tensor::zeros(&[n, cin, l]);
+        let sample_ids: Vec<usize> = (0..n).collect();
+        let dx_chunks = bf_par::par_map_indexed(&sample_ids, |_, &i| {
+            let mut dxi = vec![0.0f32; sample_len];
+            for co in 0..self.out_channels {
+                let wrow_base = co * ck;
+                for p in 0..lo {
+                    let g = grad.data()[(i * self.out_channels + co) * lo + p];
+                    if g == 0.0 {
+                        continue;
+                    }
+                    let start = p * stride;
+                    for ci in 0..cin {
+                        let ws = &self.weight.value[wrow_base + ci * k..wrow_base + (ci + 1) * k];
+                        let dxrow = &mut dxi[ci * l + start..ci * l + start + k];
+                        for (dv, wv) in dxrow.iter_mut().zip(ws) {
+                            *dv += g * wv;
+                        }
+                    }
+                }
+            }
+            dxi
+        });
+        for (i, chunk) in dx_chunks.iter().enumerate() {
+            dx.data_mut()[i * sample_len..(i + 1) * sample_len].copy_from_slice(chunk);
         }
         dx
     }

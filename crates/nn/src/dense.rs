@@ -1,7 +1,14 @@
 //! Fully connected layer.
+//!
+//! Forward runs on the shared [`matmul_abt`] blocked kernel; backward
+//! splits into a parameter pass (parallel over output units) and an
+//! input-gradient pass (parallel over samples), both preserving the
+//! sequential per-element accumulation order so results are bit-exact
+//! across thread counts. Dense shapes in this pipeline are small (≤ 100
+//! units), so the `bf-par` grain keeps typical batches inline.
 
 use crate::param::Param;
-use crate::tensor::Tensor;
+use crate::tensor::{matmul_abt, Tensor};
 use crate::Layer;
 use bf_stats::SeedRng;
 
@@ -45,19 +52,27 @@ impl Layer for Dense {
         assert_eq!(x.shape()[1], self.in_features, "dense input width mismatch");
         let n = x.batch();
         let mut out = Tensor::zeros(&[n, self.out_features]);
-        let w = &self.weight.value;
-        let b = &self.bias.value;
-        for i in 0..n {
-            let xi = &x.data()[i * self.in_features..(i + 1) * self.in_features];
-            let oi = &mut out.data_mut()[i * self.out_features..(i + 1) * self.out_features];
-            for (o, ov) in oi.iter_mut().enumerate() {
-                let row = &w[o * self.in_features..(o + 1) * self.in_features];
-                let mut acc = b[o];
-                for (xv, wv) in xi.iter().zip(row) {
-                    acc += xv * wv;
-                }
-                *ov = acc;
-            }
+        // Sample rows are independent, so splitting the batch across
+        // workers cannot change any output bit; the grain keeps small
+        // batches on one thread.
+        let samples: Vec<&[f32]> = x.data().chunks(self.in_features).collect();
+        let rows = bf_par::par_map_indexed_grained(&samples, 64, |_, xi| {
+            let mut row = vec![0.0f32; self.out_features];
+            matmul_abt(
+                xi,
+                &self.weight.value,
+                1,
+                self.out_features,
+                self.in_features,
+                None,
+                Some(&self.bias.value),
+                &mut row,
+            );
+            row
+        });
+        for (i, row) in rows.iter().enumerate() {
+            out.data_mut()[i * self.out_features..(i + 1) * self.out_features]
+                .copy_from_slice(row);
         }
         if train {
             self.cached_input = Some(x.clone());
@@ -69,20 +84,50 @@ impl Layer for Dense {
         let x = self.cached_input.as_ref().expect("backward without forward");
         let n = x.batch();
         assert_eq!(grad.shape(), &[n, self.out_features]);
-        let mut dx = Tensor::zeros(&[n, self.in_features]);
-        for i in 0..n {
-            let xi = &x.data()[i * self.in_features..(i + 1) * self.in_features];
-            let gi = &grad.data()[i * self.out_features..(i + 1) * self.out_features];
-            for (o, &g) in gi.iter().enumerate() {
-                self.bias.grad[o] += g;
-                let wrow = &self.weight.value[o * self.in_features..(o + 1) * self.in_features];
-                let grow = &mut self.weight.grad[o * self.in_features..(o + 1) * self.in_features];
-                let dxi = &mut dx.data_mut()[i * self.in_features..(i + 1) * self.in_features];
-                for k in 0..self.in_features {
-                    grow[k] += g * xi[k];
-                    dxi[k] += g * wrow[k];
+        let (in_f, out_f) = (self.in_features, self.out_features);
+
+        // Parameter pass, parallel over output units: each unit owns its
+        // weight row and bias slot, accumulating over samples in index
+        // order (the sequential loop's per-element order).
+        let units: Vec<usize> = (0..out_f).collect();
+        let partials = bf_par::par_map_indexed_grained(&units, 32, |_, &o| {
+            let mut wg = vec![0.0f32; in_f];
+            let mut bg = 0.0f32;
+            for i in 0..n {
+                let g = grad.data()[i * out_f + o];
+                bg += g;
+                let xi = &x.data()[i * in_f..(i + 1) * in_f];
+                for (wv, xv) in wg.iter_mut().zip(xi) {
+                    *wv += g * xv;
                 }
             }
+            (wg, bg)
+        });
+        for (o, (wg, bg)) in partials.into_iter().enumerate() {
+            self.bias.grad[o] += bg;
+            let grow = &mut self.weight.grad[o * in_f..(o + 1) * in_f];
+            for (dst, src) in grow.iter_mut().zip(&wg) {
+                *dst += src;
+            }
+        }
+
+        // Input-gradient pass, parallel over samples: disjoint dx rows,
+        // each accumulated over output units in index order.
+        let mut dx = Tensor::zeros(&[n, in_f]);
+        let sample_ids: Vec<usize> = (0..n).collect();
+        let dx_rows = bf_par::par_map_indexed_grained(&sample_ids, 64, |_, &i| {
+            let mut dxi = vec![0.0f32; in_f];
+            for o in 0..out_f {
+                let g = grad.data()[i * out_f + o];
+                let wrow = &self.weight.value[o * in_f..(o + 1) * in_f];
+                for (dv, wv) in dxi.iter_mut().zip(wrow) {
+                    *dv += g * wv;
+                }
+            }
+            dxi
+        });
+        for (i, row) in dx_rows.iter().enumerate() {
+            dx.data_mut()[i * in_f..(i + 1) * in_f].copy_from_slice(row);
         }
         dx
     }

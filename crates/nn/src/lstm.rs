@@ -4,9 +4,19 @@
 //! candidate and cell-output activations are sigmoid (Keras
 //! `LSTM(32, activation="sigmoid")`), while the gates use the standard
 //! sigmoid as well.
+//!
+//! Samples are independent through time, so both passes process one
+//! sample end-to-end and distribute the batch over `bf-par` workers.
+//! Within a sample the input contribution to every timestep's gate
+//! pre-activations is hoisted into a single blocked matmul against
+//! `w_ih` ([`matmul_abt`]); only the recurrent term stays in the time
+//! loop. Per-element accumulation order matches the sequential
+//! reference, so forward outputs and input gradients are bit-identical
+//! to it, and parameter-gradient partials are reduced in sample order,
+//! so all results are bit-stable across thread counts.
 
 use crate::param::Param;
-use crate::tensor::Tensor;
+use crate::tensor::{matmul_abt, Tensor};
 use crate::Layer;
 use bf_stats::SeedRng;
 
@@ -48,20 +58,20 @@ impl LstmActivation {
     }
 }
 
-/// Per-timestep values cached for backpropagation through time.
+/// Per-sample values cached for backpropagation through time.
 #[derive(Debug, Clone)]
-struct StepCache {
-    /// Gate activations i, f, g, o — each `(N, H)` flattened.
+struct SampleCache {
+    /// The sample's input gathered time-major, `(steps, F)`.
+    xs: Vec<f32>,
+    /// Gate activations i, f, g, o — each `(steps, H)`.
     i: Vec<f32>,
     f: Vec<f32>,
     g: Vec<f32>,
     o: Vec<f32>,
-    /// Cell state after this step.
+    /// Cell state after each step, `(steps, H)`.
     c: Vec<f32>,
-    /// Cell state before this step.
-    c_prev: Vec<f32>,
-    /// Hidden state before this step.
-    h_prev: Vec<f32>,
+    /// Hidden state after each step, `(steps, H)`.
+    h: Vec<f32>,
 }
 
 /// An LSTM over the length axis of a `(N, C, L)` tensor (time = L,
@@ -77,7 +87,8 @@ pub struct Lstm {
     w_hh: Param,
     /// Gate biases, `(4H)`.
     bias: Param,
-    cache: Option<(Tensor, Vec<StepCache>)>,
+    /// `(feat, steps, per-sample caches)` from the last training forward.
+    cache: Option<(usize, usize, Vec<SampleCache>)>,
 }
 
 impl Lstm {
@@ -116,21 +127,75 @@ impl Lstm {
         self.hidden
     }
 
-    /// Compute the four pre-activations for one sample at one timestep.
-    fn gates(&self, x_t: &[f32], h_prev: &[f32]) -> Vec<f32> {
-        let h4 = 4 * self.hidden;
-        let mut z = self.bias.value.clone();
-        for (row, zv) in z.iter_mut().enumerate().take(h4) {
-            let wrow = &self.w_ih.value[row * self.input_size..(row + 1) * self.input_size];
-            for (xv, wv) in x_t.iter().zip(wrow) {
-                *zv += xv * wv;
-            }
-            let urow = &self.w_hh.value[row * self.hidden..(row + 1) * self.hidden];
-            for (hv, uv) in h_prev.iter().zip(urow) {
-                *zv += hv * uv;
+    /// Run one sample `(feat, steps)` through the recurrence, returning
+    /// the final hidden state and the full per-step cache. Pure in the
+    /// sample and the layer parameters, so samples can run on any worker.
+    fn forward_sample(&self, sample: &[f32], feat: usize, steps: usize) -> (Vec<f32>, SampleCache) {
+        let h = self.hidden;
+        let h4 = 4 * h;
+        // Gather time-major (steps, F) so the input term of every
+        // timestep's pre-activation becomes one blocked matmul.
+        let mut xs = vec![0.0f32; steps * feat];
+        for ci in 0..feat {
+            for t in 0..steps {
+                xs[t * feat + ci] = sample[ci * steps + t];
             }
         }
-        z
+        // zx[t, row] = bias[row] + dot(w_ih[row], x_t): the bias-then-
+        // input prefix of the gate pre-activation, hoisted out of the
+        // time loop with the reference accumulation order intact.
+        let mut zx = vec![0.0f32; steps * h4];
+        matmul_abt(
+            &xs,
+            &self.w_ih.value,
+            steps,
+            h4,
+            feat,
+            None,
+            Some(&self.bias.value),
+            &mut zx,
+        );
+        let mut cache = SampleCache {
+            xs,
+            i: vec![0.0; steps * h],
+            f: vec![0.0; steps * h],
+            g: vec![0.0; steps * h],
+            o: vec![0.0; steps * h],
+            c: vec![0.0; steps * h],
+            h: vec![0.0; steps * h],
+        };
+        let mut h_prev = vec![0.0f32; h];
+        let mut c_prev = vec![0.0f32; h];
+        let mut z = vec![0.0f32; h4];
+        for t in 0..steps {
+            // Recurrent term, row-then-k order as in the reference.
+            for (row, zv) in z.iter_mut().enumerate() {
+                let mut acc = zx[t * h4 + row];
+                let urow = &self.w_hh.value[row * h..(row + 1) * h];
+                for (hv, uv) in h_prev.iter().zip(urow) {
+                    acc += hv * uv;
+                }
+                *zv = acc;
+            }
+            for u in 0..h {
+                let i_g = sigmoid(z[u]);
+                let f_g = sigmoid(z[h + u]);
+                let g_g = self.activation.apply(z[2 * h + u]);
+                let o_g = sigmoid(z[3 * h + u]);
+                let c_new = f_g * c_prev[u] + i_g * g_g;
+                let h_new = o_g * self.activation.apply(c_new);
+                let idx = t * h + u;
+                cache.i[idx] = i_g;
+                cache.f[idx] = f_g;
+                cache.g[idx] = g_g;
+                cache.o[idx] = o_g;
+                cache.c[idx] = c_new;
+                cache.h[idx] = h_new;
+                c_prev[u] = c_new;
+                h_prev[u] = h_new;
+            }
+        }
+        (h_prev, cache)
     }
 }
 
@@ -140,81 +205,61 @@ impl Layer for Lstm {
         assert_eq!(x.shape()[1], self.input_size, "lstm feature width mismatch");
         let (n, feat, steps) = (x.shape()[0], x.shape()[1], x.shape()[2]);
         let h = self.hidden;
-        let mut h_state = vec![0.0f32; n * h];
-        let mut c_state = vec![0.0f32; n * h];
-        let mut caches = Vec::with_capacity(steps);
-        let mut x_t = vec![0.0f32; feat];
-        for t in 0..steps {
-            let mut step = StepCache {
-                i: vec![0.0; n * h],
-                f: vec![0.0; n * h],
-                g: vec![0.0; n * h],
-                o: vec![0.0; n * h],
-                c: vec![0.0; n * h],
-                c_prev: c_state.clone(),
-                h_prev: h_state.clone(),
-            };
-            for s in 0..n {
-                for (ci, xv) in x_t.iter_mut().enumerate() {
-                    *xv = x.data()[x.idx3(s, ci, t)];
-                }
-                let h_prev = &step.h_prev[s * h..(s + 1) * h];
-                let z = self.gates(&x_t, h_prev);
-                for u in 0..h {
-                    let i_g = sigmoid(z[u]);
-                    let f_g = sigmoid(z[h + u]);
-                    let g_g = self.activation.apply(z[2 * h + u]);
-                    let o_g = sigmoid(z[3 * h + u]);
-                    let c_new = f_g * step.c_prev[s * h + u] + i_g * g_g;
-                    let h_new = o_g * self.activation.apply(c_new);
-                    let idx = s * h + u;
-                    step.i[idx] = i_g;
-                    step.f[idx] = f_g;
-                    step.g[idx] = g_g;
-                    step.o[idx] = o_g;
-                    step.c[idx] = c_new;
-                    c_state[idx] = c_new;
-                    h_state[idx] = h_new;
-                }
-            }
+        let samples: Vec<&[f32]> = x.data().chunks((feat * steps).max(1)).collect();
+        let results =
+            bf_par::par_map_indexed(&samples, |_, sample| self.forward_sample(sample, feat, steps));
+        let mut out = Tensor::zeros(&[n, h]);
+        let mut caches = Vec::with_capacity(if train { n } else { 0 });
+        for (s, (hf, cache)) in results.into_iter().enumerate() {
+            out.data_mut()[s * h..(s + 1) * h].copy_from_slice(&hf);
             if train {
-                caches.push(step);
+                caches.push(cache);
             }
         }
         if train {
-            self.cache = Some((x.clone(), caches));
+            self.cache = Some((feat, steps, caches));
         }
-        Tensor::new(&[n, h], h_state)
+        out
     }
 
     fn backward(&mut self, grad: &Tensor) -> Tensor {
-        let (x, caches) = self.cache.as_ref().expect("backward without forward");
-        let (n, feat, steps) = (x.shape()[0], x.shape()[1], x.shape()[2]);
+        let (feat, steps, caches) = self.cache.as_ref().expect("backward without forward");
+        let (feat, steps) = (*feat, *steps);
+        let n = caches.len();
         let h = self.hidden;
         assert_eq!(grad.shape(), &[n, h]);
-        let mut dx = Tensor::zeros(&[n, feat, steps]);
-        let mut dh = grad.data().to_vec();
-        let mut dc = vec![0.0f32; n * h];
-        for t in (0..steps).rev() {
-            let step = &caches[t];
-            let mut dh_prev = vec![0.0f32; n * h];
-            for s in 0..n {
+        let h4 = 4 * h;
+        let sample_ids: Vec<usize> = (0..n).collect();
+        // Each sample's backward chain only touches its own cache and dx
+        // slab; parameter gradients are accumulated into per-sample
+        // partials and reduced in sample order below, so the bits depend
+        // only on that fixed order, never on scheduling.
+        let partials = bf_par::par_map_indexed(&sample_ids, |_, &s| {
+            let cache = &caches[s];
+            let mut dwih = vec![0.0f32; h4 * feat];
+            let mut dwhh = vec![0.0f32; h4 * h];
+            let mut dbias = vec![0.0f32; h4];
+            let mut dxs = vec![0.0f32; feat * steps];
+            let mut dh = grad.data()[s * h..(s + 1) * h].to_vec();
+            let mut dc = vec![0.0f32; h];
+            for t in (0..steps).rev() {
+                let mut dh_prev = vec![0.0f32; h];
                 for u in 0..h {
-                    let idx = s * h + u;
-                    let i_g = step.i[idx];
-                    let f_g = step.f[idx];
-                    let g_g = step.g[idx];
-                    let o_g = step.o[idx];
-                    let c_v = step.c[idx];
+                    let idx = t * h + u;
+                    let i_g = cache.i[idx];
+                    let f_g = cache.f[idx];
+                    let g_g = cache.g[idx];
+                    let o_g = cache.o[idx];
+                    let c_v = cache.c[idx];
+                    let c_prev_v = if t == 0 { 0.0 } else { cache.c[idx - h] };
                     let ac = self.activation.apply(c_v);
                     // h = o * act(c)
-                    let dz_o = dh[idx] * ac * o_g * (1.0 - o_g);
-                    let dc_total =
-                        dc[idx] + dh[idx] * o_g * self.activation.grad_from_value(ac);
+                    let dz_o = dh[u] * ac * o_g * (1.0 - o_g);
+                    let dc_total = dc[u] + dh[u] * o_g * self.activation.grad_from_value(ac);
                     let dz_i = dc_total * g_g * i_g * (1.0 - i_g);
                     let dz_g = dc_total * i_g * self.activation.grad_from_value(g_g);
-                    let dz_f = dc_total * step.c_prev[idx] * f_g * (1.0 - f_g);
-                    dc[idx] = dc_total * f_g;
+                    let dz_f = dc_total * c_prev_v * f_g * (1.0 - f_g);
+                    dc[u] = dc_total * f_g;
 
                     let gate_rows = [u, h + u, 2 * h + u, 3 * h + u];
                     let dzs = [dz_i, dz_f, dz_g, dz_o];
@@ -222,24 +267,38 @@ impl Layer for Lstm {
                         if dz == 0.0 {
                             continue;
                         }
-                        self.bias.grad[row] += dz;
+                        dbias[row] += dz;
                         // Input weight grads + input grads.
-                        let wbase = row * self.input_size;
+                        let wbase = row * feat;
                         for ci in 0..feat {
-                            let xi = x.idx3(s, ci, t);
-                            self.w_ih.grad[wbase + ci] += dz * x.data()[xi];
-                            dx.data_mut()[xi] += dz * self.w_ih.value[wbase + ci];
+                            dwih[wbase + ci] += dz * cache.xs[t * feat + ci];
+                            dxs[ci * steps + t] += dz * self.w_ih.value[wbase + ci];
                         }
                         // Recurrent weight grads + h_prev grads.
                         let ubase = row * h;
                         for hu in 0..h {
-                            self.w_hh.grad[ubase + hu] += dz * step.h_prev[s * h + hu];
-                            dh_prev[s * h + hu] += dz * self.w_hh.value[ubase + hu];
+                            let h_prev_v = if t == 0 { 0.0 } else { cache.h[(t - 1) * h + hu] };
+                            dwhh[ubase + hu] += dz * h_prev_v;
+                            dh_prev[hu] += dz * self.w_hh.value[ubase + hu];
                         }
                     }
                 }
+                dh = dh_prev;
             }
-            dh = dh_prev;
+            (dxs, dwih, dwhh, dbias)
+        });
+        let mut dx = Tensor::zeros(&[n, feat, steps]);
+        for (s, (dxs, dwih, dwhh, dbias)) in partials.into_iter().enumerate() {
+            dx.data_mut()[s * feat * steps..(s + 1) * feat * steps].copy_from_slice(&dxs);
+            for (dst, src) in self.w_ih.grad.iter_mut().zip(&dwih) {
+                *dst += src;
+            }
+            for (dst, src) in self.w_hh.grad.iter_mut().zip(&dwhh) {
+                *dst += src;
+            }
+            for (dst, src) in self.bias.grad.iter_mut().zip(&dbias) {
+                *dst += src;
+            }
         }
         dx
     }

@@ -1,4 +1,6 @@
-//! A minimal contiguous f32 tensor.
+//! A minimal contiguous f32 tensor, plus the shared cache-friendly
+//! kernel primitives (im2col unfolding and a blocked matmul) that the
+//! Conv1d/Dense/LSTM layers build their forward and backward passes on.
 
 /// A dense, row-major f32 tensor with a dynamic shape.
 #[derive(Debug, Clone, PartialEq)]
@@ -96,6 +98,112 @@ impl Tensor {
     }
 }
 
+/// Unfold one sample's channels `(C, L)` (row-major, channel-major as in
+/// a `(N, C, L)` tensor) into an im2col matrix of shape
+/// `(L_out, C * K)` with `L_out = (L - kernel) / stride + 1`: row `p`
+/// holds the window starting at `p * stride`, laid out channel-major
+/// `(ci, k)` — exactly the layout of a `Conv1d` weight row, so a
+/// convolution output becomes one contiguous dot product per `(co, p)`.
+///
+/// Appends into `out` (cleared first) so callers can reuse one buffer
+/// across samples.
+///
+/// # Panics
+///
+/// Panics when `sample.len() != channels * len`, `kernel == 0`,
+/// `stride == 0`, or `len < kernel`.
+pub fn im2col(
+    sample: &[f32],
+    channels: usize,
+    len: usize,
+    kernel: usize,
+    stride: usize,
+    out: &mut Vec<f32>,
+) -> usize {
+    assert_eq!(sample.len(), channels * len, "sample shape mismatch");
+    assert!(kernel > 0 && stride > 0, "kernel and stride must be positive");
+    assert!(len >= kernel, "input length {len} shorter than kernel {kernel}");
+    let lo = (len - kernel) / stride + 1;
+    out.clear();
+    out.reserve(lo * channels * kernel);
+    for p in 0..lo {
+        let start = p * stride;
+        for ci in 0..channels {
+            let base = ci * len + start;
+            out.extend_from_slice(&sample[base..base + kernel]);
+        }
+    }
+    lo
+}
+
+/// `out[i * n + j] = init(i, j) + dot(a[i], b[j])` for `a: (m, k)` and
+/// `b: (n, k)`, both row-major — a matmul against a transposed right-hand
+/// side, which is the natural layout for both im2col convolutions
+/// (`a` = weights, `b` = columns) and dense layers (`a` = inputs,
+/// `b` = weights).
+///
+/// `row_init` seeds every element of output row `i` with `row_init[i]`;
+/// `col_init` seeds element `(i, j)` with `col_init[j]` (at most one may
+/// be given — both panic). Each output element accumulates over the full
+/// `k` dimension in index order starting from its init value, so results
+/// are bit-identical to the textbook triple loop no matter how the
+/// traversal is blocked.
+///
+/// Blocking: the `j` loop is tiled so a tile of `b` rows stays in L1/L2
+/// while every `a` row streams over it once.
+///
+/// # Panics
+///
+/// Panics on shape mismatches or when both inits are provided.
+#[allow(clippy::too_many_arguments)]
+pub fn matmul_abt(
+    a: &[f32],
+    b: &[f32],
+    m: usize,
+    n: usize,
+    k: usize,
+    row_init: Option<&[f32]>,
+    col_init: Option<&[f32]>,
+    out: &mut [f32],
+) {
+    assert_eq!(a.len(), m * k, "lhs shape mismatch");
+    assert_eq!(b.len(), n * k, "rhs shape mismatch");
+    assert_eq!(out.len(), m * n, "output shape mismatch");
+    assert!(
+        row_init.is_none() || col_init.is_none(),
+        "at most one init vector"
+    );
+    if let Some(init) = row_init {
+        assert_eq!(init.len(), m, "row init length mismatch");
+    }
+    if let Some(init) = col_init {
+        assert_eq!(init.len(), n, "col init length mismatch");
+    }
+    // Tile size: keep a tile of `b` rows within ~32 KiB so they are
+    // re-read from cache for every `a` row. Bits are unaffected by the
+    // choice — accumulation per element is always full-`k`, in order.
+    let tile = (8192 / k.max(1)).clamp(1, n.max(1));
+    for jb in (0..n).step_by(tile) {
+        let je = (jb + tile).min(n);
+        for i in 0..m {
+            let arow = &a[i * k..(i + 1) * k];
+            let orow = &mut out[i * n..(i + 1) * n];
+            for j in jb..je {
+                let brow = &b[j * k..(j + 1) * k];
+                let mut acc = match (row_init, col_init) {
+                    (Some(init), _) => init[i],
+                    (_, Some(init)) => init[j],
+                    _ => 0.0,
+                };
+                for (av, bv) in arow.iter().zip(brow) {
+                    acc += av * bv;
+                }
+                orow[j] = acc;
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -147,5 +255,87 @@ mod tests {
     #[should_panic(expected = "mismatches")]
     fn reshape_rejects_bad_count() {
         Tensor::zeros(&[2, 3]).reshaped(&[7]);
+    }
+
+    #[test]
+    fn im2col_unfolds_windows_channel_major() {
+        // 2 channels, length 5, kernel 2, stride 2 -> lo = 2.
+        let sample = [1.0, 2.0, 3.0, 4.0, 5.0, 10.0, 20.0, 30.0, 40.0, 50.0];
+        let mut col = Vec::new();
+        let lo = im2col(&sample, 2, 5, 2, 2, &mut col);
+        assert_eq!(lo, 2);
+        #[rustfmt::skip]
+        assert_eq!(
+            col,
+            vec![
+                1.0, 2.0, 10.0, 20.0, // p = 0: (ci0 k0 k1)(ci1 k0 k1)
+                3.0, 4.0, 30.0, 40.0, // p = 1
+            ]
+        );
+    }
+
+    #[test]
+    fn im2col_reuses_buffer() {
+        let sample = [1.0, 2.0, 3.0];
+        let mut col = vec![99.0; 64];
+        let lo = im2col(&sample, 1, 3, 3, 1, &mut col);
+        assert_eq!(lo, 1);
+        assert_eq!(col, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "shorter than kernel")]
+    fn im2col_rejects_short_input() {
+        im2col(&[0.0; 2], 1, 2, 3, 1, &mut Vec::new());
+    }
+
+    #[test]
+    fn matmul_abt_matches_naive_triple_loop() {
+        let (m, n, k) = (5, 7, 11);
+        let a: Vec<f32> = (0..m * k).map(|i| (i as f32 * 0.31).sin()).collect();
+        let b: Vec<f32> = (0..n * k).map(|i| (i as f32 * 0.17).cos()).collect();
+        let bias: Vec<f32> = (0..m).map(|i| i as f32 * 0.5).collect();
+        let mut out = vec![0.0; m * n];
+        matmul_abt(&a, &b, m, n, k, Some(&bias), None, &mut out);
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = bias[i];
+                for kk in 0..k {
+                    acc += a[i * k + kk] * b[j * k + kk];
+                }
+                // Bit-exact: same accumulation order as the kernel.
+                assert_eq!(acc.to_bits(), out[i * n + j].to_bits(), "({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn matmul_abt_col_init_seeds_columns() {
+        let a = [1.0, 0.0, 0.0, 1.0]; // 2x2 identity
+        let b = [2.0, 3.0, 4.0, 5.0]; // rows [2,3], [4,5]
+        let cb = [100.0, 200.0];
+        let mut out = vec![0.0; 4];
+        matmul_abt(&a, &b, 2, 2, 2, None, Some(&cb), &mut out);
+        assert_eq!(out, vec![102.0, 204.0, 103.0, 205.0]);
+    }
+
+    #[test]
+    fn matmul_abt_blocking_is_bit_stable_across_shapes() {
+        // Shapes straddling the tile boundary must agree element-wise
+        // with the unblocked reference (tile = 1 case: k >= 8192).
+        let (m, n, k) = (3, 40, 300);
+        let a: Vec<f32> = (0..m * k).map(|i| (i as f32 * 0.013).sin()).collect();
+        let b: Vec<f32> = (0..n * k).map(|i| (i as f32 * 0.007).cos()).collect();
+        let mut out = vec![0.0; m * n];
+        matmul_abt(&a, &b, m, n, k, None, None, &mut out);
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0.0f32;
+                for kk in 0..k {
+                    acc += a[i * k + kk] * b[j * k + kk];
+                }
+                assert_eq!(acc.to_bits(), out[i * n + j].to_bits());
+            }
+        }
     }
 }

@@ -1,0 +1,300 @@
+//! # bf-par — deterministic fork-join work distribution
+//!
+//! Every hot path in the pipeline — per-trace simulation, per-fold
+//! cross-validation, intra-batch NN kernels — is embarrassingly parallel
+//! *by construction*: each work item is a pure function of its index and
+//! inputs. This crate distributes such items over a scoped thread pool
+//! while guaranteeing that **results are returned in input order and are
+//! bit-identical regardless of thread count or scheduling**.
+//!
+//! The contract callers must uphold for that guarantee: the closure
+//! passed to [`par_map_indexed`] must depend only on `(index, item)` —
+//! never on execution order, shared mutable state, or which worker runs
+//! it. Every call site in this workspace derives per-item RNG streams
+//! from the item index (`combine_seeds(seed, index)`-style), which is
+//! exactly this property.
+//!
+//! Thread count resolution (first match wins):
+//! 1. a programmatic [`set_threads`] override (used by tests and the
+//!    speedup harness),
+//! 2. the `BF_THREADS` environment variable,
+//! 3. [`std::thread::available_parallelism`].
+//!
+//! With one thread the map degenerates to an inline sequential loop: no
+//! threads are spawned and no synchronization happens, so `BF_THREADS=1`
+//! is byte-for-byte the pre-parallel code path.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Panic payload carried out of [`try_par_map_indexed`].
+pub type Panic = Box<dyn std::any::Any + Send + 'static>;
+
+/// Programmatic thread-count override; 0 = unset (fall through to the
+/// environment).
+static OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Override the pool size for this process, taking precedence over
+/// `BF_THREADS`. `None` removes the override. Intended for tests and
+/// benchmarks that compare thread counts in-process; production code
+/// should let operators steer via the environment.
+pub fn set_threads(n: Option<usize>) {
+    OVERRIDE.store(n.unwrap_or(0), Ordering::SeqCst);
+}
+
+/// The worker count parallel maps will use: the [`set_threads`] override,
+/// else `BF_THREADS`, else the machine's available parallelism. Always at
+/// least 1; a malformed `BF_THREADS` is ignored.
+pub fn threads() -> usize {
+    let o = OVERRIDE.load(Ordering::SeqCst);
+    if o > 0 {
+        return o;
+    }
+    if let Ok(s) = std::env::var("BF_THREADS") {
+        if let Ok(n) = s.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map_or(1, usize::from)
+}
+
+/// Map `f` over `items` on up to [`threads`] workers, returning results
+/// **in input order**. Items are claimed dynamically (an atomic cursor),
+/// so uneven item costs still balance, but each result lands in the slot
+/// of its input index — scheduling never reorders outputs.
+///
+/// Runs inline (no threads, no locks) when one worker suffices.
+///
+/// # Panics
+///
+/// Propagates a panic from `f`. Use [`try_par_map_indexed`] to survive
+/// per-item panics.
+pub fn par_map_indexed<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    par_map_indexed_grained(items, 1, f)
+}
+
+/// [`par_map_indexed`] with a minimum number of items per worker: the
+/// pool is sized `min(threads, items / min_per_worker)`, so fine-grained
+/// workloads (tiny dense layers, short batches) stay inline instead of
+/// paying thread spawn cost that dwarfs the work. Determinism is
+/// unaffected — the grain only changes *where* items run, never their
+/// results or order.
+pub fn par_map_indexed_grained<T, R, F>(items: &[T], min_per_worker: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let n = items.len();
+    let workers = threads()
+        .min(n / min_per_worker.max(1))
+        .min(n)
+        .max(1);
+    if workers <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let f = &f;
+    let collected: Vec<(usize, R)> = crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let cursor = &cursor;
+                scope.spawn(move |_| {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        local.push((i, f(i, &items[i])));
+                    }
+                    local
+                })
+            })
+            .collect();
+        let mut all = Vec::with_capacity(n);
+        let mut panic: Option<Panic> = None;
+        for h in handles {
+            match h.join() {
+                Ok(local) => all.extend(local),
+                Err(p) => panic = Some(p),
+            }
+        }
+        if let Some(p) = panic {
+            std::panic::resume_unwind(p);
+        }
+        all
+    })
+    .expect("bf-par scope");
+    let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    for (i, r) in collected {
+        slots[i] = Some(r);
+    }
+    slots
+        .into_iter()
+        .map(|s| s.expect("every index claimed exactly once"))
+        .collect()
+}
+
+/// Like [`par_map_indexed`] but a panicking item yields `Err(payload)` in
+/// its slot instead of tearing down the whole map — the fold engine uses
+/// this to skip a crashed fold while keeping the rest.
+pub fn try_par_map_indexed<T, R, F>(items: &[T], f: F) -> Vec<Result<R, Panic>>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    par_map_indexed(items, |i, t| catch_unwind(AssertUnwindSafe(|| f(i, t))))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+    use std::sync::Mutex;
+
+    /// Tests mutate the process-wide override.
+    static SERIAL: Mutex<()> = Mutex::new(());
+
+    fn with_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
+        set_threads(Some(n));
+        let r = f();
+        set_threads(None);
+        r
+    }
+
+    #[test]
+    fn results_are_in_input_order() {
+        let _lock = SERIAL.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        let items: Vec<u64> = (0..100).collect();
+        let out = with_threads(4, || {
+            par_map_indexed(&items, |i, &v| {
+                // Uneven cost: late items finish first.
+                if i % 7 == 0 {
+                    std::thread::sleep(std::time::Duration::from_micros(200));
+                }
+                v * 3
+            })
+        });
+        assert_eq!(out, items.iter().map(|v| v * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn identical_across_thread_counts() {
+        let _lock = SERIAL.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        let items: Vec<u64> = (0..64).collect();
+        let f = |i: usize, v: &u64| (i as f32 * 0.37).sin() + (*v as f32).cos();
+        let seq = with_threads(1, || par_map_indexed(&items, f));
+        let par = with_threads(4, || par_map_indexed(&items, f));
+        let sb: Vec<u32> = seq.iter().map(|v| v.to_bits()).collect();
+        let pb: Vec<u32> = par.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(sb, pb);
+    }
+
+    #[test]
+    fn single_thread_runs_inline() {
+        let _lock = SERIAL.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        let main_id = std::thread::current().id();
+        let ids = with_threads(1, || {
+            par_map_indexed(&[0u8; 8], |_, _| std::thread::current().id())
+        });
+        assert!(ids.iter().all(|&id| id == main_id));
+    }
+
+    #[test]
+    fn grain_keeps_small_batches_inline() {
+        let _lock = SERIAL.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        let main_id = std::thread::current().id();
+        let ids = with_threads(8, || {
+            par_map_indexed_grained(&[0u8; 8], 16, |_, _| std::thread::current().id())
+        });
+        assert!(ids.iter().all(|&id| id == main_id));
+    }
+
+    #[test]
+    fn every_item_processed_exactly_once() {
+        let _lock = SERIAL.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        let count = AtomicU64::new(0);
+        let items: Vec<usize> = (0..1000).collect();
+        let out = with_threads(4, || {
+            par_map_indexed(&items, |i, &v| {
+                count.fetch_add(1, Ordering::Relaxed);
+                assert_eq!(i, v);
+                i
+            })
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 1000);
+        assert_eq!(out.len(), 1000);
+    }
+
+    #[test]
+    fn try_variant_isolates_panicking_items() {
+        let _lock = SERIAL.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        let items: Vec<usize> = (0..10).collect();
+        let out = with_threads(3, || {
+            try_par_map_indexed(&items, |i, _| {
+                if i == 4 {
+                    panic!("item 4 exploded");
+                }
+                i * 2
+            })
+        });
+        assert_eq!(out.len(), 10);
+        for (i, r) in out.iter().enumerate() {
+            if i == 4 {
+                assert!(r.is_err());
+            } else {
+                assert_eq!(*r.as_ref().unwrap(), i * 2);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn plain_variant_propagates_panics() {
+        let _lock = SERIAL.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        set_threads(Some(2));
+        let result = std::panic::catch_unwind(|| {
+            par_map_indexed(&[0u8; 4], |i, _| {
+                if i == 2 {
+                    panic!("boom");
+                }
+                i
+            })
+        });
+        set_threads(None);
+        match result {
+            Ok(_) => (),
+            Err(p) => std::panic::resume_unwind(p),
+        }
+    }
+
+    #[test]
+    fn env_var_is_honoured_when_no_override() {
+        let _lock = SERIAL.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        set_threads(None);
+        std::env::set_var("BF_THREADS", "3");
+        assert_eq!(threads(), 3);
+        std::env::set_var("BF_THREADS", "not a number");
+        assert!(threads() >= 1);
+        std::env::remove_var("BF_THREADS");
+        set_threads(Some(5));
+        assert_eq!(threads(), 5);
+        set_threads(None);
+    }
+
+    #[test]
+    fn empty_input_yields_empty_output() {
+        let _lock = SERIAL.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        let out: Vec<u32> = with_threads(4, || par_map_indexed(&[] as &[u8], |_, _| 1u32));
+        assert!(out.is_empty());
+    }
+}
