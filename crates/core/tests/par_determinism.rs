@@ -100,6 +100,72 @@ fn fold_metrics_bits_identical_across_thread_counts() {
     assert_eq!(seq, par);
 }
 
+/// FNV-1a 64 over a stream of `f32::to_bits` words (little-endian
+/// bytes) — the weight-snapshot fingerprint used by the golden tests.
+fn fnv1a(words: impl Iterator<Item = u32>) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    for w in words {
+        for b in w.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+    }
+    h
+}
+
+/// The golden training fixture: `scaled(300, 4, filters)` with dropout
+/// 0.3 and lr 0.01, net seed 1234, a 12×300 standard-normal batch from
+/// `SeedRng(77)` with labels `i % 4`, trained `steps` batches. Returns
+/// the FNV-1a fingerprint of every trained weight's bits.
+fn golden_train_hash(filters: usize, steps: usize) -> u64 {
+    use bf_nn::{CnnLstm, Tensor};
+    use bf_stats::SeedRng;
+    let mut cfg = CnnLstmConfig::scaled(300, 4, filters);
+    cfg.dropout = 0.3;
+    cfg.learning_rate = 0.01;
+    let mut net = CnnLstm::new(cfg, 1234);
+    let mut rng = SeedRng::new(77);
+    let data: Vec<f32> = (0..12 * 300).map(|_| rng.standard_normal() as f32).collect();
+    let labels: Vec<usize> = (0..12).map(|i| i % 4).collect();
+    let x = Tensor::new(&[12, 1, 300], data);
+    for _ in 0..steps {
+        net.train_batch(&x, &labels);
+    }
+    fnv1a(net.save_params().iter().flat_map(|p| p.iter().map(|v| v.to_bits())))
+}
+
+/// Weight fingerprints captured on the pre-workspace implementation
+/// (naive per-element loops, allocate-every-step buffers). The
+/// unrolled kernels and arena reuse must reproduce them exactly.
+const GOLDEN_IM2COL_16F: u64 = 0x16643925f9b9ef5b;
+const GOLDEN_SCALAR_4F: u64 = 0x90909a245530d3da;
+
+#[test]
+fn trained_weights_match_pre_workspace_golden_hashes() {
+    // 16 filters drives the im2col/matmul path in both convs; 4 filters
+    // drives the scalar fallback. Both must match the hashes recorded
+    // before the zero-allocation refactor, at every thread count.
+    let (seq, par) = at_thread_counts(|| (golden_train_hash(16, 4), golden_train_hash(4, 4)));
+    assert_eq!(seq.0, GOLDEN_IM2COL_16F, "im2col path diverged from pre-workspace bits (t=1)");
+    assert_eq!(seq.1, GOLDEN_SCALAR_4F, "scalar path diverged from pre-workspace bits (t=1)");
+    assert_eq!(par.0, GOLDEN_IM2COL_16F, "im2col path diverged from pre-workspace bits (t=4)");
+    assert_eq!(par.1, GOLDEN_SCALAR_4F, "scalar path diverged from pre-workspace bits (t=4)");
+}
+
+#[test]
+fn warm_workspace_pool_is_bit_stable() {
+    // The second run executes entirely on a warm arena (every take is a
+    // pool hit); recycled buffers must be indistinguishable from fresh
+    // ones.
+    let _lock = SERIAL.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    bf_par::set_threads(Some(1));
+    let cold = golden_train_hash(16, 4);
+    let warm = golden_train_hash(16, 4);
+    bf_par::set_threads(None);
+    assert_eq!(cold, GOLDEN_IM2COL_16F);
+    assert_eq!(warm, cold, "warm-pool training diverged from cold-pool training");
+}
+
 #[test]
 fn trained_cnn_weights_bits_identical_across_thread_counts() {
     // A small CNN+LSTM fit: every parallelized kernel (conv, dense,

@@ -69,12 +69,15 @@ impl CnnLstmClassifier {
         crate::metrics::accuracy(&preds, data.labels())
     }
 
+    /// Gather a minibatch into a pooled workspace tensor (the caller
+    /// recycles it after the step, so the steady-state loop never
+    /// allocates batch storage).
     fn batch_tensor(features: &[Vec<f32>], indices: &[usize], len: usize) -> Tensor {
-        let mut data = Vec::with_capacity(indices.len() * len);
-        for &i in indices {
-            data.extend_from_slice(&features[i]);
+        let mut x = bf_nn::workspace::tensor(&[indices.len(), 1, len]);
+        for (bi, &i) in indices.iter().enumerate() {
+            x.data_mut()[bi * len..(bi + 1) * len].copy_from_slice(&features[i]);
         }
-        Tensor::new(&[indices.len(), 1, len], data)
+        x
     }
 }
 
@@ -95,6 +98,7 @@ impl Classifier for CnnLstmClassifier {
         let mut since_best = 0usize;
         let _span = bf_obs::span!("fit");
         let mut stop_reason = "max_epochs";
+        let mut labels: Vec<usize> = Vec::with_capacity(self.train_cfg.batch_size.max(1));
         for epoch in 0..self.train_cfg.max_epochs {
             let epoch_start = std::time::Instant::now();
             rng.shuffle(&mut order);
@@ -102,14 +106,20 @@ impl Classifier for CnnLstmClassifier {
             let mut batches = 0u32;
             for chunk in order.chunks(self.train_cfg.batch_size.max(1)) {
                 let x = Self::batch_tensor(train.features(), chunk, self.arch.input_len);
-                let labels: Vec<usize> = chunk.iter().map(|&i| train.labels()[i]).collect();
+                labels.clear();
+                labels.extend(chunk.iter().map(|&i| train.labels()[i]));
                 loss_sum += net.train_batch(&x, &labels) as f64;
+                bf_nn::workspace::recycle(x);
                 batches += 1;
             }
+            let train_secs = epoch_start.elapsed().as_secs_f64();
             let mean_loss = loss_sum / batches.max(1) as f64;
             bf_obs::counter("nn.epochs").inc();
             bf_obs::gauge("nn.loss").set(mean_loss);
-            bf_obs::histogram("nn.epoch_seconds").record(epoch_start.elapsed().as_secs_f64());
+            bf_obs::histogram("nn.epoch_seconds").record(train_secs);
+            if train_secs > 0.0 {
+                bf_obs::gauge("train.steps_per_sec").set(batches as f64 / train_secs);
+            }
             // Early stopping on validation accuracy (when provided).
             if val.is_empty() {
                 bf_obs::debug!("epoch {}: loss {mean_loss:.4} (no validation)", epoch + 1);
@@ -152,18 +162,20 @@ impl Classifier for CnnLstmClassifier {
         let len = self.arch.input_len;
         let k = self.arch.n_classes;
         let mut out = Vec::with_capacity(traces.len());
-        // Bounded batches keep activation memory flat.
+        // Bounded batches keep activation memory flat; batch and
+        // probability tensors are pooled workspace storage.
         for chunk in traces.chunks(64) {
-            let mut data = Vec::with_capacity(chunk.len() * len);
-            for t in chunk {
+            let mut x = bf_nn::workspace::tensor(&[chunk.len(), 1, len]);
+            for (bi, t) in chunk.iter().enumerate() {
                 assert_eq!(t.len(), len, "trace length mismatch");
-                data.extend_from_slice(t);
+                x.data_mut()[bi * len..(bi + 1) * len].copy_from_slice(t);
             }
-            let x = Tensor::new(&[chunk.len(), 1, len], data);
             let p = net.predict_proba(&x);
+            bf_nn::workspace::recycle(x);
             for i in 0..chunk.len() {
                 out.push(p.data()[i * k..(i + 1) * k].to_vec());
             }
+            bf_nn::workspace::recycle(p);
         }
         out
     }

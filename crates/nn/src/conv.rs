@@ -9,7 +9,8 @@
 //! take a hoisted scalar path instead.
 
 use crate::param::Param;
-use crate::tensor::{im2col, matmul_abt, Tensor};
+use crate::tensor::{axpy2_unrolled, axpy_unrolled, dot_unrolled_from, im2col_into, matmul_abt, Tensor};
+use crate::workspace::{self, ScratchBuf};
 use crate::Layer;
 use bf_stats::SeedRng;
 
@@ -93,31 +94,141 @@ impl Conv1d {
                 let xrow = &sample[ci * l..(ci + 1) * l];
                 for (p, ov) in orow.iter_mut().enumerate() {
                     let start = p * self.stride;
-                    let mut acc = *ov;
-                    for (xv, wv) in xrow[start..start + self.kernel].iter().zip(ws) {
-                        acc += xv * wv;
-                    }
-                    *ov = acc;
+                    *ov = dot_unrolled_from(*ov, &xrow[start..start + self.kernel], ws);
                 }
             }
         }
     }
 
-    /// im2col + blocked-matmul path for one sample.
-    fn forward_sample_im2col(&self, sample: &[f32], l: usize, lo: usize, out: &mut [f32]) {
-        let ck = self.in_channels * self.kernel;
-        let mut col = Vec::new();
-        im2col(sample, self.in_channels, l, self.kernel, self.stride, &mut col);
-        matmul_abt(
-            &self.weight.value,
-            &col,
-            self.out_channels,
-            lo,
-            ck,
-            Some(&self.bias.value),
-            None,
-            out,
-        );
+    /// One channel's parameter-gradient partial, accumulated over
+    /// `(i, p)` in index order (the per-element order of the sequential
+    /// quadruple loop). `cols` is the batch's im2col matrix when the
+    /// im2col gate is open; `wg` must arrive zeroed.
+    #[allow(clippy::too_many_arguments)]
+    fn backward_channel(
+        &self,
+        co: usize,
+        x: &Tensor,
+        grad: &Tensor,
+        cols: Option<&[f32]>,
+        n: usize,
+        l: usize,
+        lo: usize,
+        wg: &mut [f32],
+        bg: &mut f32,
+    ) {
+        let (cin, k, stride) = (self.in_channels, self.kernel, self.stride);
+        let ck = cin * k;
+        let sample_len = cin * l;
+        if let Some(cols) = cols {
+            if ck <= 16 {
+                // Narrow rows (e.g. a 1-channel first conv): keep the
+                // whole partial in a stack accumulator so the `(i, p)`
+                // sweep never re-reads `wg` from memory. Each element
+                // still receives its nonzero-`g` products strictly in
+                // `(i, p)` order.
+                let mut acc = [0.0f32; 16];
+                let acc = &mut acc[..ck];
+                for t in 0..n * lo {
+                    let (i, p) = (t / lo, t % lo);
+                    let g = grad.data()[(i * self.out_channels + co) * lo + p];
+                    if g == 0.0 {
+                        continue;
+                    }
+                    *bg += g;
+                    let colrow = &cols[t * ck..(t + 1) * ck];
+                    for (av, cv) in acc.iter_mut().zip(colrow) {
+                        *av += g * cv;
+                    }
+                }
+                wg.copy_from_slice(acc);
+            } else {
+                // Wide rows: fuse pairs of nonzero-`g` updates so each
+                // sweep over `wg` applies two products per element —
+                // same per-element order, half the row traffic.
+                let mut pending: Option<(f32, usize)> = None;
+                for t in 0..n * lo {
+                    let (i, p) = (t / lo, t % lo);
+                    let g = grad.data()[(i * self.out_channels + co) * lo + p];
+                    if g == 0.0 {
+                        continue;
+                    }
+                    *bg += g;
+                    match pending.take() {
+                        Some((g0, t0)) => axpy2_unrolled(
+                            wg,
+                            g0,
+                            &cols[t0 * ck..(t0 + 1) * ck],
+                            g,
+                            &cols[t * ck..(t + 1) * ck],
+                        ),
+                        None => pending = Some((g, t)),
+                    }
+                }
+                if let Some((g0, t0)) = pending {
+                    axpy_unrolled(wg, g0, &cols[t0 * ck..(t0 + 1) * ck]);
+                }
+            }
+            return;
+        }
+        for i in 0..n {
+            for p in 0..lo {
+                let g = grad.data()[(i * self.out_channels + co) * lo + p];
+                if g == 0.0 {
+                    continue;
+                }
+                *bg += g;
+                let start = p * stride;
+                let sample = &x.data()[i * sample_len..(i + 1) * sample_len];
+                for ci in 0..cin {
+                    let xs = &sample[ci * l + start..ci * l + start + k];
+                    axpy_unrolled(&mut wg[ci * k..(ci + 1) * k], g, xs);
+                }
+            }
+        }
+    }
+
+    /// One sample's input-gradient slab, accumulated in `(co, p, ci, k)`
+    /// order as the sequential loop did. `dxi` must arrive zeroed.
+    fn backward_sample_dx(&self, i: usize, grad: &Tensor, l: usize, lo: usize, dxi: &mut [f32]) {
+        let (cin, k, stride) = (self.in_channels, self.kernel, self.stride);
+        let ck = cin * k;
+        for co in 0..self.out_channels {
+            let wrow_base = co * ck;
+            let grow = &grad.data()[(i * self.out_channels + co) * lo..(i * self.out_channels + co + 1) * lo];
+            for (p, &g) in grow.iter().enumerate() {
+                if g == 0.0 {
+                    continue;
+                }
+                let start = p * stride;
+                if k == 8 {
+                    // The paper's kernel width: a fixed-size window lets
+                    // the eight independent multiply-adds compile to
+                    // straight-line SIMD with no per-call loop setup.
+                    for ci in 0..cin {
+                        let wbase = wrow_base + ci * k;
+                        let ws: &[f32; 8] =
+                            self.weight.value[wbase..wbase + 8].try_into().expect("k == 8");
+                        let base = ci * l + start;
+                        let d: &mut [f32; 8] =
+                            (&mut dxi[base..base + 8]).try_into().expect("k == 8");
+                        d[0] += g * ws[0];
+                        d[1] += g * ws[1];
+                        d[2] += g * ws[2];
+                        d[3] += g * ws[3];
+                        d[4] += g * ws[4];
+                        d[5] += g * ws[5];
+                        d[6] += g * ws[6];
+                        d[7] += g * ws[7];
+                    }
+                } else {
+                    for ci in 0..cin {
+                        let ws = &self.weight.value[wrow_base + ci * k..wrow_base + (ci + 1) * k];
+                        axpy_unrolled(&mut dxi[ci * l + start..ci * l + start + k], g, ws);
+                    }
+                }
+            }
+        }
     }
 }
 
@@ -128,30 +239,51 @@ impl Layer for Conv1d {
         let n = x.shape()[0];
         let l = x.shape()[2];
         let lo = self.out_len(l);
-        let mut out = Tensor::zeros(&[n, self.out_channels, lo]);
+        let mut out = workspace::tensor(&[n, self.out_channels, lo]);
         let use_im2col = self.sample_flops(lo) >= IM2COL_MIN_FLOPS;
-        let samples: Vec<&[f32]> = x.data().chunks(self.in_channels * l).collect();
-        let chunks = bf_par::par_map_indexed(&samples, |_, sample| {
-            let mut chunk = vec![0.0f32; self.out_channels * lo];
-            if use_im2col {
-                self.forward_sample_im2col(sample, l, lo, &mut chunk);
-            } else {
-                self.forward_sample_scalar(sample, l, lo, &mut chunk);
-            }
-            chunk
-        });
-        for (i, chunk) in chunks.iter().enumerate() {
-            let base = i * self.out_channels * lo;
-            out.data_mut()[base..base + chunk.len()].copy_from_slice(chunk);
-        }
+        let ck = self.in_channels * self.kernel;
+        let sample_len = self.in_channels * l;
+        let xdata = x.data();
+        // Each sample owns a disjoint slab of `out`; the per-worker
+        // scratch is the im2col column buffer (pooled on the inline
+        // path, so a steady-state step never allocates here).
+        bf_par::par_chunks_mut_scratch(
+            out.data_mut(),
+            self.out_channels * lo,
+            1,
+            || ScratchBuf::of_len(if use_im2col { lo * ck } else { 0 }),
+            |i, chunk, col| {
+                let sample = &xdata[i * sample_len..(i + 1) * sample_len];
+                if use_im2col {
+                    im2col_into(sample, self.in_channels, l, self.kernel, self.stride, col);
+                    matmul_abt(
+                        &self.weight.value,
+                        col,
+                        self.out_channels,
+                        lo,
+                        ck,
+                        Some(&self.bias.value),
+                        None,
+                        chunk,
+                    );
+                } else {
+                    self.forward_sample_scalar(sample, l, lo, chunk);
+                }
+            },
+        );
         if train {
-            self.cached_input = Some(x.clone());
+            match &mut self.cached_input {
+                Some(c) => c.copy_from(x),
+                None => self.cached_input = Some(x.clone()),
+            }
         }
         out
     }
 
     fn backward(&mut self, grad: &Tensor) -> Tensor {
-        let x = self.cached_input.as_ref().expect("backward without forward");
+        // Taken out of `self` (and restored below) so the gradient merge
+        // can borrow `self` mutably while `x` stays readable.
+        let x = self.cached_input.take().expect("backward without forward");
         let n = x.shape()[0];
         let l = x.shape()[2];
         let lo = self.out_len(l);
@@ -160,101 +292,74 @@ impl Layer for Conv1d {
         let ck = cin * k;
         let sample_len = cin * l;
 
+        // The whole batch's im2col matrix, built once (sequentially — it
+        // is pure memcpy) and shared read-only by every channel worker.
+        let use_im2col = self.sample_flops(lo) >= IM2COL_MIN_FLOPS;
+        let mut col_buf = ScratchBuf::of_len(if use_im2col { n * lo * ck } else { 0 });
+        if use_im2col {
+            for (i, sample) in x.data().chunks(sample_len).enumerate() {
+                im2col_into(sample, cin, l, k, stride, &mut col_buf[i * lo * ck..(i + 1) * lo * ck]);
+            }
+        }
+        let cols: Option<&[f32]> = use_im2col.then_some(&col_buf);
+
         // Pass A — parameter gradients, parallel over output channels:
         // each worker owns `weight.grad` rows and `bias.grad[co]` of its
         // channels, accumulating over `(i, p)` in index order (the same
-        // per-element order as the sequential quadruple loop). The im2col
-        // matrices are shared read-only across channels.
-        let cols: Option<Vec<Vec<f32>>> = if self.sample_flops(lo) >= IM2COL_MIN_FLOPS {
-            Some(
-                x.data()
-                    .chunks(sample_len)
-                    .map(|sample| {
-                        let mut col = Vec::new();
-                        im2col(sample, cin, l, k, stride, &mut col);
-                        col
-                    })
-                    .collect(),
-            )
-        } else {
-            None
-        };
-        let channels: Vec<usize> = (0..self.out_channels).collect();
-        let partials = bf_par::par_map_indexed_grained(&channels, 8, |_, &co| {
-            let mut wg = vec![0.0f32; ck];
-            let mut bg = 0.0f32;
-            for i in 0..n {
-                for p in 0..lo {
-                    let g = grad.data()[(i * self.out_channels + co) * lo + p];
-                    if g == 0.0 {
-                        continue;
-                    }
-                    bg += g;
-                    match &cols {
-                        Some(cols) => {
-                            let colrow = &cols[i][p * ck..(p + 1) * ck];
-                            for (wv, cv) in wg.iter_mut().zip(colrow) {
-                                *wv += g * cv;
-                            }
-                        }
-                        None => {
-                            let start = p * stride;
-                            let sample = &x.data()[i * sample_len..(i + 1) * sample_len];
-                            for ci in 0..cin {
-                                let xs = &sample[ci * l + start..ci * l + start + k];
-                                let wrow = &mut wg[ci * k..(ci + 1) * k];
-                                for (wv, xv) in wrow.iter_mut().zip(xs) {
-                                    *wv += g * xv;
-                                }
-                            }
-                        }
-                    }
+        // per-element order as the sequential quadruple loop). On the
+        // inline path one pooled partial buffer serves every channel.
+        if bf_par::plan(self.out_channels, 8) <= 1 {
+            let mut wg = ScratchBuf::of_len(ck);
+            for co in 0..self.out_channels {
+                wg.fill(0.0);
+                let mut bg = 0.0f32;
+                self.backward_channel(co, &x, grad, cols, n, l, lo, &mut wg, &mut bg);
+                self.bias.grad[co] += bg;
+                let wrow = &mut self.weight.grad[co * ck..(co + 1) * ck];
+                for (dst, src) in wrow.iter_mut().zip(wg.iter()) {
+                    *dst += src;
                 }
             }
-            (wg, bg)
-        });
-        for (co, (wg, bg)) in partials.into_iter().enumerate() {
-            self.bias.grad[co] += bg;
-            let wrow = &mut self.weight.grad[co * ck..(co + 1) * ck];
-            for (dst, src) in wrow.iter_mut().zip(&wg) {
-                *dst += src;
+        } else {
+            let channels: Vec<usize> = (0..self.out_channels).collect(); // alloc-ok: parallel arm
+            let partials = bf_par::par_map_indexed_grained(&channels, 8, |_, &co| {
+                let mut wg = vec![0.0f32; ck]; // alloc-ok: parallel arm
+                let mut bg = 0.0f32;
+                self.backward_channel(co, &x, grad, cols, n, l, lo, &mut wg, &mut bg);
+                (wg, bg)
+            });
+            for (co, (wg, bg)) in partials.into_iter().enumerate() {
+                self.bias.grad[co] += bg;
+                let wrow = &mut self.weight.grad[co * ck..(co + 1) * ck];
+                for (dst, src) in wrow.iter_mut().zip(&wg) {
+                    *dst += src;
+                }
             }
         }
 
         // Pass B — input gradients, parallel over samples: each sample's
         // dx slab is disjoint, accumulated in `(co, p, ci, k)` order as
         // the sequential loop did.
-        let mut dx = Tensor::zeros(&[n, cin, l]);
-        let sample_ids: Vec<usize> = (0..n).collect();
-        let dx_chunks = bf_par::par_map_indexed(&sample_ids, |_, &i| {
-            let mut dxi = vec![0.0f32; sample_len];
-            for co in 0..self.out_channels {
-                let wrow_base = co * ck;
-                for p in 0..lo {
-                    let g = grad.data()[(i * self.out_channels + co) * lo + p];
-                    if g == 0.0 {
-                        continue;
-                    }
-                    let start = p * stride;
-                    for ci in 0..cin {
-                        let ws = &self.weight.value[wrow_base + ci * k..wrow_base + (ci + 1) * k];
-                        let dxrow = &mut dxi[ci * l + start..ci * l + start + k];
-                        for (dv, wv) in dxrow.iter_mut().zip(ws) {
-                            *dv += g * wv;
-                        }
-                    }
-                }
-            }
-            dxi
-        });
-        for (i, chunk) in dx_chunks.iter().enumerate() {
-            dx.data_mut()[i * sample_len..(i + 1) * sample_len].copy_from_slice(chunk);
-        }
+        let mut dx = workspace::tensor(&[n, cin, l]);
+        let this = &*self;
+        bf_par::par_chunks_mut_scratch(
+            dx.data_mut(),
+            sample_len,
+            1,
+            || (),
+            |i, dxi, ()| this.backward_sample_dx(i, grad, l, lo, dxi),
+        );
+        self.cached_input = Some(x);
         dx
     }
 
     fn params_mut(&mut self) -> Vec<&mut Param> {
-        vec![&mut self.weight, &mut self.bias]
+        vec![&mut self.weight, &mut self.bias] // alloc-ok: cold path (save/restore)
+    }
+
+    fn for_each_param(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.weight);
+        f(&mut self.bias);
     }
 }
 

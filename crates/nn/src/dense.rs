@@ -5,10 +5,13 @@
 //! input-gradient pass (parallel over samples), both preserving the
 //! sequential per-element accumulation order so results are bit-exact
 //! across thread counts. Dense shapes in this pipeline are small (≤ 100
-//! units), so the `bf-par` grain keeps typical batches inline.
+//! units), so the `bf-par` grain keeps typical batches inline — and the
+//! inline arms draw every scratch buffer from the thread's
+//! [`workspace`] arena, so a steady-state step never allocates here.
 
 use crate::param::Param;
-use crate::tensor::{matmul_abt, Tensor};
+use crate::tensor::{axpy_unrolled, matmul_abt, Tensor};
+use crate::workspace::{self, ScratchBuf};
 use crate::Layer;
 use bf_stats::SeedRng;
 
@@ -51,89 +54,118 @@ impl Layer for Dense {
         assert_eq!(x.shape().len(), 2, "dense expects (N, features)");
         assert_eq!(x.shape()[1], self.in_features, "dense input width mismatch");
         let n = x.batch();
-        let mut out = Tensor::zeros(&[n, self.out_features]);
+        let mut out = workspace::tensor(&[n, self.out_features]);
+        let xdata = x.data();
         // Sample rows are independent, so splitting the batch across
         // workers cannot change any output bit; the grain keeps small
-        // batches on one thread.
-        let samples: Vec<&[f32]> = x.data().chunks(self.in_features).collect();
-        let rows = bf_par::par_map_indexed_grained(&samples, 64, |_, xi| {
-            let mut row = vec![0.0f32; self.out_features];
-            matmul_abt(
-                xi,
-                &self.weight.value,
-                1,
-                self.out_features,
-                self.in_features,
-                None,
-                Some(&self.bias.value),
-                &mut row,
-            );
-            row
-        });
-        for (i, row) in rows.iter().enumerate() {
-            out.data_mut()[i * self.out_features..(i + 1) * self.out_features]
-                .copy_from_slice(row);
-        }
+        // batches on one thread. Each row runs the same `m = 1` matmul
+        // the sequential path used, so accumulation order is unchanged.
+        bf_par::par_chunks_mut_scratch(
+            out.data_mut(),
+            self.out_features,
+            64,
+            || (),
+            |i, row, ()| {
+                let xi = &xdata[i * self.in_features..(i + 1) * self.in_features];
+                matmul_abt(
+                    xi,
+                    &self.weight.value,
+                    1,
+                    self.out_features,
+                    self.in_features,
+                    None,
+                    Some(&self.bias.value),
+                    row,
+                );
+            },
+        );
         if train {
-            self.cached_input = Some(x.clone());
+            match &mut self.cached_input {
+                Some(c) => c.copy_from(x),
+                None => self.cached_input = Some(x.clone()),
+            }
         }
         out
     }
 
     fn backward(&mut self, grad: &Tensor) -> Tensor {
-        let x = self.cached_input.as_ref().expect("backward without forward");
+        // Taken out of `self` (and restored below) so the gradient merge
+        // can borrow `self` mutably while `x` stays readable.
+        let x = self.cached_input.take().expect("backward without forward");
         let n = x.batch();
         assert_eq!(grad.shape(), &[n, self.out_features]);
         let (in_f, out_f) = (self.in_features, self.out_features);
 
         // Parameter pass, parallel over output units: each unit owns its
         // weight row and bias slot, accumulating over samples in index
-        // order (the sequential loop's per-element order).
-        let units: Vec<usize> = (0..out_f).collect();
-        let partials = bf_par::par_map_indexed_grained(&units, 32, |_, &o| {
-            let mut wg = vec![0.0f32; in_f];
-            let mut bg = 0.0f32;
-            for i in 0..n {
-                let g = grad.data()[i * out_f + o];
-                bg += g;
-                let xi = &x.data()[i * in_f..(i + 1) * in_f];
-                for (wv, xv) in wg.iter_mut().zip(xi) {
-                    *wv += g * xv;
+        // order (the sequential loop's per-element order). The partial
+        // buffer stays — even inline — so pre-existing gradient bits are
+        // added exactly once, after the sample loop.
+        if bf_par::plan(out_f, 32) <= 1 {
+            let mut wg = ScratchBuf::of_len(in_f);
+            for o in 0..out_f {
+                wg.fill(0.0);
+                let mut bg = 0.0f32;
+                for i in 0..n {
+                    let g = grad.data()[i * out_f + o];
+                    bg += g;
+                    axpy_unrolled(&mut wg, g, &x.data()[i * in_f..(i + 1) * in_f]);
+                }
+                self.bias.grad[o] += bg;
+                let grow = &mut self.weight.grad[o * in_f..(o + 1) * in_f];
+                for (dst, src) in grow.iter_mut().zip(wg.iter()) {
+                    *dst += src;
                 }
             }
-            (wg, bg)
-        });
-        for (o, (wg, bg)) in partials.into_iter().enumerate() {
-            self.bias.grad[o] += bg;
-            let grow = &mut self.weight.grad[o * in_f..(o + 1) * in_f];
-            for (dst, src) in grow.iter_mut().zip(&wg) {
-                *dst += src;
+        } else {
+            let units: Vec<usize> = (0..out_f).collect(); // alloc-ok: parallel arm
+            let partials = bf_par::par_map_indexed_grained(&units, 32, |_, &o| {
+                let mut wg = vec![0.0f32; in_f]; // alloc-ok: parallel arm
+                let mut bg = 0.0f32;
+                for i in 0..n {
+                    let g = grad.data()[i * out_f + o];
+                    bg += g;
+                    axpy_unrolled(&mut wg, g, &x.data()[i * in_f..(i + 1) * in_f]);
+                }
+                (wg, bg)
+            });
+            for (o, (wg, bg)) in partials.into_iter().enumerate() {
+                self.bias.grad[o] += bg;
+                let grow = &mut self.weight.grad[o * in_f..(o + 1) * in_f];
+                for (dst, src) in grow.iter_mut().zip(&wg) {
+                    *dst += src;
+                }
             }
         }
 
         // Input-gradient pass, parallel over samples: disjoint dx rows,
-        // each accumulated over output units in index order.
-        let mut dx = Tensor::zeros(&[n, in_f]);
-        let sample_ids: Vec<usize> = (0..n).collect();
-        let dx_rows = bf_par::par_map_indexed_grained(&sample_ids, 64, |_, &i| {
-            let mut dxi = vec![0.0f32; in_f];
-            for o in 0..out_f {
-                let g = grad.data()[i * out_f + o];
-                let wrow = &self.weight.value[o * in_f..(o + 1) * in_f];
-                for (dv, wv) in dxi.iter_mut().zip(wrow) {
-                    *dv += g * wv;
+        // each accumulated over output units in index order, written
+        // straight into the zeroed workspace tensor.
+        let mut dx = workspace::tensor(&[n, in_f]);
+        let weight = &self.weight.value;
+        bf_par::par_chunks_mut_scratch(
+            dx.data_mut(),
+            in_f,
+            64,
+            || (),
+            |i, dxi, ()| {
+                for o in 0..out_f {
+                    let g = grad.data()[i * out_f + o];
+                    axpy_unrolled(dxi, g, &weight[o * in_f..(o + 1) * in_f]);
                 }
-            }
-            dxi
-        });
-        for (i, row) in dx_rows.iter().enumerate() {
-            dx.data_mut()[i * in_f..(i + 1) * in_f].copy_from_slice(row);
-        }
+            },
+        );
+        self.cached_input = Some(x);
         dx
     }
 
     fn params_mut(&mut self) -> Vec<&mut Param> {
-        vec![&mut self.weight, &mut self.bias]
+        vec![&mut self.weight, &mut self.bias] // alloc-ok: cold path (save/restore)
+    }
+
+    fn for_each_param(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.weight);
+        f(&mut self.bias);
     }
 }
 

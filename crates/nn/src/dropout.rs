@@ -1,17 +1,27 @@
 //! Inverted dropout.
 
 use crate::tensor::Tensor;
+use crate::workspace;
 use crate::Layer;
 use bf_stats::SeedRng;
 
 /// Inverted dropout: at train time each element is zeroed with
 /// probability `rate` and survivors are scaled by `1/(1-rate)`; at eval
 /// time the layer is the identity. The paper uses rate = 0.7.
+///
+/// Outputs are pooled [`workspace`] tensors and the mask is a
+/// persistent buffer refilled in place, so steady-state steps never
+/// allocate here. The RNG is consulted once per element in data order
+/// regardless of buffering, keeping the draw sequence (and therefore
+/// every masked bit) identical to the original implementation.
 #[derive(Debug, Clone)]
 pub struct Dropout {
     rate: f64,
     rng: SeedRng,
-    cached_mask: Option<Vec<f32>>,
+    mask: Vec<f32>,
+    /// Whether `mask` reflects the most recent forward (false after an
+    /// eval-mode or rate-0 forward, which are identity in backward too).
+    mask_active: bool,
 }
 
 impl Dropout {
@@ -22,7 +32,7 @@ impl Dropout {
     /// Panics when `rate` is outside `[0, 1)`.
     pub fn new(rate: f64, seed: u64) -> Self {
         assert!((0.0..1.0).contains(&rate), "dropout rate must be in [0, 1)");
-        Dropout { rate, rng: SeedRng::new(seed), cached_mask: None }
+        Dropout { rate, rng: SeedRng::new(seed), mask: Vec::new(), mask_active: false }
     }
 
     /// The drop probability.
@@ -34,34 +44,32 @@ impl Dropout {
 impl Layer for Dropout {
     fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
         if !train || self.rate == 0.0 {
-            self.cached_mask = None;
-            return x.clone();
+            self.mask_active = false;
+            return workspace::tensor_copy_of(x);
         }
         let keep = 1.0 - self.rate;
         let scale = (1.0 / keep) as f32;
-        let mut out = x.clone();
-        let mut mask = Vec::with_capacity(x.len());
+        let mut out = workspace::tensor_copy_of(x);
+        self.mask.clear();
         for v in out.data_mut() {
             let m = if self.rng.chance(keep) { scale } else { 0.0 };
             *v *= m;
-            mask.push(m);
+            self.mask.push(m);
         }
-        self.cached_mask = Some(mask);
+        self.mask_active = true;
         out
     }
 
     fn backward(&mut self, grad: &Tensor) -> Tensor {
-        match self.cached_mask.as_ref() {
-            None => grad.clone(), // eval-mode or rate-0 forward
-            Some(mask) => {
-                assert_eq!(mask.len(), grad.len(), "gradient shape mismatch");
-                let mut dx = grad.clone();
-                for (v, &m) in dx.data_mut().iter_mut().zip(mask) {
-                    *v *= m;
-                }
-                dx
-            }
+        if !self.mask_active {
+            return workspace::tensor_copy_of(grad); // eval-mode or rate-0 forward
         }
+        assert_eq!(self.mask.len(), grad.len(), "gradient shape mismatch");
+        let mut dx = workspace::tensor_copy_of(grad);
+        for (v, &m) in dx.data_mut().iter_mut().zip(&self.mask) {
+            *v *= m;
+        }
+        dx
     }
 }
 
@@ -103,6 +111,16 @@ mod tests {
         let y = d.forward(&x, true);
         let dx = d.backward(&Tensor::new(&[1, 8], vec![1.0; 8]));
         assert_eq!(y.data(), dx.data());
+    }
+
+    #[test]
+    fn eval_forward_deactivates_stale_mask() {
+        let mut d = Dropout::new(0.5, 7);
+        let x = Tensor::new(&[1, 8], vec![1.0; 8]);
+        let _ = d.forward(&x, true);
+        let _ = d.forward(&x, false);
+        let g = Tensor::new(&[1, 8], vec![2.0; 8]);
+        assert_eq!(d.backward(&g).data(), g.data());
     }
 
     #[test]

@@ -39,6 +39,7 @@ pub mod pool;
 pub mod relu;
 pub mod serialize;
 pub mod tensor;
+pub mod workspace;
 
 pub use conv::Conv1d;
 pub use dense::Dense;
@@ -52,6 +53,7 @@ pub use pool::{AvgPool1d, MaxPool1d};
 pub use relu::Relu;
 pub use serialize::{load_network, read_params, save_network, write_params, CheckpointError};
 pub use tensor::Tensor;
+pub use workspace::{Workspace, WorkspaceStats};
 
 /// A differentiable network layer.
 ///
@@ -77,5 +79,17 @@ pub trait Layer: std::fmt::Debug + Send {
     /// layers).
     fn params_mut(&mut self) -> Vec<&mut Param> {
         Vec::new()
+    }
+
+    /// Visit each parameter in the same stable order as
+    /// [`Layer::params_mut`], without materializing a list — the
+    /// allocation-free form the optimizer hot path uses. The default
+    /// delegates to `params_mut` (whose empty default never allocates);
+    /// parameterized layers override it to hand out field references
+    /// directly.
+    fn for_each_param(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        for p in self.params_mut() {
+            f(p);
+        }
     }
 }

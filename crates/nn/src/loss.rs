@@ -1,6 +1,14 @@
 //! Softmax cross-entropy loss.
+//!
+//! Both functions are two-pass per row: the first pass accumulates the
+//! exponential sum, the second recomputes each `exp(v - max)` on the
+//! fly. `exp` is deterministic, so the bits match the old buffered
+//! implementation exactly — and with the output tensors drawn from the
+//! thread's [`workspace`] arena, neither function allocates on a warm
+//! thread.
 
 use crate::tensor::Tensor;
+use crate::workspace;
 
 /// Mean softmax cross-entropy over a batch of logits `(N, K)` with integer
 /// labels. Returns `(loss, ∂loss/∂logits)`.
@@ -13,20 +21,22 @@ pub fn softmax_cross_entropy(logits: &Tensor, labels: &[usize]) -> (f32, Tensor)
     let n = logits.shape()[0];
     let k = logits.shape()[1];
     assert_eq!(labels.len(), n, "one label per row");
-    let mut grad = Tensor::zeros(&[n, k]);
+    let mut grad = workspace::tensor(&[n, k]);
     let mut loss = 0.0f64;
     for (i, &label) in labels.iter().enumerate() {
         let row = &logits.data()[i * k..(i + 1) * k];
         assert!(label < k, "label {label} out of range for {k} classes");
         let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-        let exps: Vec<f32> = row.iter().map(|&v| (v - max).exp()).collect();
-        let sum: f32 = exps.iter().sum();
+        let mut sum = 0.0f32;
+        for &v in row {
+            sum += (v - max).exp();
+        }
         let g = &mut grad.data_mut()[i * k..(i + 1) * k];
         for j in 0..k {
-            let p = exps[j] / sum;
+            let p = (row[j] - max).exp() / sum;
             g[j] = (p - if j == label { 1.0 } else { 0.0 }) / n as f32;
         }
-        loss += -((exps[label] / sum).max(1e-30).ln() as f64);
+        loss += -(((row[label] - max).exp() / sum).max(1e-30).ln() as f64);
     }
     ((loss / n as f64) as f32, grad)
 }
@@ -36,15 +46,17 @@ pub fn softmax(logits: &Tensor) -> Tensor {
     assert_eq!(logits.shape().len(), 2, "logits must be (N, K)");
     let n = logits.shape()[0];
     let k = logits.shape()[1];
-    let mut out = Tensor::zeros(&[n, k]);
+    let mut out = workspace::tensor(&[n, k]);
     for i in 0..n {
         let row = &logits.data()[i * k..(i + 1) * k];
         let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-        let exps: Vec<f32> = row.iter().map(|&v| (v - max).exp()).collect();
-        let sum: f32 = exps.iter().sum();
+        let mut sum = 0.0f32;
+        for &v in row {
+            sum += (v - max).exp();
+        }
         let o = &mut out.data_mut()[i * k..(i + 1) * k];
         for j in 0..k {
-            o[j] = exps[j] / sum;
+            o[j] = (row[j] - max).exp() / sum;
         }
     }
     out

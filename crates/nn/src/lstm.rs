@@ -14,9 +14,15 @@
 //! reference, so forward outputs and input gradients are bit-identical
 //! to it, and parameter-gradient partials are reduced in sample order,
 //! so all results are bit-stable across thread counts.
+//!
+//! The BPTT caches are persistent fields reset in place each training
+//! forward, and the inline (single-worker) arms of both passes draw all
+//! remaining scratch from the thread's [`workspace`] arena — a
+//! steady-state training step performs no heap allocation here.
 
 use crate::param::Param;
-use crate::tensor::{matmul_abt, Tensor};
+use crate::tensor::{axpy_unrolled, matmul_abt, Tensor};
+use crate::workspace::{self, ScratchBuf};
 use crate::Layer;
 use bf_stats::SeedRng;
 
@@ -58,8 +64,10 @@ impl LstmActivation {
     }
 }
 
-/// Per-sample values cached for backpropagation through time.
-#[derive(Debug, Clone)]
+/// Per-sample values cached for backpropagation through time. The
+/// buffers are reset in place between steps, so a warm cache never
+/// reallocates.
+#[derive(Debug, Clone, Default)]
 struct SampleCache {
     /// The sample's input gathered time-major, `(steps, F)`.
     xs: Vec<f32>,
@@ -72,6 +80,24 @@ struct SampleCache {
     c: Vec<f32>,
     /// Hidden state after each step, `(steps, H)`.
     h: Vec<f32>,
+}
+
+impl SampleCache {
+    /// Resize every buffer for a `(feat, steps)` sample, keeping
+    /// capacity. Contents are fully overwritten by the forward pass.
+    fn reset(&mut self, feat: usize, steps: usize, h: usize) {
+        fn fit(v: &mut Vec<f32>, len: usize) {
+            v.clear();
+            v.resize(len, 0.0);
+        }
+        fit(&mut self.xs, steps * feat);
+        fit(&mut self.i, steps * h);
+        fit(&mut self.f, steps * h);
+        fit(&mut self.g, steps * h);
+        fit(&mut self.o, steps * h);
+        fit(&mut self.c, steps * h);
+        fit(&mut self.h, steps * h);
+    }
 }
 
 /// An LSTM over the length axis of a `(N, C, L)` tensor (time = L,
@@ -87,8 +113,14 @@ pub struct Lstm {
     w_hh: Param,
     /// Gate biases, `(4H)`.
     bias: Param,
-    /// `(feat, steps, per-sample caches)` from the last training forward.
-    cache: Option<(usize, usize, Vec<SampleCache>)>,
+    /// Persistent per-sample caches, reset in place each training
+    /// forward.
+    caches: Vec<SampleCache>,
+    /// Reused scratch cache for inference forwards (no BPTT state kept).
+    eval_cache: SampleCache,
+    /// `(feat, steps, n)` of the last training forward; `None` until
+    /// one has run.
+    cache_meta: Option<(usize, usize, usize)>,
 }
 
 impl Lstm {
@@ -118,7 +150,9 @@ impl Lstm {
             w_ih: Param::glorot(4 * hidden * input_size, input_size, hidden, rng),
             w_hh: Param::glorot(4 * hidden * hidden, hidden, hidden, rng),
             bias,
-            cache: None,
+            caches: Vec::new(),
+            eval_cache: SampleCache::default(),
+            cache_meta: None,
         }
     }
 
@@ -127,56 +161,47 @@ impl Lstm {
         self.hidden
     }
 
-    /// Run one sample `(feat, steps)` through the recurrence, returning
-    /// the final hidden state and the full per-step cache. Pure in the
-    /// sample and the layer parameters, so samples can run on any worker.
-    fn forward_sample(&self, sample: &[f32], feat: usize, steps: usize) -> (Vec<f32>, SampleCache) {
+    /// Run one sample `(feat, steps)` through the recurrence, leaving
+    /// the per-step values in `cache` and the final hidden state in
+    /// `out`. `zx` must hold `steps * 4H` elements, `z` `4H`, and
+    /// `c_prev`/`h_prev`/`out` `H` each; all scratch contents are
+    /// overwritten. Pure in the sample and the layer parameters, so
+    /// samples can run on any worker.
+    #[allow(clippy::too_many_arguments)]
+    fn forward_sample_into(
+        &self,
+        sample: &[f32],
+        feat: usize,
+        steps: usize,
+        cache: &mut SampleCache,
+        zx: &mut [f32],
+        z: &mut [f32],
+        c_prev: &mut [f32],
+        h_prev: &mut [f32],
+        out: &mut [f32],
+    ) {
         let h = self.hidden;
         let h4 = 4 * h;
+        cache.reset(feat, steps, h);
         // Gather time-major (steps, F) so the input term of every
         // timestep's pre-activation becomes one blocked matmul.
-        let mut xs = vec![0.0f32; steps * feat];
         for ci in 0..feat {
             for t in 0..steps {
-                xs[t * feat + ci] = sample[ci * steps + t];
+                cache.xs[t * feat + ci] = sample[ci * steps + t];
             }
         }
         // zx[t, row] = bias[row] + dot(w_ih[row], x_t): the bias-then-
         // input prefix of the gate pre-activation, hoisted out of the
         // time loop with the reference accumulation order intact.
-        let mut zx = vec![0.0f32; steps * h4];
-        matmul_abt(
-            &xs,
-            &self.w_ih.value,
-            steps,
-            h4,
-            feat,
-            None,
-            Some(&self.bias.value),
-            &mut zx,
-        );
-        let mut cache = SampleCache {
-            xs,
-            i: vec![0.0; steps * h],
-            f: vec![0.0; steps * h],
-            g: vec![0.0; steps * h],
-            o: vec![0.0; steps * h],
-            c: vec![0.0; steps * h],
-            h: vec![0.0; steps * h],
-        };
-        let mut h_prev = vec![0.0f32; h];
-        let mut c_prev = vec![0.0f32; h];
-        let mut z = vec![0.0f32; h4];
+        matmul_abt(&cache.xs, &self.w_ih.value, steps, h4, feat, None, Some(&self.bias.value), zx);
+        c_prev.fill(0.0);
+        h_prev.fill(0.0);
         for t in 0..steps {
-            // Recurrent term, row-then-k order as in the reference.
-            for (row, zv) in z.iter_mut().enumerate() {
-                let mut acc = zx[t * h4 + row];
-                let urow = &self.w_hh.value[row * h..(row + 1) * h];
-                for (hv, uv) in h_prev.iter().zip(urow) {
-                    acc += hv * uv;
-                }
-                *zv = acc;
-            }
+            // Recurrent term: one register-blocked matvec per step. Each
+            // gate row's accumulator starts at its `zx` entry and adds
+            // its `h` products in index order — the reference's
+            // row-then-k order exactly.
+            matmul_abt(h_prev, &self.w_hh.value, 1, h4, h, None, Some(&zx[t * h4..(t + 1) * h4]), z);
             for u in 0..h {
                 let i_g = sigmoid(z[u]);
                 let f_g = sigmoid(z[h + u]);
@@ -195,7 +220,81 @@ impl Lstm {
                 h_prev[u] = h_new;
             }
         }
-        (h_prev, cache)
+        out.copy_from_slice(h_prev);
+    }
+
+    /// One sample's BPTT chain. `dh` must arrive holding the sample's
+    /// output gradient; `dwih`/`dwhh`/`dbias`/`dxs`/`dc`/`dh_prev` must
+    /// arrive zeroed. Partials are accumulated exactly as the sequential
+    /// reference loop did.
+    #[allow(clippy::too_many_arguments)]
+    fn backward_sample(
+        &self,
+        cache: &SampleCache,
+        feat: usize,
+        steps: usize,
+        dwih: &mut [f32],
+        dwhh: &mut [f32],
+        dbias: &mut [f32],
+        dxs: &mut [f32],
+        dh: &mut [f32],
+        dh_prev: &mut [f32],
+        dc: &mut [f32],
+    ) {
+        // Reborrow under one local lifetime so the per-step swap of the
+        // two buffers' roles type-checks.
+        let mut dh = &mut dh[..];
+        let mut dh_prev = &mut dh_prev[..];
+        let h = self.hidden;
+        for t in (0..steps).rev() {
+            dh_prev.fill(0.0);
+            for u in 0..h {
+                let idx = t * h + u;
+                let i_g = cache.i[idx];
+                let f_g = cache.f[idx];
+                let g_g = cache.g[idx];
+                let o_g = cache.o[idx];
+                let c_v = cache.c[idx];
+                let c_prev_v = if t == 0 { 0.0 } else { cache.c[idx - h] };
+                let ac = self.activation.apply(c_v);
+                // h = o * act(c)
+                let dz_o = dh[u] * ac * o_g * (1.0 - o_g);
+                let dc_total = dc[u] + dh[u] * o_g * self.activation.grad_from_value(ac);
+                let dz_i = dc_total * g_g * i_g * (1.0 - i_g);
+                let dz_g = dc_total * i_g * self.activation.grad_from_value(g_g);
+                let dz_f = dc_total * c_prev_v * f_g * (1.0 - f_g);
+                dc[u] = dc_total * f_g;
+
+                let gate_rows = [u, h + u, 2 * h + u, 3 * h + u];
+                let dzs = [dz_i, dz_f, dz_g, dz_o];
+                for (row, dz) in gate_rows.into_iter().zip(dzs) {
+                    if dz == 0.0 {
+                        continue;
+                    }
+                    dbias[row] += dz;
+                    // The four accumulation targets are disjoint arrays,
+                    // so splitting the reference's fused loops into one
+                    // (vectorizable) pass per target reorders nothing
+                    // within any element's chain.
+                    let wbase = row * feat;
+                    let xs_t = &cache.xs[t * feat..(t + 1) * feat];
+                    axpy_unrolled(&mut dwih[wbase..wbase + feat], dz, xs_t);
+                    for ci in 0..feat {
+                        dxs[ci * steps + t] += dz * self.w_ih.value[wbase + ci];
+                    }
+                    let ubase = row * h;
+                    if t > 0 {
+                        axpy_unrolled(
+                            &mut dwhh[ubase..ubase + h],
+                            dz,
+                            &cache.h[(t - 1) * h..t * h],
+                        );
+                    }
+                    axpy_unrolled(dh_prev, dz, &self.w_hh.value[ubase..ubase + h]);
+                }
+            }
+            std::mem::swap(&mut dh, &mut dh_prev);
+        }
     }
 }
 
@@ -205,106 +304,169 @@ impl Layer for Lstm {
         assert_eq!(x.shape()[1], self.input_size, "lstm feature width mismatch");
         let (n, feat, steps) = (x.shape()[0], x.shape()[1], x.shape()[2]);
         let h = self.hidden;
-        let samples: Vec<&[f32]> = x.data().chunks((feat * steps).max(1)).collect();
-        let results =
-            bf_par::par_map_indexed(&samples, |_, sample| self.forward_sample(sample, feat, steps));
-        let mut out = Tensor::zeros(&[n, h]);
-        let mut caches = Vec::with_capacity(if train { n } else { 0 });
-        for (s, (hf, cache)) in results.into_iter().enumerate() {
-            out.data_mut()[s * h..(s + 1) * h].copy_from_slice(&hf);
+        let h4 = 4 * h;
+        let sample_len = feat * steps;
+        let mut out = workspace::tensor(&[n, h]);
+        if sample_len == 0 || n == 0 {
             if train {
-                caches.push(cache);
+                self.caches.clear();
+                self.cache_meta = Some((feat, steps, 0));
+            }
+            return out;
+        }
+        if bf_par::plan(n, 1) <= 1 {
+            // Inline arm: persistent caches reset in place, all scratch
+            // pooled — no allocation once warm.
+            if train {
+                self.caches.resize_with(n, SampleCache::default);
+            }
+            let mut caches = std::mem::take(&mut self.caches);
+            let mut eval_cache = std::mem::take(&mut self.eval_cache);
+            let mut zx = ScratchBuf::of_len(steps * h4);
+            let mut z = ScratchBuf::of_len(h4);
+            let mut c_prev = ScratchBuf::of_len(h);
+            let mut h_prev = ScratchBuf::of_len(h);
+            // Indexed loop: `caches` is only consulted in train mode
+            // (eval reuses one cache), so iterating it directly would
+            // force a second arm.
+            #[allow(clippy::needless_range_loop)]
+            for s in 0..n {
+                let sample = &x.data()[s * sample_len..(s + 1) * sample_len];
+                let cache = if train { &mut caches[s] } else { &mut eval_cache };
+                self.forward_sample_into(
+                    sample,
+                    feat,
+                    steps,
+                    cache,
+                    &mut zx,
+                    &mut z,
+                    &mut c_prev,
+                    &mut h_prev,
+                    &mut out.data_mut()[s * h..(s + 1) * h],
+                );
+            }
+            self.caches = caches;
+            self.eval_cache = eval_cache;
+        } else {
+            let samples: Vec<&[f32]> = x.data().chunks(sample_len).collect(); // alloc-ok: parallel arm
+            let results = bf_par::par_map_indexed(&samples, |_, sample| {
+                let mut cache = SampleCache::default(); // alloc-ok: parallel arm
+                let mut zx = vec![0.0f32; steps * h4]; // alloc-ok: parallel arm
+                let mut z = vec![0.0f32; h4]; // alloc-ok: parallel arm
+                let mut c_prev = vec![0.0f32; h]; // alloc-ok: parallel arm
+                let mut h_prev = vec![0.0f32; h]; // alloc-ok: parallel arm
+                let mut hf = vec![0.0f32; h]; // alloc-ok: parallel arm
+                self.forward_sample_into(
+                    sample, feat, steps, &mut cache, &mut zx, &mut z, &mut c_prev, &mut h_prev,
+                    &mut hf,
+                );
+                (hf, cache)
+            });
+            if train {
+                self.caches.clear();
+            }
+            for (s, (hf, cache)) in results.into_iter().enumerate() {
+                out.data_mut()[s * h..(s + 1) * h].copy_from_slice(&hf);
+                if train {
+                    self.caches.push(cache);
+                }
             }
         }
         if train {
-            self.cache = Some((feat, steps, caches));
+            self.cache_meta = Some((feat, steps, n));
         }
         out
     }
 
     fn backward(&mut self, grad: &Tensor) -> Tensor {
-        let (feat, steps, caches) = self.cache.as_ref().expect("backward without forward");
-        let (feat, steps) = (*feat, *steps);
-        let n = caches.len();
+        let (feat, steps, n) = self.cache_meta.expect("backward without forward");
+        assert_eq!(grad.shape(), &[n, self.hidden]);
         let h = self.hidden;
-        assert_eq!(grad.shape(), &[n, h]);
         let h4 = 4 * h;
-        let sample_ids: Vec<usize> = (0..n).collect();
-        // Each sample's backward chain only touches its own cache and dx
-        // slab; parameter gradients are accumulated into per-sample
-        // partials and reduced in sample order below, so the bits depend
-        // only on that fixed order, never on scheduling.
-        let partials = bf_par::par_map_indexed(&sample_ids, |_, &s| {
-            let cache = &caches[s];
-            let mut dwih = vec![0.0f32; h4 * feat];
-            let mut dwhh = vec![0.0f32; h4 * h];
-            let mut dbias = vec![0.0f32; h4];
-            let mut dxs = vec![0.0f32; feat * steps];
-            let mut dh = grad.data()[s * h..(s + 1) * h].to_vec();
-            let mut dc = vec![0.0f32; h];
-            for t in (0..steps).rev() {
-                let mut dh_prev = vec![0.0f32; h];
-                for u in 0..h {
-                    let idx = t * h + u;
-                    let i_g = cache.i[idx];
-                    let f_g = cache.f[idx];
-                    let g_g = cache.g[idx];
-                    let o_g = cache.o[idx];
-                    let c_v = cache.c[idx];
-                    let c_prev_v = if t == 0 { 0.0 } else { cache.c[idx - h] };
-                    let ac = self.activation.apply(c_v);
-                    // h = o * act(c)
-                    let dz_o = dh[u] * ac * o_g * (1.0 - o_g);
-                    let dc_total = dc[u] + dh[u] * o_g * self.activation.grad_from_value(ac);
-                    let dz_i = dc_total * g_g * i_g * (1.0 - i_g);
-                    let dz_g = dc_total * i_g * self.activation.grad_from_value(g_g);
-                    let dz_f = dc_total * c_prev_v * f_g * (1.0 - f_g);
-                    dc[u] = dc_total * f_g;
-
-                    let gate_rows = [u, h + u, 2 * h + u, 3 * h + u];
-                    let dzs = [dz_i, dz_f, dz_g, dz_o];
-                    for (row, dz) in gate_rows.into_iter().zip(dzs) {
-                        if dz == 0.0 {
-                            continue;
-                        }
-                        dbias[row] += dz;
-                        // Input weight grads + input grads.
-                        let wbase = row * feat;
-                        for ci in 0..feat {
-                            dwih[wbase + ci] += dz * cache.xs[t * feat + ci];
-                            dxs[ci * steps + t] += dz * self.w_ih.value[wbase + ci];
-                        }
-                        // Recurrent weight grads + h_prev grads.
-                        let ubase = row * h;
-                        for hu in 0..h {
-                            let h_prev_v = if t == 0 { 0.0 } else { cache.h[(t - 1) * h + hu] };
-                            dwhh[ubase + hu] += dz * h_prev_v;
-                            dh_prev[hu] += dz * self.w_hh.value[ubase + hu];
-                        }
-                    }
+        let mut dx = workspace::tensor(&[n, feat, steps]);
+        // Taken out of `self` (and restored below) so the gradient merge
+        // can borrow `self` mutably while the caches stay readable.
+        let caches = std::mem::take(&mut self.caches);
+        if bf_par::plan(n, 1) <= 1 {
+            // Inline arm: one pooled set of per-sample partial buffers,
+            // refilled per sample and merged in sample order — the same
+            // reduction order as the parallel arm.
+            let mut dwih = ScratchBuf::of_len(h4 * feat);
+            let mut dwhh = ScratchBuf::of_len(h4 * h);
+            let mut dbias = ScratchBuf::of_len(h4);
+            let mut dh = ScratchBuf::of_len(h);
+            let mut dh_prev = ScratchBuf::of_len(h);
+            let mut dc = ScratchBuf::of_len(h);
+            // Indexed loop: `s` also slices `grad` and the `dx` slab.
+            #[allow(clippy::needless_range_loop)]
+            for s in 0..n {
+                dwih.fill(0.0);
+                dwhh.fill(0.0);
+                dbias.fill(0.0);
+                dc.fill(0.0);
+                dh.copy_from_slice(&grad.data()[s * h..(s + 1) * h]);
+                // dx slab arrives zeroed from the workspace.
+                let dxs = &mut dx.data_mut()[s * feat * steps..(s + 1) * feat * steps];
+                self.backward_sample(
+                    &caches[s], feat, steps, &mut dwih, &mut dwhh, &mut dbias, dxs, &mut dh,
+                    &mut dh_prev, &mut dc,
+                );
+                for (dst, src) in self.w_ih.grad.iter_mut().zip(dwih.iter()) {
+                    *dst += src;
                 }
-                dh = dh_prev;
+                for (dst, src) in self.w_hh.grad.iter_mut().zip(dwhh.iter()) {
+                    *dst += src;
+                }
+                for (dst, src) in self.bias.grad.iter_mut().zip(dbias.iter()) {
+                    *dst += src;
+                }
             }
-            (dxs, dwih, dwhh, dbias)
-        });
-        let mut dx = Tensor::zeros(&[n, feat, steps]);
-        for (s, (dxs, dwih, dwhh, dbias)) in partials.into_iter().enumerate() {
-            dx.data_mut()[s * feat * steps..(s + 1) * feat * steps].copy_from_slice(&dxs);
-            for (dst, src) in self.w_ih.grad.iter_mut().zip(&dwih) {
-                *dst += src;
-            }
-            for (dst, src) in self.w_hh.grad.iter_mut().zip(&dwhh) {
-                *dst += src;
-            }
-            for (dst, src) in self.bias.grad.iter_mut().zip(&dbias) {
-                *dst += src;
+        } else {
+            let sample_ids: Vec<usize> = (0..n).collect(); // alloc-ok: parallel arm
+            // Each sample's backward chain only touches its own cache and
+            // dx slab; parameter gradients are accumulated into
+            // per-sample partials and reduced in sample order below, so
+            // the bits depend only on that fixed order, never on
+            // scheduling.
+            let partials = bf_par::par_map_indexed(&sample_ids, |_, &s| {
+                let mut dwih = vec![0.0f32; h4 * feat]; // alloc-ok: parallel arm
+                let mut dwhh = vec![0.0f32; h4 * h]; // alloc-ok: parallel arm
+                let mut dbias = vec![0.0f32; h4]; // alloc-ok: parallel arm
+                let mut dxs = vec![0.0f32; feat * steps]; // alloc-ok: parallel arm
+                let mut dh = grad.data()[s * h..(s + 1) * h].to_vec(); // alloc-ok: parallel arm
+                let mut dh_prev = vec![0.0f32; h]; // alloc-ok: parallel arm
+                let mut dc = vec![0.0f32; h]; // alloc-ok: parallel arm
+                self.backward_sample(
+                    &caches[s], feat, steps, &mut dwih, &mut dwhh, &mut dbias, &mut dxs, &mut dh,
+                    &mut dh_prev, &mut dc,
+                );
+                (dxs, dwih, dwhh, dbias)
+            });
+            for (s, (dxs, dwih, dwhh, dbias)) in partials.into_iter().enumerate() {
+                dx.data_mut()[s * feat * steps..(s + 1) * feat * steps].copy_from_slice(&dxs);
+                for (dst, src) in self.w_ih.grad.iter_mut().zip(&dwih) {
+                    *dst += src;
+                }
+                for (dst, src) in self.w_hh.grad.iter_mut().zip(&dwhh) {
+                    *dst += src;
+                }
+                for (dst, src) in self.bias.grad.iter_mut().zip(&dbias) {
+                    *dst += src;
+                }
             }
         }
+        self.caches = caches;
         dx
     }
 
     fn params_mut(&mut self) -> Vec<&mut Param> {
-        vec![&mut self.w_ih, &mut self.w_hh, &mut self.bias]
+        vec![&mut self.w_ih, &mut self.w_hh, &mut self.bias] // alloc-ok: cold path (save/restore)
+    }
+
+    fn for_each_param(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.w_ih);
+        f(&mut self.w_hh);
+        f(&mut self.bias);
     }
 }
 
@@ -341,6 +503,29 @@ mod tests {
         let short = l.forward(&Tensor::new(&[1, 1, 1], vec![1.0]), false);
         let long = l.forward(&Tensor::new(&[1, 1, 10], vec![1.0; 10]), false);
         assert_ne!(short.data(), long.data());
+    }
+
+    #[test]
+    fn warm_caches_match_cold_forward() {
+        // Reusing the persistent caches and pooled scratch must not
+        // change a single bit versus a fresh layer.
+        let mut rng = SeedRng::new(21);
+        let mut l = Lstm::new(2, 4, &mut rng);
+        let mut fresh = l.clone();
+        let x = Tensor::new(&[3, 2, 6], (0..36).map(|i| (i as f32 * 0.11).sin()).collect());
+        // Warm up on a different shape first, then on the target shape.
+        let _ = l.forward(&Tensor::zeros(&[2, 2, 9]), true);
+        let _ = l.forward(&x, true);
+        let warm = l.forward(&x, true);
+        let cold = fresh.forward(&x, true);
+        assert_eq!(warm.data(), cold.data());
+        let g = Tensor::new(&[3, 4], (0..12).map(|i| 0.1 * i as f32 - 0.5).collect());
+        let dwarm = l.backward(&g);
+        let dcold = fresh.backward(&g);
+        assert_eq!(dwarm.data(), dcold.data());
+        assert_eq!(l.w_ih.grad, fresh.w_ih.grad);
+        assert_eq!(l.w_hh.grad, fresh.w_hh.grad);
+        assert_eq!(l.bias.grad, fresh.bias.grad);
     }
 
     #[test]

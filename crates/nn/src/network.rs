@@ -9,6 +9,7 @@ use crate::optim::Adam;
 use crate::pool::{AvgPool1d, MaxPool1d};
 use crate::relu::Relu;
 use crate::tensor::Tensor;
+use crate::workspace;
 use crate::Layer;
 use bf_stats::SeedRng;
 use serde::{Deserialize, Serialize};
@@ -148,7 +149,7 @@ impl CnnLstm {
         let _ = config.lstm_steps(); // validate geometry eagerly
         let mut rng = SeedRng::new(seed);
         let f = config.conv_filters;
-        let layers: Vec<Box<dyn Layer>> = vec![
+        let layers: Vec<Box<dyn Layer>> = vec![ // alloc-ok: construction
             Box::new(Conv1d::new(1, f, config.conv_kernel, config.conv_stride, &mut rng)),
             Box::new(Relu::new()),
             config.pool_kind.build(config.pool_size),
@@ -168,35 +169,65 @@ impl CnnLstm {
     }
 
     /// Forward pass: traces `(N, 1, input_len)` → logits `(N, classes)`.
+    ///
+    /// Intermediate activations come from — and are recycled back into —
+    /// the thread's [`workspace`](crate::workspace) arena, so a warm
+    /// pass does not allocate. The returned logits are pooled storage
+    /// too; callers on the hot path recycle them when done (dropping
+    /// them instead is safe, just a pool re-warm).
     pub fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
         assert_eq!(x.shape().len(), 3, "input must be (N, 1, L)");
         assert_eq!(x.shape()[1], 1, "input must have one channel");
         assert_eq!(x.shape()[2], self.config.input_len, "trace length mismatch");
-        let mut cur = x.clone();
+        let mut cur: Option<Tensor> = None;
         for layer in &mut self.layers {
-            cur = layer.forward(&cur, train);
+            let next = match &cur {
+                Some(t) => layer.forward(t, train),
+                None => layer.forward(x, train),
+            };
+            if let Some(t) = cur.take() {
+                workspace::recycle(t);
+            }
+            cur = Some(next);
         }
-        cur
+        cur.expect("network has no layers")
     }
 
     /// One training step on a batch; returns the batch loss.
+    ///
+    /// Steady-state steps are allocation-free: activations, gradients,
+    /// and every layer's scratch are pooled, and the optimizer visits
+    /// parameters through [`Layer::for_each_param`] without building a
+    /// list (asserted end-to-end by `tests/alloc_regression.rs`).
     pub fn train_batch(&mut self, x: &Tensor, labels: &[usize]) -> f32 {
         let logits = self.forward(x, true);
         let (loss, grad) = softmax_cross_entropy(&logits, labels);
+        workspace::recycle(logits);
         let mut g = grad;
         for layer in self.layers.iter_mut().rev() {
-            g = layer.backward(&g);
+            let next = layer.backward(&g);
+            workspace::recycle(g);
+            g = next;
         }
-        let params: Vec<&mut crate::Param> =
-            self.layers.iter_mut().flat_map(|l| l.params_mut()).collect();
-        self.optimizer.step(params);
+        workspace::recycle(g);
+        self.optimizer.begin_step();
+        let CnnLstm { layers, optimizer, .. } = self;
+        let mut pi = 0usize;
+        for layer in layers.iter_mut() {
+            layer.for_each_param(&mut |p| {
+                optimizer.step_param(pi, p);
+                pi += 1;
+            });
+        }
         loss
     }
 
     /// Class probabilities for a batch of traces.
     pub fn predict_proba(&mut self, x: &Tensor) -> Tensor {
         let logits = self.forward(x, false);
-        softmax(&logits)
+        let p = softmax(&logits);
+        workspace::recycle(logits);
+        p
     }
 
     /// Argmax predictions for a batch.
@@ -212,7 +243,7 @@ impl CnnLstm {
                     .map(|(j, _)| j)
                     .unwrap_or(0)
             })
-            .collect()
+            .collect() // alloc-ok: cold path (inference API)
     }
 
     /// Snapshot all parameter values (early-stopping checkpoints).
@@ -221,7 +252,7 @@ impl CnnLstm {
             .iter_mut()
             .flat_map(|l| l.params_mut())
             .map(|p| p.value.clone())
-            .collect()
+            .collect() // alloc-ok: cold path (checkpoints)
     }
 
     /// Restore parameters from a snapshot.
@@ -244,7 +275,7 @@ impl CnnLstm {
     /// Describes the first tensor-count or tensor-size disagreement.
     pub fn try_restore_params(&mut self, snapshot: &[Vec<f32>]) -> Result<(), String> {
         let mut params: Vec<&mut crate::Param> =
-            self.layers.iter_mut().flat_map(|l| l.params_mut()).collect();
+            self.layers.iter_mut().flat_map(|l| l.params_mut()).collect(); // alloc-ok: cold path (checkpoints)
         if params.len() != snapshot.len() {
             return Err(format!(
                 "snapshot has {} tensors, network has {}",

@@ -4,6 +4,12 @@
 use crate::param::Param;
 
 /// Adam with bias-corrected first and second moments.
+///
+/// The hot path is [`Adam::begin_step`] + [`Adam::step_param`], which
+/// visit parameters one at a time without materializing a list — moment
+/// buffers are created lazily on the first step and reused in place
+/// forever after, so steady-state updates never allocate. The
+/// list-based [`Adam::step`] wraps the same machinery.
 #[derive(Debug, Clone)]
 pub struct Adam {
     lr: f32,
@@ -11,9 +17,11 @@ pub struct Adam {
     beta2: f32,
     eps: f32,
     t: u64,
-    /// Per-parameter moment buffers, keyed by position in the `step`
-    /// parameter list (the caller must pass parameters in a stable
-    /// order).
+    /// Bias corrections `1 - βᵗ` of the step opened by `begin_step`.
+    b1t: f32,
+    b2t: f32,
+    /// Per-parameter moment buffers, keyed by visit position (the
+    /// caller must visit parameters in a stable order).
     m: Vec<Vec<f32>>,
     v: Vec<Vec<f32>>,
 }
@@ -22,12 +30,60 @@ impl Adam {
     /// Adam with the paper's learning rate and standard betas.
     pub fn new(lr: f32) -> Self {
         assert!(lr > 0.0, "learning rate must be positive");
-        Adam { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, t: 0, m: Vec::new(), v: Vec::new() }
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            t: 0,
+            b1t: 0.0,
+            b2t: 0.0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
     }
 
     /// Number of updates performed.
     pub fn steps(&self) -> u64 {
         self.t
+    }
+
+    /// Open an update step: advances the step counter and fixes the
+    /// bias corrections that every subsequent [`Adam::step_param`] call
+    /// of this step uses.
+    pub fn begin_step(&mut self) {
+        self.t += 1;
+        self.b1t = 1.0 - self.beta1.powi(self.t as i32);
+        self.b2t = 1.0 - self.beta2.powi(self.t as i32);
+    }
+
+    /// Update one parameter from its accumulated gradient, then zero
+    /// the gradient. `pi` is the parameter's position in the caller's
+    /// stable visit order; on the first step each new position
+    /// allocates its moment buffers, afterwards they are reused.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `pi` skips ahead of the known parameter count or the
+    /// parameter's size changed between steps.
+    pub fn step_param(&mut self, pi: usize, p: &mut Param) {
+        if pi == self.m.len() {
+            self.m.push(vec![0.0; p.len()]); // alloc-ok: first step only
+            self.v.push(vec![0.0; p.len()]); // alloc-ok: first step only
+        }
+        assert!(pi < self.m.len(), "parameter {pi} visited out of order");
+        assert_eq!(self.m[pi].len(), p.len(), "parameter {pi} changed size");
+        let m = &mut self.m[pi];
+        let v = &mut self.v[pi];
+        for j in 0..p.len() {
+            let g = p.grad[j];
+            m[j] = self.beta1 * m[j] + (1.0 - self.beta1) * g;
+            v[j] = self.beta2 * v[j] + (1.0 - self.beta2) * g * g;
+            let m_hat = m[j] / self.b1t;
+            let v_hat = v[j] / self.b2t;
+            p.value[j] -= self.lr * m_hat / (v_hat.sqrt() + self.eps);
+        }
+        p.zero_grad();
     }
 
     /// Apply one update to `params` from their accumulated gradients,
@@ -37,27 +93,12 @@ impl Adam {
     ///
     /// Panics when the parameter list's shape changes between calls.
     pub fn step(&mut self, mut params: Vec<&mut Param>) {
-        if self.m.is_empty() {
-            self.m = params.iter().map(|p| vec![0.0; p.len()]).collect();
-            self.v = params.iter().map(|p| vec![0.0; p.len()]).collect();
+        if !self.m.is_empty() {
+            assert_eq!(self.m.len(), params.len(), "parameter list changed shape");
         }
-        assert_eq!(self.m.len(), params.len(), "parameter list changed shape");
-        self.t += 1;
-        let b1t = 1.0 - self.beta1.powi(self.t as i32);
-        let b2t = 1.0 - self.beta2.powi(self.t as i32);
+        self.begin_step();
         for (pi, p) in params.iter_mut().enumerate() {
-            assert_eq!(self.m[pi].len(), p.len(), "parameter {pi} changed size");
-            let m = &mut self.m[pi];
-            let v = &mut self.v[pi];
-            for j in 0..p.len() {
-                let g = p.grad[j];
-                m[j] = self.beta1 * m[j] + (1.0 - self.beta1) * g;
-                v[j] = self.beta2 * v[j] + (1.0 - self.beta2) * g * g;
-                let m_hat = m[j] / b1t;
-                let v_hat = v[j] / b2t;
-                p.value[j] -= self.lr * m_hat / (v_hat.sqrt() + self.eps);
-            }
-            p.zero_grad();
+            self.step_param(pi, p);
         }
     }
 }
@@ -105,6 +146,30 @@ mod tests {
         let mut adam = Adam::new(0.01);
         adam.step(vec![&mut p]);
         assert_eq!(p.value, before);
+    }
+
+    #[test]
+    fn visitor_form_matches_list_form() {
+        let mut pa = Param::zeros(2);
+        let mut pb = Param::zeros(3);
+        let mut qa = Param::zeros(2);
+        let mut qb = Param::zeros(3);
+        let mut list_adam = Adam::new(0.01);
+        let mut visit_adam = Adam::new(0.01);
+        for step in 0..5 {
+            for (i, (p, q)) in [(&mut pa, &mut qa), (&mut pb, &mut qb)].into_iter().enumerate() {
+                for (j, g) in p.grad.iter_mut().enumerate() {
+                    *g = ((step * 7 + i * 3 + j) as f32 * 0.21).sin();
+                }
+                q.grad.copy_from_slice(&p.grad);
+            }
+            list_adam.step(vec![&mut pa, &mut pb]);
+            visit_adam.begin_step();
+            visit_adam.step_param(0, &mut qa);
+            visit_adam.step_param(1, &mut qb);
+        }
+        assert_eq!(pa.value, qa.value);
+        assert_eq!(pb.value, qb.value);
     }
 
     #[test]

@@ -1,6 +1,11 @@
 //! 1-D pooling: max (the paper's choice) and average (ablation).
+//!
+//! Outputs come from the thread's [`workspace`] arena and the argmax /
+//! shape caches are persistent buffers reset in place, so steady-state
+//! training steps never allocate here.
 
 use crate::tensor::Tensor;
+use crate::workspace;
 use crate::Layer;
 
 /// Non-overlapping max pooling over the length axis: `(N, C, L)` →
@@ -9,7 +14,7 @@ use crate::Layer;
 pub struct MaxPool1d {
     size: usize,
     /// Argmax indices from the last training forward, for routing
-    /// gradients.
+    /// gradients (paired with the input shape).
     cached_argmax: Option<(Vec<usize>, Vec<usize>)>,
 }
 
@@ -28,16 +33,18 @@ impl MaxPool1d {
     pub fn out_len(&self, l: usize) -> usize {
         l / self.size
     }
-}
 
-impl Layer for MaxPool1d {
-    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
-        assert_eq!(x.shape().len(), 3, "maxpool expects (N, C, L)");
-        let (n, c, l) = (x.shape()[0], x.shape()[1], x.shape()[2]);
-        let lo = self.out_len(l);
-        assert!(lo > 0, "input length {l} shorter than pool window {}", self.size);
-        let mut out = Tensor::zeros(&[n, c, lo]);
-        let mut argmax = vec![0usize; n * c * lo];
+    /// The pooling triple loop; records the winning flat index per
+    /// window into `argmax` when given.
+    fn pool_into(
+        &self,
+        x: &Tensor,
+        n: usize,
+        c: usize,
+        lo: usize,
+        out: &mut [f32],
+        mut argmax: Option<&mut [usize]>,
+    ) {
         for i in 0..n {
             for ch in 0..c {
                 for p in 0..lo {
@@ -53,14 +60,36 @@ impl Layer for MaxPool1d {
                                 (bk, bv)
                             }
                         });
-                    let oi = out.idx3(i, ch, p);
-                    out.data_mut()[oi] = best_v;
-                    argmax[oi] = start + best_k;
+                    let oi = (i * c + ch) * lo + p;
+                    out[oi] = best_v;
+                    if let Some(am) = argmax.as_deref_mut() {
+                        am[oi] = start + best_k;
+                    }
                 }
             }
         }
+    }
+}
+
+impl Layer for MaxPool1d {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        assert_eq!(x.shape().len(), 3, "maxpool expects (N, C, L)");
+        let (n, c, l) = (x.shape()[0], x.shape()[1], x.shape()[2]);
+        let lo = self.out_len(l);
+        assert!(lo > 0, "input length {l} shorter than pool window {}", self.size);
+        let mut out = workspace::tensor(&[n, c, lo]);
         if train {
-            self.cached_argmax = Some((argmax, x.shape().to_vec()));
+            // Reuse the cached buffers in place; a warm cache never
+            // reallocates.
+            let (mut argmax, mut shape) = self.cached_argmax.take().unwrap_or_default();
+            argmax.clear();
+            argmax.resize(n * c * lo, 0);
+            shape.clear();
+            shape.extend_from_slice(x.shape());
+            self.pool_into(x, n, c, lo, out.data_mut(), Some(&mut argmax));
+            self.cached_argmax = Some((argmax, shape));
+        } else {
+            self.pool_into(x, n, c, lo, out.data_mut(), None);
         }
         out
     }
@@ -68,7 +97,7 @@ impl Layer for MaxPool1d {
     fn backward(&mut self, grad: &Tensor) -> Tensor {
         let (argmax, in_shape) =
             self.cached_argmax.as_ref().expect("backward without forward");
-        let mut dx = Tensor::zeros(in_shape);
+        let mut dx = workspace::tensor(in_shape);
         for (gi, &src) in argmax.iter().enumerate() {
             dx.data_mut()[src] += grad.data()[gi];
         }
@@ -107,27 +136,32 @@ impl Layer for AvgPool1d {
         let (n, c, l) = (x.shape()[0], x.shape()[1], x.shape()[2]);
         let lo = self.out_len(l);
         assert!(lo > 0, "input length {l} shorter than pool window {}", self.size);
-        let mut out = Tensor::zeros(&[n, c, lo]);
+        let mut out = workspace::tensor(&[n, c, lo]);
         let inv = 1.0 / self.size as f32;
         for i in 0..n {
             for ch in 0..c {
                 for p in 0..lo {
                     let start = x.idx3(i, ch, p * self.size);
                     let sum: f32 = x.data()[start..start + self.size].iter().sum();
-                    let oi = out.idx3(i, ch, p);
-                    out.data_mut()[oi] = sum * inv;
+                    out.data_mut()[(i * c + ch) * lo + p] = sum * inv;
                 }
             }
         }
         if train {
-            self.cached_in_shape = Some(x.shape().to_vec());
+            match &mut self.cached_in_shape {
+                Some(s) => {
+                    s.clear();
+                    s.extend_from_slice(x.shape());
+                }
+                None => self.cached_in_shape = Some(x.shape().to_vec()), // alloc-ok: first forward only
+            }
         }
         out
     }
 
     fn backward(&mut self, grad: &Tensor) -> Tensor {
         let in_shape = self.cached_in_shape.as_ref().expect("backward without forward");
-        let mut dx = Tensor::zeros(in_shape);
+        let mut dx = workspace::tensor(in_shape);
         let (n, c) = (in_shape[0], in_shape[1]);
         let lo = grad.shape()[2];
         let inv = 1.0 / self.size as f32;
@@ -191,6 +225,17 @@ mod tests {
         let x = Tensor::new(&[1, 2, 2], vec![1.0, 2.0, 30.0, 4.0]);
         let y = p.forward(&x, false);
         assert_eq!(y.data(), &[2.0, 30.0]);
+    }
+
+    #[test]
+    fn cache_reuse_across_shapes() {
+        let mut p = MaxPool1d::new(2);
+        let _ = p.forward(&Tensor::new(&[1, 1, 6], vec![1.0, 5.0, 2.0, 2.0, 9.0, 0.0]), true);
+        // Smaller batch after a larger one must not read stale indices.
+        let x = Tensor::new(&[1, 1, 4], vec![4.0, 1.0, 0.0, 8.0]);
+        let _ = p.forward(&x, true);
+        let dx = p.backward(&Tensor::new(&[1, 1, 2], vec![1.0, 2.0]));
+        assert_eq!(dx.data(), &[1.0, 0.0, 0.0, 2.0]);
     }
 
     #[test]

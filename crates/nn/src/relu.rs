@@ -1,51 +1,55 @@
 //! ReLU activation.
 
 use crate::tensor::Tensor;
+use crate::workspace;
 use crate::Layer;
 
-/// Elementwise `max(0, x)` of any shape.
+/// Elementwise `max(0, x)` of any shape. The output comes from the
+/// thread's [`workspace`] arena and the pass mask is a persistent
+/// buffer refilled in place, so steady-state steps never allocate here.
 #[derive(Debug, Clone, Default)]
 pub struct Relu {
-    cached_mask: Option<Vec<bool>>,
+    mask: Vec<bool>,
+    /// False until the first training forward fills `mask`.
+    mask_set: bool,
 }
 
 impl Relu {
     /// A ReLU layer.
     pub fn new() -> Self {
-        Relu { cached_mask: None }
+        Relu::default()
     }
 }
 
 impl Layer for Relu {
     fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
-        let mut out = x.clone();
-        let mut mask = Vec::new();
+        let mut out = workspace::tensor_copy_of(x);
         if train {
-            mask.reserve(x.len());
-        }
-        for v in out.data_mut() {
-            let pass = *v > 0.0;
-            if !pass {
-                *v = 0.0;
+            // Presized mask + branchless select keep the pass a single
+            // vectorizable sweep (a per-element `push` pays a capacity
+            // check on every element).
+            self.mask.clear();
+            self.mask.resize(out.len(), false);
+            for (v, m) in out.data_mut().iter_mut().zip(self.mask.iter_mut()) {
+                let pass = *v > 0.0;
+                *m = pass;
+                *v = if pass { *v } else { 0.0 };
             }
-            if train {
-                mask.push(pass);
+            self.mask_set = true;
+        } else {
+            for v in out.data_mut() {
+                *v = if *v > 0.0 { *v } else { 0.0 };
             }
-        }
-        if train {
-            self.cached_mask = Some(mask);
         }
         out
     }
 
     fn backward(&mut self, grad: &Tensor) -> Tensor {
-        let mask = self.cached_mask.as_ref().expect("backward without forward");
-        assert_eq!(mask.len(), grad.len(), "gradient shape mismatch");
-        let mut dx = grad.clone();
-        for (v, &pass) in dx.data_mut().iter_mut().zip(mask) {
-            if !pass {
-                *v = 0.0;
-            }
+        assert!(self.mask_set, "backward without forward");
+        assert_eq!(self.mask.len(), grad.len(), "gradient shape mismatch");
+        let mut dx = workspace::tensor_copy_of(grad);
+        for (v, &pass) in dx.data_mut().iter_mut().zip(&self.mask) {
+            *v = if pass { *v } else { 0.0 };
         }
         dx
     }
@@ -79,5 +83,13 @@ mod tests {
         let _ = r.forward(&x, true);
         let dx = r.backward(&Tensor::new(&[1, 1], vec![5.0]));
         assert_eq!(dx.data(), &[0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "backward without forward")]
+    fn backward_requires_training_forward() {
+        let mut r = Relu::new();
+        let _ = r.forward(&Tensor::new(&[1, 1], vec![1.0]), false);
+        let _ = r.backward(&Tensor::new(&[1, 1], vec![1.0]));
     }
 }

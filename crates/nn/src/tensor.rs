@@ -18,12 +18,48 @@ impl Tensor {
     pub fn new(shape: &[usize], data: Vec<f32>) -> Self {
         let expected: usize = shape.iter().product();
         assert_eq!(data.len(), expected, "shape {shape:?} wants {expected} elements");
-        Tensor { shape: shape.to_vec(), data }
+        Tensor { shape: shape.to_vec(), data } // alloc-ok: owned constructor
     }
 
     /// All-zeros tensor.
     pub fn zeros(shape: &[usize]) -> Self {
-        Tensor { shape: shape.to_vec(), data: vec![0.0; shape.iter().product()] }
+        Tensor { shape: shape.to_vec(), data: vec![0.0; shape.iter().product()] } // alloc-ok: owned constructor
+    }
+
+    /// All-zeros tensor drawing its storage from a workspace arena
+    /// instead of the allocator — the hot-path counterpart of
+    /// [`Tensor::zeros`].
+    pub fn zeroed_in(ws: &mut crate::workspace::Workspace, shape: &[usize]) -> Self {
+        ws.tensor(shape)
+    }
+
+    /// Assemble a tensor from already-owned parts (workspace recycling).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `data.len()` does not equal the product of `shape`.
+    pub(crate) fn from_raw(shape: Vec<usize>, data: Vec<f32>) -> Self {
+        let expected: usize = shape.iter().product();
+        assert_eq!(data.len(), expected, "shape {shape:?} wants {expected} elements");
+        Tensor { shape, data }
+    }
+
+    /// Dismantle into `(shape, data)` so a workspace can pool both.
+    pub(crate) fn into_raw(self) -> (Vec<usize>, Vec<f32>) {
+        (self.shape, self.data)
+    }
+
+    /// Make this tensor an exact copy of `src`, reusing existing
+    /// capacity instead of allocating when it suffices.
+    pub fn copy_from(&mut self, src: &Tensor) {
+        if self.shape.len() == src.shape.len() {
+            self.shape.copy_from_slice(&src.shape);
+        } else {
+            self.shape.clear();
+            self.shape.extend_from_slice(&src.shape);
+        }
+        self.data.clear();
+        self.data.extend_from_slice(&src.data);
     }
 
     /// The shape.
@@ -64,7 +100,15 @@ impl Tensor {
     pub fn reshaped(mut self, shape: &[usize]) -> Self {
         let expected: usize = shape.iter().product();
         assert_eq!(self.data.len(), expected, "reshape to {shape:?} mismatches");
-        self.shape = shape.to_vec();
+        // Rewrite the existing shape vector in place: reshapes on the
+        // training hot path keep the rank (and thus the capacity), so no
+        // reallocation happens there.
+        if self.shape.len() == shape.len() {
+            self.shape.copy_from_slice(shape);
+        } else {
+            self.shape.clear();
+            self.shape.extend_from_slice(shape);
+        }
         self
     }
 
@@ -120,20 +164,127 @@ pub fn im2col(
     stride: usize,
     out: &mut Vec<f32>,
 ) -> usize {
-    assert_eq!(sample.len(), channels * len, "sample shape mismatch");
     assert!(kernel > 0 && stride > 0, "kernel and stride must be positive");
     assert!(len >= kernel, "input length {len} shorter than kernel {kernel}");
     let lo = (len - kernel) / stride + 1;
     out.clear();
-    out.reserve(lo * channels * kernel);
+    out.resize(lo * channels * kernel, 0.0);
+    im2col_into(sample, channels, len, kernel, stride, out)
+}
+
+/// [`im2col`] writing into an exactly-sized pre-allocated slice — the
+/// workspace-arena form used by the zero-allocation training path.
+///
+/// # Panics
+///
+/// Panics on the same shape violations as [`im2col`], or when
+/// `out.len()` is not exactly `L_out * channels * kernel`.
+pub fn im2col_into(
+    sample: &[f32],
+    channels: usize,
+    len: usize,
+    kernel: usize,
+    stride: usize,
+    out: &mut [f32],
+) -> usize {
+    assert_eq!(sample.len(), channels * len, "sample shape mismatch");
+    assert!(kernel > 0 && stride > 0, "kernel and stride must be positive");
+    assert!(len >= kernel, "input length {len} shorter than kernel {kernel}");
+    let lo = (len - kernel) / stride + 1;
+    assert_eq!(out.len(), lo * channels * kernel, "im2col output size mismatch");
+    let mut dst = 0;
     for p in 0..lo {
         let start = p * stride;
         for ci in 0..channels {
             let base = ci * len + start;
-            out.extend_from_slice(&sample[base..base + kernel]);
+            out[dst..dst + kernel].copy_from_slice(&sample[base..base + kernel]);
+            dst += kernel;
         }
     }
     lo
+}
+
+/// `init + Σ a[i]·b[i]` with a fixed-width (8-lane) unrolled inner loop.
+///
+/// Determinism contract: the eight products of a block are independent
+/// (instruction-level parallelism for the FPU), but they are **added to
+/// the accumulator strictly in index order**, so the result is
+/// bit-identical to the naive `for i { acc += a[i] * b[i] }` loop — the
+/// unrolling buys ILP on the multiplies without touching the
+/// floating-point reduction order that `par_determinism` pins.
+///
+/// # Panics
+///
+/// Debug-panics when lengths differ.
+#[inline]
+pub fn dot_unrolled_from(init: f32, a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len(), "dot operand length mismatch");
+    let n8 = a.len() / 8 * 8;
+    let (a8, a_tail) = a.split_at(n8);
+    let (b8, b_tail) = b.split_at(n8);
+    let mut acc = init;
+    for (ca, cb) in a8.chunks_exact(8).zip(b8.chunks_exact(8)) {
+        let p0 = ca[0] * cb[0];
+        let p1 = ca[1] * cb[1];
+        let p2 = ca[2] * cb[2];
+        let p3 = ca[3] * cb[3];
+        let p4 = ca[4] * cb[4];
+        let p5 = ca[5] * cb[5];
+        let p6 = ca[6] * cb[6];
+        let p7 = ca[7] * cb[7];
+        acc += p0;
+        acc += p1;
+        acc += p2;
+        acc += p3;
+        acc += p4;
+        acc += p5;
+        acc += p6;
+        acc += p7;
+    }
+    for (av, bv) in a_tail.iter().zip(b_tail) {
+        acc += av * bv;
+    }
+    acc
+}
+
+/// `Σ a[i]·b[i]` — [`dot_unrolled_from`] with a zero seed.
+#[inline]
+pub fn dot_unrolled(a: &[f32], b: &[f32]) -> f32 {
+    dot_unrolled_from(0.0, a, b)
+}
+
+/// `y[i] += a·x[i]`. Purely elementwise, so evaluation order cannot
+/// affect any bit; the plain zip body is what LLVM's auto-vectorizer
+/// turns into packed SIMD (a hand-unrolled version of this loop
+/// measured ~4× *slower* — the manual unroll defeated vectorization).
+///
+/// # Panics
+///
+/// Debug-panics when lengths differ.
+#[inline]
+pub fn axpy_unrolled(y: &mut [f32], a: f32, x: &[f32]) {
+    debug_assert_eq!(y.len(), x.len(), "axpy operand length mismatch");
+    for (yv, xv) in y.iter_mut().zip(x) {
+        *yv += a * xv;
+    }
+}
+
+/// `y[i] = (y[i] + a0·x0[i]) + a1·x1[i]` — two fused [`axpy_unrolled`]
+/// steps. The parenthesization matches two sequential axpy calls
+/// exactly (Rust's `+` is left-associative), so the fusion changes no
+/// bit; it exists to halve the read-modify-write traffic on `y` when a
+/// caller has two updates queued for the same row.
+///
+/// # Panics
+///
+/// Debug-panics when lengths differ.
+#[inline]
+pub fn axpy2_unrolled(y: &mut [f32], a0: f32, x0: &[f32], a1: f32, x1: &[f32]) {
+    debug_assert_eq!(y.len(), x0.len(), "axpy operand length mismatch");
+    debug_assert_eq!(y.len(), x1.len(), "axpy operand length mismatch");
+    for ((yv, xv0), xv1) in y.iter_mut().zip(x0).zip(x1) {
+        *yv = *yv + a0 * xv0 + a1 * xv1;
+    }
 }
 
 /// `out[i * n + j] = init(i, j) + dot(a[i], b[j])` for `a: (m, k)` and
@@ -179,26 +330,105 @@ pub fn matmul_abt(
     if let Some(init) = col_init {
         assert_eq!(init.len(), n, "col init length mismatch");
     }
+    let init_at = |i: usize, j: usize| match (row_init, col_init) {
+        (Some(init), _) => init[i],
+        (_, Some(init)) => init[j],
+        _ => 0.0,
+    };
     // Tile size: keep a tile of `b` rows within ~32 KiB so they are
     // re-read from cache for every `a` row. Bits are unaffected by the
     // choice — accumulation per element is always full-`k`, in order.
     let tile = (8192 / k.max(1)).clamp(1, n.max(1));
     for jb in (0..n).step_by(tile) {
         let je = (jb + tile).min(n);
-        for i in 0..m {
-            let arow = &a[i * k..(i + 1) * k];
-            let orow = &mut out[i * n..(i + 1) * n];
-            for j in jb..je {
-                let brow = &b[j * k..(j + 1) * k];
-                let mut acc = match (row_init, col_init) {
-                    (Some(init), _) => init[i],
-                    (_, Some(init)) => init[j],
-                    _ => 0.0,
-                };
-                for (av, bv) in arow.iter().zip(brow) {
-                    acc += av * bv;
+        // Register blocking: a 2×4 micro-tile gives every output its own
+        // accumulator — eight independent dependency chains instead of
+        // one, which is what keeps the FPU pipeline full. Each chain
+        // still adds its products strictly in `k` order seeded from its
+        // init, so every element is bit-identical to a lone dot product.
+        let mut i = 0;
+        while i + 2 <= m {
+            let a0 = &a[i * k..(i + 1) * k];
+            let a1 = &a[(i + 1) * k..(i + 2) * k];
+            let mut j = jb;
+            while j + 4 <= je {
+                let b0 = &b[j * k..(j + 1) * k];
+                let b1 = &b[(j + 1) * k..(j + 2) * k];
+                let b2 = &b[(j + 2) * k..(j + 3) * k];
+                let b3 = &b[(j + 3) * k..(j + 4) * k];
+                let mut acc = [
+                    init_at(i, j),
+                    init_at(i, j + 1),
+                    init_at(i, j + 2),
+                    init_at(i, j + 3),
+                    init_at(i + 1, j),
+                    init_at(i + 1, j + 1),
+                    init_at(i + 1, j + 2),
+                    init_at(i + 1, j + 3),
+                ];
+                for t in 0..k {
+                    let av0 = a0[t];
+                    let av1 = a1[t];
+                    let bv0 = b0[t];
+                    let bv1 = b1[t];
+                    let bv2 = b2[t];
+                    let bv3 = b3[t];
+                    acc[0] += av0 * bv0;
+                    acc[1] += av0 * bv1;
+                    acc[2] += av0 * bv2;
+                    acc[3] += av0 * bv3;
+                    acc[4] += av1 * bv0;
+                    acc[5] += av1 * bv1;
+                    acc[6] += av1 * bv2;
+                    acc[7] += av1 * bv3;
                 }
-                orow[j] = acc;
+                out[i * n + j..i * n + j + 4].copy_from_slice(&acc[..4]);
+                out[(i + 1) * n + j..(i + 1) * n + j + 4].copy_from_slice(&acc[4..]);
+                j += 4;
+            }
+            while j < je {
+                let brow = &b[j * k..(j + 1) * k];
+                let mut acc0 = init_at(i, j);
+                let mut acc1 = init_at(i + 1, j);
+                for t in 0..k {
+                    let bv = brow[t];
+                    acc0 += a0[t] * bv;
+                    acc1 += a1[t] * bv;
+                }
+                out[i * n + j] = acc0;
+                out[(i + 1) * n + j] = acc1;
+                j += 1;
+            }
+            i += 2;
+        }
+        if i < m {
+            let arow = &a[i * k..(i + 1) * k];
+            let mut j = jb;
+            while j + 4 <= je {
+                let b0 = &b[j * k..(j + 1) * k];
+                let b1 = &b[(j + 1) * k..(j + 2) * k];
+                let b2 = &b[(j + 2) * k..(j + 3) * k];
+                let b3 = &b[(j + 3) * k..(j + 4) * k];
+                let mut acc = [
+                    init_at(i, j),
+                    init_at(i, j + 1),
+                    init_at(i, j + 2),
+                    init_at(i, j + 3),
+                ];
+                for t in 0..k {
+                    let av = arow[t];
+                    acc[0] += av * b0[t];
+                    acc[1] += av * b1[t];
+                    acc[2] += av * b2[t];
+                    acc[3] += av * b3[t];
+                }
+                out[i * n + j..i * n + j + 4].copy_from_slice(&acc);
+                j += 4;
+            }
+            while j < je {
+                let brow = &b[j * k..(j + 1) * k];
+                out[i * n + j] = dot_unrolled_from(init_at(i, j), arow, brow);
+                j += 1;
             }
         }
     }
@@ -317,6 +547,77 @@ mod tests {
         let mut out = vec![0.0; 4];
         matmul_abt(&a, &b, 2, 2, 2, None, Some(&cb), &mut out);
         assert_eq!(out, vec![102.0, 204.0, 103.0, 205.0]);
+    }
+
+    #[test]
+    fn dot_unrolled_matches_naive_bitwise() {
+        for n in [0usize, 1, 7, 8, 9, 16, 23, 300] {
+            let a: Vec<f32> = (0..n).map(|i| (i as f32 * 0.31).sin()).collect();
+            let b: Vec<f32> = (0..n).map(|i| (i as f32 * 0.17).cos()).collect();
+            let mut naive = 0.25f32;
+            for (av, bv) in a.iter().zip(&b) {
+                naive += av * bv;
+            }
+            let fast = dot_unrolled_from(0.25, &a, &b);
+            assert_eq!(naive.to_bits(), fast.to_bits(), "n = {n}");
+            assert_eq!(dot_unrolled(&a, &b).to_bits(), dot_unrolled_from(0.0, &a, &b).to_bits());
+        }
+    }
+
+    #[test]
+    fn axpy_unrolled_matches_naive_bitwise() {
+        for n in [0usize, 1, 7, 8, 9, 16, 23, 300] {
+            let x: Vec<f32> = (0..n).map(|i| (i as f32 * 0.13).sin()).collect();
+            let mut y1: Vec<f32> = (0..n).map(|i| (i as f32 * 0.07).cos()).collect();
+            let mut y2 = y1.clone();
+            for (yv, xv) in y1.iter_mut().zip(&x) {
+                *yv += -0.37 * xv;
+            }
+            axpy_unrolled(&mut y2, -0.37, &x);
+            let b1: Vec<u32> = y1.iter().map(|v| v.to_bits()).collect();
+            let b2: Vec<u32> = y2.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(b1, b2, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn im2col_into_matches_vec_variant() {
+        let sample: Vec<f32> = (0..30).map(|i| i as f32).collect();
+        let mut v = Vec::new();
+        let lo = im2col(&sample, 2, 15, 4, 2, &mut v);
+        let mut s = vec![9.0f32; v.len()];
+        let lo2 = im2col_into(&sample, 2, 15, 4, 2, &mut s);
+        assert_eq!(lo, lo2);
+        assert_eq!(v, s);
+    }
+
+    #[test]
+    #[should_panic(expected = "output size mismatch")]
+    fn im2col_into_rejects_wrong_output_len() {
+        im2col_into(&[0.0; 8], 1, 8, 2, 2, &mut [0.0; 3]);
+    }
+
+    #[test]
+    fn copy_from_reuses_capacity_and_matches() {
+        let src = Tensor::new(&[2, 3], (0..6).map(|x| x as f32).collect());
+        let mut dst = Tensor::zeros(&[3, 2]);
+        let cap = dst.data.capacity();
+        dst.copy_from(&src);
+        assert_eq!(dst.shape(), src.shape());
+        assert_eq!(dst.data(), src.data());
+        assert_eq!(dst.data.capacity(), cap, "same-size copy must not reallocate");
+    }
+
+    #[test]
+    fn zeroed_in_draws_from_workspace() {
+        let mut ws = crate::workspace::Workspace::new();
+        let t = Tensor::zeroed_in(&mut ws, &[2, 4]);
+        assert_eq!(t.shape(), &[2, 4]);
+        assert!(t.data().iter().all(|&v| v == 0.0));
+        ws.recycle(t);
+        let t = Tensor::zeroed_in(&mut ws, &[4, 2]);
+        assert_eq!(ws.stats().hits, 1);
+        assert_eq!(t.len(), 8);
     }
 
     #[test]

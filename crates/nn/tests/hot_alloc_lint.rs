@@ -1,0 +1,60 @@
+//! Source-level allocation lint for the training hot path.
+//!
+//! The `alloc_regression` test proves the steady state allocates
+//! nothing at runtime; this lint keeps the *sources* honest between
+//! runs. Every allocation-shaped expression (`vec!`,
+//! `Vec::with_capacity`, `.to_vec(`, `.collect(`) inside a hot module
+//! must carry an `// alloc-ok: <reason>` annotation stating why it is
+//! off the steady-state path (parallel arm, constructor, pool miss,
+//! checkpointing, first step). An unannotated hit fails the test with
+//! the file, line, and offending code.
+//!
+//! `scripts/check_hot_alloc.sh` runs the same scan without a compile.
+
+/// Modules whose bodies constitute the training hot path.
+const HOT_MODULES: &[(&str, &str)] = &[
+    ("conv.rs", include_str!("../src/conv.rs")),
+    ("dense.rs", include_str!("../src/dense.rs")),
+    ("lstm.rs", include_str!("../src/lstm.rs")),
+    ("pool.rs", include_str!("../src/pool.rs")),
+    ("dropout.rs", include_str!("../src/dropout.rs")),
+    ("relu.rs", include_str!("../src/relu.rs")),
+    ("network.rs", include_str!("../src/network.rs")),
+    ("loss.rs", include_str!("../src/loss.rs")),
+    ("optim.rs", include_str!("../src/optim.rs")),
+    ("tensor.rs", include_str!("../src/tensor.rs")),
+    ("workspace.rs", include_str!("../src/workspace.rs")),
+];
+
+const ALLOC_PATTERNS: &[&str] = &["vec!", "Vec::with_capacity", ".to_vec(", ".collect("];
+
+#[test]
+fn hot_modules_annotate_every_allocation() {
+    let mut violations = Vec::new();
+    for (name, source) in HOT_MODULES {
+        for (lineno, line) in source.lines().enumerate() {
+            // Test modules sit at the bottom of each file; everything
+            // after the first `#[cfg(test)]` is out of scope.
+            if line.trim_start().starts_with("#[cfg(test)]") {
+                break;
+            }
+            let trimmed = line.trim_start();
+            if trimmed.starts_with("//") {
+                continue; // prose, not code
+            }
+            if !ALLOC_PATTERNS.iter().any(|p| line.contains(p)) {
+                continue;
+            }
+            if line.contains("// alloc-ok:") {
+                continue;
+            }
+            violations.push(format!("{name}:{}: {}", lineno + 1, trimmed));
+        }
+    }
+    assert!(
+        violations.is_empty(),
+        "unannotated allocations in hot modules (add the code to the \
+         arena/scratch path, or justify with `// alloc-ok: <reason>`):\n{}",
+        violations.join("\n")
+    );
+}

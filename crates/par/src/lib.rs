@@ -17,13 +17,31 @@
 //! Thread count resolution (first match wins):
 //! 1. a programmatic [`set_threads`] override (used by tests and the
 //!    speedup harness),
-//! 2. the `BF_THREADS` environment variable,
+//! 2. the `BF_THREADS` environment variable (resolved once per process;
+//!    see [`reload_env`]),
 //! 3. [`std::thread::available_parallelism`].
 //!
 //! With one thread the map degenerates to an inline sequential loop: no
 //! threads are spawned and no synchronization happens, so `BF_THREADS=1`
 //! is byte-for-byte the pre-parallel code path.
+//!
+//! ## Parallelism budget
+//!
+//! Nested parallel maps used to *multiply*: `BF_THREADS=4` crossval
+//! folds each spawning 4-way batch kernels put 16 runnable threads on a
+//! 4-way host, and the oversubscription showed up as a 0.47x crossval
+//! "speedup" in `BENCH_par_baseline.json`. Parallelism is now a
+//! *budget* that nesting levels **split instead of multiply**: a map
+//! that fans out over `w` workers hands each worker `available() / w`
+//! slots, so the outer level (folds) takes priority and inner levels
+//! (intra-batch kernels) parallelize only when slots remain. The budget
+//! is thread-local, costs nothing to read, and never changes results —
+//! only where items run. [`plan`] exposes the same sizing decision the
+//! maps make so callers can pick between an inline and a parallel code
+//! path (e.g. a zero-allocation sequential kernel vs a buffered
+//! fan-out) without second-guessing the pool.
 
+use std::cell::Cell;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -34,6 +52,19 @@ pub type Panic = Box<dyn std::any::Any + Send + 'static>;
 /// environment).
 static OVERRIDE: AtomicUsize = AtomicUsize::new(0);
 
+/// Cached resolution of `BF_THREADS` / `available_parallelism`.
+/// `std::env::var` allocates a `String` on every call, which would put
+/// the allocator back on the per-step hot path the workspace arenas
+/// exist to clear — so the environment is read once and memoized.
+static ENV_THREADS: AtomicUsize = AtomicUsize::new(ENV_UNINIT);
+const ENV_UNINIT: usize = usize::MAX;
+
+thread_local! {
+    /// Remaining parallelism budget for maps issued from this thread;
+    /// 0 = unset (the thread owns the full pool).
+    static BUDGET: Cell<usize> = const { Cell::new(0) };
+}
+
 /// Override the pool size for this process, taking precedence over
 /// `BF_THREADS`. `None` removes the override. Intended for tests and
 /// benchmarks that compare thread counts in-process; production code
@@ -42,28 +73,70 @@ pub fn set_threads(n: Option<usize>) {
     OVERRIDE.store(n.unwrap_or(0), Ordering::SeqCst);
 }
 
-/// The worker count parallel maps will use: the [`set_threads`] override,
-/// else `BF_THREADS`, else the machine's available parallelism. Always at
+/// Drop the memoized `BF_THREADS` resolution so the next [`threads`]
+/// call re-reads the environment. Only needed by tests that mutate
+/// `BF_THREADS` at runtime; processes configured at launch never call
+/// this.
+pub fn reload_env() {
+    ENV_THREADS.store(ENV_UNINIT, Ordering::SeqCst);
+}
+
+fn env_threads() -> usize {
+    let cached = ENV_THREADS.load(Ordering::Relaxed);
+    if cached != ENV_UNINIT {
+        return cached;
+    }
+    let resolved = std::env::var("BF_THREADS")
+        .ok()
+        .and_then(|s| s.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, usize::from));
+    ENV_THREADS.store(resolved, Ordering::Relaxed);
+    resolved
+}
+
+/// The process-wide pool size: the [`set_threads`] override, else
+/// `BF_THREADS`, else the machine's available parallelism. Always at
 /// least 1; a malformed `BF_THREADS` is ignored.
 pub fn threads() -> usize {
     let o = OVERRIDE.load(Ordering::SeqCst);
     if o > 0 {
         return o;
     }
-    if let Ok(s) = std::env::var("BF_THREADS") {
-        if let Ok(n) = s.trim().parse::<usize>() {
-            if n > 0 {
-                return n;
-            }
-        }
-    }
-    std::thread::available_parallelism().map_or(1, usize::from)
+    env_threads()
 }
 
-/// Map `f` over `items` on up to [`threads`] workers, returning results
-/// **in input order**. Items are claimed dynamically (an atomic cursor),
-/// so uneven item costs still balance, but each result lands in the slot
-/// of its input index — scheduling never reorders outputs.
+/// The parallelism still available to *this thread*: [`threads`] at the
+/// top level, or this worker's share of the budget inside a parallel
+/// map. Inner maps size themselves off this, which is what stops nested
+/// levels from multiplying.
+pub fn available() -> usize {
+    BUDGET.with(|b| match b.get() {
+        0 => threads(),
+        n => n,
+    })
+}
+
+fn set_budget(n: usize) {
+    BUDGET.with(|b| b.set(n));
+}
+
+/// The worker count a parallel map over `n_items` with the given grain
+/// would use right now: `min(available(), n_items / min_per_worker)`,
+/// at least 1. Callers use `plan(n, g) <= 1` to choose an inline code
+/// path (and skip building parallel-only scratch) without duplicating
+/// the sizing rule.
+pub fn plan(n_items: usize, min_per_worker: usize) -> usize {
+    available()
+        .min(n_items / min_per_worker.max(1))
+        .min(n_items)
+        .max(1)
+}
+
+/// Map `f` over `items` on up to [`available`] workers, returning
+/// results **in input order**. Items are claimed dynamically (an atomic
+/// cursor), so uneven item costs still balance, but each result lands
+/// in the slot of its input index — scheduling never reorders outputs.
 ///
 /// Runs inline (no threads, no locks) when one worker suffices.
 ///
@@ -81,11 +154,13 @@ where
 }
 
 /// [`par_map_indexed`] with a minimum number of items per worker: the
-/// pool is sized `min(threads, items / min_per_worker)`, so fine-grained
-/// workloads (tiny dense layers, short batches) stay inline instead of
-/// paying thread spawn cost that dwarfs the work. Determinism is
-/// unaffected — the grain only changes *where* items run, never their
-/// results or order.
+/// pool is sized `min(available, items / min_per_worker)`, so
+/// fine-grained workloads (tiny dense layers, short batches) stay
+/// inline instead of paying thread spawn cost that dwarfs the work.
+/// Each spawned worker inherits `available() / workers` budget slots,
+/// so maps nested inside `f` split the pool instead of multiplying it.
+/// Determinism is unaffected — the grain and the budget only change
+/// *where* items run, never their results or order.
 pub fn par_map_indexed_grained<T, R, F>(items: &[T], min_per_worker: usize, f: F) -> Vec<R>
 where
     T: Sync,
@@ -93,13 +168,11 @@ where
     F: Fn(usize, &T) -> R + Sync,
 {
     let n = items.len();
-    let workers = threads()
-        .min(n / min_per_worker.max(1))
-        .min(n)
-        .max(1);
+    let workers = plan(n, min_per_worker);
     if workers <= 1 {
         return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
     }
+    let child_budget = (available() / workers).max(1);
     let cursor = AtomicUsize::new(0);
     let f = &f;
     let collected: Vec<(usize, R)> = crossbeam::thread::scope(|scope| {
@@ -107,6 +180,7 @@ where
             .map(|_| {
                 let cursor = &cursor;
                 scope.spawn(move |_| {
+                    set_budget(child_budget);
                     let mut local = Vec::new();
                     loop {
                         let i = cursor.fetch_add(1, Ordering::Relaxed);
@@ -141,6 +215,78 @@ where
         .into_iter()
         .map(|s| s.expect("every index claimed exactly once"))
         .collect()
+}
+
+/// Run `f` over the `chunk_len`-sized chunks of `data` in parallel,
+/// giving each worker one reusable `scratch` value (from `mk_scratch`)
+/// for all the chunks it processes. Chunks are distributed round-robin
+/// (chunk `i` → worker `i % workers`), which is deterministic and fair
+/// for the uniform chunk costs of NN batch kernels. The final chunk may
+/// be shorter than `chunk_len`.
+///
+/// This is the writer-side counterpart of [`par_map_indexed_grained`]:
+/// instead of collecting per-item return values it hands each closure a
+/// disjoint `&mut` window of the output, so batch kernels can write
+/// results in place without per-item result buffers. Inline (one
+/// worker) it is a plain loop with a single scratch — no threads, no
+/// allocation beyond what `mk_scratch` does.
+///
+/// # Panics
+///
+/// Panics if `chunk_len == 0`; propagates panics from `f`.
+pub fn par_chunks_mut_scratch<T, S, M, F>(
+    data: &mut [T],
+    chunk_len: usize,
+    min_per_worker: usize,
+    mk_scratch: M,
+    f: F,
+) where
+    T: Send,
+    S: Send,
+    M: Fn() -> S + Sync,
+    F: Fn(usize, &mut [T], &mut S) + Sync,
+{
+    assert!(chunk_len > 0, "chunk_len must be positive");
+    let n = data.len().div_ceil(chunk_len);
+    let workers = plan(n, min_per_worker);
+    if workers <= 1 {
+        let mut scratch = mk_scratch();
+        for (i, chunk) in data.chunks_mut(chunk_len).enumerate() {
+            f(i, chunk, &mut scratch);
+        }
+        return;
+    }
+    let child_budget = (available() / workers).max(1);
+    let mut buckets: Vec<Vec<(usize, &mut [T])>> = (0..workers).map(|_| Vec::new()).collect();
+    for (i, chunk) in data.chunks_mut(chunk_len).enumerate() {
+        buckets[i % workers].push((i, chunk));
+    }
+    let mk_scratch = &mk_scratch;
+    let f = &f;
+    crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = buckets
+            .into_iter()
+            .map(|bucket| {
+                scope.spawn(move |_| {
+                    set_budget(child_budget);
+                    let mut scratch = mk_scratch();
+                    for (i, chunk) in bucket {
+                        f(i, chunk, &mut scratch);
+                    }
+                })
+            })
+            .collect();
+        let mut panic: Option<Panic> = None;
+        for h in handles {
+            if let Err(p) = h.join() {
+                panic = Some(p);
+            }
+        }
+        if let Some(p) = panic {
+            std::panic::resume_unwind(p);
+        }
+    })
+    .expect("bf-par scope");
 }
 
 /// Like [`par_map_indexed`] but a panicking item yields `Err(payload)` in
@@ -282,13 +428,34 @@ mod tests {
         let _lock = SERIAL.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         set_threads(None);
         std::env::set_var("BF_THREADS", "3");
+        reload_env();
         assert_eq!(threads(), 3);
         std::env::set_var("BF_THREADS", "not a number");
+        reload_env();
         assert!(threads() >= 1);
         std::env::remove_var("BF_THREADS");
+        reload_env();
         set_threads(Some(5));
         assert_eq!(threads(), 5);
         set_threads(None);
+        reload_env();
+    }
+
+    #[test]
+    fn env_resolution_is_memoized_until_reload() {
+        let _lock = SERIAL.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        set_threads(None);
+        std::env::set_var("BF_THREADS", "3");
+        reload_env();
+        assert_eq!(threads(), 3);
+        // A runtime change without reload_env() is invisible: the
+        // resolution is cached so the hot path never calls env::var.
+        std::env::set_var("BF_THREADS", "7");
+        assert_eq!(threads(), 3);
+        reload_env();
+        assert_eq!(threads(), 7);
+        std::env::remove_var("BF_THREADS");
+        reload_env();
     }
 
     #[test]
@@ -296,5 +463,129 @@ mod tests {
         let _lock = SERIAL.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         let out: Vec<u32> = with_threads(4, || par_map_indexed(&[] as &[u8], |_, _| 1u32));
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn nested_maps_split_the_budget_instead_of_multiplying() {
+        let _lock = SERIAL.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        let outer: Vec<usize> = (0..4).collect();
+        let inner_avail = with_threads(4, || {
+            par_map_indexed(&outer, |_, _| {
+                // Four outer workers split a 4-slot budget: each sees 1
+                // slot, so inner maps run inline on the worker thread.
+                let avail = available();
+                let tid = std::thread::current().id();
+                let inner_ids = par_map_indexed(&[0u8; 8], |_, _| std::thread::current().id());
+                assert!(inner_ids.iter().all(|&id| id == tid));
+                avail
+            })
+        });
+        assert!(inner_avail.iter().all(|&a| a == 1));
+    }
+
+    #[test]
+    fn partial_fanout_leaves_slots_for_inner_levels() {
+        let _lock = SERIAL.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        let outer: Vec<usize> = (0..2).collect();
+        let inner_avail = with_threads(8, || {
+            par_map_indexed(&outer, |_, _| available())
+        });
+        // Two outer workers over an 8-slot budget: 4 slots each remain.
+        assert_eq!(inner_avail, vec![4, 4]);
+    }
+
+    #[test]
+    fn budget_resets_between_top_level_maps() {
+        let _lock = SERIAL.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        with_threads(4, || {
+            let _ = par_map_indexed(&[0u8; 4], |_, _| ());
+            // The caller thread never had its budget clipped by the
+            // fan-out it issued.
+            assert_eq!(available(), 4);
+        });
+    }
+
+    #[test]
+    fn plan_matches_map_sizing() {
+        let _lock = SERIAL.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        with_threads(4, || {
+            assert_eq!(plan(16, 1), 4);
+            assert_eq!(plan(16, 8), 2);
+            assert_eq!(plan(3, 1), 3);
+            assert_eq!(plan(0, 1), 1);
+            assert_eq!(plan(16, 0), 4);
+        });
+        with_threads(1, || {
+            assert_eq!(plan(1000, 1), 1);
+        });
+    }
+
+    #[test]
+    fn chunks_mut_scratch_writes_every_chunk_in_place() {
+        let _lock = SERIAL.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        // 10 chunks of 3 over a 29-element buffer: final chunk is short.
+        let mut data = vec![0u64; 29];
+        with_threads(4, || {
+            par_chunks_mut_scratch(
+                &mut data,
+                3,
+                1,
+                || 0usize,
+                |i, chunk, seen| {
+                    *seen += 1;
+                    for (j, v) in chunk.iter_mut().enumerate() {
+                        *v = (i * 100 + j) as u64;
+                    }
+                },
+            );
+        });
+        for (i, chunk) in data.chunks(3).enumerate() {
+            for (j, &v) in chunk.iter().enumerate() {
+                assert_eq!(v, (i * 100 + j) as u64);
+            }
+        }
+    }
+
+    #[test]
+    fn chunks_mut_scratch_is_identical_across_thread_counts() {
+        let _lock = SERIAL.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        let fill = |threads: usize| {
+            let mut data = vec![0f32; 64];
+            with_threads(threads, || {
+                par_chunks_mut_scratch(
+                    &mut data,
+                    8,
+                    1,
+                    || (),
+                    |i, chunk, ()| {
+                        for (j, v) in chunk.iter_mut().enumerate() {
+                            *v = ((i * 8 + j) as f32 * 0.37).sin();
+                        }
+                    },
+                );
+            });
+            data.iter().map(|v| v.to_bits()).collect::<Vec<u32>>()
+        };
+        assert_eq!(fill(1), fill(4));
+    }
+
+    #[test]
+    fn chunks_mut_scratch_reuses_scratch_inline() {
+        let _lock = SERIAL.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        let made = AtomicU64::new(0);
+        let mut data = vec![0u8; 32];
+        with_threads(1, || {
+            par_chunks_mut_scratch(
+                &mut data,
+                4,
+                1,
+                || {
+                    made.fetch_add(1, Ordering::Relaxed);
+                },
+                |_, _, _| {},
+            );
+        });
+        // One worker → one scratch for all 8 chunks.
+        assert_eq!(made.load(Ordering::Relaxed), 1);
     }
 }

@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# Source-level allocation lint for the bf-nn training hot path — the
+# compile-free mirror of crates/nn/tests/hot_alloc_lint.rs.
+#
+# Every allocation-shaped expression (vec!, Vec::with_capacity,
+# .to_vec(, .collect() in a hot module must carry an
+# `// alloc-ok: <reason>` annotation; lines after the module's
+# `#[cfg(test)]` marker and comment-only lines are out of scope.
+#
+# Usage: scripts/check_hot_alloc.sh   (from the repo root)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+HOT_MODULES=(
+  conv.rs dense.rs lstm.rs pool.rs dropout.rs relu.rs
+  network.rs loss.rs optim.rs tensor.rs workspace.rs
+)
+
+status=0
+for f in "${HOT_MODULES[@]}"; do
+  path="crates/nn/src/$f"
+  hits=$(awk '
+    /^[[:space:]]*#\[cfg\(test\)\]/ { exit }
+    /^[[:space:]]*\/\// { next }
+    /vec!|Vec::with_capacity|\.to_vec\(|\.collect\(/ {
+      if ($0 !~ /\/\/ alloc-ok:/) printf "%s:%d: %s\n", FILENAME, NR, $0
+    }
+  ' "$path")
+  if [ -n "$hits" ]; then
+    echo "$hits"
+    status=1
+  fi
+done
+
+if [ "$status" -ne 0 ]; then
+  echo "error: unannotated allocations in hot modules" >&2
+  echo "       (move onto the arena/scratch path, or justify with '// alloc-ok: <reason>')" >&2
+else
+  echo "hot-alloc lint: clean"
+fi
+exit "$status"
