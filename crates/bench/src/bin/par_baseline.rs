@@ -194,8 +194,7 @@ fn main() -> ExitCode {
                     ),
                 ),
             ]);
-            let out = std::env::var("BF_PAR_BASELINE_OUT")
-                .unwrap_or_else(|_| "BENCH_par_baseline.json".into());
+            let out = bf_bench::artifact_path("BF_PAR_BASELINE_OUT", "BENCH_par_baseline.json");
             std::fs::write(&out, json.to_pretty_string())?;
             println!("\nwrote {out}");
             Ok(())

@@ -1,0 +1,265 @@
+//! Open-loop load generator for the `bf-serve` online service.
+//!
+//! Trains a scale-appropriate primary (CNN+LSTM at paper scales, the
+//! centroid baseline at smoke scale) plus a centroid fallback on clean
+//! traces, then replays a deterministic open-loop arrival stream through
+//! [`bf_serve::Service`] under the default chaos plan plus injected
+//! slow-model and worker-panic faults, once at 1 thread and once at 4.
+//!
+//! An early slow-model storm (requests 5..40) drives the circuit
+//! breaker through a full open → half-open → closed cycle, so the run
+//! manifest always carries breaker-state transitions. Each configuration
+//! is run twice and asserted bit-identical — outcomes, tick accounting,
+//! and breaker history are pure functions of `(seed, thread count)`.
+//!
+//! Writes `BENCH_serve_baseline.json` (override with
+//! `BF_SERVE_BASELINE_OUT`): virtual-time throughput, p50/p99 latency,
+//! shed rate, and degraded fraction per thread count. Request count is
+//! `BF_SERVE_REQUESTS` (default 1000; CI smoke uses a smaller stream).
+
+use bf_bench::run_bin;
+use bf_core::{AttackKind, CollectionConfig};
+use bf_fault::FaultPlan;
+use bf_ml::{CentroidClassifier, Classifier};
+use bf_obs::Json;
+use bf_serve::{open_loop_arrivals, Outcome, Resolved, ServeConfig, Service};
+use bf_stats::rng::combine_seeds;
+use bf_timer::BrowserKind;
+use bf_victim::Catalog;
+use std::process::ExitCode;
+use std::time::Instant;
+
+/// Mean virtual inter-arrival gap: well under the ~150-unit per-request
+/// service cost, so a single worker saturates (shedding visible) while
+/// four workers keep up.
+const MEAN_GAP_UNITS: f64 = 40.0;
+
+/// Latency quantile over answered requests, in virtual units.
+fn quantile(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx]
+}
+
+struct RunStats {
+    threads: usize,
+    wall_seconds: f64,
+    makespan_units: u64,
+    p50_units: u64,
+    p99_units: u64,
+    predictions: u64,
+    degraded: u64,
+    timeouts: u64,
+    shed: u64,
+    failed: u64,
+    transitions: String,
+}
+
+impl RunStats {
+    fn total(&self) -> u64 {
+        self.predictions + self.degraded + self.timeouts + self.shed + self.failed
+    }
+
+    fn shed_rate(&self) -> f64 {
+        self.shed as f64 / self.total().max(1) as f64
+    }
+
+    fn degraded_fraction(&self) -> f64 {
+        let answered = self.predictions + self.degraded;
+        self.degraded as f64 / answered.max(1) as f64
+    }
+
+    /// Answered requests per 1000 virtual units.
+    fn throughput_per_kunit(&self) -> f64 {
+        (self.predictions + self.degraded) as f64 * 1000.0 / self.makespan_units.max(1) as f64
+    }
+
+    fn to_json(&self) -> Json {
+        Json::object([
+            ("threads", Json::UInt(self.threads as u64)),
+            ("wall_seconds", Json::Float(self.wall_seconds)),
+            ("makespan_units", Json::UInt(self.makespan_units)),
+            ("p50_latency_units", Json::UInt(self.p50_units)),
+            ("p99_latency_units", Json::UInt(self.p99_units)),
+            ("throughput_per_kunit", Json::Float(self.throughput_per_kunit())),
+            ("predictions", Json::UInt(self.predictions)),
+            ("degraded", Json::UInt(self.degraded)),
+            ("timeouts", Json::UInt(self.timeouts)),
+            ("shed", Json::UInt(self.shed)),
+            ("failed", Json::UInt(self.failed)),
+            ("shed_rate", Json::Float(self.shed_rate())),
+            ("degraded_fraction", Json::Float(self.degraded_fraction())),
+            ("breaker_transitions", Json::Str(self.transitions.clone())),
+        ])
+    }
+}
+
+fn stats_for(threads: usize, wall_seconds: f64, resolved: &[Resolved], svc: &Service) -> RunStats {
+    let mut answered: Vec<u64> = resolved
+        .iter()
+        .filter(|r| matches!(r.outcome, Outcome::Prediction { .. } | Outcome::Degraded { .. }))
+        .map(Resolved::latency_units)
+        .collect();
+    answered.sort_unstable();
+    let count = |f: fn(&Outcome) -> bool| resolved.iter().filter(|r| f(&r.outcome)).count() as u64;
+    RunStats {
+        threads,
+        wall_seconds,
+        makespan_units: resolved.iter().map(|r| r.completed).max().unwrap_or(0),
+        p50_units: quantile(&answered, 0.50),
+        p99_units: quantile(&answered, 0.99),
+        predictions: count(|o| matches!(o, Outcome::Prediction { .. })),
+        degraded: count(|o| matches!(o, Outcome::Degraded { .. })),
+        timeouts: count(|o| matches!(o, Outcome::Timeout { .. })),
+        shed: count(|o| matches!(o, Outcome::Shed)),
+        failed: count(|o| matches!(o, Outcome::Failed { .. })),
+        transitions: svc.breaker().transitions_summary(),
+    }
+}
+
+fn main() -> ExitCode {
+    run_bin("online serving load baseline", "serve_load", |m, scale, seed| {
+        let n_requests: usize =
+            bf_obs::env::parse_or("BF_SERVE_REQUESTS", 1000, "a positive request count").max(1);
+        m.config("serve.requests", n_requests);
+        m.config("serve.mean_gap_units", MEAN_GAP_UNITS);
+
+        // Offline phase: clean training corpus + fitted models.
+        let clean = CollectionConfig::new(BrowserKind::Chrome, AttackKind::LoopCounting)
+            .with_scale(scale);
+        let (n_sites, tps) = (scale.n_sites(), scale.traces_per_site());
+        let data = m.phase("train_collect", || clean.collect_closed_world(n_sites, tps, seed));
+        let folds = data.stratified_folds(5, seed);
+        let train_idx: Vec<usize> = folds[1..].iter().flatten().copied().collect();
+        let (train, val) = (data.subset(&train_idx), data.subset(&folds[0]));
+        let mut primary = clean.classifier_for(&data, seed);
+        m.phase("train_primary", || primary.fit(&train, &val));
+        let mut fallback = CentroidClassifier::new(data.n_classes());
+        m.phase("train_fallback", || fallback.fit(&train, &val));
+
+        // Online phase: default chaos plan + serving faults, plus an
+        // early deterministic slow storm to exercise the breaker.
+        let plan = FaultPlan {
+            seed: combine_seeds(seed, 0xFA),
+            slow_model: 0.02,
+            worker_panic: 0.01,
+            ..FaultPlan::default_plan()
+        };
+        m.config("serve.fault_plan", plan.summary());
+        let serve_cfg = ServeConfig { slow_storm: Some((5, 40)), ..ServeConfig::from_env() };
+        let serving = clean.clone().with_faults(plan);
+        let sites = Catalog::closed_world_subset_with_tuning(n_sites, clean.tuning)
+            .sites()
+            .to_vec();
+        let requests = open_loop_arrivals(n_requests, n_sites, MEAN_GAP_UNITS, seed);
+        let mut svc = Service::new(serving, sites, primary, fallback, serve_cfg);
+
+        let mut runs = Vec::new();
+        for threads in [1usize, 4] {
+            bf_par::set_threads(Some(threads));
+            let mut replay = None;
+            for pass in 0..2 {
+                svc.reset();
+                let t = Instant::now();
+                let resolved =
+                    m.phase(&format!("serve_t{threads}_pass{pass}"), || svc.run(&requests));
+                let wall = t.elapsed().as_secs_f64();
+
+                let health = svc.health();
+                assert_eq!(
+                    health.resolved(),
+                    n_requests as u64,
+                    "every request must reach exactly one terminal outcome"
+                );
+                assert_eq!(resolved.len(), n_requests);
+                // At 1 thread the service is in overload collapse and
+                // storm requests mostly expire in queue before reaching
+                // the model, so only the keeping-up 4-thread run is
+                // guaranteed a full breaker cycle.
+                if threads == 4 {
+                    let summary = svc.breaker().transitions_summary();
+                    for needle in ["->open@", "->half_open@", "->closed@"] {
+                        assert!(
+                            summary.contains(needle),
+                            "expected a full breaker cycle in {summary:?}"
+                        );
+                    }
+                }
+                match replay.take() {
+                    None => {
+                        m.config(
+                            &format!("serve.breaker_transitions.t{threads}"),
+                            svc.breaker().transitions_summary(),
+                        );
+                        m.config(
+                            &format!("serve.outcomes.t{threads}"),
+                            format!(
+                                "predictions={} degraded={} timeouts={} shed={} failed={}",
+                                health.predictions,
+                                health.degraded,
+                                health.timeouts,
+                                health.shed,
+                                health.failed
+                            ),
+                        );
+                        runs.push(stats_for(threads, wall, &resolved, &svc));
+                        replay = Some(resolved);
+                    }
+                    Some(first) => {
+                        assert_eq!(
+                            first, resolved,
+                            "serving outcomes must be bit-deterministic for fixed \
+                             (seed, BF_THREADS)"
+                        );
+                    }
+                }
+            }
+        }
+        bf_par::set_threads(None);
+        svc.record_in_manifest(m);
+
+        println!(
+            "\nthreads   throughput/kunit   p50      p99      shed%    degraded%   breaker"
+        );
+        for r in &runs {
+            println!(
+                "{:<9} {:>14.2}   {:>6} {:>8}   {:>6.2}   {:>9.2}   {}",
+                r.threads,
+                r.throughput_per_kunit(),
+                r.p50_units,
+                r.p99_units,
+                r.shed_rate() * 100.0,
+                r.degraded_fraction() * 100.0,
+                r.transitions
+            );
+            bf_obs::gauge(&format!("serve.throughput.t{}", r.threads))
+                .set(r.throughput_per_kunit());
+        }
+
+        let json = Json::object([
+            (
+                "note",
+                Json::Str(
+                    "open-loop serving baseline: deterministic virtual-time scheduler under \
+                     the default chaos plan + slow-model/worker-panic injection; every \
+                     request resolves to exactly one terminal outcome and replays are \
+                     bit-identical per (seed, threads). Latencies/throughput are virtual \
+                     work units, not wall time."
+                        .into(),
+                ),
+            ),
+            ("scale", Json::Str(scale.to_string())),
+            ("seed", Json::UInt(seed)),
+            ("requests", Json::UInt(n_requests as u64)),
+            ("mean_gap_units", Json::Float(MEAN_GAP_UNITS)),
+            ("deterministic", Json::Bool(true)),
+            ("runs", Json::Array(runs.iter().map(RunStats::to_json).collect())),
+        ]);
+        let out = bf_bench::artifact_path("BF_SERVE_BASELINE_OUT", "BENCH_serve_baseline.json");
+        std::fs::write(&out, json.to_pretty_string())?;
+        println!("\nwrote {out}");
+        Ok(())
+    })
+}

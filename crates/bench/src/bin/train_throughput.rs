@@ -164,8 +164,8 @@ fn main() -> ExitCode {
                 ),
                 ("rows", Json::Array(rows)),
             ]);
-            let out = std::env::var("BF_TRAIN_THROUGHPUT_OUT")
-                .unwrap_or_else(|_| "BENCH_train_throughput.json".into());
+            let out =
+                bf_bench::artifact_path("BF_TRAIN_THROUGHPUT_OUT", "BENCH_train_throughput.json");
             std::fs::write(&out, json.to_pretty_string())?;
             println!("\nwrote {out}");
             Ok(())

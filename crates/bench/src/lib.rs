@@ -29,12 +29,24 @@ pub type BinError = Box<dyn std::error::Error + Send + Sync>;
 
 /// Shared binary entry glue: scale from `BF_SCALE`, seed from `BF_SEED`
 /// (default 42, the seed behind the committed EXPERIMENTS.md numbers).
+/// A malformed `BF_SEED` falls back to 42 after a one-shot
+/// `bf_obs::error!` naming the rejected value.
 pub fn scale_and_seed() -> (ExperimentScale, u64) {
-    let seed = std::env::var("BF_SEED")
-        .ok()
-        .and_then(|s| s.trim().parse().ok())
-        .unwrap_or(42);
+    let seed = bf_obs::env::parse_or("BF_SEED", 42, "a 64-bit unsigned integer");
     (ExperimentScale::from_env(), seed)
+}
+
+/// Resolve the output path of a benchmark artifact: the value of
+/// `env_key` when set and non-empty, else `default`. Every bin that
+/// writes a `BENCH_*.json` resolves its destination through this one
+/// helper instead of hand-rolling the `std::env::var(..).unwrap_or(..)`
+/// dance.
+pub fn artifact_path(env_key: &str, default: &str) -> String {
+    std::env::var(env_key)
+        .ok()
+        .map(|s| s.trim().to_owned())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| default.to_owned())
 }
 
 /// Print a standard header for a regeneration binary.
@@ -192,10 +204,47 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
 mod tests {
     use super::*;
 
+    /// Tests that touch `BF_SEED` share the process environment.
+    static ENV_SERIAL: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
     #[test]
     fn scale_comes_from_env_with_fixed_seed() {
+        let _lock = ENV_SERIAL.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         let (_, seed) = scale_and_seed();
         assert_eq!(seed, 42);
+    }
+
+    #[test]
+    fn malformed_seed_warns_and_falls_back() {
+        let _lock = ENV_SERIAL.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        std::env::set_var("BF_SEED", "forty-two");
+        bf_obs::env::reset_warnings();
+        bf_obs::begin_capture();
+        let (_, seed) = scale_and_seed();
+        let (_, seed_again) = scale_and_seed();
+        let lines = bf_obs::end_capture();
+        assert_eq!(seed, 42);
+        assert_eq!(seed_again, 42);
+        let warnings: Vec<_> = lines.iter().filter(|l| l.contains("BF_SEED")).collect();
+        assert_eq!(warnings.len(), 1, "one-shot, not per-read: {lines:?}");
+        assert!(warnings[0].contains("`forty-two`"), "{warnings:?}");
+        std::env::remove_var("BF_SEED");
+        bf_obs::env::reset_warnings();
+    }
+
+    #[test]
+    fn artifact_path_prefers_env_then_default() {
+        std::env::remove_var("BF_TEST_ARTIFACT_OUT");
+        assert_eq!(artifact_path("BF_TEST_ARTIFACT_OUT", "out.json"), "out.json");
+        std::env::set_var("BF_TEST_ARTIFACT_OUT", "/tmp/custom.json");
+        assert_eq!(artifact_path("BF_TEST_ARTIFACT_OUT", "out.json"), "/tmp/custom.json");
+        std::env::set_var("BF_TEST_ARTIFACT_OUT", "   ");
+        assert_eq!(
+            artifact_path("BF_TEST_ARTIFACT_OUT", "out.json"),
+            "out.json",
+            "blank overrides fall back to the default"
+        );
+        std::env::remove_var("BF_TEST_ARTIFACT_OUT");
     }
 
     #[test]

@@ -5,7 +5,10 @@ use crate::scale::ExperimentScale;
 use bf_attack::{LoopCountingAttacker, SweepCountingAttacker, Trace};
 use bf_defense::Countermeasure;
 use bf_fault::validate::clamp_values;
-use bf_fault::{FaultPlan, RepairAction, RepairPolicy, ResumeConfig, TraceValidator};
+use bf_fault::{
+    BackoffPolicy, CancelToken, DeadlineExceeded, FaultPlan, RepairAction, RepairPolicy,
+    ResumeConfig, TraceValidator,
+};
 use bf_ml::{
     cross_validate_oof_resumable, cross_validate_resumable, CentroidClassifier, Classifier,
     CnnLstmClassifier, CrossValResult, Dataset, OofPredictions, Resumable, ResumeOptions,
@@ -230,6 +233,105 @@ impl CollectionConfig {
                          {recollects} re-collection(s)"
                     );
                     return None;
+                }
+            }
+        }
+    }
+
+    /// [`CollectionConfig::collect_trace_resilient`] under a cooperative
+    /// deadline: the online-serving collection path.
+    ///
+    /// Differences from the batch path, none of which change trace
+    /// *values* (attempt seeds are derived identically, so a trace that
+    /// survives both paths is byte-identical):
+    ///
+    /// * every collection attempt charges `attempt_units` against
+    ///   `token` **before** running, so an exhausted budget cancels at
+    ///   the checkpoint instead of burning a full simulation;
+    /// * transient faults and structural re-collections wait out a
+    ///   deterministic seeded exponential backoff (`backoff`, charged in
+    ///   virtual units against the same token) instead of the batch
+    ///   path's immediate retry;
+    /// * `Err(DeadlineExceeded)` reports cancellation distinctly from
+    ///   quarantine (`Ok(None)`), so the caller can resolve the request
+    ///   as an explicit timeout rather than a failure.
+    pub fn collect_trace_deadline(
+        &self,
+        site: &WebsiteProfile,
+        run_seed: u64,
+        token: &CancelToken,
+        backoff: &BackoffPolicy,
+        attempt_units: u64,
+    ) -> Result<Option<Trace>, DeadlineExceeded> {
+        let validator = TraceValidator::with_expected_len(self.expected_trace_len());
+        let policy = RepairPolicy::default();
+        let mut backoffs = 0u32; // attempts waited out so far (transient + structural)
+        for _ in 0..self.faults.transient_failures(run_seed) {
+            bf_obs::counter("fault.transient_failures").inc();
+            let wait = backoff.delay_units(self.faults.seed, run_seed, backoffs);
+            backoffs += 1;
+            bf_obs::counter("serve.backoff_waits").inc();
+            bf_obs::debug!(
+                "transient collection failure for trace {run_seed:016x}; \
+                 backing off {wait} unit(s) before retry {backoffs}"
+            );
+            token.charge(wait)?;
+        }
+        let mut recollects = 0u32;
+        loop {
+            token.charge(attempt_units)?;
+            // Same attempt-seed derivation as the batch path: attempt 0
+            // is `run_seed` itself, re-collections perturb it.
+            let attempt_seed = if recollects == 0 {
+                run_seed
+            } else {
+                combine_seeds(run_seed, 0xF000 + u64::from(recollects))
+            };
+            let mut values = self.collect_trace(site, attempt_seed).into_values();
+            let attempt_id = combine_seeds(run_seed, u64::from(recollects));
+            if let Some(kind) = self.faults.fault_for(attempt_id) {
+                self.faults.apply(kind, &mut values, attempt_id);
+            }
+            let violation = match validator.validate(&values) {
+                Ok(()) => return Ok(Some(Trace::new(self.period, values))),
+                Err(v) => v,
+            };
+            bf_obs::counter(match violation {
+                bf_fault::Violation::NonFinite { .. } => "fault.violations.non_finite",
+                bf_fault::Violation::WrongLength { .. } => "fault.violations.wrong_length",
+                bf_fault::Violation::OutOfRange { .. } => "fault.violations.out_of_range",
+                bf_fault::Violation::Empty => "fault.violations.empty",
+            })
+            .inc();
+            match policy.action_for(&violation, recollects) {
+                RepairAction::Clamp => {
+                    let repaired = clamp_values(&mut values, validator.max_abs);
+                    bf_obs::counter("fault.clamped").inc();
+                    bf_obs::info!(
+                        "trace {run_seed:016x}: {violation}; clamped {repaired} value(s)"
+                    );
+                    return Ok(Some(Trace::new(self.period, values)));
+                }
+                RepairAction::Recollect => {
+                    recollects += 1;
+                    bf_obs::counter("fault.retries").inc();
+                    let wait = backoff.delay_units(self.faults.seed, run_seed, backoffs);
+                    backoffs += 1;
+                    bf_obs::counter("serve.backoff_waits").inc();
+                    bf_obs::info!(
+                        "trace {run_seed:016x}: {violation}; backing off {wait} unit(s), \
+                         then re-collecting (attempt {recollects}/{})",
+                        policy.max_recollects
+                    );
+                    token.charge(wait)?;
+                }
+                RepairAction::Quarantine => {
+                    bf_obs::counter("fault.quarantined").inc();
+                    bf_obs::error!(
+                        "trace {run_seed:016x}: {violation}; quarantined after \
+                         {recollects} re-collection(s)"
+                    );
+                    return Ok(None);
                 }
             }
         }
@@ -582,6 +684,75 @@ mod tests {
         let cfg = smoke(BrowserKind::Chrome, AttackKind::LoopCounting).with_faults(plan);
         let d = cfg.collect_closed_world(2, 2, 3);
         assert!(d.is_empty(), "every trace dropped, every retry dropped");
+    }
+
+    #[test]
+    fn deadline_path_matches_batch_path_on_clean_traces() {
+        let cfg = smoke(BrowserKind::Chrome, AttackKind::LoopCounting).with_faults(FaultPlan::off());
+        let site = WebsiteProfile::for_hostname("github.com");
+        let token = CancelToken::new(10_000);
+        let deadline = cfg
+            .collect_trace_deadline(&site, 21, &token, &BackoffPolicy::default(), 100)
+            .expect("within budget")
+            .expect("clean trace kept");
+        let batch = cfg.collect_trace_resilient(&site, 21).expect("clean trace kept");
+        assert_eq!(deadline.values(), batch.values());
+        assert_eq!(token.used(), 100, "one attempt, no backoff");
+    }
+
+    #[test]
+    fn exhausted_budget_cancels_before_the_attempt() {
+        let cfg = smoke(BrowserKind::Chrome, AttackKind::LoopCounting).with_faults(FaultPlan::off());
+        let site = WebsiteProfile::for_hostname("github.com");
+        let token = CancelToken::new(50);
+        let err = cfg
+            .collect_trace_deadline(&site, 22, &token, &BackoffPolicy::default(), 100)
+            .expect_err("100-unit attempt cannot fit a 50-unit budget");
+        assert_eq!(err.limit, 50);
+    }
+
+    #[test]
+    fn transient_faults_back_off_deterministically_against_the_budget() {
+        let plan = FaultPlan {
+            seed: 3,
+            transient: 1.0,
+            max_transient: 2,
+            ..FaultPlan::off()
+        };
+        let cfg = smoke(BrowserKind::Chrome, AttackKind::LoopCounting).with_faults(plan.clone());
+        let site = WebsiteProfile::for_hostname("github.com");
+        let backoff = BackoffPolicy::default();
+        let token = CancelToken::new(10_000);
+        cfg.collect_trace_deadline(&site, 23, &token, &backoff, 100)
+            .expect("within budget")
+            .expect("trace kept");
+        // Two transient failures wait out attempts 0 and 1 of the
+        // schedule, then one collection attempt runs.
+        let expected = backoff.total_units(plan.seed, 23, 2) + 100;
+        assert_eq!(token.used(), expected);
+        // Replay charges identically (the schedule is pure).
+        let token2 = CancelToken::new(10_000);
+        cfg.collect_trace_deadline(&site, 23, &token2, &backoff, 100)
+            .unwrap()
+            .unwrap();
+        assert_eq!(token2.used(), expected);
+    }
+
+    #[test]
+    fn quarantine_under_deadline_is_not_a_timeout() {
+        let plan = FaultPlan {
+            drop: 1.0,
+            ..FaultPlan::off()
+        };
+        let cfg = smoke(BrowserKind::Chrome, AttackKind::LoopCounting).with_faults(plan);
+        let site = WebsiteProfile::for_hostname("github.com");
+        let before = bf_obs::counter("fault.quarantined").get();
+        let token = CancelToken::new(100_000);
+        let out = cfg
+            .collect_trace_deadline(&site, 24, &token, &BackoffPolicy::default(), 100)
+            .expect("budget was ample — quarantine is a distinct outcome");
+        assert_eq!(out, None);
+        assert!(bf_obs::counter("fault.quarantined").get() > before);
     }
 
     #[test]

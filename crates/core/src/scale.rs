@@ -24,12 +24,20 @@ pub enum ExperimentScale {
 }
 
 impl ExperimentScale {
-    /// Parse from a `BF_SCALE` environment value.
+    /// Parse from a `BF_SCALE` environment value. Unset → `Default`; an
+    /// unknown value also falls back to `Default`, but is reported once
+    /// via `bf_obs::error!` naming the accepted set (a typo'd scale
+    /// silently running the wrong protocol wastes hours).
     pub fn from_env() -> Self {
         match std::env::var("BF_SCALE").as_deref() {
+            Err(_) => ExperimentScale::Default,
             Ok("smoke") => ExperimentScale::Smoke,
+            Ok("default") => ExperimentScale::Default,
             Ok("paper") => ExperimentScale::Paper,
-            _ => ExperimentScale::Default,
+            Ok(other) => {
+                bf_obs::env::warn_invalid("BF_SCALE", other, "smoke|default|paper");
+                ExperimentScale::Default
+            }
         }
     }
 
@@ -141,5 +149,27 @@ mod tests {
     #[test]
     fn labels_distinct() {
         assert_ne!(ExperimentScale::Smoke.label(), ExperimentScale::Paper.label());
+    }
+
+    #[test]
+    fn unknown_scale_warns_once_and_defaults() {
+        // Serialized via a dedicated env key guard: no other bf-core test
+        // sets BF_SCALE, and from_env is only called here and in bins.
+        std::env::set_var("BF_SCALE", "small");
+        bf_obs::env::reset_warnings();
+        bf_obs::begin_capture();
+        assert_eq!(ExperimentScale::from_env(), ExperimentScale::Default);
+        assert_eq!(ExperimentScale::from_env(), ExperimentScale::Default);
+        let lines = bf_obs::end_capture();
+        let warnings: Vec<_> = lines.iter().filter(|l| l.contains("BF_SCALE")).collect();
+        assert_eq!(warnings.len(), 1, "{lines:?}");
+        assert!(warnings[0].contains("`small`"), "{warnings:?}");
+        assert!(warnings[0].contains("smoke|default|paper"), "{warnings:?}");
+
+        std::env::set_var("BF_SCALE", "paper");
+        assert_eq!(ExperimentScale::from_env(), ExperimentScale::Paper);
+        std::env::remove_var("BF_SCALE");
+        assert_eq!(ExperimentScale::from_env(), ExperimentScale::Default);
+        bf_obs::env::reset_warnings();
     }
 }

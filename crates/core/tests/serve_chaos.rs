@@ -1,0 +1,259 @@
+//! Chaos suite for the `bf-serve` online service: fault storms, slow
+//! models, and worker panics must never lose a request — every job ends
+//! in exactly one of {prediction, degraded prediction, explicit
+//! timeout, explicit shed, explicit failure} and replays are
+//! bit-identical for a fixed `(seed, BF_THREADS)`.
+//!
+//! Run alone via `cargo test -p bf-core --test serve_chaos`; CI runs it
+//! under `BF_THREADS=1` and `BF_THREADS=4`.
+
+use bf_core::collect::{AttackKind, CollectionConfig};
+use bf_core::scale::ExperimentScale;
+use bf_fault::FaultPlan;
+use bf_ml::{CentroidClassifier, Classifier, Dataset};
+use bf_serve::{
+    open_loop_arrivals, BreakerConfig, Outcome, Resolved, ServeConfig, ServeRequest, Service,
+    Stage,
+};
+use bf_timer::BrowserKind;
+use bf_victim::{Catalog, WebsiteProfile};
+use std::collections::BTreeSet;
+
+/// Serializes tests: the service mutates process-global state (thread
+/// pool override in one test, shared metric counters in another).
+static SERIAL: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+const N_SITES: usize = 3;
+
+fn collection(plan: FaultPlan) -> CollectionConfig {
+    CollectionConfig::new(BrowserKind::Chrome, AttackKind::LoopCounting)
+        .with_scale(ExperimentScale::Smoke)
+        .with_faults(plan)
+}
+
+fn sites() -> Vec<WebsiteProfile> {
+    Catalog::closed_world_subset(N_SITES).sites().to_vec()
+}
+
+/// Fit a centroid on a small clean corpus (used as both the primary and
+/// the degradation fallback — the service treats the primary as opaque).
+fn fitted_centroid() -> CentroidClassifier {
+    let clean = collection(FaultPlan::off());
+    let mut data = Dataset::new(N_SITES);
+    for (label, site) in sites().iter().enumerate() {
+        for rep in 0..2u64 {
+            let trace = clean.collect_trace(site, 4_000 + rep * 17 + label as u64);
+            data.push(clean.featurize(&trace), label);
+        }
+    }
+    let mut c = CentroidClassifier::new(N_SITES);
+    c.fit(&data, &Dataset::new(N_SITES));
+    c
+}
+
+fn service(plan: FaultPlan, cfg: ServeConfig) -> Service {
+    let model = fitted_centroid();
+    Service::new(collection(plan), sites(), Box::new(model.clone()), model, cfg)
+}
+
+/// Widely spaced arrivals: no queueing, so behavior is identical at any
+/// thread count (each wave holds a single job).
+fn spaced(n: u64, gap: u64) -> Vec<ServeRequest> {
+    (0..n)
+        .map(|i| ServeRequest {
+            id: i,
+            site: (i as usize) % N_SITES,
+            seed: 7_000 + i,
+            arrival: i * gap,
+        })
+        .collect()
+}
+
+/// Invariant check: one terminal outcome per request, ids preserved,
+/// tallies consistent with the resolved records.
+fn assert_all_resolved(resolved: &[Resolved], svc: &Service, n: usize) {
+    assert_eq!(resolved.len(), n, "one record per request");
+    let ids: BTreeSet<u64> = resolved.iter().map(|r| r.id).collect();
+    assert_eq!(ids.len(), n, "no duplicate or lost request ids");
+    let health = svc.health();
+    assert_eq!(health.resolved(), n as u64, "tally sum must equal submissions");
+    assert_eq!(health.submitted, n as u64);
+    for r in resolved {
+        assert!(r.completed >= r.started && r.started >= r.arrival, "sane tick ordering");
+    }
+}
+
+#[test]
+fn fault_storm_never_loses_a_request_and_replays_bit_identically() {
+    let _guard = SERIAL.lock().unwrap_or_else(|p| p.into_inner());
+    // Everything at once: validation faults, transient retries, slow
+    // models, worker panics — under an overloading arrival rate.
+    let plan = FaultPlan {
+        seed: 77,
+        slow_model: 0.05,
+        worker_panic: 0.05,
+        ..FaultPlan::default_plan()
+    };
+    let requests = open_loop_arrivals(60, N_SITES, 30.0, 4242);
+    let run = || {
+        let mut svc = service(plan.clone(), ServeConfig::default());
+        let resolved = svc.run(&requests);
+        assert_all_resolved(&resolved, &svc, 60);
+        resolved
+    };
+    let first = run();
+    let second = run();
+    assert_eq!(first, second, "fault storms must replay bit-identically at a fixed BF_THREADS");
+    // The storm must actually exercise multiple terminal paths.
+    let labels: BTreeSet<&str> = first.iter().map(|r| r.outcome.label()).collect();
+    assert!(labels.len() >= 2, "expected a mix of terminal outcomes, got {labels:?}");
+}
+
+#[test]
+fn breaker_runs_a_full_cycle_and_degraded_output_matches_the_standalone_centroid() {
+    let _guard = SERIAL.lock().unwrap_or_else(|p| p.into_inner());
+    // Requests 0..5 always hit a slow primary: five consecutive predict
+    // failures open the breaker. Request 5 lands in the cooldown and
+    // degrades; requests 6..8 are half-open probes (primary answers);
+    // the third probe closes the breaker for the rest.
+    let cfg = ServeConfig {
+        slow_storm: Some((0, 5)),
+        breaker: BreakerConfig { open_after: 5, cooldown_units: 2_000, close_after: 3 },
+        ..ServeConfig::default()
+    };
+    let requests = spaced(12, 1_500);
+    let mut svc = service(FaultPlan::off(), cfg);
+    let resolved = svc.run(&requests);
+    assert_all_resolved(&resolved, &svc, 12);
+
+    let to_labels: Vec<&str> = svc.breaker().transitions().iter().map(|t| t.to.label()).collect();
+    assert_eq!(
+        to_labels,
+        ["open", "half_open", "closed"],
+        "expected exactly one full breaker cycle"
+    );
+    for r in &resolved[..5] {
+        assert_eq!(
+            r.outcome,
+            Outcome::Timeout { stage: Stage::Predict },
+            "slow-storm requests blow their budget in predict (request {})",
+            r.id
+        );
+    }
+    assert!(
+        matches!(resolved[5].outcome, Outcome::Degraded { .. }),
+        "cooldown-era request must degrade, got {:?}",
+        resolved[5].outcome
+    );
+    for r in &resolved[6..] {
+        assert!(
+            matches!(r.outcome, Outcome::Prediction { .. }),
+            "probe/recovered request {} should use the primary, got {:?}",
+            r.id,
+            r.outcome
+        );
+    }
+
+    // Degraded output is bit-identical to the standalone centroid on
+    // the same trace.
+    let Outcome::Degraded { class, probs } = &resolved[5].outcome else { unreachable!() };
+    let clean = collection(FaultPlan::off());
+    let req = &requests[5];
+    let trace = clean
+        .collect_trace_resilient(&sites()[req.site], req.seed)
+        .expect("clean trace kept");
+    let features = clean.featurize(&trace);
+    let want = fitted_centroid().predict_proba(&[features]).remove(0);
+    let got_bits: Vec<u32> = probs.iter().map(|v| v.to_bits()).collect();
+    let want_bits: Vec<u32> = want.iter().map(|v| v.to_bits()).collect();
+    assert_eq!(got_bits, want_bits, "degradation must not change centroid outputs");
+    assert_eq!(*class, want.iter().enumerate().max_by(|a, b| a.1.total_cmp(b.1)).unwrap().0);
+}
+
+#[test]
+fn exhausted_retries_quarantine_with_an_explicit_failure_never_a_hang() {
+    let _guard = SERIAL.lock().unwrap_or_else(|p| p.into_inner());
+    // Every collection attempt drops its trace: the repair policy
+    // recollects, exhausts its budget, and quarantines. The service
+    // must surface that as an explicit Failed outcome and account for
+    // it in the fault.quarantined counter.
+    let plan = FaultPlan { seed: 91, drop: 1.0, ..FaultPlan::off() };
+    let cfg = ServeConfig { deadline_units: 100_000, ..ServeConfig::default() };
+    let requests = spaced(3, 200_000);
+    let before = bf_obs::counter("fault.quarantined").get();
+    let mut svc = service(plan, cfg);
+    let resolved = svc.run(&requests);
+    assert_all_resolved(&resolved, &svc, 3);
+    for r in &resolved {
+        assert!(
+            matches!(&r.outcome, Outcome::Failed { reason } if reason.contains("quarantined")),
+            "request {} must fail explicitly, got {:?}",
+            r.id,
+            r.outcome
+        );
+    }
+    assert!(
+        bf_obs::counter("fault.quarantined").get() >= before + 3,
+        "each exhausted retry chain lands in fault.quarantined"
+    );
+    assert_eq!(svc.health().failed, 3);
+}
+
+#[test]
+fn worker_panics_are_contained_and_requests_still_resolve() {
+    let _guard = SERIAL.lock().unwrap_or_else(|p| p.into_inner());
+    let plan = FaultPlan { seed: 13, worker_panic: 1.0, ..FaultPlan::off() };
+    let requests = spaced(4, 2_000);
+    let mut svc = service(plan, ServeConfig::default());
+    let resolved = svc.run(&requests);
+    assert_all_resolved(&resolved, &svc, 4);
+    assert_eq!(svc.health().worker_panics, 4, "every primary call panicked");
+    for r in &resolved {
+        assert!(
+            matches!(r.outcome, Outcome::Degraded { .. }),
+            "a contained panic degrades to the fallback, got {:?}",
+            r.outcome
+        );
+    }
+    assert!(svc.health().ready, "isolated panics must not trip the breaker below its threshold");
+}
+
+#[test]
+fn admission_burst_sheds_exactly_the_overflow() {
+    let _guard = SERIAL.lock().unwrap_or_else(|p| p.into_inner());
+    // 40 simultaneous arrivals against a 32-slot queue: exactly 8 shed,
+    // regardless of thread count (admission happens before any wave).
+    let requests = open_loop_arrivals(40, N_SITES, 0.0, 5);
+    let mut svc = service(FaultPlan::off(), ServeConfig::default());
+    let resolved = svc.run(&requests);
+    assert_all_resolved(&resolved, &svc, 40);
+    let shed: Vec<u64> =
+        resolved.iter().filter(|r| r.outcome == Outcome::Shed).map(|r| r.id).collect();
+    assert_eq!(shed, (32..40).collect::<Vec<u64>>(), "overflow sheds in arrival order");
+    for r in resolved.iter().filter(|r| r.outcome == Outcome::Shed) {
+        assert_eq!(r.work_units, 0, "shed requests consume no budget");
+        assert_eq!(r.completed, r.arrival, "shed is immediate");
+    }
+}
+
+#[test]
+fn queued_requests_expire_as_explicit_queue_timeouts() {
+    let _guard = SERIAL.lock().unwrap_or_else(|p| p.into_inner());
+    // Two workers, a burst of 8, and a deadline that exactly fits one
+    // wave of work: the first wave answers, everything behind it
+    // expires in queue — explicitly, never silently.
+    bf_par::set_threads(Some(2));
+    let cfg = ServeConfig { deadline_units: 150, ..ServeConfig::default() };
+    let requests = open_loop_arrivals(8, N_SITES, 0.0, 9);
+    let mut svc = service(FaultPlan::off(), cfg);
+    let resolved = svc.run(&requests);
+    bf_par::set_threads(None);
+    assert_all_resolved(&resolved, &svc, 8);
+    let ok = resolved.iter().filter(|r| matches!(r.outcome, Outcome::Prediction { .. })).count();
+    let expired = resolved
+        .iter()
+        .filter(|r| r.outcome == Outcome::Timeout { stage: Stage::Queue })
+        .count();
+    assert_eq!(ok, 2, "the first wave fits the deadline exactly");
+    assert_eq!(expired, 6, "everything queued behind it expires explicitly");
+}

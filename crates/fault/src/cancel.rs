@@ -1,0 +1,142 @@
+//! Cooperative deadlines: a work-unit budget threaded through long
+//! pipelines.
+//!
+//! Wall-clock deadlines are inherently nondeterministic — the same
+//! request times out on a loaded host and succeeds on an idle one — so
+//! the serving layer measures *virtual work units* instead: every stage
+//! of a request (collection attempts, backoff waits, classifier
+//! inference) charges a deterministic cost against a shared
+//! [`CancelToken`]. When the accumulated cost exceeds the budget the
+//! charge fails with [`DeadlineExceeded`] and the pipeline unwinds at the
+//! next cooperative checkpoint. Outcomes are therefore pure functions of
+//! the request and its configuration — a chaos run replays bit-for-bit —
+//! while wall-clock latency remains a free observable for histograms.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// The deadline budget was exhausted: `used` units were charged against
+/// a limit of `limit`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeadlineExceeded {
+    /// Units consumed, including the charge that crossed the limit.
+    pub used: u64,
+    /// The budget the token was created with.
+    pub limit: u64,
+}
+
+impl std::fmt::Display for DeadlineExceeded {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "deadline exceeded: {} work units charged against a budget of {}", self.used, self.limit)
+    }
+}
+
+impl std::error::Error for DeadlineExceeded {}
+
+/// A cooperative-cancellation token: a fixed budget of abstract work
+/// units that pipeline stages [`charge`](CancelToken::charge) as they
+/// run. Shared by reference between the stages of one request; cheap
+/// enough (one atomic add per checkpoint) to consult inside loops.
+#[derive(Debug)]
+pub struct CancelToken {
+    limit: u64,
+    used: AtomicU64,
+}
+
+impl CancelToken {
+    /// A token with `limit` work units of budget.
+    pub fn new(limit: u64) -> Self {
+        CancelToken { limit, used: AtomicU64::new(0) }
+    }
+
+    /// A token that never cancels (`u64::MAX` budget) — the offline /
+    /// batch code path.
+    pub fn unlimited() -> Self {
+        Self::new(u64::MAX)
+    }
+
+    /// Charge `units` against the budget. `Err` once the total charged
+    /// crosses the limit; the failed charge still counts, so subsequent
+    /// checkpoints keep failing (cancellation is sticky).
+    pub fn charge(&self, units: u64) -> Result<(), DeadlineExceeded> {
+        let used = self.used.fetch_add(units, Ordering::Relaxed).saturating_add(units);
+        if used > self.limit {
+            Err(DeadlineExceeded { used, limit: self.limit })
+        } else {
+            Ok(())
+        }
+    }
+
+    /// A zero-cost cancellation checkpoint: fails iff the budget is
+    /// already exhausted.
+    pub fn check(&self) -> Result<(), DeadlineExceeded> {
+        let used = self.used.load(Ordering::Relaxed);
+        if used > self.limit {
+            Err(DeadlineExceeded { used, limit: self.limit })
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Work units charged so far.
+    pub fn used(&self) -> u64 {
+        self.used.load(Ordering::Relaxed)
+    }
+
+    /// Budget still available (0 when exhausted).
+    pub fn remaining(&self) -> u64 {
+        self.limit.saturating_sub(self.used())
+    }
+
+    /// The budget this token was created with.
+    pub fn limit(&self) -> u64 {
+        self.limit
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charges_accumulate_until_the_limit() {
+        let t = CancelToken::new(100);
+        assert!(t.charge(40).is_ok());
+        assert!(t.charge(60).is_ok(), "exactly the limit is still within budget");
+        assert_eq!(t.remaining(), 0);
+        let err = t.charge(1).unwrap_err();
+        assert_eq!(err.used, 101);
+        assert_eq!(err.limit, 100);
+    }
+
+    #[test]
+    fn cancellation_is_sticky() {
+        let t = CancelToken::new(10);
+        assert!(t.charge(11).is_err());
+        assert!(t.check().is_err(), "later checkpoints observe the overrun");
+        assert!(t.charge(0).is_err());
+    }
+
+    #[test]
+    fn unlimited_never_cancels() {
+        let t = CancelToken::unlimited();
+        for _ in 0..1000 {
+            assert!(t.charge(u64::MAX / 2000).is_ok());
+        }
+        assert!(t.check().is_ok());
+    }
+
+    #[test]
+    fn check_is_free() {
+        let t = CancelToken::new(5);
+        for _ in 0..100 {
+            assert!(t.check().is_ok());
+        }
+        assert_eq!(t.used(), 0, "check must not consume budget");
+    }
+
+    #[test]
+    fn error_displays_both_numbers() {
+        let msg = DeadlineExceeded { used: 7, limit: 5 }.to_string();
+        assert!(msg.contains('7') && msg.contains('5'), "{msg}");
+    }
+}

@@ -32,10 +32,14 @@
 //! `serde`), so both `bf-ml` (resumable CV) and `bf-core` (collection
 //! boundary) can build on it.
 
+pub mod backoff;
+pub mod cancel;
 pub mod checkpoint;
 pub mod plan;
 pub mod validate;
 
+pub use backoff::BackoffPolicy;
+pub use cancel::{CancelToken, DeadlineExceeded};
 pub use checkpoint::{CheckpointError, CvCheckpoint, FoldRecord, ResumeConfig};
 pub use plan::{FaultKind, FaultPlan};
 pub use validate::{RepairAction, RepairPolicy, TraceValidator, Violation};

@@ -58,6 +58,14 @@ pub struct FaultPlan {
     pub transient: f64,
     /// Cap on consecutive transient failures per trace.
     pub max_transient: u32,
+    /// Per-request probability that the primary (CNN+LSTM) model runs
+    /// implausibly slowly — the serving layer charges a large deadline
+    /// penalty for such requests, driving them into timeout and the
+    /// circuit breaker toward open.
+    pub slow_model: f64,
+    /// Per-request probability that a serving worker panics mid-predict;
+    /// the service contains the panic and degrades the request.
+    pub worker_panic: f64,
     /// Simulated run interruption: stop cross-validation after this many
     /// newly computed folds (checkpoint-resume picks up the rest).
     pub interrupt_folds: Option<usize>,
@@ -74,6 +82,8 @@ impl FaultPlan {
             drop: 0.0,
             transient: 0.0,
             max_transient: 2,
+            slow_model: 0.0,
+            worker_panic: 0.0,
             interrupt_folds: None,
         }
     }
@@ -89,6 +99,8 @@ impl FaultPlan {
             drop: 0.02,
             transient: 0.05,
             max_transient: 2,
+            slow_model: 0.0,
+            worker_panic: 0.0,
             interrupt_folds: None,
         }
     }
@@ -138,6 +150,8 @@ impl FaultPlan {
                 "nan" => rate(&mut plan.nan),
                 "drop" => rate(&mut plan.drop),
                 "transient" => rate(&mut plan.transient),
+                "slow_model" => rate(&mut plan.slow_model),
+                "worker_panic" => rate(&mut plan.worker_panic),
                 "seed" => match value.parse() {
                     Ok(v) => plan.seed = v,
                     Err(_) => bf_obs::error!("BF_FAULT_PLAN: invalid seed `{part}`"),
@@ -163,6 +177,8 @@ impl FaultPlan {
             || self.nan > 0.0
             || self.drop > 0.0
             || self.transient > 0.0
+            || self.slow_model > 0.0
+            || self.worker_panic > 0.0
             || self.interrupt_folds.is_some()
     }
 
@@ -175,6 +191,12 @@ impl FaultPlan {
             "corrupt={} truncate={} nan={} drop={} transient={} seed={}",
             self.corrupt, self.truncate, self.nan, self.drop, self.transient, self.seed
         );
+        if self.slow_model > 0.0 {
+            s.push_str(&format!(" slow_model={}", self.slow_model));
+        }
+        if self.worker_panic > 0.0 {
+            s.push_str(&format!(" worker_panic={}", self.worker_panic));
+        }
         if let Some(k) = self.interrupt_folds {
             s.push_str(&format!(" interrupt_folds={k}"));
         }
@@ -221,6 +243,27 @@ impl FaultPlan {
             failures += 1;
         }
         failures
+    }
+
+    /// Whether serving request `request_id` hits the slow-model fault
+    /// (the primary classifier charges a large deadline penalty).
+    /// Deterministic in `(self.seed, request_id)`.
+    pub fn slow_model_for(&self, request_id: u64) -> bool {
+        if self.slow_model <= 0.0 {
+            return false;
+        }
+        let mut rng = SeedRng::new(combine_seeds(self.seed, combine_seeds(0x51_0E, request_id)));
+        rng.chance(self.slow_model)
+    }
+
+    /// Whether serving request `request_id` panics its worker
+    /// mid-predict. Deterministic in `(self.seed, request_id)`.
+    pub fn worker_panic_for(&self, request_id: u64) -> bool {
+        if self.worker_panic <= 0.0 {
+            return false;
+        }
+        let mut rng = SeedRng::new(combine_seeds(self.seed, combine_seeds(0x9A_1C, request_id)));
+        rng.chance(self.worker_panic)
     }
 
     /// Mutate `values` according to `kind`, reporting the injection to
@@ -341,6 +384,40 @@ mod tests {
         let mut v = clean;
         FaultPlan::off().apply(FaultKind::Drop, &mut v, 1);
         assert!(v.is_empty());
+    }
+
+    #[test]
+    fn serving_fault_decisions_are_deterministic_and_rate_bounded() {
+        let p = FaultPlan {
+            slow_model: 0.25,
+            worker_panic: 0.1,
+            ..FaultPlan::off()
+        };
+        assert!(p.is_active());
+        for id in 0..300 {
+            assert_eq!(p.slow_model_for(id), p.slow_model_for(id));
+            assert_eq!(p.worker_panic_for(id), p.worker_panic_for(id));
+        }
+        let slow = (0..2_000).filter(|&id| p.slow_model_for(id)).count();
+        let panics = (0..2_000).filter(|&id| p.worker_panic_for(id)).count();
+        assert!((350..650).contains(&slow), "slow = {slow}");
+        assert!((120..280).contains(&panics), "panics = {panics}");
+        // Off-plan never fires either fault.
+        let off = FaultPlan::off();
+        assert!((0..500).all(|id| !off.slow_model_for(id) && !off.worker_panic_for(id)));
+    }
+
+    #[test]
+    fn serving_rates_parse_and_surface_in_summary() {
+        let p = FaultPlan::parse("slow_model=0.3,worker_panic=0.05,seed=9");
+        assert_eq!(p.slow_model, 0.3);
+        assert_eq!(p.worker_panic, 0.05);
+        assert_eq!(p.seed, 9);
+        assert!(p.summary().contains("slow_model=0.3"), "{}", p.summary());
+        assert!(p.summary().contains("worker_panic=0.05"), "{}", p.summary());
+        // The batch-only summary stays byte-identical to the pre-serve
+        // format when the serving rates are zero.
+        assert!(!FaultPlan::default_plan().summary().contains("slow_model"));
     }
 
     #[test]

@@ -3,7 +3,7 @@
 
 use bf_fault::checkpoint::{CvCheckpoint, FoldRecord};
 use bf_fault::validate::{clamp_values, TraceValidator};
-use bf_fault::FaultPlan;
+use bf_fault::{BackoffPolicy, FaultPlan};
 use proptest::prelude::*;
 
 proptest! {
@@ -15,6 +15,45 @@ proptest! {
         let plan = FaultPlan { seed, ..FaultPlan::default_plan() };
         prop_assert_eq!(plan.fault_for(id), plan.fault_for(id));
         prop_assert_eq!(plan.transient_failures(id), plan.transient_failures(id));
+    }
+
+    /// The backoff schedule is a pure function of
+    /// `(plan seed, trace id, attempt)` — replayed chaos waits exactly as
+    /// long as the original run — and is bounded by the documented
+    /// jitter band around the capped exponential.
+    #[test]
+    fn backoff_schedule_is_pure_and_bounded(
+        plan_seed in 0u64..1_000_000,
+        trace_id in 0u64..1_000_000,
+        attempt in 0u32..16,
+        base in 1u64..200,
+        max in 1u64..2_000,
+        jitter in 0.0f64..1.0,
+    ) {
+        let p = BackoffPolicy { base_units: base, max_units: max, jitter };
+        let d = p.delay_units(plan_seed, trace_id, attempt);
+        // Purity: recomputing (fresh RNG, any call order) is identical.
+        prop_assert_eq!(d, p.delay_units(plan_seed, trace_id, attempt));
+        let _ = p.delay_units(plan_seed ^ 1, trace_id, attempt); // interleave another stream
+        prop_assert_eq!(d, p.delay_units(plan_seed, trace_id, attempt));
+        // Bounds: at least the capped exponential, at most its jitter band.
+        let exp = base.saturating_mul(1u64.checked_shl(attempt.min(63)).unwrap_or(u64::MAX)).min(max);
+        prop_assert!(d >= exp);
+        prop_assert!((d as f64) <= exp as f64 * (1.0 + jitter) + 1.0);
+    }
+
+    /// Aggregate wait of an exhausted retry budget equals the sum of the
+    /// per-attempt schedule (the service charges them one checkpoint at a
+    /// time; the quarantine report charges the total).
+    #[test]
+    fn backoff_totals_match_per_attempt_sums(
+        plan_seed in 0u64..100_000,
+        trace_id in 0u64..100_000,
+        attempts in 0u32..8,
+    ) {
+        let p = BackoffPolicy::default();
+        let total: u64 = (0..attempts).map(|a| p.delay_units(plan_seed, trace_id, a)).sum();
+        prop_assert_eq!(total, p.total_units(plan_seed, trace_id, attempts));
     }
 
     /// Whatever fault is injected, clamping afterwards always yields a

@@ -151,6 +151,25 @@ mod tests {
     }
 
     #[test]
+    fn deadline_predict_matches_plain_predict_and_respects_cancellation() {
+        let mut c = CentroidClassifier::new(3);
+        c.fit(&toy(), &Dataset::new(3));
+        let traces = vec![vec![9.0, 0.5], vec![-8.0, -11.0]];
+        let token = bf_fault::CancelToken::unlimited();
+        let viaded = c.predict_proba_deadline(&traces, &token).expect("unlimited budget");
+        let plain = c.predict_proba(&traces);
+        let a: Vec<Vec<u32>> =
+            viaded.iter().map(|r| r.iter().map(|v| v.to_bits()).collect()).collect();
+        let b: Vec<Vec<u32>> =
+            plain.iter().map(|r| r.iter().map(|v| v.to_bits()).collect()).collect();
+        assert_eq!(a, b, "deadline path must be bit-identical when never cancelled");
+
+        let exhausted = bf_fault::CancelToken::new(1);
+        exhausted.charge(2).unwrap_err();
+        assert!(c.predict_proba_deadline(&traces, &exhausted).is_err());
+    }
+
+    #[test]
     #[should_panic(expected = "not fitted")]
     fn predict_before_fit_panics() {
         CentroidClassifier::new(2).predict_proba(&[vec![0.0]]);

@@ -180,6 +180,25 @@ impl Classifier for CnnLstmClassifier {
         out
     }
 
+    /// Deadline-aware inference: checkpoints the token before every
+    /// 64-trace chunk, so a cancelled request stops after the chunk in
+    /// flight instead of finishing the whole batch. Identical outputs to
+    /// [`Classifier::predict_proba`] when never cancelled (same chunking,
+    /// same kernels).
+    fn predict_proba_deadline(
+        &mut self,
+        traces: &[Vec<f32>],
+        token: &bf_fault::CancelToken,
+    ) -> Result<Vec<Vec<f32>>, bf_fault::DeadlineExceeded> {
+        let mut out = Vec::with_capacity(traces.len());
+        for chunk in traces.chunks(64) {
+            token.check()?;
+            out.extend(self.predict_proba(chunk));
+        }
+        token.check()?;
+        Ok(out)
+    }
+
     fn n_classes(&self) -> usize {
         self.arch.n_classes
     }
@@ -244,6 +263,37 @@ mod tests {
         clf.fit(&train, &val);
         let acc = clf.evaluate(&test);
         assert!(acc >= 0.8, "accuracy = {acc}");
+    }
+
+    #[test]
+    fn deadline_predict_is_bit_identical_and_cancels_between_chunks() {
+        let train = toy_dataset(6, 7);
+        let mut clf = CnnLstmClassifier::new(
+            fast_arch(),
+            TrainConfig {
+                max_epochs: 3,
+                batch_size: 8,
+                patience: 2,
+                min_epochs: 1,
+                seed: 8,
+            },
+        );
+        clf.fit(&train, &Dataset::new(3));
+        // 70 traces span two 64-trace chunks, exercising the mid-batch
+        // checkpoint.
+        let traces: Vec<Vec<f32>> = (0..70).map(|i| train.features()[i % train.len()].clone()).collect();
+        let token = bf_fault::CancelToken::unlimited();
+        let deadline = clf.predict_proba_deadline(&traces, &token).expect("unlimited");
+        let plain = clf.predict_proba(&traces);
+        assert_eq!(deadline.len(), plain.len());
+        for (a, b) in deadline.iter().zip(&plain) {
+            let (ab, bb): (Vec<u32>, Vec<u32>) =
+                (a.iter().map(|v| v.to_bits()).collect(), b.iter().map(|v| v.to_bits()).collect());
+            assert_eq!(ab, bb);
+        }
+        let exhausted = bf_fault::CancelToken::new(0);
+        exhausted.charge(1).unwrap_err();
+        assert!(clf.predict_proba_deadline(&traces, &exhausted).is_err());
     }
 
     #[test]

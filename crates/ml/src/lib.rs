@@ -59,6 +59,23 @@ pub trait Classifier: Send {
     /// Per-class probabilities for each input trace.
     fn predict_proba(&mut self, traces: &[Vec<f32>]) -> Vec<Vec<f32>>;
 
+    /// [`Classifier::predict_proba`] under a cooperative deadline: the
+    /// online-serving inference path. The default checkpoints the token
+    /// once before predicting (sufficient for cheap models); expensive
+    /// models override this to checkpoint *during* inference so a
+    /// mid-flight cancellation stops work promptly (the CNN+LSTM checks
+    /// between input chunks). Implementations must return bit-identical
+    /// probabilities to [`Classifier::predict_proba`] when the token
+    /// never cancels — graceful-degradation comparisons rely on it.
+    fn predict_proba_deadline(
+        &mut self,
+        traces: &[Vec<f32>],
+        token: &bf_fault::CancelToken,
+    ) -> Result<Vec<Vec<f32>>, bf_fault::DeadlineExceeded> {
+        token.check()?;
+        Ok(self.predict_proba(traces))
+    }
+
     /// Argmax class predictions (NaN-tolerant, see [`metrics::argmax`]).
     fn predict(&mut self, traces: &[Vec<f32>]) -> Vec<usize> {
         self.predict_proba(traces)

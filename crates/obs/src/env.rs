@@ -1,0 +1,125 @@
+//! Strict, reporting environment-knob parsing.
+//!
+//! Every `BF_*` knob used to fail open silently: a typo'd
+//! `BF_THREADS=fuor` or `BF_SCALE=small` was indistinguishable from the
+//! knob being unset, and the run quietly used a default the operator did
+//! not ask for. The helpers here keep the fail-open behaviour (a bad
+//! value never aborts a run) but make the failure *loud exactly once*: the
+//! first time a malformed value for a given variable is seen, an
+//! [`error!`](crate::error) event names the variable, the rejected value,
+//! and the accepted set. Subsequent reads of the same variable stay
+//! silent so hot paths that re-resolve knobs don't spam the log.
+
+use parking_lot::Mutex;
+use std::collections::BTreeSet;
+use std::str::FromStr;
+use std::sync::OnceLock;
+
+fn warned_keys() -> &'static Mutex<BTreeSet<String>> {
+    static WARNED: OnceLock<Mutex<BTreeSet<String>>> = OnceLock::new();
+    WARNED.get_or_init(|| Mutex::new(BTreeSet::new()))
+}
+
+/// Report an invalid value for environment variable `key` — at most once
+/// per process per variable. Returns `true` when the event was emitted
+/// (first offence), `false` when this key already warned.
+pub fn warn_invalid(key: &str, value: &str, accepted: &str) -> bool {
+    let fresh = warned_keys().lock().insert(key.to_owned());
+    if fresh {
+        crate::error!("{key}: ignoring invalid value `{value}` (accepted: {accepted})");
+    }
+    fresh
+}
+
+/// Forget which variables already warned, so tests can observe the
+/// one-shot event again.
+#[doc(hidden)]
+pub fn reset_warnings() {
+    warned_keys().lock().clear();
+}
+
+/// Read and parse environment variable `key`.
+///
+/// * unset → `None`, silently (an absent knob is not an error);
+/// * parses → `Some(value)`;
+/// * malformed → `None`, after a one-shot [`warn_invalid`] naming the
+///   rejected value and `accepted`.
+pub fn parse<T: FromStr>(key: &str, accepted: &str) -> Option<T> {
+    let raw = std::env::var(key).ok()?;
+    let trimmed = raw.trim();
+    match trimmed.parse::<T>() {
+        Ok(v) => Some(v),
+        Err(_) => {
+            warn_invalid(key, trimmed, accepted);
+            None
+        }
+    }
+}
+
+/// [`parse`] with a fallback: unset *or* malformed yields `default`
+/// (malformed values still warn once).
+pub fn parse_or<T: FromStr>(key: &str, default: T, accepted: &str) -> T {
+    parse(key, accepted).unwrap_or(default)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{begin_capture, end_capture};
+
+    // Env-mutating tests share the process environment and the capture
+    // sink with the rest of the obs suite.
+    static SERIAL: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn unset_is_silent_default() {
+        let _lock = SERIAL.lock();
+        std::env::remove_var("BF_TEST_UNSET_KNOB");
+        reset_warnings();
+        begin_capture();
+        assert_eq!(parse_or("BF_TEST_UNSET_KNOB", 7u64, "an integer"), 7);
+        let lines = end_capture();
+        assert!(lines.is_empty(), "{lines:?}");
+    }
+
+    #[test]
+    fn valid_value_parses_without_warning() {
+        let _lock = SERIAL.lock();
+        std::env::set_var("BF_TEST_VALID_KNOB", " 42 ");
+        reset_warnings();
+        begin_capture();
+        assert_eq!(parse_or("BF_TEST_VALID_KNOB", 0u64, "an integer"), 42);
+        let lines = end_capture();
+        assert!(lines.is_empty(), "{lines:?}");
+        std::env::remove_var("BF_TEST_VALID_KNOB");
+    }
+
+    #[test]
+    fn malformed_value_warns_exactly_once_and_falls_back() {
+        let _lock = SERIAL.lock();
+        std::env::set_var("BF_TEST_BAD_KNOB", "fuor");
+        reset_warnings();
+        begin_capture();
+        assert_eq!(parse_or("BF_TEST_BAD_KNOB", 4usize, "a positive integer"), 4);
+        assert_eq!(parse_or("BF_TEST_BAD_KNOB", 4usize, "a positive integer"), 4);
+        let lines = end_capture();
+        let warnings: Vec<_> = lines.iter().filter(|l| l.contains("BF_TEST_BAD_KNOB")).collect();
+        assert_eq!(warnings.len(), 1, "{lines:?}");
+        assert!(warnings[0].contains("[error]"), "{warnings:?}");
+        assert!(warnings[0].contains("`fuor`"), "{warnings:?}");
+        assert!(warnings[0].contains("a positive integer"), "{warnings:?}");
+        std::env::remove_var("BF_TEST_BAD_KNOB");
+    }
+
+    #[test]
+    fn warn_invalid_is_per_key() {
+        let _lock = SERIAL.lock();
+        reset_warnings();
+        begin_capture();
+        assert!(warn_invalid("BF_TEST_KEY_A", "x", "set A"));
+        assert!(warn_invalid("BF_TEST_KEY_B", "y", "set B"));
+        assert!(!warn_invalid("BF_TEST_KEY_A", "z", "set A"));
+        let lines = end_capture();
+        assert_eq!(lines.len(), 2, "{lines:?}");
+    }
+}

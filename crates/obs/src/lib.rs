@@ -22,6 +22,7 @@
 //! The crate depends only on `parking_lot` and `serde`, keeping it safe to
 //! pull into every other workspace crate.
 
+pub mod env;
 pub mod event;
 pub mod json;
 pub mod level;

@@ -88,8 +88,22 @@ fn env_threads() -> usize {
     }
     let resolved = std::env::var("BF_THREADS")
         .ok()
-        .and_then(|s| s.trim().parse::<usize>().ok())
-        .filter(|&n| n > 0)
+        .and_then(|s| {
+            let trimmed = s.trim();
+            match trimmed.parse::<usize>() {
+                Ok(n) if n > 0 => Some(n),
+                // 0 and non-numeric are both misconfigurations: report the
+                // rejected value once, then fall back to autodetection.
+                _ => {
+                    bf_obs::env::warn_invalid(
+                        "BF_THREADS",
+                        trimmed,
+                        "a positive integer worker count",
+                    );
+                    None
+                }
+            }
+        })
         .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, usize::from));
     ENV_THREADS.store(resolved, Ordering::Relaxed);
     resolved
@@ -97,7 +111,8 @@ fn env_threads() -> usize {
 
 /// The process-wide pool size: the [`set_threads`] override, else
 /// `BF_THREADS`, else the machine's available parallelism. Always at
-/// least 1; a malformed `BF_THREADS` is ignored.
+/// least 1; a malformed or zero `BF_THREADS` is reported once (via
+/// `bf_obs::error!`) and then ignored.
 pub fn threads() -> usize {
     let o = OVERRIDE.load(Ordering::SeqCst);
     if o > 0 {
@@ -434,6 +449,7 @@ mod tests {
         reload_env();
         assert!(threads() >= 1);
         std::env::remove_var("BF_THREADS");
+        bf_obs::env::reset_warnings();
         reload_env();
         set_threads(Some(5));
         assert_eq!(threads(), 5);
@@ -455,6 +471,37 @@ mod tests {
         reload_env();
         assert_eq!(threads(), 7);
         std::env::remove_var("BF_THREADS");
+        reload_env();
+    }
+
+    #[test]
+    fn malformed_env_threads_warns_once_and_falls_back() {
+        let _lock = SERIAL.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        set_threads(None);
+        std::env::set_var("BF_THREADS", "fuor");
+        bf_obs::env::reset_warnings();
+        bf_obs::begin_capture();
+        reload_env();
+        assert!(threads() >= 1, "malformed value must fall back, not abort");
+        reload_env();
+        let _ = threads(); // second resolution must stay silent
+        let lines = bf_obs::end_capture();
+        let warnings: Vec<_> = lines.iter().filter(|l| l.contains("BF_THREADS")).collect();
+        assert_eq!(warnings.len(), 1, "{lines:?}");
+        assert!(warnings[0].contains("`fuor`"), "{warnings:?}");
+        assert!(warnings[0].contains("positive integer"), "{warnings:?}");
+
+        // Zero workers is equally invalid and equally loud.
+        std::env::set_var("BF_THREADS", "0");
+        bf_obs::env::reset_warnings();
+        bf_obs::begin_capture();
+        reload_env();
+        assert!(threads() >= 1);
+        let lines = bf_obs::end_capture();
+        assert!(lines.iter().any(|l| l.contains("BF_THREADS") && l.contains("`0`")), "{lines:?}");
+
+        std::env::remove_var("BF_THREADS");
+        bf_obs::env::reset_warnings();
         reload_env();
     }
 

@@ -1,0 +1,260 @@
+//! Circuit breaker for the primary inference path.
+//!
+//! Classic three-state breaker, but clocked in *virtual work units*
+//! rather than wall time so that state transitions are deterministic:
+//!
+//! * **Closed** — primary path allowed; `open_after` *consecutive*
+//!   failures (timeouts or contained panics) trip it open.
+//! * **Open** — primary path rejected outright; requests degrade to the
+//!   fallback until `cooldown_units` virtual ticks have elapsed.
+//! * **Half-open** — after the cooldown, probe requests are let through;
+//!   `close_after` consecutive probe successes close the breaker, any
+//!   probe failure re-opens it and restarts the cooldown.
+//!
+//! Every transition is recorded with its virtual tick, surfaced as
+//! `serve.breaker.*` counters, and summarized for the run manifest.
+
+/// The three breaker states.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Primary path allowed; failures are being counted.
+    Closed,
+    /// Primary path rejected; waiting out the cooldown.
+    Open,
+    /// Probing the primary path after a cooldown.
+    HalfOpen,
+}
+
+impl BreakerState {
+    /// Stable lowercase label for metrics and manifests.
+    pub fn label(self) -> &'static str {
+        match self {
+            BreakerState::Closed => "closed",
+            BreakerState::Open => "open",
+            BreakerState::HalfOpen => "half_open",
+        }
+    }
+}
+
+/// Breaker thresholds, in consecutive events and virtual units.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BreakerConfig {
+    /// Consecutive primary failures that trip Closed → Open.
+    pub open_after: u32,
+    /// Virtual units to hold Open before probing.
+    pub cooldown_units: u64,
+    /// Consecutive half-open successes that close the breaker.
+    pub close_after: u32,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig { open_after: 5, cooldown_units: 2_000, close_after: 3 }
+    }
+}
+
+/// One recorded state change, stamped with the virtual tick at which it
+/// happened.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Transition {
+    /// Virtual tick of the change.
+    pub at: u64,
+    /// State before.
+    pub from: BreakerState,
+    /// State after.
+    pub to: BreakerState,
+}
+
+/// Deterministic virtual-time circuit breaker. See the module docs for
+/// the state machine.
+#[derive(Debug, Clone)]
+pub struct CircuitBreaker {
+    cfg: BreakerConfig,
+    state: BreakerState,
+    consecutive_failures: u32,
+    probe_successes: u32,
+    open_until: u64,
+    transitions: Vec<Transition>,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker with the given thresholds.
+    pub fn new(cfg: BreakerConfig) -> Self {
+        CircuitBreaker {
+            cfg,
+            state: BreakerState::Closed,
+            consecutive_failures: 0,
+            probe_successes: 0,
+            open_until: 0,
+            transitions: Vec::new(),
+        }
+    }
+
+    /// Current state (after any cooldown expiry observed so far).
+    pub fn state(&self) -> BreakerState {
+        self.state
+    }
+
+    /// Every state change so far, in virtual-tick order.
+    pub fn transitions(&self) -> &[Transition] {
+        &self.transitions
+    }
+
+    /// Compact `from->to@tick` rendering of [`transitions`], for the run
+    /// manifest ("(none)" when the breaker never moved).
+    ///
+    /// [`transitions`]: CircuitBreaker::transitions
+    pub fn transitions_summary(&self) -> String {
+        if self.transitions.is_empty() {
+            return "(none)".to_owned();
+        }
+        self.transitions
+            .iter()
+            .map(|t| format!("{}->{}@{}", t.from.label(), t.to.label(), t.at))
+            .collect::<Vec<_>>()
+            .join(";")
+    }
+
+    /// Route decision for a request reaching the predict stage at
+    /// virtual tick `now`. Returns `true` when the primary path may be
+    /// tried; moves Open → HalfOpen when the cooldown has elapsed.
+    pub fn allow_primary(&mut self, now: u64) -> bool {
+        match self.state {
+            BreakerState::Closed | BreakerState::HalfOpen => true,
+            BreakerState::Open => {
+                if now >= self.open_until {
+                    self.probe_successes = 0;
+                    self.transition(now, BreakerState::HalfOpen);
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    /// Record a primary-path success at tick `now`.
+    pub fn record_success(&mut self, now: u64) {
+        match self.state {
+            BreakerState::Closed => self.consecutive_failures = 0,
+            BreakerState::HalfOpen => {
+                self.probe_successes += 1;
+                if self.probe_successes >= self.cfg.close_after {
+                    self.consecutive_failures = 0;
+                    self.transition(now, BreakerState::Closed);
+                }
+            }
+            // Successes cannot be reported while open: `allow_primary`
+            // never routes to the primary in that state.
+            BreakerState::Open => {}
+        }
+    }
+
+    /// Record a primary-path failure (deadline exhaustion or contained
+    /// panic) at tick `now`.
+    pub fn record_failure(&mut self, now: u64) {
+        match self.state {
+            BreakerState::Closed => {
+                self.consecutive_failures += 1;
+                if self.consecutive_failures >= self.cfg.open_after {
+                    self.open_until = now + self.cfg.cooldown_units;
+                    self.transition(now, BreakerState::Open);
+                }
+            }
+            BreakerState::HalfOpen => {
+                self.open_until = now + self.cfg.cooldown_units;
+                self.transition(now, BreakerState::Open);
+            }
+            BreakerState::Open => {}
+        }
+    }
+
+    fn transition(&mut self, at: u64, to: BreakerState) {
+        let from = self.state;
+        self.state = to;
+        self.transitions.push(Transition { at, from, to });
+        bf_obs::counter(match to {
+            BreakerState::Open => "serve.breaker.opened",
+            BreakerState::HalfOpen => "serve.breaker.half_open",
+            BreakerState::Closed => "serve.breaker.closed",
+        })
+        .inc();
+        bf_obs::info!("breaker {} -> {} at tick {at}", from.label(), to.label());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> BreakerConfig {
+        BreakerConfig { open_after: 3, cooldown_units: 100, close_after: 2 }
+    }
+
+    #[test]
+    fn opens_only_after_consecutive_failures() {
+        let mut b = CircuitBreaker::new(cfg());
+        b.record_failure(1);
+        b.record_failure(2);
+        b.record_success(3); // breaks the streak
+        b.record_failure(4);
+        b.record_failure(5);
+        assert_eq!(b.state(), BreakerState::Closed);
+        b.record_failure(6);
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(
+            b.transitions(),
+            &[Transition { at: 6, from: BreakerState::Closed, to: BreakerState::Open }]
+        );
+    }
+
+    #[test]
+    fn rejects_during_cooldown_and_probes_after() {
+        let mut b = CircuitBreaker::new(cfg());
+        for t in 0..3 {
+            b.record_failure(t);
+        }
+        assert!(!b.allow_primary(50), "still cooling down");
+        assert_eq!(b.state(), BreakerState::Open);
+        assert!(b.allow_primary(102), "cooldown elapsed at 2 + 100");
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+    }
+
+    #[test]
+    fn closes_after_enough_probe_successes() {
+        let mut b = CircuitBreaker::new(cfg());
+        for t in 0..3 {
+            b.record_failure(t);
+        }
+        assert!(b.allow_primary(200));
+        b.record_success(200);
+        assert_eq!(b.state(), BreakerState::HalfOpen, "one probe is not enough");
+        b.record_success(210);
+        assert_eq!(b.state(), BreakerState::Closed);
+        let labels: Vec<&str> = b.transitions().iter().map(|t| t.to.label()).collect();
+        assert_eq!(labels, ["open", "half_open", "closed"]);
+    }
+
+    #[test]
+    fn half_open_failure_reopens_and_restarts_cooldown() {
+        let mut b = CircuitBreaker::new(cfg());
+        for t in 0..3 {
+            b.record_failure(t);
+        }
+        assert!(b.allow_primary(150));
+        b.record_failure(150);
+        assert_eq!(b.state(), BreakerState::Open);
+        assert!(!b.allow_primary(200), "cooldown restarted at 150");
+        assert!(b.allow_primary(250));
+    }
+
+    #[test]
+    fn summary_renders_ticks_or_none() {
+        let mut b = CircuitBreaker::new(cfg());
+        assert_eq!(b.transitions_summary(), "(none)");
+        for t in 0..3 {
+            b.record_failure(t);
+        }
+        assert_eq!(b.transitions_summary(), "closed->open@2");
+    }
+}

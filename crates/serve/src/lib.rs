@@ -1,0 +1,392 @@
+//! `bf-serve` — a deadline-aware online fingerprinting service.
+//!
+//! The paper's pipeline is batch-shaped: collect a corpus, train, then
+//! cross-validate. This crate wraps the same building blocks —
+//! [`bf_core::collect`] for trace acquisition and [`bf_ml`] classifiers
+//! for prediction — in an *online* request/response loop with the
+//! robustness machinery a long-running service needs:
+//!
+//! * a **bounded queue** with explicit load shedding when it overflows;
+//! * **per-request deadlines** in deterministic virtual work units,
+//!   enforced cooperatively via [`bf_fault::CancelToken`] checkpoints
+//!   threaded through collection and inference;
+//! * **seeded retry with exponential backoff + jitter**
+//!   ([`bf_fault::BackoffPolicy`]) for transient collection faults,
+//!   charged against the request's deadline budget;
+//! * a **circuit breaker** ([`CircuitBreaker`]) around the expensive
+//!   primary (CNN+LSTM) inference path, with **graceful degradation**
+//!   to the cheap [`bf_ml::CentroidClassifier`] while the breaker is
+//!   open;
+//! * a [`HealthSnapshot`] readiness/terminal-outcome report, and
+//!   `serve.*` metrics plus breaker-state manifest entries through
+//!   `bf-obs`.
+//!
+//! # Virtual time
+//!
+//! Nothing in the service reads a wall clock. Queueing, deadlines,
+//! backoff waits, and breaker cooldowns are all measured in abstract
+//! *work units* charged against cancellation tokens, so every outcome is
+//! a pure function of `(requests, config, BF_THREADS)` — a chaos storm
+//! replays bit-identically, and wall time is observability-only. The
+//! scheduler runs lock-step waves of at most [`bf_par::threads`] jobs:
+//! collection runs in parallel within a wave, prediction is applied in
+//! deterministic virtual-completion order so breaker transitions do not
+//! depend on OS thread interleaving.
+//!
+//! # Terminal outcomes
+//!
+//! Every submitted request resolves to **exactly one** [`Outcome`]:
+//! a primary `Prediction`, a `Degraded` (centroid) prediction, an
+//! explicit `Timeout` naming the stage that exhausted the deadline, an
+//! explicit `Shed` at admission, or an explicit `Failed` (quarantined
+//! collection or a contained worker panic). Requests never hang and
+//! panics never escape the service.
+
+pub mod breaker;
+pub mod service;
+
+pub use breaker::{BreakerConfig, BreakerState, CircuitBreaker, Transition};
+pub use service::{HealthSnapshot, Service};
+
+use bf_fault::BackoffPolicy;
+use bf_stats::rng::{combine_seeds, SeedRng};
+
+/// A classification job: "collect a trace of `site` and say which site
+/// it was". `seed` drives the (simulated) victim visit; `arrival` is the
+/// virtual tick at which the request enters the service.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeRequest {
+    /// Caller-chosen identifier, echoed in the [`Resolved`] record and
+    /// used to derive per-request fault/jitter streams.
+    pub id: u64,
+    /// Index into the service's site catalog.
+    pub site: usize,
+    /// Seed for the simulated visit this request observes.
+    pub seed: u64,
+    /// Virtual arrival tick.
+    pub arrival: u64,
+}
+
+/// The pipeline stage that exhausted a request's deadline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Stage {
+    /// The deadline elapsed while the request was still queued.
+    Queue,
+    /// Trace collection (including retry backoff waits) ran out of
+    /// budget.
+    Collect,
+    /// Inference ran out of budget (typically a slow primary model).
+    Predict,
+}
+
+impl Stage {
+    /// Stable lowercase label for metrics and reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            Stage::Queue => "queue",
+            Stage::Collect => "collect",
+            Stage::Predict => "predict",
+        }
+    }
+}
+
+/// The single terminal state of a request. See the crate docs for the
+/// exhaustiveness guarantee.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Outcome {
+    /// The primary classifier answered within the deadline.
+    Prediction {
+        /// Argmax class.
+        class: usize,
+        /// Per-class probabilities.
+        probs: Vec<f32>,
+    },
+    /// The fallback (centroid) classifier answered — either because the
+    /// breaker was open or because the primary path failed and the
+    /// budget still allowed the cheap path. Bit-identical to running
+    /// the standalone centroid on the same features.
+    Degraded {
+        /// Argmax class.
+        class: usize,
+        /// Per-class probabilities.
+        probs: Vec<f32>,
+    },
+    /// The deadline budget ran out; `stage` says where.
+    Timeout {
+        /// Stage that exhausted the budget.
+        stage: Stage,
+    },
+    /// Rejected at admission because the bounded queue was full.
+    Shed,
+    /// Explicit failure: quarantined collection (retry budget
+    /// exhausted) or a contained worker panic. Never silent, never
+    /// hung.
+    Failed {
+        /// Human-readable reason.
+        reason: String,
+    },
+}
+
+impl Outcome {
+    /// Stable lowercase label for metrics and reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Outcome::Prediction { .. } => "prediction",
+            Outcome::Degraded { .. } => "degraded",
+            Outcome::Timeout { .. } => "timeout",
+            Outcome::Shed => "shed",
+            Outcome::Failed { .. } => "failed",
+        }
+    }
+}
+
+/// A request paired with its terminal outcome and virtual-time
+/// accounting.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Resolved {
+    /// The request's `id`.
+    pub id: u64,
+    /// The request's site index.
+    pub site: usize,
+    /// Terminal outcome.
+    pub outcome: Outcome,
+    /// Arrival tick (copied from the request).
+    pub arrival: u64,
+    /// Tick at which the request left the queue (equals `arrival` for
+    /// sheds).
+    pub started: u64,
+    /// Tick at which the terminal outcome was reached.
+    pub completed: u64,
+    /// Units spent waiting in the queue.
+    pub queue_units: u64,
+    /// Units of collection + inference work charged to the deadline.
+    pub work_units: u64,
+}
+
+impl Resolved {
+    /// End-to-end virtual latency (queue wait + work).
+    pub fn latency_units(&self) -> u64 {
+        self.completed.saturating_sub(self.arrival)
+    }
+}
+
+/// Service tuning. All durations are virtual work units (see the crate
+/// docs); wall time never enters the picture.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeConfig {
+    /// Bounded-queue capacity; arrivals beyond it are [`Outcome::Shed`].
+    pub queue_cap: usize,
+    /// Per-request deadline, measured from arrival.
+    pub deadline_units: u64,
+    /// Cost charged per collection attempt.
+    pub collect_attempt_units: u64,
+    /// Cost charged per primary (CNN+LSTM) inference.
+    pub primary_units: u64,
+    /// Cost charged per fallback (centroid) inference.
+    pub fallback_units: u64,
+    /// Extra cost charged when the fault plan injects a slow model.
+    pub slow_penalty_units: u64,
+    /// Retry backoff schedule for transient collection faults.
+    pub backoff: BackoffPolicy,
+    /// Circuit-breaker thresholds.
+    pub breaker: BreakerConfig,
+    /// Optional deterministic slow-model storm: requests with
+    /// `start <= id < end` always hit the slow-model penalty, on top of
+    /// the fault plan's random `slow_model` rate. Used by benches and
+    /// chaos tests to drive the breaker through a full
+    /// open → half-open → closed cycle.
+    pub slow_storm: Option<(u64, u64)>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            queue_cap: 32,
+            deadline_units: 1_000,
+            collect_attempt_units: 100,
+            primary_units: 50,
+            fallback_units: 5,
+            slow_penalty_units: 10_000,
+            backoff: BackoffPolicy::default(),
+            breaker: BreakerConfig::default(),
+            slow_storm: None,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Defaults overridden by the `BF_SERVE_*` environment knobs:
+    /// `BF_SERVE_QUEUE` (queue capacity), `BF_SERVE_DEADLINE`
+    /// (per-request budget), `BF_SERVE_BREAKER_OPEN` (consecutive
+    /// primary failures before opening), `BF_SERVE_BREAKER_COOLDOWN`
+    /// (open-state units before probing), and `BF_SERVE_BREAKER_PROBES`
+    /// (half-open successes before closing). Malformed values warn once
+    /// through `bf_obs` and fall back to the default; zeros are clamped
+    /// to 1 where a zero would deadlock the service.
+    pub fn from_env() -> Self {
+        let d = ServeConfig::default();
+        ServeConfig {
+            queue_cap: bf_obs::env::parse_or(
+                "BF_SERVE_QUEUE",
+                d.queue_cap,
+                "a positive queue capacity",
+            )
+            .max(1),
+            deadline_units: bf_obs::env::parse_or(
+                "BF_SERVE_DEADLINE",
+                d.deadline_units,
+                "a per-request budget in work units",
+            ),
+            breaker: BreakerConfig {
+                open_after: bf_obs::env::parse_or(
+                    "BF_SERVE_BREAKER_OPEN",
+                    d.breaker.open_after,
+                    "consecutive failures before the breaker opens",
+                )
+                .max(1),
+                cooldown_units: bf_obs::env::parse_or(
+                    "BF_SERVE_BREAKER_COOLDOWN",
+                    d.breaker.cooldown_units,
+                    "open-state cooldown in work units",
+                ),
+                close_after: bf_obs::env::parse_or(
+                    "BF_SERVE_BREAKER_PROBES",
+                    d.breaker.close_after,
+                    "half-open probe successes before closing",
+                )
+                .max(1),
+            },
+            ..d
+        }
+    }
+
+    /// Whether `id` falls inside the configured slow-model storm.
+    pub fn in_slow_storm(&self, id: u64) -> bool {
+        self.slow_storm.is_some_and(|(start, end)| id >= start && id < end)
+    }
+}
+
+/// Deterministic open-loop arrival stream: `n` requests over `n_sites`
+/// sites with exponentially distributed inter-arrival gaps of mean
+/// `mean_gap_units` (0 means an instantaneous burst). Arrivals are
+/// non-decreasing and the whole stream is a pure function of `seed`.
+pub fn open_loop_arrivals(
+    n: usize,
+    n_sites: usize,
+    mean_gap_units: f64,
+    seed: u64,
+) -> Vec<ServeRequest> {
+    assert!(n_sites > 0, "need at least one site");
+    let mut rng = SeedRng::new(combine_seeds(seed, 0x5E17E));
+    let mut tick = 0u64;
+    (0..n as u64)
+        .map(|i| {
+            if mean_gap_units > 0.0 {
+                tick += rng.exponential(mean_gap_units).round() as u64;
+            }
+            ServeRequest {
+                id: i,
+                site: rng.int_range(0, n_sites as u64) as usize,
+                seed: combine_seeds(seed, i),
+                arrival: tick,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Serializes tests that mutate process environment.
+    static SERIAL: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    #[test]
+    fn arrivals_are_deterministic_monotone_and_in_range() {
+        let a = open_loop_arrivals(200, 7, 40.0, 99);
+        let b = open_loop_arrivals(200, 7, 40.0, 99);
+        assert_eq!(a, b, "stream must be a pure function of the seed");
+        assert_eq!(a.len(), 200);
+        assert!(a.windows(2).all(|w| w[0].arrival <= w[1].arrival));
+        assert!(a.iter().all(|r| r.site < 7));
+        let c = open_loop_arrivals(200, 7, 40.0, 100);
+        assert_ne!(a, c, "different seeds give different streams");
+    }
+
+    #[test]
+    fn burst_arrivals_share_tick_zero() {
+        let a = open_loop_arrivals(10, 3, 0.0, 1);
+        assert!(a.iter().all(|r| r.arrival == 0));
+    }
+
+    #[test]
+    fn config_from_env_reads_knobs_and_survives_garbage() {
+        let _guard = SERIAL.lock().unwrap_or_else(|p| p.into_inner());
+        bf_obs::env::reset_warnings();
+        std::env::set_var("BF_SERVE_QUEUE", "8");
+        std::env::set_var("BF_SERVE_DEADLINE", "500");
+        std::env::set_var("BF_SERVE_BREAKER_OPEN", "not-a-number");
+        std::env::set_var("BF_SERVE_BREAKER_COOLDOWN", "750");
+        std::env::set_var("BF_SERVE_BREAKER_PROBES", "2");
+        let cfg = ServeConfig::from_env();
+        std::env::remove_var("BF_SERVE_QUEUE");
+        std::env::remove_var("BF_SERVE_DEADLINE");
+        std::env::remove_var("BF_SERVE_BREAKER_OPEN");
+        std::env::remove_var("BF_SERVE_BREAKER_COOLDOWN");
+        std::env::remove_var("BF_SERVE_BREAKER_PROBES");
+        bf_obs::env::reset_warnings();
+        assert_eq!(cfg.queue_cap, 8);
+        assert_eq!(cfg.deadline_units, 500);
+        let d = ServeConfig::default();
+        assert_eq!(cfg.breaker.open_after, d.breaker.open_after, "garbage falls back");
+        assert_eq!(cfg.breaker.cooldown_units, 750);
+        assert_eq!(cfg.breaker.close_after, 2);
+        assert_eq!(cfg.collect_attempt_units, d.collect_attempt_units);
+    }
+
+    #[test]
+    fn zero_knobs_are_clamped_where_they_would_deadlock() {
+        let _guard = SERIAL.lock().unwrap_or_else(|p| p.into_inner());
+        std::env::set_var("BF_SERVE_QUEUE", "0");
+        std::env::set_var("BF_SERVE_BREAKER_OPEN", "0");
+        let cfg = ServeConfig::from_env();
+        std::env::remove_var("BF_SERVE_QUEUE");
+        std::env::remove_var("BF_SERVE_BREAKER_OPEN");
+        assert_eq!(cfg.queue_cap, 1);
+        assert_eq!(cfg.breaker.open_after, 1);
+    }
+
+    #[test]
+    fn slow_storm_window_is_half_open() {
+        let cfg = ServeConfig { slow_storm: Some((10, 20)), ..ServeConfig::default() };
+        assert!(!cfg.in_slow_storm(9));
+        assert!(cfg.in_slow_storm(10));
+        assert!(cfg.in_slow_storm(19));
+        assert!(!cfg.in_slow_storm(20));
+        assert!(!ServeConfig::default().in_slow_storm(10));
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(Outcome::Shed.label(), "shed");
+        assert_eq!(Outcome::Timeout { stage: Stage::Queue }.label(), "timeout");
+        assert_eq!(Stage::Collect.label(), "collect");
+        assert_eq!(Stage::Predict.label(), "predict");
+        assert_eq!(Outcome::Failed { reason: String::new() }.label(), "failed");
+    }
+
+    #[test]
+    fn latency_is_queue_plus_work() {
+        let r = Resolved {
+            id: 1,
+            site: 0,
+            outcome: Outcome::Shed,
+            arrival: 10,
+            started: 25,
+            completed: 40,
+            queue_units: 15,
+            work_units: 15,
+        };
+        assert_eq!(r.latency_units(), 30);
+    }
+}

@@ -1,0 +1,699 @@
+//! The wave-based virtual-time scheduler.
+//!
+//! [`Service::run`] drains an arrival stream through four stages:
+//!
+//! 1. **Admission** — arrivals at or before the current tick enter the
+//!    bounded queue; overflow is shed immediately.
+//! 2. **Dispatch** — up to [`bf_par::threads`] queued jobs form a wave;
+//!    jobs whose deadline already elapsed resolve as queue timeouts.
+//! 3. **Collect** — the wave's trace collections run in parallel
+//!    ([`bf_par::par_map_indexed`]), each under a [`CancelToken`]
+//!    bounded by its remaining deadline budget; transient faults retry
+//!    with seeded exponential backoff charged to the same budget.
+//! 4. **Predict** — applied *sequentially* in virtual-completion order
+//!    `(collect units, wave position)`, so circuit-breaker bookkeeping
+//!    (consecutive failures, cooldown expiry) is independent of OS
+//!    scheduling. The clock then advances by the wave's longest job.
+//!
+//! Parallelism changes wall time only: for a fixed `(stream, config,
+//! BF_THREADS)` the outcomes, tick accounting, and breaker transitions
+//! are bit-identical from run to run.
+
+use crate::breaker::{BreakerState, CircuitBreaker};
+use crate::{Outcome, Resolved, ServeConfig, ServeRequest, Stage};
+use bf_core::collect::CollectionConfig;
+use bf_fault::CancelToken;
+use bf_ml::{metrics::argmax, CentroidClassifier, Classifier};
+use bf_victim::WebsiteProfile;
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Readiness and terminal-outcome accounting, exposed for health
+/// checks and end-of-run invariants.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HealthSnapshot {
+    /// `true` unless the breaker is open (degraded-only service).
+    pub ready: bool,
+    /// Current breaker state.
+    pub breaker: BreakerState,
+    /// Configured queue capacity.
+    pub queue_cap: usize,
+    /// Requests ever submitted to [`Service::run`].
+    pub submitted: u64,
+    /// Primary-path predictions returned.
+    pub predictions: u64,
+    /// Degraded (centroid) predictions returned.
+    pub degraded: u64,
+    /// Explicit deadline timeouts.
+    pub timeouts: u64,
+    /// Requests shed at admission.
+    pub shed: u64,
+    /// Explicit failures (quarantine, contained panics).
+    pub failed: u64,
+    /// Worker panics contained by the service.
+    pub worker_panics: u64,
+}
+
+impl HealthSnapshot {
+    /// Sum of the five terminal-outcome counts. The service guarantees
+    /// this equals [`HealthSnapshot::submitted`] after every run.
+    pub fn resolved(&self) -> u64 {
+        self.predictions + self.degraded + self.timeouts + self.shed + self.failed
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Tallies {
+    submitted: u64,
+    predictions: u64,
+    degraded: u64,
+    timeouts: u64,
+    shed: u64,
+    failed: u64,
+    worker_panics: u64,
+}
+
+/// A job dispatched into a wave: request index plus the deadline budget
+/// remaining at dispatch time.
+struct WaveJob {
+    idx: usize,
+    budget: u64,
+}
+
+/// What the parallel collect stage produced for one wave job.
+enum Collected {
+    Features(Vec<f32>),
+    Quarantined,
+    Deadline,
+    Panicked(String),
+}
+
+struct CollectOut {
+    pos: usize,
+    idx: usize,
+    budget: u64,
+    /// Units charged by the collect stage, clamped to the budget.
+    collect_units: u64,
+    token: CancelToken,
+    res: Collected,
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    payload
+        .downcast_ref::<&str>()
+        .map(|s| (*s).to_owned())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "opaque panic payload".to_owned())
+}
+
+/// The online fingerprinting service. Owns a collection pipeline, a
+/// primary classifier, a fitted centroid fallback, and a circuit
+/// breaker; see the module docs for scheduling semantics.
+pub struct Service {
+    collection: CollectionConfig,
+    sites: Vec<WebsiteProfile>,
+    primary: Box<dyn Classifier>,
+    fallback: CentroidClassifier,
+    cfg: ServeConfig,
+    breaker: CircuitBreaker,
+    tallies: Tallies,
+}
+
+impl Service {
+    /// Assemble a service. `collection.faults` is the serving-time fault
+    /// plan (transient retries, slow-model and worker-panic injection).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `sites` is empty or `fallback` is not fitted — an
+    /// unfitted fallback would turn graceful degradation into a panic
+    /// at the worst possible moment.
+    pub fn new(
+        collection: CollectionConfig,
+        sites: Vec<WebsiteProfile>,
+        primary: Box<dyn Classifier>,
+        fallback: CentroidClassifier,
+        cfg: ServeConfig,
+    ) -> Self {
+        assert!(!sites.is_empty(), "service needs at least one site");
+        assert!(
+            !fallback.centroids().is_empty(),
+            "fallback classifier must be fitted before serving"
+        );
+        let breaker = CircuitBreaker::new(cfg.breaker);
+        Service { collection, sites, primary, fallback, cfg, breaker, tallies: Tallies::default() }
+    }
+
+    /// The service's config.
+    pub fn config(&self) -> &ServeConfig {
+        &self.cfg
+    }
+
+    /// The breaker's transition history (see [`CircuitBreaker`]).
+    pub fn breaker(&self) -> &CircuitBreaker {
+        &self.breaker
+    }
+
+    /// Clear breaker state, transition history, and outcome tallies:
+    /// a fresh service with the same fitted models and config. Lets a
+    /// load generator replay the same stream for determinism checks
+    /// without refitting the (expensive) primary.
+    pub fn reset(&mut self) {
+        self.breaker = CircuitBreaker::new(self.cfg.breaker);
+        self.tallies = Tallies::default();
+    }
+
+    /// Readiness + outcome accounting across all runs so far.
+    pub fn health(&self) -> HealthSnapshot {
+        let t = &self.tallies;
+        HealthSnapshot {
+            ready: self.breaker.state() != BreakerState::Open,
+            breaker: self.breaker.state(),
+            queue_cap: self.cfg.queue_cap,
+            submitted: t.submitted,
+            predictions: t.predictions,
+            degraded: t.degraded,
+            timeouts: t.timeouts,
+            shed: t.shed,
+            failed: t.failed,
+            worker_panics: t.worker_panics,
+        }
+    }
+
+    /// Record breaker history and outcome tallies into a run manifest.
+    pub fn record_in_manifest(&self, mb: &mut bf_obs::ManifestBuilder) {
+        let t = &self.tallies;
+        mb.config("serve.breaker_state", self.breaker.state().label());
+        mb.config("serve.breaker_transitions", self.breaker.transitions_summary());
+        mb.config(
+            "serve.outcomes",
+            format!(
+                "submitted={} predictions={} degraded={} timeouts={} shed={} failed={} \
+                 worker_panics={}",
+                t.submitted, t.predictions, t.degraded, t.timeouts, t.shed, t.failed,
+                t.worker_panics
+            ),
+        );
+    }
+
+    /// Drain `requests` (sorted internally by `(arrival, id)`) to
+    /// terminal outcomes. The returned records are in input order and
+    /// there is exactly one per request — see the crate docs for the
+    /// exhaustiveness guarantee. The virtual clock starts at 0 for each
+    /// call; breaker state and tallies persist across calls.
+    pub fn run(&mut self, requests: &[ServeRequest]) -> Vec<Resolved> {
+        let n = requests.len();
+        self.tallies.submitted += n as u64;
+        bf_obs::counter("serve.submitted").add(n as u64);
+        let _span = bf_obs::span!("serve.run");
+
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by_key(|&i| (requests[i].arrival, requests[i].id, i));
+        let mut resolved: Vec<Option<Resolved>> = (0..n).map(|_| None).collect();
+        let mut queue: VecDeque<usize> = VecDeque::new();
+        let wave_cap = bf_par::threads().max(1);
+        let mut now = 0u64;
+        let mut next_arrival = 0usize;
+
+        loop {
+            // Idle: jump the clock to the next arrival, or finish.
+            if queue.is_empty() {
+                match order.get(next_arrival) {
+                    Some(&i) => now = now.max(requests[i].arrival),
+                    None => break,
+                }
+            }
+
+            // Admission: everything that has arrived by `now`.
+            while next_arrival < n && requests[order[next_arrival]].arrival <= now {
+                let idx = order[next_arrival];
+                next_arrival += 1;
+                if queue.len() >= self.cfg.queue_cap {
+                    bf_obs::counter("serve.shed").inc();
+                    self.tallies.shed += 1;
+                    let req = requests[idx];
+                    resolved[idx] = Some(self.resolve_at(&req, Outcome::Shed, req.arrival, 0));
+                } else {
+                    queue.push_back(idx);
+                }
+            }
+            bf_obs::gauge("serve.queue_depth").set(queue.len() as f64);
+            if queue.is_empty() {
+                continue;
+            }
+
+            // Dispatch a wave, expiring deadlines that lapsed in queue.
+            let mut wave: Vec<WaveJob> = Vec::new();
+            while wave.len() < wave_cap {
+                let Some(idx) = queue.pop_front() else { break };
+                let req = requests[idx];
+                let deadline = req.arrival.saturating_add(self.cfg.deadline_units);
+                if now >= deadline {
+                    resolved[idx] =
+                        Some(self.resolve_at(&req, Outcome::Timeout { stage: Stage::Queue }, now, 0));
+                } else {
+                    wave.push(WaveJob { idx, budget: deadline - now });
+                }
+            }
+            bf_obs::gauge("serve.queue_depth").set(queue.len() as f64);
+            if wave.is_empty() {
+                continue;
+            }
+
+            // Parallel collect stage. The closure only borrows Sync
+            // pieces of the service (collection config, catalog, knobs);
+            // panics are contained per job.
+            let collection = &self.collection;
+            let sites = &self.sites;
+            let cfg = &self.cfg;
+            let mut outs: Vec<CollectOut> = bf_par::par_map_indexed(&wave, |pos, job| {
+                let req = &requests[job.idx];
+                let token = CancelToken::new(job.budget);
+                let res = if req.site >= sites.len() {
+                    Collected::Panicked(format!(
+                        "unknown site index {} (catalog has {})",
+                        req.site,
+                        sites.len()
+                    ))
+                } else {
+                    match catch_unwind(AssertUnwindSafe(|| {
+                        collection.collect_trace_deadline(
+                            &sites[req.site],
+                            req.seed,
+                            &token,
+                            &cfg.backoff,
+                            cfg.collect_attempt_units,
+                        )
+                    })) {
+                        Ok(Ok(Some(trace))) => Collected::Features(collection.featurize(&trace)),
+                        Ok(Ok(None)) => Collected::Quarantined,
+                        Ok(Err(_)) => Collected::Deadline,
+                        Err(payload) => Collected::Panicked(panic_message(payload)),
+                    }
+                };
+                let collect_units = token.used().min(job.budget);
+                CollectOut { pos, idx: job.idx, budget: job.budget, collect_units, token, res }
+            });
+
+            // Sequential predict stage, in virtual-completion order so
+            // breaker bookkeeping is schedule-independent.
+            outs.sort_by_key(|o| (o.collect_units, o.pos));
+            let mut wave_advance = 1u64;
+            for out in outs {
+                let req = requests[out.idx];
+                let tick = now + out.collect_units;
+                let outcome = match out.res {
+                    Collected::Deadline => Outcome::Timeout { stage: Stage::Collect },
+                    Collected::Quarantined => {
+                        bf_obs::counter("serve.quarantined").inc();
+                        Outcome::Failed {
+                            reason: "collection quarantined: repair/retry budget exhausted"
+                                .to_owned(),
+                        }
+                    }
+                    Collected::Panicked(msg) => {
+                        self.tallies.worker_panics += 1;
+                        bf_obs::counter("serve.worker_panics").inc();
+                        bf_obs::error!("contained collect panic for request {}: {msg}", req.id);
+                        Outcome::Failed { reason: format!("collection panicked: {msg}") }
+                    }
+                    Collected::Features(features) => {
+                        self.predict_one(&req, std::slice::from_ref(&features), &out.token, tick)
+                    }
+                };
+                let work = out.token.used().min(out.budget);
+                wave_advance = wave_advance.max(work);
+                resolved[out.idx] = Some(self.resolve_at(&req, outcome, now, work));
+            }
+            now += wave_advance;
+        }
+        bf_obs::gauge("serve.queue_depth").set(0.0);
+
+        let done: Vec<Resolved> = resolved
+            .into_iter()
+            .map(|r| r.expect("scheduler resolved every request"))
+            .collect();
+        debug_assert_eq!(done.len(), n);
+        done
+    }
+
+    /// Predict stage for one job whose collect finished at `tick` with
+    /// `features`. Chooses primary vs fallback through the breaker,
+    /// contains injected/real panics, and charges the token.
+    fn predict_one(
+        &mut self,
+        req: &ServeRequest,
+        input: &[Vec<f32>],
+        token: &CancelToken,
+        tick: u64,
+    ) -> Outcome {
+        if self.breaker.allow_primary(tick) {
+            let plan = &self.collection.faults;
+            let slow = plan.slow_model_for(req.id) || self.cfg.in_slow_storm(req.id);
+            let panic_injected = plan.worker_panic_for(req.id);
+            let cost =
+                self.cfg.primary_units + if slow { self.cfg.slow_penalty_units } else { 0 };
+            let primary = &mut self.primary;
+            let attempt = catch_unwind(AssertUnwindSafe(|| {
+                if panic_injected {
+                    panic!("injected worker panic (request {})", req.id);
+                }
+                token.charge(cost)?;
+                primary.predict_proba_deadline(input, token)
+            }));
+            match attempt {
+                Ok(Ok(mut probs)) => {
+                    self.breaker.record_success(tick);
+                    bf_obs::counter("serve.predictions").inc();
+                    self.tallies.predictions += 1;
+                    let probs = probs.pop().unwrap_or_default();
+                    return Outcome::Prediction { class: argmax(&probs), probs };
+                }
+                Ok(Err(_)) => {
+                    self.breaker.record_failure(tick);
+                    bf_obs::counter("serve.primary_timeouts").inc();
+                }
+                Err(payload) => {
+                    self.breaker.record_failure(tick);
+                    self.tallies.worker_panics += 1;
+                    bf_obs::counter("serve.worker_panics").inc();
+                    bf_obs::error!(
+                        "contained worker panic for request {}: {}",
+                        req.id,
+                        panic_message(payload)
+                    );
+                }
+            }
+        } else {
+            bf_obs::counter("serve.breaker_rejections").inc();
+        }
+
+        // Degraded path: the cheap centroid gets its own small charge.
+        // A sticky token (primary blew the whole budget) fails here and
+        // the request resolves as an explicit predict-stage timeout.
+        if token.charge(self.cfg.fallback_units).is_err() {
+            return Outcome::Timeout { stage: Stage::Predict };
+        }
+        match self.fallback.predict_proba_deadline(input, token) {
+            Ok(mut probs) => {
+                bf_obs::counter("serve.degraded").inc();
+                self.tallies.degraded += 1;
+                let probs = probs.pop().unwrap_or_default();
+                Outcome::Degraded { class: argmax(&probs), probs }
+            }
+            Err(_) => Outcome::Timeout { stage: Stage::Predict },
+        }
+    }
+
+    /// Build the `Resolved` record for a job dispatched at `started`
+    /// that charged `work` units, updating tallies and histograms for
+    /// the outcome kinds not already tallied in `predict_one`.
+    fn resolve_at(
+        &mut self,
+        req: &ServeRequest,
+        outcome: Outcome,
+        started: u64,
+        work: u64,
+    ) -> Resolved {
+        match &outcome {
+            Outcome::Timeout { stage } => {
+                self.tallies.timeouts += 1;
+                bf_obs::counter("serve.timeouts").inc();
+                bf_obs::counter(match stage {
+                    Stage::Queue => "serve.timeouts.queue",
+                    Stage::Collect => "serve.timeouts.collect",
+                    Stage::Predict => "serve.timeouts.predict",
+                })
+                .inc();
+            }
+            Outcome::Failed { .. } => {
+                self.tallies.failed += 1;
+                bf_obs::counter("serve.failed").inc();
+            }
+            // Tallied at their decision sites.
+            Outcome::Prediction { .. } | Outcome::Degraded { .. } | Outcome::Shed => {}
+        }
+        let queue_units = started.saturating_sub(req.arrival);
+        bf_obs::histogram("serve.units.queue").record(queue_units as f64);
+        bf_obs::histogram("serve.units.work").record(work as f64);
+        bf_obs::histogram("serve.units.total").record((queue_units + work) as f64);
+        Resolved {
+            id: req.id,
+            site: req.site,
+            outcome,
+            arrival: req.arrival,
+            started,
+            completed: started + work,
+            queue_units,
+            work_units: work,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::open_loop_arrivals;
+    use bf_core::collect::{AttackKind, CollectionConfig};
+    use bf_core::scale::ExperimentScale;
+    use bf_fault::FaultPlan;
+    use bf_ml::Dataset;
+    use bf_timer::BrowserKind;
+    use bf_victim::Catalog;
+
+    /// Serializes tests that override the global thread count.
+    static SERIAL: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    const N_SITES: usize = 3;
+
+    fn collection(plan: FaultPlan) -> CollectionConfig {
+        CollectionConfig::new(BrowserKind::Chrome, AttackKind::LoopCounting)
+            .with_scale(ExperimentScale::Smoke)
+            .with_faults(plan)
+    }
+
+    /// Collect a tiny clean training set and fit a centroid on it.
+    fn fitted_centroid(sites: &[WebsiteProfile]) -> CentroidClassifier {
+        let clean = collection(FaultPlan::off());
+        let mut data = Dataset::new(sites.len());
+        for (label, site) in sites.iter().enumerate() {
+            for rep in 0..2u64 {
+                let trace = clean.collect_trace(site, 1000 + rep * 31 + label as u64);
+                data.push(clean.featurize(&trace), label);
+            }
+        }
+        let mut c = CentroidClassifier::new(sites.len());
+        c.fit(&data, &Dataset::new(sites.len()));
+        c
+    }
+
+    fn service(plan: FaultPlan, cfg: ServeConfig) -> Service {
+        let sites = Catalog::closed_world_subset(N_SITES).sites().to_vec();
+        let model = fitted_centroid(&sites);
+        Service::new(collection(plan), sites, Box::new(model.clone()), model, cfg)
+    }
+
+    fn with_one_thread<R>(f: impl FnOnce() -> R) -> R {
+        let _guard = SERIAL.lock().unwrap_or_else(|p| p.into_inner());
+        bf_par::set_threads(Some(1));
+        let out = f();
+        bf_par::set_threads(None);
+        out
+    }
+
+    #[test]
+    fn clean_stream_resolves_every_request_identically_across_runs() {
+        let reqs = open_loop_arrivals(8, N_SITES, 200.0, 7);
+        let run = || {
+            let mut s = service(FaultPlan::off(), ServeConfig::default());
+            let out = s.run(&reqs);
+            (out, s.health())
+        };
+        let ((a, ha), (b, hb)) = (run(), run());
+        assert_eq!(a, b, "outcomes must replay bit-identically");
+        assert_eq!(ha, hb);
+        assert_eq!(ha.submitted, 8);
+        assert_eq!(ha.resolved(), 8, "every request reaches a terminal outcome");
+        assert_eq!(ha.predictions, 8, "clean stream is all primary predictions");
+        assert!(ha.ready);
+        for (r, q) in a.iter().zip(&reqs) {
+            assert_eq!(r.id, q.id, "results are in input order");
+            assert_eq!(r.work_units, 150, "one collect attempt + one primary predict");
+        }
+    }
+
+    #[test]
+    fn burst_beyond_queue_capacity_sheds_exactly_the_excess() {
+        let cfg = ServeConfig { queue_cap: 4, ..ServeConfig::default() };
+        let reqs = open_loop_arrivals(9, N_SITES, 0.0, 3); // burst at tick 0
+        let out = with_one_thread(|| service(FaultPlan::off(), cfg).run(&reqs));
+        let shed: Vec<u64> =
+            out.iter().filter(|r| r.outcome == Outcome::Shed).map(|r| r.id).collect();
+        assert_eq!(shed, vec![4, 5, 6, 7, 8], "arrivals past the cap shed in order");
+        assert_eq!(out.iter().filter(|r| matches!(r.outcome, Outcome::Prediction { .. })).count(), 4);
+    }
+
+    #[test]
+    fn tight_deadline_times_out_in_the_right_stage() {
+        // 99 units cannot fit one 100-unit collect attempt.
+        let cfg = ServeConfig { deadline_units: 99, ..ServeConfig::default() };
+        let reqs = open_loop_arrivals(2, N_SITES, 500.0, 5);
+        let out = with_one_thread(|| service(FaultPlan::off(), cfg).run(&reqs));
+        for r in &out {
+            assert_eq!(r.outcome, Outcome::Timeout { stage: Stage::Collect });
+            assert_eq!(r.work_units, 99, "budget fully consumed, never exceeded");
+        }
+        // 120 units fit the collect but not the 50-unit primary; the
+        // sticky token then also rejects the fallback: predict timeout.
+        let cfg = ServeConfig { deadline_units: 120, ..ServeConfig::default() };
+        let out = with_one_thread(|| service(FaultPlan::off(), cfg).run(&reqs));
+        for r in &out {
+            assert_eq!(r.outcome, Outcome::Timeout { stage: Stage::Predict });
+        }
+    }
+
+    #[test]
+    fn queued_requests_past_their_deadline_time_out_in_queue() {
+        // One worker, burst of 6, deadline fits barely one wave of work:
+        // later queue entries expire before dispatch.
+        let cfg = ServeConfig { deadline_units: 200, ..ServeConfig::default() };
+        let reqs = open_loop_arrivals(6, N_SITES, 0.0, 11);
+        let out = with_one_thread(|| service(FaultPlan::off(), cfg).run(&reqs));
+        let queue_timeouts = out
+            .iter()
+            .filter(|r| r.outcome == Outcome::Timeout { stage: Stage::Queue })
+            .count();
+        let timeouts =
+            out.iter().filter(|r| matches!(r.outcome, Outcome::Timeout { .. })).count();
+        let ok = out.iter().filter(|r| matches!(r.outcome, Outcome::Prediction { .. })).count();
+        assert!(queue_timeouts >= 3, "got {queue_timeouts} queue timeouts");
+        assert!(ok >= 1, "the first dispatched request should finish in time");
+        assert_eq!(timeouts + ok, 6, "exactly one terminal outcome each");
+    }
+
+    #[test]
+    fn slow_storm_opens_breaker_degrades_then_recovers() {
+        // Requests 0..6 hit a 10_000-unit slow penalty: each blows its
+        // own deadline (primary timeout), opening the breaker after 5.
+        // While open, requests degrade to the centroid. After the
+        // cooldown, probes succeed and the breaker closes again.
+        let cfg = ServeConfig {
+            slow_storm: Some((0, 6)),
+            breaker: crate::BreakerConfig { open_after: 5, cooldown_units: 2_000, close_after: 2 },
+            ..ServeConfig::default()
+        };
+        let reqs = open_loop_arrivals(24, N_SITES, 400.0, 13);
+        let (out, transitions, health) = with_one_thread(|| {
+            let mut s = service(FaultPlan::off(), cfg);
+            let out = s.run(&reqs);
+            (out, s.breaker().transitions().to_vec(), s.health())
+        });
+        let labels: Vec<&str> = transitions.iter().map(|t| t.to.label()).collect();
+        assert!(
+            labels.starts_with(&["open", "half_open", "closed"]),
+            "expected a full breaker cycle, got {labels:?}"
+        );
+        assert!(health.degraded > 0, "open breaker must degrade, not drop");
+        assert!(health.timeouts >= 5, "slow storm requests time out explicitly");
+        assert_eq!(health.resolved(), 24);
+        assert!(
+            matches!(out.last().unwrap().outcome, Outcome::Prediction { .. }),
+            "recovered service answers on the primary path again"
+        );
+    }
+
+    #[test]
+    fn degraded_predictions_match_the_standalone_centroid() {
+        // Breaker thresholds of 1 force: first request opens the
+        // breaker (slow), the rest degrade while it cools down.
+        let cfg = ServeConfig {
+            slow_storm: Some((0, 1)),
+            breaker: crate::BreakerConfig {
+                open_after: 1,
+                cooldown_units: 1_000_000,
+                close_after: 1,
+            },
+            ..ServeConfig::default()
+        };
+        // Explicit, widely spaced arrivals: no queueing, so every
+        // request reaches predict with a full budget.
+        let reqs: Vec<ServeRequest> = (0..4u64)
+            .map(|i| ServeRequest {
+                id: i,
+                site: (i as usize) % N_SITES,
+                seed: 900 + i,
+                arrival: i * 20_000,
+            })
+            .collect();
+        let (out, mut standalone, collectioncfg) = with_one_thread(|| {
+            let mut s = service(FaultPlan::off(), cfg);
+            let out = s.run(&reqs);
+            let sites = Catalog::closed_world_subset(N_SITES).sites().to_vec();
+            (out, fitted_centroid(&sites), collection(FaultPlan::off()))
+        });
+        for (r, q) in out.iter().zip(&reqs).skip(1) {
+            let Outcome::Degraded { class, probs } = &r.outcome else {
+                panic!("expected degraded outcome, got {:?}", r.outcome);
+            };
+            let trace = collectioncfg.collect_trace_resilient(
+                &Catalog::closed_world_subset(N_SITES).sites()[q.site],
+                q.seed,
+            );
+            let features = collectioncfg.featurize(&trace.expect("clean trace"));
+            let want = standalone.predict_proba(&[features]).remove(0);
+            let got: Vec<u32> = probs.iter().map(|v| v.to_bits()).collect();
+            let exp: Vec<u32> = want.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(got, exp, "degraded output must be bit-identical to the centroid");
+            assert_eq!(*class, argmax(&want));
+        }
+    }
+
+    #[test]
+    fn worker_panics_are_contained_and_degrade() {
+        let plan = FaultPlan { seed: 5, worker_panic: 1.0, ..FaultPlan::off() };
+        let reqs = open_loop_arrivals(3, N_SITES, 400.0, 19);
+        let (out, health) = with_one_thread(|| {
+            let mut s = service(plan, ServeConfig::default());
+            let out = s.run(&reqs);
+            (out, s.health())
+        });
+        assert_eq!(health.worker_panics, 3, "every request's primary panicked");
+        assert_eq!(health.resolved(), 3);
+        for r in &out {
+            assert!(
+                matches!(r.outcome, Outcome::Degraded { .. }),
+                "a contained panic should degrade, got {:?}",
+                r.outcome
+            );
+        }
+    }
+
+    #[test]
+    fn quarantined_collection_is_an_explicit_failure() {
+        // drop faults always trigger quarantine after the recollect
+        // budget, never a hang or a timeout.
+        let plan = FaultPlan { seed: 9, drop: 1.0, ..FaultPlan::off() };
+        let cfg = ServeConfig { deadline_units: 100_000, ..ServeConfig::default() };
+        let reqs = open_loop_arrivals(2, N_SITES, 400.0, 23);
+        let out = with_one_thread(|| service(plan, cfg).run(&reqs));
+        for r in &out {
+            assert!(
+                matches!(&r.outcome, Outcome::Failed { reason } if reason.contains("quarantined")),
+                "got {:?}",
+                r.outcome
+            );
+        }
+    }
+
+    #[test]
+    fn unknown_site_index_fails_explicitly() {
+        let reqs =
+            [ServeRequest { id: 0, site: N_SITES + 10, seed: 1, arrival: 0 }];
+        let out = with_one_thread(|| service(FaultPlan::off(), ServeConfig::default()).run(&reqs));
+        assert!(
+            matches!(&out[0].outcome, Outcome::Failed { reason } if reason.contains("unknown site")),
+            "got {:?}",
+            out[0].outcome
+        );
+    }
+}

@@ -45,6 +45,7 @@ pub use bf_ebpf as ebpf;
 pub use bf_fault as fault;
 pub use bf_ml as ml;
 pub use bf_nn as nn;
+pub use bf_serve as serve;
 pub use bf_sim as sim;
 pub use bf_stats as stats;
 pub use bf_timer as timer;
