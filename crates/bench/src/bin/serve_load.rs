@@ -66,14 +66,20 @@ impl RunStats {
         self.shed as f64 / self.total().max(1) as f64
     }
 
+    /// Requests that got an answer (primary prediction or degraded
+    /// fallback) — the denominator of `degraded_fraction` and the
+    /// numerator of `throughput_per_kunit`.
+    fn answered(&self) -> u64 {
+        self.predictions + self.degraded
+    }
+
     fn degraded_fraction(&self) -> f64 {
-        let answered = self.predictions + self.degraded;
-        self.degraded as f64 / answered.max(1) as f64
+        self.degraded as f64 / self.answered().max(1) as f64
     }
 
     /// Answered requests per 1000 virtual units.
     fn throughput_per_kunit(&self) -> f64 {
-        (self.predictions + self.degraded) as f64 * 1000.0 / self.makespan_units.max(1) as f64
+        self.answered() as f64 * 1000.0 / self.makespan_units.max(1) as f64
     }
 
     fn to_json(&self) -> Json {
@@ -89,6 +95,11 @@ impl RunStats {
             ("timeouts", Json::UInt(self.timeouts)),
             ("shed", Json::UInt(self.shed)),
             ("failed", Json::UInt(self.failed)),
+            // Explicit denominator for `degraded_fraction` (and the
+            // numerator of `throughput_per_kunit`): without it, readers
+            // had to know the fraction is over answered requests, not all
+            // resolved ones.
+            ("answered", Json::UInt(self.answered())),
             ("shed_rate", Json::Float(self.shed_rate())),
             ("degraded_fraction", Json::Float(self.degraded_fraction())),
             ("breaker_transitions", Json::Str(self.transitions.clone())),

@@ -18,6 +18,8 @@
 //! machine simulation, attack replay, timer queries, NN training steps,
 //! and end-to-end trace collection.
 
+pub mod diff;
+
 use bf_core::ExperimentScale;
 use bf_fault::{FaultPlan, ResumeConfig};
 use bf_obs::metrics::MetricValue;
@@ -134,6 +136,12 @@ fn run_bin_inner(
     }
 
     let outcome = catch_unwind(AssertUnwindSafe(|| f(&mut builder, scale, seed)));
+
+    // Flush any causal trace the run produced (`BF_TRACE=1`) before the
+    // manifest goes out, so a crashed run still leaves its timeline.
+    if let Some(path) = bf_obs::export::write_if_enabled(name) {
+        println!("trace timeline -> {}", path.display());
+    }
 
     let manifest = builder.finish();
     let dest = match manifest.write() {

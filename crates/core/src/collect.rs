@@ -46,6 +46,32 @@ impl std::fmt::Display for AttackKind {
     }
 }
 
+/// Leaf span for one collection attempt on the active trace timeline.
+/// `ts`/`dur` are virtual units; inert when tracing is off or no context
+/// has been adopted on this thread.
+fn trace_attempt(ts: u64, dur: u64, attempt: u32, outcome: &'static str) {
+    let mut span = bf_obs::trace::span_at("attempt", ts);
+    span.arg_u64("attempt", u64::from(attempt)).arg_str("outcome", outcome);
+    span.finish(ts + dur);
+}
+
+/// Leaf span for one seeded backoff wait on the deadline path.
+fn trace_backoff(ts: u64, dur: u64, wait_no: u32) {
+    let mut span = bf_obs::trace::span_at("backoff", ts);
+    span.arg_u64("wait", u64::from(wait_no));
+    span.finish(ts + dur);
+}
+
+/// Stable label for a validation violation, used in span args.
+fn violation_label(v: &bf_fault::Violation) -> &'static str {
+    match v {
+        bf_fault::Violation::NonFinite { .. } => "non_finite",
+        bf_fault::Violation::WrongLength { .. } => "wrong_length",
+        bf_fault::Violation::OutOfRange { .. } => "out_of_range",
+        bf_fault::Violation::Empty => "empty",
+    }
+}
+
 /// Everything needed to collect one dataset of traces.
 #[derive(Debug, Clone)]
 pub struct CollectionConfig {
@@ -178,12 +204,21 @@ impl CollectionConfig {
     pub fn collect_trace_resilient(&self, site: &WebsiteProfile, run_seed: u64) -> Option<Trace> {
         let validator = TraceValidator::with_expected_len(self.expected_trace_len());
         let policy = RepairPolicy::default();
+        // One "collect_trace" span wraps the whole repair loop; each
+        // attempt (and any fault mark emitted inside it) is a child leaf
+        // one virtual unit wide, so retries read left-to-right in the
+        // exported timeline.
+        let t0 = bf_obs::trace::virtual_offset();
+        let mut span = bf_obs::trace::span_at("collect_trace", t0);
         for _ in 0..self.faults.transient_failures(run_seed) {
             bf_obs::counter("fault.transient_failures").inc();
             bf_obs::debug!("transient collection failure for trace {run_seed:016x}; retrying");
         }
         let mut recollects = 0u32;
-        loop {
+        let mut result_label = "ok";
+        let out = loop {
+            let attempt_ts = t0 + u64::from(recollects);
+            let _attempt_off = bf_obs::trace::offset_add(u64::from(recollects));
             // Re-collections perturb the attempt seed so a faulted draw is
             // not simply replayed; attempt 0 uses `run_seed` itself, which
             // keeps the clean path byte-identical to pre-fault collection.
@@ -198,9 +233,13 @@ impl CollectionConfig {
                 self.faults.apply(kind, &mut values, attempt_id);
             }
             let violation = match validator.validate(&values) {
-                Ok(()) => return Some(Trace::new(self.period, values)),
+                Ok(()) => {
+                    trace_attempt(attempt_ts, 1, recollects, "ok");
+                    break Some(Trace::new(self.period, values));
+                }
                 Err(v) => v,
             };
+            trace_attempt(attempt_ts, 1, recollects, violation_label(&violation));
             bf_obs::counter(match violation {
                 bf_fault::Violation::NonFinite { .. } => "fault.violations.non_finite",
                 bf_fault::Violation::WrongLength { .. } => "fault.violations.wrong_length",
@@ -215,7 +254,8 @@ impl CollectionConfig {
                     bf_obs::info!(
                         "trace {run_seed:016x}: {violation}; clamped {repaired} value(s)"
                     );
-                    return Some(Trace::new(self.period, values));
+                    result_label = "clamped";
+                    break Some(Trace::new(self.period, values));
                 }
                 RepairAction::Recollect => {
                     recollects += 1;
@@ -232,10 +272,15 @@ impl CollectionConfig {
                         "trace {run_seed:016x}: {violation}; quarantined after \
                          {recollects} re-collection(s)"
                     );
-                    return None;
+                    result_label = "quarantined";
+                    break None;
                 }
             }
-        }
+        };
+        span.arg_u64("attempts", u64::from(recollects) + 1)
+            .arg_str("result", result_label);
+        span.finish(t0 + u64::from(recollects) + 1);
+        out
     }
 
     /// [`CollectionConfig::collect_trace_resilient`] under a cooperative
@@ -265,6 +310,11 @@ impl CollectionConfig {
     ) -> Result<Option<Trace>, DeadlineExceeded> {
         let validator = TraceValidator::with_expected_len(self.expected_trace_len());
         let policy = RepairPolicy::default();
+        // No wrapping span here: the serve worker's "collect" span already
+        // brackets this call. Attempts and backoff waits are leaves placed
+        // at `base + token.used()`, i.e. on the same virtual clock the
+        // cancellation budget runs on.
+        let base = bf_obs::trace::virtual_offset();
         let mut backoffs = 0u32; // attempts waited out so far (transient + structural)
         for _ in 0..self.faults.transient_failures(run_seed) {
             bf_obs::counter("fault.transient_failures").inc();
@@ -275,11 +325,15 @@ impl CollectionConfig {
                 "transient collection failure for trace {run_seed:016x}; \
                  backing off {wait} unit(s) before retry {backoffs}"
             );
+            let wait_ts = base + token.used();
             token.charge(wait)?;
+            trace_backoff(wait_ts, wait, backoffs);
         }
         let mut recollects = 0u32;
         loop {
+            let attempt_ts = base + token.used();
             token.charge(attempt_units)?;
+            let _attempt_off = bf_obs::trace::offset_add(attempt_ts - base);
             // Same attempt-seed derivation as the batch path: attempt 0
             // is `run_seed` itself, re-collections perturb it.
             let attempt_seed = if recollects == 0 {
@@ -293,9 +347,13 @@ impl CollectionConfig {
                 self.faults.apply(kind, &mut values, attempt_id);
             }
             let violation = match validator.validate(&values) {
-                Ok(()) => return Ok(Some(Trace::new(self.period, values))),
+                Ok(()) => {
+                    trace_attempt(attempt_ts, attempt_units, recollects, "ok");
+                    return Ok(Some(Trace::new(self.period, values)));
+                }
                 Err(v) => v,
             };
+            trace_attempt(attempt_ts, attempt_units, recollects, violation_label(&violation));
             bf_obs::counter(match violation {
                 bf_fault::Violation::NonFinite { .. } => "fault.violations.non_finite",
                 bf_fault::Violation::WrongLength { .. } => "fault.violations.wrong_length",
@@ -323,7 +381,9 @@ impl CollectionConfig {
                          then re-collecting (attempt {recollects}/{})",
                         policy.max_recollects
                     );
+                    let wait_ts = base + token.used();
                     token.charge(wait)?;
+                    trace_backoff(wait_ts, wait, backoffs);
                 }
                 RepairAction::Quarantine => {
                     bf_obs::counter("fault.quarantined").inc();
@@ -395,7 +455,13 @@ impl CollectionConfig {
                     .map(move |run| (label, combine_seeds(seed, (label * 100_000 + run) as u64)))
             })
             .collect();
-        let features = bf_par::par_map_indexed(&jobs, |_, &(label, run_seed)| {
+        let features = bf_par::par_map_indexed(&jobs, |i, &(label, run_seed)| {
+            // Each batch trace gets its own deterministic trace root (seed
+            // plus label), spaced 8 virtual units apart on the shared
+            // timeline so lanes do not overlap in the exported view.
+            let tctx = (bf_obs::trace::enabled() && bf_obs::trace::sample_keep(run_seed))
+                .then(|| bf_obs::TraceCtx::root(run_seed, label as u64));
+            let _trace = bf_obs::trace::adopt(tctx, (i as u64) * 8);
             self.collect_trace_resilient(&sites[label], run_seed)
                 .map(|trace| self.featurize(&trace))
         });
@@ -430,7 +496,7 @@ impl CollectionConfig {
         // every job stays a pure function of `(seed, i)` — same
         // determinism argument as the closed world.
         let ids: Vec<usize> = (0..open_traces).collect();
-        let extra = bf_par::par_map_indexed(&ids, |_, &i| {
+        let extra = bf_par::par_map_indexed(&ids, |idx, &i| {
             // Open-world sites span a wider intensity manifold than the
             // curated closed world (the real Alexa tail is far more
             // heterogeneous than the top 100).
@@ -438,6 +504,9 @@ impl CollectionConfig {
             tuning.intensity *= 0.5 + 1.5 * ((i % 17) as f64 / 16.0);
             let site = Catalog::open_world_site_with_tuning(i as u32, tuning);
             let run_seed = combine_seeds(seed ^ 0x0BE, i as u64);
+            let tctx = (bf_obs::trace::enabled() && bf_obs::trace::sample_keep(run_seed))
+                .then(|| bf_obs::TraceCtx::root(run_seed, i as u64));
+            let _trace = bf_obs::trace::adopt(tctx, (idx as u64) * 8);
             self.collect_trace_resilient(&site, run_seed)
                 .map(|trace| self.featurize(&trace))
         });

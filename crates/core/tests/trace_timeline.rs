@@ -1,0 +1,213 @@
+//! Timeline determinism suite for bf-trace.
+//!
+//! The exported Perfetto/Chrome `trace_event` JSON must be a pure
+//! function of the seed: byte-identical across `BF_THREADS=1` and `4`
+//! and across back-to-back runs. Span IDs come from a seeded counter
+//! chain and timestamps from the virtual clock, so physical scheduling
+//! must leave no residue in the artifact.
+//!
+//! Serve timelines pin `ServeConfig::wave_cap` so the scheduler's
+//! *logical* capacity stays fixed while the physical pool varies —
+//! with the default (capacity follows `BF_THREADS`) the thread count
+//! is a semantic input and timelines legitimately differ.
+
+use bf_core::collect::{AttackKind, CollectionConfig};
+use bf_core::scale::ExperimentScale;
+use bf_fault::FaultPlan;
+use bf_ml::{CentroidClassifier, Classifier, Dataset};
+use bf_obs::trace;
+use bf_serve::{open_loop_arrivals, ServeConfig, ServeRequest, Service};
+use bf_timer::BrowserKind;
+use bf_victim::{Catalog, WebsiteProfile};
+
+/// Tracing enable state, the global record sink, and the bf-par pool
+/// override are process-wide; run the suite one test at a time.
+static SERIAL: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+const N_SITES: usize = 3;
+
+fn collection(plan: FaultPlan) -> CollectionConfig {
+    CollectionConfig::new(BrowserKind::Chrome, AttackKind::LoopCounting)
+        .with_scale(ExperimentScale::Smoke)
+        .with_faults(plan)
+}
+
+fn sites() -> Vec<WebsiteProfile> {
+    Catalog::closed_world_subset(N_SITES).sites().to_vec()
+}
+
+fn fitted_centroid() -> CentroidClassifier {
+    let clean = collection(FaultPlan::off());
+    let mut data = Dataset::new(N_SITES);
+    for (label, site) in sites().iter().enumerate() {
+        for rep in 0..2u64 {
+            let trace = clean.collect_trace(site, 4_000 + rep * 17 + label as u64);
+            data.push(clean.featurize(&trace), label);
+        }
+    }
+    let mut c = CentroidClassifier::new(N_SITES);
+    c.fit(&data, &Dataset::new(N_SITES));
+    c
+}
+
+/// Run `work` with tracing fully on and return the rendered timeline.
+fn timeline_of(work: impl FnOnce()) -> String {
+    trace::set_enabled(true);
+    trace::set_sample(1);
+    trace::drain(); // clear residue from earlier tests in this process
+    work();
+    let records = trace::drain();
+    trace::set_enabled(false);
+    assert!(!records.is_empty(), "a traced run must leave span records");
+    bf_obs::export::render(records, false)
+}
+
+#[test]
+fn batch_collection_timeline_is_identical_across_thread_counts_and_runs() {
+    let _guard = SERIAL.lock().unwrap_or_else(|p| p.into_inner());
+    let run = || {
+        timeline_of(|| {
+            // The default chaos plan keeps some retries in the picture.
+            let cfg = collection(FaultPlan::default_plan());
+            let _ = cfg.collect_closed_world(2, 2, 42);
+        })
+    };
+    bf_par::set_threads(Some(1));
+    let t1 = run();
+    bf_par::set_threads(Some(4));
+    let t4 = run();
+    let t4_again = run();
+    bf_par::set_threads(None);
+
+    assert_eq!(t1, t4, "timeline must be byte-identical across BF_THREADS=1/4");
+    assert_eq!(t4, t4_again, "timeline must be byte-identical across reruns");
+    assert!(t1.contains("\"collect_trace\""), "batch spans present:\n{t1}");
+    assert!(t1.contains("\"attempt\""), "attempt leaves present");
+}
+
+/// One fixed serve workload: storm-heavy so retries, degradation, and
+/// breaker activity all land on the timeline.
+fn serve_workload() -> (FaultPlan, ServeConfig, Vec<ServeRequest>) {
+    let plan = FaultPlan {
+        seed: 77,
+        slow_model: 0.05,
+        worker_panic: 0.05,
+        ..FaultPlan::default_plan()
+    };
+    let cfg = ServeConfig {
+        slow_storm: Some((5, 12)),
+        wave_cap: Some(4), // logical capacity pinned: BF_THREADS is wall-time only
+        ..ServeConfig::default()
+    };
+    let requests = open_loop_arrivals(40, N_SITES, 30.0, 4242);
+    (plan, cfg, requests)
+}
+
+#[test]
+fn serve_timeline_is_identical_across_thread_counts_and_perfetto_loadable() {
+    let _guard = SERIAL.lock().unwrap_or_else(|p| p.into_inner());
+    let (plan, cfg, requests) = serve_workload();
+    let model = fitted_centroid();
+    let mut svc =
+        Service::new(collection(plan), sites(), Box::new(model.clone()), model, cfg);
+
+    let mut run = |threads| {
+        bf_par::set_threads(Some(threads));
+        svc.reset();
+        let out = timeline_of(|| {
+            let _ = svc.run(&requests);
+        });
+        bf_par::set_threads(None);
+        out
+    };
+    let t1 = run(1);
+    let t4 = run(4);
+    let t4_again = run(4);
+
+    assert_eq!(t1, t4, "pinned wave_cap makes the timeline BF_THREADS-invariant");
+    assert_eq!(t4, t4_again, "timeline must be byte-identical across reruns");
+
+    // The artifact is loadable trace_event JSON with the full request
+    // lifecycle on it.
+    let json = bf_obs::Json::parse(&t1).expect("exported timeline parses as JSON");
+    let events = json.get("traceEvents").expect("traceEvents array");
+    let bf_obs::Json::Array(events) = events else { panic!("traceEvents must be an array") };
+    assert!(events.len() > 40, "expected a dense timeline, got {} events", events.len());
+    let has = |ph: &str, name: &str| {
+        events.iter().any(|e| {
+            matches!(e.get("ph"), Some(bf_obs::Json::Str(p)) if p == ph)
+                && matches!(e.get("name"), Some(bf_obs::Json::Str(n)) if n == name)
+        })
+    };
+    assert!(has("M", "process_name"), "viewer metadata present");
+    for name in ["request", "queue", "collect", "predict", "attempt"] {
+        assert!(has("X", name), "lifecycle span `{name}` present in the timeline");
+    }
+
+    // Exemplars: the serve latency histogram must carry the trace ids
+    // of its heaviest (p99-tail) requests, and each id must be the
+    // deterministic `trace_id_for(seed, id)` of a real request.
+    let snap = bf_obs::histogram("serve.units.total").snapshot();
+    assert!(!snap.exemplars.is_empty(), "serve histogram carries exemplars");
+    assert!(snap.exemplars.len() <= 4, "top-K capped");
+    let candidates: std::collections::BTreeSet<u64> =
+        requests.iter().map(|r| trace::trace_id_for(r.seed, r.id)).collect();
+    for ex in &snap.exemplars {
+        assert_ne!(ex.trace_id, 0, "exemplar ids are real trace ids");
+        assert!(
+            candidates.contains(&ex.trace_id),
+            "exemplar {:#018x} must map back to a request of this workload",
+            ex.trace_id
+        );
+    }
+
+    // And the run manifest serializes them: hex trace ids inside the
+    // histogram block.
+    let mut mb = bf_obs::ManifestBuilder::new("trace-timeline-test", "smoke", 4242);
+    mb.phase("noop", || {});
+    let text = mb.finish().to_json_string();
+    assert!(text.contains("\"exemplars\""), "manifest histograms embed exemplars");
+    let top = snap.exemplars[0].trace_id;
+    assert!(
+        text.contains(&format!("{top:#018x}")),
+        "manifest carries the p99 exemplar trace id {top:#018x}"
+    );
+}
+
+#[test]
+fn sampling_thins_the_timeline_deterministically() {
+    let _guard = SERIAL.lock().unwrap_or_else(|p| p.into_inner());
+    let (plan, cfg, requests) = serve_workload();
+    let model = fitted_centroid();
+    let mut svc =
+        Service::new(collection(plan), sites(), Box::new(model.clone()), model, cfg);
+
+    let mut run = |sample| {
+        trace::set_enabled(true);
+        trace::set_sample(sample);
+        trace::drain();
+        svc.reset();
+        let _ = svc.run(&requests);
+        let records = trace::drain();
+        trace::set_enabled(false);
+        trace::set_sample(1);
+        records
+    };
+    let full = run(1);
+    let thinned = run(8);
+    let thinned_again = run(8);
+
+    let traces = |recs: &[bf_obs::trace::SpanRec]| {
+        recs.iter().map(|r| r.trace_id).collect::<std::collections::BTreeSet<u64>>()
+    };
+    let full_ids = traces(&full);
+    let thin_ids = traces(&thinned);
+    assert!(thin_ids.len() < full_ids.len(), "sampling must drop whole traces");
+    assert!(!thin_ids.is_empty(), "sampling 1-in-8 of 40 requests keeps some");
+    assert!(thin_ids.is_subset(&full_ids), "sampling only removes, never invents");
+    assert_eq!(
+        traces(&thinned_again),
+        thin_ids,
+        "the kept subset is a pure function of the sampling modulus"
+    );
+}

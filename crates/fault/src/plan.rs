@@ -277,6 +277,12 @@ impl FaultPlan {
             FaultKind::Drop => "fault.injected.drop",
         })
         .inc();
+        // Leave a zero-width mark on the active trace timeline (if any),
+        // so an injected fault is visible inside the attempt it hit.
+        let ts = bf_obs::trace::virtual_offset();
+        let mut mark = bf_obs::trace::span_at("fault_injected", ts);
+        mark.arg_str("kind", kind.label()).arg_u64("attempt_id", trace_id);
+        mark.finish(ts);
         let mut rng = SeedRng::new(combine_seeds(self.seed, combine_seeds(0xA9_91, trace_id)));
         match kind {
             FaultKind::Corrupt => {

@@ -11,7 +11,9 @@
 //!
 //! `scripts/check_hot_alloc.sh` runs the same scan without a compile.
 
-/// Modules whose bodies constitute the training hot path.
+/// Modules whose bodies constitute the training hot path, plus the
+/// bf-obs primitives that run inside it (span guards, counters, trace
+/// context) — instrumentation is not exempt from its own budget.
 const HOT_MODULES: &[(&str, &str)] = &[
     ("conv.rs", include_str!("../src/conv.rs")),
     ("dense.rs", include_str!("../src/dense.rs")),
@@ -24,6 +26,11 @@ const HOT_MODULES: &[(&str, &str)] = &[
     ("optim.rs", include_str!("../src/optim.rs")),
     ("tensor.rs", include_str!("../src/tensor.rs")),
     ("workspace.rs", include_str!("../src/workspace.rs")),
+    ("obs/span.rs", include_str!("../../obs/src/span.rs")),
+    ("obs/metrics.rs", include_str!("../../obs/src/metrics.rs")),
+    ("obs/trace.rs", include_str!("../../obs/src/trace.rs")),
+    ("obs/level.rs", include_str!("../../obs/src/level.rs")),
+    ("obs/event.rs", include_str!("../../obs/src/event.rs")),
 ];
 
 const ALLOC_PATTERNS: &[&str] = &["vec!", "Vec::with_capacity", ".to_vec(", ".collect("];

@@ -1,0 +1,231 @@
+//! Chrome `trace_event` / Perfetto JSON export for [`crate::trace`]
+//! records.
+//!
+//! The exporter emits the *virtual* clock only: timestamps and durations
+//! are deterministic work units (1 unit = 1 µs in the viewer), so the
+//! rendered file is byte-identical across runs and thread counts at the
+//! same seed. Wall-clock nanoseconds ride along in `args` only when
+//! `BF_TRACE_WALL=1`, which deliberately breaks byte-stability.
+//!
+//! Layout: one process (`pid` 1), one viewer thread lane per trace,
+//! lanes ordered by first virtual activity. Load the file at
+//! <https://ui.perfetto.dev> or `chrome://tracing`.
+
+use crate::json::Json;
+use crate::trace::{self, ArgVal, SpanRec};
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+
+/// Deterministic total order on records: lane-major (see
+/// [`lane_order`]), then start time, then tree position.
+fn sort_records(records: &mut [SpanRec]) {
+    records.sort_by(|a, b| {
+        (a.trace_id, a.ts, a.depth, a.parent_id, a.seq, a.span_id, a.name).cmp(&(
+            b.trace_id, b.ts, b.depth, b.parent_id, b.seq, b.span_id, b.name,
+        ))
+    });
+}
+
+/// Viewer-lane assignment: traces ordered by (first virtual timestamp,
+/// trace_id), so concurrently active requests stack in arrival order.
+fn lane_order(records: &[SpanRec]) -> BTreeMap<u64, u64> {
+    let mut first_ts: BTreeMap<u64, u64> = BTreeMap::new();
+    for r in records {
+        let slot = first_ts.entry(r.trace_id).or_insert(u64::MAX);
+        *slot = (*slot).min(r.ts);
+    }
+    let mut order: Vec<(u64, u64)> = first_ts.into_iter().map(|(id, ts)| (ts, id)).collect();
+    order.sort_unstable();
+    order
+        .into_iter()
+        .enumerate()
+        .map(|(lane, (_, id))| (id, lane as u64 + 1))
+        .collect()
+}
+
+fn hex(id: u64) -> Json {
+    Json::Str(format!("{id:#018x}"))
+}
+
+fn arg_json(v: &ArgVal) -> Json {
+    match v {
+        ArgVal::U(n) => Json::UInt(*n),
+        ArgVal::F(x) => Json::Float(*x),
+        ArgVal::S(s) => Json::Str(s.clone()),
+    }
+}
+
+/// Render records as a Chrome `trace_event` JSON document.
+///
+/// `include_wall` adds `wall_start_ns` / `wall_dur_ns` args (and makes
+/// the output machine- and run-dependent).
+pub fn to_chrome_json(mut records: Vec<SpanRec>, include_wall: bool) -> Json {
+    sort_records(&mut records);
+    let lanes = lane_order(&records);
+    let mut events: Vec<Json> = Vec::with_capacity(records.len() + lanes.len() + 1);
+
+    events.push(Json::object([
+        ("ph", Json::from("M")),
+        ("name", Json::from("process_name")),
+        ("pid", Json::UInt(1)),
+        ("tid", Json::UInt(0)),
+        ("args", Json::object([("name", Json::from("bigger-fish"))])),
+    ]));
+    let mut lane_meta: Vec<(u64, u64)> = lanes.iter().map(|(&id, &lane)| (lane, id)).collect();
+    lane_meta.sort_unstable();
+    for (lane, trace_id) in lane_meta {
+        events.push(Json::object([
+            ("ph", Json::from("M")),
+            ("name", Json::from("thread_name")),
+            ("pid", Json::UInt(1)),
+            ("tid", Json::UInt(lane)),
+            (
+                "args",
+                Json::object([("name", Json::Str(format!("trace {trace_id:#018x}")))]),
+            ),
+        ]));
+    }
+
+    for r in &records {
+        let mut args: BTreeMap<String, Json> = BTreeMap::new();
+        args.insert("trace_id".to_owned(), hex(r.trace_id));
+        args.insert("span_id".to_owned(), hex(r.span_id));
+        args.insert("parent_id".to_owned(), hex(r.parent_id));
+        for (k, v) in &r.args {
+            args.insert((*k).to_owned(), arg_json(v));
+        }
+        if include_wall {
+            args.insert("wall_start_ns".to_owned(), Json::UInt(r.wall_start_ns));
+            args.insert("wall_dur_ns".to_owned(), Json::UInt(r.wall_dur_ns));
+        }
+        events.push(Json::object([
+            ("ph", Json::from("X")),
+            ("name", Json::from(r.name)),
+            ("cat", Json::from("bf")),
+            ("pid", Json::UInt(1)),
+            ("tid", Json::UInt(lanes.get(&r.trace_id).copied().unwrap_or(0))),
+            ("ts", Json::UInt(r.ts)),
+            ("dur", Json::UInt(r.dur)),
+            ("args", Json::Object(args)),
+        ]));
+    }
+
+    Json::object([
+        ("displayTimeUnit", Json::from("ms")),
+        ("traceEvents", Json::Array(events)),
+    ])
+}
+
+/// Render records to the final JSON text (pretty, trailing newline).
+pub fn render(records: Vec<SpanRec>, include_wall: bool) -> String {
+    to_chrome_json(records, include_wall).to_pretty_string()
+}
+
+/// Should wall-clock args be included? (`BF_TRACE_WALL=1`.)
+pub fn include_wall_from_env() -> bool {
+    matches!(
+        std::env::var("BF_TRACE_WALL").ok().as_deref(),
+        Some("1") | Some("true") | Some("on")
+    )
+}
+
+/// Where the trace file goes: `BF_TRACE_OUT` if set, else
+/// `$BF_MANIFEST_DIR/trace-<tag>.json` (default `manifests/`).
+pub fn out_path(tag: &str) -> PathBuf {
+    if let Ok(p) = std::env::var("BF_TRACE_OUT") {
+        if !p.is_empty() {
+            return PathBuf::from(p);
+        }
+    }
+    let dir = std::env::var("BF_MANIFEST_DIR").unwrap_or_else(|_| "manifests".to_owned());
+    PathBuf::from(dir).join(format!("trace-{tag}.json"))
+}
+
+/// If tracing is enabled, drain all buffered records and write the
+/// timeline to [`out_path`]. Returns the written path, or `None` when
+/// tracing is off. IO failures are reported, not fatal.
+pub fn write_if_enabled(tag: &str) -> Option<PathBuf> {
+    if !trace::enabled() {
+        return None;
+    }
+    let records = trace::drain();
+    let n = records.len();
+    let text = render(records, include_wall_from_env());
+    let path = out_path(tag);
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            let _ = std::fs::create_dir_all(parent);
+        }
+    }
+    match std::fs::write(&path, text) {
+        Ok(()) => {
+            crate::info!("trace timeline ({n} spans) written to {}", path.display());
+            Some(path)
+        }
+        Err(e) => {
+            crate::error!("failed to write trace timeline: {e}");
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(trace_id: u64, span_id: u64, parent_id: u64, name: &'static str, ts: u64, dur: u64) -> SpanRec {
+        SpanRec {
+            trace_id,
+            span_id,
+            parent_id,
+            name,
+            ts,
+            dur,
+            wall_start_ns: 123,
+            wall_dur_ns: 456,
+            depth: if parent_id == 0 { 1 } else { 2 },
+            seq: 0,
+            args: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn export_shape_and_lane_assignment() {
+        // Trace 7 starts later than trace 9 → trace 9 gets lane 1.
+        let records = vec![
+            rec(7, 71, 0, "request", 50, 10),
+            rec(9, 91, 0, "request", 10, 30),
+            rec(9, 92, 91, "collect", 12, 20),
+        ];
+        let json = to_chrome_json(records, false);
+        let text = json.to_compact_string();
+        assert!(text.starts_with("{\"displayTimeUnit\":\"ms\",\"traceEvents\":["));
+        assert!(text.contains("\"process_name\""));
+        assert!(text.contains("\"thread_name\""));
+        // Lane 1 belongs to trace 9 (earliest ts).
+        let t9 = format!("trace {:#018x}", 9u64);
+        let t7 = format!("trace {:#018x}", 7u64);
+        assert!(text.find(&t9).unwrap() < text.find(&t7).unwrap());
+        assert!(text.contains("\"ph\":\"X\""));
+        assert!(text.contains("\"ts\":12"));
+        // Wall args excluded by default.
+        assert!(!text.contains("wall_start_ns"));
+        let with_wall = render(
+            vec![rec(1, 11, 0, "x", 0, 1)],
+            true,
+        );
+        assert!(with_wall.contains("wall_start_ns"));
+    }
+
+    #[test]
+    fn render_is_deterministic_under_input_permutation() {
+        let a = vec![
+            rec(3, 31, 0, "request", 0, 9),
+            rec(3, 32, 31, "collect", 1, 4),
+            rec(4, 41, 0, "request", 2, 5),
+        ];
+        let mut b = a.clone();
+        b.reverse();
+        assert_eq!(render(a, false), render(b, false));
+    }
+}

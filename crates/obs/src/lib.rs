@@ -24,21 +24,24 @@
 
 pub mod env;
 pub mod event;
+pub mod export;
 pub mod json;
 pub mod level;
 pub mod manifest;
 pub mod metrics;
 pub mod span;
+pub mod trace;
 
 pub use event::{begin_capture, end_capture};
 pub use json::Json;
 pub use level::{enabled, max_level, set_level, Level};
 pub use manifest::{ManifestBuilder, PhaseTiming, RunManifest};
 pub use metrics::{
-    counter, gauge, histogram, Counter, Gauge, HistogramSnapshot, LocalHistogram, LogHistogram,
-    MetricsSnapshot, Registry,
+    counter, gauge, histogram, Counter, Exemplar, Gauge, HistogramSnapshot, LocalHistogram,
+    LogHistogram, MetricsSnapshot, Registry,
 };
 pub use span::{span, SpanGuard, SpanStats};
+pub use trace::TraceCtx;
 
 #[cfg(test)]
 mod tests {

@@ -98,6 +98,9 @@ impl RunManifest {
                                 Json::object([
                                     ("count", Json::UInt(s.count)),
                                     ("total_seconds", Json::Float(s.total_seconds)),
+                                    ("min_seconds", Json::Float(s.min_seconds)),
+                                    ("p50_seconds", Json::Float(s.p50_seconds())),
+                                    ("p99_seconds", Json::Float(s.p99_seconds())),
                                     ("max_seconds", Json::Float(s.max_seconds)),
                                 ]),
                             )
@@ -146,6 +149,16 @@ fn histogram_to_json(h: &HistogramSnapshot) -> Json {
             )
         })
         .collect();
+    let exemplars: Vec<Json> = h
+        .exemplars
+        .iter()
+        .map(|e| {
+            Json::object([
+                ("value", Json::Float(e.value)),
+                ("trace_id", Json::Str(format!("{:#018x}", e.trace_id))),
+            ])
+        })
+        .collect();
     Json::object([
         ("count", Json::UInt(h.count)),
         ("sum", Json::Float(h.sum)),
@@ -155,6 +168,7 @@ fn histogram_to_json(h: &HistogramSnapshot) -> Json {
         ("p50", h.quantile(0.5).into()),
         ("p99", h.quantile(0.99).into()),
         ("buckets", Json::Object(nonzero)),
+        ("exemplars", Json::Array(exemplars)),
     ])
 }
 

@@ -8,7 +8,7 @@
 //! [`LocalHistogram`] / plain integers and flush once (see the `bf-sim`
 //! engine), which makes instrumentation overhead unmeasurable.
 
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
@@ -117,6 +117,33 @@ pub fn bucket_lower_edge(i: usize) -> f64 {
     ((i as i32 - EXP_OFFSET) as f64).exp2()
 }
 
+/// How many exemplars a histogram retains (the largest observations, so
+/// the set covers the p99+ tail of any realistically sized run).
+pub const EXEMPLAR_CAP: usize = 4;
+
+/// A tail observation annotated with the trace that produced it, linking
+/// a histogram's p99+ entries back to their [`crate::trace`] timelines.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Exemplar {
+    /// The observed value.
+    pub value: f64,
+    /// Trace ID of the request that recorded it (never 0).
+    pub trace_id: u64,
+}
+
+/// Canonical exemplar order: largest value first, trace_id as the
+/// deterministic tie-break — so the retained set is independent of
+/// observation order and thread interleaving.
+fn sort_exemplars(xs: &mut Vec<Exemplar>) {
+    xs.sort_by(|a, b| {
+        b.value
+            .total_cmp(&a.value)
+            .then_with(|| a.trace_id.cmp(&b.trace_id))
+    });
+    xs.dedup_by(|a, b| a.trace_id == b.trace_id && a.value == b.value);
+    xs.truncate(EXEMPLAR_CAP);
+}
+
 /// A thread-safe histogram with base-2 log-scale buckets.
 #[derive(Debug)]
 pub struct LogHistogram {
@@ -127,6 +154,8 @@ pub struct LogHistogram {
     /// Min/max in total-order-comparable bit patterns (values are >= 0).
     min_bits: AtomicU64,
     max_bits: AtomicU64,
+    /// Top-[`EXEMPLAR_CAP`] observations by value, tagged with trace IDs.
+    exemplars: Mutex<Vec<Exemplar>>,
 }
 
 impl Default for LogHistogram {
@@ -144,7 +173,29 @@ impl LogHistogram {
             sum_bits: AtomicU64::new(0f64.to_bits()),
             min_bits: AtomicU64::new(order_encode(f64::INFINITY)),
             max_bits: AtomicU64::new(order_encode(f64::NEG_INFINITY)),
+            exemplars: Mutex::new(Vec::new()),
         }
+    }
+
+    /// [`record`](Self::record), additionally retaining `(value,
+    /// trace_id)` as an exemplar when it ranks among the top
+    /// [`EXEMPLAR_CAP`] observations. A `trace_id` of 0 (no active
+    /// trace) records the value without an exemplar.
+    pub fn record_exemplar(&self, value: f64, trace_id: u64) {
+        self.record(value);
+        if trace_id == 0 || !value.is_finite() {
+            return;
+        }
+        let mut xs = self.exemplars.lock();
+        if xs.len() >= EXEMPLAR_CAP {
+            if let Some(last) = xs.last() {
+                if value < last.value {
+                    return;
+                }
+            }
+        }
+        xs.push(Exemplar { value, trace_id });
+        sort_exemplars(&mut xs);
     }
 
     /// Record one observation (negative / non-finite values land in the
@@ -213,7 +264,7 @@ impl LogHistogram {
             .buckets
             .iter()
             .map(|b| b.load(Ordering::Relaxed))
-            .collect();
+            .collect(); // alloc-ok: snapshot path, manifest-time, not per-record
         let min = order_decode(self.min_bits.load(Ordering::Relaxed));
         let max = order_decode(self.max_bits.load(Ordering::Relaxed));
         HistogramSnapshot {
@@ -222,6 +273,7 @@ impl LogHistogram {
             sum: f64::from_bits(self.sum_bits.load(Ordering::Relaxed)),
             min: if min.is_finite() { Some(min) } else { None },
             max: if max.is_finite() { Some(max) } else { None },
+            exemplars: self.exemplars.lock().clone(),
         }
     }
 }
@@ -286,17 +338,22 @@ pub struct HistogramSnapshot {
     pub min: Option<f64>,
     /// Largest finite observation, if any.
     pub max: Option<f64>,
+    /// Top observations by value, tagged with the trace that produced
+    /// them (empty unless recorded via [`LogHistogram::record_exemplar`]).
+    #[serde(default)]
+    pub exemplars: Vec<Exemplar>,
 }
 
 impl HistogramSnapshot {
     /// An empty snapshot (the identity element of [`merge`](Self::merge)).
     pub fn empty() -> Self {
         HistogramSnapshot {
-            buckets: vec![0; HISTOGRAM_BUCKETS],
+            buckets: vec![0; HISTOGRAM_BUCKETS], // alloc-ok: empty-snapshot constructor, manifest path
             count: 0,
             sum: 0.0,
             min: None,
             max: None,
+            exemplars: Vec::new(),
         }
     }
 
@@ -306,11 +363,18 @@ impl HistogramSnapshot {
     /// up to rounding).
     pub fn merge(&self, other: &HistogramSnapshot) -> HistogramSnapshot {
         let n = self.buckets.len().max(other.buckets.len());
-        let mut buckets = vec![0u64; n];
+        let mut buckets = vec![0u64; n]; // alloc-ok: merge runs at snapshot time
         for (i, slot) in buckets.iter_mut().enumerate() {
             *slot = self.buckets.get(i).copied().unwrap_or(0)
                 + other.buckets.get(i).copied().unwrap_or(0);
         }
+        let mut exemplars: Vec<Exemplar> = self
+            .exemplars
+            .iter()
+            .chain(other.exemplars.iter())
+            .copied()
+            .collect(); // alloc-ok: merge runs at snapshot time
+        sort_exemplars(&mut exemplars);
         HistogramSnapshot {
             buckets,
             count: self.count + other.count,
@@ -323,6 +387,7 @@ impl HistogramSnapshot {
                 (Some(a), Some(b)) => Some(a.max(b)),
                 (a, b) => a.or(b),
             },
+            exemplars,
         }
     }
 
@@ -358,7 +423,7 @@ impl HistogramSnapshot {
     /// counts differ, as an upper-bound approximation.
     pub fn delta_since(&self, earlier: &HistogramSnapshot) -> HistogramSnapshot {
         let n = self.buckets.len();
-        let mut buckets = vec![0u64; n];
+        let mut buckets = vec![0u64; n]; // alloc-ok: per-run delta, manifest path
         for (i, slot) in buckets.iter_mut().enumerate() {
             *slot = self.buckets[i].saturating_sub(earlier.buckets.get(i).copied().unwrap_or(0));
         }
@@ -368,6 +433,9 @@ impl HistogramSnapshot {
             sum: self.sum - earlier.sum,
             min: self.min,
             max: self.max,
+            // Exemplars are a cumulative top-K; the current set is the
+            // best available answer for "which traces own the tail".
+            exemplars: self.exemplars.clone(),
         }
     }
 }
@@ -401,7 +469,7 @@ pub fn snapshot_delta(now: &MetricsSnapshot, before: &MetricsSnapshot) -> Metric
             };
             (name.clone(), delta)
         })
-        .collect()
+        .collect() // alloc-ok: registry-wide delta, manifest path
 }
 
 /// A named collection of metrics. Most code uses the process-wide
@@ -547,6 +615,24 @@ mod tests {
         let d = snapshot_delta(&after, &before);
         assert_eq!(d.get("n"), Some(&MetricValue::Counter(7)));
         assert_eq!(d.get("g"), Some(&MetricValue::Gauge(1.25)));
+    }
+
+    #[test]
+    fn exemplars_keep_the_tail_deterministically() {
+        let h = LogHistogram::new();
+        for i in 1..=100u64 {
+            h.record_exemplar(i as f64, 1000 + i);
+        }
+        h.record_exemplar(500.0, 0); // no trace context → value only
+        let s = h.snapshot();
+        assert_eq!(s.count, 101);
+        assert_eq!(s.exemplars.len(), EXEMPLAR_CAP);
+        let values: Vec<f64> = s.exemplars.iter().map(|e| e.value).collect();
+        assert_eq!(values, vec![100.0, 99.0, 98.0, 97.0]);
+        assert_eq!(s.exemplars[0].trace_id, 1100);
+        // Merging is canonical: same set in, same set out.
+        let merged = s.merge(&s);
+        assert_eq!(merged.exemplars, s.exemplars);
     }
 
     #[test]

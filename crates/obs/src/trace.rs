@@ -1,0 +1,687 @@
+//! bf-trace: deterministic causal span trees with stable IDs.
+//!
+//! Flat span aggregates ([`crate::span`]) answer "how much time went to
+//! `serve.collect` overall"; they cannot answer "which phase of request
+//! 977 burned its deadline". This module adds per-request *trace trees*:
+//!
+//! * A [`TraceCtx`] `{ trace_id, span_id, parent_id }` identifies one
+//!   node of one request's tree. IDs are derived **deterministically**
+//!   from `(seed, request/trace index)` via a splitmix64 chain — never
+//!   from wall clocks or RNG — so the same run at the same seed yields
+//!   bit-identical trees regardless of `BF_THREADS`.
+//! * Contexts propagate across `bf-par` fork-join workers: the spawner
+//!   captures [`current`], each worker restores it with [`adopt_branch`]
+//!   keyed by item index, and child span IDs stay collision-free because
+//!   every branch owns a disjoint sequence-number namespace.
+//! * Each finished span records **dual clocks**: a virtual timestamp /
+//!   duration in deterministic work units (supplied by the caller from
+//!   whatever virtual clock the subsystem has — serve ticks, cancel-token
+//!   units, attempt ordinals) plus wall-clock nanoseconds measured here.
+//!   Only the virtual clock is exported by default; see
+//!   [`crate::export`].
+//! * Records land in per-thread buffers and are folded into a process
+//!   sink on flush/thread-exit, keeping the record path lock-free in the
+//!   common case.
+//!
+//! Tracing is **off** unless `BF_TRACE=1` (or [`set_enabled`] in tests);
+//! when off, every entry point is a single relaxed atomic load and no
+//! allocation happens. `BF_TRACE_SAMPLE=N` keeps a deterministic ~1/N of
+//! traces (selected by hashing the trace index, so the kept set is the
+//! same across runs, machines, and thread counts).
+
+use parking_lot::Mutex;
+use std::cell::{Cell, RefCell};
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// Identity of one node in one trace tree.
+///
+/// `span_id == 0` marks a *root* context: spans entered under it get
+/// `parent_id == 0`, which the exporter treats as "top of the tree".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceCtx {
+    /// Stable identity of the whole tree (one per request / trace).
+    pub trace_id: u64,
+    /// This node's span ID (0 for the synthetic root context).
+    pub span_id: u64,
+    /// Parent span ID (0 at the top of the tree).
+    pub parent_id: u64,
+}
+
+const GOLDEN: u64 = 0x9e37_79b9_7f4a_7c15;
+
+#[inline]
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(GOLDEN);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Deterministically combine two words (order-sensitive).
+#[inline]
+pub fn mix(a: u64, b: u64) -> u64 {
+    splitmix64(a ^ splitmix64(b))
+}
+
+#[inline]
+fn nonzero(x: u64) -> u64 {
+    if x == 0 {
+        GOLDEN
+    } else {
+        x
+    }
+}
+
+/// FNV-1a over the span name, so IDs depend on the name as well as the
+/// position in the tree.
+#[inline]
+fn name_hash(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in name.as_bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+impl TraceCtx {
+    /// The root context of the trace keyed by `(seed, index)` — e.g.
+    /// `(request.seed, request.id)` in bf-serve or `(run_seed, trace
+    /// index)` in batch collection.
+    pub fn root(seed: u64, index: u64) -> TraceCtx {
+        TraceCtx {
+            trace_id: nonzero(mix(seed, index)),
+            span_id: 0,
+            parent_id: 0,
+        }
+    }
+}
+
+/// Stable trace ID for `(seed, index)` without building a context.
+pub fn trace_id_for(seed: u64, index: u64) -> u64 {
+    nonzero(mix(seed, index))
+}
+
+/// Sequence-number namespace base for branch `b` (see [`adopt_branch`]).
+#[inline]
+fn branch_base(branch: u64) -> u64 {
+    (branch + 1) << 32
+}
+
+/// The context that the *first* `span_at(name, ..)` under
+/// `adopt(Some(ctx), ..)` will mint. Lets code that finishes a request
+/// elsewhere (e.g. a scheduler resolving on the main thread while
+/// workers trace the collect stage) precompute the span every
+/// participant should parent under, without passing IDs around.
+pub fn first_child_ctx(ctx: TraceCtx, name: &str) -> TraceCtx {
+    TraceCtx {
+        trace_id: ctx.trace_id,
+        span_id: span_id_for(&ctx, name, branch_base(0)),
+        parent_id: ctx.span_id,
+    }
+}
+
+#[inline]
+fn span_id_for(parent: &TraceCtx, name: &str, seq: u64) -> u64 {
+    nonzero(mix(mix(parent.trace_id ^ parent.span_id, name_hash(name)), seq))
+}
+
+// ---------------------------------------------------------------------------
+// Enable / sampling state
+// ---------------------------------------------------------------------------
+
+const STATE_UNSET: u8 = 0;
+const STATE_OFF: u8 = 1;
+const STATE_ON: u8 = 2;
+
+static ENABLED: AtomicU8 = AtomicU8::new(STATE_UNSET);
+/// Sampling modulus; 0 = not yet read from the environment.
+static SAMPLE: AtomicU64 = AtomicU64::new(0);
+
+fn enabled_slow() -> bool {
+    let on = matches!(
+        std::env::var("BF_TRACE").ok().as_deref(),
+        Some("1") | Some("true") | Some("on")
+    );
+    ENABLED.store(if on { STATE_ON } else { STATE_OFF }, Ordering::Relaxed);
+    on
+}
+
+/// Is tracing on? One relaxed atomic load after the first call.
+#[inline]
+pub fn enabled() -> bool {
+    match ENABLED.load(Ordering::Relaxed) {
+        STATE_ON => true,
+        STATE_OFF => false,
+        _ => enabled_slow(),
+    }
+}
+
+/// Force tracing on or off, overriding `BF_TRACE` (tests, benches).
+pub fn set_enabled(on: bool) {
+    ENABLED.store(if on { STATE_ON } else { STATE_OFF }, Ordering::Relaxed);
+}
+
+/// Re-read `BF_TRACE` / `BF_TRACE_SAMPLE` on next use.
+pub fn reload_env() {
+    ENABLED.store(STATE_UNSET, Ordering::Relaxed);
+    SAMPLE.store(0, Ordering::Relaxed);
+}
+
+fn sample_modulus() -> u64 {
+    let n = SAMPLE.load(Ordering::Relaxed);
+    if n != 0 {
+        return n;
+    }
+    let n = crate::env::parse_or("BF_TRACE_SAMPLE", 1u64, "a positive integer").max(1);
+    SAMPLE.store(n, Ordering::Relaxed);
+    n
+}
+
+/// Override the sampling modulus (tests, benches).
+pub fn set_sample(n: u64) {
+    SAMPLE.store(n.max(1), Ordering::Relaxed);
+}
+
+/// Deterministic sampling decision for the trace keyed by `index`:
+/// keeps ~1 in `BF_TRACE_SAMPLE` traces, the same set on every run and
+/// thread count. Always true when sampling is 1 (the default).
+pub fn sample_keep(index: u64) -> bool {
+    let n = sample_modulus();
+    n <= 1 || mix(index, 0x5a4d_9ced).is_multiple_of(n)
+}
+
+// ---------------------------------------------------------------------------
+// Thread-local context stack + record buffers
+// ---------------------------------------------------------------------------
+
+struct Frame {
+    ctx: TraceCtx,
+    next_seq: u64,
+}
+
+/// One finished span, as buffered for export.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanRec {
+    /// Tree identity.
+    pub trace_id: u64,
+    /// This span's stable ID.
+    pub span_id: u64,
+    /// Parent span ID (0 at the top of the tree).
+    pub parent_id: u64,
+    /// Span name (static at every call site).
+    pub name: &'static str,
+    /// Virtual start timestamp (work units; deterministic).
+    pub ts: u64,
+    /// Virtual duration (work units; deterministic).
+    pub dur: u64,
+    /// Wall-clock start, ns since process trace epoch (non-deterministic).
+    pub wall_start_ns: u64,
+    /// Wall-clock duration in ns (non-deterministic).
+    pub wall_dur_ns: u64,
+    /// Nesting depth below the adopted root (deterministic).
+    pub depth: u16,
+    /// Sequence number within the parent's branch namespace.
+    pub seq: u64,
+    /// Extra key/value attributes.
+    pub args: Vec<(&'static str, ArgVal)>,
+}
+
+/// Attribute value on a [`SpanRec`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum ArgVal {
+    /// Unsigned integer.
+    U(u64),
+    /// Float.
+    F(f64),
+    /// String.
+    S(String),
+}
+
+struct ThreadBuf(Vec<SpanRec>);
+
+impl Drop for ThreadBuf {
+    fn drop(&mut self) {
+        flush_into_sink(&mut self.0);
+    }
+}
+
+thread_local! {
+    static FRAMES: RefCell<Vec<Frame>> = const { RefCell::new(Vec::new()) };
+    static OFFSET: Cell<u64> = const { Cell::new(0) };
+    static BUF: RefCell<ThreadBuf> = const { RefCell::new(ThreadBuf(Vec::new())) };
+}
+
+fn sink() -> &'static Mutex<Vec<SpanRec>> {
+    static SINK: OnceLock<Mutex<Vec<SpanRec>>> = OnceLock::new();
+    SINK.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+fn flush_into_sink(buf: &mut Vec<SpanRec>) {
+    if !buf.is_empty() {
+        sink().lock().append(buf);
+    }
+}
+
+/// Process epoch for the secondary wall clock.
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+fn wall_now_ns() -> u64 {
+    epoch().elapsed().as_nanos() as u64
+}
+
+/// Flush this thread's record buffer into the process sink.
+pub fn flush_thread_buffer() {
+    BUF.with(|b| flush_into_sink(&mut b.borrow_mut().0));
+}
+
+/// Take every buffered record (current thread's buffer is flushed first;
+/// worker threads flush on exit, so call this after joins).
+pub fn drain() -> Vec<SpanRec> {
+    flush_thread_buffer();
+    std::mem::take(&mut *sink().lock())
+}
+
+/// The innermost active context on this thread (the adopted base, or the
+/// deepest open [`TraceSpan`]). This is what `bf-par` captures at spawn.
+pub fn current() -> Option<TraceCtx> {
+    if !enabled() {
+        return None;
+    }
+    FRAMES.with(|f| f.borrow().last().map(|fr| fr.ctx))
+}
+
+/// This thread's virtual-clock offset: spans started now should use
+/// `virtual_offset() + <local work units>` as their timestamp.
+pub fn virtual_offset() -> u64 {
+    OFFSET.get()
+}
+
+/// RAII guard restoring the previous context stack depth and offset.
+#[derive(Debug)]
+pub struct AdoptGuard {
+    restore: Option<(usize, u64)>,
+}
+
+/// Install `ctx` as this thread's base context with virtual offset
+/// `offset`. Returns an inert guard when tracing is off or `ctx` is
+/// `None`.
+pub fn adopt(ctx: Option<TraceCtx>, offset: u64) -> AdoptGuard {
+    adopt_branch(ctx, offset, 0)
+}
+
+/// [`adopt`], but giving this adoption a disjoint child-sequence
+/// namespace keyed by `branch` (e.g. a `par_map_indexed` item index), so
+/// sibling branches restored on different workers mint non-colliding
+/// span IDs without coordination.
+pub fn adopt_branch(ctx: Option<TraceCtx>, offset: u64, branch: u64) -> AdoptGuard {
+    let Some(ctx) = ctx else {
+        return AdoptGuard { restore: None };
+    };
+    if !enabled() {
+        return AdoptGuard { restore: None };
+    }
+    let depth = FRAMES.with(|f| {
+        let mut f = f.borrow_mut();
+        let depth = f.len();
+        f.push(Frame {
+            ctx,
+            // Branch b owns sequence numbers [(b+1)<<32, (b+2)<<32).
+            next_seq: branch_base(branch),
+        });
+        depth
+    });
+    let prev_offset = OFFSET.replace(offset);
+    AdoptGuard {
+        restore: Some((depth, prev_offset)),
+    }
+}
+
+impl Drop for AdoptGuard {
+    fn drop(&mut self) {
+        if let Some((depth, prev_offset)) = self.restore.take() {
+            FRAMES.with(|f| f.borrow_mut().truncate(depth));
+            OFFSET.set(prev_offset);
+        }
+    }
+}
+
+/// RAII guard adding `extra` to the thread's virtual offset (used to
+/// spread sibling work items across the virtual timeline).
+#[derive(Debug)]
+pub struct OffsetGuard {
+    prev: Option<u64>,
+}
+
+/// Add `extra` virtual units to the current offset until the guard drops.
+pub fn offset_add(extra: u64) -> OffsetGuard {
+    if !enabled() {
+        return OffsetGuard { prev: None };
+    }
+    let prev = OFFSET.get();
+    OFFSET.set(prev + extra);
+    OffsetGuard { prev: Some(prev) }
+}
+
+impl Drop for OffsetGuard {
+    fn drop(&mut self) {
+        if let Some(prev) = self.prev.take() {
+            OFFSET.set(prev);
+        }
+    }
+}
+
+struct OpenSpan {
+    trace_id: u64,
+    span_id: u64,
+    parent_id: u64,
+    name: &'static str,
+    ts: u64,
+    wall_start_ns: u64,
+    wall_start: Instant,
+    depth: u16,
+    seq: u64,
+    frame_depth: usize,
+    args: Vec<(&'static str, ArgVal)>,
+}
+
+/// An open span in the current trace tree. Inert (all methods no-ops)
+/// when there is no active context. Must be closed with an explicit
+/// virtual end timestamp via [`finish`](Self::finish); dropping an open
+/// span records it with zero virtual duration.
+#[derive(Debug)]
+#[must_use = "hold the span and call finish(end_ts)"]
+pub struct TraceSpan {
+    open: Option<Box<OpenSpan>>,
+}
+
+impl std::fmt::Debug for OpenSpan {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("OpenSpan")
+            .field("name", &self.name)
+            .field("span_id", &self.span_id)
+            .finish()
+    }
+}
+
+/// Enter a span named `name` at absolute virtual timestamp `ts`, as a
+/// child of the innermost active context. Inert when tracing is off or
+/// no context is adopted on this thread.
+pub fn span_at(name: &'static str, ts: u64) -> TraceSpan {
+    if !enabled() {
+        return TraceSpan { open: None };
+    }
+    let open = FRAMES.with(|f| {
+        let mut f = f.borrow_mut();
+        let frame_depth = f.len();
+        let parent = f.last_mut()?;
+        let seq = parent.next_seq;
+        parent.next_seq += 1;
+        let ctx = parent.ctx;
+        let span_id = span_id_for(&ctx, name, seq);
+        let child = TraceCtx {
+            trace_id: ctx.trace_id,
+            span_id,
+            parent_id: ctx.span_id,
+        };
+        f.push(Frame {
+            ctx: child,
+            next_seq: 0,
+        });
+        Some(Box::new(OpenSpan {
+            trace_id: child.trace_id,
+            span_id,
+            parent_id: child.parent_id,
+            name,
+            ts,
+            wall_start_ns: wall_now_ns(),
+            wall_start: Instant::now(),
+            depth: frame_depth.min(u16::MAX as usize) as u16,
+            seq,
+            frame_depth,
+            args: Vec::new(),
+        }))
+    });
+    TraceSpan { open }
+}
+
+/// Record a closed leaf span `[ts, ts + dur)` with no children.
+pub fn leaf_at(name: &'static str, ts: u64, dur: u64) {
+    span_at(name, ts).finish(ts + dur);
+}
+
+impl TraceSpan {
+    /// Is this span actually recording?
+    pub fn active(&self) -> bool {
+        self.open.is_some()
+    }
+
+    /// The context of this span (children adopt it), if active.
+    pub fn ctx(&self) -> Option<TraceCtx> {
+        self.open.as_ref().map(|o| TraceCtx {
+            trace_id: o.trace_id,
+            span_id: o.span_id,
+            parent_id: o.parent_id,
+        })
+    }
+
+    /// Attach an unsigned-integer attribute.
+    pub fn arg_u64(&mut self, key: &'static str, value: u64) -> &mut Self {
+        if let Some(o) = self.open.as_mut() {
+            o.args.push((key, ArgVal::U(value)));
+        }
+        self
+    }
+
+    /// Attach a float attribute.
+    pub fn arg_f64(&mut self, key: &'static str, value: f64) -> &mut Self {
+        if let Some(o) = self.open.as_mut() {
+            o.args.push((key, ArgVal::F(value)));
+        }
+        self
+    }
+
+    /// Attach a string attribute.
+    pub fn arg_str(&mut self, key: &'static str, value: &str) -> &mut Self {
+        if let Some(o) = self.open.as_mut() {
+            o.args.push((key, ArgVal::S(value.to_owned())));
+        }
+        self
+    }
+
+    /// Close the span at absolute virtual timestamp `end_ts` (clamped to
+    /// the start timestamp) and buffer the record.
+    pub fn finish(mut self, end_ts: u64) {
+        self.close(Some(end_ts));
+    }
+
+    fn close(&mut self, end_ts: Option<u64>) {
+        let Some(o) = self.open.take() else { return };
+        FRAMES.with(|f| f.borrow_mut().truncate(o.frame_depth));
+        let rec = SpanRec {
+            trace_id: o.trace_id,
+            span_id: o.span_id,
+            parent_id: o.parent_id,
+            name: o.name,
+            ts: o.ts,
+            dur: end_ts.map_or(0, |e| e.saturating_sub(o.ts)),
+            wall_start_ns: o.wall_start_ns,
+            wall_dur_ns: o.wall_start.elapsed().as_nanos() as u64,
+            depth: o.depth,
+            seq: o.seq,
+            args: o.args,
+        };
+        BUF.with(|b| {
+            let buf = &mut b.borrow_mut().0;
+            buf.push(rec);
+            if buf.len() >= 1024 {
+                flush_into_sink(buf);
+            }
+        });
+    }
+}
+
+impl Drop for TraceSpan {
+    fn drop(&mut self) {
+        self.close(None);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The enable flag, sampling modulus, and record sink are process
+    // globals; tests touching them must not interleave.
+    static SERIAL: Mutex<()> = Mutex::new(());
+
+    fn with_tracing<R>(f: impl FnOnce() -> R) -> R {
+        let _lock = SERIAL.lock();
+        set_enabled(true);
+        let out = f();
+        set_enabled(false);
+        let _ = drain();
+        out
+    }
+
+    #[test]
+    fn ids_are_deterministic_and_seed_keyed() {
+        let a = TraceCtx::root(42, 7);
+        let b = TraceCtx::root(42, 7);
+        let c = TraceCtx::root(42, 8);
+        let d = TraceCtx::root(43, 7);
+        assert_eq!(a, b);
+        assert_ne!(a.trace_id, c.trace_id);
+        assert_ne!(a.trace_id, d.trace_id);
+        assert_eq!(a.span_id, 0);
+        assert_eq!(a.parent_id, 0);
+        assert_ne!(a.trace_id, 0);
+    }
+
+    #[test]
+    fn disabled_tracing_is_inert() {
+        let _lock = SERIAL.lock();
+        set_enabled(false);
+        let g = adopt(Some(TraceCtx::root(1, 1)), 0);
+        assert!(g.restore.is_none());
+        let s = span_at("x", 0);
+        assert!(!s.active());
+        s.finish(1);
+        assert!(drain().is_empty());
+    }
+
+    #[test]
+    fn span_tree_records_parentage_and_virtual_clocks() {
+        with_tracing(|| {
+            let root = TraceCtx::root(9, 1);
+            {
+                let _g = adopt(Some(root), 100);
+                assert_eq!(virtual_offset(), 100);
+                let mut outer = span_at("request", 100);
+                let outer_ctx = outer.ctx().unwrap();
+                assert_eq!(outer_ctx.parent_id, 0);
+                outer.arg_u64("id", 1);
+                let inner = span_at("collect", 110);
+                let inner_ctx = inner.ctx().unwrap();
+                assert_eq!(inner_ctx.parent_id, outer_ctx.span_id);
+                assert_eq!(inner_ctx.trace_id, root.trace_id);
+                inner.finish(150);
+                outer.finish(200);
+            }
+            let recs = drain();
+            assert_eq!(recs.len(), 2);
+            let outer = recs.iter().find(|r| r.name == "request").unwrap();
+            let inner = recs.iter().find(|r| r.name == "collect").unwrap();
+            assert_eq!(outer.ts, 100);
+            assert_eq!(outer.dur, 100);
+            assert_eq!(inner.parent_id, outer.span_id);
+            assert_eq!(inner.dur, 40);
+            assert_eq!(outer.depth, 1);
+            assert_eq!(inner.depth, 2);
+            assert_eq!(
+                outer.args,
+                vec![("id", ArgVal::U(1))],
+            );
+        });
+    }
+
+    #[test]
+    fn same_inputs_mint_same_span_ids() {
+        let run = || {
+            let _g = adopt(Some(TraceCtx::root(5, 3)), 0);
+            let s = span_at("phase", 0);
+            let id = s.ctx().unwrap().span_id;
+            s.finish(10);
+            id
+        };
+        let (a, b) = with_tracing(|| {
+            let a = run();
+            let _ = drain();
+            let b = run();
+            (a, b)
+        });
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn branch_namespaces_do_not_collide() {
+        with_tracing(|| {
+            let root = TraceCtx::root(11, 0);
+            let mut ids = Vec::new();
+            for branch in 0..4u64 {
+                let _g = adopt_branch(Some(root), 0, branch);
+                let s = span_at("item", branch);
+                ids.push(s.ctx().unwrap().span_id);
+                s.finish(branch + 1);
+            }
+            ids.sort_unstable();
+            ids.dedup();
+            assert_eq!(ids.len(), 4, "span ids must be unique across branches");
+            let _ = drain();
+        });
+    }
+
+    #[test]
+    fn first_child_ctx_matches_actual_first_span() {
+        with_tracing(|| {
+            let root = TraceCtx::root(21, 4);
+            let predicted = first_child_ctx(root, "request");
+            let _g = adopt(Some(root), 0);
+            let s = span_at("request", 0);
+            let actual = s.ctx().unwrap();
+            s.finish(5);
+            assert_eq!(actual, predicted);
+        });
+    }
+
+    #[test]
+    fn sampling_is_deterministic() {
+        let _lock = SERIAL.lock();
+        set_sample(4);
+        let kept: Vec<u64> = (0..100).filter(|&i| sample_keep(i)).collect();
+        let again: Vec<u64> = (0..100).filter(|&i| sample_keep(i)).collect();
+        assert_eq!(kept, again);
+        assert!(!kept.is_empty() && kept.len() < 100);
+        set_sample(1);
+        assert!((0..100).all(sample_keep));
+    }
+
+    #[test]
+    fn offset_guard_nests_and_restores() {
+        with_tracing(|| {
+            let _g = adopt(Some(TraceCtx::root(2, 2)), 50);
+            assert_eq!(virtual_offset(), 50);
+            {
+                let _o = offset_add(8);
+                assert_eq!(virtual_offset(), 58);
+            }
+            assert_eq!(virtual_offset(), 50);
+        });
+    }
+}

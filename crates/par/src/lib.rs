@@ -184,8 +184,21 @@ where
 {
     let n = items.len();
     let workers = plan(n, min_per_worker);
+    // Capture the spawner's trace context once; whichever worker claims
+    // item `i` restores it with branch namespace `i`, so spans traced
+    // inside `f` mint identical IDs at every thread count (including the
+    // inline path below). A `None` context makes the guards no-ops.
+    let tctx = bf_obs::trace::current();
+    let toff = bf_obs::trace::virtual_offset();
     if workers <= 1 {
-        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+        return items
+            .iter()
+            .enumerate()
+            .map(|(i, t)| {
+                let _trace = bf_obs::trace::adopt_branch(tctx, toff, i as u64);
+                f(i, t)
+            })
+            .collect();
     }
     let child_budget = (available() / workers).max(1);
     let cursor = AtomicUsize::new(0);
@@ -202,6 +215,7 @@ where
                         if i >= n {
                             break;
                         }
+                        let _trace = bf_obs::trace::adopt_branch(tctx, toff, i as u64);
                         local.push((i, f(i, &items[i])));
                     }
                     local
@@ -358,6 +372,35 @@ mod tests {
         let sb: Vec<u32> = seq.iter().map(|v| v.to_bits()).collect();
         let pb: Vec<u32> = par.iter().map(|v| v.to_bits()).collect();
         assert_eq!(sb, pb);
+    }
+
+    #[test]
+    fn trace_context_propagates_identically_across_thread_counts() {
+        let _lock = SERIAL.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        bf_obs::trace::set_enabled(true);
+        let items: Vec<u64> = (0..32).collect();
+        let run = || {
+            let root = bf_obs::TraceCtx::root(77, 0);
+            let _adopt = bf_obs::trace::adopt(Some(root), 0);
+            let spans = par_map_indexed(&items, |i, &v| {
+                let s = bf_obs::trace::span_at("item", i as u64);
+                let ctx = s.ctx().expect("context restored in worker");
+                assert_eq!(ctx.trace_id, root.trace_id);
+                s.finish(i as u64 + v);
+                ctx.span_id
+            });
+            drop(_adopt);
+            let _ = bf_obs::trace::drain();
+            spans
+        };
+        let seq = with_threads(1, run);
+        let par = with_threads(4, run);
+        bf_obs::trace::set_enabled(false);
+        assert_eq!(seq, par, "span IDs must not depend on the thread count");
+        let mut unique = seq.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), items.len(), "branch namespaces must not collide");
     }
 
     #[test]

@@ -196,6 +196,13 @@ pub struct ServeConfig {
     /// chaos tests to drive the breaker through a full
     /// open → half-open → closed cycle.
     pub slow_storm: Option<(u64, u64)>,
+    /// Logical wave capacity — how many queued jobs dispatch per wave
+    /// of the virtual-time scheduler. `None` (the default) follows
+    /// [`bf_par::threads`], coupling service capacity to the physical
+    /// pool; pinning it makes every outcome, tick, and exported trace
+    /// timeline a pure function of `seed` alone, byte-identical at any
+    /// `BF_THREADS` (physical threads then only change wall time).
+    pub wave_cap: Option<usize>,
 }
 
 impl Default for ServeConfig {
@@ -210,6 +217,7 @@ impl Default for ServeConfig {
             backoff: BackoffPolicy::default(),
             breaker: BreakerConfig::default(),
             slow_storm: None,
+            wave_cap: None,
         }
     }
 }
@@ -219,13 +227,23 @@ impl ServeConfig {
     /// `BF_SERVE_QUEUE` (queue capacity), `BF_SERVE_DEADLINE`
     /// (per-request budget), `BF_SERVE_BREAKER_OPEN` (consecutive
     /// primary failures before opening), `BF_SERVE_BREAKER_COOLDOWN`
-    /// (open-state units before probing), and `BF_SERVE_BREAKER_PROBES`
-    /// (half-open successes before closing). Malformed values warn once
+    /// (open-state units before probing), `BF_SERVE_BREAKER_PROBES`
+    /// (half-open successes before closing), and `BF_SERVE_WAVE_CAP`
+    /// (logical jobs per scheduler wave; 0 or unset follows the
+    /// physical `BF_THREADS` pool). Malformed values warn once
     /// through `bf_obs` and fall back to the default; zeros are clamped
     /// to 1 where a zero would deadlock the service.
     pub fn from_env() -> Self {
         let d = ServeConfig::default();
         ServeConfig {
+            wave_cap: match bf_obs::env::parse_or(
+                "BF_SERVE_WAVE_CAP",
+                0usize,
+                "a logical wave capacity (0 follows BF_THREADS)",
+            ) {
+                0 => None,
+                n => Some(n),
+            },
             queue_cap: bf_obs::env::parse_or(
                 "BF_SERVE_QUEUE",
                 d.queue_cap,

@@ -24,9 +24,40 @@ use crate::{Outcome, Resolved, ServeConfig, ServeRequest, Stage};
 use bf_core::collect::CollectionConfig;
 use bf_fault::CancelToken;
 use bf_ml::{metrics::argmax, CentroidClassifier, Classifier};
+use bf_obs::trace;
+use bf_obs::TraceCtx;
 use bf_victim::WebsiteProfile;
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// The root trace context for one request, when tracing keeps it:
+/// derived purely from `(seed, id)`, so every stage of the lifecycle —
+/// on any thread — recomputes the same tree without passing IDs around.
+fn trace_root(req: &ServeRequest) -> Option<TraceCtx> {
+    if trace::enabled() && trace::sample_keep(req.id) {
+        Some(TraceCtx::root(req.seed, req.id))
+    } else {
+        None
+    }
+}
+
+/// The context of the request's top-level `request` span (minted when
+/// the request resolves); collect/predict spans parent under it.
+fn trace_request_ctx(req: &ServeRequest) -> Option<TraceCtx> {
+    trace_root(req).map(|root| trace::first_child_ctx(root, "request"))
+}
+
+fn outcome_label(outcome: &Outcome) -> &'static str {
+    match outcome {
+        Outcome::Prediction { .. } => "prediction",
+        Outcome::Degraded { .. } => "degraded",
+        Outcome::Timeout { stage: Stage::Queue } => "timeout_queue",
+        Outcome::Timeout { stage: Stage::Collect } => "timeout_collect",
+        Outcome::Timeout { stage: Stage::Predict } => "timeout_predict",
+        Outcome::Shed => "shed",
+        Outcome::Failed { .. } => "failed",
+    }
+}
 
 /// Readiness and terminal-outcome accounting, exposed for health
 /// checks and end-of-run invariants.
@@ -211,7 +242,7 @@ impl Service {
         order.sort_by_key(|&i| (requests[i].arrival, requests[i].id, i));
         let mut resolved: Vec<Option<Resolved>> = (0..n).map(|_| None).collect();
         let mut queue: VecDeque<usize> = VecDeque::new();
-        let wave_cap = bf_par::threads().max(1);
+        let wave_cap = self.cfg.wave_cap.unwrap_or_else(bf_par::threads).max(1);
         let mut now = 0u64;
         let mut next_arrival = 0usize;
 
@@ -266,8 +297,16 @@ impl Service {
             let collection = &self.collection;
             let sites = &self.sites;
             let cfg = &self.cfg;
+            let dispatch_tick = now;
             let mut outs: Vec<CollectOut> = bf_par::par_map_indexed(&wave, |pos, job| {
                 let req = &requests[job.idx];
+                // Reconstruct the request's trace tree on whichever
+                // worker claimed the job: the collect span parents under
+                // the (not-yet-recorded) `request` span, and the virtual
+                // clock is offset to the wave's dispatch tick.
+                let _trace = trace::adopt(trace_request_ctx(req), dispatch_tick);
+                let mut collect_span = trace::span_at("collect", dispatch_tick);
+                collect_span.arg_u64("budget", job.budget);
                 let token = CancelToken::new(job.budget);
                 let res = if req.site >= sites.len() {
                     Collected::Panicked(format!(
@@ -292,6 +331,16 @@ impl Service {
                     }
                 };
                 let collect_units = token.used().min(job.budget);
+                collect_span.arg_str(
+                    "result",
+                    match &res {
+                        Collected::Features(_) => "features",
+                        Collected::Quarantined => "quarantined",
+                        Collected::Deadline => "deadline",
+                        Collected::Panicked(_) => "panicked",
+                    },
+                );
+                collect_span.finish(dispatch_tick + collect_units);
                 CollectOut { pos, idx: job.idx, budget: job.budget, collect_units, token, res }
             });
 
@@ -318,7 +367,24 @@ impl Service {
                         Outcome::Failed { reason: format!("collection panicked: {msg}") }
                     }
                     Collected::Features(features) => {
-                        self.predict_one(&req, std::slice::from_ref(&features), &out.token, tick)
+                        let o = self.predict_one(
+                            &req,
+                            std::slice::from_ref(&features),
+                            &out.token,
+                            tick,
+                        );
+                        let _trace = trace::adopt(trace_request_ctx(&req), now);
+                        let mut predict_span = trace::span_at("predict", tick);
+                        predict_span.arg_str(
+                            "path",
+                            match &o {
+                                Outcome::Prediction { .. } => "primary",
+                                Outcome::Degraded { .. } => "fallback",
+                                _ => "none",
+                            },
+                        );
+                        predict_span.finish(now + out.token.used().min(out.budget));
+                        o
                     }
                 };
                 let work = out.token.used().min(out.budget);
@@ -434,9 +500,27 @@ impl Service {
             Outcome::Prediction { .. } | Outcome::Degraded { .. } | Outcome::Shed => {}
         }
         let queue_units = started.saturating_sub(req.arrival);
+        // Tail latencies carry the trace ID as an exemplar, so a p99
+        // manifest entry links straight to its timeline (re-runnable at
+        // the same seed with BF_TRACE=1 even if tracing was off now).
+        let exemplar_id = trace::trace_id_for(req.seed, req.id);
         bf_obs::histogram("serve.units.queue").record(queue_units as f64);
         bf_obs::histogram("serve.units.work").record(work as f64);
-        bf_obs::histogram("serve.units.total").record((queue_units + work) as f64);
+        bf_obs::histogram("serve.units.total")
+            .record_exemplar((queue_units + work) as f64, exemplar_id);
+
+        // Mint the request's top-level span; collect/predict spans
+        // recorded by the workers parent under it by construction.
+        if let Some(root) = trace_root(req) {
+            let _trace = trace::adopt(Some(root), 0);
+            let mut request_span = trace::span_at("request", req.arrival);
+            request_span
+                .arg_u64("request_id", req.id)
+                .arg_u64("site", req.site as u64)
+                .arg_str("outcome", outcome_label(&outcome));
+            trace::leaf_at("queue", req.arrival, queue_units);
+            request_span.finish(started + work);
+        }
         Resolved {
             id: req.id,
             site: req.site,

@@ -1,11 +1,16 @@
 #!/usr/bin/env bash
-# Source-level allocation lint for the bf-nn training hot path — the
-# compile-free mirror of crates/nn/tests/hot_alloc_lint.rs.
+# Source-level allocation lint for the training/observability hot paths
+# — the compile-free mirror of crates/nn/tests/hot_alloc_lint.rs.
 #
 # Every allocation-shaped expression (vec!, Vec::with_capacity,
 # .to_vec(, .collect() in a hot module must carry an
 # `// alloc-ok: <reason>` annotation; lines after the module's
 # `#[cfg(test)]` marker and comment-only lines are out of scope.
+#
+# bf-obs is NOT exempt: span guards, counters, and the disabled tracing
+# path run inside the same hot loops they observe, so their steady state
+# must be allocation-free too (snapshot/manifest-time allocations carry
+# annotations).
 #
 # Usage: scripts/check_hot_alloc.sh   (from the repo root)
 set -euo pipefail
@@ -13,13 +18,16 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 HOT_MODULES=(
-  conv.rs dense.rs lstm.rs pool.rs dropout.rs relu.rs
-  network.rs loss.rs optim.rs tensor.rs workspace.rs
+  crates/nn/src/conv.rs crates/nn/src/dense.rs crates/nn/src/lstm.rs
+  crates/nn/src/pool.rs crates/nn/src/dropout.rs crates/nn/src/relu.rs
+  crates/nn/src/network.rs crates/nn/src/loss.rs crates/nn/src/optim.rs
+  crates/nn/src/tensor.rs crates/nn/src/workspace.rs
+  crates/obs/src/span.rs crates/obs/src/metrics.rs crates/obs/src/trace.rs
+  crates/obs/src/level.rs crates/obs/src/event.rs
 )
 
 status=0
-for f in "${HOT_MODULES[@]}"; do
-  path="crates/nn/src/$f"
+for path in "${HOT_MODULES[@]}"; do
   hits=$(awk '
     /^[[:space:]]*#\[cfg\(test\)\]/ { exit }
     /^[[:space:]]*\/\// { next }
