@@ -1,0 +1,400 @@
+//! Accuracy-vs-deadline frontier for the anytime prediction ladder.
+//!
+//! Trains the same primary / fallback / ladder / distilled-student stack
+//! as `serve_load`, then sweeps the per-request deadline against the
+//! early-exit confidence threshold over a low-contention request stream
+//! (wide arrival gaps, `wave_cap` pinned to 4, so every outcome is a
+//! pure function of the seed at any `BF_THREADS`). Each sweep cell
+//! records end-to-end accuracy — a request that sheds or times out
+//! counts as wrong — plus per-tier answer fractions and per-tier
+//! conditional accuracy.
+//!
+//! The point of the artifact: with the ladder on, tightening the
+//! deadline slides answers down the rungs (full → early-exit@k →
+//! distilled → centroid) and accuracy degrades smoothly instead of
+//! cliff-dropping to zero; at generous deadlines the curve approaches
+//! the primary's offline accuracy. At non-smoke scales the run asserts
+//! the curve is monotone (within a small tolerance) and that every
+//! rung's *confident* exits beat the centroid tier's accuracy measured
+//! on the same chaos-corrupted stream (forced budget-cutoff answers are
+//! expected to sit near that floor — smooth degradation, not free
+//! accuracy).
+//!
+//! Writes `BENCH_deadline_frontier.json` (override with
+//! `BF_DEADLINE_FRONTIER_OUT`). Request count is
+//! `BF_FRONTIER_REQUESTS` (default 400).
+
+use bf_bench::run_bin;
+use bf_core::{AttackKind, CollectionConfig};
+use bf_fault::FaultPlan;
+use bf_ml::{
+    AnytimeLadder, Calibration, CentroidClassifier, Classifier, Dataset, DistillConfig,
+    DistilledClassifier,
+};
+use bf_obs::Json;
+use bf_serve::{open_loop_arrivals, Outcome, ServeConfig, Service, TierModels};
+use bf_stats::rng::combine_seeds;
+use bf_timer::BrowserKind;
+use bf_victim::Catalog;
+use std::process::ExitCode;
+
+/// Wide gaps: requests rarely queue, so the deadline budget is spent on
+/// collection + inference, not on waiting — the sweep measures the
+/// ladder, not the queue.
+const MEAN_GAP_UNITS: f64 = 400.0;
+
+/// Per-request deadlines swept (virtual units). With the default cost
+/// model the ladder's clean paths land at ~37 (first rung) through ~224
+/// (full climb), so the grid spans "only the cheapest rung fits" to
+/// "everything fits with slack".
+const DEADLINES: [u64; 6] = [40, 60, 90, 130, 180, 320];
+
+/// Early-exit confidence thresholds swept (calibrated probability).
+const THRESHOLDS: [f64; 3] = [0.70, 0.85, 0.95];
+
+/// Answer tiers in ladder order, matching [`bf_serve::Tier::label`].
+const TIER_LABELS: [&str; 6] = [
+    "full",
+    "early_exit_25",
+    "early_exit_50",
+    "early_exit_75",
+    "distilled",
+    "centroid",
+];
+
+/// A rung's aggregate conditional accuracy is only compared against the
+/// centroid floor once it has answered this many requests across the
+/// whole sweep; rarely-hit rungs are reported but not gated.
+const MIN_RUNG_SAMPLES: u64 = 25;
+
+/// Index of the centroid tier in [`TIER_LABELS`] — the ladder's floor.
+const CENTROID_SLOT: usize = 5;
+
+/// Adjacent sweep cells may differ by a request or two on knife-edge
+/// budgets; the monotonicity gate allows this much accuracy slack.
+const MONOTONE_SLACK: f64 = 0.02;
+
+/// One sweep cell's outcome tallies. `tier_*` cover every answer at a
+/// rung; `conf_*` cover only confident exits (`Outcome::Prediction`),
+/// excluding forced budget-cutoff answers (`Outcome::Degraded`) whose
+/// accuracy is expected to sit near the floor — that's what "degrade
+/// smoothly" means.
+#[derive(Default)]
+struct Cell {
+    answered: u64,
+    correct: u64,
+    tier_counts: [u64; TIER_LABELS.len()],
+    tier_correct: [u64; TIER_LABELS.len()],
+    conf_counts: [u64; TIER_LABELS.len()],
+    conf_correct: [u64; TIER_LABELS.len()],
+}
+
+impl Cell {
+    /// End-to-end accuracy over all submitted requests: a shed, timed
+    /// out, or failed request is an unanswered (wrong) one.
+    fn accuracy(&self, submitted: u64) -> f64 {
+        self.correct as f64 / submitted.max(1) as f64
+    }
+
+    fn to_json(&self, deadline: u64, threshold: f64, submitted: u64) -> Json {
+        let per_tier = |counts: &[u64], denom: &[u64]| {
+            Json::object(TIER_LABELS.iter().enumerate().map(|(i, label)| {
+                (*label, Json::Float(counts[i] as f64 / denom[i].max(1) as f64))
+            }))
+        };
+        let answered_denom = [self.answered; TIER_LABELS.len()];
+        Json::object([
+            ("deadline_units", Json::UInt(deadline)),
+            ("confidence_threshold", Json::Float(threshold)),
+            ("answered", Json::UInt(self.answered)),
+            ("answered_fraction", Json::Float(self.answered as f64 / submitted.max(1) as f64)),
+            ("accuracy", Json::Float(self.accuracy(submitted))),
+            ("tier_fractions", per_tier(&self.tier_counts, &answered_denom)),
+            ("tier_accuracy", per_tier(&self.tier_correct, &self.tier_counts)),
+        ])
+    }
+}
+
+fn tally(resolved: &[bf_serve::Resolved]) -> Cell {
+    let mut cell = Cell::default();
+    for r in resolved {
+        let (class, tier, confident) = match &r.outcome {
+            Outcome::Prediction { class, tier, .. } => (*class, tier, true),
+            Outcome::Degraded { class, tier, .. } => (*class, tier, false),
+            _ => continue,
+        };
+        let slot = TIER_LABELS
+            .iter()
+            .position(|l| *l == tier.label())
+            .unwrap_or_else(|| panic!("unknown answer tier {:?}", tier.label()));
+        let hit = class == r.site;
+        cell.answered += 1;
+        cell.tier_counts[slot] += 1;
+        cell.correct += hit as u64;
+        cell.tier_correct[slot] += hit as u64;
+        if confident {
+            cell.conf_counts[slot] += 1;
+            cell.conf_correct[slot] += hit as u64;
+        }
+    }
+    cell
+}
+
+/// Offline accuracy of a classifier on a labelled dataset (argmax).
+fn offline_accuracy(model: &mut dyn Classifier, data: &Dataset) -> f64 {
+    let probs = model.predict_proba(data.features());
+    let correct = probs
+        .iter()
+        .zip(data.labels())
+        .filter(|(row, &label)| {
+            let best = row
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                .map(|(i, _)| i);
+            best == Some(label)
+        })
+        .count();
+    correct as f64 / data.len().max(1) as f64
+}
+
+fn main() -> ExitCode {
+    run_bin("anytime ladder deadline frontier", "deadline_frontier", |m, scale, seed| {
+        let n_requests: usize =
+            bf_obs::env::parse_or("BF_FRONTIER_REQUESTS", 400, "a positive request count").max(1);
+        m.config("frontier.requests", n_requests);
+        m.config("frontier.mean_gap_units", MEAN_GAP_UNITS);
+
+        // Offline phase — identical stack to serve_load: primary +
+        // centroid fallback + anytime ladder + distilled student.
+        let clean = CollectionConfig::new(BrowserKind::Chrome, AttackKind::LoopCounting)
+            .with_scale(scale);
+        let (n_sites, tps) = (scale.n_sites(), scale.traces_per_site());
+        let data = m.phase("train_collect", || clean.collect_closed_world(n_sites, tps, seed));
+        let folds = data.stratified_folds(5, seed);
+        let train_idx: Vec<usize> = folds[1..].iter().flatten().copied().collect();
+        let (train, val) = (data.subset(&train_idx), data.subset(&folds[0]));
+        let mut primary = clean.classifier_for(&data, seed);
+        m.phase("train_primary", || primary.fit(&train, &val));
+        let mut fallback = CentroidClassifier::new(data.n_classes());
+        m.phase("train_fallback", || fallback.fit(&train, &val));
+
+        // The floor every rung is measured against: the standalone
+        // centroid's offline accuracy on the held-out fold.
+        let centroid_floor = offline_accuracy(&mut fallback, &val);
+        let primary_offline = offline_accuracy(&mut *primary, &val);
+        m.config("frontier.centroid_floor", centroid_floor);
+        m.config("frontier.primary_offline_accuracy", primary_offline);
+
+        let ladder = m.phase("fit_ladder", || AnytimeLadder::fit(&mut *primary, &val));
+        let distill_cfg = DistillConfig {
+            max_epochs: 12,
+            seed: combine_seeds(seed, 0xD1),
+            ..DistillConfig::default()
+        };
+        let tiers = if DistilledClassifier::feasible(
+            data.feature_len(),
+            data.n_classes(),
+            distill_cfg.conv_filters,
+        ) {
+            let mut student =
+                DistilledClassifier::new(data.feature_len(), data.n_classes(), distill_cfg);
+            m.phase("distill_student", || student.distill(&mut *primary, &train));
+            let cal = m.phase("calibrate_student", || {
+                Calibration::fit(&student.predict_proba(val.features()), val.labels())
+            });
+            TierModels { ladder, distilled: Some(Box::new(student)), distilled_calibration: cal }
+        } else {
+            TierModels { ladder, ..TierModels::default() }
+        };
+
+        // Online phase: default chaos plan, no storms — the sweep varies
+        // only (deadline, threshold). wave_cap pinned so every cell is a
+        // pure function of the seed, bit-identical at any BF_THREADS.
+        let plan = FaultPlan { seed: combine_seeds(seed, 0xFB), ..FaultPlan::default_plan() };
+        m.config("frontier.fault_plan", plan.summary());
+        let cfg_for = |deadline: u64, threshold: f64| ServeConfig {
+            deadline_units: deadline,
+            wave_cap: Some(4),
+            tiers: bf_serve::TierConfig {
+                ladder: true,
+                confidence_threshold: threshold,
+                ..bf_serve::TierConfig::default()
+            },
+            ..ServeConfig::default()
+        };
+        let serving = clean.clone().with_faults(plan);
+        let sites = Catalog::closed_world_subset_with_tuning(n_sites, clean.tuning)
+            .sites()
+            .to_vec();
+        let requests = open_loop_arrivals(n_requests, n_sites, MEAN_GAP_UNITS, seed);
+        let mut svc = Service::new(serving, sites, primary, fallback, cfg_for(DEADLINES[0], THRESHOLDS[0]))
+            .with_tiers(tiers);
+
+        let mut cells = Vec::new();
+        let mut rung_counts = [0u64; TIER_LABELS.len()];
+        let mut rung_correct = [0u64; TIER_LABELS.len()];
+        let mut rung_conf_counts = [0u64; TIER_LABELS.len()];
+        let mut rung_conf_correct = [0u64; TIER_LABELS.len()];
+        let mid = (DEADLINES.len() / 2, THRESHOLDS.len() / 2);
+        for (ti, &threshold) in THRESHOLDS.iter().enumerate() {
+            for (di, &deadline) in DEADLINES.iter().enumerate() {
+                svc.reconfigure(cfg_for(deadline, threshold));
+                let label = format!("sweep_d{deadline}_t{}", (threshold * 100.0) as u64);
+                let resolved = m.phase(&label, || svc.run(&requests));
+                assert_eq!(resolved.len(), n_requests);
+                if (di, ti) == mid {
+                    // Rerun one representative cell: the sweep must be
+                    // bit-deterministic for a fixed seed.
+                    svc.reconfigure(cfg_for(deadline, threshold));
+                    let again = m.phase(&format!("{label}_replay"), || svc.run(&requests));
+                    assert_eq!(
+                        resolved, again,
+                        "frontier outcomes must be bit-deterministic for a fixed seed"
+                    );
+                }
+                let cell = tally(&resolved);
+                for i in 0..TIER_LABELS.len() {
+                    rung_counts[i] += cell.tier_counts[i];
+                    rung_correct[i] += cell.tier_correct[i];
+                    rung_conf_counts[i] += cell.conf_counts[i];
+                    rung_conf_correct[i] += cell.conf_correct[i];
+                }
+                cells.push((deadline, threshold, cell));
+            }
+        }
+        svc.record_in_manifest(m);
+
+        // Report the frontier.
+        println!("\ncentroid floor (offline, val) = {centroid_floor:.4}");
+        println!("primary offline accuracy (val) = {primary_offline:.4}\n");
+        println!("threshold   deadline   answered   accuracy");
+        for (deadline, threshold, cell) in &cells {
+            println!(
+                "{threshold:>9.2} {deadline:>10} {:>10} {:>10.4}",
+                cell.answered,
+                cell.accuracy(n_requests as u64)
+            );
+        }
+        println!("\nrung                 answers   accuracy   confident   conf accuracy");
+        for (i, label) in TIER_LABELS.iter().enumerate() {
+            println!(
+                "{label:<20} {:>7} {:>10.4} {:>11} {:>15.4}",
+                rung_counts[i],
+                rung_correct[i] as f64 / rung_counts[i].max(1) as f64,
+                rung_conf_counts[i],
+                rung_conf_correct[i] as f64 / rung_conf_counts[i].max(1) as f64
+            );
+        }
+
+        // Gates (skipped at smoke scale, where the 6-site centroid
+        // stack leaves too few requests per cell to be statistical).
+        let smoke = scale.to_string() == "smoke";
+        if !smoke {
+            for &threshold in &THRESHOLDS {
+                let curve: Vec<f64> = cells
+                    .iter()
+                    .filter(|(_, t, _)| *t == threshold)
+                    .map(|(_, _, c)| c.accuracy(n_requests as u64))
+                    .collect();
+                for w in curve.windows(2) {
+                    assert!(
+                        w[1] >= w[0] - MONOTONE_SLACK,
+                        "accuracy must degrade monotonically as deadlines tighten \
+                         (threshold {threshold}): {curve:?}"
+                    );
+                }
+            }
+            // The floor is the centroid tier's *online* accuracy on this
+            // very stream (same chaos plan, same paid prefixes) — the
+            // offline clean-trace floor above is info, not a gate; the
+            // serving path never sees clean full traces. Every rung's
+            // confident exits must beat it; forced budget-cutoff answers
+            // are expected to sit near it, that's the smooth-degradation
+            // deal.
+            if rung_counts[CENTROID_SLOT] >= MIN_RUNG_SAMPLES {
+                let online_floor = rung_correct[CENTROID_SLOT] as f64
+                    / rung_counts[CENTROID_SLOT].max(1) as f64;
+                for (i, label) in TIER_LABELS.iter().enumerate() {
+                    if i == CENTROID_SLOT || rung_conf_counts[i] < MIN_RUNG_SAMPLES {
+                        continue;
+                    }
+                    let acc =
+                        rung_conf_correct[i] as f64 / rung_conf_counts[i].max(1) as f64;
+                    assert!(
+                        acc >= online_floor,
+                        "rung {label}'s confident exits ({acc:.4} over {} answers) must \
+                         beat the online centroid floor {online_floor:.4}",
+                        rung_conf_counts[i]
+                    );
+                }
+            } else {
+                println!(
+                    "note: centroid tier answered only {} request(s); rung-vs-floor \
+                     gate skipped",
+                    rung_counts[CENTROID_SLOT]
+                );
+            }
+        }
+
+        let json = Json::object([
+            (
+                "note",
+                Json::Str(
+                    "anytime-ladder deadline frontier: accuracy vs per-request deadline at \
+                     three early-exit confidence thresholds, wave_cap pinned so every cell \
+                     is a pure function of the seed. Accuracy counts sheds/timeouts as \
+                     wrong; tier_accuracy is conditional on answering at that rung. \
+                     Deadlines are virtual work units, not wall time."
+                        .into(),
+                ),
+            ),
+            ("scale", Json::Str(scale.to_string())),
+            ("seed", Json::UInt(seed)),
+            ("requests", Json::UInt(n_requests as u64)),
+            ("mean_gap_units", Json::Float(MEAN_GAP_UNITS)),
+            ("deterministic", Json::Bool(true)),
+            ("centroid_floor_accuracy", Json::Float(centroid_floor)),
+            ("primary_offline_accuracy", Json::Float(primary_offline)),
+            (
+                "rung_accuracy",
+                Json::object(TIER_LABELS.iter().enumerate().map(|(i, label)| {
+                    (
+                        *label,
+                        Json::object([
+                            ("answers", Json::UInt(rung_counts[i])),
+                            (
+                                "accuracy",
+                                Json::Float(
+                                    rung_correct[i] as f64 / rung_counts[i].max(1) as f64,
+                                ),
+                            ),
+                            ("confident_answers", Json::UInt(rung_conf_counts[i])),
+                            (
+                                "confident_accuracy",
+                                Json::Float(
+                                    rung_conf_correct[i] as f64
+                                        / rung_conf_counts[i].max(1) as f64,
+                                ),
+                            ),
+                        ]),
+                    )
+                })),
+            ),
+            (
+                "cells",
+                Json::Array(
+                    cells
+                        .iter()
+                        .map(|(d, t, c)| c.to_json(*d, *t, n_requests as u64))
+                        .collect(),
+                ),
+            ),
+        ]);
+        let out =
+            bf_bench::artifact_path("BF_DEADLINE_FRONTIER_OUT", "BENCH_deadline_frontier.json");
+        std::fs::write(&out, json.to_pretty_string())?;
+        println!("\nwrote {out}");
+        Ok(())
+    })
+}

@@ -2,9 +2,11 @@
 //!
 //! Trains a scale-appropriate primary (CNN+LSTM at paper scales, the
 //! centroid baseline at smoke scale) plus a centroid fallback on clean
-//! traces, then replays a deterministic open-loop arrival stream through
-//! [`bf_serve::Service`] under the default chaos plan plus injected
-//! slow-model and worker-panic faults, once at 1 thread and once at 4.
+//! traces, fits the anytime prediction ladder (per-prefix calibration
+//! plus a distilled student), then replays a deterministic open-loop
+//! arrival stream through [`bf_serve::Service`] under the default chaos
+//! plan plus injected slow-model and worker-panic faults, once at 1
+//! thread and once at 4.
 //!
 //! An early slow-model storm (requests 5..40) drives the circuit
 //! breaker through a full open → half-open → closed cycle, so the run
@@ -14,15 +16,19 @@
 //!
 //! Writes `BENCH_serve_baseline.json` (override with
 //! `BF_SERVE_BASELINE_OUT`): virtual-time throughput, p50/p99 latency,
-//! shed rate, and degraded fraction per thread count. Request count is
-//! `BF_SERVE_REQUESTS` (default 1000; CI smoke uses a smaller stream).
+//! shed rate, degraded fraction, and per-tier answer fractions (full /
+//! early-exit@k / distilled / centroid over the `answered` denominator)
+//! per thread count. Request count is `BF_SERVE_REQUESTS` (default
+//! 1000; CI smoke uses a smaller stream).
 
 use bf_bench::run_bin;
 use bf_core::{AttackKind, CollectionConfig};
 use bf_fault::FaultPlan;
-use bf_ml::{CentroidClassifier, Classifier};
+use bf_ml::{
+    AnytimeLadder, Calibration, CentroidClassifier, Classifier, DistillConfig, DistilledClassifier,
+};
 use bf_obs::Json;
-use bf_serve::{open_loop_arrivals, Outcome, Resolved, ServeConfig, Service};
+use bf_serve::{open_loop_arrivals, Outcome, Resolved, ServeConfig, Service, TierModels};
 use bf_stats::rng::combine_seeds;
 use bf_timer::BrowserKind;
 use bf_victim::Catalog;
@@ -33,6 +39,16 @@ use std::time::Instant;
 /// service cost, so a single worker saturates (shedding visible) while
 /// four workers keep up.
 const MEAN_GAP_UNITS: f64 = 40.0;
+
+/// Answer tiers in ladder order, matching [`bf_serve::Tier::label`].
+const TIER_LABELS: [&str; 6] = [
+    "full",
+    "early_exit_25",
+    "early_exit_50",
+    "early_exit_75",
+    "distilled",
+    "centroid",
+];
 
 /// Latency quantile over answered requests, in virtual units.
 fn quantile(sorted: &[u64], q: f64) -> u64 {
@@ -54,6 +70,7 @@ struct RunStats {
     timeouts: u64,
     shed: u64,
     failed: u64,
+    tier_counts: [u64; TIER_LABELS.len()],
     transitions: String,
 }
 
@@ -100,8 +117,18 @@ impl RunStats {
             // had to know the fraction is over answered requests, not all
             // resolved ones.
             ("answered", Json::UInt(self.answered())),
+            ("answered_fraction", Json::Float(self.answered() as f64 / self.total().max(1) as f64)),
             ("shed_rate", Json::Float(self.shed_rate())),
             ("degraded_fraction", Json::Float(self.degraded_fraction())),
+            // `degraded_fraction` broken down by answer tier: what share
+            // of answered requests came from each ladder rung. Same
+            // `answered` denominator on every entry.
+            (
+                "tier_fractions",
+                Json::object(TIER_LABELS.iter().zip(self.tier_counts).map(|(label, n)| {
+                    (*label, Json::Float(n as f64 / self.answered().max(1) as f64))
+                })),
+            ),
             ("breaker_transitions", Json::Str(self.transitions.clone())),
         ])
     }
@@ -115,6 +142,18 @@ fn stats_for(threads: usize, wall_seconds: f64, resolved: &[Resolved], svc: &Ser
         .collect();
     answered.sort_unstable();
     let count = |f: fn(&Outcome) -> bool| resolved.iter().filter(|r| f(&r.outcome)).count() as u64;
+    let mut tier_counts = [0u64; TIER_LABELS.len()];
+    for r in resolved {
+        let tier = match &r.outcome {
+            Outcome::Prediction { tier, .. } | Outcome::Degraded { tier, .. } => tier,
+            _ => continue,
+        };
+        let slot = TIER_LABELS
+            .iter()
+            .position(|l| *l == tier.label())
+            .unwrap_or_else(|| panic!("unknown answer tier {:?}", tier.label()));
+        tier_counts[slot] += 1;
+    }
     RunStats {
         threads,
         wall_seconds,
@@ -126,6 +165,7 @@ fn stats_for(threads: usize, wall_seconds: f64, resolved: &[Resolved], svc: &Ser
         timeouts: count(|o| matches!(o, Outcome::Timeout { .. })),
         shed: count(|o| matches!(o, Outcome::Shed)),
         failed: count(|o| matches!(o, Outcome::Failed { .. })),
+        tier_counts,
         transitions: svc.breaker().transitions_summary(),
     }
 }
@@ -150,6 +190,39 @@ fn main() -> ExitCode {
         let mut fallback = CentroidClassifier::new(data.n_classes());
         m.phase("train_fallback", || fallback.fit(&train, &val));
 
+        // Anytime ladder: per-prefix-length calibration for the primary,
+        // plus a distilled student (soft labels from the primary) with
+        // its own calibration, all fit on the same held-out fold.
+        let ladder = m.phase("fit_ladder", || AnytimeLadder::fit(&mut *primary, &val));
+        let distill_cfg = DistillConfig {
+            max_epochs: 12,
+            seed: combine_seeds(seed, 0xD1),
+            ..DistillConfig::default()
+        };
+        let distilled = if DistilledClassifier::feasible(
+            data.feature_len(),
+            data.n_classes(),
+            distill_cfg.conv_filters,
+        ) {
+            let mut student =
+                DistilledClassifier::new(data.feature_len(), data.n_classes(), distill_cfg);
+            m.phase("distill_student", || student.distill(&mut *primary, &train));
+            let cal = m.phase("calibrate_student", || {
+                Calibration::fit(&student.predict_proba(val.features()), val.labels())
+            });
+            Some((student, cal))
+        } else {
+            None
+        };
+        let tiers = match distilled {
+            Some((student, cal)) => TierModels {
+                ladder,
+                distilled: Some(Box::new(student)),
+                distilled_calibration: cal,
+            },
+            None => TierModels { ladder, ..TierModels::default() },
+        };
+
         // Online phase: default chaos plan + serving faults, plus an
         // early deterministic slow storm to exercise the breaker.
         let plan = FaultPlan {
@@ -165,7 +238,7 @@ fn main() -> ExitCode {
             .sites()
             .to_vec();
         let requests = open_loop_arrivals(n_requests, n_sites, MEAN_GAP_UNITS, seed);
-        let mut svc = Service::new(serving, sites, primary, fallback, serve_cfg);
+        let mut svc = Service::new(serving, sites, primary, fallback, serve_cfg).with_tiers(tiers);
 
         let mut runs = Vec::new();
         for threads in [1usize, 4] {
@@ -247,6 +320,14 @@ fn main() -> ExitCode {
             );
             bf_obs::gauge(&format!("serve.throughput.t{}", r.threads))
                 .set(r.throughput_per_kunit());
+        }
+        for r in &runs {
+            let tiers: Vec<String> = TIER_LABELS
+                .iter()
+                .zip(r.tier_counts)
+                .map(|(label, n)| format!("{label}={n}"))
+                .collect();
+            println!("t{} answer tiers: {}", r.threads, tiers.join(" "));
         }
 
         let json = Json::object([

@@ -10,7 +10,10 @@
 use bf_core::collect::{AttackKind, CollectionConfig};
 use bf_core::scale::ExperimentScale;
 use bf_fault::FaultPlan;
-use bf_ml::{CnnLstmClassifier, Classifier, CrossValResult, Dataset, TrainConfig};
+use bf_ml::{
+    prefix_features, CentroidClassifier, Classifier, CnnLstmClassifier, CrossValResult, Dataset,
+    DistillConfig, DistilledClassifier, TrainConfig,
+};
 use bf_nn::CnnLstmConfig;
 use bf_timer::BrowserKind;
 use std::sync::Mutex;
@@ -205,4 +208,38 @@ fn trained_cnn_weights_bits_identical_across_thread_counts() {
     assert!(!seq.0.is_empty());
     assert_eq!(seq.0, par.0, "trained weights diverged across thread counts");
     assert_eq!(seq.1, par.1, "predictions diverged across thread counts");
+}
+
+#[test]
+fn distilled_student_training_and_predictions_bits_identical_across_thread_counts() {
+    // The anytime ladder's distilled tier: teacher soft labels, the
+    // seeded soft-target training loop, and prefix-padded inference
+    // must all be bit-stable at any thread count — the serving path
+    // relies on the student answering identically wherever it runs.
+    let cfg = smoke_cfg(FaultPlan::off());
+    let dataset = cfg.collect_closed_world(3, 6, 67);
+    let (seq, par) = at_thread_counts(|| {
+        let mut teacher = CentroidClassifier::new(dataset.n_classes());
+        teacher.fit(&dataset, &Dataset::new(dataset.n_classes()));
+        let mut student = DistilledClassifier::new(
+            dataset.feature_len(),
+            dataset.n_classes(),
+            DistillConfig { conv_filters: 4, max_epochs: 3, batch_size: 8, seed: 71, ..DistillConfig::default() },
+        );
+        student.distill(&mut teacher, &dataset);
+        // Probe on full rows and on every ladder prefix of the first
+        // trace, mirroring what the tier controller feeds the student.
+        let mut probe: Vec<Vec<f32>> = dataset.features()[..4].to_vec();
+        for &percent in &bf_ml::PREFIX_PERCENTS {
+            probe.push(prefix_features(&dataset.features()[0], percent));
+        }
+        let bits: Vec<Vec<u32>> = student
+            .predict_proba(&probe)
+            .iter()
+            .map(|row| row.iter().map(|v| v.to_bits()).collect())
+            .collect();
+        bits
+    });
+    assert!(!seq.is_empty());
+    assert_eq!(seq, par, "distilled tier diverged across thread counts");
 }

@@ -13,7 +13,7 @@ use bf_fault::FaultPlan;
 use bf_ml::{CentroidClassifier, Classifier, Dataset};
 use bf_serve::{
     open_loop_arrivals, BreakerConfig, Outcome, Resolved, ServeConfig, ServeRequest, Service,
-    Stage,
+    Stage, Tier, TierConfig,
 };
 use bf_timer::BrowserKind;
 use bf_victim::{Catalog, WebsiteProfile};
@@ -156,7 +156,7 @@ fn breaker_runs_a_full_cycle_and_degraded_output_matches_the_standalone_centroid
 
     // Degraded output is bit-identical to the standalone centroid on
     // the same trace.
-    let Outcome::Degraded { class, probs } = &resolved[5].outcome else { unreachable!() };
+    let Outcome::Degraded { class, probs, .. } = &resolved[5].outcome else { unreachable!() };
     let clean = collection(FaultPlan::off());
     let req = &requests[5];
     let trace = clean
@@ -168,6 +168,65 @@ fn breaker_runs_a_full_cycle_and_degraded_output_matches_the_standalone_centroid
     let want_bits: Vec<u32> = want.iter().map(|v| v.to_bits()).collect();
     assert_eq!(got_bits, want_bits, "degradation must not change centroid outputs");
     assert_eq!(*class, want.iter().enumerate().max_by(|a, b| a.1.total_cmp(b.1)).unwrap().0);
+}
+
+#[test]
+fn half_open_probes_close_on_degraded_tier_successes_under_deadline_pressure() {
+    let _guard = SERIAL.lock().unwrap_or_else(|p| p.into_inner());
+    // Sustained deadline pressure: a 100-unit budget affords the ladder
+    // only its 25% and 50% rungs (collect 25 + 12 + 50 = 87 units), and
+    // an unreachable confidence bar means every answer is a
+    // budget-cutoff `Degraded { tier: EarlyExit(50) }` — the primary
+    // model *infers successfully* but never gets to a full answer.
+    // Requests 0..3 additionally hit a slow primary and blow their
+    // budget outright, opening the breaker. The regression being
+    // pinned: half-open probes that resolve as Degraded-tier successes
+    // must count toward closing — a breaker that only credits full-tier
+    // predictions would stay open forever under this load.
+    let cfg = ServeConfig {
+        deadline_units: 100,
+        slow_storm: Some((0, 3)),
+        breaker: BreakerConfig { open_after: 3, cooldown_units: 2_000, close_after: 2 },
+        tiers: TierConfig { ladder: true, confidence_threshold: 2.0, distilled_units: 15 },
+        ..ServeConfig::default()
+    };
+    let requests = spaced(10, 1_500);
+    let mut svc = service(FaultPlan::off(), cfg);
+    let resolved = svc.run(&requests);
+    assert_all_resolved(&resolved, &svc, 10);
+
+    let to_labels: Vec<&str> = svc.breaker().transitions().iter().map(|t| t.to.label()).collect();
+    assert_eq!(
+        to_labels,
+        ["open", "half_open", "closed"],
+        "degraded-tier probe successes must walk the breaker back to closed"
+    );
+    for r in &resolved[..3] {
+        assert_eq!(
+            r.outcome,
+            Outcome::Timeout { stage: Stage::Predict },
+            "slow-storm request {} blows its budget",
+            r.id
+        );
+    }
+    // Everything after the cooldown answers at the 50% rung — degraded,
+    // never a timeout: the deadline pressure degrades accuracy, not
+    // availability.
+    let mut early_exits = 0usize;
+    for r in &resolved[3..] {
+        match &r.outcome {
+            Outcome::Degraded { tier: Tier::EarlyExit(50), confidence, .. } => {
+                early_exits += 1;
+                assert!(*confidence > 0.0 && *confidence <= 1.0);
+            }
+            Outcome::Degraded { tier: Tier::Centroid, .. } => {
+                // Cooldown-era requests take the centroid floor.
+            }
+            other => panic!("request {} should degrade, got {other:?}", r.id),
+        }
+    }
+    assert!(early_exits >= 4, "probes and recovered requests answer at the 50% rung");
+    assert!(svc.health().ready, "breaker must end the run closed");
 }
 
 #[test]

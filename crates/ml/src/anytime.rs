@@ -1,0 +1,365 @@
+//! Anytime (early-exit) prefix classification.
+//!
+//! The paper's Table 1 shows accuracy is a smooth function of trace
+//! length: 25/50/75% prefixes already carry most of the signal. This
+//! module turns that curve into an *anytime* inference ladder: classify
+//! the shortest prefix first, read off a per-prefix-length calibrated
+//! confidence ([`Calibration`], temperature scaling fit on held-out
+//! folds), and stop as soon as the confidence clears a threshold — or
+//! whenever the caller's budget runs out, at which point the best
+//! answer so far is still a usable (if less accurate) prediction.
+//!
+//! Prefix features are defined once here and shared by training-time
+//! calibration fitting and the online serving path, so the calibration
+//! is fit on exactly the distribution it will see: truncate the
+//! standardized trace to the prefix and re-standardize over the prefix
+//! alone (standardization is affine-invariant, so this equals
+//! featurizing a prefix-only collection of the same trace).
+
+use crate::calibrate::Calibration;
+use crate::{Classifier, Dataset};
+use bf_obs::Json;
+use std::path::Path;
+
+/// The ladder's rungs, as percentages of the full trace. The last rung
+/// is always the full trace.
+pub const PREFIX_PERCENTS: [u8; 4] = [25, 50, 75, 100];
+
+/// Samples in a `percent` prefix of a `full_len`-sample trace (at least
+/// one sample, so degenerate traces still classify).
+pub fn prefix_len(full_len: usize, percent: u8) -> usize {
+    ((full_len * percent as usize) / 100).max(1).min(full_len)
+}
+
+/// The first `percent`% of a standardized feature vector,
+/// re-standardized over the prefix alone (f64 accumulation, matching
+/// `CollectionConfig::featurize`). At 100% the input is returned
+/// unchanged, bit-for-bit, so the full rung equals full-trace
+/// classification exactly.
+pub fn prefix_features(features: &[f32], percent: u8) -> Vec<f32> {
+    if percent >= 100 {
+        return features.to_vec(); // alloc-ok: per-request staging (full rung passthrough)
+    }
+    let n = prefix_len(features.len(), percent);
+    let prefix = &features[..n];
+    let mean: f64 = prefix.iter().map(|&v| v as f64).sum::<f64>() / n as f64;
+    let var: f64 =
+        prefix.iter().map(|&v| (v as f64 - mean) * (v as f64 - mean)).sum::<f64>() / n as f64;
+    let sd = var.sqrt();
+    let mut out = vec![0.0f32; n]; // alloc-ok: per-request staging (prefix slice)
+    if sd > 0.0 {
+        for (o, &v) in out.iter_mut().zip(prefix) {
+            *o = ((v as f64 - mean) / sd) as f32;
+        }
+    }
+    out
+}
+
+/// The outcome of one anytime classification.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnytimeDecision {
+    /// Calibrated per-class probabilities at the exit rung.
+    pub probs: Vec<f32>,
+    /// Calibrated confidence (max of `probs`).
+    pub confidence: f32,
+    /// The rung answered at, as a percent of the full trace.
+    pub level: u8,
+    /// Whether the confidence threshold was cleared before the full
+    /// trace (as opposed to reaching 100% or exhausting `max_levels`).
+    pub exited_early: bool,
+}
+
+/// Per-prefix-length calibrations for one model: the rungs of the
+/// anytime ladder. Persisted alongside the model snapshot so serving
+/// never refits confidence maps.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnytimeLadder {
+    levels: Vec<u8>,
+    calibrations: Vec<Calibration>,
+}
+
+impl Default for AnytimeLadder {
+    fn default() -> Self {
+        AnytimeLadder::identity()
+    }
+}
+
+impl AnytimeLadder {
+    /// An uncalibrated ladder over [`PREFIX_PERCENTS`]: every rung uses
+    /// the identity map, so confidence is the raw max probability.
+    pub fn identity() -> Self {
+        AnytimeLadder {
+            levels: PREFIX_PERCENTS.to_vec(), // alloc-ok: constructor
+            calibrations: PREFIX_PERCENTS.iter().map(|_| Calibration::identity()).collect(), // alloc-ok: constructor
+        }
+    }
+
+    /// The rung percentages, shortest first.
+    pub fn levels(&self) -> &[u8] {
+        &self.levels
+    }
+
+    /// The calibration for rung `idx`.
+    pub fn calibration(&self, idx: usize) -> &Calibration {
+        &self.calibrations[idx]
+    }
+
+    /// Fit one temperature per rung on held-out data: classify every
+    /// validation trace at each prefix length and scale that rung's
+    /// confidences by NLL. Deterministic for a fixed `(model, val)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `val` is empty.
+    pub fn fit(model: &mut dyn Classifier, val: &Dataset) -> Self {
+        assert!(!val.is_empty(), "cannot fit a ladder on an empty validation set");
+        let levels = PREFIX_PERCENTS.to_vec(); // alloc-ok: fit-time (offline)
+        let mut calibrations = Vec::with_capacity(levels.len()); // alloc-ok: fit-time (offline)
+        for &level in &levels {
+            let prefixes: Vec<Vec<f32>> = val
+                .features()
+                .iter()
+                .map(|f| prefix_features(f, level))
+                .collect(); // alloc-ok: fit-time (offline)
+            let probs = model.predict_proba_prefix(&prefixes);
+            calibrations.push(Calibration::fit(&probs, val.labels()));
+        }
+        AnytimeLadder { levels, calibrations }
+    }
+
+    /// Classify `features` at rung `idx`: prefix, predict, calibrate.
+    /// Returns the calibrated distribution and its confidence.
+    pub fn classify_at(
+        &self,
+        model: &mut dyn Classifier,
+        features: &[f32],
+        idx: usize,
+    ) -> (Vec<f32>, f32) {
+        let prefix = prefix_features(features, self.levels[idx]);
+        let mut probs = model
+            .predict_proba_prefix(std::slice::from_ref(&prefix))
+            .pop()
+            .unwrap_or_default();
+        self.calibrations[idx].apply_in_place(&mut probs);
+        let confidence = probs.iter().copied().fold(0.0f32, f32::max);
+        (probs, confidence)
+    }
+
+    /// Walk the rungs shortest-first, exiting as soon as the calibrated
+    /// confidence reaches `threshold` or `max_levels` rungs have been
+    /// tried (the budget-capped case); the final rung's answer is
+    /// returned when nothing clears the bar.
+    pub fn classify_anytime(
+        &self,
+        model: &mut dyn Classifier,
+        features: &[f32],
+        threshold: f64,
+        max_levels: usize,
+    ) -> AnytimeDecision {
+        let last = max_levels.clamp(1, self.levels.len()) - 1;
+        let mut best: Option<AnytimeDecision> = None;
+        for idx in 0..=last {
+            let (probs, confidence) = self.classify_at(model, features, idx);
+            let level = self.levels[idx];
+            let cleared = (confidence as f64) >= threshold;
+            best = Some(AnytimeDecision {
+                probs,
+                confidence,
+                level,
+                exited_early: cleared && idx < self.levels.len() - 1,
+            });
+            if cleared {
+                break;
+            }
+        }
+        best.expect("at least one rung was classified")
+    }
+
+    /// Mean calibrated confidence per rung over a dataset — the
+    /// training-distribution signal behind early exit (and the property
+    /// test that confidence does not decrease with prefix length).
+    pub fn mean_confidences(&self, model: &mut dyn Classifier, data: &Dataset) -> Vec<f64> {
+        self.levels
+            .iter()
+            .enumerate()
+            .map(|(idx, _)| {
+                let total: f64 = data
+                    .features()
+                    .iter()
+                    .map(|f| self.classify_at(model, f, idx).1 as f64)
+                    .sum();
+                total / data.len().max(1) as f64
+            })
+            .collect() // alloc-ok: diagnostics (offline)
+    }
+
+    /// JSON form: rung percentages and their fitted temperatures.
+    pub fn to_json(&self) -> Json {
+        Json::object([
+            (
+                "levels",
+                Json::Array(self.levels.iter().map(|&l| Json::UInt(l as u64)).collect()), // alloc-ok: persistence (offline)
+            ),
+            (
+                "calibrations",
+                Json::Array(self.calibrations.iter().map(Calibration::to_json).collect()), // alloc-ok: persistence (offline)
+            ),
+        ])
+    }
+
+    /// Parse a ladder back from [`AnytimeLadder::to_json`] output.
+    ///
+    /// # Errors
+    ///
+    /// Describes missing/mismatched arrays or an invalid calibration.
+    pub fn from_json(json: &Json) -> Result<Self, String> {
+        let Some(Json::Array(levels)) = json.get("levels") else {
+            return Err("ladder json missing \"levels\" array".to_owned());
+        };
+        let Some(Json::Array(cals)) = json.get("calibrations") else {
+            return Err("ladder json missing \"calibrations\" array".to_owned());
+        };
+        if levels.len() != cals.len() || levels.is_empty() {
+            return Err(format!(
+                "ladder json needs matching non-empty arrays, got {} levels / {} calibrations",
+                levels.len(),
+                cals.len()
+            ));
+        }
+        let mut out_levels = Vec::with_capacity(levels.len()); // alloc-ok: persistence (offline)
+        for l in levels {
+            match l.as_f64() {
+                Some(v) if (1.0..=100.0).contains(&v) => out_levels.push(v as u8),
+                other => return Err(format!("bad ladder level {other:?}")),
+            }
+        }
+        let mut out_cals = Vec::with_capacity(cals.len()); // alloc-ok: persistence (offline)
+        for c in cals {
+            out_cals.push(Calibration::from_json(c)?);
+        }
+        Ok(AnytimeLadder { levels: out_levels, calibrations: out_cals })
+    }
+
+    /// Persist next to the model snapshot (pretty JSON).
+    ///
+    /// # Errors
+    ///
+    /// Human-readable I/O failure.
+    pub fn save(&self, path: &Path) -> Result<(), String> {
+        std::fs::write(path, self.to_json().to_pretty_string())
+            .map_err(|e| format!("write {}: {e}", path.display()))
+    }
+
+    /// Load a ladder persisted by [`AnytimeLadder::save`].
+    ///
+    /// # Errors
+    ///
+    /// Human-readable I/O or parse failure.
+    pub fn load(path: &Path) -> Result<Self, String> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("read {}: {e}", path.display()))?;
+        Self::from_json(&Json::parse(&text)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CentroidClassifier;
+    use bf_stats::SeedRng;
+
+    /// Class = where the dips sit; longer prefixes see more dips, so
+    /// confidence grows with prefix length by construction.
+    fn toy(per_class: usize, seed: u64) -> Dataset {
+        let mut rng = SeedRng::new(seed);
+        let mut d = Dataset::new(3);
+        for c in 0..3usize {
+            for _ in 0..per_class {
+                let mut t = vec![0.0f32; 200];
+                for v in t.iter_mut() {
+                    *v = 0.3 * rng.standard_normal() as f32;
+                }
+                for rep in 0..4 {
+                    let dip = rep * 50 + c * 12;
+                    for v in &mut t[dip..dip + 10] {
+                        *v -= 2.0;
+                    }
+                }
+                d.push(t, c);
+            }
+        }
+        d
+    }
+
+    #[test]
+    fn prefix_features_are_standardized_and_full_is_identity() {
+        let f: Vec<f32> = (0..100).map(|i| (i as f32).sin()).collect();
+        let full = prefix_features(&f, 100);
+        assert_eq!(
+            full.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            f.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            "100% prefix must be bit-identical to the input"
+        );
+        let half = prefix_features(&f, 50);
+        assert_eq!(half.len(), 50);
+        let mean: f32 = half.iter().sum::<f32>() / 50.0;
+        assert!(mean.abs() < 1e-4, "prefix mean {mean}");
+    }
+
+    #[test]
+    fn prefix_len_clamps_sanely() {
+        assert_eq!(prefix_len(300, 25), 75);
+        assert_eq!(prefix_len(300, 100), 300);
+        assert_eq!(prefix_len(2, 25), 1);
+        assert_eq!(prefix_len(1, 25), 1);
+    }
+
+    #[test]
+    fn fitted_ladder_classifies_and_exits_early_on_easy_data() {
+        let train = toy(8, 1);
+        let val = toy(4, 2);
+        let mut model = CentroidClassifier::new(3);
+        model.fit(&train, &Dataset::new(3));
+        let ladder = AnytimeLadder::fit(&mut model, &val);
+        assert_eq!(ladder.levels(), &PREFIX_PERCENTS);
+        // A permissive threshold exits at the first rung; an impossible
+        // one walks to the full trace.
+        let f = &val.features()[0];
+        let easy = ladder.classify_anytime(&mut model, f, 0.0, 4);
+        assert_eq!(easy.level, 25);
+        assert!(easy.exited_early);
+        let hard = ladder.classify_anytime(&mut model, f, 1.1, 4);
+        assert_eq!(hard.level, 100);
+        assert!(!hard.exited_early);
+        // Budget-capped at 2 rungs: answers at 50% without early-exit.
+        let capped = ladder.classify_anytime(&mut model, f, 1.1, 2);
+        assert_eq!(capped.level, 50);
+        assert!(!capped.exited_early);
+    }
+
+    #[test]
+    fn ladder_round_trips_through_json() {
+        let train = toy(6, 3);
+        let val = toy(3, 4);
+        let mut model = CentroidClassifier::new(3);
+        model.fit(&train, &Dataset::new(3));
+        let ladder = AnytimeLadder::fit(&mut model, &val);
+        let back = AnytimeLadder::from_json(&ladder.to_json()).expect("round trip");
+        assert_eq!(back, ladder);
+        assert!(AnytimeLadder::from_json(&Json::object([])).is_err());
+    }
+
+    #[test]
+    fn identity_ladder_confidence_is_raw_max_prob() {
+        let train = toy(6, 5);
+        let mut model = CentroidClassifier::new(3);
+        model.fit(&train, &Dataset::new(3));
+        let ladder = AnytimeLadder::identity();
+        let f = &train.features()[0];
+        let (probs, conf) = ladder.classify_at(&mut model, f, 3);
+        let raw = model.predict_proba(std::slice::from_ref(&prefix_features(f, 100))).remove(0);
+        let raw_max = raw.iter().copied().fold(0.0f32, f32::max);
+        assert!((conf - raw_max).abs() < 1e-6);
+        assert_eq!(probs.len(), 3);
+    }
+}

@@ -180,6 +180,28 @@ impl Classifier for CnnLstmClassifier {
         out
     }
 
+    /// Prefix inference for the anytime ladder: rows shorter than
+    /// `input_len` are zero-padded into the pooled input tensor via
+    /// [`CnnLstm::prefix_batch`] (workspace tensors are handed out
+    /// zeroed, so padding is free). Full-length rows produce
+    /// bit-identical output to [`Classifier::predict_proba`] — same
+    /// chunking, same kernels, same copy.
+    fn predict_proba_prefix(&mut self, traces: &[Vec<f32>]) -> Vec<Vec<f32>> {
+        let net = self.net.as_mut().expect("classifier not fitted");
+        let k = self.arch.n_classes;
+        let mut out = Vec::with_capacity(traces.len());
+        for chunk in traces.chunks(64) {
+            let x = net.prefix_batch(chunk);
+            let p = net.predict_proba(&x);
+            bf_nn::workspace::recycle(x);
+            for i in 0..chunk.len() {
+                out.push(p.data()[i * k..(i + 1) * k].to_vec());
+            }
+            bf_nn::workspace::recycle(p);
+        }
+        out
+    }
+
     /// Deadline-aware inference: checkpoints the token before every
     /// 64-trace chunk, so a cancelled request stops after the chunk in
     /// flight instead of finishing the whole batch. Identical outputs to

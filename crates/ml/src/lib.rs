@@ -33,15 +33,21 @@
 //! assert!(p[0][0] > p[0][1]);
 //! ```
 
+pub mod anytime;
+pub mod calibrate;
 pub mod centroid;
 pub mod cnn;
 pub mod crossval;
 pub mod dataset;
+pub mod distill;
 pub mod metrics;
 pub mod openworld;
 
+pub use anytime::{prefix_features, prefix_len, AnytimeDecision, AnytimeLadder, PREFIX_PERCENTS};
+pub use calibrate::Calibration;
 pub use centroid::CentroidClassifier;
 pub use cnn::{CnnLstmClassifier, TrainConfig};
+pub use distill::{DistillConfig, DistilledClassifier};
 pub use crossval::{
     cross_validate, cross_validate_oof, cross_validate_oof_resumable, cross_validate_resumable,
     CrossValResult, FoldResult, OofPredictions, Resumable, ResumeOptions,
@@ -74,6 +80,18 @@ pub trait Classifier: Send {
     ) -> Result<Vec<Vec<f32>>, bf_fault::DeadlineExceeded> {
         token.check()?;
         Ok(self.predict_proba(traces))
+    }
+
+    /// [`Classifier::predict_proba`] over *prefix* rows: each trace may
+    /// be any length up to the model's expected input length (the
+    /// anytime ladder's early-exit rungs, see [`anytime`]). The default
+    /// forwards to `predict_proba` — correct for models whose distance
+    /// or feature computation naturally truncates (the centroid zips
+    /// against the shorter row); fixed-input networks override this to
+    /// zero-pad into their input tensor. At full length the result must
+    /// be bit-identical to `predict_proba`.
+    fn predict_proba_prefix(&mut self, traces: &[Vec<f32>]) -> Vec<Vec<f32>> {
+        self.predict_proba(traces)
     }
 
     /// Argmax class predictions (NaN-tolerant, see [`metrics::argmax`]).

@@ -1,0 +1,129 @@
+//! Property tests for the anytime ladder's calibration machinery.
+//!
+//! Two properties the serving tier controller relies on:
+//!
+//! * temperature scaling is **monotone in the raw logit** — for any
+//!   temperature (fixed or fitted), the calibrated map never reorders
+//!   classes, so early-exit argmax equals full-path argmax;
+//! * on a training-style distribution where longer prefixes carry
+//!   strictly more class signal, the ladder's mean calibrated
+//!   **confidence is non-decreasing in prefix length** — the
+//!   monotonicity that makes "exit when confident" a sane policy.
+//!
+//! Run alone via `cargo test -p bf-ml --test anytime_props`.
+
+use bf_ml::{AnytimeLadder, Calibration, CentroidClassifier, Classifier, Dataset};
+use bf_stats::SeedRng;
+use proptest::prelude::*;
+
+proptest! {
+    /// For any temperature in the fit grid's range, the calibrated map
+    /// preserves the full ranking of the raw distribution and stays a
+    /// distribution.
+    #[test]
+    fn calibration_map_is_monotone_in_the_raw_logit(
+        raw in proptest::collection::vec(1e-6f32..1.0f32, 2..12),
+        t in 0.05f64..20.0f64,
+    ) {
+        let sum: f32 = raw.iter().sum();
+        let probs: Vec<f32> = raw.iter().map(|v| v / sum).collect();
+        let cal = Calibration::with_temperature(t);
+        let mut mapped = probs.clone();
+        cal.apply_in_place(&mut mapped);
+        for i in 0..probs.len() {
+            prop_assert!(mapped[i].is_finite() && mapped[i] >= 0.0);
+            for j in 0..probs.len() {
+                if probs[i] > probs[j] {
+                    prop_assert!(
+                        mapped[i] >= mapped[j],
+                        "T={t}: raw {} > {} but mapped {} < {}",
+                        probs[i], probs[j], mapped[i], mapped[j]
+                    );
+                }
+            }
+        }
+        let s: f32 = mapped.iter().sum();
+        prop_assert!((s - 1.0).abs() < 1e-3, "calibrated map must stay a distribution, sum {s}");
+        // The advertised confidence is exactly the mapped max.
+        let max = mapped.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        prop_assert_eq!(cal.confidence(&probs).to_bits(), max.to_bits());
+    }
+
+    /// A *fitted* calibration (temperature chosen by NLL on arbitrary
+    /// held-out data) is still monotone: fit only ever picks a positive
+    /// finite temperature.
+    #[test]
+    fn fitted_calibration_is_monotone_and_deterministic(
+        seed in 0u64..1_000,
+        n in 4usize..24,
+        k in 2usize..6,
+    ) {
+        let mut rng = SeedRng::new(seed);
+        let mut probs = Vec::new();
+        let mut labels = Vec::new();
+        for _ in 0..n {
+            let raw: Vec<f32> = (0..k).map(|_| (rng.uniform() as f32).max(1e-4)).collect();
+            let sum: f32 = raw.iter().sum();
+            probs.push(raw.iter().map(|v| v / sum).collect::<Vec<f32>>());
+            labels.push(rng.int_range(0, k as u64) as usize);
+        }
+        let cal = Calibration::fit(&probs, &labels);
+        prop_assert!(cal.temperature().is_finite() && cal.temperature() > 0.0);
+        let again = Calibration::fit(&probs, &labels);
+        prop_assert_eq!(cal.temperature().to_bits(), again.temperature().to_bits());
+        let mut mapped = probs[0].clone();
+        cal.apply_in_place(&mut mapped);
+        for i in 0..k {
+            for j in 0..k {
+                if probs[0][i] > probs[0][j] {
+                    prop_assert!(mapped[i] >= mapped[j]);
+                }
+            }
+        }
+    }
+}
+
+/// Traces whose class signal accrues uniformly along the trace: four
+/// identical dip patterns, one per quarter, at class-specific offsets.
+/// Every extra quarter a prefix sees adds the same amount of evidence.
+fn accruing_dataset(per_class: usize, seed: u64) -> Dataset {
+    let mut rng = SeedRng::new(seed);
+    let mut d = Dataset::new(3);
+    for c in 0..3usize {
+        for _ in 0..per_class {
+            let mut t = vec![0.0f32; 200];
+            for v in t.iter_mut() {
+                *v = 1.5 * rng.standard_normal() as f32;
+            }
+            for quarter in 0..4 {
+                let dip = quarter * 50 + c * 12;
+                for v in &mut t[dip..dip + 10] {
+                    *v -= 0.6;
+                }
+            }
+            d.push(t, c);
+        }
+    }
+    d
+}
+
+#[test]
+fn mean_confidence_is_nondecreasing_in_prefix_length_on_the_training_distribution() {
+    let train = accruing_dataset(40, 101);
+    let val = accruing_dataset(20, 102);
+    let mut model = CentroidClassifier::new(3);
+    model.fit(&train, &Dataset::new(3));
+    let ladder = AnytimeLadder::fit(&mut model, &val);
+    let means = ladder.mean_confidences(&mut model, &train);
+    assert_eq!(means.len(), bf_ml::PREFIX_PERCENTS.len());
+    for w in means.windows(2) {
+        assert!(
+            w[1] >= w[0] - 1e-9,
+            "mean calibrated confidence must not decrease with prefix length: {means:?}"
+        );
+    }
+    assert!(
+        means[means.len() - 1] > means[0],
+        "the full trace must be strictly more confident than the shortest prefix: {means:?}"
+    );
+}

@@ -44,7 +44,7 @@ pub mod workspace;
 pub use conv::Conv1d;
 pub use dense::Dense;
 pub use dropout::Dropout;
-pub use loss::softmax_cross_entropy;
+pub use loss::{softmax_cross_entropy, softmax_cross_entropy_soft};
 pub use lstm::{Lstm, LstmActivation};
 pub use network::{CnnLstm, CnnLstmConfig, PoolKind};
 pub use optim::Adam;

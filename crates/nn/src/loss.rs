@@ -41,6 +41,43 @@ pub fn softmax_cross_entropy(logits: &Tensor, labels: &[usize]) -> (f32, Tensor)
     ((loss / n as f64) as f32, grad)
 }
 
+/// Mean softmax cross-entropy over a batch of logits `(N, K)` against
+/// *soft* target distributions `(N, K)` — the knowledge-distillation
+/// loss. Returns `(loss, ∂loss/∂logits)`; the gradient is the usual
+/// `softmax(logits) - target` scaled by `1/N`, so with a one-hot target
+/// it is bit-for-bit the hard-label gradient of
+/// [`softmax_cross_entropy`].
+///
+/// # Panics
+///
+/// Panics when the shapes disagree.
+pub fn softmax_cross_entropy_soft(logits: &Tensor, targets: &Tensor) -> (f32, Tensor) {
+    assert_eq!(logits.shape().len(), 2, "logits must be (N, K)");
+    assert_eq!(logits.shape(), targets.shape(), "targets must match logits shape");
+    let n = logits.shape()[0];
+    let k = logits.shape()[1];
+    let mut grad = workspace::tensor(&[n, k]);
+    let mut loss = 0.0f64;
+    for i in 0..n {
+        let row = &logits.data()[i * k..(i + 1) * k];
+        let t = &targets.data()[i * k..(i + 1) * k];
+        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let mut sum = 0.0f32;
+        for &v in row {
+            sum += (v - max).exp();
+        }
+        let log_sum = sum.max(1e-30).ln();
+        let g = &mut grad.data_mut()[i * k..(i + 1) * k];
+        for j in 0..k {
+            let p = (row[j] - max).exp() / sum;
+            g[j] = (p - t[j]) / n as f32;
+            // Cross-entropy against the soft target: -t_j * log p_j.
+            loss -= (t[j] as f64) * ((row[j] - max - log_sum) as f64);
+        }
+    }
+    ((loss / n as f64) as f32, grad)
+}
+
 /// Softmax probabilities of a logits batch `(N, K)`.
 pub fn softmax(logits: &Tensor) -> Tensor {
     assert_eq!(logits.shape().len(), 2, "logits must be (N, K)");
@@ -127,5 +164,49 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn bad_label_panics() {
         softmax_cross_entropy(&Tensor::zeros(&[1, 2]), &[5]);
+    }
+
+    #[test]
+    fn soft_loss_with_one_hot_targets_matches_hard_loss_bitwise() {
+        let logits = Tensor::new(&[2, 3], vec![0.3, -0.2, 0.5, 1.0, 0.1, -0.4]);
+        let labels = [2usize, 0];
+        let mut one_hot = Tensor::zeros(&[2, 3]);
+        for (i, &l) in labels.iter().enumerate() {
+            one_hot.data_mut()[i * 3 + l] = 1.0;
+        }
+        let (hard, hard_grad) = softmax_cross_entropy(&logits, &labels);
+        let (soft, soft_grad) = softmax_cross_entropy_soft(&logits, &one_hot);
+        assert!((hard - soft).abs() < 1e-6, "hard {hard} vs soft {soft}");
+        for (a, b) in hard_grad.data().iter().zip(soft_grad.data()) {
+            assert_eq!(a.to_bits(), b.to_bits(), "one-hot soft gradient must match hard");
+        }
+    }
+
+    #[test]
+    fn soft_gradient_check_against_finite_differences() {
+        let logits = Tensor::new(&[2, 3], vec![0.3, -0.2, 0.5, 1.0, 0.1, -0.4]);
+        let targets = Tensor::new(&[2, 3], vec![0.6, 0.3, 0.1, 0.2, 0.2, 0.6]);
+        let (_, grad) = softmax_cross_entropy_soft(&logits, &targets);
+        let eps = 1e-3;
+        for i in 0..6 {
+            let mut lp = logits.clone();
+            lp.data_mut()[i] += eps;
+            let (loss_p, _) = softmax_cross_entropy_soft(&lp, &targets);
+            let mut lm = logits.clone();
+            lm.data_mut()[i] -= eps;
+            let (loss_m, _) = softmax_cross_entropy_soft(&lm, &targets);
+            let numeric = (loss_p - loss_m) / (2.0 * eps);
+            assert!(
+                (numeric - grad.data()[i]).abs() < 1e-3,
+                "i={i}: numeric {numeric} analytic {}",
+                grad.data()[i]
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must match logits shape")]
+    fn soft_shape_mismatch_panics() {
+        softmax_cross_entropy_soft(&Tensor::zeros(&[1, 2]), &Tensor::zeros(&[1, 3]));
     }
 }

@@ -3,7 +3,7 @@
 use crate::conv::Conv1d;
 use crate::dense::Dense;
 use crate::dropout::Dropout;
-use crate::loss::{softmax, softmax_cross_entropy};
+use crate::loss::{softmax, softmax_cross_entropy, softmax_cross_entropy_soft};
 use crate::lstm::{Lstm, LstmActivation};
 use crate::optim::Adam;
 use crate::pool::{AvgPool1d, MaxPool1d};
@@ -220,6 +220,59 @@ impl CnnLstm {
             });
         }
         loss
+    }
+
+    /// One training step against *soft* target distributions `(N, K)` —
+    /// the knowledge-distillation path. Same backward/optimizer plumbing
+    /// as [`CnnLstm::train_batch`] (steady-state steps are
+    /// allocation-free), only the loss differs: soft cross-entropy via
+    /// [`softmax_cross_entropy_soft`].
+    pub fn train_batch_soft(&mut self, x: &Tensor, targets: &Tensor) -> f32 {
+        let logits = self.forward(x, true);
+        let (loss, grad) = softmax_cross_entropy_soft(&logits, targets);
+        workspace::recycle(logits);
+        let mut g = grad;
+        for layer in self.layers.iter_mut().rev() {
+            let next = layer.backward(&g);
+            workspace::recycle(g);
+            g = next;
+        }
+        workspace::recycle(g);
+        self.optimizer.begin_step();
+        let CnnLstm { layers, optimizer, .. } = self;
+        let mut pi = 0usize;
+        for layer in layers.iter_mut() {
+            layer.for_each_param(&mut |p| {
+                optimizer.step_param(pi, p);
+                pi += 1;
+            });
+        }
+        loss
+    }
+
+    /// Gather trace *prefixes* into a `(N, 1, input_len)` batch: each
+    /// row's leading `rows[i].len()` samples are copied and the tail
+    /// stays zero (workspace tensors hand out zeroed storage), so a
+    /// shorter-than-`input_len` trace runs through the fixed-geometry
+    /// conv/LSTM stack unchanged. Pooled storage — the caller recycles
+    /// the tensor after the forward pass, keeping the anytime inference
+    /// path allocation-free on a warm thread.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a row is longer than `input_len`.
+    pub fn prefix_batch(&self, rows: &[Vec<f32>]) -> Tensor {
+        let len = self.config.input_len;
+        let mut x = workspace::tensor(&[rows.len(), 1, len]);
+        for (bi, row) in rows.iter().enumerate() {
+            assert!(
+                row.len() <= len,
+                "prefix length {} exceeds input_len {len}",
+                row.len()
+            );
+            x.data_mut()[bi * len..bi * len + row.len()].copy_from_slice(row);
+        }
+        x
     }
 
     /// Class probabilities for a batch of traces.

@@ -31,6 +31,11 @@ const HOT_MODULES: &[(&str, &str)] = &[
     ("obs/trace.rs", include_str!("../../obs/src/trace.rs")),
     ("obs/level.rs", include_str!("../../obs/src/level.rs")),
     ("obs/event.rs", include_str!("../../obs/src/event.rs")),
+    // The anytime ladder's serving-side models: calibration and the
+    // distilled student run per request inside the deadline budget.
+    ("ml/anytime.rs", include_str!("../../ml/src/anytime.rs")),
+    ("ml/calibrate.rs", include_str!("../../ml/src/calibrate.rs")),
+    ("ml/distill.rs", include_str!("../../ml/src/distill.rs")),
 ];
 
 const ALLOC_PATTERNS: &[&str] = &["vec!", "Vec::with_capacity", ".to_vec(", ".collect("];

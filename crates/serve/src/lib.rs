@@ -46,7 +46,7 @@ pub mod breaker;
 pub mod service;
 
 pub use breaker::{BreakerConfig, BreakerState, CircuitBreaker, Transition};
-pub use service::{HealthSnapshot, Service};
+pub use service::{HealthSnapshot, Service, TierModels};
 
 use bf_fault::BackoffPolicy;
 use bf_stats::rng::{combine_seeds, SeedRng};
@@ -90,26 +90,74 @@ impl Stage {
     }
 }
 
+/// Which rung of the anytime prediction ladder produced an answer.
+///
+/// Ordered roughly by cost and accuracy: the full primary model, an
+/// early exit of the primary model at a trace prefix, the distilled
+/// small student, and the centroid floor. Recorded in every answered
+/// [`Outcome`] so accuracy-vs-deadline curves can attribute each answer
+/// to the tier that produced it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Tier {
+    /// The primary classifier on the full trace.
+    Full,
+    /// The primary classifier exited at this prefix percentage.
+    EarlyExit(u8),
+    /// The distilled small student model.
+    Distilled,
+    /// The centroid fallback.
+    Centroid,
+}
+
+impl Tier {
+    /// Stable lowercase label for metrics and reports. Early exits at
+    /// the standard rungs get their own labels so per-tier fractions
+    /// survive metric flattening.
+    pub fn label(self) -> &'static str {
+        match self {
+            Tier::Full => "full",
+            Tier::EarlyExit(25) => "early_exit_25",
+            Tier::EarlyExit(50) => "early_exit_50",
+            Tier::EarlyExit(75) => "early_exit_75",
+            Tier::EarlyExit(_) => "early_exit",
+            Tier::Distilled => "distilled",
+            Tier::Centroid => "centroid",
+        }
+    }
+}
+
 /// The single terminal state of a request. See the crate docs for the
 /// exhaustiveness guarantee.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Outcome {
-    /// The primary classifier answered within the deadline.
+    /// The primary classifier answered within the deadline — on the
+    /// full trace, or (with the ladder enabled) at a prefix rung whose
+    /// calibrated confidence cleared the threshold.
     Prediction {
         /// Argmax class.
         class: usize,
-        /// Per-class probabilities.
+        /// Per-class probabilities (calibrated when the ladder is on).
         probs: Vec<f32>,
+        /// Which ladder rung answered.
+        tier: Tier,
+        /// Calibrated confidence of the answer (max probability).
+        confidence: f32,
     },
-    /// The fallback (centroid) classifier answered — either because the
-    /// breaker was open or because the primary path failed and the
-    /// budget still allowed the cheap path. Bit-identical to running
+    /// A degraded answer: the budget cut the ladder short of the
+    /// confidence bar (best early-exit answer so far), the distilled
+    /// student stood in for a failed/tripped primary, or the centroid
+    /// floor answered. The centroid tier is bit-identical to running
     /// the standalone centroid on the same features.
     Degraded {
         /// Argmax class.
         class: usize,
         /// Per-class probabilities.
         probs: Vec<f32>,
+        /// Which ladder rung answered.
+        tier: Tier,
+        /// Confidence of the answer (calibrated for ladder/distilled
+        /// tiers, raw max probability for the centroid).
+        confidence: f32,
     },
     /// The deadline budget ran out; `stage` says where.
     Timeout {
@@ -170,6 +218,28 @@ impl Resolved {
     }
 }
 
+/// Anytime-ladder tuning: whether prefix early-exit is enabled, how
+/// confident a rung must be to answer, and what the distilled tier
+/// charges. See [`Tier`] and the `service` module docs for the
+/// tier-selection rule.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TierConfig {
+    /// Enable the anytime ladder. Off, the service runs the legacy
+    /// full-trace-then-centroid path bit-identically to before the
+    /// ladder existed.
+    pub ladder: bool,
+    /// Calibrated confidence a prefix rung must reach to answer early.
+    pub confidence_threshold: f64,
+    /// Cost charged per distilled-student inference.
+    pub distilled_units: u64,
+}
+
+impl Default for TierConfig {
+    fn default() -> Self {
+        TierConfig { ladder: false, confidence_threshold: 0.85, distilled_units: 15 }
+    }
+}
+
 /// Service tuning. All durations are virtual work units (see the crate
 /// docs); wall time never enters the picture.
 #[derive(Debug, Clone, PartialEq)]
@@ -203,6 +273,9 @@ pub struct ServeConfig {
     /// timeline a pure function of `seed` alone, byte-identical at any
     /// `BF_THREADS` (physical threads then only change wall time).
     pub wave_cap: Option<usize>,
+    /// Anytime-ladder tuning (off by default; [`ServeConfig::from_env`]
+    /// enables it).
+    pub tiers: TierConfig,
 }
 
 impl Default for ServeConfig {
@@ -218,6 +291,7 @@ impl Default for ServeConfig {
             breaker: BreakerConfig::default(),
             slow_storm: None,
             wave_cap: None,
+            tiers: TierConfig::default(),
         }
     }
 }
@@ -230,12 +304,36 @@ impl ServeConfig {
     /// (open-state units before probing), `BF_SERVE_BREAKER_PROBES`
     /// (half-open successes before closing), and `BF_SERVE_WAVE_CAP`
     /// (logical jobs per scheduler wave; 0 or unset follows the
-    /// physical `BF_THREADS` pool). Malformed values warn once
+    /// physical `BF_THREADS` pool). The anytime ladder is **on** by
+    /// default here and tuned by `BF_SERVE_TIER_LADDER` (0 disables),
+    /// `BF_SERVE_TIER_CONF` (early-exit confidence threshold in
+    /// percent), and `BF_SERVE_TIER_DISTILLED_UNITS` (distilled-tier
+    /// inference cost). Malformed values warn once
     /// through `bf_obs` and fall back to the default; zeros are clamped
     /// to 1 where a zero would deadlock the service.
     pub fn from_env() -> Self {
         let d = ServeConfig::default();
         ServeConfig {
+            tiers: TierConfig {
+                ladder: bf_obs::env::parse_or(
+                    "BF_SERVE_TIER_LADDER",
+                    1u8,
+                    "1 to enable the anytime ladder, 0 to disable",
+                ) != 0,
+                confidence_threshold: (bf_obs::env::parse_or(
+                    "BF_SERVE_TIER_CONF",
+                    (d.tiers.confidence_threshold * 100.0).round() as u64,
+                    "an early-exit confidence threshold in percent (0-100)",
+                )
+                .min(100) as f64)
+                    / 100.0,
+                distilled_units: bf_obs::env::parse_or(
+                    "BF_SERVE_TIER_DISTILLED_UNITS",
+                    d.tiers.distilled_units,
+                    "the distilled-tier inference cost in work units",
+                )
+                .max(1),
+            },
             wave_cap: match bf_obs::env::parse_or(
                 "BF_SERVE_WAVE_CAP",
                 0usize,
@@ -346,12 +444,18 @@ mod tests {
         std::env::set_var("BF_SERVE_BREAKER_OPEN", "not-a-number");
         std::env::set_var("BF_SERVE_BREAKER_COOLDOWN", "750");
         std::env::set_var("BF_SERVE_BREAKER_PROBES", "2");
+        std::env::set_var("BF_SERVE_TIER_LADDER", "0");
+        std::env::set_var("BF_SERVE_TIER_CONF", "70");
+        std::env::set_var("BF_SERVE_TIER_DISTILLED_UNITS", "9");
         let cfg = ServeConfig::from_env();
         std::env::remove_var("BF_SERVE_QUEUE");
         std::env::remove_var("BF_SERVE_DEADLINE");
         std::env::remove_var("BF_SERVE_BREAKER_OPEN");
         std::env::remove_var("BF_SERVE_BREAKER_COOLDOWN");
         std::env::remove_var("BF_SERVE_BREAKER_PROBES");
+        std::env::remove_var("BF_SERVE_TIER_LADDER");
+        std::env::remove_var("BF_SERVE_TIER_CONF");
+        std::env::remove_var("BF_SERVE_TIER_DISTILLED_UNITS");
         bf_obs::env::reset_warnings();
         assert_eq!(cfg.queue_cap, 8);
         assert_eq!(cfg.deadline_units, 500);
@@ -360,6 +464,24 @@ mod tests {
         assert_eq!(cfg.breaker.cooldown_units, 750);
         assert_eq!(cfg.breaker.close_after, 2);
         assert_eq!(cfg.collect_attempt_units, d.collect_attempt_units);
+        assert!(!cfg.tiers.ladder, "BF_SERVE_TIER_LADDER=0 disables the ladder");
+        assert!((cfg.tiers.confidence_threshold - 0.70).abs() < 1e-9);
+        assert_eq!(cfg.tiers.distilled_units, 9);
+    }
+
+    #[test]
+    fn env_config_defaults_enable_the_ladder() {
+        let _guard = SERIAL.lock().unwrap_or_else(|p| p.into_inner());
+        for k in ["BF_SERVE_TIER_LADDER", "BF_SERVE_TIER_CONF", "BF_SERVE_TIER_DISTILLED_UNITS"] {
+            std::env::remove_var(k);
+        }
+        let cfg = ServeConfig::from_env();
+        assert!(cfg.tiers.ladder, "from_env turns the ladder on by default");
+        assert!(
+            (cfg.tiers.confidence_threshold - TierConfig::default().confidence_threshold).abs()
+                < 1e-9
+        );
+        assert!(!ServeConfig::default().tiers.ladder, "plain default stays legacy");
     }
 
     #[test]
@@ -391,6 +513,13 @@ mod tests {
         assert_eq!(Stage::Collect.label(), "collect");
         assert_eq!(Stage::Predict.label(), "predict");
         assert_eq!(Outcome::Failed { reason: String::new() }.label(), "failed");
+        assert_eq!(Tier::Full.label(), "full");
+        assert_eq!(Tier::EarlyExit(25).label(), "early_exit_25");
+        assert_eq!(Tier::EarlyExit(50).label(), "early_exit_50");
+        assert_eq!(Tier::EarlyExit(75).label(), "early_exit_75");
+        assert_eq!(Tier::EarlyExit(33).label(), "early_exit");
+        assert_eq!(Tier::Distilled.label(), "distilled");
+        assert_eq!(Tier::Centroid.label(), "centroid");
     }
 
     #[test]

@@ -20,10 +20,10 @@
 //! are bit-identical from run to run.
 
 use crate::breaker::{BreakerState, CircuitBreaker};
-use crate::{Outcome, Resolved, ServeConfig, ServeRequest, Stage};
+use crate::{Outcome, Resolved, ServeConfig, ServeRequest, Stage, Tier};
 use bf_core::collect::CollectionConfig;
 use bf_fault::CancelToken;
-use bf_ml::{metrics::argmax, CentroidClassifier, Classifier};
+use bf_ml::{metrics::argmax, AnytimeLadder, Calibration, CentroidClassifier, Classifier};
 use bf_obs::trace;
 use bf_obs::TraceCtx;
 use bf_victim::WebsiteProfile;
@@ -137,6 +137,89 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
         .unwrap_or_else(|| "opaque panic payload".to_owned())
 }
 
+/// The anytime ladder's models, attached via [`Service::with_tiers`]:
+/// per-rung calibrations for the primary, and (optionally) a distilled
+/// student with its own calibration.
+pub struct TierModels {
+    /// Per-prefix-length calibrations for the primary classifier.
+    pub ladder: AnytimeLadder,
+    /// The distilled small student, when one was trained.
+    pub distilled: Option<Box<dyn Classifier>>,
+    /// Confidence calibration for the distilled student.
+    pub distilled_calibration: Calibration,
+}
+
+impl Default for TierModels {
+    fn default() -> Self {
+        TierModels {
+            ladder: AnytimeLadder::identity(),
+            distilled: None,
+            distilled_calibration: Calibration::identity(),
+        }
+    }
+}
+
+/// Per-tier cost estimates in virtual units, published as
+/// `serve.tier.cost.*` gauges. Each rung entry is the *incremental*
+/// cost of climbing to that rung from the one below (rung 0's
+/// collection share is charged by the collect stage). Estimates start
+/// at the config formulas and track the running max of successfully
+/// charged steps, so the controller's admission check reflects what the
+/// tiers actually cost — updated only in the sequential predict stage,
+/// keeping them schedule-independent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct TierCosts {
+    steps: [u64; bf_ml::PREFIX_PERCENTS.len()],
+    distilled: u64,
+    centroid: u64,
+}
+
+impl TierCosts {
+    fn step_gauge(idx: usize) -> &'static str {
+        match bf_ml::PREFIX_PERCENTS[idx] {
+            25 => "serve.tier.cost.early_exit_25",
+            50 => "serve.tier.cost.early_exit_50",
+            75 => "serve.tier.cost.early_exit_75",
+            _ => "serve.tier.cost.full",
+        }
+    }
+
+    fn from_config(cfg: &ServeConfig) -> Self {
+        let cc4 = (cfg.collect_attempt_units / 4).max(1);
+        let mut steps = [0u64; bf_ml::PREFIX_PERCENTS.len()];
+        for (i, &level) in bf_ml::PREFIX_PERCENTS.iter().enumerate() {
+            let predict = ((cfg.primary_units * level as u64) / 100).max(1);
+            steps[i] = if i == 0 { predict } else { cc4 + predict };
+        }
+        let costs = TierCosts {
+            steps,
+            distilled: cfg.tiers.distilled_units.max(1),
+            centroid: cfg.fallback_units.max(1),
+        };
+        for (i, &s) in costs.steps.iter().enumerate() {
+            bf_obs::gauge(Self::step_gauge(i)).set(s as f64);
+        }
+        bf_obs::gauge("serve.tier.cost.distilled").set(costs.distilled as f64);
+        bf_obs::gauge("serve.tier.cost.centroid").set(costs.centroid as f64);
+        costs
+    }
+
+    /// Record the actual units a successful rung step charged.
+    fn observe_step(&mut self, idx: usize, units: u64) {
+        if units > self.steps[idx] {
+            self.steps[idx] = units;
+            bf_obs::gauge(Self::step_gauge(idx)).set(units as f64);
+        }
+    }
+
+    fn observe_distilled(&mut self, units: u64) {
+        if units > self.distilled {
+            self.distilled = units;
+            bf_obs::gauge("serve.tier.cost.distilled").set(units as f64);
+        }
+    }
+}
+
 /// The online fingerprinting service. Owns a collection pipeline, a
 /// primary classifier, a fitted centroid fallback, and a circuit
 /// breaker; see the module docs for scheduling semantics.
@@ -145,8 +228,10 @@ pub struct Service {
     sites: Vec<WebsiteProfile>,
     primary: Box<dyn Classifier>,
     fallback: CentroidClassifier,
+    tiers: TierModels,
     cfg: ServeConfig,
     breaker: CircuitBreaker,
+    tier_costs: TierCosts,
     tallies: Tallies,
 }
 
@@ -172,12 +257,41 @@ impl Service {
             "fallback classifier must be fitted before serving"
         );
         let breaker = CircuitBreaker::new(cfg.breaker);
-        Service { collection, sites, primary, fallback, cfg, breaker, tallies: Tallies::default() }
+        let tier_costs = TierCosts::from_config(&cfg);
+        Service {
+            collection,
+            sites,
+            primary,
+            fallback,
+            tiers: TierModels::default(),
+            cfg,
+            breaker,
+            tier_costs,
+            tallies: Tallies::default(),
+        }
+    }
+
+    /// Attach anytime-ladder models (per-rung calibrations and an
+    /// optional distilled student). Without this, a ladder-enabled
+    /// config still works — calibrations default to identity and the
+    /// distilled tier is skipped.
+    pub fn with_tiers(mut self, tiers: TierModels) -> Self {
+        self.tiers = tiers;
+        self
     }
 
     /// The service's config.
     pub fn config(&self) -> &ServeConfig {
         &self.cfg
+    }
+
+    /// Swap the service's tuning without refitting any model: breaker
+    /// state, tallies, and tier-cost estimates restart from the new
+    /// config. This is what lets a deadline sweep reuse one (expensive)
+    /// fitted primary across dozens of configurations.
+    pub fn reconfigure(&mut self, cfg: ServeConfig) {
+        self.cfg = cfg;
+        self.reset();
     }
 
     /// The breaker's transition history (see [`CircuitBreaker`]).
@@ -191,6 +305,7 @@ impl Service {
     /// without refitting the (expensive) primary.
     pub fn reset(&mut self) {
         self.breaker = CircuitBreaker::new(self.cfg.breaker);
+        self.tier_costs = TierCosts::from_config(&self.cfg);
         self.tallies = Tallies::default();
     }
 
@@ -297,6 +412,16 @@ impl Service {
             let collection = &self.collection;
             let sites = &self.sites;
             let cfg = &self.cfg;
+            // With the ladder on, a collect attempt is only charged for
+            // the first rung's prefix share of the trace; climbing a
+            // rung later charges another quarter (see the ladder's
+            // predict stage). The wall-time collection is unchanged —
+            // virtual accounting is what the deadline sees.
+            let attempt_units = if cfg.tiers.ladder {
+                (cfg.collect_attempt_units / 4).max(1)
+            } else {
+                cfg.collect_attempt_units
+            };
             let dispatch_tick = now;
             let mut outs: Vec<CollectOut> = bf_par::par_map_indexed(&wave, |pos, job| {
                 let req = &requests[job.idx];
@@ -321,7 +446,7 @@ impl Service {
                             req.seed,
                             &token,
                             &cfg.backoff,
-                            cfg.collect_attempt_units,
+                            attempt_units,
                         )
                     })) {
                         Ok(Ok(Some(trace))) => Collected::Features(collection.featurize(&trace)),
@@ -367,22 +492,34 @@ impl Service {
                         Outcome::Failed { reason: format!("collection panicked: {msg}") }
                     }
                     Collected::Features(features) => {
-                        let o = self.predict_one(
-                            &req,
-                            std::slice::from_ref(&features),
-                            &out.token,
-                            tick,
-                        );
+                        let o = if self.cfg.tiers.ladder {
+                            self.predict_one_ladder(&req, &features, &out.token, tick)
+                        } else {
+                            self.predict_one(
+                                &req,
+                                std::slice::from_ref(&features),
+                                &out.token,
+                                tick,
+                            )
+                        };
                         let _trace = trace::adopt(trace_request_ctx(&req), now);
                         let mut predict_span = trace::span_at("predict", tick);
                         predict_span.arg_str(
                             "path",
                             match &o {
                                 Outcome::Prediction { .. } => "primary",
+                                Outcome::Degraded { tier: Tier::Distilled, .. } => "distilled",
+                                Outcome::Degraded { tier: Tier::EarlyExit(_), .. } => "primary",
                                 Outcome::Degraded { .. } => "fallback",
                                 _ => "none",
                             },
                         );
+                        if let Outcome::Prediction { tier, confidence, .. }
+                        | Outcome::Degraded { tier, confidence, .. } = &o
+                        {
+                            predict_span.arg_str("tier", tier.label());
+                            predict_span.arg_f64("confidence", *confidence as f64);
+                        }
                         predict_span.finish(now + out.token.used().min(out.budget));
                         o
                     }
@@ -433,7 +570,14 @@ impl Service {
                     bf_obs::counter("serve.predictions").inc();
                     self.tallies.predictions += 1;
                     let probs = probs.pop().unwrap_or_default();
-                    return Outcome::Prediction { class: argmax(&probs), probs };
+                    let confidence = probs.iter().copied().fold(0.0f32, f32::max);
+                    Self::tier_metrics(Tier::Full, confidence);
+                    return Outcome::Prediction {
+                        class: argmax(&probs),
+                        probs,
+                        tier: Tier::Full,
+                        confidence,
+                    };
                 }
                 Ok(Err(_)) => {
                     self.breaker.record_failure(tick);
@@ -465,7 +609,227 @@ impl Service {
                 bf_obs::counter("serve.degraded").inc();
                 self.tallies.degraded += 1;
                 let probs = probs.pop().unwrap_or_default();
-                Outcome::Degraded { class: argmax(&probs), probs }
+                let confidence = probs.iter().copied().fold(0.0f32, f32::max);
+                Self::tier_metrics(Tier::Centroid, confidence);
+                Outcome::Degraded {
+                    class: argmax(&probs),
+                    probs,
+                    tier: Tier::Centroid,
+                    confidence,
+                }
+            }
+            Err(_) => Outcome::Timeout { stage: Stage::Predict },
+        }
+    }
+
+    /// Per-tier outcome counter plus a confidence histogram, keyed by
+    /// the tier's stable label.
+    fn tier_metrics(tier: Tier, confidence: f32) {
+        bf_obs::counter(match tier {
+            Tier::Full => "serve.tier.full",
+            Tier::EarlyExit(25) => "serve.tier.early_exit_25",
+            Tier::EarlyExit(50) => "serve.tier.early_exit_50",
+            Tier::EarlyExit(75) => "serve.tier.early_exit_75",
+            Tier::EarlyExit(_) => "serve.tier.early_exit",
+            Tier::Distilled => "serve.tier.distilled",
+            Tier::Centroid => "serve.tier.centroid",
+        })
+        .inc();
+        bf_obs::histogram("serve.confidence").record(confidence as f64);
+    }
+
+    /// The anytime-ladder predict stage: climb the prefix rungs of the
+    /// primary model, exiting as soon as the calibrated confidence
+    /// clears the configured threshold; fall *down* the ladder — best
+    /// early-exit answer, then the distilled student, then the centroid
+    /// — when the budget, the breaker, or a primary failure cuts the
+    /// climb short.
+    ///
+    /// Tier-selection rule, in order:
+    ///
+    /// 1. While the breaker allows the primary, climb rungs whose
+    ///    *estimated* incremental cost (collection share + prefix
+    ///    inference, from [`TierCosts`]) fits the remaining budget. A
+    ///    rung whose calibrated confidence ≥ threshold answers as
+    ///    `Prediction` (tier `EarlyExit(level)`, or `Full` at 100%);
+    ///    the 100% rung always answers.
+    /// 2. If the budget stops the climb after at least one successful
+    ///    rung, the best rung so far answers as `Degraded` with its
+    ///    `EarlyExit` tier — and still counts as a breaker success: the
+    ///    primary model *did* answer, just below the confidence bar.
+    /// 3. On primary failure (deadline blown by a slow model, contained
+    ///    panic) or an open breaker, the distilled student answers on
+    ///    the already-paid prefix if it fits the budget; otherwise
+    /// 4. the centroid floor answers; otherwise the request times out
+    ///    in the predict stage.
+    ///
+    /// All decisions run in the sequential predict stage, so rung
+    /// choices, breaker bookkeeping, and cost-estimate updates are
+    /// bit-identical for a fixed `(stream, config)` at any thread
+    /// count.
+    fn predict_one_ladder(
+        &mut self,
+        req: &ServeRequest,
+        features: &[f32],
+        token: &CancelToken,
+        tick: u64,
+    ) -> Outcome {
+        let levels = self.tiers.ladder.levels();
+        let n_levels = levels.len();
+        let cc4 = (self.cfg.collect_attempt_units / 4).max(1);
+        // Best successful rung so far: calibrated probs, confidence,
+        // level, rung index.
+        let mut best: Option<(Vec<f32>, f32, u8)> = None;
+        // Highest prefix level whose collection has been charged (the
+        // collect stage paid for the first rung's share).
+        let mut paid_level = levels.first().copied().unwrap_or(100);
+        let mut primary_failed = false;
+
+        if self.breaker.allow_primary(tick) {
+            let plan = &self.collection.faults;
+            let slow = plan.slow_model_for(req.id) || self.cfg.in_slow_storm(req.id);
+            let panic_injected = plan.worker_panic_for(req.id);
+            for (idx, &level) in levels.iter().enumerate().take(n_levels) {
+                // Admission check against the *estimate* before any
+                // charge: an unaffordable rung must not cancel the
+                // token — the cheaper tiers below still get a shot.
+                if self.tier_costs.steps[idx] > token.remaining() {
+                    break;
+                }
+                let cost = (if idx > 0 { cc4 } else { 0 })
+                    + ((self.cfg.primary_units * level as u64) / 100).max(1)
+                    + if idx == 0 && slow { self.cfg.slow_penalty_units } else { 0 };
+                let ladder = &self.tiers.ladder;
+                let primary = &mut self.primary;
+                let attempt = catch_unwind(AssertUnwindSafe(
+                    || -> Result<(Vec<f32>, f32), bf_fault::DeadlineExceeded> {
+                        if idx == 0 && panic_injected {
+                            panic!("injected worker panic (request {})", req.id);
+                        }
+                        token.charge(cost)?;
+                        Ok(ladder.classify_at(&mut **primary, features, idx))
+                    },
+                ));
+                match attempt {
+                    Ok(Ok((probs, confidence))) => {
+                        self.tier_costs.observe_step(idx, cost);
+                        if idx > 0 {
+                            paid_level = level;
+                        }
+                        let cleared = confidence as f64 >= self.cfg.tiers.confidence_threshold;
+                        if cleared || idx == n_levels - 1 {
+                            // The final (full-trace) rung always
+                            // answers, threshold or not.
+                            self.breaker.record_success(tick);
+                            bf_obs::counter("serve.predictions").inc();
+                            self.tallies.predictions += 1;
+                            let tier = if level >= 100 {
+                                Tier::Full
+                            } else {
+                                Tier::EarlyExit(level)
+                            };
+                            Self::tier_metrics(tier, confidence);
+                            return Outcome::Prediction {
+                                class: argmax(&probs),
+                                probs,
+                                tier,
+                                confidence,
+                            };
+                        }
+                        // Below the bar: remember the most-informed
+                        // answer in case the budget stops the climb.
+                        best = Some((probs, confidence, level));
+                    }
+                    Ok(Err(_)) => {
+                        primary_failed = true;
+                        self.breaker.record_failure(tick);
+                        bf_obs::counter("serve.primary_timeouts").inc();
+                        break;
+                    }
+                    Err(payload) => {
+                        primary_failed = true;
+                        self.breaker.record_failure(tick);
+                        self.tallies.worker_panics += 1;
+                        bf_obs::counter("serve.worker_panics").inc();
+                        bf_obs::error!(
+                            "contained worker panic for request {}: {}",
+                            req.id,
+                            panic_message(payload)
+                        );
+                        break;
+                    }
+                }
+            }
+            if !primary_failed {
+                if let Some((probs, confidence, level)) = best {
+                    // Budget overran the climb but a rung did answer:
+                    // degrade to the best early exit. The primary model
+                    // inferred successfully, so this *is* a breaker
+                    // success — a half-open probe that lands here still
+                    // counts toward closing.
+                    self.breaker.record_success(tick);
+                    bf_obs::counter("serve.degraded").inc();
+                    self.tallies.degraded += 1;
+                    let tier = Tier::EarlyExit(level);
+                    Self::tier_metrics(tier, confidence);
+                    return Outcome::Degraded {
+                        class: argmax(&probs),
+                        probs,
+                        tier,
+                        confidence,
+                    };
+                }
+            }
+        } else {
+            bf_obs::counter("serve.breaker_rejections").inc();
+        }
+
+        // Distilled tier: the small student answers on the prefix whose
+        // collection has actually been charged.
+        let prefix = bf_ml::prefix_features(features, paid_level);
+        if let Some(distilled) = self.tiers.distilled.as_mut() {
+            if self.tier_costs.distilled <= token.remaining()
+                && token.charge(self.cfg.tiers.distilled_units).is_ok()
+            {
+                let mut probs = distilled
+                    .predict_proba_prefix(std::slice::from_ref(&prefix))
+                    .pop()
+                    .unwrap_or_default();
+                self.tiers.distilled_calibration.apply_in_place(&mut probs);
+                self.tier_costs.observe_distilled(self.cfg.tiers.distilled_units);
+                let confidence = probs.iter().copied().fold(0.0f32, f32::max);
+                bf_obs::counter("serve.degraded").inc();
+                self.tallies.degraded += 1;
+                Self::tier_metrics(Tier::Distilled, confidence);
+                return Outcome::Degraded {
+                    class: argmax(&probs),
+                    probs,
+                    tier: Tier::Distilled,
+                    confidence,
+                };
+            }
+        }
+
+        // Centroid floor, on the same paid prefix (its distance
+        // computation truncates naturally).
+        if self.tier_costs.centroid > token.remaining()
+            || token.charge(self.cfg.fallback_units).is_err()
+        {
+            return Outcome::Timeout { stage: Stage::Predict };
+        }
+        match self.fallback.predict_proba_deadline(std::slice::from_ref(&prefix), token) {
+            Ok(mut probs) => {
+                bf_obs::counter("serve.degraded").inc();
+                self.tallies.degraded += 1;
+                let probs = probs.pop().unwrap_or_default();
+                let confidence = probs.iter().copied().fold(0.0f32, f32::max);
+                Self::tier_metrics(Tier::Centroid, confidence);
+                Outcome::Degraded {
+                    class: argmax(&probs),
+                    probs,
+                    tier: Tier::Centroid,
+                    confidence,
+                }
             }
             Err(_) => Outcome::Timeout { stage: Stage::Predict },
         }
@@ -716,7 +1080,7 @@ mod tests {
             (out, fitted_centroid(&sites), collection(FaultPlan::off()))
         });
         for (r, q) in out.iter().zip(&reqs).skip(1) {
-            let Outcome::Degraded { class, probs } = &r.outcome else {
+            let Outcome::Degraded { class, probs, .. } = &r.outcome else {
                 panic!("expected degraded outcome, got {:?}", r.outcome);
             };
             let trace = collectioncfg.collect_trace_resilient(
@@ -767,6 +1131,180 @@ mod tests {
                 r.outcome
             );
         }
+    }
+
+    /// A fixed-output primary/distilled stand-in for tier-routing tests.
+    #[derive(Debug, Clone)]
+    struct ConstClassifier {
+        probs: Vec<f32>,
+    }
+
+    impl Classifier for ConstClassifier {
+        fn fit(&mut self, _train: &Dataset, _val: &Dataset) {}
+        fn predict_proba(&mut self, traces: &[Vec<f32>]) -> Vec<Vec<f32>> {
+            traces.iter().map(|_| self.probs.clone()).collect()
+        }
+        fn n_classes(&self) -> usize {
+            self.probs.len()
+        }
+    }
+
+    fn ladder_cfg(threshold: f64) -> ServeConfig {
+        ServeConfig {
+            tiers: crate::TierConfig {
+                ladder: true,
+                confidence_threshold: threshold,
+                distilled_units: 15,
+            },
+            ..ServeConfig::default()
+        }
+    }
+
+    #[test]
+    fn ladder_exits_at_the_first_rung_when_the_bar_is_low() {
+        // Threshold 0: every successful first rung answers. One collect
+        // quarter (25u) plus the 25% prefix inference (12u) is all a
+        // request costs — versus 150u on the legacy path.
+        let reqs = open_loop_arrivals(6, N_SITES, 5_000.0, 7);
+        let run = || {
+            let mut s = service(FaultPlan::off(), ladder_cfg(0.0));
+            let out = s.run(&reqs);
+            (out, s.health())
+        };
+        let ((a, ha), (b, hb)) = (run(), run());
+        assert_eq!(a, b, "ladder outcomes must replay bit-identically");
+        assert_eq!(ha, hb);
+        assert_eq!(ha.predictions, 6);
+        for r in &a {
+            let Outcome::Prediction { tier, confidence, .. } = &r.outcome else {
+                panic!("expected an early-exit prediction, got {:?}", r.outcome);
+            };
+            assert_eq!(*tier, Tier::EarlyExit(25));
+            assert!(*confidence > 0.0);
+            assert_eq!(r.work_units, 37, "quarter collect (25) + quarter inference (12)");
+        }
+    }
+
+    #[test]
+    fn ladder_climbs_to_full_when_the_bar_is_unreachable() {
+        // Threshold 2.0 can never be cleared: the climb visits every
+        // rung and the full-trace rung answers anyway.
+        let reqs = open_loop_arrivals(3, N_SITES, 5_000.0, 9);
+        let out = with_one_thread(|| service(FaultPlan::off(), ladder_cfg(2.0)).run(&reqs));
+        for r in &out {
+            let Outcome::Prediction { tier, .. } = &r.outcome else {
+                panic!("expected a full prediction, got {:?}", r.outcome);
+            };
+            assert_eq!(*tier, Tier::Full);
+            // collect 25 + rungs 12 + (25+25) + (25+37) + (25+50).
+            assert_eq!(r.work_units, 224, "incremental collection charged per rung");
+        }
+    }
+
+    #[test]
+    fn ladder_budget_cutoff_degrades_to_best_rung_without_tripping_the_breaker() {
+        // Deadline 100: collect (25) + rung 25% (12) + rung 50% (50)
+        // fit, the 75% rung's estimated 62 does not. The most-informed
+        // successful rung answers as Degraded and the breaker records a
+        // *success* — the primary did infer.
+        let cfg = ServeConfig { deadline_units: 100, ..ladder_cfg(2.0) };
+        let reqs = open_loop_arrivals(4, N_SITES, 5_000.0, 11);
+        let (out, health, transitions) = with_one_thread(|| {
+            let mut s = service(FaultPlan::off(), cfg);
+            let out = s.run(&reqs);
+            (out, s.health(), s.breaker().transitions().len())
+        });
+        assert_eq!(health.degraded, 4);
+        assert_eq!(transitions, 0, "budget cutoffs are successes, not breaker failures");
+        for r in &out {
+            let Outcome::Degraded { tier, .. } = &r.outcome else {
+                panic!("expected a budget-cutoff degrade, got {:?}", r.outcome);
+            };
+            assert_eq!(*tier, Tier::EarlyExit(50));
+            assert_eq!(r.work_units, 87, "only the affordable rungs were charged");
+        }
+    }
+
+    #[test]
+    fn open_breaker_falls_to_distilled_then_centroid_tiers() {
+        // Request 0 hits a slow primary and blows its budget, opening
+        // the breaker (open_after 1); the cooldown outlives the run.
+        let cfg = ServeConfig {
+            slow_storm: Some((0, 1)),
+            breaker: crate::BreakerConfig {
+                open_after: 1,
+                cooldown_units: 1_000_000,
+                close_after: 1,
+            },
+            ..ladder_cfg(0.0)
+        };
+        let reqs: Vec<ServeRequest> = (0..3u64)
+            .map(|i| ServeRequest { id: i, site: (i as usize) % N_SITES, seed: 40 + i, arrival: i * 20_000 })
+            .collect();
+        // With a distilled student attached, open-breaker requests land
+        // on the distilled tier (its calibration applied).
+        let distilled_probs = vec![0.1f32, 0.7, 0.2];
+        let (with_student, without_student) = with_one_thread(|| {
+            let sites = Catalog::closed_world_subset(N_SITES).sites().to_vec();
+            let model = fitted_centroid(&sites);
+            let mut s = Service::new(
+                collection(FaultPlan::off()),
+                sites.clone(),
+                Box::new(model.clone()),
+                model.clone(),
+                cfg.clone(),
+            )
+            .with_tiers(TierModels {
+                ladder: bf_ml::AnytimeLadder::identity(),
+                distilled: Some(Box::new(ConstClassifier { probs: distilled_probs.clone() })),
+                distilled_calibration: bf_ml::Calibration::with_temperature(2.0),
+            });
+            let with_student = s.run(&reqs);
+            let mut plain = Service::new(
+                collection(FaultPlan::off()),
+                sites,
+                Box::new(model.clone()),
+                model,
+                cfg.clone(),
+            );
+            (with_student, plain.run(&reqs))
+        });
+        assert!(
+            matches!(with_student[0].outcome, Outcome::Timeout { stage: Stage::Predict }),
+            "slow request blows its whole budget, got {:?}",
+            with_student[0].outcome
+        );
+        for r in &with_student[1..] {
+            let Outcome::Degraded { tier, probs, .. } = &r.outcome else {
+                panic!("expected a distilled degrade, got {:?}", r.outcome);
+            };
+            assert_eq!(*tier, Tier::Distilled);
+            let mut want = distilled_probs.clone();
+            bf_ml::Calibration::with_temperature(2.0).apply_in_place(&mut want);
+            let got: Vec<u32> = probs.iter().map(|v| v.to_bits()).collect();
+            let exp: Vec<u32> = want.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(got, exp, "distilled probs must be calibrated");
+        }
+        // Without a student, the same requests land on the centroid.
+        for r in &without_student[1..] {
+            let Outcome::Degraded { tier, .. } = &r.outcome else {
+                panic!("expected a centroid degrade, got {:?}", r.outcome);
+            };
+            assert_eq!(*tier, Tier::Centroid);
+        }
+    }
+
+    #[test]
+    fn reconfigure_swaps_tuning_and_resets_state() {
+        let reqs = open_loop_arrivals(3, N_SITES, 5_000.0, 21);
+        let (legacy, laddered) = with_one_thread(|| {
+            let mut s = service(FaultPlan::off(), ServeConfig::default());
+            let legacy = s.run(&reqs);
+            s.reconfigure(ladder_cfg(0.0));
+            (legacy, s.run(&reqs))
+        });
+        assert!(legacy.iter().all(|r| r.work_units == 150));
+        assert!(laddered.iter().all(|r| r.work_units == 37));
     }
 
     #[test]

@@ -24,6 +24,7 @@ HOT_MODULES=(
   crates/nn/src/tensor.rs crates/nn/src/workspace.rs
   crates/obs/src/span.rs crates/obs/src/metrics.rs crates/obs/src/trace.rs
   crates/obs/src/level.rs crates/obs/src/event.rs
+  crates/ml/src/anytime.rs crates/ml/src/calibrate.rs crates/ml/src/distill.rs
 )
 
 status=0
