@@ -1,0 +1,299 @@
+//! Batch-size × deadline frontier for the micro-batched predict stage.
+//!
+//! Trains the same primary / fallback / ladder / distilled-student stack
+//! as `serve_load`, then sweeps `ServeConfig::batch` against the
+//! per-request deadline over a contended single-worker request stream
+//! (`wave_cap` pinned, `BF_THREADS` forced to 1 for the sweep, so every
+//! cell is a pure function of the seed). Each cell records answered
+//! fraction, end-to-end accuracy, p50/p99 latency, and the assembled
+//! micro-batch shape.
+//!
+//! The point of the artifact: batching is the axis that buys back
+//! deadline headroom. At batch 1 a saturated worker spends the whole
+//! budget queueing and times out; as the batch capacity grows, each
+//! member's share of the stacked forward pass shrinks
+//! (`ceil(inference / b)`), waves drain faster, and the answered
+//! fraction climbs — without moving any per-request probability bits
+//! (the batched forward pass is bit-identical to the solo one; only the
+//! documented cost-sharing rule changes outcomes). At non-smoke scales
+//! the run asserts the answered fraction is monotone (within slack)
+//! in the batch capacity at every deadline.
+//!
+//! Writes `BENCH_serve_batch_frontier.json` (override with
+//! `BF_BATCH_FRONTIER_OUT`). Request count is `BF_FRONTIER_REQUESTS`
+//! (default 400).
+
+use bf_bench::run_bin;
+use bf_core::{AttackKind, CollectionConfig};
+use bf_fault::FaultPlan;
+use bf_ml::{
+    AnytimeLadder, Calibration, CentroidClassifier, Classifier, DistillConfig,
+    DistilledClassifier,
+};
+use bf_obs::Json;
+use bf_serve::{open_loop_arrivals, Outcome, Resolved, ServeConfig, Service, TierModels};
+use bf_stats::rng::combine_seeds;
+use bf_timer::BrowserKind;
+use bf_victim::Catalog;
+use std::process::ExitCode;
+
+/// Tight gaps: a single worker saturates at batch 1, so the sweep
+/// measures what batching buys back under real contention.
+const MEAN_GAP_UNITS: f64 = 40.0;
+
+/// Micro-batch capacities swept (`ServeConfig::batch`).
+const BATCHES: [usize; 5] = [1, 2, 4, 8, 16];
+
+/// Per-request deadlines swept (virtual units): from "one queued wave
+/// already eats most of the budget" to the default serving deadline.
+const DEADLINES: [u64; 4] = [150, 300, 600, 1000];
+
+/// Adjacent cells may differ by a request or two on knife-edge budgets;
+/// the monotonicity gate allows this much answered-fraction slack.
+const MONOTONE_SLACK: f64 = 0.02;
+
+/// Latency quantile over answered requests, in virtual units.
+fn quantile(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx]
+}
+
+/// One sweep cell's aggregates.
+struct Cell {
+    batch: usize,
+    deadline: u64,
+    answered: u64,
+    correct: u64,
+    timeouts: u64,
+    shed: u64,
+    p50_units: u64,
+    p99_units: u64,
+    batch_assembled: u64,
+    mean_batch_size: f64,
+}
+
+impl Cell {
+    fn answered_fraction(&self, submitted: u64) -> f64 {
+        self.answered as f64 / submitted.max(1) as f64
+    }
+
+    /// End-to-end accuracy: a shed, timed out, or failed request counts
+    /// as wrong.
+    fn accuracy(&self, submitted: u64) -> f64 {
+        self.correct as f64 / submitted.max(1) as f64
+    }
+
+    fn to_json(&self, submitted: u64) -> Json {
+        Json::object([
+            ("batch", Json::UInt(self.batch as u64)),
+            ("deadline_units", Json::UInt(self.deadline)),
+            ("answered", Json::UInt(self.answered)),
+            ("answered_fraction", Json::Float(self.answered_fraction(submitted))),
+            ("accuracy", Json::Float(self.accuracy(submitted))),
+            ("timeouts", Json::UInt(self.timeouts)),
+            ("shed", Json::UInt(self.shed)),
+            ("p50_latency_units", Json::UInt(self.p50_units)),
+            ("p99_latency_units", Json::UInt(self.p99_units)),
+            ("batch_assembled", Json::UInt(self.batch_assembled)),
+            ("mean_batch_size", Json::Float(self.mean_batch_size)),
+        ])
+    }
+}
+
+fn tally(batch: usize, deadline: u64, resolved: &[Resolved]) -> Cell {
+    let mut latencies: Vec<u64> = resolved
+        .iter()
+        .filter(|r| matches!(r.outcome, Outcome::Prediction { .. } | Outcome::Degraded { .. }))
+        .map(Resolved::latency_units)
+        .collect();
+    latencies.sort_unstable();
+    let mut cell = Cell {
+        batch,
+        deadline,
+        answered: 0,
+        correct: 0,
+        timeouts: 0,
+        shed: 0,
+        p50_units: quantile(&latencies, 0.50),
+        p99_units: quantile(&latencies, 0.99),
+        batch_assembled: 0,
+        mean_batch_size: 0.0,
+    };
+    for r in resolved {
+        match &r.outcome {
+            Outcome::Prediction { class, .. } | Outcome::Degraded { class, .. } => {
+                cell.answered += 1;
+                cell.correct += (*class == r.site) as u64;
+            }
+            Outcome::Timeout { .. } => cell.timeouts += 1,
+            Outcome::Shed => cell.shed += 1,
+            _ => {}
+        }
+    }
+    cell
+}
+
+fn main() -> ExitCode {
+    run_bin("micro-batch deadline frontier", "batch_frontier", |m, scale, seed| {
+        let n_requests: usize =
+            bf_obs::env::parse_or("BF_FRONTIER_REQUESTS", 400, "a positive request count").max(1);
+        m.config("frontier.requests", n_requests);
+        m.config("frontier.mean_gap_units", MEAN_GAP_UNITS);
+
+        // Offline phase — identical stack to serve_load: primary +
+        // centroid fallback + anytime ladder + distilled student.
+        let clean = CollectionConfig::new(BrowserKind::Chrome, AttackKind::LoopCounting)
+            .with_scale(scale);
+        let (n_sites, tps) = (scale.n_sites(), scale.traces_per_site());
+        let data = m.phase("train_collect", || clean.collect_closed_world(n_sites, tps, seed));
+        let folds = data.stratified_folds(5, seed);
+        let train_idx: Vec<usize> = folds[1..].iter().flatten().copied().collect();
+        let (train, val) = (data.subset(&train_idx), data.subset(&folds[0]));
+        let mut primary = clean.classifier_for(&data, seed);
+        m.phase("train_primary", || primary.fit(&train, &val));
+        let mut fallback = CentroidClassifier::new(data.n_classes());
+        m.phase("train_fallback", || fallback.fit(&train, &val));
+
+        let ladder = m.phase("fit_ladder", || AnytimeLadder::fit(&mut *primary, &val));
+        let distill_cfg = DistillConfig {
+            max_epochs: 12,
+            seed: combine_seeds(seed, 0xD1),
+            ..DistillConfig::default()
+        };
+        let tiers = if DistilledClassifier::feasible(
+            data.feature_len(),
+            data.n_classes(),
+            distill_cfg.conv_filters,
+        ) {
+            let mut student =
+                DistilledClassifier::new(data.feature_len(), data.n_classes(), distill_cfg);
+            m.phase("distill_student", || student.distill(&mut *primary, &train));
+            let cal = m.phase("calibrate_student", || {
+                Calibration::fit(&student.predict_proba(val.features()), val.labels())
+            });
+            TierModels { ladder, distilled: Some(Box::new(student)), distilled_calibration: cal }
+        } else {
+            TierModels { ladder, ..TierModels::default() }
+        };
+
+        // Online phase: default chaos plan, a single worker, wave_cap
+        // pinned — each cell varies only (batch, deadline).
+        let plan = FaultPlan { seed: combine_seeds(seed, 0xFB), ..FaultPlan::default_plan() };
+        m.config("frontier.fault_plan", plan.summary());
+        let cfg_for = |batch: usize, deadline: u64| ServeConfig {
+            batch,
+            deadline_units: deadline,
+            wave_cap: Some(1),
+            tiers: bf_serve::TierConfig {
+                ladder: true,
+                confidence_threshold: 0.85,
+                ..bf_serve::TierConfig::default()
+            },
+            ..ServeConfig::default()
+        };
+        let serving = clean.clone().with_faults(plan);
+        let sites = Catalog::closed_world_subset_with_tuning(n_sites, clean.tuning)
+            .sites()
+            .to_vec();
+        let requests = open_loop_arrivals(n_requests, n_sites, MEAN_GAP_UNITS, seed);
+        let mut svc = Service::new(serving, sites, primary, fallback, cfg_for(1, DEADLINES[0]))
+            .with_tiers(tiers);
+
+        bf_par::set_threads(Some(1));
+        let mut cells: Vec<Cell> = Vec::new();
+        let mid = (BATCHES.len() / 2, DEADLINES.len() / 2);
+        for (bi, &batch) in BATCHES.iter().enumerate() {
+            for (di, &deadline) in DEADLINES.iter().enumerate() {
+                svc.reconfigure(cfg_for(batch, deadline));
+                let assembled0 = bf_obs::counter("serve.batch.assembled").get();
+                let size0 = bf_obs::histogram("serve.batch.size").snapshot();
+                let label = format!("sweep_b{batch}_d{deadline}");
+                let resolved = m.phase(&label, || svc.run(&requests));
+                assert_eq!(resolved.len(), n_requests);
+                if (bi, di) == mid {
+                    // Rerun one representative cell: the sweep must be
+                    // bit-deterministic for a fixed seed.
+                    svc.reconfigure(cfg_for(batch, deadline));
+                    let again = m.phase(&format!("{label}_replay"), || svc.run(&requests));
+                    assert_eq!(
+                        resolved, again,
+                        "frontier outcomes must be bit-deterministic for a fixed seed"
+                    );
+                }
+                let mut cell = tally(batch, deadline, &resolved);
+                cell.batch_assembled =
+                    bf_obs::counter("serve.batch.assembled").get() - assembled0;
+                cell.mean_batch_size =
+                    bf_obs::histogram("serve.batch.size").snapshot().delta_since(&size0).mean();
+                cells.push(cell);
+            }
+        }
+        bf_par::set_threads(None);
+        svc.record_in_manifest(m);
+
+        println!("\nbatch   deadline   answered   accuracy   p99    mean batch");
+        for c in &cells {
+            println!(
+                "{:>5} {:>10} {:>10} {:>10.4} {:>6} {:>11.2}",
+                c.batch,
+                c.deadline,
+                c.answered,
+                c.accuracy(n_requests as u64),
+                c.p99_units,
+                c.mean_batch_size
+            );
+        }
+
+        // Gate (skipped at smoke scale, where cells hold too few
+        // requests to be statistical): at every deadline, growing the
+        // batch capacity must not cost answered requests.
+        if scale.to_string() != "smoke" {
+            for &deadline in &DEADLINES {
+                let curve: Vec<f64> = cells
+                    .iter()
+                    .filter(|c| c.deadline == deadline)
+                    .map(|c| c.answered_fraction(n_requests as u64))
+                    .collect();
+                for w in curve.windows(2) {
+                    assert!(
+                        w[1] >= w[0] - MONOTONE_SLACK,
+                        "answered fraction must not regress as the batch grows \
+                         (deadline {deadline}): {curve:?}"
+                    );
+                }
+            }
+        }
+
+        let json = Json::object([
+            (
+                "note",
+                Json::Str(
+                    "micro-batch deadline frontier: answered fraction and accuracy vs \
+                     ServeConfig::batch at four per-request deadlines, single worker, \
+                     wave_cap pinned so every cell is a pure function of the seed. The \
+                     batched forward pass is bit-identical per request; only the \
+                     documented ceil(inference/batch) cost share moves outcomes. \
+                     Deadlines/latencies are virtual work units, not wall time."
+                        .into(),
+                ),
+            ),
+            ("scale", Json::Str(scale.to_string())),
+            ("seed", Json::UInt(seed)),
+            ("requests", Json::UInt(n_requests as u64)),
+            ("mean_gap_units", Json::Float(MEAN_GAP_UNITS)),
+            ("deterministic", Json::Bool(true)),
+            (
+                "cells",
+                Json::Array(cells.iter().map(|c| c.to_json(n_requests as u64)).collect()),
+            ),
+        ]);
+        let out =
+            bf_bench::artifact_path("BF_BATCH_FRONTIER_OUT", "BENCH_serve_batch_frontier.json");
+        std::fs::write(&out, json.to_pretty_string())?;
+        println!("\nwrote {out}");
+        Ok(())
+    })
+}

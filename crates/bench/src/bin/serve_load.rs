@@ -14,6 +14,13 @@
 //! is run twice and asserted bit-identical — outcomes, tick accounting,
 //! and breaker history are pure functions of `(seed, thread count)`.
 //!
+//! The predict stage micro-batches up to `BF_SERVE_BATCH` completions
+//! per wave (default 8 from the environment), sharing each rung's
+//! stacked forward pass across the batch; per-run `batch_*` fields
+//! record how many batches assembled, why they flushed, and their mean
+//! size. At the full 1000-request stream the run asserts the 1-thread
+//! batched path answers >= 75% of requests with <= 25% timeouts.
+//!
 //! Writes `BENCH_serve_baseline.json` (override with
 //! `BF_SERVE_BASELINE_OUT`): virtual-time throughput, p50/p99 latency,
 //! shed rate, degraded fraction, and per-tier answer fractions (full /
@@ -72,6 +79,14 @@ struct RunStats {
     failed: u64,
     tier_counts: [u64; TIER_LABELS.len()],
     transitions: String,
+    /// Micro-batches assembled by the predict stage this run.
+    batch_assembled: u64,
+    /// Flush-reason breakdown: capacity, wave end, fault interruption.
+    batch_flushed_full: u64,
+    batch_flushed_deadline: u64,
+    batch_flushed_tier_mismatch: u64,
+    /// Mean members per assembled micro-batch (0 when batch is 1).
+    mean_batch_size: f64,
 }
 
 impl RunStats {
@@ -130,7 +145,48 @@ impl RunStats {
                 })),
             ),
             ("breaker_transitions", Json::Str(self.transitions.clone())),
+            // Micro-batch shape of the predict stage (Info metrics:
+            // deterministic per (seed, threads, batch), echoed so the
+            // frontier artifact can be cross-checked against this run).
+            ("batch_assembled", Json::UInt(self.batch_assembled)),
+            ("batch_flushed_full", Json::UInt(self.batch_flushed_full)),
+            ("batch_flushed_deadline", Json::UInt(self.batch_flushed_deadline)),
+            ("batch_flushed_tier_mismatch", Json::UInt(self.batch_flushed_tier_mismatch)),
+            ("mean_batch_size", Json::Float(self.mean_batch_size)),
         ])
+    }
+}
+
+/// Counter/histogram state of the `serve.batch.*` metrics, captured
+/// before a pass so the pass's deltas can be attributed to it.
+struct BatchMetricsMark {
+    assembled: u64,
+    full: u64,
+    deadline: u64,
+    tier_mismatch: u64,
+    size: bf_obs::HistogramSnapshot,
+}
+
+impl BatchMetricsMark {
+    fn take() -> Self {
+        BatchMetricsMark {
+            assembled: bf_obs::counter("serve.batch.assembled").get(),
+            full: bf_obs::counter("serve.batch.flushed.full").get(),
+            deadline: bf_obs::counter("serve.batch.flushed.deadline").get(),
+            tier_mismatch: bf_obs::counter("serve.batch.flushed.tier_mismatch").get(),
+            size: bf_obs::histogram("serve.batch.size").snapshot(),
+        }
+    }
+
+    fn apply_delta(&self, stats: &mut RunStats) {
+        stats.batch_assembled = bf_obs::counter("serve.batch.assembled").get() - self.assembled;
+        stats.batch_flushed_full = bf_obs::counter("serve.batch.flushed.full").get() - self.full;
+        stats.batch_flushed_deadline =
+            bf_obs::counter("serve.batch.flushed.deadline").get() - self.deadline;
+        stats.batch_flushed_tier_mismatch =
+            bf_obs::counter("serve.batch.flushed.tier_mismatch").get() - self.tier_mismatch;
+        stats.mean_batch_size =
+            bf_obs::histogram("serve.batch.size").snapshot().delta_since(&self.size).mean();
     }
 }
 
@@ -167,6 +223,11 @@ fn stats_for(threads: usize, wall_seconds: f64, resolved: &[Resolved], svc: &Ser
         failed: count(|o| matches!(o, Outcome::Failed { .. })),
         tier_counts,
         transitions: svc.breaker().transitions_summary(),
+        batch_assembled: 0,
+        batch_flushed_full: 0,
+        batch_flushed_deadline: 0,
+        batch_flushed_tier_mismatch: 0,
+        mean_batch_size: 0.0,
     }
 }
 
@@ -233,6 +294,8 @@ fn main() -> ExitCode {
         };
         m.config("serve.fault_plan", plan.summary());
         let serve_cfg = ServeConfig { slow_storm: Some((5, 40)), ..ServeConfig::from_env() };
+        let batch = serve_cfg.batch;
+        m.config("serve.batch", batch);
         let serving = clean.clone().with_faults(plan);
         let sites = Catalog::closed_world_subset_with_tuning(n_sites, clean.tuning)
             .sites()
@@ -246,6 +309,7 @@ fn main() -> ExitCode {
             let mut replay = None;
             for pass in 0..2 {
                 svc.reset();
+                let mark = BatchMetricsMark::take();
                 let t = Instant::now();
                 let resolved =
                     m.phase(&format!("serve_t{threads}_pass{pass}"), || svc.run(&requests));
@@ -288,7 +352,9 @@ fn main() -> ExitCode {
                                 health.failed
                             ),
                         );
-                        runs.push(stats_for(threads, wall, &resolved, &svc));
+                        let mut stats = stats_for(threads, wall, &resolved, &svc);
+                        mark.apply_delta(&mut stats);
+                        runs.push(stats);
                         replay = Some(resolved);
                     }
                     Some(first) => {
@@ -303,6 +369,28 @@ fn main() -> ExitCode {
         }
         bf_par::set_threads(None);
         svc.record_in_manifest(m);
+
+        // Availability floor for the micro-batched fast path at the
+        // full default stream: a single worker sharing rung charges
+        // across BF_SERVE_BATCH-sized waves must answer at least 75% of
+        // requests and leave at most 25% in timeout (the pre-batching
+        // baseline sat at 600 answered / 384 timed out of 1000).
+        // Short CI smoke streams and explicit batch=1 runs are exempt.
+        if n_requests >= 1000 && batch >= 8 {
+            let t1 = runs.iter().find(|r| r.threads == 1).expect("1-thread run recorded");
+            assert!(
+                t1.answered() * 4 >= 3 * n_requests as u64,
+                "1-thread batched serving must answer >= 75% of the stream, got {}/{}",
+                t1.answered(),
+                n_requests
+            );
+            assert!(
+                t1.timeouts * 4 <= n_requests as u64,
+                "1-thread batched serving must time out <= 25% of the stream, got {}/{}",
+                t1.timeouts,
+                n_requests
+            );
+        }
 
         println!(
             "\nthreads   throughput/kunit   p50      p99      shed%    degraded%   breaker"
@@ -328,6 +416,16 @@ fn main() -> ExitCode {
                 .map(|(label, n)| format!("{label}={n}"))
                 .collect();
             println!("t{} answer tiers: {}", r.threads, tiers.join(" "));
+            println!(
+                "t{} batches: assembled={} mean_size={:.2} flushed full={} deadline={} \
+                 tier_mismatch={}",
+                r.threads,
+                r.batch_assembled,
+                r.mean_batch_size,
+                r.batch_flushed_full,
+                r.batch_flushed_deadline,
+                r.batch_flushed_tier_mismatch
+            );
         }
 
         let json = Json::object([
@@ -346,6 +444,7 @@ fn main() -> ExitCode {
             ("seed", Json::UInt(seed)),
             ("requests", Json::UInt(n_requests as u64)),
             ("mean_gap_units", Json::Float(MEAN_GAP_UNITS)),
+            ("batch", Json::UInt(batch as u64)),
             ("deterministic", Json::Bool(true)),
             ("runs", Json::Array(runs.iter().map(RunStats::to_json).collect())),
         ]);

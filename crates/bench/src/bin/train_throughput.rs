@@ -124,6 +124,21 @@ fn main() -> ExitCode {
                         cold_steps_per_sec, vs_baseline,
                     );
                     bf_obs::gauge("train.steps_per_sec").set(steps_per_sec);
+                    // The small smoke shape must never lose to the
+                    // pre-workspace baseline at *any* pool size: its
+                    // per-sample work sits under BF_PAR_MIN_UNITS, so
+                    // the kernels run inline and the multi-thread row
+                    // matches the 1-thread row instead of paying
+                    // dispatch overhead for sub-threshold slices (the
+                    // 2-thread row regressed to 0.58x before the
+                    // minimum-work gate existed).
+                    if shape.name == "smoke" {
+                        assert!(
+                            vs_baseline >= 1.0,
+                            "smoke shape at {threads} thread(s) fell below the \
+                             allocate-every-step baseline: {vs_baseline:.2}x"
+                        );
+                    }
                     rows.push(Json::object([
                         ("shape", Json::Str(shape.name.into())),
                         ("threads", Json::UInt(threads as u64)),

@@ -211,6 +211,49 @@ fn trained_cnn_weights_bits_identical_across_thread_counts() {
 }
 
 #[test]
+fn batched_serve_waves_bits_identical_across_thread_counts() {
+    // The micro-batched serve path with a *pinned* wave capacity: wave
+    // assembly no longer depends on the worker count, so the entire run
+    // — batch grouping, shared rung charges, outcomes, tick accounting
+    // — must be bit-identical at BF_THREADS=1 and 4. (Without a pinned
+    // wave_cap the wave size tracks the thread count by design and only
+    // per-cell replay equality holds; see the serve_chaos matrix.)
+    use bf_serve::{open_loop_arrivals, ServeConfig, Service, TierConfig};
+    use bf_victim::Catalog;
+
+    let sites = Catalog::closed_world_subset(3).sites().to_vec();
+    let clean = smoke_cfg(FaultPlan::off());
+    let mut data = Dataset::new(3);
+    for (label, site) in sites.iter().enumerate() {
+        for rep in 0..2u64 {
+            let trace = clean.collect_trace(site, 4_000 + rep * 17 + label as u64);
+            data.push(clean.featurize(&trace), label);
+        }
+    }
+    let requests = open_loop_arrivals(24, 3, 50.0, 97);
+    let (seq, par) = at_thread_counts(|| {
+        let mut model = CentroidClassifier::new(3);
+        model.fit(&data, &Dataset::new(3));
+        let cfg = ServeConfig {
+            wave_cap: Some(4),
+            batch: 4,
+            tiers: TierConfig { ladder: true, confidence_threshold: 0.6, distilled_units: 15 },
+            ..ServeConfig::default()
+        };
+        let mut svc = Service::new(
+            smoke_cfg(FaultPlan::off()),
+            sites.clone(),
+            Box::new(model.clone()),
+            model,
+            cfg,
+        );
+        svc.run(&requests)
+    });
+    assert_eq!(seq.len(), 24);
+    assert_eq!(seq, par, "pinned-wave batched serving diverged across thread counts");
+}
+
+#[test]
 fn distilled_student_training_and_predictions_bits_identical_across_thread_counts() {
     // The anytime ladder's distilled tier: teacher soft labels, the
     // seeded soft-target training loop, and prefix-padded inference

@@ -296,6 +296,86 @@ fn admission_burst_sheds_exactly_the_overflow() {
 }
 
 #[test]
+fn batched_replay_matrix_is_bit_identical_at_every_batch_and_thread_count() {
+    let _guard = SERIAL.lock().unwrap_or_else(|p| p.into_inner());
+    // The full knob matrix the CI serve legs sweep: BF_SERVE_BATCH in
+    // {1, 4, 16} crossed with BF_THREADS in {1, 4}, under an active
+    // fault storm. Every cell must replay bit-identically — batching
+    // regroups the predict stage but never introduces ordering or
+    // cost nondeterminism — and every request still lands on exactly
+    // one terminal outcome.
+    let plan = FaultPlan {
+        seed: 77,
+        slow_model: 0.05,
+        worker_panic: 0.05,
+        ..FaultPlan::default_plan()
+    };
+    let requests = open_loop_arrivals(40, N_SITES, 30.0, 4242);
+    for &batch in &[1usize, 4, 16] {
+        for &threads in &[1usize, 4] {
+            bf_par::set_threads(Some(threads));
+            let run = || {
+                let cfg = ServeConfig { batch, ..ServeConfig::default() };
+                let mut svc = service(plan.clone(), cfg);
+                let resolved = svc.run(&requests);
+                assert_all_resolved(&resolved, &svc, 40);
+                resolved
+            };
+            let (first, second) = (run(), run());
+            bf_par::set_threads(None);
+            assert_eq!(
+                first, second,
+                "batch={batch} threads={threads} must replay bit-identically"
+            );
+        }
+    }
+}
+
+#[test]
+fn mid_batch_deadline_and_faults_account_each_request_exactly_once() {
+    let _guard = SERIAL.lock().unwrap_or_else(|p| p.into_inner());
+    // A tight deadline stops the shared ladder climb mid-batch (the
+    // budget admits the 25% and 50% rungs, never the 75%), a slow storm
+    // inside the burst keeps two requests out of every micro-batch, and
+    // the second wave dispatches against an almost-spent deadline. No
+    // path may drop or double-resolve a request.
+    bf_par::set_threads(Some(1));
+    let cfg = ServeConfig {
+        batch: 8,
+        deadline_units: 100,
+        slow_storm: Some((3, 5)),
+        tiers: TierConfig { ladder: true, confidence_threshold: 2.0, distilled_units: 15 },
+        ..ServeConfig::default()
+    };
+    let requests = open_loop_arrivals(12, N_SITES, 0.0, 31);
+    let run = || {
+        let mut svc = service(FaultPlan::off(), cfg.clone());
+        let resolved = svc.run(&requests);
+        assert_all_resolved(&resolved, &svc, 12);
+        resolved
+    };
+    let (first, second) = (run(), run());
+    bf_par::set_threads(None);
+    assert_eq!(first, second, "mid-batch cutoffs must replay bit-identically");
+    for r in &first[3..5] {
+        assert_eq!(
+            r.outcome,
+            Outcome::Timeout { stage: Stage::Predict },
+            "slow-storm request {} blows its own budget, never the batch's",
+            r.id
+        );
+    }
+    let degraded = first
+        .iter()
+        .filter(|r| matches!(r.outcome, Outcome::Degraded { tier: Tier::EarlyExit(50), .. }))
+        .count();
+    assert!(
+        degraded >= 6,
+        "healthy batch members degrade to the 50% rung under the tight budget, got {degraded}"
+    );
+}
+
+#[test]
 fn queued_requests_expire_as_explicit_queue_timeouts() {
     let _guard = SERIAL.lock().unwrap_or_else(|p| p.into_inner());
     // Two workers, a burst of 8, and a deadline that exactly fits one

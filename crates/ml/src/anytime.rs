@@ -145,6 +145,35 @@ impl AnytimeLadder {
         (probs, confidence)
     }
 
+    /// Classify a micro-batch of requests at rung `idx` in one stacked
+    /// forward pass: every row is prefixed, the model sees them as a
+    /// single `predict_proba_prefix` call (one im2col/matmul per layer
+    /// for the whole group), and each row is calibrated independently.
+    /// Row `i` of the result is bit-identical to
+    /// [`AnytimeLadder::classify_at`] on `features[i]` alone — batching
+    /// changes where the flops run, never what they compute (pinned by
+    /// `tests/anytime_props.rs` and the serve replay matrix).
+    pub fn classify_at_batch(
+        &self,
+        model: &mut dyn Classifier,
+        features: &[&[f32]],
+        idx: usize,
+    ) -> Vec<(Vec<f32>, f32)> {
+        let prefixes: Vec<Vec<f32>> = features
+            .iter()
+            .map(|f| prefix_features(f, self.levels[idx]))
+            .collect(); // alloc-ok: per-batch staging (request rows)
+        let probs = model.predict_proba_prefix(&prefixes);
+        probs
+            .into_iter()
+            .map(|mut p| {
+                self.calibrations[idx].apply_in_place(&mut p);
+                let confidence = p.iter().copied().fold(0.0f32, f32::max);
+                (p, confidence)
+            })
+            .collect() // alloc-ok: per-batch result rows
+    }
+
     /// Walk the rungs shortest-first, exiting as soon as the calibrated
     /// confidence reaches `threshold` or `max_levels` rungs have been
     /// tried (the budget-capped case); the final rung's answer is

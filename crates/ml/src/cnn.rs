@@ -92,13 +92,13 @@ impl Classifier for CnnLstmClassifier {
         let mut net = CnnLstm::new(self.arch, self.train_cfg.seed);
         let mut rng = SeedRng::new(self.train_cfg.seed ^ 0x7A1);
         let n = train.len();
-        let mut order: Vec<usize> = (0..n).collect();
+        let mut order: Vec<usize> = (0..n).collect(); // alloc-ok: fit-time (offline)
         let mut best_acc = -1.0f64;
         let mut best_params: Option<Vec<Vec<f32>>> = None;
         let mut since_best = 0usize;
         let _span = bf_obs::span!("fit");
         let mut stop_reason = "max_epochs";
-        let mut labels: Vec<usize> = Vec::with_capacity(self.train_cfg.batch_size.max(1));
+        let mut labels: Vec<usize> = Vec::with_capacity(self.train_cfg.batch_size.max(1)); // alloc-ok: fit-time (offline)
         for epoch in 0..self.train_cfg.max_epochs {
             let epoch_start = std::time::Instant::now();
             rng.shuffle(&mut order);
@@ -161,19 +161,19 @@ impl Classifier for CnnLstmClassifier {
         let net = self.net.as_mut().expect("classifier not fitted");
         let len = self.arch.input_len;
         let k = self.arch.n_classes;
-        let mut out = Vec::with_capacity(traces.len());
+        let mut out = Vec::with_capacity(traces.len()); // alloc-ok: per-request result rows (trait API)
         // Bounded batches keep activation memory flat; batch and
-        // probability tensors are pooled workspace storage.
+        // probability tensors are pooled workspace storage, and every
+        // chunk runs the one stacked forward pass of
+        // [`CnnLstm::predict_proba_batch`] (full-length rows copy
+        // identically, so this is bit-equal to the per-trace loop).
         for chunk in traces.chunks(64) {
-            let mut x = bf_nn::workspace::tensor(&[chunk.len(), 1, len]);
-            for (bi, t) in chunk.iter().enumerate() {
+            for t in chunk {
                 assert_eq!(t.len(), len, "trace length mismatch");
-                x.data_mut()[bi * len..(bi + 1) * len].copy_from_slice(t);
             }
-            let p = net.predict_proba(&x);
-            bf_nn::workspace::recycle(x);
+            let p = net.predict_proba_batch(chunk);
             for i in 0..chunk.len() {
-                out.push(p.data()[i * k..(i + 1) * k].to_vec());
+                out.push(p.data()[i * k..(i + 1) * k].to_vec()); // alloc-ok: per-request result rows (trait API)
             }
             bf_nn::workspace::recycle(p);
         }
@@ -189,13 +189,11 @@ impl Classifier for CnnLstmClassifier {
     fn predict_proba_prefix(&mut self, traces: &[Vec<f32>]) -> Vec<Vec<f32>> {
         let net = self.net.as_mut().expect("classifier not fitted");
         let k = self.arch.n_classes;
-        let mut out = Vec::with_capacity(traces.len());
+        let mut out = Vec::with_capacity(traces.len()); // alloc-ok: per-request result rows (trait API)
         for chunk in traces.chunks(64) {
-            let x = net.prefix_batch(chunk);
-            let p = net.predict_proba(&x);
-            bf_nn::workspace::recycle(x);
+            let p = net.predict_proba_batch(chunk);
             for i in 0..chunk.len() {
-                out.push(p.data()[i * k..(i + 1) * k].to_vec());
+                out.push(p.data()[i * k..(i + 1) * k].to_vec()); // alloc-ok: per-request result rows (trait API)
             }
             bf_nn::workspace::recycle(p);
         }
@@ -212,7 +210,7 @@ impl Classifier for CnnLstmClassifier {
         traces: &[Vec<f32>],
         token: &bf_fault::CancelToken,
     ) -> Result<Vec<Vec<f32>>, bf_fault::DeadlineExceeded> {
-        let mut out = Vec::with_capacity(traces.len());
+        let mut out = Vec::with_capacity(traces.len()); // alloc-ok: per-request result rows (trait API)
         for chunk in traces.chunks(64) {
             token.check()?;
             out.extend(self.predict_proba(chunk));

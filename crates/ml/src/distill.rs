@@ -179,9 +179,7 @@ impl Classifier for DistilledClassifier {
         let k = self.arch.n_classes;
         let mut out = Vec::with_capacity(traces.len()); // alloc-ok: per-request output
         for chunk in traces.chunks(64) {
-            let x = net.prefix_batch(chunk);
-            let p = net.predict_proba(&x);
-            bf_nn::workspace::recycle(x);
+            let p = net.predict_proba_batch(chunk);
             for i in 0..chunk.len() {
                 out.push(p.data()[i * k..(i + 1) * k].to_vec()); // alloc-ok: per-request output
             }

@@ -107,6 +107,72 @@ fn accruing_dataset(per_class: usize, seed: u64) -> Dataset {
     d
 }
 
+/// Row `i` of `classify_at_batch` is bit-identical to `classify_at` on
+/// row `i` alone, at every rung and batch size, through the real
+/// CNN+LSTM — stacked forward passes and zero-padded prefixes never
+/// change what a request's flops compute. This is the contract the
+/// serving micro-batcher relies on.
+#[test]
+fn classify_at_batch_rows_match_classify_at() {
+    use bf_ml::{CnnLstmClassifier, TrainConfig};
+
+    // 300-sample traces: the shortest length the two-stage conv/pool
+    // stack accepts with margin (the 200-sample accruing set is too
+    // short for the second stage).
+    fn cnn_dataset(per_class: usize, seed: u64) -> Dataset {
+        let mut rng = SeedRng::new(seed);
+        let mut d = Dataset::new(3);
+        for c in 0..3usize {
+            for _ in 0..per_class {
+                let mut t = vec![0.0f32; 300];
+                for v in t.iter_mut() {
+                    *v = 0.2 * rng.standard_normal() as f32;
+                }
+                let dip = 40 + c * 80;
+                for v in &mut t[dip..dip + 30] {
+                    *v -= 2.5;
+                }
+                d.push(t, c);
+            }
+        }
+        d
+    }
+
+    let train = cnn_dataset(6, 103);
+    let mut arch = bf_nn::CnnLstmConfig::scaled(300, 3, 6);
+    arch.dropout = 0.2;
+    arch.learning_rate = 0.01;
+    let mut model = CnnLstmClassifier::new(
+        arch,
+        TrainConfig { max_epochs: 2, batch_size: 8, patience: 2, min_epochs: 0, seed: 9 },
+    );
+    model.fit(&train, &Dataset::new(3));
+    let ladder = AnytimeLadder::fit(&mut model, &cnn_dataset(3, 104));
+
+    let rows: Vec<&[f32]> = train.features().iter().take(7).map(Vec::as_slice).collect();
+    for idx in 0..bf_ml::PREFIX_PERCENTS.len() {
+        let singles: Vec<(Vec<u32>, u32)> = rows
+            .iter()
+            .map(|r| {
+                let (p, c) = ladder.classify_at(&mut model, r, idx);
+                (p.iter().map(|v| v.to_bits()).collect(), c.to_bits())
+            })
+            .collect();
+        for &b in &[1usize, 2, 7] {
+            let batched = ladder.classify_at_batch(&mut model, &rows[..b], idx);
+            assert_eq!(batched.len(), b);
+            for (i, (p, c)) in batched.iter().enumerate() {
+                let bits: Vec<u32> = p.iter().map(|v| v.to_bits()).collect();
+                assert_eq!(
+                    (&bits, c.to_bits()),
+                    (&singles[i].0, singles[i].1),
+                    "rung {idx} row {i} diverges at batch size {b}"
+                );
+            }
+        }
+    }
+}
+
 #[test]
 fn mean_confidence_is_nondecreasing_in_prefix_length_on_the_training_distribution() {
     let train = accruing_dataset(40, 101);

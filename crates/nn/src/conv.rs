@@ -246,11 +246,14 @@ impl Layer for Conv1d {
         let xdata = x.data();
         // Each sample owns a disjoint slab of `out`; the per-worker
         // scratch is the im2col column buffer (pooled on the inline
-        // path, so a steady-state step never allocates here).
-        bf_par::par_chunks_mut_scratch(
+        // path, so a steady-state step never allocates here). The
+        // per-sample MAC count doubles as the fork-join work estimate:
+        // small shapes stay inline instead of paying spawn cost.
+        bf_par::par_chunks_mut_scratch_units(
             out.data_mut(),
             self.out_channels * lo,
             1,
+            self.sample_flops(lo),
             || ScratchBuf::of_len(if use_im2col { lo * ck } else { 0 }),
             |i, chunk, col| {
                 let sample = &xdata[i * sample_len..(i + 1) * sample_len];
@@ -308,7 +311,7 @@ impl Layer for Conv1d {
         // channels, accumulating over `(i, p)` in index order (the same
         // per-element order as the sequential quadruple loop). On the
         // inline path one pooled partial buffer serves every channel.
-        if bf_par::plan(self.out_channels, 8) <= 1 {
+        if bf_par::plan_units(self.out_channels, 8, n * lo * ck) <= 1 {
             let mut wg = ScratchBuf::of_len(ck);
             for co in 0..self.out_channels {
                 wg.fill(0.0);
@@ -342,10 +345,11 @@ impl Layer for Conv1d {
         // the sequential loop did.
         let mut dx = workspace::tensor(&[n, cin, l]);
         let this = &*self;
-        bf_par::par_chunks_mut_scratch(
+        bf_par::par_chunks_mut_scratch_units(
             dx.data_mut(),
             sample_len,
             1,
+            self.sample_flops(lo),
             || (),
             |i, dxi, ()| this.backward_sample_dx(i, grad, l, lo, dxi),
         );

@@ -58,12 +58,14 @@ impl Layer for Dense {
         let xdata = x.data();
         // Sample rows are independent, so splitting the batch across
         // workers cannot change any output bit; the grain keeps small
-        // batches on one thread. Each row runs the same `m = 1` matmul
-        // the sequential path used, so accumulation order is unchanged.
-        bf_par::par_chunks_mut_scratch(
+        // batches on one thread and the per-row MAC estimate keeps tiny
+        // layers inline. Each row runs the same `m = 1` matmul the
+        // sequential path used, so accumulation order is unchanged.
+        bf_par::par_chunks_mut_scratch_units(
             out.data_mut(),
             self.out_features,
             64,
+            self.in_features * self.out_features,
             || (),
             |i, row, ()| {
                 let xi = &xdata[i * self.in_features..(i + 1) * self.in_features];
@@ -101,7 +103,7 @@ impl Layer for Dense {
         // order (the sequential loop's per-element order). The partial
         // buffer stays — even inline — so pre-existing gradient bits are
         // added exactly once, after the sample loop.
-        if bf_par::plan(out_f, 32) <= 1 {
+        if bf_par::plan_units(out_f, 32, n * in_f) <= 1 {
             let mut wg = ScratchBuf::of_len(in_f);
             for o in 0..out_f {
                 wg.fill(0.0);
@@ -143,10 +145,11 @@ impl Layer for Dense {
         // straight into the zeroed workspace tensor.
         let mut dx = workspace::tensor(&[n, in_f]);
         let weight = &self.weight.value;
-        bf_par::par_chunks_mut_scratch(
+        bf_par::par_chunks_mut_scratch_units(
             dx.data_mut(),
             in_f,
             64,
+            in_f * out_f,
             || (),
             |i, dxi, ()| {
                 for o in 0..out_f {

@@ -161,6 +161,12 @@ impl Lstm {
         self.hidden
     }
 
+    /// Per-sample multiply-add estimate (input + recurrent matmuls),
+    /// the fork-join work gate for both passes.
+    fn sample_flops(&self, steps: usize) -> usize {
+        steps * 4 * self.hidden * (self.input_size + self.hidden)
+    }
+
     /// Run one sample `(feat, steps)` through the recurrence, leaving
     /// the per-step values in `cache` and the final hidden state in
     /// `out`. `zx` must hold `steps * 4H` elements, `z` `4H`, and
@@ -314,7 +320,7 @@ impl Layer for Lstm {
             }
             return out;
         }
-        if bf_par::plan(n, 1) <= 1 {
+        if bf_par::plan_units(n, 1, self.sample_flops(steps)) <= 1 {
             // Inline arm: persistent caches reset in place, all scratch
             // pooled — no allocation once warm.
             if train {
@@ -387,7 +393,7 @@ impl Layer for Lstm {
         // Taken out of `self` (and restored below) so the gradient merge
         // can borrow `self` mutably while the caches stay readable.
         let caches = std::mem::take(&mut self.caches);
-        if bf_par::plan(n, 1) <= 1 {
+        if bf_par::plan_units(n, 1, self.sample_flops(steps)) <= 1 {
             // Inline arm: one pooled set of per-sample partial buffers,
             // refilled per sample and merged in sample order — the same
             // reduction order as the parallel arm.

@@ -283,6 +283,30 @@ impl CnnLstm {
         p
     }
 
+    /// Class probabilities for a batch of trace *prefixes*, stacked into
+    /// one forward pass: the rows are zero-padded into a single pooled
+    /// `(B, 1, input_len)` tensor ([`CnnLstm::prefix_batch`]) and every
+    /// layer runs exactly once over the whole batch — one im2col/matmul
+    /// invocation per conv stage instead of one per row. Because each
+    /// sample owns a disjoint output slab in every kernel and per-sample
+    /// accumulation order is fixed, row `i` of the result is
+    /// bit-identical to running [`CnnLstm::predict_proba`] on row `i`
+    /// alone at any batch size (pinned by `tests/batch_equality.rs`).
+    ///
+    /// All intermediate storage is pooled, so a warm call performs no
+    /// heap allocation; the returned `(B, classes)` tensor is pooled
+    /// too — hot-path callers recycle it when done.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a row is longer than `input_len`.
+    pub fn predict_proba_batch(&mut self, rows: &[Vec<f32>]) -> Tensor {
+        let x = self.prefix_batch(rows);
+        let p = self.predict_proba(&x);
+        workspace::recycle(x);
+        p
+    }
+
     /// Argmax predictions for a batch.
     pub fn predict(&mut self, x: &Tensor) -> Vec<usize> {
         let p = self.predict_proba(x);

@@ -16,6 +16,11 @@ use bf_nn::{CnnLstm, CnnLstmConfig, Tensor};
 use bf_stats::SeedRng;
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// The counters and `TRACKING` flag are process-global; the tests below
+/// must not observe each other's windows.
+static SERIAL: Mutex<()> = Mutex::new(());
 
 /// Pass-through allocator that counts calls while `TRACKING` is set.
 struct CountingAlloc;
@@ -51,8 +56,27 @@ unsafe impl GlobalAlloc for CountingAlloc {
 #[global_allocator]
 static GLOBAL: CountingAlloc = CountingAlloc;
 
+/// Run `f` with counting enabled and return `(allocs, deallocs, reallocs)`.
+fn counted<R>(f: impl FnOnce() -> R) -> (R, (usize, usize, usize)) {
+    ALLOCS.store(0, Ordering::SeqCst);
+    DEALLOCS.store(0, Ordering::SeqCst);
+    REALLOCS.store(0, Ordering::SeqCst);
+    TRACKING.store(true, Ordering::SeqCst);
+    let out = f();
+    TRACKING.store(false, Ordering::SeqCst);
+    (
+        out,
+        (
+            ALLOCS.load(Ordering::SeqCst),
+            DEALLOCS.load(Ordering::SeqCst),
+            REALLOCS.load(Ordering::SeqCst),
+        ),
+    )
+}
+
 #[test]
 fn steady_state_training_step_does_not_allocate() {
+    let _guard = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
     // Inline path only: the budget planner must see a single worker.
     bf_par::set_threads(Some(1));
 
@@ -74,19 +98,55 @@ fn steady_state_training_step_does_not_allocate() {
         net.train_batch(&x, &labels);
     }
 
-    TRACKING.store(true, Ordering::SeqCst);
-    let loss = net.train_batch(&x, &labels);
-    TRACKING.store(false, Ordering::SeqCst);
+    let (loss, (allocs, deallocs, reallocs)) = counted(|| net.train_batch(&x, &labels));
     bf_par::set_threads(None);
 
-    let allocs = ALLOCS.load(Ordering::SeqCst);
-    let deallocs = DEALLOCS.load(Ordering::SeqCst);
-    let reallocs = REALLOCS.load(Ordering::SeqCst);
     assert!(loss.is_finite(), "training step produced non-finite loss");
     assert_eq!(
         (allocs, deallocs, reallocs),
         (0, 0, 0),
         "steady-state train_batch touched the heap: \
+         {allocs} allocs, {deallocs} deallocs, {reallocs} reallocs"
+    );
+}
+
+#[test]
+fn steady_state_batched_predict_does_not_allocate() {
+    let _guard = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    bf_par::set_threads(Some(1));
+
+    // Same smoke shape as the training case; a full serving micro-batch
+    // of 8 rows, including zero-padded prefixes (the anytime rungs).
+    let mut cfg = CnnLstmConfig::scaled(300, 4, 16);
+    cfg.dropout = 0.3;
+    cfg.learning_rate = 0.01;
+    let mut net = CnnLstm::new(cfg, 42);
+
+    let mut rng = SeedRng::new(11);
+    let rows: Vec<Vec<f32>> = (0..8)
+        .map(|i| {
+            let len = if i % 2 == 0 { 300 } else { 75 + i * 20 };
+            (0..len).map(|_| rng.standard_normal() as f32).collect()
+        })
+        .collect();
+
+    // Warm-up settles the arena's batch, activation, and probability
+    // tensors at this batch geometry.
+    for _ in 0..5 {
+        let p = net.predict_proba_batch(&rows);
+        bf_nn::workspace::recycle(p);
+    }
+
+    let (p, (allocs, deallocs, reallocs)) = counted(|| net.predict_proba_batch(&rows));
+    bf_par::set_threads(None);
+
+    assert_eq!(p.shape(), &[8, 4]);
+    assert!(p.data().iter().all(|v| v.is_finite()));
+    bf_nn::workspace::recycle(p);
+    assert_eq!(
+        (allocs, deallocs, reallocs),
+        (0, 0, 0),
+        "steady-state predict_proba_batch touched the heap: \
          {allocs} allocs, {deallocs} deallocs, {reallocs} reallocs"
     );
 }

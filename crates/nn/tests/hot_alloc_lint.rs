@@ -36,6 +36,10 @@ const HOT_MODULES: &[(&str, &str)] = &[
     ("ml/anytime.rs", include_str!("../../ml/src/anytime.rs")),
     ("ml/calibrate.rs", include_str!("../../ml/src/calibrate.rs")),
     ("ml/distill.rs", include_str!("../../ml/src/distill.rs")),
+    // The batched inference fast path: the primary classifier's predict
+    // plumbing and the serving scheduler that assembles micro-batches.
+    ("ml/cnn.rs", include_str!("../../ml/src/cnn.rs")),
+    ("serve/service.rs", include_str!("../../serve/src/service.rs")),
 ];
 
 const ALLOC_PATTERNS: &[&str] = &["vec!", "Vec::with_capacity", ".to_vec(", ".collect("];

@@ -40,6 +40,19 @@
 //! maps make so callers can pick between an inline and a parallel code
 //! path (e.g. a zero-allocation sequential kernel vs a buffered
 //! fan-out) without second-guessing the pool.
+//!
+//! ## Minimum-work threshold
+//!
+//! Fork-join has a fixed price (scoped thread spawn + join) that tiny
+//! work items cannot amortize: the 2-thread smoke-shape training
+//! regression in `BENCH_train_throughput.json` came entirely from
+//! forking kernels whose per-item work was a few thousand multiply-adds.
+//! Callers that can estimate their per-item cost pass it to
+//! [`plan_units`] / [`par_chunks_mut_scratch_units`]; items below
+//! [`min_units`] (the `BF_PAR_MIN_UNITS` knob, default
+//! [`DEFAULT_MIN_UNITS`]) run inline, so fork-join is never a
+//! pessimization. Like the grain and the budget, the threshold only
+//! changes *where* items run — never their results or order.
 
 use std::cell::Cell;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -59,6 +72,17 @@ static OVERRIDE: AtomicUsize = AtomicUsize::new(0);
 static ENV_THREADS: AtomicUsize = AtomicUsize::new(ENV_UNINIT);
 const ENV_UNINIT: usize = usize::MAX;
 
+/// Cached resolution of `BF_PAR_MIN_UNITS` (same memoization rationale
+/// as [`ENV_THREADS`]: the hot path must never call `env::var`).
+static ENV_MIN_UNITS: AtomicUsize = AtomicUsize::new(ENV_UNINIT);
+
+/// Default per-item work threshold for the units-aware entry points, in
+/// caller-estimated work units (the NN kernels pass multiply-add
+/// counts). Chosen so the CI smoke shape's kernels (≈6–13k MACs per
+/// sample) stay inline while the default experiment shape (≈40–200k)
+/// still fans out.
+pub const DEFAULT_MIN_UNITS: usize = 16 * 1024;
+
 thread_local! {
     /// Remaining parallelism budget for maps issued from this thread;
     /// 0 = unset (the thread owns the full pool).
@@ -73,12 +97,13 @@ pub fn set_threads(n: Option<usize>) {
     OVERRIDE.store(n.unwrap_or(0), Ordering::SeqCst);
 }
 
-/// Drop the memoized `BF_THREADS` resolution so the next [`threads`]
-/// call re-reads the environment. Only needed by tests that mutate
-/// `BF_THREADS` at runtime; processes configured at launch never call
-/// this.
+/// Drop the memoized `BF_THREADS` / `BF_PAR_MIN_UNITS` resolutions so
+/// the next [`threads`] / [`min_units`] call re-reads the environment.
+/// Only needed by tests that mutate those variables at runtime;
+/// processes configured at launch never call this.
 pub fn reload_env() {
     ENV_THREADS.store(ENV_UNINIT, Ordering::SeqCst);
+    ENV_MIN_UNITS.store(ENV_UNINIT, Ordering::SeqCst);
 }
 
 fn env_threads() -> usize {
@@ -146,6 +171,80 @@ pub fn plan(n_items: usize, min_per_worker: usize) -> usize {
         .min(n_items / min_per_worker.max(1))
         .min(n_items)
         .max(1)
+}
+
+/// The minimum per-item work (in caller-estimated units) below which
+/// the units-aware entry points run inline: `BF_PAR_MIN_UNITS` when
+/// set and parseable, else [`DEFAULT_MIN_UNITS`]. `0` disables the
+/// threshold entirely (every eligible workload forks); a malformed
+/// value is reported once and falls back to the default.
+pub fn min_units() -> usize {
+    let cached = ENV_MIN_UNITS.load(Ordering::Relaxed);
+    if cached != ENV_UNINIT {
+        return cached;
+    }
+    let resolved = std::env::var("BF_PAR_MIN_UNITS")
+        .ok()
+        .and_then(|s| {
+            let trimmed = s.trim();
+            match trimmed.parse::<usize>() {
+                Ok(n) if n != ENV_UNINIT => Some(n),
+                _ => {
+                    bf_obs::env::warn_invalid(
+                        "BF_PAR_MIN_UNITS",
+                        trimmed,
+                        "a per-item work threshold (0 disables it)",
+                    );
+                    None
+                }
+            }
+        })
+        .unwrap_or(DEFAULT_MIN_UNITS);
+    ENV_MIN_UNITS.store(resolved, Ordering::Relaxed);
+    resolved
+}
+
+/// [`plan`] with a per-item work estimate: items cheaper than
+/// [`min_units`] always plan inline (1 worker), because the fixed
+/// fork-join cost would dwarf the work itself. Callers use
+/// `plan_units(n, g, u) <= 1` exactly like `plan(n, g) <= 1` to pick
+/// between inline and parallel arms.
+pub fn plan_units(n_items: usize, min_per_worker: usize, units_per_item: usize) -> usize {
+    if units_per_item < min_units() {
+        return 1;
+    }
+    plan(n_items, min_per_worker)
+}
+
+/// [`par_chunks_mut_scratch`] with a per-chunk work estimate: chunks
+/// cheaper than [`min_units`] run on a plain inline loop with a single
+/// scratch (no threads spawned), regardless of the pool size.
+///
+/// # Panics
+///
+/// Panics if `chunk_len == 0`; propagates panics from `f`.
+pub fn par_chunks_mut_scratch_units<T, S, M, F>(
+    data: &mut [T],
+    chunk_len: usize,
+    min_per_worker: usize,
+    units_per_chunk: usize,
+    mk_scratch: M,
+    f: F,
+) where
+    T: Send,
+    S: Send,
+    M: Fn() -> S + Sync,
+    F: Fn(usize, &mut [T], &mut S) + Sync,
+{
+    assert!(chunk_len > 0, "chunk_len must be positive");
+    if units_per_chunk < min_units() {
+        let mut scratch = mk_scratch();
+        for (i, chunk) in data.chunks_mut(chunk_len).enumerate() {
+            f(i, chunk, &mut scratch);
+        }
+        return;
+    }
+    par_chunks_mut_scratch(data, chunk_len, min_per_worker, mk_scratch, f)
 }
 
 /// Map `f` over `items` on up to [`available`] workers, returning
@@ -608,6 +707,85 @@ mod tests {
         with_threads(1, || {
             assert_eq!(plan(1000, 1), 1);
         });
+    }
+
+    fn with_min_units<R>(v: &str, f: impl FnOnce() -> R) -> R {
+        std::env::set_var("BF_PAR_MIN_UNITS", v);
+        reload_env();
+        let r = f();
+        std::env::remove_var("BF_PAR_MIN_UNITS");
+        bf_obs::env::reset_warnings();
+        reload_env();
+        r
+    }
+
+    #[test]
+    fn min_units_defaults_and_reads_env() {
+        let _lock = SERIAL.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        std::env::remove_var("BF_PAR_MIN_UNITS");
+        reload_env();
+        assert_eq!(min_units(), DEFAULT_MIN_UNITS);
+        with_min_units("512", || assert_eq!(min_units(), 512));
+        with_min_units("0", || assert_eq!(min_units(), 0));
+        // Malformed values fall back to the default (and warn once).
+        with_min_units("lots", || assert_eq!(min_units(), DEFAULT_MIN_UNITS));
+    }
+
+    #[test]
+    fn plan_units_keeps_cheap_items_inline() {
+        let _lock = SERIAL.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        with_threads(4, || {
+            with_min_units("1000", || {
+                assert_eq!(plan_units(16, 1, 999), 1, "below the threshold: inline");
+                assert_eq!(plan_units(16, 1, 1000), 4, "at the threshold: the plain plan");
+                assert_eq!(plan_units(16, 8, 5000), 2, "grain still applies above it");
+            });
+            with_min_units("0", || {
+                assert_eq!(plan_units(16, 1, 1), 4, "0 disables the threshold");
+            });
+        });
+    }
+
+    #[test]
+    fn chunks_units_variant_stays_inline_below_threshold() {
+        let _lock = SERIAL.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        let main_id = std::thread::current().id();
+        with_threads(8, || {
+            with_min_units("1000", || {
+                let mut cheap = vec![std::thread::current().id(); 32];
+                par_chunks_mut_scratch_units(&mut cheap, 4, 1, 999, || (), |_, chunk, ()| {
+                    chunk.fill(std::thread::current().id());
+                });
+                assert!(cheap.iter().all(|&id| id == main_id), "cheap chunks run inline");
+                let mut costly = vec![std::thread::current().id(); 32];
+                par_chunks_mut_scratch_units(&mut costly, 4, 1, 1000, || (), |_, chunk, ()| {
+                    chunk.fill(std::thread::current().id());
+                });
+                assert!(
+                    costly.iter().any(|&id| id != main_id),
+                    "chunks at the threshold fan out"
+                );
+            });
+        });
+    }
+
+    #[test]
+    fn units_variants_are_bit_identical_to_the_parallel_path() {
+        let _lock = SERIAL.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        let fill = |min_units: &str| {
+            with_threads(4, || {
+                with_min_units(min_units, || {
+                    let mut data = vec![0f32; 64];
+                    par_chunks_mut_scratch_units(&mut data, 8, 1, 100, || (), |i, chunk, ()| {
+                        for (j, v) in chunk.iter_mut().enumerate() {
+                            *v = ((i * 8 + j) as f32 * 0.37).sin();
+                        }
+                    });
+                    data.iter().map(|v| v.to_bits()).collect::<Vec<u32>>()
+                })
+            })
+        };
+        assert_eq!(fill("1000000"), fill("0"), "the threshold never changes results");
     }
 
     #[test]

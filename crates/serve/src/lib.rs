@@ -276,6 +276,16 @@ pub struct ServeConfig {
     /// Anytime-ladder tuning (off by default; [`ServeConfig::from_env`]
     /// enables it).
     pub tiers: TierConfig,
+    /// Micro-batch capacity for the predict stage: up to this many
+    /// same-wave requests share one stacked forward pass, each charged
+    /// its `ceil(inference / batch_size)` share of the model cost (the
+    /// collection share of a rung climb is per-request and never
+    /// divided). `1` (the default) reproduces the per-request predict
+    /// path bit-identically; [`ServeConfig::from_env`] defaults to 8.
+    /// Fault-flagged requests (injected slow model, slow storm, injected
+    /// panic) are never batched — they take the individual path so a
+    /// fault stays contained to its own request.
+    pub batch: usize,
 }
 
 impl Default for ServeConfig {
@@ -292,6 +302,7 @@ impl Default for ServeConfig {
             slow_storm: None,
             wave_cap: None,
             tiers: TierConfig::default(),
+            batch: 1,
         }
     }
 }
@@ -302,9 +313,11 @@ impl ServeConfig {
     /// (per-request budget), `BF_SERVE_BREAKER_OPEN` (consecutive
     /// primary failures before opening), `BF_SERVE_BREAKER_COOLDOWN`
     /// (open-state units before probing), `BF_SERVE_BREAKER_PROBES`
-    /// (half-open successes before closing), and `BF_SERVE_WAVE_CAP`
+    /// (half-open successes before closing), `BF_SERVE_WAVE_CAP`
     /// (logical jobs per scheduler wave; 0 or unset follows the
-    /// physical `BF_THREADS` pool). The anytime ladder is **on** by
+    /// physical `BF_THREADS` pool), and `BF_SERVE_BATCH` (predict-stage
+    /// micro-batch capacity, **8** by default here versus 1 in the plain
+    /// [`Default`]). The anytime ladder is **on** by
     /// default here and tuned by `BF_SERVE_TIER_LADDER` (0 disables),
     /// `BF_SERVE_TIER_CONF` (early-exit confidence threshold in
     /// percent), and `BF_SERVE_TIER_DISTILLED_UNITS` (distilled-tier
@@ -334,6 +347,12 @@ impl ServeConfig {
                 )
                 .max(1),
             },
+            batch: bf_obs::env::parse_or(
+                "BF_SERVE_BATCH",
+                8usize,
+                "a predict-stage micro-batch capacity",
+            )
+            .max(1),
             wave_cap: match bf_obs::env::parse_or(
                 "BF_SERVE_WAVE_CAP",
                 0usize,
@@ -447,6 +466,7 @@ mod tests {
         std::env::set_var("BF_SERVE_TIER_LADDER", "0");
         std::env::set_var("BF_SERVE_TIER_CONF", "70");
         std::env::set_var("BF_SERVE_TIER_DISTILLED_UNITS", "9");
+        std::env::set_var("BF_SERVE_BATCH", "4");
         let cfg = ServeConfig::from_env();
         std::env::remove_var("BF_SERVE_QUEUE");
         std::env::remove_var("BF_SERVE_DEADLINE");
@@ -456,7 +476,9 @@ mod tests {
         std::env::remove_var("BF_SERVE_TIER_LADDER");
         std::env::remove_var("BF_SERVE_TIER_CONF");
         std::env::remove_var("BF_SERVE_TIER_DISTILLED_UNITS");
+        std::env::remove_var("BF_SERVE_BATCH");
         bf_obs::env::reset_warnings();
+        assert_eq!(cfg.batch, 4);
         assert_eq!(cfg.queue_cap, 8);
         assert_eq!(cfg.deadline_units, 500);
         let d = ServeConfig::default();
@@ -472,7 +494,12 @@ mod tests {
     #[test]
     fn env_config_defaults_enable_the_ladder() {
         let _guard = SERIAL.lock().unwrap_or_else(|p| p.into_inner());
-        for k in ["BF_SERVE_TIER_LADDER", "BF_SERVE_TIER_CONF", "BF_SERVE_TIER_DISTILLED_UNITS"] {
+        for k in [
+            "BF_SERVE_TIER_LADDER",
+            "BF_SERVE_TIER_CONF",
+            "BF_SERVE_TIER_DISTILLED_UNITS",
+            "BF_SERVE_BATCH",
+        ] {
             std::env::remove_var(k);
         }
         let cfg = ServeConfig::from_env();
@@ -481,7 +508,9 @@ mod tests {
             (cfg.tiers.confidence_threshold - TierConfig::default().confidence_threshold).abs()
                 < 1e-9
         );
+        assert_eq!(cfg.batch, 8, "from_env turns micro-batching on by default");
         assert!(!ServeConfig::default().tiers.ladder, "plain default stays legacy");
+        assert_eq!(ServeConfig::default().batch, 1, "plain default stays per-request");
     }
 
     #[test]
@@ -489,11 +518,14 @@ mod tests {
         let _guard = SERIAL.lock().unwrap_or_else(|p| p.into_inner());
         std::env::set_var("BF_SERVE_QUEUE", "0");
         std::env::set_var("BF_SERVE_BREAKER_OPEN", "0");
+        std::env::set_var("BF_SERVE_BATCH", "0");
         let cfg = ServeConfig::from_env();
         std::env::remove_var("BF_SERVE_QUEUE");
         std::env::remove_var("BF_SERVE_BREAKER_OPEN");
+        std::env::remove_var("BF_SERVE_BATCH");
         assert_eq!(cfg.queue_cap, 1);
         assert_eq!(cfg.breaker.open_after, 1);
+        assert_eq!(cfg.batch, 1);
     }
 
     #[test]

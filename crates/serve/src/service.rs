@@ -4,8 +4,9 @@
 //!
 //! 1. **Admission** — arrivals at or before the current tick enter the
 //!    bounded queue; overflow is shed immediately.
-//! 2. **Dispatch** — up to [`bf_par::threads`] queued jobs form a wave;
-//!    jobs whose deadline already elapsed resolve as queue timeouts.
+//! 2. **Dispatch** — up to `wave_cap × batch` queued jobs form a wave
+//!    (`wave_cap` follows [`bf_par::threads`] unless pinned); jobs whose
+//!    deadline already elapsed resolve as queue timeouts.
 //! 3. **Collect** — the wave's trace collections run in parallel
 //!    ([`bf_par::par_map_indexed`]), each under a [`CancelToken`]
 //!    bounded by its remaining deadline budget; transient faults retry
@@ -13,11 +14,19 @@
 //! 4. **Predict** — applied *sequentially* in virtual-completion order
 //!    `(collect units, wave position)`, so circuit-breaker bookkeeping
 //!    (consecutive failures, cooldown expiry) is independent of OS
-//!    scheduling. The clock then advances by the wave's longest job.
+//!    scheduling. With `batch > 1`, consecutive healthy jobs in that
+//!    order are grouped into micro-batches of up to `batch` requests
+//!    that share one stacked forward pass per rung, each member charged
+//!    `ceil(inference / batch_size)` of the model cost; fault-flagged
+//!    jobs flush the pending group and take the per-request path. The
+//!    clock then advances by the wave's longest job.
 //!
 //! Parallelism changes wall time only: for a fixed `(stream, config,
-//! BF_THREADS)` the outcomes, tick accounting, and breaker transitions
-//! are bit-identical from run to run.
+//! BF_THREADS)` — the batch capacity included — the outcomes, tick
+//! accounting, and breaker transitions are bit-identical from run to
+//! run. `batch = 1` reproduces the pre-batching per-request schedule
+//! exactly; batch sizes only differ through the documented shared-cost
+//! rule (and the breaker bookkeeping order that cheaper climbs imply).
 
 use crate::breaker::{BreakerState, CircuitBreaker};
 use crate::{Outcome, Resolved, ServeConfig, ServeRequest, Stage, Tier};
@@ -127,6 +136,37 @@ struct CollectOut {
     collect_units: u64,
     token: CancelToken,
     res: Collected,
+}
+
+/// Why a pending micro-batch was handed to the predict stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FlushReason {
+    /// The batch reached `ServeConfig::batch` capacity.
+    Full,
+    /// A fault-flagged or failed-collect job interrupted the run of
+    /// batchable completions; the batch flushes so the interrupting job
+    /// keeps its per-request path *in completion order*.
+    TierMismatch,
+    /// The wave ended with a partial batch pending.
+    Deadline,
+}
+
+impl FlushReason {
+    fn label(self) -> &'static str {
+        match self {
+            FlushReason::Full => "full",
+            FlushReason::TierMismatch => "tier_mismatch",
+            FlushReason::Deadline => "deadline",
+        }
+    }
+
+    fn counter(self) -> &'static str {
+        match self {
+            FlushReason::Full => "serve.batch.flushed.full",
+            FlushReason::TierMismatch => "serve.batch.flushed.tier_mismatch",
+            FlushReason::Deadline => "serve.batch.flushed.deadline",
+        }
+    }
 }
 
 fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
@@ -353,11 +393,15 @@ impl Service {
         bf_obs::counter("serve.submitted").add(n as u64);
         let _span = bf_obs::span!("serve.run");
 
-        let mut order: Vec<usize> = (0..n).collect();
+        let mut order: Vec<usize> = (0..n).collect(); // alloc-ok: per-run staging
         order.sort_by_key(|&i| (requests[i].arrival, requests[i].id, i));
-        let mut resolved: Vec<Option<Resolved>> = (0..n).map(|_| None).collect();
+        let mut resolved: Vec<Option<Resolved>> = (0..n).map(|_| None).collect(); // alloc-ok: per-run staging
         let mut queue: VecDeque<usize> = VecDeque::new();
-        let wave_cap = self.cfg.wave_cap.unwrap_or_else(bf_par::threads).max(1);
+        // A wave carries one micro-batch worth of jobs per logical
+        // worker: the collect stage fans out across the pool, the
+        // predict stage regroups completions into batches.
+        let dispatch_cap = self.cfg.wave_cap.unwrap_or_else(bf_par::threads).max(1)
+            * self.cfg.batch.max(1);
         let mut now = 0u64;
         let mut next_arrival = 0usize;
 
@@ -390,7 +434,7 @@ impl Service {
 
             // Dispatch a wave, expiring deadlines that lapsed in queue.
             let mut wave: Vec<WaveJob> = Vec::new();
-            while wave.len() < wave_cap {
+            while wave.len() < dispatch_cap {
                 let Some(idx) = queue.pop_front() else { break };
                 let req = requests[idx];
                 let deadline = req.arrival.saturating_add(self.cfg.deadline_units);
@@ -470,64 +514,21 @@ impl Service {
             });
 
             // Sequential predict stage, in virtual-completion order so
-            // breaker bookkeeping is schedule-independent.
+            // breaker bookkeeping is schedule-independent. With
+            // batching enabled, consecutive healthy completions in that
+            // order share stacked forward passes; `batch = 1` runs the
+            // per-request path bit-identically to the pre-batching
+            // scheduler.
             outs.sort_by_key(|o| (o.collect_units, o.pos));
-            let mut wave_advance = 1u64;
-            for out in outs {
-                let req = requests[out.idx];
-                let tick = now + out.collect_units;
-                let outcome = match out.res {
-                    Collected::Deadline => Outcome::Timeout { stage: Stage::Collect },
-                    Collected::Quarantined => {
-                        bf_obs::counter("serve.quarantined").inc();
-                        Outcome::Failed {
-                            reason: "collection quarantined: repair/retry budget exhausted"
-                                .to_owned(),
-                        }
-                    }
-                    Collected::Panicked(msg) => {
-                        self.tallies.worker_panics += 1;
-                        bf_obs::counter("serve.worker_panics").inc();
-                        bf_obs::error!("contained collect panic for request {}: {msg}", req.id);
-                        Outcome::Failed { reason: format!("collection panicked: {msg}") }
-                    }
-                    Collected::Features(features) => {
-                        let o = if self.cfg.tiers.ladder {
-                            self.predict_one_ladder(&req, &features, &out.token, tick)
-                        } else {
-                            self.predict_one(
-                                &req,
-                                std::slice::from_ref(&features),
-                                &out.token,
-                                tick,
-                            )
-                        };
-                        let _trace = trace::adopt(trace_request_ctx(&req), now);
-                        let mut predict_span = trace::span_at("predict", tick);
-                        predict_span.arg_str(
-                            "path",
-                            match &o {
-                                Outcome::Prediction { .. } => "primary",
-                                Outcome::Degraded { tier: Tier::Distilled, .. } => "distilled",
-                                Outcome::Degraded { tier: Tier::EarlyExit(_), .. } => "primary",
-                                Outcome::Degraded { .. } => "fallback",
-                                _ => "none",
-                            },
-                        );
-                        if let Outcome::Prediction { tier, confidence, .. }
-                        | Outcome::Degraded { tier, confidence, .. } = &o
-                        {
-                            predict_span.arg_str("tier", tier.label());
-                            predict_span.arg_f64("confidence", *confidence as f64);
-                        }
-                        predict_span.finish(now + out.token.used().min(out.budget));
-                        o
-                    }
-                };
-                let work = out.token.used().min(out.budget);
-                wave_advance = wave_advance.max(work);
-                resolved[out.idx] = Some(self.resolve_at(&req, outcome, now, work));
-            }
+            let wave_advance = if self.cfg.batch > 1 {
+                self.predict_wave_batched(requests, outs, now, &mut resolved)
+            } else {
+                let mut adv = 1u64;
+                for out in outs {
+                    adv = adv.max(self.predict_out(requests, out, now, &mut resolved));
+                }
+                adv
+            };
             now += wave_advance;
         }
         bf_obs::gauge("serve.queue_depth").set(0.0);
@@ -535,9 +536,457 @@ impl Service {
         let done: Vec<Resolved> = resolved
             .into_iter()
             .map(|r| r.expect("scheduler resolved every request"))
-            .collect();
+            .collect(); // alloc-ok: per-run staging (result assembly)
         debug_assert_eq!(done.len(), n);
         done
+    }
+
+    /// Resolve one collect completion through the per-request predict
+    /// path — the only path when `batch` is 1, and the fault-isolation
+    /// path under batching. Returns the work units charged (they cap
+    /// the wave's clock advance).
+    fn predict_out(
+        &mut self,
+        requests: &[ServeRequest],
+        out: CollectOut,
+        now: u64,
+        resolved: &mut [Option<Resolved>],
+    ) -> u64 {
+        let req = requests[out.idx];
+        let tick = now + out.collect_units;
+        let outcome = match out.res {
+            Collected::Deadline => Outcome::Timeout { stage: Stage::Collect },
+            Collected::Quarantined => {
+                bf_obs::counter("serve.quarantined").inc();
+                Outcome::Failed {
+                    reason: "collection quarantined: repair/retry budget exhausted".to_owned(),
+                }
+            }
+            Collected::Panicked(msg) => {
+                self.tallies.worker_panics += 1;
+                bf_obs::counter("serve.worker_panics").inc();
+                bf_obs::error!("contained collect panic for request {}: {msg}", req.id);
+                Outcome::Failed { reason: format!("collection panicked: {msg}") }
+            }
+            Collected::Features(features) => {
+                let o = if self.cfg.tiers.ladder {
+                    self.predict_one_ladder(&req, &features, &out.token, tick)
+                } else {
+                    self.predict_one(&req, std::slice::from_ref(&features), &out.token, tick)
+                };
+                let _trace = trace::adopt(trace_request_ctx(&req), now);
+                let mut predict_span = trace::span_at("predict", tick);
+                predict_span.arg_str("path", Self::predict_path_label(&o));
+                if let Outcome::Prediction { tier, confidence, .. }
+                | Outcome::Degraded { tier, confidence, .. } = &o
+                {
+                    predict_span.arg_str("tier", tier.label());
+                    predict_span.arg_f64("confidence", *confidence as f64);
+                }
+                predict_span.finish(now + out.token.used().min(out.budget));
+                o
+            }
+        };
+        let work = out.token.used().min(out.budget);
+        resolved[out.idx] = Some(self.resolve_at(&req, outcome, now, work));
+        work
+    }
+
+    /// The `path` span argument for a predict outcome.
+    fn predict_path_label(o: &Outcome) -> &'static str {
+        match o {
+            Outcome::Prediction { .. } => "primary",
+            Outcome::Degraded { tier: Tier::Distilled, .. } => "distilled",
+            Outcome::Degraded { tier: Tier::EarlyExit(_), .. } => "primary",
+            Outcome::Degraded { .. } => "fallback",
+            _ => "none",
+        }
+    }
+
+    /// Whether the fault plan (or the configured slow storm) targets
+    /// this request at the predict stage. Flagged requests never join a
+    /// micro-batch: an injected slow model or panic must charge and
+    /// fail its own request only, so fault containment is identical at
+    /// every batch size. A pure function of `(id, config)` — batch
+    /// membership is deterministic.
+    fn fault_flagged(&self, id: u64) -> bool {
+        let plan = &self.collection.faults;
+        plan.slow_model_for(id) || plan.worker_panic_for(id) || self.cfg.in_slow_storm(id)
+    }
+
+    /// The batching predict dispatcher for one wave: walk completions in
+    /// virtual-completion order, accumulating consecutive healthy
+    /// feature-bearing jobs into a pending micro-batch. The batch
+    /// flushes when it reaches `batch` capacity (`full`), when a
+    /// fault-flagged or failed-collect job interrupts the run
+    /// (`tier_mismatch` — the interrupting job then takes the
+    /// per-request path in order), or when the wave ends (`deadline`).
+    /// Returns the wave's clock advance.
+    fn predict_wave_batched(
+        &mut self,
+        requests: &[ServeRequest],
+        outs: Vec<CollectOut>,
+        now: u64,
+        resolved: &mut [Option<Resolved>],
+    ) -> u64 {
+        let batch = self.cfg.batch.max(1);
+        let mut advance = 1u64;
+        let mut pending: Vec<CollectOut> = Vec::with_capacity(batch); // alloc-ok: per-wave staging
+        for out in outs {
+            let eligible = matches!(out.res, Collected::Features(_))
+                && !self.fault_flagged(requests[out.idx].id);
+            if eligible {
+                pending.push(out);
+                if pending.len() == batch {
+                    advance = advance.max(self.flush_batch(
+                        requests,
+                        std::mem::take(&mut pending),
+                        now,
+                        FlushReason::Full,
+                        resolved,
+                    ));
+                }
+            } else {
+                if !pending.is_empty() {
+                    advance = advance.max(self.flush_batch(
+                        requests,
+                        std::mem::take(&mut pending),
+                        now,
+                        FlushReason::TierMismatch,
+                        resolved,
+                    ));
+                }
+                advance = advance.max(self.predict_out(requests, out, now, resolved));
+            }
+        }
+        if !pending.is_empty() {
+            advance = advance.max(self.flush_batch(
+                requests,
+                pending,
+                now,
+                FlushReason::Deadline,
+                resolved,
+            ));
+        }
+        advance
+    }
+
+    /// Run one assembled micro-batch through the (ladder or plain)
+    /// batched predict path, record batch observability, and resolve
+    /// every member. Exactly one outcome per member, in completion
+    /// order. Returns the batch's clock advance.
+    fn flush_batch(
+        &mut self,
+        requests: &[ServeRequest],
+        members: Vec<CollectOut>,
+        now: u64,
+        reason: FlushReason,
+        resolved: &mut [Option<Resolved>],
+    ) -> u64 {
+        debug_assert!(!members.is_empty());
+        bf_obs::counter("serve.batch.assembled").inc();
+        bf_obs::counter(reason.counter()).inc();
+        bf_obs::histogram("serve.batch.size").record(members.len() as f64);
+
+        let outcomes = if self.cfg.tiers.ladder {
+            self.predict_batch_ladder(&members, now)
+        } else {
+            self.predict_batch_plain(&members, now)
+        };
+        debug_assert_eq!(outcomes.len(), members.len());
+
+        // One `predict_batch` span on the leader's (first completion's)
+        // timeline covering the shared forward passes, plus the usual
+        // per-member predict span annotated with its batch coordinates.
+        let leader = &members[0];
+        let leader_req = &requests[leader.idx];
+        {
+            let _trace = trace::adopt(trace_request_ctx(leader_req), now);
+            let mut batch_span = trace::span_at("predict_batch", now + leader.collect_units);
+            batch_span.arg_u64("batch_size", members.len() as u64);
+            batch_span.arg_str("flush", reason.label());
+            batch_span.finish(now + leader.token.used().min(leader.budget));
+        }
+
+        let batch_size = members.len();
+        let mut advance = 1u64;
+        for (pos, (out, outcome)) in members.into_iter().zip(outcomes).enumerate() {
+            let req = requests[out.idx];
+            let tick = now + out.collect_units;
+            {
+                let _trace = trace::adopt(trace_request_ctx(&req), now);
+                let mut predict_span = trace::span_at("predict", tick);
+                predict_span.arg_str("path", Self::predict_path_label(&outcome));
+                predict_span.arg_u64("batch_size", batch_size as u64);
+                predict_span.arg_u64("batch_pos", pos as u64);
+                if let Outcome::Prediction { tier, confidence, .. }
+                | Outcome::Degraded { tier, confidence, .. } = &outcome
+                {
+                    predict_span.arg_str("tier", tier.label());
+                    predict_span.arg_f64("confidence", *confidence as f64);
+                }
+                predict_span.finish(now + out.token.used().min(out.budget));
+            }
+            let work = out.token.used().min(out.budget);
+            advance = advance.max(work);
+            resolved[out.idx] = Some(self.resolve_at(&req, outcome, now, work));
+        }
+        advance
+    }
+
+    /// The batched anytime-ladder climb: the whole micro-batch walks the
+    /// rungs together, one [`AnytimeLadder::classify_at_batch`] stacked
+    /// forward pass per rung. Per member the decision sequence —
+    /// breaker gate at its own completion tick, per-rung admission
+    /// against the (undivided) cost estimate, threshold exit,
+    /// budget-stopped best answer, fall-down to distilled/centroid — is
+    /// the same as [`Service::predict_one_ladder`]; only the rung's
+    /// inference charge differs: `ceil(prefix_inference / b)` where `b`
+    /// is the number of members admitted to that rung (the per-request
+    /// collection share `cc4` is never divided). Fault-flagged requests
+    /// never reach this path, so no slow penalty or injected panic
+    /// applies here.
+    fn predict_batch_ladder(&mut self, members: &[CollectOut], now: u64) -> Vec<Outcome> {
+        struct Climb {
+            outcome: Option<Outcome>,
+            best: Option<(Vec<f32>, f32, u8)>,
+            paid_level: u8,
+            climbing: bool,
+            primary_failed: bool,
+        }
+        let features: Vec<&[f32]> = members
+            .iter()
+            .map(|m| match &m.res {
+                Collected::Features(f) => f.as_slice(),
+                _ => unreachable!("only feature-bearing jobs are batched"),
+            })
+            .collect(); // alloc-ok: per-batch staging
+        let Service { tiers, primary, breaker, tier_costs, tallies, cfg, .. } = self;
+        let levels = tiers.ladder.levels();
+        let n_levels = levels.len();
+        let cc4 = (cfg.collect_attempt_units / 4).max(1);
+        let first_level = levels.first().copied().unwrap_or(100);
+        let mut st: Vec<Climb> = members
+            .iter()
+            .map(|m| {
+                let tick = now + m.collect_units;
+                let climbing = breaker.allow_primary(tick);
+                if !climbing {
+                    bf_obs::counter("serve.breaker_rejections").inc();
+                }
+                Climb {
+                    outcome: None,
+                    best: None,
+                    paid_level: first_level,
+                    climbing,
+                    primary_failed: false,
+                }
+            })
+            .collect(); // alloc-ok: per-batch staging
+
+        for (idx, &level) in levels.iter().enumerate() {
+            // Admission per member against the single-request estimate
+            // (conservative: a member only joins a rung its own budget
+            // could afford unshared). Members that fall out keep their
+            // best-so-far answer.
+            let admitted: Vec<usize> = (0..members.len())
+                .filter(|&i| {
+                    st[i].climbing && tier_costs.steps[idx] <= members[i].token.remaining()
+                })
+                .collect(); // alloc-ok: per-batch staging
+            for (i, s) in st.iter_mut().enumerate() {
+                if s.climbing && !admitted.contains(&i) {
+                    s.climbing = false;
+                }
+            }
+            if admitted.is_empty() {
+                break;
+            }
+            let predict_units = ((cfg.primary_units * level as u64) / 100).max(1);
+            let shared = predict_units.div_ceil(admitted.len() as u64);
+            let cost = (if idx > 0 { cc4 } else { 0 }) + shared;
+            let mut charged: Vec<usize> = Vec::with_capacity(admitted.len()); // alloc-ok: per-batch staging
+            for &i in &admitted {
+                if members[i].token.charge(cost).is_ok() {
+                    charged.push(i);
+                } else {
+                    // Mid-batch deadline: this member's climb ends in a
+                    // primary failure exactly as it would solo.
+                    st[i].climbing = false;
+                    st[i].primary_failed = true;
+                    breaker.record_failure(now + members[i].collect_units);
+                    bf_obs::counter("serve.primary_timeouts").inc();
+                }
+            }
+            if charged.is_empty() {
+                continue;
+            }
+            let rows: Vec<&[f32]> = charged.iter().map(|&i| features[i]).collect(); // alloc-ok: per-batch staging
+            let ladder = &tiers.ladder;
+            let attempt =
+                catch_unwind(AssertUnwindSafe(|| ladder.classify_at_batch(&mut **primary, &rows, idx)));
+            match attempt {
+                Ok(results) => {
+                    debug_assert_eq!(results.len(), charged.len());
+                    for (&i, (probs, confidence)) in charged.iter().zip(results) {
+                        tier_costs.observe_step(idx, cost);
+                        if idx > 0 {
+                            st[i].paid_level = level;
+                        }
+                        let tick = now + members[i].collect_units;
+                        let cleared = confidence as f64 >= cfg.tiers.confidence_threshold;
+                        if cleared || idx == n_levels - 1 {
+                            breaker.record_success(tick);
+                            bf_obs::counter("serve.predictions").inc();
+                            tallies.predictions += 1;
+                            let tier =
+                                if level >= 100 { Tier::Full } else { Tier::EarlyExit(level) };
+                            Self::tier_metrics(tier, confidence);
+                            st[i].outcome = Some(Outcome::Prediction {
+                                class: argmax(&probs),
+                                probs,
+                                tier,
+                                confidence,
+                            });
+                            st[i].climbing = false;
+                        } else {
+                            st[i].best = Some((probs, confidence, level));
+                        }
+                    }
+                }
+                Err(payload) => {
+                    // A genuine primary panic (injection never reaches a
+                    // batch) fails every member that charged this rung;
+                    // each falls down its own ladder below.
+                    let msg = panic_message(payload);
+                    tallies.worker_panics += 1;
+                    bf_obs::counter("serve.worker_panics").inc();
+                    bf_obs::error!("contained batched predict panic: {msg}");
+                    for &i in &charged {
+                        breaker.record_failure(now + members[i].collect_units);
+                        st[i].climbing = false;
+                        st[i].primary_failed = true;
+                    }
+                }
+            }
+        }
+
+        // Settle the stragglers in completion order: budget-stopped
+        // climbs answer with their best rung (a breaker success — the
+        // primary did infer), everything else falls down to the
+        // distilled/centroid tiers.
+        let mut outcomes = Vec::with_capacity(members.len()); // alloc-ok: per-batch result rows
+        for (i, m) in members.iter().enumerate() {
+            let tick = now + m.collect_units;
+            let s = &mut st[i];
+            let outcome = match s.outcome.take() {
+                Some(o) => o,
+                None => match (!s.primary_failed, s.best.take()) {
+                    (true, Some((probs, confidence, level))) => {
+                        self.breaker.record_success(tick);
+                        bf_obs::counter("serve.degraded").inc();
+                        self.tallies.degraded += 1;
+                        let tier = Tier::EarlyExit(level);
+                        Self::tier_metrics(tier, confidence);
+                        Outcome::Degraded { class: argmax(&probs), probs, tier, confidence }
+                    }
+                    _ => {
+                        let paid = s.paid_level;
+                        self.ladder_fall_down(features[i], &m.token, paid)
+                    }
+                },
+            };
+            outcomes.push(outcome);
+        }
+        outcomes
+    }
+
+    /// The batched legacy (non-ladder) predict path: every member the
+    /// breaker admits charges `ceil(primary_units / b)` and the whole
+    /// group shares one stacked full-trace forward pass. Per-member
+    /// outcomes and fallback behavior match [`Service::predict_one`];
+    /// fault-flagged requests never reach this path.
+    fn predict_batch_plain(&mut self, members: &[CollectOut], now: u64) -> Vec<Outcome> {
+        let features: Vec<&[f32]> = members
+            .iter()
+            .map(|m| match &m.res {
+                Collected::Features(f) => f.as_slice(),
+                _ => unreachable!("only feature-bearing jobs are batched"),
+            })
+            .collect(); // alloc-ok: per-batch staging
+        let mut outcomes: Vec<Option<Outcome>> = (0..members.len()).map(|_| None).collect(); // alloc-ok: per-batch staging
+        let allowed: Vec<usize> = members
+            .iter()
+            .enumerate()
+            .filter_map(|(i, m)| {
+                if self.breaker.allow_primary(now + m.collect_units) {
+                    Some(i)
+                } else {
+                    bf_obs::counter("serve.breaker_rejections").inc();
+                    None
+                }
+            })
+            .collect(); // alloc-ok: per-batch staging
+        if !allowed.is_empty() {
+            let cost = self.cfg.primary_units.div_ceil(allowed.len() as u64);
+            let mut charged: Vec<usize> = Vec::with_capacity(allowed.len()); // alloc-ok: per-batch staging
+            for &i in &allowed {
+                if members[i].token.charge(cost).is_ok() {
+                    charged.push(i);
+                } else {
+                    self.breaker.record_failure(now + members[i].collect_units);
+                    bf_obs::counter("serve.primary_timeouts").inc();
+                }
+            }
+            if !charged.is_empty() {
+                let rows: Vec<Vec<f32>> =
+                    charged.iter().map(|&i| features[i].to_vec()).collect(); // alloc-ok: per-batch staging (trait API takes owned rows)
+                let primary = &mut self.primary;
+                let attempt =
+                    catch_unwind(AssertUnwindSafe(|| primary.predict_proba(&rows)));
+                match attempt {
+                    Ok(results) => {
+                        debug_assert_eq!(results.len(), charged.len());
+                        for (&i, probs) in charged.iter().zip(results) {
+                            let tick = now + members[i].collect_units;
+                            self.breaker.record_success(tick);
+                            bf_obs::counter("serve.predictions").inc();
+                            self.tallies.predictions += 1;
+                            let confidence = probs.iter().copied().fold(0.0f32, f32::max);
+                            Self::tier_metrics(Tier::Full, confidence);
+                            outcomes[i] = Some(Outcome::Prediction {
+                                class: argmax(&probs),
+                                probs,
+                                tier: Tier::Full,
+                                confidence,
+                            });
+                        }
+                    }
+                    Err(payload) => {
+                        let msg = panic_message(payload);
+                        self.tallies.worker_panics += 1;
+                        bf_obs::counter("serve.worker_panics").inc();
+                        bf_obs::error!("contained batched predict panic: {msg}");
+                        for &i in &charged {
+                            self.breaker.record_failure(now + members[i].collect_units);
+                        }
+                    }
+                }
+            }
+        }
+        members
+            .iter()
+            .enumerate()
+            .map(|(i, m)| match outcomes[i].take() {
+                Some(o) => o,
+                None => self.fallback_predict(std::slice::from_ref(
+                    match &m.res {
+                        Collected::Features(f) => f,
+                        _ => unreachable!("only feature-bearing jobs are batched"),
+                    },
+                ), &m.token),
+            })
+            .collect() // alloc-ok: per-batch result rows
     }
 
     /// Predict stage for one job whose collect finished at `tick` with
@@ -598,9 +1047,14 @@ impl Service {
             bf_obs::counter("serve.breaker_rejections").inc();
         }
 
-        // Degraded path: the cheap centroid gets its own small charge.
-        // A sticky token (primary blew the whole budget) fails here and
-        // the request resolves as an explicit predict-stage timeout.
+        self.fallback_predict(input, token)
+    }
+
+    /// Degraded path shared by the per-request and batched non-ladder
+    /// predict stages: the cheap centroid gets its own small charge. A
+    /// sticky token (primary blew the whole budget) fails here and the
+    /// request resolves as an explicit predict-stage timeout.
+    fn fallback_predict(&mut self, input: &[Vec<f32>], token: &CancelToken) -> Outcome {
         if token.charge(self.cfg.fallback_units).is_err() {
             return Outcome::Timeout { stage: Stage::Predict };
         }
@@ -784,6 +1238,20 @@ impl Service {
             bf_obs::counter("serve.breaker_rejections").inc();
         }
 
+        self.ladder_fall_down(features, token, paid_level)
+    }
+
+    /// Fall *down* the ladder after a failed or rejected climb — shared
+    /// by the per-request and batched ladder paths. The distilled
+    /// student answers on the prefix whose collection has actually been
+    /// charged (`paid_level`), then the centroid floor, then an
+    /// explicit predict-stage timeout.
+    fn ladder_fall_down(
+        &mut self,
+        features: &[f32],
+        token: &CancelToken,
+        paid_level: u8,
+    ) -> Outcome {
         // Distilled tier: the small student answers on the prefix whose
         // collection has actually been charged.
         let prefix = bf_ml::prefix_features(features, paid_level);
@@ -1305,6 +1773,128 @@ mod tests {
         });
         assert!(legacy.iter().all(|r| r.work_units == 150));
         assert!(laddered.iter().all(|r| r.work_units == 37));
+    }
+
+    #[test]
+    fn batched_ladder_wave_shares_the_rung_charge_and_matches_single_bits() {
+        // Eight simultaneous arrivals, one thread, batch capacity 8: the
+        // whole wave climbs as one micro-batch. Rung-0 inference (12u)
+        // splits eight ways (ceil -> 2u each), so a request costs
+        // collect 25 + 2 = 27 instead of the solo 37 — and the probs it
+        // answers with are bit-identical to its solo run.
+        let reqs = open_loop_arrivals(8, N_SITES, 0.0, 7);
+        let cfg = ServeConfig { batch: 8, ..ladder_cfg(0.0) };
+        let (batched, assembled, full_flushes) = with_one_thread(|| {
+            let a0 = bf_obs::counter("serve.batch.assembled").get();
+            let f0 = bf_obs::counter("serve.batch.flushed.full").get();
+            let out = service(FaultPlan::off(), cfg).run(&reqs);
+            (
+                out,
+                bf_obs::counter("serve.batch.assembled").get() - a0,
+                bf_obs::counter("serve.batch.flushed.full").get() - f0,
+            )
+        });
+        let solo = with_one_thread(|| service(FaultPlan::off(), ladder_cfg(0.0)).run(&reqs));
+        assert_eq!(assembled, 1, "one full wave, one micro-batch");
+        assert_eq!(full_flushes, 1);
+        for (b, s) in batched.iter().zip(&solo) {
+            assert_eq!(b.id, s.id);
+            assert_eq!(b.work_units, 27, "quarter collect (25) + shared inference (2)");
+            let (Outcome::Prediction { probs: bp, tier: bt, .. },
+                 Outcome::Prediction { probs: sp, tier: st, .. }) = (&b.outcome, &s.outcome)
+            else {
+                panic!("expected predictions, got {:?} / {:?}", b.outcome, s.outcome);
+            };
+            assert_eq!(bt, st);
+            let (bb, sb): (Vec<u32>, Vec<u32>) = (
+                bp.iter().map(|v| v.to_bits()).collect(),
+                sp.iter().map(|v| v.to_bits()).collect(),
+            );
+            assert_eq!(bb, sb, "batched probs must be bit-identical to the solo run");
+        }
+    }
+
+    #[test]
+    fn batched_plain_wave_shares_the_primary_charge() {
+        // Non-ladder path: the full 50-unit primary splits eight ways
+        // (ceil -> 7u), so a request costs collect 100 + 7 = 107 instead
+        // of the legacy 150, with bit-identical probs.
+        // A generous deadline keeps the solo (batch 1) run from
+        // expiring the back of the burst while its waves serialize.
+        let reqs = open_loop_arrivals(8, N_SITES, 0.0, 7);
+        let cfg = ServeConfig { batch: 8, deadline_units: 10_000, ..ServeConfig::default() };
+        let solo_cfg = ServeConfig { deadline_units: 10_000, ..ServeConfig::default() };
+        let batched = with_one_thread(|| service(FaultPlan::off(), cfg).run(&reqs));
+        let solo = with_one_thread(|| service(FaultPlan::off(), solo_cfg).run(&reqs));
+        for (b, s) in batched.iter().zip(&solo) {
+            assert_eq!(b.work_units, 107, "full collect (100) + shared primary (7)");
+            let (Outcome::Prediction { probs: bp, tier: Tier::Full, .. },
+                 Outcome::Prediction { probs: sp, tier: Tier::Full, .. }) =
+                (&b.outcome, &s.outcome)
+            else {
+                panic!("expected full predictions, got {:?} / {:?}", b.outcome, s.outcome);
+            };
+            let (bb, sb): (Vec<u32>, Vec<u32>) = (
+                bp.iter().map(|v| v.to_bits()).collect(),
+                sp.iter().map(|v| v.to_bits()).collect(),
+            );
+            assert_eq!(bb, sb);
+        }
+    }
+
+    #[test]
+    fn a_batch_of_one_charges_exactly_the_legacy_cost() {
+        // Widely spaced arrivals never co-occupy a wave, so every
+        // micro-batch holds one member and ceil(cost / 1) degenerates to
+        // the per-request rule: work units match the solo path exactly.
+        let reqs: Vec<ServeRequest> = (0..4u64)
+            .map(|i| ServeRequest { id: i, site: (i as usize) % N_SITES, seed: 60 + i, arrival: i * 20_000 })
+            .collect();
+        let cfg = ServeConfig { batch: 8, ..ladder_cfg(0.0) };
+        let (out, deadline_flushes) = with_one_thread(|| {
+            let d0 = bf_obs::counter("serve.batch.flushed.deadline").get();
+            let out = service(FaultPlan::off(), cfg).run(&reqs);
+            (out, bf_obs::counter("serve.batch.flushed.deadline").get() - d0)
+        });
+        assert_eq!(deadline_flushes, 4, "each singleton wave flushes at wave end");
+        for r in &out {
+            assert_eq!(r.work_units, 37, "a batch of one costs the legacy 25 + 12");
+        }
+    }
+
+    #[test]
+    fn fault_flagged_requests_flush_the_batch_and_keep_their_own_path() {
+        // Five simultaneous arrivals; request 2 sits in a slow storm.
+        // The batcher flushes {0,1} (tier_mismatch), runs 2 through the
+        // per-request path where the slow penalty blows its own budget
+        // only, then batches {3,4} at the wave deadline.
+        let cfg = ServeConfig { batch: 8, slow_storm: Some((2, 3)), ..ladder_cfg(0.0) };
+        let reqs = open_loop_arrivals(5, N_SITES, 0.0, 7);
+        let (out, mismatch_flushes, deadline_flushes) = with_one_thread(|| {
+            let m0 = bf_obs::counter("serve.batch.flushed.tier_mismatch").get();
+            let d0 = bf_obs::counter("serve.batch.flushed.deadline").get();
+            let out = service(FaultPlan::off(), cfg).run(&reqs);
+            (
+                out,
+                bf_obs::counter("serve.batch.flushed.tier_mismatch").get() - m0,
+                bf_obs::counter("serve.batch.flushed.deadline").get() - d0,
+            )
+        });
+        assert_eq!(mismatch_flushes, 1, "the flagged request interrupts one batch");
+        assert_eq!(deadline_flushes, 1, "the tail pair flushes at wave end");
+        assert_eq!(
+            out[2].outcome,
+            Outcome::Timeout { stage: Stage::Predict },
+            "the slow request pays its penalty alone"
+        );
+        for r in [&out[0], &out[1], &out[3], &out[4]] {
+            assert!(
+                matches!(r.outcome, Outcome::Prediction { .. }),
+                "healthy batch members answer normally, got {:?}",
+                r.outcome
+            );
+            assert_eq!(r.work_units, 31, "quarter collect (25) + pair-shared inference (6)");
+        }
     }
 
     #[test]

@@ -25,6 +25,7 @@ HOT_MODULES=(
   crates/obs/src/span.rs crates/obs/src/metrics.rs crates/obs/src/trace.rs
   crates/obs/src/level.rs crates/obs/src/event.rs
   crates/ml/src/anytime.rs crates/ml/src/calibrate.rs crates/ml/src/distill.rs
+  crates/ml/src/cnn.rs crates/serve/src/service.rs
 )
 
 status=0
