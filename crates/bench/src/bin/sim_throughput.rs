@@ -1,0 +1,229 @@
+//! Simulation-engine throughput at collect-phase shapes.
+//!
+//! Times steady-state `Machine::run` over real website workloads (the
+//! same `WebsiteProfile` fixtures `collect_trace` feeds the engine),
+//! sequentially (1 thread) and fanned out across seeds on the
+//! configured `bf_par` pool, and writes a `BENCH_sim_throughput.json`
+//! summary. Each configuration also re-times the same runs with the sim
+//! workspace cleared before every run, isolating how much of the win
+//! comes from buffer reuse versus the streamed merge itself.
+//!
+//! The committed pre-PR reference numbers (materialize-then-sort engine,
+//! 1 thread) are embedded per shape so the summary carries its own
+//! speedup-vs-baseline column.
+//!
+//! ```sh
+//! BF_SCALE=smoke   cargo run --release -p bf-bench --bin sim_throughput
+//! BF_SCALE=default cargo run --release -p bf-bench --bin sim_throughput
+//! ```
+
+use bf_bench::run_bin;
+use bf_core::ExperimentScale;
+use bf_sim::{Machine, MachineConfig, Workload};
+use bf_obs::Json;
+use bf_stats::rng::combine_seeds;
+use bf_timer::Nanos;
+use bf_victim::{LoadEnv, WebsiteProfile};
+use std::process::ExitCode;
+use std::time::Instant;
+
+/// One benchmark shape plus its pre-PR single-thread reference.
+struct Shape {
+    name: &'static str,
+    hostname: &'static str,
+    /// Simulated trace duration (the default shape matches the Chrome
+    /// collect-phase trace length used by `collect_trace`).
+    duration_ms: u64,
+    timed_runs: usize,
+    /// Runs/sec of the materialize-then-sort implementation this PR
+    /// replaced, measured with this exact fixture at `BF_THREADS=1`.
+    baseline_runs_per_sec: f64,
+}
+
+const SHAPES: &[Shape] = &[
+    Shape {
+        name: "smoke",
+        hostname: "github.com",
+        duration_ms: 2_000,
+        timed_runs: 40,
+        baseline_runs_per_sec: 270.0,
+    },
+    Shape {
+        name: "default",
+        hostname: "github.com",
+        duration_ms: 15_000,
+        timed_runs: 30,
+        baseline_runs_per_sec: 145.0,
+    },
+];
+
+const WARMUP_RUNS: usize = 3;
+
+/// Consume a run's output the way `collect_trace` does: read it, then
+/// either recycle it into the pool (steady state) or drop it (cold).
+fn finish_run(out: bf_sim::SimOutput, warm: bool) -> u64 {
+    let events = out.kernel_log.len() as u64;
+    std::hint::black_box(&out);
+    if warm {
+        bf_sim::workspace::recycle(out);
+    }
+    events
+}
+
+/// The collect-phase workload for a shape: a direct (non-Tor) page load
+/// of the shape's site, exactly what `collect_trace` hands the engine.
+fn shape_workload(shape: &Shape, seed: u64) -> Workload {
+    WebsiteProfile::for_hostname(shape.hostname).generate_in_env(
+        Nanos::from_millis(shape.duration_ms),
+        seed,
+        &LoadEnv::direct(),
+    )
+}
+
+/// Single-thread runs/sec and events/sec for one shape. `warm` runs on
+/// recycled workspace arenas (steady state, zero allocation); cold
+/// clears the pool before every run, isolating the streamed merge from
+/// buffer reuse.
+fn measure_seq(machine: &Machine, workload: &Workload, shape: &Shape, warm: bool) -> (f64, f64) {
+    bf_sim::workspace::clear_thread();
+    let mut events = 0u64;
+    for i in 0..WARMUP_RUNS {
+        finish_run(machine.run(workload, combine_seeds(0xBEEF, i as u64)), warm);
+    }
+    let t = Instant::now();
+    for i in 0..shape.timed_runs {
+        if !warm {
+            bf_sim::workspace::clear_thread();
+        }
+        events += finish_run(machine.run(workload, combine_seeds(42, i as u64)), warm);
+    }
+    let secs = t.elapsed().as_secs_f64().max(1e-12);
+    let runs_per_sec = shape.timed_runs as f64 / secs;
+    (runs_per_sec, events as f64 / secs)
+}
+
+/// Fan the same runs out across the `bf_par` pool (one sim per seed —
+/// the collect-phase parallelism shape) and report aggregate runs/sec.
+/// Each worker recycles into its own thread-local arena.
+fn measure_par(machine: &Machine, workload: &Workload, shape: &Shape) -> (f64, f64) {
+    let seeds: Vec<u64> = (0..shape.timed_runs as u64)
+        .map(|i| combine_seeds(42, i))
+        .collect();
+    // Warm every worker's thread-local state.
+    let _ = bf_par::par_map_indexed(&seeds[..seeds.len().min(4)], |_, &s| {
+        finish_run(machine.run(workload, s), true)
+    });
+    let t = Instant::now();
+    let event_counts =
+        bf_par::par_map_indexed(&seeds, |_, &s| finish_run(machine.run(workload, s), true));
+    let secs = t.elapsed().as_secs_f64().max(1e-12);
+    let events: u64 = event_counts.iter().sum();
+    (shape.timed_runs as f64 / secs, events as f64 / secs)
+}
+
+fn main() -> ExitCode {
+    run_bin(
+        "simulation throughput",
+        "sim_throughput",
+        |m, scale, _seed| {
+            let par_threads = bf_par::threads().max(2);
+            m.config("par_threads", par_threads);
+            // Smoke keeps CI fast with the short trace only; larger
+            // scales also time the collect-phase 15 s default shape.
+            let shapes: &[Shape] = if scale == ExperimentScale::Smoke {
+                &SHAPES[..1]
+            } else {
+                SHAPES
+            };
+
+            println!(
+                "shape     mode       threads   runs/s     events/s     ms/run    vs pre-PR (1t)"
+            );
+            let mut rows = Vec::new();
+            let mut smoke_steady_speedup = f64::NAN;
+            for shape in shapes {
+                let machine = Machine::new(MachineConfig::default());
+                let workload = shape_workload(shape, 7);
+                for (mode, threads) in
+                    [("steady", 1usize), ("cold", 1usize), ("par", par_threads)]
+                {
+                    bf_par::set_threads(Some(threads));
+                    let label = format!("{}_{mode}", shape.name);
+                    let (runs_per_sec, events_per_sec) = m.phase(&label, || match mode {
+                        "steady" => measure_seq(&machine, &workload, shape, true),
+                        "cold" => measure_seq(&machine, &workload, shape, false),
+                        _ => measure_par(&machine, &workload, shape),
+                    });
+                    bf_par::set_threads(None);
+                    let ms_per_run = 1e3 / runs_per_sec;
+                    let vs_baseline = if mode == "steady" {
+                        runs_per_sec / shape.baseline_runs_per_sec
+                    } else {
+                        0.0
+                    };
+                    if mode == "steady" && shape.name == "smoke" {
+                        smoke_steady_speedup = vs_baseline;
+                    }
+                    println!(
+                        "{:<9} {:<10} {:<9} {:>8.2}  {:>10.0}  {:>8.2}    {:>5.2}x",
+                        shape.name, mode, threads, runs_per_sec, events_per_sec, ms_per_run,
+                        vs_baseline,
+                    );
+                    bf_obs::gauge("sim.runs_per_sec").set(runs_per_sec);
+                    rows.push(Json::object([
+                        ("shape", Json::Str(shape.name.into())),
+                        ("mode", Json::Str(mode.into())),
+                        ("threads", Json::UInt(threads as u64)),
+                        ("duration_ms", Json::UInt(shape.duration_ms)),
+                        ("timed_runs", Json::UInt(shape.timed_runs as u64)),
+                        ("runs_per_sec", Json::Float(runs_per_sec)),
+                        ("events_per_sec", Json::Float(events_per_sec)),
+                        (
+                            "baseline_runs_per_sec",
+                            Json::Float(shape.baseline_runs_per_sec),
+                        ),
+                        ("speedup_vs_baseline", Json::Float(vs_baseline)),
+                    ]));
+                }
+            }
+
+            // Regression floor for CI: the streamed engine must never be
+            // slower than the pre-PR engine on the smoke fixture. (The
+            // recorded speedups are well above this; the floor only
+            // tolerates shared-runner noise.)
+            if smoke_steady_speedup < 1.0 || smoke_steady_speedup.is_nan() {
+                return Err(format!(
+                    "smoke steady-state speedup vs pre-PR baseline is {smoke_steady_speedup:.2}x \
+                     (must be >= 1.0x)"
+                )
+                .into());
+            }
+
+            let json = Json::object([
+                (
+                    "note",
+                    Json::Str(
+                        "Machine::run throughput over collect-phase website workloads. \
+                         Modes: steady = recycled workspace arenas (zero-alloc path), \
+                         cold = pool cleared before every run, par = one sim per seed on \
+                         the bf_par pool. baseline_runs_per_sec is the pre-streaming \
+                         materialize-then-sort engine at 1 thread on the same fixture."
+                            .into(),
+                    ),
+                ),
+                ("scale", Json::Str(scale.to_string())),
+                ("warmup_runs", Json::UInt(WARMUP_RUNS as u64)),
+                ("par_threads", Json::UInt(par_threads as u64)),
+                (
+                    "hardware_threads",
+                    Json::UInt(std::thread::available_parallelism().map_or(1, |n| n.get() as u64)),
+                ),
+                ("rows", Json::Array(rows)),
+            ]);
+            let out = bf_bench::artifact_path("BF_SIM_THROUGHPUT_OUT", "BENCH_sim_throughput.json");
+            std::fs::write(&out, json.to_pretty_string())?;
+            println!("\nwrote {out}");
+            Ok(())
+        },
+    )
+}

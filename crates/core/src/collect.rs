@@ -177,7 +177,7 @@ impl CollectionConfig {
             None => self.browser.timer(combine_seeds(run_seed, 0x71)),
         };
         let mut timer = self.defense.wrap_timer(base_timer, run_seed);
-        match self.attack {
+        let trace = match self.attack {
             AttackKind::LoopCounting => {
                 let attacker = LoopCountingAttacker::for_browser(self.browser, self.period);
                 attacker.collect(&sim, &mut timer)
@@ -186,7 +186,12 @@ impl CollectionConfig {
                 let attacker = SweepCountingAttacker::new(self.period, self.machine.cache);
                 attacker.collect(&sim, &mut timer, combine_seeds(run_seed, 0xCC))
             }
-        }
+        };
+        // The attacker is done replaying over the timeline: hand the
+        // output's buffers back to this worker's sim workspace so the
+        // next trace on this thread runs allocation-free.
+        bf_sim::workspace::recycle(sim);
+        trace
     }
 
     /// Trace length the collection geometry implies (periods per trace).

@@ -95,6 +95,33 @@ fn collection_under_fault_plan_bits_identical_across_thread_counts() {
 }
 
 #[test]
+fn warm_sim_workspace_collection_is_bit_stable() {
+    // `collect_trace` recycles every `SimOutput` into the worker's
+    // thread-local sim workspace, so the second sweep here replays the
+    // exact same traces on warm arenas (every buffer a pool hit). Pool
+    // state must be invisible in the bits — sequentially and under the
+    // parallel per-trace split, with an active fault plan stirring
+    // retries into the mix.
+    let plan = FaultPlan {
+        seed: 5,
+        corrupt: 0.2,
+        drop: 0.1,
+        ..FaultPlan::off()
+    };
+    for plan in [FaultPlan::off(), plan] {
+        let (seq, par) = at_thread_counts(|| {
+            let cfg = smoke_cfg(plan.clone());
+            let first = dataset_bits(&cfg.collect_closed_world(3, 4, 71));
+            let again = dataset_bits(&cfg.collect_closed_world(3, 4, 71));
+            assert_eq!(first, again, "warm sim pools perturbed trace bits");
+            first
+        });
+        assert!(!seq.1.is_empty());
+        assert_eq!(seq, par, "sim-recycling collection diverged across thread counts");
+    }
+}
+
+#[test]
 fn fold_metrics_bits_identical_across_thread_counts() {
     let cfg = smoke_cfg(FaultPlan::off());
     let dataset = cfg.collect_closed_world(4, 6, 53);

@@ -40,6 +40,10 @@ const HOT_MODULES: &[(&str, &str)] = &[
     // plumbing and the serving scheduler that assembles micro-batches.
     ("ml/cnn.rs", include_str!("../../ml/src/cnn.rs")),
     ("serve/service.rs", include_str!("../../serve/src/service.rs")),
+    // The streamed simulation engine: every collected trace runs its
+    // merge loop, and steady-state runs must stay pool-backed.
+    ("sim/engine.rs", include_str!("../../sim/src/engine.rs")),
+    ("sim/workspace.rs", include_str!("../../sim/src/workspace.rs")),
 ];
 
 const ALLOC_PATTERNS: &[&str] = &["vec!", "Vec::with_capacity", ".to_vec(", ".collect("];

@@ -15,12 +15,40 @@
 //!    execution gaps, exactly what the attacker perceives.
 //!
 //! Everything is derived deterministically from the run seed.
+//!
+//! # Streaming architecture
+//!
+//! Arrivals are never materialized into one big vector. Each generator —
+//! timer ticks, background housekeeping, and the workload interrupt
+//! cascade — is a pull-based stream with its own forked RNG, and the
+//! service loop consumes a k-way merge of their heads ordered by
+//! `(t, source rank)` with ranks `ticks < background < cascade`. That
+//! tie-break reproduces, event for event, the order the retired
+//! materialize-then-stable-sort engine produced (ticks were inserted
+//! first, then background, then the cascade, and `sort_by_key(t)` is
+//! stable), so every downstream RNG draw — handler times above all — sees
+//! the same sequence and the output stays bit-identical.
+//!
+//! The cascade is the one source whose raw emissions are not time-sorted
+//! (NIC coalescing flushes a batch at its *first* packet's timestamp,
+//! after later packets have been seen). It reorders internally through a
+//! min-heap keyed `(t, emission seq)` and only releases an arrival when
+//! no future emission can precede it: the next unprocessed workload
+//! event's time, or the pending NIC batch's start, whichever binds.
+//!
+//! Per-core kernel logs are built already sorted (service start times are
+//! strictly increasing per core) and k-way merged by `(start, core)` at
+//! the end, replacing the old global sort. All scratch and output buffers
+//! come from the thread-local [`workspace`](crate::workspace) pool, so a
+//! steady-state run performs zero heap allocations (see the
+//! `alloc_regression` test).
 
 use crate::config::{MachineConfig, VmMode};
 use crate::interrupt::{HandlerTimeModel, InterruptKind, SoftirqKind};
 use crate::kernel::{KernelEvent, KernelEventKind, KernelLog};
 use crate::timeline::{CoreTimeline, Gap, GapCause};
-use crate::workload::{Workload, WorkloadEvent};
+use crate::workload::{TimedEvent, Workload, WorkloadEvent};
+use crate::workspace;
 use bf_stats::{SeedRng, StepSeries};
 use bf_timer::Nanos;
 
@@ -117,6 +145,708 @@ struct Preemption {
     len: Nanos,
 }
 
+/// A cascade emission buffered in the reorder heap, keyed `(t, seq)`
+/// where `seq` is the emission index — exactly the key the retired
+/// engine's stable sort ordered cascade arrivals by. The key is packed
+/// into one `u128` (`t` in the high half, `seq` in the low) so the heap's
+/// sift loops compare a single word; `seq` is unique, so key order is
+/// exactly `(t, seq)` lexicographic order.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct PendingArrival {
+    key: u128,
+    core: u32,
+    units: u32,
+    kind: InterruptKind,
+}
+
+impl PendingArrival {
+    #[inline]
+    fn t(&self) -> Nanos {
+        Nanos::from_nanos((self.key >> 64) as u64)
+    }
+}
+
+/// 4-ary implicit min-heap over [`PendingArrival`] keys.
+///
+/// Every correct priority queue pops the unique ascending key order, so
+/// the heap's internal layout cannot affect `SimOutput` — this is free to
+/// differ from `std::collections::BinaryHeap`. The buffer runs deep
+/// (bursts hold hundreds to thousands of in-flight emissions, so a
+/// sorted-vec insert would degenerate quadratically); the 4-wide fan-out
+/// halves sift-down depth vs a binary heap and keeps each child scan
+/// inside two cache lines, and the sift loops move elements into a hole
+/// instead of swapping.
+struct ReorderHeap {
+    v: Vec<PendingArrival>,
+}
+
+impl ReorderHeap {
+    fn new(v: Vec<PendingArrival>) -> Self {
+        debug_assert!(v.is_empty());
+        ReorderHeap { v }
+    }
+
+    #[inline]
+    fn peek(&self) -> Option<&PendingArrival> {
+        self.v.first()
+    }
+
+    #[inline]
+    fn is_empty(&self) -> bool {
+        self.v.is_empty()
+    }
+
+    #[inline]
+    fn push(&mut self, e: PendingArrival) {
+        let mut i = self.v.len();
+        self.v.push(e); // alloc-ok: pooled buffer, amortized by reuse across runs
+        while i > 0 {
+            let p = (i - 1) >> 2;
+            if self.v[p].key <= e.key {
+                break;
+            }
+            self.v[i] = self.v[p];
+            i = p;
+        }
+        self.v[i] = e;
+    }
+
+    #[inline]
+    fn pop(&mut self) -> Option<PendingArrival> {
+        let top = *self.v.first()?;
+        let last = self.v.pop().expect("non-empty");
+        let n = self.v.len();
+        if n == 0 {
+            return Some(top);
+        }
+        let mut i = 0;
+        loop {
+            let c0 = (i << 2) + 1;
+            if c0 >= n {
+                break;
+            }
+            let mut m = c0;
+            let mut mk = self.v[c0].key;
+            for c in c0 + 1..(c0 + 4).min(n) {
+                let k = self.v[c].key;
+                if k < mk {
+                    m = c;
+                    mk = k;
+                }
+            }
+            if last.key <= mk {
+                break;
+            }
+            self.v[i] = self.v[m];
+            i = m;
+        }
+        self.v[i] = last;
+        Some(top)
+    }
+}
+
+/// Per-core periodic scheduler ticks, merged across cores on the fly.
+///
+/// Tick `(k, core)` fires at `phase(core) + k * period` with
+/// `phase(core) = period * core / num_cores`; phases are non-decreasing
+/// in the core id and strictly below one period, so emitting in
+/// `(k, core)` lexicographic order yields a time-sorted stream whose
+/// equal-time ties keep core order — the retired engine's insertion
+/// order (core-major) under its stable sort.
+struct TickStream {
+    period: u64,
+    num_cores: u64,
+    duration: u64,
+    core: u64,
+    /// Start of round `k`: `k * period`.
+    base: u64,
+    /// `floor(period * core / num_cores)`, advanced incrementally
+    /// (quotient plus running remainder — no division per tick).
+    phase: u64,
+    phase_rem: u64,
+    /// `period / num_cores` and `period % num_cores`, hoisted.
+    step_q: u64,
+    step_r: u64,
+}
+
+impl TickStream {
+    fn new(cfg: &MachineConfig, duration: Nanos) -> Self {
+        let period = cfg.os.tick_period().as_nanos();
+        let num_cores = cfg.num_cores as u64;
+        TickStream {
+            period,
+            num_cores,
+            duration: duration.as_nanos(),
+            core: 0,
+            base: 0,
+            phase: 0,
+            phase_rem: 0,
+            step_q: period / num_cores,
+            step_r: period % num_cores,
+        }
+    }
+
+    fn next(&mut self) -> Option<Arrival> {
+        let t = self.base + self.phase;
+        if t >= self.duration {
+            // The stream is globally non-decreasing: nothing later fits.
+            return None;
+        }
+        let arrival = Arrival {
+            t: Nanos::from_nanos(t),
+            core: self.core as usize,
+            kind: InterruptKind::TimerTick,
+            units: 0,
+        };
+        self.core += 1;
+        if self.core == self.num_cores {
+            self.core = 0;
+            self.base += self.period;
+            self.phase = 0;
+            self.phase_rem = 0;
+        } else {
+            // phase(core+1) = phase(core) + period/n, carrying the
+            // fractional part: exactly floor(period * core / n) at every
+            // step because both remainders stay below n.
+            self.phase += self.step_q;
+            self.phase_rem += self.step_r;
+            if self.phase_rem >= self.num_cores {
+                self.phase += 1;
+                self.phase_rem -= self.num_cores;
+            }
+        }
+        Some(arrival)
+    }
+}
+
+/// OS housekeeping noise floor: RCU softirqs, daemon wakeups, occasional
+/// disk/net activity. Inter-arrival times are strictly increasing, so the
+/// stream is sorted as generated.
+struct BackgroundStream<'a> {
+    cfg: &'a MachineConfig,
+    duration: Nanos,
+    mean_gap: f64,
+    rng: SeedRng,
+    t: Nanos,
+    seq: u64,
+    done: bool,
+}
+
+impl<'a> BackgroundStream<'a> {
+    fn new(cfg: &'a MachineConfig, duration: Nanos, rng: SeedRng) -> Self {
+        BackgroundStream {
+            cfg,
+            duration,
+            mean_gap: 1e9 / cfg.os.background_noise_rate(),
+            rng,
+            t: Nanos::ZERO,
+            seq: 0xB000,
+            done: false,
+        }
+    }
+
+    fn next(&mut self) -> Option<Arrival> {
+        if self.done {
+            return None;
+        }
+        self.t += Nanos::from_nanos(self.rng.exponential(self.mean_gap) as u64 + 1);
+        if self.t >= self.duration {
+            self.done = true;
+            return None;
+        }
+        let core = self.rng.int_range(0, self.cfg.num_cores as u64) as usize;
+        let roll = self.rng.uniform();
+        Some(if roll < 0.45 {
+            Arrival {
+                t: self.t,
+                core,
+                kind: InterruptKind::RescheduleIpi,
+                units: 0,
+            }
+        } else if roll < 0.75 {
+            Arrival {
+                t: self.t,
+                core,
+                kind: InterruptKind::Softirq(SoftirqKind::Rcu),
+                units: 1,
+            }
+        } else if roll < 0.9 {
+            Arrival {
+                t: self.t,
+                core,
+                kind: InterruptKind::Softirq(SoftirqKind::Timer),
+                units: 1,
+            }
+        } else {
+            let kind = if self.rng.chance(0.5) {
+                InterruptKind::Disk
+            } else {
+                InterruptKind::Usb
+            };
+            let core = self
+                .cfg
+                .effective_routing()
+                .route(kind, self.seq, self.cfg.num_cores);
+            self.seq += 1;
+            Arrival {
+                t: self.t,
+                core,
+                kind,
+                units: 0,
+            }
+        })
+    }
+}
+
+/// The workload interrupt cascade: a two-way merge of the (sorted) victim
+/// workload with the lazily generated ambient LLC-churn stream, expanded
+/// event by event into interrupt arrivals.
+///
+/// Emissions are not time-sorted at the source — a NIC coalescing flush
+/// lands at the batch's *first* packet time, after later packets were
+/// seen — so they buffer in a `(t, seq)` min-heap and are released only
+/// once no future emission can precede them (every arm emits at or after
+/// its event's time, and a pending NIC batch can only flush at
+/// `nic_first`).
+struct Cascade<'a> {
+    cfg: &'a MachineConfig,
+    tuning: &'a KernelTuning,
+    duration: Nanos,
+    /// The victim workload's events, in push order.
+    events: &'a [TimedEvent],
+    /// Stable `(t, index)` order over `events` when they are not already
+    /// sorted; `None` streams the slice directly.
+    order: Option<Vec<(u64, u32)>>,
+    pos: usize,
+    /// `events[pos]` (through `order`), cached so the release-bound check
+    /// in [`Cascade::next`] costs a register read, not slice indexing.
+    wl_head: Option<TimedEvent>,
+    ambient_rng: SeedRng,
+    ambient_t: Nanos,
+    ambient_head: Option<TimedEvent>,
+    softirq_rng: SeedRng,
+    /// Device-IRQ sequence number for routing.
+    route_seq: u64,
+    // NIC coalescing state.
+    nic_pending: u32,
+    nic_first: Nanos,
+    nic_last: Nanos,
+    final_flushed: bool,
+    pending: ReorderHeap,
+    heap_seq: u64,
+    llc: StepSeries,
+    llc_cum: f64,
+}
+
+impl<'a> Cascade<'a> {
+    fn new(
+        cfg: &'a MachineConfig,
+        tuning: &'a KernelTuning,
+        workload: &'a Workload,
+        softirq_rng: SeedRng,
+        ambient_rng: SeedRng,
+    ) -> Self {
+        let duration = workload.duration();
+        let order = if workload.is_sorted() {
+            None
+        } else {
+            debug_assert!(u32::try_from(workload.len()).is_ok());
+            let mut order = workspace::take_index();
+            for (i, ev) in workload.events().iter().enumerate() {
+                order.push((ev.t.as_nanos(), i as u32));
+            }
+            // Unique composite keys make the unstable (allocation-free)
+            // sort equivalent to the stable sort-by-time the workload's
+            // own `finalize` would perform.
+            order.sort_unstable();
+            Some(order)
+        };
+        let mut cascade = Cascade {
+            cfg,
+            tuning,
+            duration,
+            events: workload.events(),
+            order,
+            pos: 0,
+            wl_head: None,
+            ambient_rng,
+            ambient_t: Nanos::ZERO,
+            ambient_head: None,
+            softirq_rng,
+            route_seq: 0,
+            nic_pending: 0,
+            nic_first: Nanos::ZERO,
+            nic_last: Nanos::ZERO,
+            final_flushed: false,
+            pending: ReorderHeap::new(workspace::take_pending()),
+            heap_seq: 0,
+            llc: StepSeries::new_in(0.0, workspace::take_points()),
+            llc_cum: 0.0,
+        };
+        cascade.advance_ambient();
+        cascade.refill_workload();
+        cascade
+    }
+
+    /// Background LLC traffic from the rest of the system: the browser
+    /// process itself, other tabs, the OS page cache, daemons. Real
+    /// machines stream megabytes through the LLC every second whether
+    /// or not the victim tab does anything — this uncontrolled churn
+    /// is why the paper finds the cache-occupancy channel noisier than
+    /// the interrupt channel (§4.3).
+    fn advance_ambient(&mut self) {
+        self.ambient_t += Nanos::from_nanos(self.ambient_rng.exponential(3.3e6) as u64 + 1); // ~300/s
+        if self.ambient_t >= self.duration {
+            // Exhausted: the caller never asks to advance again, so the
+            // RNG draw sequence ends exactly where the eager loop's did.
+            self.ambient_head = None;
+            return;
+        }
+        let lines = self.ambient_rng.log_normal((3_000.0f64).ln(), 1.0) as u32;
+        self.ambient_head = Some(TimedEvent {
+            t: self.ambient_t,
+            event: WorkloadEvent::CacheLoad {
+                lines: lines.min(98_304),
+            },
+        });
+    }
+
+    /// Re-cache `events[pos]` into `wl_head`. The stream is sorted, so
+    /// the first out-of-range event ends it.
+    fn refill_workload(&mut self) {
+        let ev = match &self.order {
+            None => self.events.get(self.pos).copied(),
+            Some(order) => order.get(self.pos).map(|&(_, i)| self.events[i as usize]),
+        };
+        self.wl_head = ev.filter(|ev| ev.t < self.duration);
+    }
+
+    /// Pop the next event in merged time order; the victim workload wins
+    /// ties (it preceded the appended ambient events under the retired
+    /// engine's stable sort).
+    fn next_event(&mut self) -> Option<TimedEvent> {
+        match (self.wl_head, self.ambient_head) {
+            (Some(we), Some(ae)) if we.t <= ae.t => {
+                self.pos += 1;
+                self.refill_workload();
+                Some(we)
+            }
+            (_, Some(ae)) => {
+                self.advance_ambient();
+                Some(ae)
+            }
+            (Some(we), None) => {
+                self.pos += 1;
+                self.refill_workload();
+                Some(we)
+            }
+            (None, None) => None,
+        }
+    }
+
+    /// Earliest unprocessed event time, if any.
+    fn peek_event_t(&self) -> Option<Nanos> {
+        match (self.wl_head, self.ambient_head) {
+            (Some(w), Some(a)) => Some(w.t.min(a.t)),
+            (Some(w), None) => Some(w.t),
+            (None, Some(a)) => Some(a.t),
+            (None, None) => None,
+        }
+    }
+
+    fn emit(&mut self, t: Nanos, core: usize, kind: InterruptKind, units: u32) {
+        self.pending.push(PendingArrival {
+            key: ((t.as_nanos() as u128) << 64) | self.heap_seq as u128,
+            core: core as u32,
+            units,
+            kind,
+        });
+        self.heap_seq += 1;
+    }
+
+    fn flush_nic(&mut self, first: Nanos, pending_units: u32) {
+        if pending_units == 0 {
+            return;
+        }
+        let irq_core =
+            self.cfg
+                .effective_routing()
+                .route(InterruptKind::NetworkRx, self.route_seq, self.cfg.num_cores);
+        self.route_seq += 1;
+        self.emit(first, irq_core, InterruptKind::NetworkRx, 0);
+        // Bottom half: NET_RX softirq, local or deferred to a random
+        // core (non-movable either way).
+        let local = self.softirq_rng.chance(self.tuning.softirq_local_prob);
+        let soft_core = if local {
+            irq_core
+        } else {
+            self.softirq_rng.int_range(0, self.cfg.num_cores as u64) as usize
+        };
+        let delay = Nanos::from_nanos(1_000 + self.softirq_rng.int_range(0, 4_000));
+        self.emit(
+            first + delay,
+            soft_core,
+            InterruptKind::Softirq(SoftirqKind::NetRx),
+            pending_units,
+        );
+    }
+
+    fn process(&mut self, ev: TimedEvent) {
+        let num_cores = self.cfg.num_cores;
+        match ev.event {
+            WorkloadEvent::NetworkPacket { bytes } => {
+                let units = 1 + bytes / 4_096; // big payloads = more work
+                if self.nic_pending > 0
+                    && ev.t.saturating_sub(self.nic_last) <= self.tuning.nic_coalesce_window
+                    && self.nic_pending < self.tuning.nic_coalesce_max
+                {
+                    self.nic_pending += units;
+                    self.nic_last = ev.t;
+                } else {
+                    let (first, pending_units) = (self.nic_first, self.nic_pending);
+                    self.flush_nic(first, pending_units);
+                    self.nic_pending = units;
+                    self.nic_first = ev.t;
+                    self.nic_last = ev.t;
+                }
+            }
+            WorkloadEvent::DiskCompletion => {
+                let core =
+                    self.cfg
+                        .effective_routing()
+                        .route(InterruptKind::Disk, self.route_seq, num_cores);
+                self.route_seq += 1;
+                self.emit(ev.t, core, InterruptKind::Disk, 0);
+            }
+            WorkloadEvent::GraphicsFrame => {
+                let core = self.cfg.effective_routing().route(
+                    InterruptKind::Graphics,
+                    self.route_seq,
+                    num_cores,
+                );
+                self.route_seq += 1;
+                self.emit(ev.t, core, InterruptKind::Graphics, 0);
+                // GPU completion queues IRQ work / tasklets on a
+                // kernel-chosen core (§5.2: softirqs help launch GPU
+                // operations and may land on the attacker's core).
+                let w_core = self.softirq_rng.int_range(0, num_cores as u64) as usize;
+                self.emit(
+                    ev.t + Nanos::from_micros(2),
+                    w_core,
+                    InterruptKind::IrqWork,
+                    0,
+                );
+                if self.softirq_rng.chance(0.5) {
+                    let t_core = self.softirq_rng.int_range(0, num_cores as u64) as usize;
+                    self.emit(
+                        ev.t + Nanos::from_micros(5),
+                        t_core,
+                        InterruptKind::Softirq(SoftirqKind::Tasklet),
+                        1,
+                    );
+                }
+            }
+            WorkloadEvent::VictimWake => {
+                if self.softirq_rng.chance(self.tuning.wake_ipi_prob) {
+                    let core = self.softirq_rng.int_range(0, num_cores as u64) as usize;
+                    self.emit(ev.t, core, InterruptKind::RescheduleIpi, 0);
+                }
+            }
+            WorkloadEvent::TlbShootdown { pages } => {
+                // Broadcast to every core but the initiator.
+                let initiator = self.softirq_rng.int_range(0, num_cores as u64) as usize;
+                let units = pages.min(self.tuning.tlb_page_cap);
+                for core in 0..num_cores {
+                    if core != initiator {
+                        self.emit(ev.t, core, InterruptKind::TlbShootdown, units);
+                    }
+                }
+            }
+            WorkloadEvent::CacheLoad { lines } => {
+                self.llc_cum += lines as f64;
+                self.llc.push_or_update(ev.t.as_nanos(), self.llc_cum);
+            }
+            WorkloadEvent::CpuBurst { duration: d } => {
+                // Heavy bursts expire timers: TIMER softirq on the
+                // burst core.
+                if d >= Nanos::from_millis(1) && self.softirq_rng.chance(0.3) {
+                    let core = self.softirq_rng.int_range(0, num_cores as u64) as usize;
+                    self.emit(
+                        ev.t + d / 2,
+                        core,
+                        InterruptKind::Softirq(SoftirqKind::Timer),
+                        1,
+                    );
+                }
+            }
+            WorkloadEvent::KeyPress => {
+                // HID press interrupt, then a release interrupt
+                // 80–250 µs later (keyboards report both edges), then
+                // the focused app wakes. USB interrupts are
+                // source-affine: every keystroke hits the same core
+                // unless irqbalance moves it.
+                let core = self
+                    .cfg
+                    .effective_routing()
+                    .route(InterruptKind::Usb, 0, num_cores);
+                self.emit(ev.t, core, InterruptKind::Usb, 0);
+                let release =
+                    ev.t + Nanos::from_micros(80 + self.softirq_rng.int_range(0, 170));
+                self.emit(release, core, InterruptKind::Usb, 0);
+                if self.softirq_rng.chance(0.8) {
+                    let wake_core = self.softirq_rng.int_range(0, num_cores as u64) as usize;
+                    self.emit(
+                        ev.t + Nanos::from_micros(30),
+                        wake_core,
+                        InterruptKind::RescheduleIpi,
+                        0,
+                    );
+                }
+            }
+            WorkloadEvent::SpuriousInterrupt => {
+                // §6.2: activity bursts + network pings at random.
+                let core = self.softirq_rng.int_range(0, num_cores as u64) as usize;
+                self.emit(ev.t, core, InterruptKind::RescheduleIpi, 0);
+                let core2 = self.softirq_rng.int_range(0, num_cores as u64) as usize;
+                self.emit(
+                    ev.t + Nanos::from_micros(3),
+                    core2,
+                    InterruptKind::Softirq(SoftirqKind::Timer),
+                    2,
+                );
+            }
+        }
+    }
+
+    fn next(&mut self) -> Option<Arrival> {
+        loop {
+            // Fast path: nothing buffered, so no release-bound to check —
+            // chew through events (most are LLC loads and coalesced NIC
+            // packets that emit nothing) until one buffers an emission.
+            if let Some(top) = self.pending.peek() {
+                // A buffered emission is releasable once nothing still to
+                // come can sort before it: future emissions happen at or
+                // after the next event's time, except a pending NIC batch,
+                // which can flush as early as `nic_first`. Later emissions
+                // at an equal time carry a larger `seq`, so `<=` is safe.
+                let bound = if self.nic_pending > 0 {
+                    Some(self.nic_first)
+                } else {
+                    self.peek_event_t()
+                };
+                if bound.is_none_or(|b| top.t() <= b) {
+                    let p = self.pending.pop().expect("peeked above");
+                    return Some(Arrival {
+                        t: p.t(),
+                        core: p.core as usize,
+                        kind: p.kind,
+                        units: p.units,
+                    });
+                }
+            }
+            if let Some(ev) = self.next_event() {
+                self.process(ev);
+            } else if !self.final_flushed {
+                self.final_flushed = true;
+                let (first, pending_units) = (self.nic_first, self.nic_pending);
+                self.nic_pending = 0;
+                self.flush_nic(first, pending_units);
+            } else {
+                debug_assert!(self.pending.is_empty());
+                return None;
+            }
+        }
+    }
+
+    /// Dismantle the cascade: hand the LLC series to the caller and pool
+    /// the scratch storage.
+    fn finish(self) -> StepSeries {
+        let Cascade {
+            order, pending, llc, ..
+        } = self;
+        if let Some(order) = order {
+            workspace::give_index(order);
+        }
+        workspace::give_pending(pending.v);
+        llc
+    }
+}
+
+/// Lazily generated scheduler preemptions of the attacker core (unpinned
+/// configurations only): the load balancer sometimes places a victim
+/// thread on the attacker's core. Times are strictly increasing, so the
+/// stream is sorted as generated.
+struct PreemptStream<'a> {
+    activity: &'a [f64],
+    period: u64,
+    duration: Nanos,
+    rate_busy: f64,
+    rate_idle: f64,
+    slice_ln: f64,
+    rng: SeedRng,
+    t: Nanos,
+    done: bool,
+}
+
+impl<'a> PreemptStream<'a> {
+    fn new(
+        cfg: &MachineConfig,
+        tuning: &KernelTuning,
+        duration: Nanos,
+        activity: &'a [f64],
+        rng: SeedRng,
+    ) -> Self {
+        PreemptStream {
+            activity,
+            period: cfg.frequency.update_period.as_nanos().max(1),
+            duration,
+            rate_busy: tuning.preemption_rate_busy,
+            rate_idle: tuning.preemption_rate_idle,
+            slice_ln: (tuning.preemption_slice.as_nanos() as f64).ln(),
+            rng,
+            t: Nanos::ZERO,
+            // Pinned cores never get preempted — and the RNG is never
+            // drawn, matching the retired engine's early return.
+            done: cfg.isolation.pin_cores,
+        }
+    }
+
+    fn next(&mut self) -> Option<Preemption> {
+        if self.done {
+            return None;
+        }
+        let bucket = (self.t.as_nanos() / self.period) as usize;
+        let act = self.activity.get(bucket).copied().unwrap_or(0.0);
+        let rate = self.rate_idle + (self.rate_busy - self.rate_idle) * act.min(1.0);
+        let gap = self.rng.exponential(1e9 / rate.max(1e-6));
+        self.t += Nanos::from_nanos(gap as u64 + 1);
+        if self.t >= self.duration {
+            self.done = true;
+            return None;
+        }
+        let len_ns = self.rng.log_normal(self.slice_ln, 0.8);
+        Some(Preemption {
+            t: self.t,
+            len: Nanos::from_nanos(len_ns as u64),
+        })
+    }
+}
+
+/// Per-bucket activity surcharge a workload event contributes (ns of
+/// implied CPU work), for the frequency governor and preemption models.
+fn activity_cost(event: WorkloadEvent) -> f64 {
+    match event {
+        WorkloadEvent::NetworkPacket { .. } | WorkloadEvent::DiskCompletion => 2_000.0,
+        WorkloadEvent::GraphicsFrame => 8_000.0,
+        WorkloadEvent::VictimWake => 1_500.0,
+        WorkloadEvent::TlbShootdown { .. } => 3_000.0,
+        WorkloadEvent::CacheLoad { .. } => 0.0,
+        WorkloadEvent::CpuBurst { duration } => duration.as_nanos() as f64,
+        WorkloadEvent::KeyPress => 1_000.0,
+        WorkloadEvent::SpuriousInterrupt => 2_000.0,
+    }
+}
+
 impl Machine {
     /// Create a machine with default kernel tuning.
     ///
@@ -147,321 +877,88 @@ impl Machine {
 
     /// Run the workload, producing timelines, kernel log, and cache/freq
     /// series. Fully deterministic in `(config, tuning, workload, seed)`.
+    ///
+    /// Steady-state runs allocate nothing: every buffer comes from the
+    /// thread-local [`workspace`](crate::workspace) pool, and passing the
+    /// finished output to [`workspace::recycle`](crate::workspace::recycle)
+    /// returns its storage for the next run.
     pub fn run(&self, workload: &Workload, seed: u64) -> SimOutput {
         let cfg = &self.config;
         let duration = workload.duration();
         let root = SeedRng::new(seed);
-        let mut route_rng = root.fork(1);
         let mut handler_rng = root.fork(2);
-        let mut background_rng = root.fork(3);
-        let mut softirq_rng = root.fork(4);
-        let mut preempt_rng = root.fork(5);
+        let background_rng = root.fork(3);
+        let softirq_rng = root.fork(4);
+        let preempt_rng = root.fork(5);
         let mut freq_rng = root.fork(6);
+        let ambient_rng = root.fork(7);
 
-        let mut events = workload.clone();
-        events.finalize();
-
-        let mut arrivals: Vec<Arrival> = Vec::with_capacity(events.len() * 2 + 4096);
-        let mut llc = StepSeries::new(0.0);
-        let mut llc_cum = 0.0f64;
-        let mut llc_last_t: Option<u64> = None;
-
-        self.generate_timer_ticks(duration, &mut arrivals);
-        self.generate_background(duration, &mut background_rng, &mut arrivals);
-        // Background LLC traffic from the rest of the system: the browser
-        // process itself, other tabs, the OS page cache, daemons. Real
-        // machines stream megabytes through the LLC every second whether
-        // or not the victim tab does anything — this uncontrolled churn
-        // is why the paper finds the cache-occupancy channel noisier than
-        // the interrupt channel (§4.3).
-        {
-            let mut rng = root.fork(7);
-            let mut t = Nanos::ZERO;
-            loop {
-                t += Nanos::from_nanos(rng.exponential(3.3e6) as u64 + 1); // ~300/s
-                if t >= duration {
-                    break;
-                }
-                let lines = rng.log_normal((3_000.0f64).ln(), 1.0) as u32;
-                events.push_at(
-                    t,
-                    WorkloadEvent::CacheLoad {
-                        lines: lines.min(98_304),
-                    },
-                );
-            }
-            events.finalize();
-        }
+        let mut cascade = Cascade::new(cfg, &self.tuning, workload, softirq_rng, ambient_rng);
 
         // Activity accounting for the frequency governor and the
         // preemption model: CPU-burst time plus a per-interrupt surcharge,
-        // bucketed by governor period.
+        // bucketed by governor period. Ambient cache churn carries no
+        // surcharge, so this pass walks only the (time-ordered) victim
+        // events — the same per-bucket addition order the event loop used
+        // when it interleaved them, which keeps the float sums bit-exact.
         let freq_period = cfg.frequency.update_period.as_nanos().max(1);
         let n_buckets = (duration.as_nanos() / freq_period + 1) as usize;
-        let mut activity = vec![0.0f64; n_buckets];
-        let note_activity = |t: Nanos, amount_ns: f64, activity: &mut Vec<f64>| {
-            let idx = (t.as_nanos() / freq_period) as usize;
-            if let Some(slot) = activity.get_mut(idx) {
-                *slot += amount_ns;
-            }
-        };
-
-        // Device-IRQ sequence numbers for routing.
-        let mut seq: u64 = 0;
-        // NIC coalescing state.
-        let mut nic_pending: u32 = 0;
-        let mut nic_first: Nanos = Nanos::ZERO;
-        let mut nic_last: Nanos = Nanos::ZERO;
-
-        let flush_nic = |first: Nanos,
-                         pending: u32,
-                         seq: &mut u64,
-                         route_rng: &mut SeedRng,
-                         softirq_rng: &mut SeedRng,
-                         arrivals: &mut Vec<Arrival>| {
-            if pending == 0 {
-                return;
-            }
-            let irq_core =
-                cfg.effective_routing()
-                    .route(InterruptKind::NetworkRx, *seq, cfg.num_cores);
-            *seq += 1;
-            arrivals.push(Arrival {
-                t: first,
-                core: irq_core,
-                kind: InterruptKind::NetworkRx,
-                units: 0,
-            });
-            // Bottom half: NET_RX softirq, local or deferred to a random
-            // core (non-movable either way).
-            let local = softirq_rng.chance(self.tuning.softirq_local_prob);
-            let soft_core = if local {
-                irq_core
-            } else {
-                softirq_rng.int_range(0, cfg.num_cores as u64) as usize
+        let mut activity = workspace::take_f64s();
+        activity.resize(n_buckets, 0.0);
+        {
+            let events = workload.events();
+            // Events arrive time-sorted, so the bucket index is monotone:
+            // advance it by comparison instead of dividing per event.
+            let mut bucket = 0usize;
+            let mut bucket_end = freq_period;
+            let mut add = |ev: TimedEvent| {
+                if ev.t >= duration {
+                    return false;
+                }
+                let t = ev.t.as_nanos();
+                while t >= bucket_end {
+                    bucket += 1;
+                    bucket_end += freq_period;
+                }
+                if let Some(slot) = activity.get_mut(bucket) {
+                    *slot += activity_cost(ev.event);
+                }
+                true
             };
-            let delay = Nanos::from_nanos(1_000 + softirq_rng.int_range(0, 4_000));
-            arrivals.push(Arrival {
-                t: first + delay,
-                core: soft_core,
-                kind: InterruptKind::Softirq(SoftirqKind::NetRx),
-                units: pending,
-            });
-            let _ = route_rng;
-        };
-
-        for ev in events.events() {
-            if ev.t >= duration {
-                continue;
-            }
-            match ev.event {
-                WorkloadEvent::NetworkPacket { bytes } => {
-                    let units = 1 + bytes / 4_096; // big payloads = more work
-                    if nic_pending > 0
-                        && ev.t.saturating_sub(nic_last) <= self.tuning.nic_coalesce_window
-                        && nic_pending < self.tuning.nic_coalesce_max
-                    {
-                        nic_pending += units;
-                        nic_last = ev.t;
-                    } else {
-                        flush_nic(
-                            nic_first,
-                            nic_pending,
-                            &mut seq,
-                            &mut route_rng,
-                            &mut softirq_rng,
-                            &mut arrivals,
-                        );
-                        nic_pending = units;
-                        nic_first = ev.t;
-                        nic_last = ev.t;
-                    }
-                    note_activity(ev.t, 2_000.0, &mut activity);
-                }
-                WorkloadEvent::DiskCompletion => {
-                    let core =
-                        cfg.effective_routing()
-                            .route(InterruptKind::Disk, seq, cfg.num_cores);
-                    seq += 1;
-                    arrivals.push(Arrival {
-                        t: ev.t,
-                        core,
-                        kind: InterruptKind::Disk,
-                        units: 0,
-                    });
-                    note_activity(ev.t, 2_000.0, &mut activity);
-                }
-                WorkloadEvent::GraphicsFrame => {
-                    let core =
-                        cfg.effective_routing()
-                            .route(InterruptKind::Graphics, seq, cfg.num_cores);
-                    seq += 1;
-                    arrivals.push(Arrival {
-                        t: ev.t,
-                        core,
-                        kind: InterruptKind::Graphics,
-                        units: 0,
-                    });
-                    // GPU completion queues IRQ work / tasklets on a
-                    // kernel-chosen core (§5.2: softirqs help launch GPU
-                    // operations and may land on the attacker's core).
-                    let w_core = softirq_rng.int_range(0, cfg.num_cores as u64) as usize;
-                    arrivals.push(Arrival {
-                        t: ev.t + Nanos::from_micros(2),
-                        core: w_core,
-                        kind: InterruptKind::IrqWork,
-                        units: 0,
-                    });
-                    if softirq_rng.chance(0.5) {
-                        let t_core = softirq_rng.int_range(0, cfg.num_cores as u64) as usize;
-                        arrivals.push(Arrival {
-                            t: ev.t + Nanos::from_micros(5),
-                            core: t_core,
-                            kind: InterruptKind::Softirq(SoftirqKind::Tasklet),
-                            units: 1,
-                        });
-                    }
-                    note_activity(ev.t, 8_000.0, &mut activity);
-                }
-                WorkloadEvent::VictimWake => {
-                    if softirq_rng.chance(self.tuning.wake_ipi_prob) {
-                        let core = softirq_rng.int_range(0, cfg.num_cores as u64) as usize;
-                        arrivals.push(Arrival {
-                            t: ev.t,
-                            core,
-                            kind: InterruptKind::RescheduleIpi,
-                            units: 0,
-                        });
-                    }
-                    note_activity(ev.t, 1_500.0, &mut activity);
-                }
-                WorkloadEvent::TlbShootdown { pages } => {
-                    // Broadcast to every core but the initiator.
-                    let initiator = softirq_rng.int_range(0, cfg.num_cores as u64) as usize;
-                    let units = pages.min(self.tuning.tlb_page_cap);
-                    for core in 0..cfg.num_cores {
-                        if core != initiator {
-                            arrivals.push(Arrival {
-                                t: ev.t,
-                                core,
-                                kind: InterruptKind::TlbShootdown,
-                                units,
-                            });
-                        }
-                    }
-                    note_activity(ev.t, 3_000.0, &mut activity);
-                }
-                WorkloadEvent::CacheLoad { lines } => {
-                    llc_cum += lines as f64;
-                    let t = ev.t.as_nanos();
-                    match llc_last_t {
-                        Some(last) if last == t => {
-                            // Coalesce same-instant loads: replace by
-                            // rebuilding the final point lazily below.
-                        }
-                        _ => {
-                            llc.push(t, llc_cum);
-                            llc_last_t = Some(t);
-                        }
-                    }
-                    // Same-instant coalescing: overwrite the value of the
-                    // final point if times matched.
-                    if llc_last_t == Some(t) {
-                        // StepSeries has no update-in-place; emulate by
-                        // pushing t+1 when needed. Cheap approximation:
-                        // push at t+1 when a duplicate instant occurs.
-                        if llc.value_at(t) != llc_cum {
-                            llc.push(t + 1, llc_cum);
-                            llc_last_t = Some(t + 1);
+            match &cascade.order {
+                None => {
+                    for &ev in events {
+                        if !add(ev) {
+                            break;
                         }
                     }
                 }
-                WorkloadEvent::CpuBurst { duration: d } => {
-                    note_activity(ev.t, d.as_nanos() as f64, &mut activity);
-                    // Heavy bursts expire timers: TIMER softirq on the
-                    // burst core.
-                    if d >= Nanos::from_millis(1) && softirq_rng.chance(0.3) {
-                        let core = softirq_rng.int_range(0, cfg.num_cores as u64) as usize;
-                        arrivals.push(Arrival {
-                            t: ev.t + d / 2,
-                            core,
-                            kind: InterruptKind::Softirq(SoftirqKind::Timer),
-                            units: 1,
-                        });
+                Some(order) => {
+                    for &(_, i) in order {
+                        if !add(events[i as usize]) {
+                            break;
+                        }
                     }
-                }
-                WorkloadEvent::KeyPress => {
-                    // HID press interrupt, then a release interrupt
-                    // 80–250 µs later (keyboards report both edges), then
-                    // the focused app wakes. USB interrupts are
-                    // source-affine: every keystroke hits the same core
-                    // unless irqbalance moves it.
-                    let core = cfg
-                        .effective_routing()
-                        .route(InterruptKind::Usb, 0, cfg.num_cores);
-                    arrivals.push(Arrival {
-                        t: ev.t,
-                        core,
-                        kind: InterruptKind::Usb,
-                        units: 0,
-                    });
-                    let release = ev.t + Nanos::from_micros(80 + softirq_rng.int_range(0, 170));
-                    arrivals.push(Arrival {
-                        t: release,
-                        core,
-                        kind: InterruptKind::Usb,
-                        units: 0,
-                    });
-                    if softirq_rng.chance(0.8) {
-                        let wake_core = softirq_rng.int_range(0, cfg.num_cores as u64) as usize;
-                        arrivals.push(Arrival {
-                            t: ev.t + Nanos::from_micros(30),
-                            core: wake_core,
-                            kind: InterruptKind::RescheduleIpi,
-                            units: 0,
-                        });
-                    }
-                    note_activity(ev.t, 1_000.0, &mut activity);
-                }
-                WorkloadEvent::SpuriousInterrupt => {
-                    // §6.2: activity bursts + network pings at random.
-                    let core = softirq_rng.int_range(0, cfg.num_cores as u64) as usize;
-                    arrivals.push(Arrival {
-                        t: ev.t,
-                        core,
-                        kind: InterruptKind::RescheduleIpi,
-                        units: 0,
-                    });
-                    let core2 = softirq_rng.int_range(0, cfg.num_cores as u64) as usize;
-                    arrivals.push(Arrival {
-                        t: ev.t + Nanos::from_micros(3),
-                        core: core2,
-                        kind: InterruptKind::Softirq(SoftirqKind::Timer),
-                        units: 2,
-                    });
-                    note_activity(ev.t, 2_000.0, &mut activity);
                 }
             }
         }
-        flush_nic(
-            nic_first,
-            nic_pending,
-            &mut seq,
-            &mut route_rng,
-            &mut softirq_rng,
-            &mut arrivals,
-        );
-
         // Normalize activity to a 0..1 utilization estimate per bucket.
         let cap = freq_period as f64 * cfg.num_cores as f64;
         for a in &mut activity {
             *a = (*a / cap).min(1.0);
         }
 
-        let freq = self.frequency_series(duration, &activity, &mut freq_rng);
-        let preemptions = self.generate_preemptions(duration, &activity, &mut preempt_rng);
-        let turbo_stalls = self.generate_turbo_stalls(duration, &mut freq_rng);
-        let (n_preemptions, n_turbo_stalls) = (preemptions.len(), turbo_stalls.len());
+        let freq = if cfg.frequency.scaling_enabled {
+            self.frequency_series(duration, &activity, &mut freq_rng, workspace::take_points())
+        } else {
+            StepSeries::new(1.0)
+        };
+        let mut turbo_stalls = workspace::take_gaps();
+        self.generate_turbo_stalls(duration, &mut freq_rng, &mut turbo_stalls);
+        let mut preempt = PreemptStream::new(cfg, &self.tuning, duration, &activity, preempt_rng);
+
+        let mut ticks = TickStream::new(cfg, duration);
+        let mut background = BackgroundStream::new(cfg, duration, background_rng);
 
         // Per-core service. Instrumentation tallies locally (plain
         // integers, no atomics) and flushes to the bf-obs registry once
@@ -471,7 +968,6 @@ impl Machine {
         let tally = bf_obs::enabled(bf_obs::Level::Error);
         let mut kind_counts = [0u64; InterruptKind::COUNT];
         let mut handler_ns = bf_obs::LocalHistogram::new();
-        arrivals.sort_by_key(|a| a.t);
         let handler = HandlerTimeModel {
             base_overhead: cfg.mitigation_overhead,
             amplification: if cfg.isolation.vm == VmMode::SeparateVms {
@@ -482,13 +978,16 @@ impl Machine {
             vm_exit_cost: cfg.vm_exit_cost,
         };
 
-        let mut kernel_log = KernelLog::new();
-        let mut per_core_gaps: Vec<Vec<Gap>> = vec![Vec::new(); cfg.num_cores];
-        let mut busy_until = vec![Nanos::ZERO; cfg.num_cores];
+        let mut core_logs = workspace::take_event_list();
+        let mut per_core_gaps = workspace::take_gap_list();
+        for _ in 0..cfg.num_cores {
+            core_logs.push(workspace::take_events());
+            per_core_gaps.push(workspace::take_gaps());
+        }
+        let mut busy_until = workspace::take_nanos();
+        busy_until.resize(cfg.num_cores, Nanos::ZERO);
 
-        // Merge preemptions (attacker core only) into the service stream.
         let attacker = cfg.attacker_core();
-        let mut pre_iter = preemptions.iter().peekable();
 
         let serve = |core: usize,
                      t: Nanos,
@@ -496,11 +995,13 @@ impl Machine {
                      kind: KernelEventKind,
                      busy_until: &mut Vec<Nanos>,
                      per_core_gaps: &mut Vec<Vec<Gap>>,
-                     kernel_log: &mut KernelLog| {
+                     core_logs: &mut Vec<Vec<KernelEvent>>| {
             let start = t.max(busy_until[core]);
             let end = start + len;
             busy_until[core] = end;
-            kernel_log.record(KernelEvent {
+            // Per-core starts are strictly increasing (`start >= previous
+            // end > previous start`), so each core's log is born sorted.
+            core_logs[core].push(KernelEvent {
                 core,
                 start,
                 end,
@@ -517,23 +1018,50 @@ impl Machine {
             }
         };
 
-        for a in &arrivals {
-            // Interleave attacker-core preemptions in time order.
-            while let Some(&&p) = pre_iter.peek() {
-                if p.t <= a.t {
-                    serve(
-                        attacker,
-                        p.t,
-                        p.len,
-                        KernelEventKind::ContextSwitch,
-                        &mut busy_until,
-                        &mut per_core_gaps,
-                        &mut kernel_log,
-                    );
-                    pre_iter.next();
-                } else {
+        // The k-way merge: pick the earliest head each round; equal times
+        // resolve ticks < background < cascade, reproducing the retired
+        // engine's insertion order under its stable sort. Attacker-core
+        // preemptions interleave in time order, preemption first on ties.
+        let mut tick_head = ticks.next();
+        let mut bg_head = background.next();
+        let mut cascade_head = cascade.next();
+        let mut preempt_head = preempt.next();
+        let mut n_arrivals: u64 = 0;
+        let mut n_preemptions: u64 = 0;
+        let head_t = |h: &Option<Arrival>| h.map_or(Nanos::MAX, |a| a.t);
+        loop {
+            let (tt, tb, tc) = (head_t(&tick_head), head_t(&bg_head), head_t(&cascade_head));
+            let a = if tt <= tb && tt <= tc {
+                if tick_head.is_none() {
+                    break; // all three streams exhausted
+                }
+                let a = tick_head.take().expect("checked above");
+                tick_head = ticks.next();
+                a
+            } else if tb <= tc {
+                let a = bg_head.take().expect("tb < MAX implies a head");
+                bg_head = background.next();
+                a
+            } else {
+                let a = cascade_head.take().expect("tc < MAX implies a head");
+                cascade_head = cascade.next();
+                a
+            };
+            while let Some(p) = preempt_head {
+                if p.t > a.t {
                     break;
                 }
+                serve(
+                    attacker,
+                    p.t,
+                    p.len,
+                    KernelEventKind::ContextSwitch,
+                    &mut busy_until,
+                    &mut per_core_gaps,
+                    &mut core_logs,
+                );
+                n_preemptions += 1;
+                preempt_head = preempt.next();
             }
             let len = handler.sample(a.kind, a.units, &mut handler_rng);
             if tally {
@@ -547,10 +1075,11 @@ impl Machine {
                 KernelEventKind::Interrupt(a.kind),
                 &mut busy_until,
                 &mut per_core_gaps,
-                &mut kernel_log,
+                &mut core_logs,
             );
+            n_arrivals += 1;
         }
-        for &p in pre_iter {
+        while let Some(p) = preempt_head {
             serve(
                 attacker,
                 p.t,
@@ -558,29 +1087,69 @@ impl Machine {
                 KernelEventKind::ContextSwitch,
                 &mut busy_until,
                 &mut per_core_gaps,
-                &mut kernel_log,
+                &mut core_logs,
             );
+            n_preemptions += 1;
+            preempt_head = preempt.next();
         }
+        workspace::give_nanos(busy_until);
+        let llc = cascade.finish();
 
-        kernel_log.finalize();
+        // Merge the born-sorted per-core logs by (start, core) — the
+        // composite keys are unique (per-core starts strictly increase),
+        // so this equals the retired engine's stable global sort.
+        let mut merged = workspace::take_events();
+        merged.reserve(core_logs.iter().map(|l| l.len()).sum());
+        let mut cursors = workspace::take_usizes();
+        cursors.resize(cfg.num_cores, 0);
+        // Cache each core's head start (MAX = exhausted) so one round
+        // scans a short array instead of re-indexing every log; strict
+        // `<` keeps the lowest core on ties, i.e. (start, core) order.
+        let mut heads = workspace::take_nanos();
+        for log in core_logs.iter() {
+            heads.push(log.first().map_or(Nanos::MAX, |e| e.start));
+        }
+        loop {
+            let mut best_core = usize::MAX;
+            let mut best_t = Nanos::MAX;
+            for (core, &h) in heads.iter().enumerate() {
+                if h < best_t {
+                    best_t = h;
+                    best_core = core;
+                }
+            }
+            if best_core == usize::MAX {
+                break;
+            }
+            let cur = cursors[best_core];
+            merged.push(core_logs[best_core][cur]);
+            cursors[best_core] = cur + 1;
+            heads[best_core] = core_logs[best_core]
+                .get(cur + 1)
+                .map_or(Nanos::MAX, |e| e.start);
+        }
+        workspace::give_nanos(heads);
+        workspace::give_usizes(cursors);
+        workspace::give_event_list(core_logs);
+        let kernel_log = KernelLog::from_sorted_events(merged);
 
         // Flush the run's tallies into the global metrics registry.
         bf_obs::counter("sim.runs").inc();
-        bf_obs::counter("sim.events_dispatched").add(arrivals.len() as u64 + n_preemptions as u64);
-        bf_obs::counter("sim.preemptions").add(n_preemptions as u64);
-        bf_obs::counter("sim.turbo_stalls").add(n_turbo_stalls as u64);
+        bf_obs::counter("sim.events_dispatched").add(n_arrivals + n_preemptions);
+        bf_obs::counter("sim.preemptions").add(n_preemptions);
+        bf_obs::counter("sim.turbo_stalls").add(turbo_stalls.len() as u64);
         for kind in InterruptKind::ALL {
             let n = kind_counts[kind.index()];
             if n > 0 {
-                bf_obs::counter(&format!("sim.interrupts{{kind={}}}", kind.label())).add(n);
+                bf_obs::counter(kind.counter_name()).add(n);
             }
         }
         bf_obs::histogram("sim.handler_ns").merge_local(&handler_ns);
         bf_obs::debug!(
             "sim run: {} arrivals, {} preemptions, {} turbo stalls over {} ms",
-            arrivals.len(),
+            n_arrivals,
             n_preemptions,
-            n_turbo_stalls,
+            turbo_stalls.len(),
             duration.as_nanos() / 1_000_000
         );
 
@@ -589,7 +1158,7 @@ impl Machine {
         // wherever they do not collide with an existing gap.
         if !turbo_stalls.is_empty() {
             let gaps = &mut per_core_gaps[attacker];
-            for stall in turbo_stalls {
+            for stall in turbo_stalls.drain(..) {
                 let pos = gaps.partition_point(|g| g.end <= stall.start);
                 let clear_after = gaps.get(pos).is_none_or(|g| g.start >= stall.end);
                 if clear_after {
@@ -597,19 +1166,20 @@ impl Machine {
                 }
             }
         }
+        workspace::give_gaps(turbo_stalls);
 
-        let cores = per_core_gaps
-            .into_iter()
-            .enumerate()
-            .map(|(core, gaps)| {
-                let f = if core == attacker {
-                    freq.clone()
-                } else {
-                    StepSeries::new(1.0)
-                };
-                CoreTimeline::new(duration, gaps, f)
-            })
-            .collect();
+        let mut cores = workspace::take_timelines();
+        let mut freq_slot = Some(freq);
+        for (core, gaps) in per_core_gaps.drain(..).enumerate() {
+            let f = if core == attacker {
+                freq_slot.take().expect("exactly one attacker core")
+            } else {
+                StepSeries::new(1.0)
+            };
+            cores.push(CoreTimeline::new(duration, gaps, f));
+        }
+        workspace::give_gap_list(per_core_gaps);
+        workspace::give_f64s(activity);
 
         SimOutput {
             cores,
@@ -620,90 +1190,20 @@ impl Machine {
         }
     }
 
-    /// Periodic scheduler ticks on every core, with per-core phase.
-    fn generate_timer_ticks(&self, duration: Nanos, arrivals: &mut Vec<Arrival>) {
-        let period = self.config.os.tick_period();
-        for core in 0..self.config.num_cores {
-            let phase = period * core as u64 / self.config.num_cores as u64;
-            let mut t = phase;
-            while t < duration {
-                arrivals.push(Arrival {
-                    t,
-                    core,
-                    kind: InterruptKind::TimerTick,
-                    units: 0,
-                });
-                t += period;
-            }
-        }
-    }
-
-    /// OS housekeeping noise floor: RCU softirqs, daemon wakeups,
-    /// occasional disk/net activity.
-    fn generate_background(&self, duration: Nanos, rng: &mut SeedRng, arrivals: &mut Vec<Arrival>) {
-        let rate = self.config.os.background_noise_rate();
-        let mean_gap = 1e9 / rate;
-        let mut t = Nanos::ZERO;
-        let mut seq = 0xB000u64;
-        loop {
-            t += Nanos::from_nanos(rng.exponential(mean_gap) as u64 + 1);
-            if t >= duration {
-                break;
-            }
-            let core = rng.int_range(0, self.config.num_cores as u64) as usize;
-            let roll = rng.uniform();
-            if roll < 0.45 {
-                arrivals.push(Arrival {
-                    t,
-                    core,
-                    kind: InterruptKind::RescheduleIpi,
-                    units: 0,
-                });
-            } else if roll < 0.75 {
-                arrivals.push(Arrival {
-                    t,
-                    core,
-                    kind: InterruptKind::Softirq(SoftirqKind::Rcu),
-                    units: 1,
-                });
-            } else if roll < 0.9 {
-                arrivals.push(Arrival {
-                    t,
-                    core,
-                    kind: InterruptKind::Softirq(SoftirqKind::Timer),
-                    units: 1,
-                });
-            } else {
-                let kind = if rng.chance(0.5) {
-                    InterruptKind::Disk
-                } else {
-                    InterruptKind::Usb
-                };
-                let core = self
-                    .config
-                    .effective_routing()
-                    .route(kind, seq, self.config.num_cores);
-                seq += 1;
-                arrivals.push(Arrival {
-                    t,
-                    core,
-                    kind,
-                    units: 0,
-                });
-            }
-        }
-    }
-
-    /// The attacker core's effective-speed curve.
-    fn frequency_series(&self, duration: Nanos, activity: &[f64], rng: &mut SeedRng) -> StepSeries {
+    /// The attacker core's effective-speed curve. Only called when
+    /// frequency scaling is enabled.
+    fn frequency_series(
+        &self,
+        duration: Nanos,
+        activity: &[f64],
+        rng: &mut SeedRng,
+        storage: Vec<(u64, f64)>,
+    ) -> StepSeries {
         let fc = &self.config.frequency;
-        if !fc.scaling_enabled {
-            return StepSeries::new(1.0);
-        }
         let period = fc.update_period.as_nanos().max(1);
         // Idle turbo headroom: attacker spinning alone runs slightly above
         // nominal; machine-wide activity shares the turbo budget.
-        let mut series = StepSeries::new(1.0 + fc.activity_droop / 2.0);
+        let mut series = StepSeries::new_in(1.0 + fc.activity_droop / 2.0, storage);
         let mut ewma = 0.0;
         for (i, &a) in activity.iter().enumerate() {
             let t = (i as u64) * period;
@@ -724,11 +1224,10 @@ impl Machine {
     /// Hardware stalls when Turbo Boost is enabled (footnote 4):
     /// frequency-transition/SMM pauses on the attacker core that leave no
     /// kernel-side record, so the eBPF attribution cannot explain them.
-    fn generate_turbo_stalls(&self, duration: Nanos, rng: &mut SeedRng) -> Vec<Gap> {
+    fn generate_turbo_stalls(&self, duration: Nanos, rng: &mut SeedRng, out: &mut Vec<Gap>) {
         if !self.config.turbo_boost {
-            return Vec::new();
+            return;
         }
-        let mut out = Vec::new();
         let mut t = Nanos::ZERO;
         loop {
             t += Nanos::from_nanos(rng.exponential(4e6) as u64 + 1); // ~250/s
@@ -743,42 +1242,6 @@ impl Machine {
             });
             t += len;
         }
-        out
-    }
-
-    /// Occasional scheduler preemptions of the attacker (unpinned
-    /// configurations only): the load balancer sometimes places a victim
-    /// thread on the attacker's core.
-    fn generate_preemptions(
-        &self,
-        duration: Nanos,
-        activity: &[f64],
-        rng: &mut SeedRng,
-    ) -> Vec<Preemption> {
-        if self.config.isolation.pin_cores {
-            return Vec::new();
-        }
-        let period = self.config.frequency.update_period.as_nanos().max(1);
-        let mut out = Vec::new();
-        let mut t = Nanos::ZERO;
-        loop {
-            let bucket = (t.as_nanos() / period) as usize;
-            let act = activity.get(bucket).copied().unwrap_or(0.0);
-            let rate = self.tuning.preemption_rate_idle
-                + (self.tuning.preemption_rate_busy - self.tuning.preemption_rate_idle)
-                    * act.min(1.0);
-            let gap = rng.exponential(1e9 / rate.max(1e-6));
-            t += Nanos::from_nanos(gap as u64 + 1);
-            if t >= duration {
-                break;
-            }
-            let len_ns = rng.log_normal((self.tuning.preemption_slice.as_nanos() as f64).ln(), 0.8);
-            out.push(Preemption {
-                t,
-                len: Nanos::from_nanos(len_ns as u64),
-            });
-        }
-        out
     }
 }
 
@@ -838,6 +1301,56 @@ mod tests {
         let a = m.run(&w, 1);
         let b = m.run(&w, 2);
         assert_ne!(a.attacker_timeline().gaps(), b.attacker_timeline().gaps());
+    }
+
+    #[test]
+    fn unsorted_workload_matches_finalized() {
+        let m = Machine::new(MachineConfig::default());
+        let unsorted = quick_workload(Nanos::from_millis(500));
+        assert!(!unsorted.is_sorted());
+        let mut sorted = unsorted.clone();
+        sorted.finalize();
+        assert!(sorted.is_sorted());
+        let a = m.run(&unsorted, 7);
+        let b = m.run(&sorted, 7);
+        assert_eq!(a.kernel_log.events(), b.kernel_log.events());
+        assert_eq!(a.llc_loads.points(), b.llc_loads.points());
+        for (x, y) in a.cores.iter().zip(&b.cores) {
+            assert_eq!(x.gaps(), y.gaps());
+            assert_eq!(x.freq().points(), y.freq().points());
+        }
+    }
+
+    #[test]
+    fn kernel_log_is_sorted_without_finalize() {
+        let m = Machine::new(MachineConfig::default());
+        let out = m.run(&quick_workload(Nanos::from_millis(500)), 7);
+        let events = out.kernel_log.events();
+        assert!(events
+            .windows(2)
+            .all(|w| (w[0].start, w[0].core) <= (w[1].start, w[1].core)));
+    }
+
+    #[test]
+    fn duplicate_instant_cache_loads_do_not_shift_time() {
+        let t = Nanos::from_millis(10);
+        let mut w = Workload::new(Nanos::from_millis(50));
+        w.push_at(t, WorkloadEvent::CacheLoad { lines: 100 });
+        w.push_at(t, WorkloadEvent::CacheLoad { lines: 200 });
+        w.push_at(t, WorkloadEvent::CacheLoad { lines: 300 });
+        let out = Machine::new(MachineConfig::default()).run(&w, 37);
+        // All three loads land on one point at exactly t — no displaced
+        // t+1 / t+2 points like the old same-instant kludge produced.
+        let at_t: Vec<_> = out
+            .llc_loads
+            .points()
+            .iter()
+            .filter(|&&(pt, _)| pt >= t.as_nanos() && pt < t.as_nanos() + 3)
+            .collect();
+        assert_eq!(at_t.len(), 1, "expected one coalesced point: {at_t:?}");
+        let before = out.llc_loads.value_at(t.as_nanos() - 1);
+        let after = out.llc_loads.value_at(t.as_nanos());
+        assert_eq!(after - before, 600.0);
     }
 
     #[test]

@@ -117,6 +117,26 @@ impl InterruptKind {
         }
     }
 
+    /// The pre-rendered per-kind metrics counter name. The engine bumps
+    /// one of these per run-level tally flush; a `format!` here would be
+    /// the only steady-state allocation left in `Machine::run`.
+    pub fn counter_name(self) -> &'static str {
+        match self {
+            InterruptKind::NetworkRx => "sim.interrupts{kind=net_rx_irq}",
+            InterruptKind::Disk => "sim.interrupts{kind=disk_irq}",
+            InterruptKind::Graphics => "sim.interrupts{kind=graphics_irq}",
+            InterruptKind::Usb => "sim.interrupts{kind=usb_irq}",
+            InterruptKind::TimerTick => "sim.interrupts{kind=timer}",
+            InterruptKind::RescheduleIpi => "sim.interrupts{kind=resched_ipi}",
+            InterruptKind::TlbShootdown => "sim.interrupts{kind=tlb_shootdown}",
+            InterruptKind::Softirq(SoftirqKind::NetRx) => "sim.interrupts{kind=softirq_net_rx}",
+            InterruptKind::Softirq(SoftirqKind::Timer) => "sim.interrupts{kind=softirq_timer}",
+            InterruptKind::Softirq(SoftirqKind::Tasklet) => "sim.interrupts{kind=softirq_tasklet}",
+            InterruptKind::Softirq(SoftirqKind::Rcu) => "sim.interrupts{kind=softirq_rcu}",
+            InterruptKind::IrqWork => "sim.interrupts{kind=irq_work}",
+        }
+    }
+
     /// The broad class used in Fig. 5 / Fig. 6 legends.
     pub fn class(self) -> InterruptClass {
         match self {
@@ -238,11 +258,28 @@ impl HandlerTimeModel {
     /// work is re-queued (we simply cap the handler).
     const SOFTIRQ_BUDGET: Nanos = Nanos(2_000_000); // 2 ms
 
+    /// `(ln(median), sigma)` per kind, indexed by [`InterruptKind::index`].
+    /// `ln` is a libm call; at millions of handler samples per collection
+    /// sweep it is worth hoisting off the hot path.
+    fn ln_body_params() -> &'static [(f64, f64); InterruptKind::COUNT] {
+        static TABLE: std::sync::OnceLock<[(f64, f64); InterruptKind::COUNT]> =
+            std::sync::OnceLock::new();
+        TABLE.get_or_init(|| {
+            let mut table = [(0.0, 0.0); InterruptKind::COUNT];
+            for kind in InterruptKind::ALL {
+                let (median, sigma) = Self::body_params(kind);
+                table[kind.index()] = (median.ln(), sigma);
+            }
+            table
+        })
+    }
+
     /// Sample the service time for one interrupt handling `units` of
     /// batched work (0 for plain interrupts).
+    #[inline]
     pub fn sample(&self, kind: InterruptKind, units: u32, rng: &mut SeedRng) -> Nanos {
-        let (median, sigma) = Self::body_params(kind);
-        let body = rng.log_normal(median.ln(), sigma);
+        let (ln_median, sigma) = Self::ln_body_params()[kind.index()];
+        let body = rng.log_normal(ln_median, sigma);
         let mut t =
             Nanos::from_nanos(body.round() as u64) + Self::per_unit_cost(kind) * units as u64;
         if matches!(kind, InterruptKind::Softirq(_)) && t > Self::SOFTIRQ_BUDGET {
@@ -400,6 +437,16 @@ mod tests {
         labels.sort_unstable();
         labels.dedup();
         assert_eq!(labels.len(), kinds.len());
+    }
+
+    #[test]
+    fn counter_names_embed_labels() {
+        for kind in InterruptKind::ALL {
+            assert_eq!(
+                kind.counter_name(),
+                format!("sim.interrupts{{kind={}}}", kind.label())
+            );
+        }
     }
 
     #[test]

@@ -67,6 +67,26 @@ impl KernelLog {
         KernelLog { events: Vec::new(), sorted: true }
     }
 
+    /// Adopt a pre-sorted event vector (ascending `(start, core)`)
+    /// without re-sorting — the streamed engine merges per-core logs
+    /// itself, and a redundant `finalize` would allocate a sort buffer.
+    ///
+    /// Order is debug-asserted; an unsorted vector in release builds
+    /// yields a log whose order-dependent queries are wrong.
+    pub fn from_sorted_events(events: Vec<KernelEvent>) -> Self {
+        debug_assert!(
+            events.windows(2).all(|w| (w[0].start, w[0].core) <= (w[1].start, w[1].core)),
+            "from_sorted_events requires (start, core) order"
+        );
+        KernelLog { events, sorted: true }
+    }
+
+    /// Dismantle the log into its event storage so the vector can be
+    /// pooled and reused.
+    pub fn into_events(self) -> Vec<KernelEvent> {
+        self.events
+    }
+
     /// Append one event (any order; sorted lazily).
     pub fn record(&mut self, ev: KernelEvent) {
         debug_assert!(!ev.is_empty(), "zero-length kernel event");
@@ -139,6 +159,18 @@ mod tests {
         log.finalize();
         assert_eq!(log.events()[0].start, Nanos(10));
         assert_eq!(log.len(), 2);
+    }
+
+    #[test]
+    fn from_sorted_events_skips_resort() {
+        let events = vec![
+            ev(1, 10, 20, KernelEventKind::Interrupt(InterruptKind::TimerTick)),
+            ev(0, 50, 60, KernelEventKind::ContextSwitch),
+        ];
+        let log = KernelLog::from_sorted_events(events.clone());
+        assert_eq!(log.events(), &events[..]);
+        let recovered = log.into_events();
+        assert_eq!(recovered, events);
     }
 
     #[test]

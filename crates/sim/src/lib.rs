@@ -54,6 +54,7 @@ pub mod kernel;
 pub mod routing;
 pub mod timeline;
 pub mod workload;
+pub mod workspace;
 
 pub use config::{CacheConfig, FrequencyConfig, IsolationConfig, MachineConfig, OsKind, VmMode};
 pub use engine::{Machine, SimOutput};
@@ -62,3 +63,4 @@ pub use kernel::{KernelEvent, KernelEventKind, KernelLog};
 pub use routing::RoutingPolicy;
 pub use timeline::{CoreTimeline, Gap, GapCause};
 pub use workload::{TimedEvent, Workload, WorkloadEvent};
+pub use workspace::WorkspaceStats;

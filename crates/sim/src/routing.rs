@@ -40,7 +40,16 @@ impl RoutingPolicy {
         debug_assert!(kind.is_movable(), "only movable IRQs are routed by policy");
         match self {
             RoutingPolicy::Spread => {
-                (combine_seeds(source_id(kind), seq) % num_cores as u64) as usize
+                let n = num_cores as u64;
+                let h = combine_seeds(source_id(kind), seq);
+                // Hot path: the modulo picks the core, and core counts are
+                // almost always powers of two — mask instead of a 64-bit
+                // divide. Identical result either way.
+                if n.is_power_of_two() {
+                    (h & (n - 1)) as usize
+                } else {
+                    (h % n) as usize
+                }
             }
             RoutingPolicy::BySource => (source_id(kind) % num_cores as u64) as usize,
             RoutingPolicy::PinnedTo(core) => {

@@ -84,13 +84,18 @@ impl CoreTimeline {
     /// # Panics
     ///
     /// Panics when gaps are unsorted or overlap.
-    pub fn new(duration: Nanos, gaps: Vec<Gap>, freq: StepSeries) -> Self {
-        let mut merged: Vec<Gap> = Vec::with_capacity(gaps.len());
-        for g in gaps {
+    pub fn new(duration: Nanos, mut gaps: Vec<Gap>, freq: StepSeries) -> Self {
+        // Merge in place (gaps are `Copy`): the construction runs once
+        // per core per simulation, so it must not allocate a scratch
+        // vector of its own.
+        let mut w = 0usize;
+        for r in 0..gaps.len() {
+            let g = gaps[r];
             if g.is_empty() {
                 continue;
             }
-            if let Some(last) = merged.last_mut() {
+            if w > 0 {
+                let last = &mut gaps[w - 1];
                 assert!(
                     g.start >= last.end,
                     "gaps must be sorted and non-overlapping: {:?} then {:?}",
@@ -102,9 +107,17 @@ impl CoreTimeline {
                     continue;
                 }
             }
-            merged.push(g);
+            gaps[w] = g;
+            w += 1;
         }
-        CoreTimeline { duration, gaps: merged, freq }
+        gaps.truncate(w);
+        CoreTimeline { duration, gaps, freq }
+    }
+
+    /// Dismantle the timeline into `(duration, gaps, freq)` so the gap
+    /// and frequency-point storage can be pooled and reused.
+    pub fn into_parts(self) -> (Nanos, Vec<Gap>, StepSeries) {
+        (self.duration, self.gaps, self.freq)
     }
 
     /// An always-runnable timeline at nominal frequency (unit tests,
@@ -301,6 +314,15 @@ mod tests {
     #[should_panic(expected = "non-overlapping")]
     fn overlapping_gaps_panic() {
         tl(vec![gap(10, 30), gap(20, 40)]);
+    }
+
+    #[test]
+    fn into_parts_roundtrips() {
+        let t = tl(vec![gap(10, 20), gap(20, 30), gap(50, 60)]);
+        let (duration, gaps, freq) = t.clone().into_parts();
+        assert_eq!(duration, Nanos(1_000));
+        assert_eq!(gaps, t.gaps());
+        assert_eq!(CoreTimeline::new(duration, gaps, freq), t);
     }
 
     #[test]

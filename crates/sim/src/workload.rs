@@ -124,6 +124,13 @@ impl Workload {
         &self.events
     }
 
+    /// True when the events are known to be sorted by time. The engine
+    /// uses this to stream a finalized workload directly instead of
+    /// building a sorted index over it.
+    pub fn is_sorted(&self) -> bool {
+        self.sorted
+    }
+
     /// Number of events.
     pub fn len(&self) -> usize {
         self.events.len()

@@ -1,0 +1,178 @@
+//! The zero-allocation contract for the simulation engine: once the
+//! thread-local workspace is warm, a steady-state `Machine::run` performs
+//! no heap allocations at all.
+//!
+//! A counting wrapper around the system allocator is installed as the
+//! test binary's `#[global_allocator]`; after five warm-up runs (each
+//! recycled back into the pool, which also registers every bf-obs
+//! counter the run flushes) counting is switched on for one more run,
+//! which must report zero allocations and zero deallocations.
+
+use bf_sim::{workspace, Machine, MachineConfig, Workload, WorkloadEvent};
+use bf_timer::Nanos;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// The counters and `TRACKING` flag are process-global; the tests below
+/// must not observe each other's windows.
+static SERIAL: Mutex<()> = Mutex::new(());
+
+/// Pass-through allocator that counts calls while `TRACKING` is set.
+struct CountingAlloc;
+
+static TRACKING: AtomicBool = AtomicBool::new(false);
+static ALLOCS: AtomicUsize = AtomicUsize::new(0);
+static DEALLOCS: AtomicUsize = AtomicUsize::new(0);
+static REALLOCS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if TRACKING.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        if TRACKING.load(Ordering::Relaxed) {
+            DEALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if TRACKING.load(Ordering::Relaxed) {
+            REALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// Run `f` with counting enabled and return `(allocs, deallocs, reallocs)`.
+fn counted<R>(f: impl FnOnce() -> R) -> (R, (usize, usize, usize)) {
+    ALLOCS.store(0, Ordering::SeqCst);
+    DEALLOCS.store(0, Ordering::SeqCst);
+    REALLOCS.store(0, Ordering::SeqCst);
+    TRACKING.store(true, Ordering::SeqCst);
+    let out = f();
+    TRACKING.store(false, Ordering::SeqCst);
+    (
+        out,
+        (
+            ALLOCS.load(Ordering::SeqCst),
+            DEALLOCS.load(Ordering::SeqCst),
+            REALLOCS.load(Ordering::SeqCst),
+        ),
+    )
+}
+
+/// A workload exercising every cascade arm: NIC coalescing, device IRQs,
+/// wake IPIs, TLB broadcasts, cache loads (including a same-instant
+/// pair), CPU bursts, keystrokes, and spurious interrupts.
+fn busy_workload(duration: Nanos) -> Workload {
+    let mut w = Workload::new(duration);
+    for i in 0..300u64 {
+        w.push_at(
+            Nanos::from_millis(20) + Nanos::from_micros(i * 37),
+            WorkloadEvent::NetworkPacket { bytes: 1_500 },
+        );
+    }
+    for i in 0..80u64 {
+        w.push_at(
+            Nanos::from_millis(50) + Nanos::from_micros(i * 130),
+            WorkloadEvent::VictimWake,
+        );
+        w.push_at(
+            Nanos::from_millis(60) + Nanos::from_micros(i * 170),
+            WorkloadEvent::CacheLoad { lines: 5_000 },
+        );
+    }
+    w.push_at(Nanos::from_millis(70), WorkloadEvent::CacheLoad { lines: 10 });
+    w.push_at(Nanos::from_millis(70), WorkloadEvent::CacheLoad { lines: 20 });
+    for i in 0..20u64 {
+        w.push_at(
+            Nanos::from_millis(80) + Nanos::from_micros(i * 450),
+            WorkloadEvent::TlbShootdown { pages: 64 },
+        );
+        w.push_at(
+            Nanos::from_millis(90) + Nanos::from_micros(i * 777),
+            WorkloadEvent::GraphicsFrame,
+        );
+        w.push_at(
+            Nanos::from_millis(100) + Nanos::from_micros(i * 333),
+            WorkloadEvent::DiskCompletion,
+        );
+        w.push_at(
+            Nanos::from_millis(110) + Nanos::from_micros(i * 211),
+            WorkloadEvent::KeyPress,
+        );
+        w.push_at(
+            Nanos::from_millis(120) + Nanos::from_micros(i * 101),
+            WorkloadEvent::SpuriousInterrupt,
+        );
+    }
+    w.push_at(
+        Nanos::from_millis(130),
+        WorkloadEvent::CpuBurst {
+            duration: Nanos::from_millis(4),
+        },
+    );
+    w
+}
+
+#[test]
+fn steady_state_run_does_not_allocate() {
+    let _guard = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    workspace::clear_thread();
+
+    let machine = Machine::new(MachineConfig::default());
+    let workload = busy_workload(Nanos::from_millis(200));
+
+    // Warm-up: every pool fills, every bf-obs counter the run flushes is
+    // registered, and buffer capacities settle at this workload size.
+    for _ in 0..5 {
+        workspace::recycle(machine.run(&workload, 42));
+    }
+
+    let (out, (allocs, deallocs, reallocs)) = counted(|| machine.run(&workload, 42));
+    assert!(!out.kernel_log.is_empty());
+    workspace::recycle(out);
+    assert_eq!(
+        (allocs, deallocs, reallocs),
+        (0, 0, 0),
+        "steady-state Machine::run touched the heap: \
+         {allocs} allocs, {deallocs} deallocs, {reallocs} reallocs"
+    );
+}
+
+#[test]
+fn steady_state_run_and_recycle_do_not_allocate() {
+    let _guard = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    workspace::clear_thread();
+
+    // The collection loop's real shape: run, consume, recycle — the
+    // recycle itself must also stay off the heap.
+    let machine = Machine::new(MachineConfig::default());
+    let workload = busy_workload(Nanos::from_millis(200));
+    for _ in 0..5 {
+        workspace::recycle(machine.run(&workload, 7));
+    }
+
+    let (total_gaps, (allocs, deallocs, reallocs)) = counted(|| {
+        let out = machine.run(&workload, 7);
+        let gaps: usize = out.cores.iter().map(|c| c.gaps().len()).sum();
+        workspace::recycle(out);
+        gaps
+    });
+    assert!(total_gaps > 0);
+    assert_eq!(
+        (allocs, deallocs, reallocs),
+        (0, 0, 0),
+        "steady-state run+recycle touched the heap: \
+         {allocs} allocs, {deallocs} deallocs, {reallocs} reallocs"
+    );
+}

@@ -119,4 +119,40 @@ proptest! {
             prop_assert!(g.cause != GapCause::Preemption);
         }
     }
+
+    /// The merged event stream is non-decreasing in time: the kernel log
+    /// comes out of the streamed engine already ordered by (start, core),
+    /// with no finalize pass.
+    #[test]
+    fn kernel_log_sorted_without_finalize(w in workload_strategy(), seed in 0u64..1_000) {
+        let m = Machine::new(MachineConfig::default());
+        let out = m.run(&w, seed);
+        for pair in out.kernel_log.events().windows(2) {
+            prop_assert!(
+                (pair[0].start, pair[0].core) <= (pair[1].start, pair[1].core),
+                "out of order: {:?} then {:?}", pair[0], pair[1]
+            );
+        }
+    }
+
+    /// Every output surface — kernel log, per-core gaps, LLC series,
+    /// frequency series — is identical across reruns, and identical
+    /// whether the workload streams sorted or through the stable index.
+    #[test]
+    fn full_output_deterministic(w in workload_strategy(), seed in 0u64..1_000) {
+        let m = Machine::new(MachineConfig::default());
+        let a = m.run(&w, seed);
+        let b = m.run(&w, seed);
+        let mut sorted = w.clone();
+        sorted.finalize();
+        let c = m.run(&sorted, seed);
+        for other in [&b, &c] {
+            prop_assert_eq!(a.kernel_log.events(), other.kernel_log.events());
+            prop_assert_eq!(&a.llc_loads, &other.llc_loads);
+            prop_assert_eq!(a.cores.len(), other.cores.len());
+            for (x, y) in a.cores.iter().zip(&other.cores) {
+                prop_assert_eq!(x, y);
+            }
+        }
+    }
 }

@@ -92,6 +92,7 @@ impl SeedRng {
     /// # Panics
     ///
     /// Panics when `lo > hi`.
+    #[inline]
     pub fn uniform_range(&mut self, lo: f64, hi: f64) -> f64 {
         assert!(lo <= hi, "uniform_range needs lo <= hi");
         lo + self.uniform() * (hi - lo)
@@ -102,6 +103,7 @@ impl SeedRng {
     /// # Panics
     ///
     /// Panics when `lo >= hi`.
+    #[inline]
     pub fn int_range(&mut self, lo: u64, hi: u64) -> u64 {
         assert!(lo < hi, "int_range needs lo < hi");
         let span = hi - lo;
@@ -109,11 +111,13 @@ impl SeedRng {
     }
 
     /// Bernoulli draw with probability `p` (clamped to `[0, 1]`).
+    #[inline]
     pub fn chance(&mut self, p: f64) -> bool {
         self.uniform() < p.clamp(0.0, 1.0)
     }
 
     /// Standard normal draw (Box–Muller with spare caching).
+    #[inline]
     pub fn standard_normal(&mut self) -> f64 {
         if let Some(bits) = self.gauss_spare.take() {
             return f64::from_bits(bits);
@@ -135,6 +139,7 @@ impl SeedRng {
     /// # Panics
     ///
     /// Panics when `std < 0`.
+    #[inline]
     pub fn normal(&mut self, mean: f64, std: f64) -> f64 {
         assert!(std >= 0.0, "normal std must be non-negative");
         mean + std * self.standard_normal()
@@ -143,6 +148,7 @@ impl SeedRng {
     /// Log-normal draw parameterized by the *underlying* normal's mu/sigma.
     /// Interrupt handler times in the simulator are log-normal (Fig. 6's
     /// long right tails).
+    #[inline]
     pub fn log_normal(&mut self, mu: f64, sigma: f64) -> f64 {
         self.normal(mu, sigma).exp()
     }
@@ -153,6 +159,7 @@ impl SeedRng {
     /// # Panics
     ///
     /// Panics when `mean <= 0`.
+    #[inline]
     pub fn exponential(&mut self, mean: f64) -> f64 {
         assert!(mean > 0.0, "exponential mean must be positive");
         let mut u = self.uniform();

@@ -42,6 +42,20 @@ impl StepSeries {
         Ok(StepSeries { points, initial })
     }
 
+    /// A series that is `initial` everywhere, backed by `storage`'s
+    /// capacity (cleared first). Lets callers build series on pooled
+    /// buffers instead of allocating per run.
+    pub fn new_in(initial: f64, mut storage: Vec<(u64, f64)>) -> Self {
+        storage.clear();
+        StepSeries { points: storage, initial }
+    }
+
+    /// Dismantle the series into `(initial, points)` so the point storage
+    /// can be pooled and reused via [`StepSeries::new_in`].
+    pub fn into_parts(self) -> (f64, Vec<(u64, f64)>) {
+        (self.initial, self.points)
+    }
+
     /// Append a change point; `t` must be strictly after the last point.
     ///
     /// # Panics
@@ -52,6 +66,24 @@ impl StepSeries {
             assert!(t > last, "step series points must be pushed in increasing time order");
         }
         self.points.push((t, value));
+    }
+
+    /// Append a change point, or overwrite the last point's value when it
+    /// is at the same time `t` — the natural operation for accumulating
+    /// series where several contributions can land on one instant.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `t` is before the last change point.
+    pub fn push_or_update(&mut self, t: u64, value: f64) {
+        match self.points.last_mut() {
+            Some(last) if last.0 == t => last.1 = value,
+            Some(&mut (last_t, _)) => {
+                assert!(t > last_t, "step series points must be pushed in increasing time order");
+                self.points.push((t, value));
+            }
+            None => self.points.push((t, value)),
+        }
     }
 
     /// Value at time `t`.
@@ -181,6 +213,35 @@ mod tests {
         let mut s = StepSeries::new(0.0);
         s.push(10, 1.0);
         s.push(10, 2.0);
+    }
+
+    #[test]
+    fn push_or_update_overwrites_same_instant() {
+        let mut s = StepSeries::new(0.0);
+        s.push_or_update(10, 1.0);
+        s.push_or_update(10, 3.0);
+        s.push_or_update(20, 4.0);
+        assert_eq!(s.points(), &[(10, 3.0), (20, 4.0)]);
+        assert_eq!(s.value_at(10), 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "increasing")]
+    fn push_or_update_rejects_time_travel() {
+        let mut s = StepSeries::new(0.0);
+        s.push_or_update(10, 1.0);
+        s.push_or_update(5, 2.0);
+    }
+
+    #[test]
+    fn new_in_reuses_storage_and_roundtrips() {
+        let mut s = StepSeries::new_in(1.0, vec![(99, 9.9); 8]);
+        assert!(s.is_empty());
+        s.push(10, 2.0);
+        let (initial, points) = s.into_parts();
+        assert_eq!(initial, 1.0);
+        assert_eq!(points, vec![(10, 2.0)]);
+        assert!(points.capacity() >= 8, "storage capacity must survive");
     }
 
     #[test]

@@ -33,6 +33,7 @@ impl Nanos {
     pub const MAX: Nanos = Nanos(u64::MAX);
 
     /// From whole nanoseconds.
+    #[inline]
     pub const fn from_nanos(ns: u64) -> Self {
         Nanos(ns)
     }
@@ -73,6 +74,7 @@ impl Nanos {
     }
 
     /// Raw nanosecond count.
+    #[inline]
     pub const fn as_nanos(self) -> u64 {
         self.0
     }
@@ -93,6 +95,7 @@ impl Nanos {
     }
 
     /// Subtraction clamped at zero.
+    #[inline]
     pub const fn saturating_sub(self, rhs: Nanos) -> Nanos {
         Nanos(self.0.saturating_sub(rhs.0))
     }
@@ -106,6 +109,7 @@ impl Nanos {
     }
 
     /// Addition clamped at [`Nanos::MAX`].
+    #[inline]
     pub const fn saturating_add(self, rhs: Nanos) -> Nanos {
         Nanos(self.0.saturating_add(rhs.0))
     }
@@ -135,12 +139,14 @@ impl Nanos {
     /// # Panics
     ///
     /// Panics when `f` is negative or not finite.
+    #[inline]
     pub fn mul_f64(self, f: f64) -> Nanos {
         assert!(f.is_finite() && f >= 0.0, "scale factor must be finite and non-negative");
         Nanos((self.0 as f64 * f).round() as u64)
     }
 
     /// The smaller of two times.
+    #[inline]
     pub fn min(self, other: Nanos) -> Nanos {
         if self <= other {
             self
@@ -150,6 +156,7 @@ impl Nanos {
     }
 
     /// The larger of two times.
+    #[inline]
     pub fn max(self, other: Nanos) -> Nanos {
         if self >= other {
             self
@@ -161,12 +168,14 @@ impl Nanos {
 
 impl Add for Nanos {
     type Output = Nanos;
+    #[inline]
     fn add(self, rhs: Nanos) -> Nanos {
         Nanos(self.0 + rhs.0)
     }
 }
 
 impl AddAssign for Nanos {
+    #[inline]
     fn add_assign(&mut self, rhs: Nanos) {
         self.0 += rhs.0;
     }
@@ -174,12 +183,14 @@ impl AddAssign for Nanos {
 
 impl Sub for Nanos {
     type Output = Nanos;
+    #[inline]
     fn sub(self, rhs: Nanos) -> Nanos {
         Nanos(self.0 - rhs.0)
     }
 }
 
 impl SubAssign for Nanos {
+    #[inline]
     fn sub_assign(&mut self, rhs: Nanos) {
         self.0 -= rhs.0;
     }
@@ -187,6 +198,7 @@ impl SubAssign for Nanos {
 
 impl Mul<u64> for Nanos {
     type Output = Nanos;
+    #[inline]
     fn mul(self, rhs: u64) -> Nanos {
         Nanos(self.0 * rhs)
     }
@@ -194,6 +206,7 @@ impl Mul<u64> for Nanos {
 
 impl Div<u64> for Nanos {
     type Output = Nanos;
+    #[inline]
     fn div(self, rhs: u64) -> Nanos {
         Nanos(self.0 / rhs)
     }
@@ -202,6 +215,7 @@ impl Div<u64> for Nanos {
 /// Number of whole `rhs` spans that fit in `self`.
 impl Div<Nanos> for Nanos {
     type Output = u64;
+    #[inline]
     fn div(self, rhs: Nanos) -> u64 {
         self.0 / rhs.0
     }
@@ -209,6 +223,7 @@ impl Div<Nanos> for Nanos {
 
 impl Rem<Nanos> for Nanos {
     type Output = Nanos;
+    #[inline]
     fn rem(self, rhs: Nanos) -> Nanos {
         Nanos(self.0 % rhs.0)
     }

@@ -26,6 +26,7 @@ HOT_MODULES=(
   crates/obs/src/level.rs crates/obs/src/event.rs
   crates/ml/src/anytime.rs crates/ml/src/calibrate.rs crates/ml/src/distill.rs
   crates/ml/src/cnn.rs crates/serve/src/service.rs
+  crates/sim/src/engine.rs crates/sim/src/workspace.rs
 )
 
 status=0
