@@ -123,7 +123,8 @@ pub fn direction_for(path: &str) -> Direction {
     const CONFIG: &[&str] = &[
         "seed", "threads", "par_threads", "hardware_threads", "requests", "batch", "filters",
         "n_classes", "trace_len", "samples", "iters_per_sample", "warmup_steps", "timed_steps",
-        "mean_gap_units", "scale", "tolerance",
+        "mean_gap_units", "scale", "tolerance", "shards", "session_gap_units", "mean_visits",
+        "think_units", "zipf_exponent",
     ];
     if CONFIG.contains(&leaf) {
         return Direction::Info;
@@ -140,7 +141,7 @@ pub fn direction_for(path: &str) -> Direction {
     ];
     const LOWER: &[&str] = &[
         "p50", "p99", "latency", "ns_per_step", "mean_ns", "median_ns", "min_ns", "timeouts",
-        "shed", "failed", "makespan", "quarantined", "degraded", "seconds",
+        "shed", "failed", "makespan", "quarantined", "degraded", "seconds", "shard_down",
     ];
     if HIGHER.iter().any(|s| leaf.contains(s)) {
         Direction::HigherBetter
@@ -256,6 +257,18 @@ mod tests {
         assert_eq!(direction_for("runs[0].p99_latency_units"), Direction::LowerBetter);
         assert_eq!(direction_for("rows[0].ns_per_step"), Direction::LowerBetter);
         assert_eq!(direction_for("runs[1].timeouts"), Direction::LowerBetter);
+        assert_eq!(direction_for("runs[0].shard_down_rate"), Direction::LowerBetter);
+        // Fleet topology and load-model knobs are config echoes, not
+        // quality signals — `shards` is not a throughput and the Zipf
+        // exponent is an input.
+        assert_eq!(direction_for("runs[0].shards"), Direction::Info);
+        assert_eq!(direction_for("zipf_exponent"), Direction::Info);
+        assert_eq!(direction_for("session_gap_units"), Direction::Info);
+        // Restart/flap/hedge counts are fault-injection echoes: their
+        // magnitude is set by the kill plan, not by code quality.
+        assert_eq!(direction_for("runs[0].restarts"), Direction::Info);
+        assert_eq!(direction_for("runs[0].breaker_flaps"), Direction::Info);
+        assert_eq!(direction_for("runs[0].hedged"), Direction::Info);
         // Config echoes are informational even when their names smell
         // directional (`threads` is not a throughput).
         assert_eq!(direction_for("runs[0].threads"), Direction::Info);

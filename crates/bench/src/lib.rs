@@ -19,6 +19,9 @@
 //! and end-to-end trace collection.
 
 pub mod diff;
+pub mod load;
+
+pub use load::{open_system_requests, LoadConfig};
 
 use bf_core::ExperimentScale;
 use bf_fault::{FaultPlan, ResumeConfig};

@@ -78,6 +78,17 @@ fn assert_all_resolved(resolved: &[Resolved], svc: &Service, n: usize) {
     let health = svc.health();
     assert_eq!(health.resolved(), n as u64, "tally sum must equal submissions");
     assert_eq!(health.submitted, n as u64);
+    // The full outcome multiset, not just the sum: a tally bug that
+    // booked a shed as a failure (or double-counted one label while
+    // dropping another) balances the total and slips past a sum check.
+    let count =
+        |label: &str| resolved.iter().filter(|r| r.outcome.label() == label).count() as u64;
+    assert_eq!(count("prediction"), health.predictions, "prediction tally matches records");
+    assert_eq!(count("degraded"), health.degraded, "degraded tally matches records");
+    assert_eq!(count("timeout"), health.timeouts, "timeout tally matches records");
+    assert_eq!(count("shed"), health.shed, "shed tally matches records");
+    assert_eq!(count("failed"), health.failed, "failed tally matches records");
+    assert_eq!(count("shard_down"), health.shard_down, "shard_down tally matches records");
     for r in resolved {
         assert!(r.completed >= r.started && r.started >= r.arrival, "sane tick ordering");
     }

@@ -36,10 +36,12 @@ pub mod backoff;
 pub mod cancel;
 pub mod checkpoint;
 pub mod plan;
+pub mod shard;
 pub mod validate;
 
 pub use backoff::BackoffPolicy;
 pub use cancel::{CancelToken, DeadlineExceeded};
 pub use checkpoint::{CheckpointError, CvCheckpoint, FoldRecord, ResumeConfig};
 pub use plan::{FaultKind, FaultPlan};
+pub use shard::{ShardKill, ShardKillPlan};
 pub use validate::{RepairAction, RepairPolicy, TraceValidator, Violation};

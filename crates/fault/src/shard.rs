@@ -1,0 +1,167 @@
+//! Shard-kill fault plans for the supervised serving fleet.
+//!
+//! A [`ShardKillPlan`] names, in virtual work units, the instants at which
+//! fleet shards crash. The fleet supervisor turns each kill into a bounded
+//! down window (crash tick → restart tick, via
+//! [`crate::BackoffPolicy::delay_units`]) so the whole outage schedule is a
+//! pure function of the plan — chaos runs replay bit-identically.
+//!
+//! Spec grammar (also accepted from `BF_FLEET_KILL`): a comma-separated
+//! list of `shard@tick` entries, e.g. `1@5000,1@9000,3@12000`. The same
+//! shard may be killed repeatedly; kill ticks that land inside an earlier
+//! down window for that shard are coalesced by the supervisor rather than
+//! stacking.
+
+/// One scheduled shard crash, in virtual work units.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct ShardKill {
+    /// Index of the shard to crash (fleet-relative, `0..shards`).
+    pub shard: usize,
+    /// Virtual tick at which the crash lands.
+    pub at_units: u64,
+}
+
+/// A deterministic shard-kill schedule for the serving fleet.
+#[derive(Debug, Clone, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct ShardKillPlan {
+    kills: Vec<ShardKill>,
+}
+
+impl ShardKillPlan {
+    /// The inert plan: no shard ever dies.
+    pub fn off() -> Self {
+        Self::default()
+    }
+
+    /// Build from explicit `(shard, at_units)` pairs.
+    pub fn new<I: IntoIterator<Item = (usize, u64)>>(kills: I) -> Self {
+        let mut plan = Self::off();
+        for (shard, at_units) in kills {
+            plan.kills.push(ShardKill { shard, at_units });
+        }
+        plan.normalize();
+        plan
+    }
+
+    /// Parse a `shard@tick,...` spec. Malformed entries are reported via
+    /// `bf_obs::error!` and skipped rather than aborting the run, matching
+    /// [`crate::FaultPlan::parse`].
+    pub fn parse(spec: &str) -> Self {
+        let spec = spec.trim();
+        if spec.is_empty() || spec.eq_ignore_ascii_case("off") {
+            return Self::off();
+        }
+        let mut plan = Self::off();
+        for part in spec.split(',') {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            let Some((shard, tick)) = part.split_once('@') else {
+                bf_obs::error!("BF_FLEET_KILL: ignoring malformed entry `{part}` (want shard@tick)");
+                continue;
+            };
+            match (shard.trim().parse::<usize>(), tick.trim().parse::<u64>()) {
+                (Ok(shard), Ok(at_units)) => plan.kills.push(ShardKill { shard, at_units }),
+                _ => bf_obs::error!("BF_FLEET_KILL: ignoring unparsable entry `{part}`"),
+            }
+        }
+        plan.normalize();
+        plan
+    }
+
+    /// Parse from the `BF_FLEET_KILL` environment variable (unset → off).
+    pub fn from_env() -> Self {
+        match std::env::var("BF_FLEET_KILL") {
+            Ok(spec) => Self::parse(&spec),
+            Err(_) => Self::off(),
+        }
+    }
+
+    /// Canonical order: by shard, then by kill tick. Keeps the plan's
+    /// identity independent of spec entry order.
+    fn normalize(&mut self) {
+        self.kills.sort_by_key(|k| (k.shard, k.at_units));
+        self.kills.dedup();
+    }
+
+    /// True when at least one kill is scheduled.
+    pub fn is_active(&self) -> bool {
+        !self.kills.is_empty()
+    }
+
+    /// All scheduled kills, in canonical order.
+    pub fn kills(&self) -> &[ShardKill] {
+        &self.kills
+    }
+
+    /// Kill ticks for one shard, ascending.
+    pub fn kills_for(&self, shard: usize) -> Vec<u64> {
+        self.kills.iter().filter(|k| k.shard == shard).map(|k| k.at_units).collect()
+    }
+
+    /// One-line human summary for banners and manifests.
+    pub fn summary(&self) -> String {
+        if !self.is_active() {
+            return "off".to_owned();
+        }
+        self.kills
+            .iter()
+            .map(|k| format!("{}@{}", k.shard, k.at_units))
+            .collect::<Vec<_>>()
+            .join(",")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn off_is_inactive() {
+        assert!(!ShardKillPlan::off().is_active());
+        assert_eq!(ShardKillPlan::off().summary(), "off");
+    }
+
+    #[test]
+    fn parse_roundtrips_through_summary() {
+        let plan = ShardKillPlan::parse("1@5000, 3@12000 ,1@9000");
+        assert!(plan.is_active());
+        assert_eq!(plan.summary(), "1@5000,1@9000,3@12000");
+        assert_eq!(ShardKillPlan::parse(&plan.summary()), plan);
+    }
+
+    #[test]
+    fn kills_for_filters_and_sorts() {
+        let plan = ShardKillPlan::new([(2, 900), (0, 100), (2, 300)]);
+        assert_eq!(plan.kills_for(2), vec![300, 900]);
+        assert_eq!(plan.kills_for(0), vec![100]);
+        assert_eq!(plan.kills_for(1), Vec::<u64>::new());
+    }
+
+    #[test]
+    fn entry_order_does_not_matter() {
+        assert_eq!(
+            ShardKillPlan::parse("3@9,1@5"),
+            ShardKillPlan::parse("1@5,3@9"),
+        );
+    }
+
+    #[test]
+    fn duplicate_kills_collapse() {
+        let plan = ShardKillPlan::parse("1@5,1@5");
+        assert_eq!(plan.kills_for(1), vec![5]);
+    }
+
+    #[test]
+    fn malformed_entries_are_skipped() {
+        let plan = ShardKillPlan::parse("1@5000,bogus,@7,2@,x@y,2@8000");
+        assert_eq!(plan.summary(), "1@5000,2@8000");
+    }
+
+    #[test]
+    fn off_keyword_and_empty_are_inert() {
+        assert!(!ShardKillPlan::parse("off").is_active());
+        assert!(!ShardKillPlan::parse("  ").is_active());
+    }
+}

@@ -7,8 +7,12 @@
 //! same seed. Wall-clock nanoseconds ride along in `args` only when
 //! `BF_TRACE_WALL=1`, which deliberately breaks byte-stability.
 //!
-//! Layout: one process (`pid` 1), one viewer thread lane per trace,
-//! lanes ordered by first virtual activity. Load the file at
+//! Layout: one viewer thread lane per trace, lanes ordered by first
+//! virtual activity. Traces whose spans carry a `shard` arg (requests
+//! served by a fleet shard) group under a per-shard process (`pid` =
+//! shard + 2, named `shard <k>`); everything else lives in the default
+//! process (`pid` 1, `bigger-fish`), so a fleet timeline renders one
+//! swimlane block per fault domain. Load the file at
 //! <https://ui.perfetto.dev> or `chrome://tracing`.
 
 use crate::json::Json;
@@ -43,6 +47,29 @@ fn lane_order(records: &[SpanRec]) -> BTreeMap<u64, u64> {
         .collect()
 }
 
+/// Per-shard process grouping: a trace whose spans carry a `shard` arg
+/// (set by fleet services on their request spans) renders under that
+/// shard's process. Returns `trace_id → shard`.
+fn shard_assignment(records: &[SpanRec]) -> BTreeMap<u64, u64> {
+    let mut shards: BTreeMap<u64, u64> = BTreeMap::new();
+    for r in records {
+        for (k, v) in &r.args {
+            if *k == "shard" {
+                if let ArgVal::U(shard) = v {
+                    shards.entry(r.trace_id).or_insert(*shard);
+                }
+            }
+        }
+    }
+    shards
+}
+
+/// Viewer pid for a trace: shard-labelled traces get `shard + 2`,
+/// everything else the default process 1.
+fn pid_for(shards: &BTreeMap<u64, u64>, trace_id: u64) -> u64 {
+    shards.get(&trace_id).map_or(1, |s| s + 2)
+}
+
 fn hex(id: u64) -> Json {
     Json::Str(format!("{id:#018x}"))
 }
@@ -62,6 +89,7 @@ fn arg_json(v: &ArgVal) -> Json {
 pub fn to_chrome_json(mut records: Vec<SpanRec>, include_wall: bool) -> Json {
     sort_records(&mut records);
     let lanes = lane_order(&records);
+    let shards = shard_assignment(&records);
     let mut events: Vec<Json> = Vec::with_capacity(records.len() + lanes.len() + 1);
 
     events.push(Json::object([
@@ -71,13 +99,25 @@ pub fn to_chrome_json(mut records: Vec<SpanRec>, include_wall: bool) -> Json {
         ("tid", Json::UInt(0)),
         ("args", Json::object([("name", Json::from("bigger-fish"))])),
     ]));
+    let mut shard_pids: Vec<u64> = shards.values().copied().collect();
+    shard_pids.sort_unstable();
+    shard_pids.dedup();
+    for shard in shard_pids {
+        events.push(Json::object([
+            ("ph", Json::from("M")),
+            ("name", Json::from("process_name")),
+            ("pid", Json::UInt(shard + 2)),
+            ("tid", Json::UInt(0)),
+            ("args", Json::object([("name", Json::Str(format!("shard {shard}")))])),
+        ]));
+    }
     let mut lane_meta: Vec<(u64, u64)> = lanes.iter().map(|(&id, &lane)| (lane, id)).collect();
     lane_meta.sort_unstable();
     for (lane, trace_id) in lane_meta {
         events.push(Json::object([
             ("ph", Json::from("M")),
             ("name", Json::from("thread_name")),
-            ("pid", Json::UInt(1)),
+            ("pid", Json::UInt(pid_for(&shards, trace_id))),
             ("tid", Json::UInt(lane)),
             (
                 "args",
@@ -102,7 +142,7 @@ pub fn to_chrome_json(mut records: Vec<SpanRec>, include_wall: bool) -> Json {
             ("ph", Json::from("X")),
             ("name", Json::from(r.name)),
             ("cat", Json::from("bf")),
-            ("pid", Json::UInt(1)),
+            ("pid", Json::UInt(pid_for(&shards, r.trace_id))),
             ("tid", Json::UInt(lanes.get(&r.trace_id).copied().unwrap_or(0))),
             ("ts", Json::UInt(r.ts)),
             ("dur", Json::UInt(r.dur)),
@@ -215,6 +255,26 @@ mod tests {
             true,
         );
         assert!(with_wall.contains("wall_start_ns"));
+    }
+
+    #[test]
+    fn shard_labelled_traces_group_under_per_shard_processes() {
+        let mut shard0 = rec(5, 51, 0, "request", 0, 10);
+        shard0.args.push(("shard", ArgVal::U(0)));
+        let mut shard3 = rec(6, 61, 0, "request", 5, 10);
+        shard3.args.push(("shard", ArgVal::U(3)));
+        // Child spans inherit the trace's shard via trace_id even
+        // without their own `shard` arg.
+        let child = rec(6, 62, 61, "collect", 6, 4);
+        let unlabelled = rec(8, 81, 0, "fit", 20, 10);
+        let json = to_chrome_json(vec![shard0, shard3, child, unlabelled], false);
+        let text = json.to_compact_string();
+        assert!(text.contains("\"name\":\"shard 0\""));
+        assert!(text.contains("\"name\":\"shard 3\""));
+        // shard 0 → pid 2, shard 3 → pid 5, unlabelled → pid 1.
+        assert!(text.contains("\"name\":\"request\",\"ph\":\"X\",\"pid\":2"), "{text}");
+        assert!(text.contains("\"name\":\"collect\",\"ph\":\"X\",\"pid\":5"), "{text}");
+        assert!(text.contains("\"name\":\"fit\",\"ph\":\"X\",\"pid\":1"), "{text}");
     }
 
     #[test]

@@ -38,14 +38,25 @@
 //! Every submitted request resolves to **exactly one** [`Outcome`]:
 //! a primary `Prediction`, a `Degraded` (centroid) prediction, an
 //! explicit `Timeout` naming the stage that exhausted the deadline, an
-//! explicit `Shed` at admission, or an explicit `Failed` (quarantined
-//! collection or a contained worker panic). Requests never hang and
-//! panics never escape the service.
+//! explicit `Shed` at admission, an explicit `Failed` (quarantined
+//! collection or a contained worker panic), or — when a supervised
+//! shard outage window swallows the request — an explicit `ShardDown`.
+//! Requests never hang and panics never escape the service.
+//!
+//! # Fleet
+//!
+//! The [`fleet`] module scales one service into N supervised shards
+//! behind a deterministic router: stable request-id hashing, per-shard
+//! fault domains (queue, breaker, tier controller), health-gated
+//! failover with optional hedged retry, and shard-kill chaos driven by
+//! [`bf_fault::ShardKillPlan`]. See [`fleet::Fleet`].
 
 pub mod breaker;
+pub mod fleet;
 pub mod service;
 
 pub use breaker::{BreakerConfig, BreakerState, CircuitBreaker, Transition};
+pub use fleet::{route, Fleet, FleetConfig, FleetHealth};
 pub use service::{HealthSnapshot, Service, TierModels};
 
 use bf_fault::BackoffPolicy;
@@ -173,6 +184,12 @@ pub enum Outcome {
         /// Human-readable reason.
         reason: String,
     },
+    /// The request's shard crashed while the request was queued (or the
+    /// request arrived during the outage window): the supervisor
+    /// resolves it explicitly rather than letting it hang until the
+    /// restart. With fleet hedging on, the router replays such requests
+    /// on the next healthy shard.
+    ShardDown,
 }
 
 impl Outcome {
@@ -184,6 +201,7 @@ impl Outcome {
             Outcome::Timeout { .. } => "timeout",
             Outcome::Shed => "shed",
             Outcome::Failed { .. } => "failed",
+            Outcome::ShardDown => "shard_down",
         }
     }
 }
@@ -286,6 +304,18 @@ pub struct ServeConfig {
     /// panic) are never batched — they take the individual path so a
     /// fault stays contained to its own request.
     pub batch: usize,
+    /// Supervised shard outage schedule: sorted, non-overlapping
+    /// half-open `[crash, restart)` windows in virtual ticks. When the
+    /// clock reaches a window the shard crashes at its start tick —
+    /// every queued request resolves [`Outcome::ShardDown`], arrivals
+    /// inside the window bounce to `ShardDown` immediately, and at the
+    /// window end the supervisor has restarted the shard with a fresh
+    /// (closed) breaker. Waves dispatched before the crash complete
+    /// normally: the wave is the crash atom. Normally derived by
+    /// [`fleet::Fleet`] from a [`bf_fault::ShardKillPlan`] and the
+    /// configured restart backoff; empty (the default) means the shard
+    /// never crashes.
+    pub down_windows: Vec<(u64, u64)>,
 }
 
 impl Default for ServeConfig {
@@ -303,6 +333,7 @@ impl Default for ServeConfig {
             wave_cap: None,
             tiers: TierConfig::default(),
             batch: 1,
+            down_windows: Vec::new(),
         }
     }
 }
@@ -545,6 +576,7 @@ mod tests {
         assert_eq!(Stage::Collect.label(), "collect");
         assert_eq!(Stage::Predict.label(), "predict");
         assert_eq!(Outcome::Failed { reason: String::new() }.label(), "failed");
+        assert_eq!(Outcome::ShardDown.label(), "shard_down");
         assert_eq!(Tier::Full.label(), "full");
         assert_eq!(Tier::EarlyExit(25).label(), "early_exit_25");
         assert_eq!(Tier::EarlyExit(50).label(), "early_exit_50");

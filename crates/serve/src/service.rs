@@ -65,7 +65,24 @@ fn outcome_label(outcome: &Outcome) -> &'static str {
         Outcome::Timeout { stage: Stage::Predict } => "timeout_predict",
         Outcome::Shed => "shed",
         Outcome::Failed { .. } => "failed",
+        Outcome::ShardDown => "shard_down",
     }
+}
+
+/// Whether `tick` falls inside any of the sorted, non-overlapping
+/// half-open `[crash, restart)` down windows.
+fn down_at(windows: &[(u64, u64)], tick: u64) -> bool {
+    windows
+        .binary_search_by(|&(start, end)| {
+            if tick < start {
+                std::cmp::Ordering::Greater
+            } else if tick >= end {
+                std::cmp::Ordering::Less
+            } else {
+                std::cmp::Ordering::Equal
+            }
+        })
+        .is_ok()
 }
 
 /// Readiness and terminal-outcome accounting, exposed for health
@@ -90,15 +107,20 @@ pub struct HealthSnapshot {
     pub shed: u64,
     /// Explicit failures (quarantine, contained panics).
     pub failed: u64,
+    /// Requests resolved [`Outcome::ShardDown`] by a shard crash.
+    pub shard_down: u64,
+    /// Supervised shard restarts performed so far.
+    pub restarts: u64,
     /// Worker panics contained by the service.
     pub worker_panics: u64,
 }
 
 impl HealthSnapshot {
-    /// Sum of the five terminal-outcome counts. The service guarantees
+    /// Sum of the six terminal-outcome counts. The service guarantees
     /// this equals [`HealthSnapshot::submitted`] after every run.
     pub fn resolved(&self) -> u64 {
         self.predictions + self.degraded + self.timeouts + self.shed + self.failed
+            + self.shard_down
     }
 }
 
@@ -110,6 +132,12 @@ struct Tallies {
     timeouts: u64,
     shed: u64,
     failed: u64,
+    shard_down: u64,
+    restarts: u64,
+    /// Breaker transitions accumulated from breakers discarded by
+    /// supervised restarts; [`Service::breaker_flaps`] adds the live
+    /// breaker's count on top.
+    flaps: u64,
     worker_panics: u64,
 }
 
@@ -273,6 +301,10 @@ pub struct Service {
     breaker: CircuitBreaker,
     tier_costs: TierCosts,
     tallies: Tallies,
+    /// Fleet shard index, when this service runs as one shard of a
+    /// [`crate::fleet::Fleet`]: stamped onto every request span so the
+    /// Perfetto export can group timelines by shard.
+    shard_label: Option<usize>,
 }
 
 impl Service {
@@ -308,6 +340,7 @@ impl Service {
             breaker,
             tier_costs,
             tallies: Tallies::default(),
+            shard_label: None,
         }
     }
 
@@ -317,6 +350,14 @@ impl Service {
     /// distilled tier is skipped.
     pub fn with_tiers(mut self, tiers: TierModels) -> Self {
         self.tiers = tiers;
+        self
+    }
+
+    /// Label this service as fleet shard `shard`: request spans gain a
+    /// `shard` argument and the Perfetto export groups them under a
+    /// per-shard process lane.
+    pub fn with_shard_label(mut self, shard: usize) -> Self {
+        self.shard_label = Some(shard);
         self
     }
 
@@ -337,6 +378,14 @@ impl Service {
     /// The breaker's transition history (see [`CircuitBreaker`]).
     pub fn breaker(&self) -> &CircuitBreaker {
         &self.breaker
+    }
+
+    /// Total breaker state transitions over this service's lifetime —
+    /// the live breaker's history plus transitions of breakers
+    /// discarded by supervised restarts. This is the "breaker flap"
+    /// count the fleet SLO report aggregates.
+    pub fn breaker_flaps(&self) -> u64 {
+        self.tallies.flaps + self.breaker.transitions().len() as u64
     }
 
     /// Clear breaker state, transition history, and outcome tallies:
@@ -362,6 +411,8 @@ impl Service {
             timeouts: t.timeouts,
             shed: t.shed,
             failed: t.failed,
+            shard_down: t.shard_down,
+            restarts: t.restarts,
             worker_panics: t.worker_panics,
         }
     }
@@ -375,9 +426,9 @@ impl Service {
             "serve.outcomes",
             format!(
                 "submitted={} predictions={} degraded={} timeouts={} shed={} failed={} \
-                 worker_panics={}",
+                 shard_down={} restarts={} worker_panics={}",
                 t.submitted, t.predictions, t.degraded, t.timeouts, t.shed, t.failed,
-                t.worker_panics
+                t.shard_down, t.restarts, t.worker_panics
             ),
         );
     }
@@ -404,6 +455,10 @@ impl Service {
             * self.cfg.batch.max(1);
         let mut now = 0u64;
         let mut next_arrival = 0usize;
+        // Supervised outage schedule, local to this run: the virtual
+        // clock restarts at 0 per call, so windows are run-relative.
+        let windows = self.cfg.down_windows.clone(); // alloc-ok: per-run staging
+        let mut next_window = 0usize;
 
         loop {
             // Idle: jump the clock to the next arrival, or finish.
@@ -414,14 +469,43 @@ impl Service {
                 }
             }
 
-            // Admission: everything that has arrived by `now`.
+            // Supervised crash: when the clock reaches a down window,
+            // the shard died at the window's start tick. Everything
+            // still queued resolves ShardDown — that is the in-flight
+            // set; waves dispatched before the crash already completed
+            // (the wave is the crash atom). At the window end the
+            // supervisor has restarted the shard: the crashed breaker's
+            // transition history rolls into the flap tally and a fresh,
+            // closed breaker takes over. Bookkeeping runs exactly once
+            // per window, even when an idle clock jump skips it whole.
+            while next_window < windows.len() && windows[next_window].0 <= now {
+                let (_, end) = windows[next_window];
+                next_window += 1;
+                while let Some(idx) = queue.pop_front() {
+                    let req = requests[idx];
+                    resolved[idx] = Some(self.resolve_at(&req, Outcome::ShardDown, now, 0));
+                }
+                self.tallies.flaps += self.breaker.transitions().len() as u64;
+                self.breaker = CircuitBreaker::new(self.cfg.breaker);
+                self.tallies.restarts += 1;
+                bf_obs::counter("serve.restarts").inc();
+                now = now.max(end);
+            }
+
+            // Admission: everything that has arrived by `now`. Arrivals
+            // that landed inside a down window bounce straight to
+            // ShardDown — the shard was not accepting work when they
+            // arrived.
             while next_arrival < n && requests[order[next_arrival]].arrival <= now {
                 let idx = order[next_arrival];
                 next_arrival += 1;
-                if queue.len() >= self.cfg.queue_cap {
+                let req = requests[idx];
+                if down_at(&windows, req.arrival) {
+                    resolved[idx] =
+                        Some(self.resolve_at(&req, Outcome::ShardDown, req.arrival, 0));
+                } else if queue.len() >= self.cfg.queue_cap {
                     bf_obs::counter("serve.shed").inc();
                     self.tallies.shed += 1;
-                    let req = requests[idx];
                     resolved[idx] = Some(self.resolve_at(&req, Outcome::Shed, req.arrival, 0));
                 } else {
                     queue.push_back(idx);
@@ -1328,6 +1412,10 @@ impl Service {
                 self.tallies.failed += 1;
                 bf_obs::counter("serve.failed").inc();
             }
+            Outcome::ShardDown => {
+                self.tallies.shard_down += 1;
+                bf_obs::counter("serve.shard_down").inc();
+            }
             // Tallied at their decision sites.
             Outcome::Prediction { .. } | Outcome::Degraded { .. } | Outcome::Shed => {}
         }
@@ -1350,6 +1438,9 @@ impl Service {
                 .arg_u64("request_id", req.id)
                 .arg_u64("site", req.site as u64)
                 .arg_str("outcome", outcome_label(&outcome));
+            if let Some(shard) = self.shard_label {
+                request_span.arg_u64("shard", shard as u64);
+            }
             trace::leaf_at("queue", req.arrival, queue_units);
             request_span.finish(started + work);
         }
@@ -1906,6 +1997,136 @@ mod tests {
             matches!(&out[0].outcome, Outcome::Failed { reason } if reason.contains("unknown site")),
             "got {:?}",
             out[0].outcome
+        );
+    }
+
+    #[test]
+    fn down_at_is_a_half_open_interval_lookup() {
+        let windows = [(100u64, 200u64), (500, 600)];
+        assert!(!down_at(&windows, 99));
+        assert!(down_at(&windows, 100));
+        assert!(down_at(&windows, 199));
+        assert!(!down_at(&windows, 200));
+        assert!(down_at(&windows, 550));
+        assert!(!down_at(&windows, 600));
+        assert!(!down_at(&[], 0));
+    }
+
+    #[test]
+    fn crash_drains_queue_and_arrivals_in_window_bounce() {
+        // Clean request work is 150 units; three requests land before the
+        // crash at tick 200 but only the first wave (one request at a
+        // single thread, batch 1) dispatches before it. One more arrives
+        // mid-window and one after the restart.
+        let reqs: Vec<ServeRequest> = [0u64, 10, 20, 400, 1_300]
+            .iter()
+            .enumerate()
+            .map(|(i, &arrival)| ServeRequest {
+                id: i as u64,
+                site: i % N_SITES,
+                seed: 70 + i as u64,
+                arrival,
+            })
+            .collect();
+        let cfg = ServeConfig {
+            down_windows: vec![(200, 1_200)],
+            deadline_units: 100_000,
+            ..ServeConfig::default()
+        };
+        let (out, health) = with_one_thread(|| {
+            let mut s = service(FaultPlan::off(), cfg);
+            let out = s.run(&reqs);
+            (out, s.health())
+        });
+        // Request 0 dispatched in the first wave and completed normally.
+        assert!(matches!(out[0].outcome, Outcome::Prediction { .. }), "got {:?}", out[0].outcome);
+        // Request 1's wave was already in flight when the crash tick
+        // passed: the wave is the crash atom, so it completes.
+        assert!(
+            matches!(out[1].outcome, Outcome::Prediction { .. }),
+            "in-flight wave survives the crash, got {:?}",
+            out[1].outcome
+        );
+        // Request 2 was still queued when the supervisor processed the
+        // crash: drained as ShardDown.
+        assert_eq!(out[2].outcome, Outcome::ShardDown, "queued request must drain as ShardDown");
+        assert!(out[2].completed >= 200, "drain happens at the crash tick or later");
+        // Request 3 arrived mid-window: bounced on arrival.
+        assert_eq!(out[3].outcome, Outcome::ShardDown);
+        assert_eq!(out[3].completed, out[3].arrival, "mid-window arrivals bounce immediately");
+        // Request 4 arrived after the restart and was answered.
+        assert!(matches!(out[4].outcome, Outcome::Prediction { .. }), "got {:?}", out[4].outcome);
+        assert_eq!(health.shard_down, 2);
+        assert_eq!(health.restarts, 1);
+        assert_eq!(health.resolved(), reqs.len() as u64);
+    }
+
+    #[test]
+    fn restart_installs_a_fresh_closed_breaker() {
+        // Force the breaker open with guaranteed worker panics, then let
+        // the shard crash and restart: the replacement breaker must be
+        // closed, and the old breaker's transitions must survive in the
+        // flap tally.
+        let panic_all = FaultPlan::parse("seed=1,worker_panic=1.0");
+        let reqs: Vec<ServeRequest> = (0..8u64)
+            .map(|i| ServeRequest { id: i, site: (i as usize) % N_SITES, seed: 80 + i, arrival: i * 200 })
+            .collect();
+        let late = ServeRequest { id: 99, site: 0, seed: 999, arrival: 60_000 };
+        let cfg = ServeConfig {
+            down_windows: vec![(30_000, 50_000)],
+            ..ServeConfig::default()
+        };
+        let (ready_after, flaps, restarts) = with_one_thread(|| {
+            let mut s = service(panic_all, cfg);
+            let mut all = reqs.clone();
+            all.push(late);
+            s.run(&all);
+            (s.health().ready, s.breaker_flaps(), s.health().restarts)
+        });
+        assert_eq!(restarts, 1);
+        assert!(ready_after, "post-restart breaker must admit primary traffic");
+        assert!(flaps >= 1, "pre-crash breaker transitions persist in the flap tally");
+    }
+
+    #[test]
+    fn idle_jump_over_a_whole_window_still_counts_the_restart() {
+        // Two requests far apart; the down window sits entirely between
+        // them, so the idle clock jump skips it without any queued work.
+        let reqs = [
+            ServeRequest { id: 0, site: 0, seed: 1, arrival: 0 },
+            ServeRequest { id: 1, site: 1, seed: 2, arrival: 100_000 },
+        ];
+        let cfg = ServeConfig {
+            down_windows: vec![(10_000, 12_000)],
+            ..ServeConfig::default()
+        };
+        let (out, health) = with_one_thread(|| {
+            let mut s = service(FaultPlan::off(), cfg);
+            let out = s.run(&reqs);
+            (out, s.health())
+        });
+        assert!(matches!(out[0].outcome, Outcome::Prediction { .. }));
+        assert!(matches!(out[1].outcome, Outcome::Prediction { .. }));
+        assert_eq!(health.restarts, 1, "skipped windows still book their restart");
+        assert_eq!(health.shard_down, 0);
+    }
+
+    #[test]
+    fn down_window_runs_are_bit_deterministic() {
+        let reqs = open_loop_arrivals(24, N_SITES, 120.0, 23);
+        let cfg = ServeConfig {
+            down_windows: vec![(400, 2_400), (9_000, 11_000)],
+            ..ServeConfig::default()
+        };
+        let run = || {
+            let mut s = service(FaultPlan::off(), cfg.clone());
+            s.run(&reqs)
+        };
+        let (a, b) = with_one_thread(|| (run(), run()));
+        assert_eq!(a, b, "down-window scheduling must be a pure function of the stream");
+        assert!(
+            a.iter().any(|r| r.outcome == Outcome::ShardDown),
+            "the windows must actually catch traffic for this test to bite"
         );
     }
 }

@@ -53,10 +53,14 @@ pub fn pearson(xs: &[f64], ys: &[f64]) -> Result<f64> {
 ///
 /// # Errors
 ///
-/// Same error conditions as [`pearson`].
+/// Same error conditions as [`pearson`], plus [`StatsError::Undefined`]
+/// when either input contains NaN (ranks have no meaningful order for NaN).
 pub fn spearman(xs: &[f64], ys: &[f64]) -> Result<f64> {
     if xs.len() != ys.len() {
         return Err(StatsError::LengthMismatch { left: xs.len(), right: ys.len() });
+    }
+    if xs.iter().chain(ys.iter()).any(|x| x.is_nan()) {
+        return Err(StatsError::Undefined("spearman undefined for NaN samples"));
     }
     let rx = ranks(xs);
     let ry = ranks(ys);
@@ -64,9 +68,11 @@ pub fn spearman(xs: &[f64], ys: &[f64]) -> Result<f64> {
 }
 
 /// Average ranks (1-based) with ties sharing the mean of their rank span.
+/// NaN inputs are rejected by the caller; `total_cmp` keeps the sort total
+/// regardless.
 fn ranks(xs: &[f64]) -> Vec<f64> {
     let mut idx: Vec<usize> = (0..xs.len()).collect();
-    idx.sort_by(|&a, &b| xs[a].partial_cmp(&xs[b]).expect("NaN in rank input"));
+    idx.sort_by(|&a, &b| xs[a].total_cmp(&xs[b]));
     let mut out = vec![0.0; xs.len()];
     let mut i = 0;
     while i < idx.len() {
@@ -145,5 +151,17 @@ mod tests {
     fn ranks_handle_ties() {
         let r = ranks(&[10.0, 20.0, 20.0, 30.0]);
         assert_eq!(r, vec![1.0, 2.5, 2.5, 4.0]);
+    }
+
+    #[test]
+    fn spearman_rejects_nan() {
+        assert_eq!(
+            spearman(&[1.0, f64::NAN], &[1.0, 2.0]),
+            Err(StatsError::Undefined("spearman undefined for NaN samples"))
+        );
+        assert_eq!(
+            spearman(&[1.0, 2.0], &[f64::NAN, 2.0]),
+            Err(StatsError::Undefined("spearman undefined for NaN samples"))
+        );
     }
 }

@@ -57,7 +57,10 @@ pub fn population_variance(xs: &[f64]) -> Result<f64> {
 /// # Errors
 ///
 /// [`StatsError::Empty`] for empty input, [`StatsError::InvalidParameter`]
-/// when `q` is outside `[0, 1]` or NaN.
+/// when `q` is outside `[0, 1]` or NaN, and [`StatsError::Undefined`] when
+/// any sample is NaN (quantiles have no meaningful ordering for NaN — a
+/// dead shard's empty-or-poisoned latency series must surface as an error,
+/// not a panic, during fleet SLO aggregation).
 pub fn quantile(xs: &[f64], q: f64) -> Result<f64> {
     if xs.is_empty() {
         return Err(StatsError::Empty);
@@ -65,8 +68,11 @@ pub fn quantile(xs: &[f64], q: f64) -> Result<f64> {
     if !(0.0..=1.0).contains(&q) {
         return Err(StatsError::InvalidParameter("quantile q must be in [0, 1]"));
     }
+    if xs.iter().any(|x| x.is_nan()) {
+        return Err(StatsError::Undefined("quantile undefined for NaN samples"));
+    }
     let mut sorted = xs.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in quantile input"));
+    sorted.sort_by(|a, b| a.total_cmp(b));
     let pos = q * (sorted.len() - 1) as f64;
     let lo = pos.floor() as usize;
     let hi = pos.ceil() as usize;
@@ -198,6 +204,14 @@ mod tests {
     fn quantile_rejects_bad_q() {
         assert!(quantile(&[1.0], 1.5).is_err());
         assert!(quantile(&[1.0], -0.1).is_err());
+    }
+
+    #[test]
+    fn quantile_rejects_nan_samples() {
+        assert_eq!(
+            quantile(&[1.0, f64::NAN, 3.0], 0.5),
+            Err(StatsError::Undefined("quantile undefined for NaN samples"))
+        );
     }
 
     #[test]

@@ -12,6 +12,7 @@ pub struct Histogram {
     counts: Vec<u64>,
     underflow: u64,
     overflow: u64,
+    nan: u64,
     total: u64,
 }
 
@@ -29,13 +30,17 @@ impl Histogram {
         if !(lo.is_finite() && hi.is_finite()) || lo >= hi {
             return Err(StatsError::InvalidParameter("histogram needs finite lo < hi"));
         }
-        Ok(Histogram { lo, hi, counts: vec![0; bins], underflow: 0, overflow: 0, total: 0 })
+        Ok(Histogram { lo, hi, counts: vec![0; bins], underflow: 0, overflow: 0, nan: 0, total: 0 })
     }
 
-    /// Record one observation.
+    /// Record one observation. NaN observations are counted separately
+    /// (see [`Histogram::nan`]) instead of silently landing in bin 0, where
+    /// both range comparisons would be false.
     pub fn record(&mut self, x: f64) {
         self.total += 1;
-        if x < self.lo {
+        if x.is_nan() {
+            self.nan += 1;
+        } else if x < self.lo {
             self.underflow += 1;
         } else if x >= self.hi {
             self.overflow += 1;
@@ -72,6 +77,11 @@ impl Histogram {
         self.overflow
     }
 
+    /// NaN observations (recorded but binnable in no range).
+    pub fn nan(&self) -> u64 {
+        self.nan
+    }
+
     /// Number of bins.
     pub fn bins(&self) -> usize {
         self.counts.len()
@@ -91,10 +101,22 @@ impl Histogram {
     ///
     /// # Panics
     ///
-    /// Panics when `i >= self.bins()`.
+    /// Panics when `i >= self.bins()`; use [`Histogram::try_bin_center`]
+    /// when the index is not statically in range.
     pub fn bin_center(&self, i: usize) -> f64 {
-        assert!(i < self.counts.len(), "bin index out of range");
-        self.lo + (i as f64 + 0.5) * self.bin_width()
+        self.try_bin_center(i).expect("bin index out of range")
+    }
+
+    /// Center of bin `i`, as a typed error when the index is out of range.
+    ///
+    /// # Errors
+    ///
+    /// [`StatsError::InvalidParameter`] when `i >= self.bins()`.
+    pub fn try_bin_center(&self, i: usize) -> Result<f64> {
+        if i >= self.counts.len() {
+            return Err(StatsError::InvalidParameter("bin index out of range"));
+        }
+        Ok(self.lo + (i as f64 + 0.5) * self.bin_width())
     }
 
     /// Per-bin densities normalized so in-range mass sums to 1
@@ -211,6 +233,25 @@ mod tests {
         assert_eq!(h.bin_center(0), 1.0);
         assert_eq!(h.bin_center(4), 9.0);
         assert_eq!(h.bin_width(), 2.0);
+    }
+
+    #[test]
+    fn try_bin_center_rejects_out_of_range() {
+        let h = Histogram::new(0.0, 10.0, 5).unwrap();
+        assert_eq!(h.try_bin_center(4).unwrap(), 9.0);
+        assert!(h.try_bin_center(5).is_err());
+    }
+
+    #[test]
+    fn nan_counted_separately_not_in_bin_zero() {
+        let mut h = Histogram::new(0.0, 1.0, 2).unwrap();
+        h.record(f64::NAN);
+        h.record(0.25);
+        assert_eq!(h.nan(), 1);
+        assert_eq!(h.counts(), &[1, 0]);
+        assert_eq!(h.total(), 2);
+        assert_eq!(h.underflow(), 0);
+        assert_eq!(h.overflow(), 0);
     }
 
     #[test]

@@ -29,6 +29,7 @@ pub mod describe;
 pub mod hist;
 pub mod normalize;
 pub mod rng;
+pub mod samplers;
 pub mod series;
 pub mod special;
 pub mod ttest;
@@ -37,6 +38,7 @@ pub use corr::pearson;
 pub use describe::Summary;
 pub use hist::Histogram;
 pub use rng::SeedRng;
+pub use samplers::Zipf;
 pub use series::StepSeries;
 pub use ttest::{welch_t_test, TTestResult};
 

@@ -1,0 +1,155 @@
+//! Heavy-tailed discrete samplers for the open-system fleet load model.
+//!
+//! The fleet workload generator draws site popularity from a Zipf
+//! distribution over the Appendix-A catalog (rank 1 dominates, the tail is
+//! long) and session arrivals from a Poisson process (via
+//! [`SeedRng::exponential`] inter-arrival gaps / [`SeedRng::poisson`]
+//! counts). The Zipf sampler lives here so both the bench load generator
+//! and its property tests share one implementation.
+
+use crate::rng::SeedRng;
+use crate::{Result, StatsError};
+
+/// A Zipf(n, s) sampler over ranks `0..n` (rank 0 is the most popular).
+///
+/// P(rank = k) ∝ 1 / (k + 1)^s. The cumulative weights are precomputed at
+/// construction so each draw is one uniform plus a binary search —
+/// deterministic per [`SeedRng`] seed and free of per-draw allocation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Zipf {
+    /// Normalized cumulative probabilities; `cdf[n-1] == 1.0` by construction.
+    cdf: Vec<f64>,
+    exponent: f64,
+}
+
+impl Zipf {
+    /// Build a sampler over `n` ranks with exponent `s`.
+    ///
+    /// `s == 0` degenerates to the uniform distribution; larger `s` skews
+    /// more mass onto the lowest ranks (classic web-popularity fits use
+    /// s ≈ 0.8–1.2).
+    ///
+    /// # Errors
+    ///
+    /// [`StatsError::InvalidParameter`] when `n == 0` or `s` is negative,
+    /// NaN, or infinite.
+    pub fn new(n: usize, s: f64) -> Result<Self> {
+        if n == 0 {
+            return Err(StatsError::InvalidParameter("zipf needs at least one rank"));
+        }
+        if !s.is_finite() || s < 0.0 {
+            return Err(StatsError::InvalidParameter("zipf exponent must be finite and >= 0"));
+        }
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 1..=n {
+            acc += (k as f64).powf(-s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        // Pin the last entry so a draw of u -> 1.0-epsilon can never fall off
+        // the end regardless of rounding in the division above.
+        *cdf.last_mut().expect("n >= 1 checked above") = 1.0;
+        Ok(Zipf { cdf, exponent: s })
+    }
+
+    /// Number of ranks.
+    pub fn n(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// The exponent `s` the sampler was built with.
+    pub fn exponent(&self) -> f64 {
+        self.exponent
+    }
+
+    /// Probability mass of `rank` (0-based).
+    ///
+    /// # Errors
+    ///
+    /// [`StatsError::InvalidParameter`] when `rank >= self.n()`.
+    pub fn pmf(&self, rank: usize) -> Result<f64> {
+        if rank >= self.cdf.len() {
+            return Err(StatsError::InvalidParameter("zipf rank out of range"));
+        }
+        let lo = if rank == 0 { 0.0 } else { self.cdf[rank - 1] };
+        Ok(self.cdf[rank] - lo)
+    }
+
+    /// Draw one rank in `0..n`. Consumes exactly one uniform from `rng`, so
+    /// the draw stream composes deterministically with other samplers.
+    pub fn sample(&self, rng: &mut SeedRng) -> usize {
+        let u = rng.uniform();
+        // First index with cdf[i] > u. `partition_point` never inspects NaN
+        // (the cdf is finite by construction) and u < 1.0 <= cdf[n-1].
+        self.cdf.partition_point(|&c| c <= u).min(self.cdf.len() - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_invalid_parameters() {
+        assert!(Zipf::new(0, 1.0).is_err());
+        assert!(Zipf::new(10, f64::NAN).is_err());
+        assert!(Zipf::new(10, f64::INFINITY).is_err());
+        assert!(Zipf::new(10, -0.5).is_err());
+    }
+
+    #[test]
+    fn pmf_sums_to_one_and_is_monotone() {
+        let z = Zipf::new(20, 1.1).unwrap();
+        let masses: Vec<f64> = (0..20).map(|k| z.pmf(k).unwrap()).collect();
+        let sum: f64 = masses.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-12, "sum = {sum}");
+        for w in masses.windows(2) {
+            assert!(w[0] >= w[1], "pmf must be non-increasing in rank: {masses:?}");
+        }
+        assert!(z.pmf(20).is_err());
+    }
+
+    #[test]
+    fn zero_exponent_is_uniform() {
+        let z = Zipf::new(4, 0.0).unwrap();
+        for k in 0..4 {
+            assert!((z.pmf(k).unwrap() - 0.25).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn samples_cover_support_and_favor_head() {
+        let z = Zipf::new(10, 1.0).unwrap();
+        let mut rng = SeedRng::new(42);
+        let mut counts = [0u64; 10];
+        for _ in 0..20_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        assert!(counts[0] > counts[9] * 3, "head must dominate tail: {counts:?}");
+        assert!(counts.iter().all(|&c| c > 0), "every rank should appear: {counts:?}");
+    }
+
+    #[test]
+    fn sampling_is_bit_deterministic_per_seed() {
+        let z = Zipf::new(50, 0.9).unwrap();
+        let draw = |seed: u64| -> Vec<usize> {
+            let mut rng = SeedRng::new(seed);
+            (0..256).map(|_| z.sample(&mut rng)).collect()
+        };
+        assert_eq!(draw(7), draw(7));
+        assert_ne!(draw(7), draw(8));
+    }
+
+    #[test]
+    fn single_rank_always_zero() {
+        let z = Zipf::new(1, 2.0).unwrap();
+        let mut rng = SeedRng::new(1);
+        for _ in 0..100 {
+            assert_eq!(z.sample(&mut rng), 0);
+        }
+    }
+}
